@@ -1,0 +1,105 @@
+//! Bidding strategies.
+
+use lb_stats::rng::{Rng, Xoshiro256StarStar};
+
+/// How an agent chooses the bid it reports to the mechanism.
+#[derive(Debug, Clone)]
+pub enum BiddingStrategy {
+    /// Report the true value (the paper's dominant strategy).
+    Truthful,
+    /// Report `factor × true value` — the paper's High/Low experiment
+    /// families are `Scaled(3.0)` and `Scaled(0.5)`.
+    Scaled(f64),
+    /// Report a fixed value regardless of the truth.
+    Fixed(f64),
+    /// Report `true value × U(lo, hi)` with a private RNG stream.
+    Random {
+        /// Lower multiplier bound (> 0).
+        lo: f64,
+        /// Upper multiplier bound (≥ lo).
+        hi: f64,
+        /// Private randomness.
+        rng: Xoshiro256StarStar,
+    },
+}
+
+impl BiddingStrategy {
+    /// Produces this round's bid for an agent with the given true value.
+    ///
+    /// # Panics
+    /// Panics on invalid strategy parameters (non-positive scales, bad
+    /// random bounds).
+    pub fn bid(&mut self, true_value: f64) -> f64 {
+        match self {
+            Self::Truthful => true_value,
+            Self::Scaled(factor) => {
+                assert!(factor.is_finite() && *factor > 0.0, "Scaled: invalid factor");
+                true_value * *factor
+            }
+            Self::Fixed(value) => {
+                assert!(value.is_finite() && *value > 0.0, "Fixed: invalid value");
+                *value
+            }
+            Self::Random { lo, hi, rng } => {
+                assert!(*lo > 0.0 && hi >= lo, "Random: invalid bounds");
+                true_value * rng.next_range(*lo, *hi)
+            }
+        }
+    }
+
+    /// Whether this strategy always reports the truth.
+    #[must_use]
+    pub fn is_truthful(&self) -> bool {
+        matches!(self, Self::Truthful) || matches!(self, Self::Scaled(f) if (*f - 1.0).abs() < 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthful_reports_truth() {
+        let mut s = BiddingStrategy::Truthful;
+        assert_eq!(s.bid(2.5), 2.5);
+        assert!(s.is_truthful());
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let mut s = BiddingStrategy::Scaled(3.0);
+        assert_eq!(s.bid(2.0), 6.0);
+        assert!(!s.is_truthful());
+        assert!(BiddingStrategy::Scaled(1.0).is_truthful());
+    }
+
+    #[test]
+    fn fixed_ignores_truth() {
+        let mut s = BiddingStrategy::Fixed(4.0);
+        assert_eq!(s.bid(1.0), 4.0);
+        assert_eq!(s.bid(100.0), 4.0);
+    }
+
+    #[test]
+    fn random_is_within_bounds_and_deterministic_per_seed() {
+        let mk = || BiddingStrategy::Random {
+            lo: 0.5,
+            hi: 2.0,
+            rng: Xoshiro256StarStar::seed_from_u64(3),
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..100 {
+            let x = a.bid(2.0);
+            assert!((1.0..4.0).contains(&x));
+            assert_eq!(x, b.bid(2.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid factor")]
+    fn scaled_rejects_nonpositive() {
+        let mut s = BiddingStrategy::Scaled(0.0);
+        let _ = s.bid(1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Execution strategies.
+//!
+//! After receiving its allocation, a machine chooses how fast to actually
+//! run. The paper's constraint (Def. 3.1): the execution value `t̃` can be
+//! anything **at or above** the true value — machines can stall, not
+//! overclock. Every strategy here clamps to that constraint.
+
+/// How an agent executes its assigned jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionStrategy {
+    /// Run at full capacity: `t̃ = t` (the paper's dominant strategy).
+    FullCapacity,
+    /// Run `factor ≥ 1` times slower than capacity: `t̃ = factor × t`.
+    Throttled(f64),
+    /// Execute exactly as declared: `t̃ = max(bid, t)` — the "consistent"
+    /// behaviour under which the paper's theorems are exact.
+    MatchBid,
+    /// Execute at a fixed value, clamped up to the true value.
+    Fixed(f64),
+}
+
+impl ExecutionStrategy {
+    /// The execution value this strategy realises.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (throttle factor < 1, non-positive
+    /// fixed values).
+    #[must_use]
+    pub fn exec_value(&self, true_value: f64, bid: f64) -> f64 {
+        match *self {
+            Self::FullCapacity => true_value,
+            Self::Throttled(factor) => {
+                assert!(factor.is_finite() && factor >= 1.0, "Throttled: factor must be >= 1");
+                true_value * factor
+            }
+            Self::MatchBid => bid.max(true_value),
+            Self::Fixed(value) => {
+                assert!(value.is_finite() && value > 0.0, "Fixed: invalid value");
+                value.max(true_value)
+            }
+        }
+    }
+
+    /// Whether this strategy always runs at full capacity.
+    #[must_use]
+    pub fn is_full_capacity(&self) -> bool {
+        matches!(self, Self::FullCapacity)
+            || matches!(self, Self::Throttled(f) if (*f - 1.0).abs() < 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_capacity_is_truth() {
+        assert_eq!(ExecutionStrategy::FullCapacity.exec_value(2.0, 99.0), 2.0);
+        assert!(ExecutionStrategy::FullCapacity.is_full_capacity());
+    }
+
+    #[test]
+    fn throttled_scales_up() {
+        assert_eq!(ExecutionStrategy::Throttled(2.0).exec_value(2.0, 1.0), 4.0);
+        assert!(ExecutionStrategy::Throttled(1.0).is_full_capacity());
+    }
+
+    #[test]
+    fn match_bid_clamps_to_capacity() {
+        // Bid above truth: run at the bid (consistent slow liar).
+        assert_eq!(ExecutionStrategy::MatchBid.exec_value(2.0, 3.0), 3.0);
+        // Bid below truth: physically impossible — clamps to capacity.
+        assert_eq!(ExecutionStrategy::MatchBid.exec_value(2.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn fixed_clamps_to_capacity() {
+        assert_eq!(ExecutionStrategy::Fixed(5.0).exec_value(2.0, 1.0), 5.0);
+        assert_eq!(ExecutionStrategy::Fixed(1.0).exec_value(2.0, 1.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn throttle_below_one_panics() {
+        let _ = ExecutionStrategy::Throttled(0.5).exec_value(1.0, 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Ablation benchmarks quantifying the design choices DESIGN.md calls out:
+//!
+//! 1. Verification on/off — cost and payment-response of the verified
+//!    mechanism against the bid-only baseline.
+//! 2. Estimator sample budget — verification accuracy vs horizon cost.
+//! 3. Archer–Tardos closed form vs quadrature payment evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::paper::{experiment_profile, paper_experiments};
+use lb_core::scenario::{paper_system, PAPER_ARRIVAL_RATE};
+use lb_mechanism::{
+    run_mechanism, ArcherTardosMechanism, CompensationBonusMechanism, Profile,
+    UnverifiedCompensationBonus,
+};
+use lb_sim::driver::{verified_round, SimulationConfig};
+use lb_sim::estimator::EstimatorConfig;
+use lb_sim::server::ServiceModel;
+use std::hint::black_box;
+
+fn bench_verification_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_verification");
+    let verified = CompensationBonusMechanism::paper();
+    let unverified = UnverifiedCompensationBonus::paper();
+    let profiles: Vec<Profile> =
+        paper_experiments().iter().map(|s| experiment_profile(s).unwrap()).collect();
+    group.bench_function("verified_all_experiments", |b| {
+        b.iter(|| {
+            for p in &profiles {
+                black_box(run_mechanism(&verified, p).unwrap());
+            }
+        });
+    });
+    group.bench_function("unverified_all_experiments", |b| {
+        b.iter(|| {
+            for p in &profiles {
+                black_box(run_mechanism(&unverified, p).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_estimator_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_estimator_budget");
+    group.sample_size(10);
+    let mech = CompensationBonusMechanism::paper();
+    let profile = Profile::truthful(&paper_system(), PAPER_ARRIVAL_RATE).unwrap();
+    for samples in [50usize, 500, 5000] {
+        let config = SimulationConfig {
+            horizon: 2_000.0,
+            seed: 2,
+            model: ServiceModel::StationaryExponential,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: EstimatorConfig { max_samples: Some(samples), noise_cv: 0.0 },
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &config, |b, config| {
+            b.iter(|| black_box(verified_round(&mech, &profile, config).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_archer_tardos_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_at_payment_path");
+    let profile = Profile::truthful(&paper_system(), PAPER_ARRIVAL_RATE).unwrap();
+    let cf = ArcherTardosMechanism::closed_form();
+    let q = ArcherTardosMechanism::quadrature();
+    group.bench_function("closed_form", |b| {
+        b.iter(|| black_box(run_mechanism(&cf, &profile).unwrap()));
+    });
+    group.bench_function("quadrature", |b| {
+        b.iter(|| black_box(run_mechanism(&q, &profile).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_verification_ablation,
+    bench_estimator_budget,
+    bench_archer_tardos_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Allocation benchmarks: the PR closed form vs the generic convex solver
+//! (the ablation on the allocation design choice), and scaling in `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_core::{pr_allocate, solve_convex, ConvexSolverOptions, Linear, Mm1};
+use std::hint::black_box;
+
+fn system_values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + (i % 7) as f64).collect()
+}
+
+fn bench_pr_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pr_allocate");
+    for n in [16usize, 64, 256, 1024, 4096] {
+        let values = system_values(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, values| {
+            b.iter(|| pr_allocate(black_box(values), black_box(20.0)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_convex_vs_closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation_ablation");
+    let values = system_values(64);
+    group.bench_function("closed_form_64", |b| {
+        b.iter(|| pr_allocate(black_box(&values), 20.0).unwrap());
+    });
+    let fns: Vec<Linear> = values.iter().map(|&t| Linear::new(t)).collect();
+    let refs: Vec<&Linear> = fns.iter().collect();
+    group.bench_function("convex_solver_64", |b| {
+        b.iter(|| solve_convex(black_box(&refs), 20.0, ConvexSolverOptions::default()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_mm1_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convex_mm1");
+    for n in [16usize, 256] {
+        let fns: Vec<Mm1> = (0..n).map(|i| Mm1::new(2.0 + (i % 5) as f64)).collect();
+        let refs: Vec<&Mm1> = fns.iter().collect();
+        let rate = 0.5 * fns.iter().map(|f| f.mu).sum::<f64>();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &refs, |b, refs| {
+            b.iter(|| solve_convex(black_box(refs), rate, ConvexSolverOptions::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pr_scaling, bench_convex_vs_closed_form, bench_mm1_solver);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure-regeneration benchmarks: one benchmark per paper table/figure,
+//! measuring the cost of regenerating exactly the series the paper reports.
+//! (The `experiments` binary prints them; these benches time them.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_bench::figures;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regen_tables");
+    group.bench_function("table1", |b| b.iter(|| black_box(figures::table1().render())));
+    group.bench_function("table2", |b| b.iter(|| black_box(figures::table2().render())));
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regen_figures");
+    group.bench_function("fig1_degradation", |b| {
+        b.iter(|| black_box(figures::figure1().unwrap().render()));
+    });
+    group.bench_function("fig2_c1_payment_utility", |b| {
+        b.iter(|| black_box(figures::figure2().unwrap().render()));
+    });
+    group.bench_function("fig3_per_computer_true1", |b| {
+        b.iter(|| black_box(figures::per_computer_figure("True1").unwrap().render()));
+    });
+    group.bench_function("fig4_per_computer_high1", |b| {
+        b.iter(|| black_box(figures::per_computer_figure("High1").unwrap().render()));
+    });
+    group.bench_function("fig5_per_computer_low1", |b| {
+        b.iter(|| black_box(figures::per_computer_figure("Low1").unwrap().render()));
+    });
+    group.bench_function("fig6_payment_structure", |b| {
+        b.iter(|| {
+            let (a, bb) = figures::figure6().unwrap();
+            black_box((a.render(), bb.render()))
+        });
+    });
+    group.finish();
+}
+
+fn bench_beyond_paper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regen_beyond_paper");
+    group.sample_size(10);
+    group.bench_function("message_counts", |b| {
+        b.iter(|| black_box(figures::message_counts().unwrap().render()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_beyond_paper);
+criterion_main!(benches);

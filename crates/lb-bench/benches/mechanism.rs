@@ -1,0 +1,66 @@
+//! Mechanism benchmarks: payment computation cost per mechanism and the
+//! per-table generators (Figures 1-6 regeneration cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::paper::{paper_experiments, run_experiment};
+use lb_core::System;
+use lb_mechanism::{
+    run_mechanism, ArcherTardosMechanism, CompensationBonusMechanism, Profile,
+    UnverifiedCompensationBonus,
+};
+use std::hint::black_box;
+
+fn profile(n: usize) -> Profile {
+    let values: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let sys = System::from_true_values(&values).unwrap();
+    Profile::truthful(&sys, 20.0).unwrap()
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism_round");
+    let p = profile(16);
+    let cb = CompensationBonusMechanism::paper();
+    let unv = UnverifiedCompensationBonus::paper();
+    let at = ArcherTardosMechanism::closed_form();
+    let atq = ArcherTardosMechanism::quadrature();
+    group.bench_function("compensation_bonus", |b| {
+        b.iter(|| run_mechanism(black_box(&cb), black_box(&p)).unwrap());
+    });
+    group.bench_function("unverified", |b| {
+        b.iter(|| run_mechanism(black_box(&unv), black_box(&p)).unwrap());
+    });
+    group.bench_function("archer_tardos_closed_form", |b| {
+        b.iter(|| run_mechanism(black_box(&at), black_box(&p)).unwrap());
+    });
+    group.bench_function("archer_tardos_quadrature", |b| {
+        b.iter(|| run_mechanism(black_box(&atq), black_box(&p)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_payment_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payments_scaling");
+    let cb = CompensationBonusMechanism::paper();
+    for n in [16usize, 64, 256, 1024] {
+        let p = profile(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| run_mechanism(black_box(&cb), black_box(p)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure_regeneration(c: &mut Criterion) {
+    // Each paper table/figure regenerates from the eight experiments; this
+    // measures the full analytic regeneration cost.
+    c.bench_function("regenerate_all_experiments", |b| {
+        b.iter(|| {
+            for spec in paper_experiments() {
+                black_box(run_experiment(&spec).unwrap());
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_mechanisms, bench_payment_scaling, bench_figure_regeneration);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Protocol benchmarks: codec throughput and full round cost (deterministic
+//! and threaded runtimes) across system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_mechanism::CompensationBonusMechanism;
+use lb_proto::codec::{decode, encode};
+use lb_proto::message::{Message, RoundId};
+use lb_proto::node::NodeSpec;
+use lb_proto::runtime::{run_protocol_round, ProtocolConfig};
+use lb_proto::threaded::run_protocol_round_threaded;
+use lb_sim::driver::SimulationConfig;
+use lb_sim::estimator::EstimatorConfig;
+use lb_sim::server::ServiceModel;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let msg = Message::Bid { round: RoundId(7), machine: 3, value: 2.5 };
+    let bytes = encode(&msg).unwrap();
+    group.bench_function("encode_bid", |b| {
+        b.iter(|| encode(black_box(&msg)).unwrap());
+    });
+    group.bench_function("decode_bid", |b| {
+        b.iter(|| decode::<Message>(black_box(&bytes)).unwrap());
+    });
+    group.finish();
+}
+
+fn proto_config() -> ProtocolConfig {
+    ProtocolConfig {
+        total_rate: 20.0,
+        link_latency: 0.0005,
+        simulation: SimulationConfig {
+            horizon: 100.0,
+            seed: 5,
+            model: ServiceModel::StationaryDeterministic,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: EstimatorConfig::default(),
+        },
+    }
+}
+
+fn specs(n: usize) -> Vec<NodeSpec> {
+    (0..n).map(|i| NodeSpec::truthful(1.0 + (i % 7) as f64)).collect()
+}
+
+fn bench_round_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_round");
+    group.sample_size(20);
+    let mech = CompensationBonusMechanism::paper();
+    for n in [16usize, 64, 256] {
+        let s = specs(n);
+        group.bench_with_input(BenchmarkId::new("deterministic", n), &s, |b, s| {
+            b.iter(|| run_protocol_round(black_box(&mech), s, &proto_config()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_threaded_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_round_threaded");
+    group.sample_size(10);
+    let mech = CompensationBonusMechanism::paper();
+    let s = specs(16);
+    group.bench_function("threaded_16", |b| {
+        b.iter(|| run_protocol_round_threaded(black_box(&mech), &s, &proto_config()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_faulty_round(c: &mut Criterion) {
+    use lb_proto::faults::{run_protocol_round_with_faults, FaultPlan};
+    let mut group = c.benchmark_group("protocol_faults");
+    group.sample_size(20);
+    let mech = CompensationBonusMechanism::paper();
+    let s = specs(16);
+    let plan = FaultPlan { lose_bids_from: vec![0], lose_acks_from: vec![5], partitioned: vec![] };
+    group.bench_function("lossy_round_16", |b| {
+        b.iter(|| {
+            run_protocol_round_with_faults(black_box(&mech), &s, &proto_config(), &plan).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    use lb_proto::audit::{audit_settlement, SettlementRecord};
+    let mech = CompensationBonusMechanism::paper();
+    let s = specs(16);
+    let outcome = run_protocol_round(&mech, &s, &proto_config()).unwrap();
+    let record = SettlementRecord {
+        bids: s.iter().map(|n| n.bid).collect(),
+        estimated_exec_values: outcome.estimated_exec_values.clone(),
+        total_rate: 20.0,
+        claimed_payments: outcome.payments,
+    };
+    c.bench_function("audit_settlement_16", |b| {
+        b.iter(|| audit_settlement(black_box(&mech), &record, 1e-9).unwrap());
+    });
+}
+
+fn bench_session(c: &mut Criterion) {
+    use lb_proto::session::run_session;
+    let mut group = c.benchmark_group("protocol_session");
+    group.sample_size(10);
+    let mech = CompensationBonusMechanism::paper();
+    let s = specs(16);
+    group.bench_function("ten_rounds_16", |b| {
+        b.iter(|| run_session(black_box(&mech), &proto_config(), 10, |_, _| s.clone()).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_round_scaling,
+    bench_threaded_round,
+    bench_faulty_round,
+    bench_audit,
+    bench_session
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Simulation benchmarks: discrete-event round cost per service model,
+//! horizon scaling and parallel replication speedup surface.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_core::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
+use lb_sim::driver::{simulate_round, SimulationConfig};
+use lb_sim::estimator::EstimatorConfig;
+use lb_sim::replication::replicate;
+use lb_sim::server::ServiceModel;
+use std::hint::black_box;
+
+fn config(model: ServiceModel, horizon: f64) -> SimulationConfig {
+    SimulationConfig { horizon, seed: 1, model, workload: Default::default(), warmup: 0.0, estimator: EstimatorConfig::default() }
+}
+
+fn bench_service_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_round_models");
+    let trues = paper_true_values();
+    for (name, model) in [
+        ("deterministic", ServiceModel::StationaryDeterministic),
+        ("exponential", ServiceModel::StationaryExponential),
+        ("mm1_queue", ServiceModel::Mm1Queue),
+    ] {
+        let cfg = config(model, 500.0);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                simulate_round(black_box(&trues), black_box(&trues), PAPER_ARRIVAL_RATE, &cfg)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_horizon_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_round_horizon");
+    group.sample_size(20);
+    let trues = paper_true_values();
+    for horizon in [250.0f64, 1_000.0, 4_000.0] {
+        let cfg = config(ServiceModel::StationaryExponential, horizon);
+        group.bench_with_input(BenchmarkId::from_parameter(horizon as u64), &cfg, |b, cfg| {
+            b.iter(|| {
+                simulate_round(black_box(&trues), black_box(&trues), PAPER_ARRIVAL_RATE, cfg).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication_threads");
+    group.sample_size(10);
+    let trues = paper_true_values();
+    let cfg = config(ServiceModel::StationaryExponential, 500.0);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                replicate(black_box(&trues), &trues, PAPER_ARRIVAL_RATE, &cfg, 16, threads).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_models, bench_horizon_scaling, bench_parallel_replication);
+criterion_main!(benches);

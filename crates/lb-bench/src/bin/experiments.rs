@@ -1,0 +1,145 @@
+//! Experiment harness CLI: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p lb-bench --bin experiments -- all
+//! cargo run -p lb-bench --bin experiments -- fig1
+//! ```
+
+use lb_bench::figures;
+
+fn print_section(title: &str, body: &str) {
+    println!("== {title} ==");
+    println!("{body}");
+}
+
+fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
+    match target {
+        "table1" => print_section("Table 1: system configuration", &figures::table1().render()),
+        "table2" => print_section("Table 2: experiment types", &figures::table2().render()),
+        "fig1" => print_section(
+            "Figure 1: performance degradation (total latency per experiment)",
+            &figures::figure1()?.render(),
+        ),
+        "fig2" => print_section(
+            "Figure 2: payment and utility of computer C1",
+            &figures::figure2()?.render(),
+        ),
+        "fig3" => print_section(
+            "Figure 3: payment and utility per computer (True1)",
+            &figures::per_computer_figure("True1")?.render(),
+        ),
+        "fig4" => print_section(
+            "Figure 4: payment and utility per computer (High1)",
+            &figures::per_computer_figure("High1")?.render(),
+        ),
+        "fig5" => print_section(
+            "Figure 5: payment and utility per computer (Low1)",
+            &figures::per_computer_figure("Low1")?.render(),
+        ),
+        "fig6" => {
+            let (sweep, per_exp) = figures::figure6()?;
+            print_section(
+                "Figure 6: payment structure (truthful profile, arrival-rate sweep)",
+                &sweep.render(),
+            );
+            print_section("Figure 6 (supplement): payment structure per experiment", &per_exp.render());
+        }
+        "fig1-sim" => print_section(
+            "Figure 1 via discrete-event simulation (stochastic service, estimated latency)",
+            &figures::figure1_simulated(2_000.0, 3)?.render(),
+        ),
+        "messages" => print_section(
+            "Protocol message counts (paper Sec. 3: O(n) messages per round)",
+            &figures::message_counts()?.render(),
+        ),
+        "faults" => print_section(
+            "Fault tolerance: lost bids / partitions / lost acks",
+            &figures::fault_tolerance()?.render(),
+        ),
+        "audit" => print_section(
+            "Distributed payment audit (paper's future work)",
+            &figures::audit_demo()?.render(),
+        ),
+        "learning" => print_section(
+            "Adaptive agents: epsilon-greedy learners discover truthfulness",
+            &figures::learning_demo()?.render(),
+        ),
+        "mm1" => print_section(
+            "Generalized mechanism on M/M/1 latencies (companion model, [ref.&nbsp;8])",
+            &figures::mm1_demo()?.render(),
+        ),
+        "bursty" => print_section(
+            "Bursty (MMPP) workloads vs the verification estimator",
+            &figures::bursty_demo()?.render(),
+        ),
+        "chart-fig1" => {
+            println!("{}", figures::figure1_chart()?.render());
+        }
+        "chart-fig2" => {
+            let (p, u) = figures::figure2_chart()?;
+            println!("{}", p.render());
+            println!("{}", u.render());
+        }
+        "multi-liar" => print_section(
+            "Multi-liar sweep (the paper's conjecture: more liars, more degradation)",
+            &figures::multi_liar_demo()?.render(),
+        ),
+        "sensitivity" => print_section(
+            "Lie-magnitude sensitivity of C1's utility (peak at the truthful bid)",
+            &figures::sensitivity_demo()?.render(),
+        ),
+        "churn" => print_section(
+            "Machine churn across protocol rounds",
+            &figures::churn_demo()?.render(),
+        ),
+        "baselines" => print_section(
+            "Classical allocation baselines vs the PR optimum",
+            &figures::baselines_demo()?.render(),
+        ),
+        "percentiles" => print_section(
+            "Per-job latency percentiles per experiment (P2 streaming quantiles)",
+            &figures::percentiles_demo()?.render(),
+        ),
+        "fees" => print_section(
+            "Fee-adjusted payments: deficit vs voluntary participation",
+            &figures::fees_demo()?.render(),
+        ),
+        "dynamic" => print_section(
+            "Dynamic load: static shares vs per-epoch reallocation",
+            &figures::dynamic_demo()?.render(),
+        ),
+        "ablation" => {
+            print_section(
+                "Ablation: verification on/off (C1 payment per experiment)",
+                &figures::ablation_verification()?.render(),
+            );
+            print_section(
+                "Ablation: estimator robustness (noise x horizon)",
+                &figures::ablation_estimator()?.render(),
+            );
+        }
+        "all" => {
+            for t in [
+                "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig1-sim",
+                "messages", "ablation", "faults", "audit", "learning", "mm1", "bursty", "dynamic",
+                "multi-liar", "sensitivity", "churn", "fees", "percentiles", "baselines",
+                "chart-fig1", "chart-fig2",
+            ] {
+                run(t)?;
+            }
+        }
+        other => {
+            eprintln!("unknown target '{other}'");
+            eprintln!(
+                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic all"
+            );
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    run(&target)
+}

@@ -1,0 +1,141 @@
+//! ASCII bar charts for the experiment harness.
+//!
+//! The paper's Figures 1–6 are bar charts; [`BarChart`] renders the same
+//! series in the terminal so `experiments -- chart-fig1` visually mirrors
+//! the paper's presentation (including negative bars, which Figure 2's Low2
+//! needs).
+
+use std::fmt::Write as _;
+
+/// A labelled horizontal bar chart with support for negative values.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    entries: Vec<(String, f64)>,
+    width: usize,
+}
+
+impl BarChart {
+    /// Creates an empty chart with the given title and bar area width.
+    ///
+    /// # Panics
+    /// Panics if `width < 10`.
+    #[must_use]
+    pub fn new(title: &str, width: usize) -> Self {
+        assert!(width >= 10, "BarChart: width too small");
+        Self { title: title.to_string(), entries: Vec::new(), width }
+    }
+
+    /// Adds one labelled bar.
+    ///
+    /// # Panics
+    /// Panics if `value` is not finite.
+    pub fn bar(&mut self, label: &str, value: f64) -> &mut Self {
+        assert!(value.is_finite(), "BarChart: non-finite value");
+        self.entries.push((label.to_string(), value));
+        self
+    }
+
+    /// Number of bars.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the chart has no bars.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the chart. Positive bars grow right from the zero axis,
+    /// negative bars grow left; the axis position adapts to the data range.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if self.entries.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let label_w = self.entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max = self.entries.iter().map(|&(_, v)| v.max(0.0)).fold(0.0f64, f64::max);
+        let min = self.entries.iter().map(|&(_, v)| v.min(0.0)).fold(0.0f64, f64::min);
+        let span = (max - min).max(f64::MIN_POSITIVE);
+        // Portion of the bar area left of the zero axis.
+        let neg_cells = ((-min / span) * self.width as f64).round() as usize;
+        let pos_cells = self.width - neg_cells;
+
+        for (label, value) in &self.entries {
+            let _ = write!(out, "{label:>label_w$} |");
+            if *value >= 0.0 {
+                let cells = if max > 0.0 {
+                    ((value / max) * pos_cells as f64).round() as usize
+                } else {
+                    0
+                };
+                let _ = write!(out, "{}{}", " ".repeat(neg_cells), "#".repeat(cells.max(usize::from(*value > 0.0))));
+            } else {
+                let cells = ((-value / -min.min(-f64::MIN_POSITIVE)) * neg_cells as f64).round() as usize;
+                let cells = cells.max(1).min(neg_cells);
+                let _ = write!(out, "{}{}", " ".repeat(neg_cells - cells), "#".repeat(cells));
+            }
+            let _ = writeln!(out, "  {value:.2}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_bars_scale_with_values() {
+        let mut c = BarChart::new("latency", 40);
+        c.bar("True1", 78.43).bar("Low2", 130.07);
+        let s = c.render();
+        assert!(s.starts_with("latency\n"));
+        let true1_hashes = s.lines().nth(1).unwrap().matches('#').count();
+        let low2_hashes = s.lines().nth(2).unwrap().matches('#').count();
+        assert!(low2_hashes > true1_hashes);
+        assert_eq!(low2_hashes, 40, "largest bar fills the width");
+        assert!(s.contains("78.43") && s.contains("130.07"));
+    }
+
+    #[test]
+    fn negative_bars_grow_left_of_the_axis() {
+        let mut c = BarChart::new("payments", 40);
+        c.bar("True1", 23.05).bar("Low2", -19.40);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // The negative bar's hashes appear before the positive region.
+        let neg_line = lines[2];
+        let pos_line = lines[1];
+        let neg_first = neg_line.find('#').unwrap();
+        let pos_first = pos_line.find('#').unwrap();
+        assert!(neg_first < pos_first, "{s}");
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let c = BarChart::new("empty", 20);
+        assert!(c.is_empty());
+        assert!(c.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn zero_values_render_without_bars() {
+        let mut c = BarChart::new("zeros", 20);
+        c.bar("a", 0.0).bar("b", 5.0);
+        let s = c.render();
+        assert_eq!(s.lines().nth(1).unwrap().matches('#').count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_is_rejected() {
+        let mut c = BarChart::new("bad", 20);
+        c.bar("x", f64::NAN);
+    }
+}

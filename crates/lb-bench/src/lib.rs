@@ -1,0 +1,24 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Sec. 4), plus the ablations described in `DESIGN.md`.
+//!
+//! * [`paper`] — the eight Table 2 experiments and their execution, both
+//!   analytically (closed forms) and through the full simulation pipeline.
+//! * [`figures`] — data series for Figures 1–6 and the extra analyses
+//!   (message counts, ablations).
+//! * [`tables`] — fixed-width ASCII table rendering for the `experiments`
+//!   binary.
+//!
+//! The `experiments` binary prints the same rows/series the paper reports:
+//!
+//! ```text
+//! cargo run -p lb-bench --bin experiments -- all
+//! ```
+
+pub mod chart;
+pub mod figures;
+pub mod paper;
+pub mod tables;
+
+pub use paper::{paper_experiments, run_experiment, ExperimentResult, ExperimentSpec};
+pub use chart::BarChart;
+pub use tables::Table;

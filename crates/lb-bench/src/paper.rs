@@ -1,0 +1,321 @@
+//! The paper's eight Table 2 experiments.
+//!
+//! All computers except C1 bid their true values and execute at full
+//! capacity; C1's bid factor and execution factor define the experiment
+//! (Table 2 of the paper, constants recovered as documented in `DESIGN.md`).
+
+use lb_core::scenario::{paper_system, PAPER_ARRIVAL_RATE, PAPER_STRATEGIC_MACHINE};
+use lb_mechanism::{
+    frugality_ratio, run_mechanism, CompensationBonusMechanism, MechanismError, Profile,
+};
+use lb_sim::driver::{verified_round, SimulationConfig};
+
+/// One of the paper's experiment types (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name as printed in the paper ("True1" … "Low2").
+    pub name: &'static str,
+    /// Bid factor applied to C1's true value.
+    pub bid_factor: f64,
+    /// Execution factor applied to C1's true value.
+    pub exec_factor: f64,
+    /// Paper's one-line characterisation.
+    pub description: &'static str,
+}
+
+/// The eight experiments of Table 2, in the paper's order.
+#[must_use]
+pub fn paper_experiments() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec {
+            name: "True1",
+            bid_factor: 1.0,
+            exec_factor: 1.0,
+            description: "all truthful, full capacity (optimum)",
+        },
+        ExperimentSpec {
+            name: "True2",
+            bid_factor: 1.0,
+            exec_factor: 2.0,
+            description: "truthful bid, 2x slower execution",
+        },
+        ExperimentSpec {
+            name: "High1",
+            bid_factor: 3.0,
+            exec_factor: 3.0,
+            description: "bids 3x higher, executes at the bid",
+        },
+        ExperimentSpec {
+            name: "High2",
+            bid_factor: 3.0,
+            exec_factor: 1.0,
+            description: "bids 3x higher, executes at full capacity",
+        },
+        ExperimentSpec {
+            name: "High3",
+            bid_factor: 3.0,
+            exec_factor: 2.0,
+            description: "bids 3x higher, executes faster than the bid",
+        },
+        ExperimentSpec {
+            name: "High4",
+            bid_factor: 3.0,
+            exec_factor: 6.0,
+            description: "bids 3x higher, executes slower than the bid",
+        },
+        ExperimentSpec {
+            name: "Low1",
+            bid_factor: 0.5,
+            exec_factor: 1.0,
+            description: "bids 2x lower, executes at full capacity",
+        },
+        ExperimentSpec {
+            name: "Low2",
+            bid_factor: 0.5,
+            exec_factor: 2.0,
+            description: "bids 2x lower, executes 2x slower",
+        },
+    ]
+}
+
+/// Looks up an experiment by name (case-insensitive).
+#[must_use]
+pub fn experiment_by_name(name: &str) -> Option<ExperimentSpec> {
+    paper_experiments().into_iter().find(|e| e.name.eq_ignore_ascii_case(name))
+}
+
+/// The full accounting of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Which experiment this is.
+    pub spec: ExperimentSpec,
+    /// Realised total latency `L`.
+    pub total_latency: f64,
+    /// Relative degradation against the True1 optimum.
+    pub degradation: f64,
+    /// Per-computer payments.
+    pub payments: Vec<f64>,
+    /// Per-computer utilities.
+    pub utilities: Vec<f64>,
+    /// Total payment / total valuation (Figure 6).
+    pub frugality: f64,
+    /// Total payment handed out.
+    pub total_payment: f64,
+    /// Total |valuation|.
+    pub total_valuation: f64,
+}
+
+impl ExperimentResult {
+    /// C1's payment.
+    #[must_use]
+    pub fn c1_payment(&self) -> f64 {
+        self.payments[PAPER_STRATEGIC_MACHINE]
+    }
+
+    /// C1's utility.
+    #[must_use]
+    pub fn c1_utility(&self) -> f64 {
+        self.utilities[PAPER_STRATEGIC_MACHINE]
+    }
+}
+
+/// The profile realising an experiment on the paper system.
+///
+/// # Errors
+/// Propagates profile validation errors.
+pub fn experiment_profile(spec: &ExperimentSpec) -> Result<Profile, MechanismError> {
+    Profile::with_deviation(
+        &paper_system(),
+        PAPER_ARRIVAL_RATE,
+        PAPER_STRATEGIC_MACHINE,
+        spec.bid_factor,
+        spec.exec_factor,
+    )
+}
+
+/// Runs one experiment analytically (exact closed forms — what the paper's
+/// own numbers are computed from).
+///
+/// # Errors
+/// Propagates mechanism errors.
+pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentResult, MechanismError> {
+    let mechanism = CompensationBonusMechanism::paper();
+    let profile = experiment_profile(spec)?;
+    let outcome = run_mechanism(&mechanism, &profile)?;
+    let optimal = lb_core::optimal_latency_linear(
+        &paper_system().true_values(),
+        PAPER_ARRIVAL_RATE,
+    )?;
+    Ok(ExperimentResult {
+        spec: *spec,
+        total_latency: outcome.total_latency,
+        degradation: (outcome.total_latency - optimal) / optimal,
+        frugality: frugality_ratio(&outcome),
+        total_payment: outcome.total_payment(),
+        total_valuation: outcome.total_valuation_abs(),
+        payments: outcome.payments,
+        utilities: outcome.utilities,
+    })
+}
+
+/// Runs one experiment through the full simulation + verification pipeline
+/// (what an actual deployment would measure).
+///
+/// # Errors
+/// Propagates mechanism/simulation errors.
+pub fn run_experiment_simulated(
+    spec: &ExperimentSpec,
+    config: &SimulationConfig,
+) -> Result<ExperimentResult, MechanismError> {
+    let mechanism = CompensationBonusMechanism::paper();
+    let profile = experiment_profile(spec)?;
+    let round = verified_round(&mechanism, &profile, config)?;
+    let outcome = round.outcome;
+    let optimal =
+        lb_core::optimal_latency_linear(&paper_system().true_values(), PAPER_ARRIVAL_RATE)?;
+    // Realised latency: from the measurement plane, not the estimates.
+    let measured = round.report.estimated_total_latency;
+    Ok(ExperimentResult {
+        spec: *spec,
+        total_latency: measured,
+        degradation: (measured - optimal) / optimal,
+        frugality: frugality_ratio(&outcome),
+        total_payment: outcome.total_payment(),
+        total_valuation: outcome.total_valuation_abs(),
+        payments: outcome.payments,
+        utilities: outcome.utilities,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_sim::server::ServiceModel;
+
+    #[test]
+    fn there_are_eight_experiments_in_paper_order() {
+        let e = paper_experiments();
+        assert_eq!(e.len(), 8);
+        let names: Vec<&str> = e.iter().map(|x| x.name).collect();
+        assert_eq!(names, ["True1", "True2", "High1", "High2", "High3", "High4", "Low1", "Low2"]);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(experiment_by_name("low2").unwrap().name, "Low2");
+        assert!(experiment_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn true1_reproduces_the_paper_optimum() {
+        let r = run_experiment(&experiment_by_name("True1").unwrap()).unwrap();
+        assert!((r.total_latency - 78.431_372_549).abs() < 1e-6, "L = {}", r.total_latency);
+        assert!(r.degradation.abs() < 1e-9);
+    }
+
+    #[test]
+    fn low1_and_low2_match_paper_percentages() {
+        // Paper: Low1 ≈ +11%, Low2 ≈ +66%.
+        let low1 = run_experiment(&experiment_by_name("Low1").unwrap()).unwrap();
+        assert!((low1.degradation - 0.110).abs() < 0.005, "Low1 {}", low1.degradation);
+        let low2 = run_experiment(&experiment_by_name("Low2").unwrap()).unwrap();
+        assert!((low2.degradation - 0.659).abs() < 0.005, "Low2 {}", low2.degradation);
+    }
+
+    #[test]
+    fn utility_drops_match_paper_percentages() {
+        // Paper: C1's utility is 62% lower in High1 and 45% lower in Low1.
+        let true1 = run_experiment(&experiment_by_name("True1").unwrap()).unwrap();
+        let high1 = run_experiment(&experiment_by_name("High1").unwrap()).unwrap();
+        let low1 = run_experiment(&experiment_by_name("Low1").unwrap()).unwrap();
+        let drop_high = 1.0 - high1.c1_utility() / true1.c1_utility();
+        let drop_low = 1.0 - low1.c1_utility() / true1.c1_utility();
+        assert!((drop_high - 0.62).abs() < 0.01, "High1 drop {drop_high}");
+        assert!((drop_low - 0.45).abs() < 0.01, "Low1 drop {drop_low}");
+    }
+
+    #[test]
+    fn true1_maximizes_c1_utility_across_experiments() {
+        // Paper: "C1 obtains the highest utility in the experiment True1".
+        let results: Vec<ExperimentResult> =
+            paper_experiments().iter().map(|s| run_experiment(s).unwrap()).collect();
+        let true1_utility = results[0].c1_utility();
+        for r in &results[1..] {
+            assert!(r.c1_utility() < true1_utility, "{} beats True1", r.spec.name);
+        }
+    }
+
+    #[test]
+    fn low2_has_negative_payment_and_utility() {
+        let r = run_experiment(&experiment_by_name("Low2").unwrap()).unwrap();
+        assert!(r.c1_payment() < 0.0);
+        assert!(r.c1_utility() < 0.0);
+    }
+
+    #[test]
+    fn high_ordering_matches_prose() {
+        // High2 (full capacity) < High3 (faster than bid) < High1 (at bid)
+        // < High4 (slower than bid) in total latency.
+        let l = |n: &str| run_experiment(&experiment_by_name(n).unwrap()).unwrap().total_latency;
+        assert!(l("High2") < l("High3"));
+        assert!(l("High3") < l("High1"));
+        assert!(l("High1") < l("High4"));
+    }
+
+    #[test]
+    fn frugality_is_bounded_by_paper_limit_in_the_truthful_regime() {
+        // Figure 6: for the truthful profile, total payment stays within
+        // 2.5x the total valuation across the evaluated arrival-rate range
+        // (it peaks at ~2.42 at the paper's R = 20).
+        let sys = paper_system();
+        let mech = CompensationBonusMechanism::paper();
+        let mut max_ratio = 0.0f64;
+        for k in 1..=10 {
+            let r = 2.0 * f64::from(k);
+            let profile = Profile::truthful(&sys, r).unwrap();
+            let out = run_mechanism(&mech, &profile).unwrap();
+            let ratio = frugality_ratio(&out);
+            assert!(ratio >= 1.0, "R={r}: ratio {ratio} below valuation floor");
+            max_ratio = max_ratio.max(ratio);
+        }
+        assert!(max_ratio <= 2.5, "max ratio {max_ratio} above paper bound");
+        assert!((max_ratio - 2.42).abs() < 0.01, "max ratio {max_ratio}");
+    }
+
+    #[test]
+    fn manipulation_can_push_payments_outside_the_frugal_regime() {
+        // The 2.5x bound is a property of the truthful equilibrium; a
+        // manipulated round like High2 (over-bid, fast execution) extracts
+        // over-payment beyond it — part of why truthfulness matters.
+        let high2 = run_experiment(&experiment_by_name("High2").unwrap()).unwrap();
+        assert!(high2.frugality > 2.5, "High2 frugality {}", high2.frugality);
+    }
+
+    #[test]
+    fn simulated_pipeline_matches_analytic_in_deterministic_mode() {
+        let config = SimulationConfig {
+            horizon: 500.0,
+            seed: 11,
+            model: ServiceModel::StationaryDeterministic,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: lb_sim::estimator::EstimatorConfig::default(),
+        };
+        for spec in paper_experiments() {
+            let analytic = run_experiment(&spec).unwrap();
+            let simulated = run_experiment_simulated(&spec, &config).unwrap();
+            assert!(
+                (analytic.total_latency - simulated.total_latency).abs() < 1e-6,
+                "{}: {} vs {}",
+                spec.name,
+                analytic.total_latency,
+                simulated.total_latency
+            );
+            assert!(
+                (analytic.c1_payment() - simulated.c1_payment()).abs() < 1e-6,
+                "{}: payment mismatch",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Feasible allocations and the paper's PR (proportional-rate) algorithm.
+//!
+//! Theorem 2.1 of the paper: for linear latency functions `l_i(x) = t_i·x`,
+//! the allocation minimising the total latency `L(x) = Σ t_i x_i²` subject to
+//! `Σ x_i = R`, `x_i ≥ 0` is
+//!
+//! ```text
+//! x_i* = (1/t_i) / (Σ_j 1/t_j) · R          (PR algorithm)
+//! L*   = R² / (Σ_j 1/t_j)
+//! ```
+//!
+//! i.e. jobs are allocated in proportion to processing rates. These closed
+//! forms are the base of both the mechanism (allocation on *bids*) and the
+//! bonus term (optimal latency *excluding* one agent).
+
+use crate::error::CoreError;
+use crate::latency::LatencyFunction;
+use crate::machine::{validate_values, System};
+use serde::{Deserialize, Serialize};
+
+/// Default tolerance used when checking allocation feasibility.
+pub const FEASIBILITY_TOL: f64 = 1e-9;
+
+/// A job-rate allocation across the machines of a [`System`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    rates: Vec<f64>,
+}
+
+impl Allocation {
+    /// Wraps raw per-machine rates after validating feasibility against the
+    /// total rate `r` (positivity and conservation, to `FEASIBILITY_TOL`
+    /// relative tolerance).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Infeasible`] when a rate is negative/non-finite
+    /// or the rates do not sum to `r`.
+    pub fn new(rates: Vec<f64>, r: f64) -> Result<Self, CoreError> {
+        if rates.is_empty() {
+            return Err(CoreError::EmptySystem);
+        }
+        for (i, &x) in rates.iter().enumerate() {
+            if !x.is_finite() || x < 0.0 {
+                return Err(CoreError::Infeasible {
+                    reason: format!("rate x[{i}] = {x} violates positivity"),
+                });
+            }
+        }
+        let sum: f64 = rates.iter().sum();
+        if (sum - r).abs() > FEASIBILITY_TOL * r.abs().max(1.0) {
+            return Err(CoreError::Infeasible {
+                reason: format!("rates sum to {sum}, expected {r}"),
+            });
+        }
+        Ok(Self { rates })
+    }
+
+    /// Wraps rates without feasibility checks (for internal construction
+    /// where feasibility holds by algebra).
+    #[must_use]
+    pub(crate) fn from_raw(rates: Vec<f64>) -> Self {
+        Self { rates }
+    }
+
+    /// Per-machine job rates, in machine order.
+    #[must_use]
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Rate assigned to machine `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn rate(&self, i: usize) -> f64 {
+        self.rates[i]
+    }
+
+    /// Number of machines covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the allocation covers zero machines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Total allocated rate `Σ x_i`.
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Checks feasibility against total rate `r` within `tol`.
+    #[must_use]
+    pub fn is_feasible(&self, r: f64, tol: f64) -> bool {
+        self.rates.iter().all(|&x| x.is_finite() && x >= -tol)
+            && (self.total_rate() - r).abs() <= tol * r.abs().max(1.0)
+    }
+}
+
+/// Validates a total arrival rate.
+///
+/// # Errors
+/// Returns [`CoreError::InvalidRate`] unless `r` is finite and positive.
+pub fn validate_rate(r: f64) -> Result<(), CoreError> {
+    if r.is_finite() && r > 0.0 {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidRate(r))
+    }
+}
+
+/// The paper's **PR algorithm** (Sec. 2): allocate the total rate `r` in
+/// proportion to the processing rates `1/values[i]`.
+///
+/// `values` are the latency coefficients the allocation is computed *from*:
+/// true values in the classical setting, **bids** inside the mechanism.
+///
+/// ```
+/// use lb_core::pr_allocate;
+/// // Machine 0 is twice as fast as machine 1: it gets twice the load.
+/// let alloc = pr_allocate(&[1.0, 2.0], 3.0)?;
+/// assert!((alloc.rate(0) - 2.0).abs() < 1e-12);
+/// assert!((alloc.rate(1) - 1.0).abs() < 1e-12);
+/// # Ok::<(), lb_core::CoreError>(())
+/// ```
+///
+/// # Errors
+/// Returns an error for empty/invalid `values` or an invalid rate.
+pub fn pr_allocate(values: &[f64], r: f64) -> Result<Allocation, CoreError> {
+    validate_values("latency coefficient", values)?;
+    validate_rate(r)?;
+    let inv_sum: f64 = values.iter().map(|t| 1.0 / t).sum();
+    let rates = values.iter().map(|t| (1.0 / t) / inv_sum * r).collect();
+    Ok(Allocation::from_raw(rates))
+}
+
+/// Total latency `L(x) = Σ values[i] · x_i²` of an allocation under linear
+/// latency coefficients `values` (execution values in the mechanism).
+///
+/// # Errors
+/// Returns [`CoreError::LengthMismatch`] when the arities differ.
+pub fn total_latency_linear(alloc: &Allocation, values: &[f64]) -> Result<f64, CoreError> {
+    if alloc.len() != values.len() {
+        return Err(CoreError::LengthMismatch { expected: values.len(), actual: alloc.len() });
+    }
+    Ok(alloc.rates().iter().zip(values).map(|(&x, &t)| t * x * x).sum())
+}
+
+/// Closed-form minimum total latency for linear latencies (Theorem 2.1):
+/// `L* = r² / Σ (1/values[i])`.
+///
+/// # Errors
+/// Returns an error for empty/invalid `values` or an invalid rate.
+pub fn optimal_latency_linear(values: &[f64], r: f64) -> Result<f64, CoreError> {
+    validate_values("latency coefficient", values)?;
+    validate_rate(r)?;
+    let inv_sum: f64 = values.iter().map(|t| 1.0 / t).sum();
+    Ok(r * r / inv_sum)
+}
+
+/// Optimal total latency when machine `exclude` is removed from the system —
+/// the `L_{-i}` term of the paper's bonus (Def. 3.3).
+///
+/// # Errors
+/// Returns [`CoreError::EmptySystem`] when fewer than two machines exist
+/// (removing the only machine leaves nothing to serve the load), or any
+/// validation error from the remaining values.
+pub fn optimal_latency_excluding(values: &[f64], exclude: usize, r: f64) -> Result<f64, CoreError> {
+    if exclude >= values.len() {
+        return Err(CoreError::LengthMismatch { expected: values.len(), actual: exclude });
+    }
+    if values.len() < 2 {
+        return Err(CoreError::EmptySystem);
+    }
+    let remaining: Vec<f64> =
+        values.iter().enumerate().filter(|&(i, _)| i != exclude).map(|(_, &v)| v).collect();
+    optimal_latency_linear(&remaining, r)
+}
+
+/// Total latency of an allocation under arbitrary latency functions.
+///
+/// # Errors
+/// Returns [`CoreError::LengthMismatch`] when the arities differ.
+pub fn total_latency_fn<F: LatencyFunction + ?Sized>(
+    alloc: &Allocation,
+    fns: &[&F],
+) -> Result<f64, CoreError> {
+    if alloc.len() != fns.len() {
+        return Err(CoreError::LengthMismatch { expected: fns.len(), actual: alloc.len() });
+    }
+    Ok(alloc.rates().iter().zip(fns).map(|(&x, f)| f.total(x)).sum())
+}
+
+/// Convenience: the optimal allocation and latency for a [`System`] when all
+/// machines are truthful (classical, obedient setting).
+///
+/// # Errors
+/// Propagates validation errors from [`pr_allocate`].
+pub fn classical_optimum(system: &System, r: f64) -> Result<(Allocation, f64), CoreError> {
+    let values = system.true_values();
+    let alloc = pr_allocate(&values, r)?;
+    let latency = total_latency_linear(&alloc, &values)?;
+    Ok((alloc, latency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pr_on_homogeneous_system_splits_evenly() {
+        let a = pr_allocate(&[2.0, 2.0, 2.0, 2.0], 8.0).unwrap();
+        for &x in a.rates() {
+            assert!((x - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pr_is_proportional_to_processing_rates() {
+        // t = [1, 2]: machine 0 is twice as fast, gets twice the load.
+        let a = pr_allocate(&[1.0, 2.0], 3.0).unwrap();
+        assert!((a.rate(0) - 2.0).abs() < 1e-12);
+        assert!((a.rate(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_single_machine_gets_everything() {
+        let a = pr_allocate(&[3.0], 5.0).unwrap();
+        assert_eq!(a.rates(), &[5.0]);
+    }
+
+    #[test]
+    fn pr_conserves_rate() {
+        let a = pr_allocate(&[1.0, 2.0, 5.0, 10.0], 20.0).unwrap();
+        assert!((a.total_rate() - 20.0).abs() < 1e-9);
+        assert!(a.is_feasible(20.0, 1e-9));
+    }
+
+    #[test]
+    fn optimal_latency_matches_direct_evaluation() {
+        let values = [1.0, 2.0, 5.0];
+        let r = 7.0;
+        let a = pr_allocate(&values, r).unwrap();
+        let direct = total_latency_linear(&a, &values).unwrap();
+        let closed = optimal_latency_linear(&values, r).unwrap();
+        assert!((direct - closed).abs() < 1e-9, "{direct} vs {closed}");
+    }
+
+    #[test]
+    fn paper_minimum_latency_is_reproduced() {
+        // Table 1 system + R = 20 -> L* = 400/5.1 = 78.43 (paper, True1).
+        let values = crate::scenario::paper_true_values();
+        let l = optimal_latency_linear(&values, 20.0).unwrap();
+        assert!((l - 78.431_372_549_019_6).abs() < 1e-9, "L* = {l}");
+    }
+
+    #[test]
+    fn excluding_machine_raises_optimal_latency() {
+        let values = [1.0, 2.0, 4.0];
+        let r = 5.0;
+        let all = optimal_latency_linear(&values, r).unwrap();
+        for i in 0..values.len() {
+            let without = optimal_latency_excluding(&values, i, r).unwrap();
+            assert!(without > all, "excluding {i}: {without} <= {all}");
+        }
+    }
+
+    #[test]
+    fn excluding_fastest_hurts_most() {
+        let values = [1.0, 2.0, 4.0];
+        let r = 5.0;
+        let w0 = optimal_latency_excluding(&values, 0, r).unwrap();
+        let w2 = optimal_latency_excluding(&values, 2, r).unwrap();
+        assert!(w0 > w2);
+    }
+
+    #[test]
+    fn excluding_from_singleton_system_errors() {
+        assert!(matches!(
+            optimal_latency_excluding(&[1.0], 0, 2.0),
+            Err(CoreError::EmptySystem)
+        ));
+    }
+
+    #[test]
+    fn excluding_out_of_range_errors() {
+        assert!(optimal_latency_excluding(&[1.0, 2.0], 5, 2.0).is_err());
+    }
+
+    #[test]
+    fn allocation_validation_rejects_bad_rates() {
+        assert!(Allocation::new(vec![1.0, -0.5], 0.5).is_err());
+        assert!(Allocation::new(vec![1.0, f64::NAN], 1.0).is_err());
+        assert!(Allocation::new(vec![1.0, 1.0], 3.0).is_err()); // conservation
+        assert!(Allocation::new(vec![], 0.0).is_err());
+        assert!(Allocation::new(vec![2.0, 1.0], 3.0).is_ok());
+    }
+
+    #[test]
+    fn total_latency_linear_known_value() {
+        let a = Allocation::new(vec![2.0, 1.0], 3.0).unwrap();
+        // L = 1*4 + 2*1 = 6.
+        let l = total_latency_linear(&a, &[1.0, 2.0]).unwrap();
+        assert!((l - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_latency_fn_matches_linear_path() {
+        use crate::latency::Linear;
+        let a = Allocation::new(vec![2.0, 1.0], 3.0).unwrap();
+        let f0 = Linear::new(1.0);
+        let f1 = Linear::new(2.0);
+        let fns: Vec<&dyn LatencyFunction> = vec![&f0, &f1];
+        let via_fn = total_latency_fn(&a, &fns).unwrap();
+        let via_lin = total_latency_linear(&a, &[1.0, 2.0]).unwrap();
+        assert!((via_fn - via_lin).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arity_mismatches_are_reported() {
+        let a = Allocation::new(vec![1.0], 1.0).unwrap();
+        assert!(matches!(
+            total_latency_linear(&a, &[1.0, 2.0]),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_rate_is_rejected() {
+        assert!(pr_allocate(&[1.0], 0.0).is_err());
+        assert!(pr_allocate(&[1.0], -3.0).is_err());
+        assert!(pr_allocate(&[1.0], f64::INFINITY).is_err());
+        assert!(optimal_latency_linear(&[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn classical_optimum_on_system() {
+        let sys = System::from_true_values(&[1.0, 3.0]).unwrap();
+        let (alloc, latency) = classical_optimum(&sys, 4.0).unwrap();
+        assert!((alloc.rate(0) - 3.0).abs() < 1e-12);
+        assert!((alloc.rate(1) - 1.0).abs() < 1e-12);
+        assert!((latency - (1.0 * 9.0 + 3.0 * 1.0)).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// PR allocations are always feasible.
+        #[test]
+        fn prop_pr_is_feasible(
+            values in proptest::collection::vec(0.01f64..100.0, 1..32),
+            r in 0.01f64..1e4,
+        ) {
+            let a = pr_allocate(&values, r).unwrap();
+            prop_assert!(a.is_feasible(r, 1e-6));
+        }
+
+        /// PR matches the closed-form optimum and no feasible perturbation
+        /// improves on it (local optimality certificate of Theorem 2.1).
+        #[test]
+        fn prop_pr_is_unimprovable(
+            values in proptest::collection::vec(0.05f64..20.0, 2..12),
+            r in 0.1f64..100.0,
+            from in 0usize..12,
+            to in 0usize..12,
+            frac in 0.01f64..0.5,
+        ) {
+            let n = values.len();
+            let from = from % n;
+            let to = to % n;
+            prop_assume!(from != to);
+            let a = pr_allocate(&values, r).unwrap();
+            let base = total_latency_linear(&a, &values).unwrap();
+
+            // Move a fraction of machine `from`'s load to machine `to`.
+            let delta = a.rate(from) * frac;
+            let mut rates = a.rates().to_vec();
+            rates[from] -= delta;
+            rates[to] += delta;
+            let perturbed = Allocation::from_raw(rates);
+            let worse = total_latency_linear(&perturbed, &values).unwrap();
+            prop_assert!(worse >= base - 1e-9 * base.abs().max(1.0),
+                "perturbation improved latency: {} < {}", worse, base);
+        }
+
+        /// The closed-form optimum equals the PR allocation's latency.
+        #[test]
+        fn prop_closed_form_consistency(
+            values in proptest::collection::vec(0.05f64..20.0, 1..16),
+            r in 0.1f64..100.0,
+        ) {
+            let a = pr_allocate(&values, r).unwrap();
+            let direct = total_latency_linear(&a, &values).unwrap();
+            let closed = optimal_latency_linear(&values, r).unwrap();
+            prop_assert!((direct - closed).abs() < 1e-7 * closed.max(1.0));
+        }
+
+        /// Scaling all true values leaves the PR allocation unchanged
+        /// (only relative speeds matter).
+        #[test]
+        fn prop_pr_scale_invariance(
+            values in proptest::collection::vec(0.05f64..20.0, 1..16),
+            r in 0.1f64..100.0,
+            scale in 0.1f64..10.0,
+        ) {
+            let a = pr_allocate(&values, r).unwrap();
+            let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+            let b = pr_allocate(&scaled, r).unwrap();
+            for (x, y) in a.rates().iter().zip(b.rates()) {
+                prop_assert!((x - y).abs() < 1e-9 * x.abs().max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Sensitivity analysis of the optimal latency.
+//!
+//! Closed-form derivatives of `L*(t, R) = R² / Σ(1/t_j)` answer operational
+//! questions the mechanism's payments are built around:
+//!
+//! * **Marginal value of speed** — `∂L*/∂t_i = R²·(1/t_i²)/S²` with
+//!   `S = Σ 1/t_j`: how much the system-wide latency falls per unit of
+//!   machine-`i` speedup. Capacity upgrades should go to the machine with
+//!   the largest value, which is *the currently fastest* one (economies of
+//!   concentration under linear latencies).
+//! * **Marginal value of participation** — `L_{-i} − L*`, which is exactly
+//!   the truthful bonus the mechanism pays (Def. 3.3): the payment rule
+//!   prices participation at its sensitivity value.
+
+use crate::allocation::{optimal_latency_excluding, optimal_latency_linear, validate_rate};
+use crate::error::CoreError;
+use crate::machine::validate_values;
+
+/// `∂L*/∂t_i` for every machine: the system-latency reduction per unit
+/// *decrease* of `t_i` is the negation of the returned entry.
+///
+/// Derivation: `L* = R²/S`, `∂S/∂t_i = −1/t_i²`, so
+/// `∂L*/∂t_i = R²·(1/t_i²)/S²`.
+///
+/// # Errors
+/// Propagates validation errors.
+pub fn latency_sensitivity(values: &[f64], r: f64) -> Result<Vec<f64>, CoreError> {
+    validate_values("latency coefficient", values)?;
+    validate_rate(r)?;
+    let s: f64 = values.iter().map(|t| 1.0 / t).sum();
+    Ok(values.iter().map(|t| r * r / (t * t * s * s)).collect())
+}
+
+/// Marginal contribution of every machine: `L_{-i} − L*` — the reduction in
+/// optimal total latency its participation buys (and its truthful bonus).
+///
+/// # Errors
+/// Propagates validation errors; needs at least two machines.
+pub fn marginal_contributions(values: &[f64], r: f64) -> Result<Vec<f64>, CoreError> {
+    let full = optimal_latency_linear(values, r)?;
+    (0..values.len())
+        .map(|i| Ok(optimal_latency_excluding(values, i, r)? - full))
+        .collect()
+}
+
+/// Which machine to speed up: index of the largest `∂L*/∂t_i`.
+///
+/// # Errors
+/// Propagates validation errors.
+pub fn best_upgrade_target(values: &[f64], r: f64) -> Result<usize, CoreError> {
+    let sens = latency_sensitivity(values, r)?;
+    // First maximal index (stable under ties between equal machines).
+    let mut best = 0;
+    for (i, s) in sens.iter().enumerate().skip(1) {
+        if *s > sens[best] {
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
+    use proptest::prelude::*;
+
+    #[test]
+    fn sensitivity_matches_finite_differences() {
+        let values = paper_true_values();
+        let r = PAPER_ARRIVAL_RATE;
+        let sens = latency_sensitivity(&values, r).unwrap();
+        let h = 1e-7;
+        for i in 0..values.len() {
+            let mut up = values.clone();
+            up[i] += h;
+            let mut down = values.clone();
+            down[i] -= h;
+            let num = (optimal_latency_linear(&up, r).unwrap()
+                - optimal_latency_linear(&down, r).unwrap())
+                / (2.0 * h);
+            assert!((num - sens[i]).abs() < 1e-4 * sens[i].max(1.0), "machine {i}: {num} vs {}", sens[i]);
+        }
+    }
+
+    #[test]
+    fn fastest_machine_is_the_best_upgrade_target() {
+        let values = paper_true_values();
+        let target = best_upgrade_target(&values, PAPER_ARRIVAL_RATE).unwrap();
+        // C1 (t = 1) is fastest; 1/t² dominates despite the shared S².
+        assert_eq!(target, 0);
+    }
+
+    #[test]
+    fn marginal_contributions_equal_truthful_bonuses() {
+        // The mechanism's truthful bonus is the marginal contribution: check
+        // C1's published value 400/4.1 - 400/5.1 = 19.13.
+        let values = paper_true_values();
+        let mc = marginal_contributions(&values, PAPER_ARRIVAL_RATE).unwrap();
+        assert!((mc[0] - (400.0 / 4.1 - 400.0 / 5.1)).abs() < 1e-9);
+        // Faster machines contribute more.
+        assert!(mc[0] > mc[2] && mc[2] > mc[5] && mc[5] > mc[10]);
+    }
+
+    proptest! {
+        /// Sensitivities are positive and ordered by speed (fastest machine
+        /// has the largest ∂L*/∂t).
+        #[test]
+        fn prop_sensitivity_ordering(
+            values in proptest::collection::vec(0.1f64..10.0, 2..12),
+            r in 0.5f64..50.0,
+        ) {
+            let sens = latency_sensitivity(&values, r).unwrap();
+            for (i, s) in sens.iter().enumerate() {
+                prop_assert!(*s > 0.0, "sensitivity {} not positive", i);
+            }
+            for i in 0..values.len() {
+                for j in 0..values.len() {
+                    if values[i] < values[j] {
+                        prop_assert!(sens[i] >= sens[j] - 1e-12,
+                            "faster machine {} should dominate {}", i, j);
+                    }
+                }
+            }
+        }
+
+        /// Marginal contributions are non-negative and sum to less than the
+        /// total payment budget (they are the utilities of Figure 3).
+        #[test]
+        fn prop_marginal_contributions_nonnegative(
+            values in proptest::collection::vec(0.1f64..10.0, 2..12),
+            r in 0.5f64..50.0,
+        ) {
+            let mc = marginal_contributions(&values, r).unwrap();
+            for (i, c) in mc.iter().enumerate() {
+                prop_assert!(*c >= -1e-12, "contribution {} negative: {}", i, c);
+            }
+        }
+    }
+}

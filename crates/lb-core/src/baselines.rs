@@ -1,0 +1,142 @@
+//! Classical allocation baselines.
+//!
+//! The paper's related work contrasts mechanism design with classical load
+//! balancing where participants are obedient. These baselines quantify what
+//! the PR optimum buys over the naive policies a practitioner might reach
+//! for first: equal splitting and weighted round-robin dispatch.
+
+use crate::allocation::{total_latency_linear, validate_rate, Allocation};
+use crate::error::CoreError;
+use crate::machine::validate_values;
+
+/// Equal split: every machine receives `r/n` regardless of speed.
+///
+/// # Errors
+/// Propagates validation errors.
+pub fn equal_split(n: usize, r: f64) -> Result<Allocation, CoreError> {
+    if n == 0 {
+        return Err(CoreError::EmptySystem);
+    }
+    validate_rate(r)?;
+    Allocation::new(vec![r / n as f64; n], r)
+}
+
+/// Weighted round-robin dispatch: integer job quotas proportional to the
+/// processing rates `1/values[i]` per cycle of `cycle_len` jobs, converted
+/// back to rates. As `cycle_len → ∞` this converges to PR; small cycles
+/// quantise the shares (largest-remainder apportionment).
+///
+/// # Errors
+/// Propagates validation errors; `cycle_len` must be at least `1`.
+pub fn weighted_round_robin(
+    values: &[f64],
+    r: f64,
+    cycle_len: u32,
+) -> Result<Allocation, CoreError> {
+    validate_values("latency coefficient", values)?;
+    validate_rate(r)?;
+    if cycle_len == 0 {
+        return Err(CoreError::InvalidParameter { name: "cycle_len", value: 0.0 });
+    }
+    let inv_sum: f64 = values.iter().map(|t| 1.0 / t).sum();
+    // Ideal fractional quotas per cycle.
+    let ideal: Vec<f64> =
+        values.iter().map(|t| (1.0 / t) / inv_sum * f64::from(cycle_len)).collect();
+    // Largest-remainder apportionment to integers.
+    let mut quotas: Vec<u32> = ideal.iter().map(|q| q.floor() as u32).collect();
+    let assigned: u32 = quotas.iter().sum();
+    let mut remainders: Vec<(usize, f64)> =
+        ideal.iter().enumerate().map(|(i, q)| (i, q - q.floor())).collect();
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
+    for k in 0..(cycle_len - assigned) as usize {
+        quotas[remainders[k % remainders.len()].0] += 1;
+    }
+    let rates: Vec<f64> =
+        quotas.iter().map(|&q| f64::from(q) / f64::from(cycle_len) * r).collect();
+    Allocation::new(rates, r)
+}
+
+/// Latency penalty of an allocation relative to the PR optimum:
+/// `L(alloc)/L* − 1`.
+///
+/// # Errors
+/// Propagates validation errors.
+pub fn penalty_vs_optimal(alloc: &Allocation, values: &[f64], r: f64) -> Result<f64, CoreError> {
+    let l = total_latency_linear(alloc, values)?;
+    let opt = crate::allocation::optimal_latency_linear(values, r)?;
+    Ok(l / opt - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::pr_allocate;
+    use crate::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_split_is_uniform_and_feasible() {
+        let a = equal_split(4, 8.0).unwrap();
+        assert_eq!(a.rates(), &[2.0; 4]);
+        assert!(equal_split(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn equal_split_pays_a_big_penalty_on_the_paper_system() {
+        // Equal split on the 10x-heterogeneous Table 1 system:
+        // L = (R/n)²·Σt = 1.5625·93 = 145.31 vs the PR optimum 78.43 —
+        // an 85% penalty.
+        let values = paper_true_values();
+        let a = equal_split(values.len(), PAPER_ARRIVAL_RATE).unwrap();
+        let penalty = penalty_vs_optimal(&a, &values, PAPER_ARRIVAL_RATE).unwrap();
+        assert!((penalty - 0.853).abs() < 0.01, "penalty {penalty}");
+    }
+
+    #[test]
+    fn round_robin_converges_to_pr_with_long_cycles() {
+        let values = paper_true_values();
+        let pr = pr_allocate(&values, PAPER_ARRIVAL_RATE).unwrap();
+        let wrr = weighted_round_robin(&values, PAPER_ARRIVAL_RATE, 10_000).unwrap();
+        for (a, b) in wrr.rates().iter().zip(pr.rates()) {
+            // Quantisation error is at most one job per cycle: R/cycle = 2e-3.
+            assert!((a - b).abs() <= 2.0e-3 + 1e-12, "{a} vs {b}");
+        }
+        let penalty = penalty_vs_optimal(&wrr, &values, PAPER_ARRIVAL_RATE).unwrap();
+        assert!(penalty < 1e-5, "penalty {penalty}");
+    }
+
+    #[test]
+    fn short_cycles_quantise_and_cost_latency() {
+        let values = paper_true_values();
+        let coarse = weighted_round_robin(&values, PAPER_ARRIVAL_RATE, 16).unwrap();
+        let fine = weighted_round_robin(&values, PAPER_ARRIVAL_RATE, 1024).unwrap();
+        let p_coarse = penalty_vs_optimal(&coarse, &values, PAPER_ARRIVAL_RATE).unwrap();
+        let p_fine = penalty_vs_optimal(&fine, &values, PAPER_ARRIVAL_RATE).unwrap();
+        assert!(p_coarse > p_fine, "coarse {p_coarse} vs fine {p_fine}");
+        assert!(p_coarse >= 0.0 && p_fine >= 0.0);
+    }
+
+    #[test]
+    fn round_robin_conserves_every_cycle_length() {
+        let values = [1.0, 2.0, 7.0];
+        for cycle in [1u32, 2, 3, 7, 100] {
+            let a = weighted_round_robin(&values, 5.0, cycle).unwrap();
+            assert!(a.is_feasible(5.0, 1e-9), "cycle {cycle}");
+        }
+    }
+
+    proptest! {
+        /// PR weakly dominates both baselines on every instance.
+        #[test]
+        fn prop_pr_dominates_baselines(
+            values in proptest::collection::vec(0.1f64..10.0, 1..12),
+            r in 0.5f64..50.0,
+            cycle in 1u32..64,
+        ) {
+            let eq = equal_split(values.len(), r).unwrap();
+            let wrr = weighted_round_robin(&values, r, cycle).unwrap();
+            prop_assert!(penalty_vs_optimal(&eq, &values, r).unwrap() >= -1e-9);
+            prop_assert!(penalty_vs_optimal(&wrr, &values, r).unwrap() >= -1e-9);
+        }
+    }
+}

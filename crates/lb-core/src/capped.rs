@@ -1,0 +1,211 @@
+//! PR allocation under per-machine rate caps.
+//!
+//! Operators rarely let one machine take unbounded load: admission policies
+//! cap the per-machine rate. This module solves the paper's linear problem
+//! with box constraints `0 ≤ x_i ≤ cap_i` by iterative water-filling: run PR
+//! over the unclamped machines, clamp every violator to its cap, remove the
+//! clamped load, repeat. Each pass clamps at least one machine, so it
+//! terminates in at most `n` passes; KKT for the box-constrained convex
+//! program certifies optimality (clamped machines sit at a lower marginal
+//! than the shared multiplier, which the property tests check by
+//! perturbation).
+
+use crate::allocation::{validate_rate, Allocation};
+use crate::error::CoreError;
+use crate::machine::validate_values;
+
+/// Solves `min Σ values[i]·x_i²` s.t. `Σx = r`, `0 ≤ x_i ≤ caps[i]`.
+///
+/// # Errors
+/// * validation errors for empty/invalid inputs,
+/// * [`CoreError::InsufficientCapacity`] when `Σ caps < r`,
+/// * [`CoreError::InvalidParameter`] for a negative/non-finite cap.
+pub fn pr_allocate_capped(values: &[f64], caps: &[f64], r: f64) -> Result<Allocation, CoreError> {
+    validate_values("latency coefficient", values)?;
+    validate_rate(r)?;
+    if caps.len() != values.len() {
+        return Err(CoreError::LengthMismatch { expected: values.len(), actual: caps.len() });
+    }
+    let mut total_cap = 0.0;
+    for &c in caps {
+        if !(c.is_finite() && c >= 0.0) {
+            return Err(CoreError::InvalidParameter { name: "cap", value: c });
+        }
+        total_cap += c;
+    }
+    if total_cap < r * (1.0 - 1e-12) {
+        return Err(CoreError::InsufficientCapacity { rate: r, capacity: total_cap });
+    }
+
+    let n = values.len();
+    let mut rates = vec![0.0f64; n];
+    let mut clamped = vec![false; n];
+    let mut remaining = r;
+
+    loop {
+        // PR over the unclamped machines for the remaining load.
+        let inv_sum: f64 =
+            (0..n).filter(|&i| !clamped[i]).map(|i| 1.0 / values[i]).sum();
+        if inv_sum <= 0.0 {
+            // Everything is clamped; remaining must be ~0 by the capacity check.
+            break;
+        }
+        let mut violated = false;
+        for i in 0..n {
+            if clamped[i] {
+                continue;
+            }
+            rates[i] = (1.0 / values[i]) / inv_sum * remaining;
+        }
+        for i in 0..n {
+            if !clamped[i] && rates[i] > caps[i] {
+                rates[i] = caps[i];
+                clamped[i] = true;
+                violated = true;
+            }
+        }
+        if !violated {
+            break;
+        }
+        let clamped_load: f64 = (0..n).filter(|&i| clamped[i]).map(|i| rates[i]).sum();
+        remaining = r - clamped_load;
+        if remaining <= 0.0 {
+            // Caps absorb everything (possible only when Σ caps == r).
+            for i in 0..n {
+                if !clamped[i] {
+                    rates[i] = 0.0;
+                }
+            }
+            break;
+        }
+    }
+
+    // The clamp loop conserves load by construction; normalise residual
+    // floating-point drift through the validating constructor.
+    Allocation::new(rates, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::{pr_allocate, total_latency_linear};
+    use proptest::prelude::*;
+
+    #[test]
+    fn unconstraining_caps_reduce_to_pr() {
+        let values = [1.0, 2.0, 5.0];
+        let caps = [100.0, 100.0, 100.0];
+        let a = pr_allocate_capped(&values, &caps, 8.0).unwrap();
+        let b = pr_allocate(&values, 8.0).unwrap();
+        for (x, y) in a.rates().iter().zip(b.rates()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn binding_cap_spills_to_other_machines() {
+        // Uncapped PR on t=[1,2] at r=3 gives [2,1]; cap machine 0 at 1.5.
+        let a = pr_allocate_capped(&[1.0, 2.0], &[1.5, 10.0], 3.0).unwrap();
+        assert!((a.rate(0) - 1.5).abs() < 1e-12);
+        assert!((a.rate(1) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascading_clamps_terminate() {
+        // Tight caps force several passes.
+        let values = [1.0, 1.0, 1.0, 10.0];
+        let caps = [0.5, 0.6, 0.7, 100.0];
+        let a = pr_allocate_capped(&values, &caps, 3.0).unwrap();
+        assert!((a.rate(0) - 0.5).abs() < 1e-9);
+        assert!((a.rate(1) - 0.6).abs() < 1e-9);
+        assert!((a.rate(2) - 0.7).abs() < 1e-9);
+        assert!((a.rate(3) - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_capacity_fills_every_cap() {
+        let a = pr_allocate_capped(&[1.0, 2.0], &[1.0, 2.0], 3.0).unwrap();
+        assert!((a.rate(0) - 1.0).abs() < 1e-9);
+        assert!((a.rate(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_caps_error() {
+        assert!(matches!(
+            pr_allocate_capped(&[1.0, 2.0], &[1.0, 1.0], 3.0),
+            Err(CoreError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_caps_error() {
+        assert!(pr_allocate_capped(&[1.0], &[-1.0], 0.5).is_err());
+        assert!(pr_allocate_capped(&[1.0, 2.0], &[1.0], 0.5).is_err());
+    }
+
+    proptest! {
+        /// Capped allocations are feasible: conservation, positivity and cap
+        /// respect.
+        #[test]
+        fn prop_capped_is_feasible(
+            values in proptest::collection::vec(0.05f64..20.0, 1..12),
+            cap_factors in proptest::collection::vec(0.05f64..3.0, 1..12),
+            load_frac in 0.05f64..0.95,
+        ) {
+            let n = values.len().min(cap_factors.len());
+            let values = &values[..n];
+            // Caps proportional to speed so totals stay sane.
+            let caps: Vec<f64> = values.iter().zip(&cap_factors[..n]).map(|(&v, &f)| f / v).collect();
+            let total_cap: f64 = caps.iter().sum();
+            let r = load_frac * total_cap;
+            prop_assume!(r > 1e-9);
+            let a = pr_allocate_capped(values, &caps, r).unwrap();
+            prop_assert!(a.is_feasible(r, 1e-6));
+            for (x, c) in a.rates().iter().zip(&caps) {
+                prop_assert!(*x <= c + 1e-9, "cap violated: {} > {}", x, c);
+            }
+        }
+
+        /// No feasible pairwise transfer improves the capped optimum (KKT
+        /// certificate by perturbation).
+        #[test]
+        fn prop_capped_is_unimprovable(
+            values in proptest::collection::vec(0.05f64..20.0, 2..8),
+            load_frac in 0.1f64..0.9,
+            from in 0usize..8,
+            to in 0usize..8,
+            frac in 0.05f64..0.5,
+        ) {
+            let n = values.len();
+            let from = from % n;
+            let to = to % n;
+            prop_assume!(from != to);
+            // Caps: slightly above the uncapped PR shares for half the
+            // machines, loose for the rest — so some caps bind.
+            let r_max: f64 = values.iter().map(|v| 1.0 / v).sum();
+            let r = load_frac * r_max;
+            let uncapped = pr_allocate(&values, r).unwrap();
+            let caps: Vec<f64> = uncapped
+                .rates()
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| if i % 2 == 0 { 0.8 * x + 1e-6 } else { 10.0 * x + 1.0 })
+                .collect();
+            prop_assume!(caps.iter().sum::<f64>() > r * 1.001);
+            let a = pr_allocate_capped(&values, &caps, r).unwrap();
+            let base = total_latency_linear(&a, &values).unwrap();
+
+            // Move load from `from` to `to` within feasibility.
+            let headroom = (caps[to] - a.rate(to)).max(0.0);
+            let delta = (a.rate(from) * frac).min(headroom);
+            prop_assume!(delta > 1e-9);
+            let mut rates = a.rates().to_vec();
+            rates[from] -= delta;
+            rates[to] += delta;
+            let perturbed = Allocation::new(rates, r).unwrap();
+            let worse = total_latency_linear(&perturbed, &values).unwrap();
+            prop_assert!(worse >= base - 1e-7 * base.max(1.0),
+                "transfer improved: {} < {}", worse, base);
+        }
+    }
+}

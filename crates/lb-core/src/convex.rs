@@ -1,0 +1,313 @@
+//! General convex allocation solver.
+//!
+//! Theorem 2.1 of the paper is proved with Kuhn–Tucker conditions; this
+//! module implements the same KKT argument *numerically* for any latency
+//! family whose total latency is convex: at an optimum there is a multiplier
+//! `λ` such that every machine with positive load has marginal total latency
+//! equal to `λ`, and every idle machine has marginal at least `λ`.
+//!
+//! Since each marginal is non-decreasing, `x_i(λ) = inverse_marginal(λ)` is
+//! non-decreasing in `λ`, and the conservation constraint `Σ x_i(λ) = R` can
+//! be solved by one outer bisection on `λ`.
+//!
+//! Uses: cross-check the PR closed form (they must agree to solver
+//! tolerance), and extend the mechanism experiments to M/M/1 latencies —
+//! the model of the authors' companion paper [ref.&nbsp;8].
+
+use crate::allocation::{validate_rate, Allocation};
+use crate::error::CoreError;
+use crate::latency::LatencyFunction;
+
+/// Options for [`solve_convex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvexSolverOptions {
+    /// Relative tolerance on the conservation residual `|Σx − R| / R`.
+    pub tolerance: f64,
+    /// Maximum bisection iterations.
+    pub max_iterations: u32,
+}
+
+impl Default for ConvexSolverOptions {
+    fn default() -> Self {
+        Self { tolerance: 1e-12, max_iterations: 200 }
+    }
+}
+
+/// Minimises `Σ_i total_i(x_i)` subject to `Σ x_i = r`, `x ≥ 0` for convex
+/// latency functions, by bisection on the KKT multiplier.
+///
+/// # Errors
+/// * [`CoreError::EmptySystem`] — no latency functions supplied.
+/// * [`CoreError::InvalidRate`] — non-positive/non-finite `r`.
+/// * [`CoreError::InsufficientCapacity`] — capacitated families whose total
+///   capacity cannot absorb `r`.
+/// * [`CoreError::SolverDidNotConverge`] — tolerance not reached within the
+///   iteration budget.
+pub fn solve_convex<F: LatencyFunction + ?Sized>(
+    fns: &[&F],
+    r: f64,
+    options: ConvexSolverOptions,
+) -> Result<Allocation, CoreError> {
+    if fns.is_empty() {
+        return Err(CoreError::EmptySystem);
+    }
+    validate_rate(r)?;
+
+    // Capacity check for capacitated families (e.g. M/M/1).
+    let mut capacity_sum = 0.0;
+    let mut capacitated = true;
+    for f in fns {
+        match f.capacity() {
+            Some(c) => capacity_sum += c,
+            None => {
+                capacitated = false;
+                break;
+            }
+        }
+    }
+    if capacitated && capacity_sum <= r {
+        return Err(CoreError::InsufficientCapacity { rate: r, capacity: capacity_sum });
+    }
+
+    let assigned = |lambda: f64| -> f64 { fns.iter().map(|f| f.inverse_marginal(lambda)).sum() };
+
+    // Bracket lambda: at lambda = min marginal at 0, total assignment is 0;
+    // grow the upper bound geometrically until assignment >= r.
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    let mut guard = 0u32;
+    while assigned(hi) < r {
+        hi *= 2.0;
+        guard += 1;
+        if guard > 2048 || !hi.is_finite() {
+            return Err(CoreError::SolverDidNotConverge {
+                iterations: guard,
+                residual: r - assigned(hi),
+            });
+        }
+    }
+
+    let mut iterations = 0u32;
+    for _ in 0..options.max_iterations {
+        iterations += 1;
+        let mid = 0.5 * (lo + hi);
+        if assigned(mid) < r {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let lambda = 0.5 * (lo + hi);
+    let mut rates: Vec<f64> = fns.iter().map(|f| f.inverse_marginal(lambda)).collect();
+
+    // Redistribute the (tiny) conservation residual proportionally over the
+    // loaded machines, so the returned allocation satisfies Σx = r exactly.
+    let sum: f64 = rates.iter().sum();
+    let residual = r - sum;
+    let rel_residual = residual.abs() / r;
+    if rel_residual > 1e-6 {
+        return Err(CoreError::SolverDidNotConverge { iterations, residual });
+    }
+    if sum > 0.0 {
+        let scale = r / sum;
+        for x in &mut rates {
+            *x *= scale;
+        }
+    }
+
+    let alloc = Allocation::from_raw(rates);
+    debug_assert!(alloc.is_feasible(r, 1e-9));
+    Ok(alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::{pr_allocate, total_latency_fn};
+    use crate::latency::{Affine, Linear, Mm1, Polynomial};
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_solution_matches_pr_closed_form() {
+        let ts = [1.0, 2.0, 5.0, 10.0];
+        let fns: Vec<Linear> = ts.iter().map(|&t| Linear::new(t)).collect();
+        let refs: Vec<&Linear> = fns.iter().collect();
+        let got = solve_convex(&refs, 20.0, ConvexSolverOptions::default()).unwrap();
+        let want = pr_allocate(&ts, 20.0).unwrap();
+        for (g, w) in got.rates().iter().zip(want.rates()) {
+            assert!((g - w).abs() < 1e-8, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn paper_system_solver_agrees_with_theorem_2_1() {
+        let ts = crate::scenario::paper_true_values();
+        let fns: Vec<Linear> = ts.iter().map(|&t| Linear::new(t)).collect();
+        let refs: Vec<&Linear> = fns.iter().collect();
+        let alloc = solve_convex(&refs, 20.0, ConvexSolverOptions::default()).unwrap();
+        let dynrefs: Vec<&dyn LatencyFunction> = fns.iter().map(|f| f as &dyn LatencyFunction).collect();
+        let latency = total_latency_fn(&alloc, &dynrefs).unwrap();
+        assert!((latency - 400.0 / 5.1).abs() < 1e-6, "latency = {latency}");
+    }
+
+    #[test]
+    fn mm1_respects_capacity_and_kkt() {
+        let fns = [Mm1::new(4.0), Mm1::new(2.0)];
+        let refs: Vec<&Mm1> = fns.iter().collect();
+        let alloc = solve_convex(&refs, 3.0, ConvexSolverOptions::default()).unwrap();
+        assert!(alloc.rate(0) < 4.0 && alloc.rate(1) < 2.0);
+        assert!((alloc.total_rate() - 3.0).abs() < 1e-9);
+        // KKT: loaded machines share the same marginal.
+        let m0 = fns[0].marginal_total(alloc.rate(0));
+        let m1 = fns[1].marginal_total(alloc.rate(1));
+        if alloc.rate(0) > 1e-9 && alloc.rate(1) > 1e-9 {
+            assert!((m0 - m1).abs() < 1e-5, "marginals differ: {m0} vs {m1}");
+        }
+    }
+
+    #[test]
+    fn mm1_slow_machine_left_idle_under_light_load() {
+        // A very slow machine should receive zero load when the fast one can
+        // carry everything at lower marginal cost.
+        let fns = [Mm1::new(100.0), Mm1::new(0.5)];
+        let refs: Vec<&Mm1> = fns.iter().collect();
+        let alloc = solve_convex(&refs, 0.1, ConvexSolverOptions::default()).unwrap();
+        assert!(alloc.rate(1) < 1e-6, "slow machine got {}", alloc.rate(1));
+    }
+
+    #[test]
+    fn mm1_over_capacity_is_rejected() {
+        let fns = [Mm1::new(1.0), Mm1::new(1.5)];
+        let refs: Vec<&Mm1> = fns.iter().collect();
+        assert!(matches!(
+            solve_convex(&refs, 2.5, ConvexSolverOptions::default()),
+            Err(CoreError::InsufficientCapacity { .. })
+        ));
+        assert!(solve_convex(&refs, 2.4, ConvexSolverOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn affine_idles_high_overhead_machines() {
+        // Machine 1 has a large fixed overhead; under light load only
+        // machine 0 should be used (its marginal stays below a = 10).
+        let fns = [Affine::new(0.0, 1.0), Affine::new(10.0, 1.0)];
+        let refs: Vec<&Affine> = fns.iter().collect();
+        let alloc = solve_convex(&refs, 1.0, ConvexSolverOptions::default()).unwrap();
+        assert!(alloc.rate(1) < 1e-9);
+        assert!((alloc.rate(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polynomial_mixture_solves() {
+        let p0 = Polynomial::new(vec![0.0, 1.0]);
+        let p1 = Polynomial::new(vec![0.5, 0.2, 0.1]);
+        let fns: Vec<&dyn LatencyFunction> = vec![&p0, &p1];
+        let alloc = solve_convex(&fns, 4.0, ConvexSolverOptions::default()).unwrap();
+        assert!((alloc.total_rate() - 4.0).abs() < 1e-9);
+        let l = total_latency_fn(&alloc, &fns).unwrap();
+        // Any perturbation should not improve.
+        for delta in [0.01, -0.01] {
+            let mut rates = alloc.rates().to_vec();
+            if rates[0] + delta < 0.0 || rates[1] - delta < 0.0 {
+                continue;
+            }
+            rates[0] += delta;
+            rates[1] -= delta;
+            let perturbed = Allocation::new(rates, 4.0).unwrap();
+            let lp = total_latency_fn(&perturbed, &fns).unwrap();
+            assert!(lp >= l - 1e-9, "perturbation improved: {lp} < {l}");
+        }
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs_error() {
+        let empty: Vec<&Linear> = vec![];
+        assert!(matches!(
+            solve_convex(&empty, 1.0, ConvexSolverOptions::default()),
+            Err(CoreError::EmptySystem)
+        ));
+        let f = Linear::new(1.0);
+        assert!(solve_convex(&[&f], -1.0, ConvexSolverOptions::default()).is_err());
+    }
+
+    proptest! {
+        /// Mixed latency families (linear + affine + M/M/1 + polynomial):
+        /// the solution is feasible and no pairwise transfer improves it.
+        #[test]
+        fn prop_mixed_family_optimality(
+            t_lin in 0.1f64..5.0,
+            a_aff in 0.0f64..2.0,
+            b_aff in 0.1f64..3.0,
+            mu in 2.0f64..10.0,
+            c1 in 0.0f64..2.0,
+            c2 in 0.05f64..1.0,
+            load in 0.2f64..1.5,
+            from in 0usize..4,
+            to in 0usize..4,
+        ) {
+            prop_assume!(from != to);
+            let lin = Linear::new(t_lin);
+            let aff = Affine::new(a_aff, b_aff);
+            let m = Mm1::new(mu);
+            let poly = Polynomial::new(vec![c1, c2]);
+            let fns: Vec<&dyn LatencyFunction> = vec![&lin, &aff, &m, &poly];
+            let alloc = solve_convex(&fns, load, ConvexSolverOptions::default()).unwrap();
+            prop_assert!(alloc.is_feasible(load, 1e-6));
+            prop_assert!(alloc.rate(2) < mu);
+
+            let base = total_latency_fn(&alloc, &fns).unwrap();
+            let delta = 0.05 * alloc.rate(from);
+            prop_assume!(delta > 1e-9);
+            // Keep the M/M/1 machine inside capacity after the transfer.
+            prop_assume!(to != 2 || alloc.rate(2) + delta < mu * 0.999);
+            let mut rates = alloc.rates().to_vec();
+            rates[from] -= delta;
+            rates[to] += delta;
+            let perturbed = Allocation::new(rates, load).unwrap();
+            let worse = total_latency_fn(&perturbed, &fns).unwrap();
+            prop_assert!(worse >= base - 1e-7 * base.max(1.0),
+                "transfer improved: {} < {}", worse, base);
+        }
+
+        /// For random linear systems, the solver agrees with PR.
+        #[test]
+        fn prop_solver_matches_pr(
+            ts in proptest::collection::vec(0.05f64..20.0, 1..12),
+            r in 0.1f64..100.0,
+        ) {
+            let fns: Vec<Linear> = ts.iter().map(|&t| Linear::new(t)).collect();
+            let refs: Vec<&Linear> = fns.iter().collect();
+            let got = solve_convex(&refs, r, ConvexSolverOptions::default()).unwrap();
+            let want = pr_allocate(&ts, r).unwrap();
+            for (g, w) in got.rates().iter().zip(want.rates()) {
+                prop_assert!((g - w).abs() < 1e-6 * w.abs().max(1.0), "{} vs {}", g, w);
+            }
+        }
+
+        /// For random M/M/1 systems under feasible load, the solution is
+        /// feasible and satisfies the KKT equal-marginal condition.
+        #[test]
+        fn prop_mm1_kkt(
+            mus in proptest::collection::vec(0.5f64..10.0, 2..8),
+            load_frac in 0.05f64..0.9,
+        ) {
+            let r = load_frac * mus.iter().sum::<f64>();
+            prop_assume!(r > 0.0);
+            let fns: Vec<Mm1> = mus.iter().map(|&m| Mm1::new(m)).collect();
+            let refs: Vec<&Mm1> = fns.iter().collect();
+            let alloc = solve_convex(&refs, r, ConvexSolverOptions::default()).unwrap();
+            prop_assert!(alloc.is_feasible(r, 1e-6));
+            // Equal marginals across loaded machines.
+            let loaded: Vec<f64> = alloc.rates().iter().zip(&fns)
+                .filter(|(&x, _)| x > 1e-7)
+                .map(|(&x, f)| f.marginal_total(x))
+                .collect();
+            if let (Some(min), Some(max)) = (
+                loaded.iter().cloned().reduce(f64::min),
+                loaded.iter().cloned().reduce(f64::max),
+            ) {
+                prop_assert!((max - min) / max < 1e-3, "marginal spread {} .. {}", min, max);
+            }
+        }
+    }
+}

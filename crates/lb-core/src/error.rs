@@ -1,0 +1,99 @@
+//! Error types for the problem model.
+
+use std::fmt;
+
+/// Errors produced by the core load-balancing model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A latency parameter (true value, bid or execution value) was not a
+    /// strictly positive finite number.
+    InvalidParameter {
+        /// Which parameter was rejected (for diagnostics).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A system or bid vector was empty where at least one machine is needed.
+    EmptySystem,
+    /// A bid/value vector's length did not match the system size.
+    LengthMismatch {
+        /// Expected number of entries (the system size).
+        expected: usize,
+        /// Number of entries actually supplied.
+        actual: usize,
+    },
+    /// The requested total arrival rate was not a positive finite number.
+    InvalidRate(f64),
+    /// An allocation violated feasibility (negativity or conservation).
+    Infeasible {
+        /// Human-readable description of the violated condition.
+        reason: String,
+    },
+    /// The requested total rate exceeds the aggregate capacity of the system
+    /// (only possible for capacitated latency families such as M/M/1).
+    InsufficientCapacity {
+        /// Total arrival rate requested.
+        rate: f64,
+        /// Aggregate capacity available.
+        capacity: f64,
+    },
+    /// The iterative convex solver failed to reach the requested tolerance.
+    SolverDidNotConverge {
+        /// Iterations performed before giving up.
+        iterations: u32,
+        /// Residual conservation error at exit.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid {name}: {value} (must be finite and > 0)")
+            }
+            Self::EmptySystem => write!(f, "system must contain at least one machine"),
+            Self::LengthMismatch { expected, actual } => {
+                write!(f, "vector length {actual} does not match system size {expected}")
+            }
+            Self::InvalidRate(r) => write!(f, "invalid total arrival rate {r} (must be finite and > 0)"),
+            Self::Infeasible { reason } => write!(f, "infeasible allocation: {reason}"),
+            Self::InsufficientCapacity { rate, capacity } => {
+                write!(f, "total rate {rate} exceeds aggregate capacity {capacity}")
+            }
+            Self::SolverDidNotConverge { iterations, residual } => {
+                write!(f, "convex solver did not converge after {iterations} iterations (residual {residual:e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvalidParameter { name: "true value", value: -1.0 };
+        assert!(e.to_string().contains("true value"));
+        assert!(e.to_string().contains("-1"));
+
+        let e = CoreError::LengthMismatch { expected: 16, actual: 3 };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains('3'));
+
+        let e = CoreError::InsufficientCapacity { rate: 5.0, capacity: 4.0 };
+        assert!(e.to_string().contains('5'));
+
+        let e = CoreError::SolverDidNotConverge { iterations: 7, residual: 1e-3 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::EmptySystem);
+    }
+}

@@ -1,0 +1,132 @@
+//! Canned system configurations, including the paper's Table 1 testbed.
+//!
+//! The IPPS 2003 evaluation uses a 16-computer heterogeneous system; the
+//! published table is OCR-damaged in available copies, but the constants are
+//! recoverable analytically (see `DESIGN.md`): with true values
+//! `t = 1 (C1–C2), 2 (C3–C5), 5 (C6–C10), 10 (C11–C16)` and `R = 20` jobs/s,
+//! `Σ 1/t_i = 5.1` and the optimal latency is `400/5.1 = 78.43` — exactly the
+//! value the paper reports for experiment True1 — and the Low1/Low2
+//! degradations (+11%, +66%) also match exactly.
+
+use crate::error::CoreError;
+use crate::machine::System;
+
+/// The paper's job arrival rate, `R = 20` jobs/s (Sec. 4).
+pub const PAPER_ARRIVAL_RATE: f64 = 20.0;
+
+/// Index of the strategic computer C1 in the paper's experiments.
+pub const PAPER_STRATEGIC_MACHINE: usize = 0;
+
+/// True values of the paper's Table 1 system, in machine order C1..C16.
+#[must_use]
+pub fn paper_true_values() -> Vec<f64> {
+    let mut v = Vec::with_capacity(16);
+    v.extend(std::iter::repeat(1.0).take(2)); // C1 - C2
+    v.extend(std::iter::repeat(2.0).take(3)); // C3 - C5
+    v.extend(std::iter::repeat(5.0).take(5)); // C6 - C10
+    v.extend(std::iter::repeat(10.0).take(6)); // C11 - C16
+    v
+}
+
+/// The paper's Table 1 system as a [`System`].
+#[must_use]
+pub fn paper_system() -> System {
+    System::from_true_values(&paper_true_values()).expect("paper system constants are valid")
+}
+
+/// A homogeneous system of `n` machines with identical true value `t`.
+///
+/// # Errors
+/// Propagates validation errors (`n == 0` or invalid `t`).
+pub fn uniform_system(n: usize, t: f64) -> Result<System, CoreError> {
+    System::from_true_values(&vec![t; n])
+}
+
+/// A geometric heterogeneity ladder: machine `i` has true value
+/// `t_min * ratio^i`. Mirrors the paper's fast-to-slow spread.
+///
+/// # Errors
+/// Propagates validation errors (`n == 0`, invalid `t_min`/`ratio`).
+pub fn geometric_system(n: usize, t_min: f64, ratio: f64) -> Result<System, CoreError> {
+    if !(ratio.is_finite() && ratio > 0.0) {
+        return Err(CoreError::InvalidParameter { name: "ratio", value: ratio });
+    }
+    let values: Vec<f64> = (0..n).map(|i| t_min * ratio.powi(i32::try_from(i).unwrap_or(i32::MAX))).collect();
+    System::from_true_values(&values)
+}
+
+/// A randomized heterogeneous system: true values drawn log-uniformly from
+/// `[t_min, t_max]` using the supplied uniform samples (caller provides
+/// randomness so this crate stays RNG-free).
+///
+/// # Errors
+/// Propagates validation errors.
+pub fn random_system_from_uniforms(uniforms: &[f64], t_min: f64, t_max: f64) -> Result<System, CoreError> {
+    if !(t_min.is_finite() && t_min > 0.0) {
+        return Err(CoreError::InvalidParameter { name: "t_min", value: t_min });
+    }
+    if !(t_max.is_finite() && t_max >= t_min) {
+        return Err(CoreError::InvalidParameter { name: "t_max", value: t_max });
+    }
+    let ln_lo = t_min.ln();
+    let ln_hi = t_max.ln();
+    let values: Vec<f64> = uniforms.iter().map(|&u| (ln_lo + u * (ln_hi - ln_lo)).exp()).collect();
+    System::from_true_values(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_has_sixteen_machines() {
+        let sys = paper_system();
+        assert_eq!(sys.len(), 16);
+    }
+
+    #[test]
+    fn paper_system_group_structure() {
+        let v = paper_true_values();
+        assert_eq!(&v[0..2], &[1.0, 1.0]);
+        assert_eq!(&v[2..5], &[2.0, 2.0, 2.0]);
+        assert_eq!(&v[5..10], &[5.0; 5]);
+        assert_eq!(&v[10..16], &[10.0; 6]);
+    }
+
+    #[test]
+    fn paper_system_inverse_sum_is_5_1() {
+        let sys = paper_system();
+        assert!((sys.total_processing_rate() - 5.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_system_is_uniform() {
+        let sys = uniform_system(4, 2.5).unwrap();
+        assert!(sys.true_values().iter().all(|&t| t == 2.5));
+        assert!(uniform_system(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn geometric_system_ladder() {
+        let sys = geometric_system(3, 1.0, 2.0).unwrap();
+        assert_eq!(sys.true_values(), vec![1.0, 2.0, 4.0]);
+        assert!(geometric_system(3, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn random_system_is_within_bounds() {
+        let uniforms = [0.0, 0.25, 0.5, 1.0];
+        let sys = random_system_from_uniforms(&uniforms, 0.5, 8.0).unwrap();
+        for &t in &sys.true_values() {
+            assert!((0.5..=8.0).contains(&t), "t = {t}");
+        }
+        assert_eq!(sys.true_values()[0], 0.5);
+        assert!((sys.true_values()[3] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_system_rejects_bad_bounds() {
+        assert!(random_system_from_uniforms(&[0.5], -1.0, 2.0).is_err());
+        assert!(random_system_from_uniforms(&[0.5], 2.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! The paper's compensation-and-bonus mechanism with verification (Def. 3.3).
+//!
+//! * **Allocation:** the PR algorithm applied to the *bids*.
+//! * **Payment:** `P_i = C_i + B_i` with compensation `C_i = −V_i(t̃_i, x_i)`
+//!   (refunds the agent's realised latency cost exactly; see
+//!   [`ValuationModel`] for the two cost readings) and bonus
+//!   `B_i = L_{-i}(b_{-i}) − L(x(b), t̃)` — the optimal total latency of the
+//!   system *without* agent `i` minus the *actual* total latency with it.
+//!   The bonus equals the agent's contribution to reducing total latency,
+//!   which is what makes truth-telling + full-speed execution dominant
+//!   (Theorem 3.1) and keeps truthful utilities non-negative against
+//!   consistent opponents (Theorem 3.2).
+//!
+//! The bonus can be *negative* (payment below compensation, possibly below
+//! zero) when an agent's lie makes the system slower than not having the
+//! agent at all — exactly the paper's Low2 experiment, where C1 under-bids
+//! to grab jobs and then executes them at half speed.
+//!
+//! **Scope of the theorems.** Both theorems, as proved in the paper, compare
+//! against opponents that are *consistent* — each opponent `j` executes at
+//! its bid (`t̃_j = b_j ≥ t_j`). Against an opponent that, say, bids high
+//! and then executes even slower, the constant `L_{-i}(b_{-i})` no longer
+//! upper-bounds the realised latency and a truthful agent can be dragged to
+//! negative utility. The property checkers in [`crate::properties`] encode
+//! this precondition explicitly.
+
+use crate::error::MechanismError;
+use crate::traits::{ValuationModel, VerifiedMechanism};
+use lb_core::allocation::optimal_latency_excluding;
+use lb_core::{pr_allocate, total_latency_linear, Allocation};
+use serde::{Deserialize, Serialize};
+
+/// The load balancing mechanism with verification of Grosu & Chronopoulos.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompensationBonusMechanism {
+    /// Valuation/compensation model (see [`ValuationModel`]).
+    pub valuation: ValuationModel,
+}
+
+/// Per-agent decomposition of a compensation-and-bonus payment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaymentBreakdown {
+    /// Compensation `C_i = −V_i` (refunds the realised cost).
+    pub compensation: f64,
+    /// Bonus `B_i = L_{-i}(b_{-i}) − L(x(b), t̃)`.
+    pub bonus: f64,
+}
+
+impl PaymentBreakdown {
+    /// Total payment `C_i + B_i`.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.compensation + self.bonus
+    }
+}
+
+impl CompensationBonusMechanism {
+    /// The paper-faithful configuration (per-job-latency valuation).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { valuation: ValuationModel::PerJobLatency }
+    }
+
+    /// The contributed-latency configuration (`V_i = −t̃_i x_i²`).
+    #[must_use]
+    pub fn contributed() -> Self {
+        Self { valuation: ValuationModel::ContributedLatency }
+    }
+
+    /// Computes the per-agent compensation/bonus decomposition.
+    ///
+    /// # Errors
+    /// Returns [`MechanismError::NeedTwoAgents`] for singleton systems
+    /// (the `L_{-i}` term is undefined), or arity/validation errors.
+    pub fn payment_breakdown(
+        &self,
+        bids: &[f64],
+        allocation: &Allocation,
+        exec_values: &[f64],
+        total_rate: f64,
+    ) -> Result<Vec<PaymentBreakdown>, MechanismError> {
+        if bids.len() < 2 {
+            return Err(MechanismError::NeedTwoAgents);
+        }
+        if allocation.len() != bids.len() || exec_values.len() != bids.len() {
+            return Err(lb_core::CoreError::LengthMismatch {
+                expected: bids.len(),
+                actual: allocation.len().min(exec_values.len()),
+            }
+            .into());
+        }
+        let actual_latency = total_latency_linear(allocation, exec_values)?;
+        (0..bids.len())
+            .map(|i| {
+                let x = allocation.rate(i);
+                let compensation = self.valuation.compensation(x, exec_values[i]);
+                let without_i = optimal_latency_excluding(bids, i, total_rate)?;
+                Ok(PaymentBreakdown { compensation, bonus: without_i - actual_latency })
+            })
+            .collect()
+    }
+}
+
+impl VerifiedMechanism for CompensationBonusMechanism {
+    fn name(&self) -> &'static str {
+        "compensation-bonus (verified)"
+    }
+
+    fn valuation_model(&self) -> ValuationModel {
+        self.valuation
+    }
+
+    fn allocate(&self, bids: &[f64], total_rate: f64) -> Result<Allocation, MechanismError> {
+        Ok(pr_allocate(bids, total_rate)?)
+    }
+
+    fn payments(
+        &self,
+        bids: &[f64],
+        allocation: &Allocation,
+        exec_values: &[f64],
+        total_rate: f64,
+    ) -> Result<Vec<f64>, MechanismError> {
+        Ok(self
+            .payment_breakdown(bids, allocation, exec_values, total_rate)?
+            .iter()
+            .map(PaymentBreakdown::total)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::traits::run_mechanism;
+    use lb_core::scenario::{paper_system, PAPER_ARRIVAL_RATE};
+    use proptest::prelude::*;
+
+    fn mech() -> CompensationBonusMechanism {
+        CompensationBonusMechanism::paper()
+    }
+
+    #[test]
+    fn truthful_utility_equals_marginal_contribution() {
+        // U_i = L_{-i} − L* for the truthful profile; check C1 on the paper
+        // system: 400/4.1 − 400/5.1 = 19.13...
+        let sys = paper_system();
+        let profile = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();
+        let out = run_mechanism(&mech(), &profile).unwrap();
+        let expected = 400.0 / 4.1 - 400.0 / 5.1;
+        assert!((out.utilities[0] - expected).abs() < 1e-9, "U1 = {}", out.utilities[0]);
+    }
+
+    #[test]
+    fn truthful_paper_latency_is_78_43() {
+        let profile = Profile::truthful(&paper_system(), PAPER_ARRIVAL_RATE).unwrap();
+        let out = run_mechanism(&mech(), &profile).unwrap();
+        assert!((out.total_latency - 78.431_372_549).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compensation_exactly_cancels_valuation() {
+        let sys = paper_system();
+        let profile = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 3.0, 3.0).unwrap();
+        for m in [CompensationBonusMechanism::paper(), CompensationBonusMechanism::contributed()] {
+            let alloc = m.allocate(profile.bids(), PAPER_ARRIVAL_RATE).unwrap();
+            let breakdown = m
+                .payment_breakdown(profile.bids(), &alloc, profile.exec_values(), PAPER_ARRIVAL_RATE)
+                .unwrap();
+            for (i, b) in breakdown.iter().enumerate() {
+                let x = alloc.rate(i);
+                let valuation = m.valuation.valuation(x, profile.exec_values()[i]);
+                assert!((b.compensation + valuation).abs() < 1e-9, "agent {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn utility_equals_bonus() {
+        let sys = paper_system();
+        let profile = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 0.5, 2.0).unwrap();
+        let out = run_mechanism(&mech(), &profile).unwrap();
+        let breakdown = mech()
+            .payment_breakdown(profile.bids(), &out.allocation, profile.exec_values(), PAPER_ARRIVAL_RATE)
+            .unwrap();
+        for i in 0..profile.len() {
+            assert!((out.utilities[i] - breakdown[i].bonus).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn low2_payment_and_utility_are_negative_for_c1() {
+        // Paper Sec. 4: in Low2 (bid t/2, execute 2t) C1's bonus outweighs its
+        // compensation and both payment and utility go negative.
+        let sys = paper_system();
+        let profile = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 0.5, 2.0).unwrap();
+        let out = run_mechanism(&mech(), &profile).unwrap();
+        assert!(out.payments[0] < 0.0, "payment = {}", out.payments[0]);
+        assert!(out.utilities[0] < 0.0, "utility = {}", out.utilities[0]);
+        // Analytic: x1 = 40/6.1, C = 2·x1, L = 2·x1² + (20/6.1)²·4.1,
+        // B = 400/4.1 − L.
+        let x1 = 40.0 / 6.1;
+        let l_actual = 2.0 * x1 * x1 + (20.0 / 6.1) * (20.0 / 6.1) * 4.1;
+        let expected = 2.0 * x1 + (400.0 / 4.1 - l_actual);
+        assert!((out.payments[0] - expected).abs() < 1e-9, "{} vs {expected}", out.payments[0]);
+    }
+
+    #[test]
+    fn true2_payment_drops_relative_to_true1() {
+        // Paper Fig. 2: C1 is "penalized for lying": the payment in True2
+        // (honest bid, 2x slower execution) is below the True1 payment.
+        let sys = paper_system();
+        let true1 = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();
+        let true2 = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 1.0, 2.0).unwrap();
+        let p1 = run_mechanism(&mech(), &true1).unwrap().payments[0];
+        let p2 = run_mechanism(&mech(), &true2).unwrap().payments[0];
+        assert!(p2 < p1, "True2 payment {p2} not below True1 payment {p1}");
+    }
+
+    #[test]
+    fn singleton_system_is_rejected() {
+        let profile = Profile::new(vec![1.0], vec![1.0], vec![1.0], 5.0).unwrap();
+        let err = run_mechanism(&mech(), &profile).unwrap_err();
+        assert!(matches!(err, MechanismError::NeedTwoAgents));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let m = mech();
+        let alloc = m.allocate(&[1.0, 2.0], 5.0).unwrap();
+        assert!(m.payments(&[1.0, 2.0], &alloc, &[1.0], 5.0).is_err());
+        assert!(m.payments(&[1.0, 2.0, 3.0], &alloc, &[1.0, 2.0, 3.0], 5.0).is_err());
+    }
+
+    proptest! {
+        /// Theorem 3.2 (voluntary participation): a truthful agent's utility
+        /// is non-negative whatever the *consistent* others bid (consistent:
+        /// execution equals bid, which must be at least the true value).
+        #[test]
+        fn prop_voluntary_participation(
+            trues in proptest::collection::vec(0.1f64..10.0, 2..10),
+            other_factors in proptest::collection::vec(1.0f64..5.0, 2..10),
+            r in 0.5f64..50.0,
+        ) {
+            let n = trues.len().min(other_factors.len());
+            let trues = &trues[..n];
+            let factors = &other_factors[..n];
+            let mut bids = vec![trues[0]];
+            let mut exec = vec![trues[0]];
+            for i in 1..n {
+                let b = trues[i] * factors[i];
+                bids.push(b);
+                exec.push(b);
+            }
+            let profile = Profile::new(trues.to_vec(), bids, exec, r).unwrap();
+            let out = run_mechanism(&mech(), &profile).unwrap();
+            prop_assert!(out.utilities[0] >= -1e-9, "truthful agent lost: {}", out.utilities[0]);
+        }
+
+        /// Theorem 3.1 (truthfulness): with the other agents consistent
+        /// (executing at their bid), no (bid, exec) deviation beats truth.
+        #[test]
+        fn prop_truthfulness_dominant(
+            trues in proptest::collection::vec(0.1f64..10.0, 2..8),
+            bid_factor in 0.2f64..5.0,
+            exec_factor in 1.0f64..4.0,
+            other_factor in 1.0f64..2.0,
+            r in 0.5f64..50.0,
+        ) {
+            // Others: consistent (exec == bid >= true).
+            let mut bids: Vec<f64> = trues.iter().map(|&t| t * other_factor).collect();
+            let mut exec = bids.clone();
+            // Truthful utility of agent 0.
+            bids[0] = trues[0];
+            exec[0] = trues[0];
+            let truthful = run_mechanism(
+                &mech(),
+                &Profile::new(trues.clone(), bids.clone(), exec.clone(), r).unwrap(),
+            ).unwrap().utilities[0];
+            // Deviating utility of agent 0.
+            bids[0] = trues[0] * bid_factor;
+            exec[0] = trues[0] * exec_factor;
+            let deviating = run_mechanism(
+                &mech(),
+                &Profile::new(trues.clone(), bids, exec, r).unwrap(),
+            ).unwrap().utilities[0];
+            prop_assert!(deviating <= truthful + 1e-7 * truthful.abs().max(1.0),
+                "deviation gained: {} > {}", deviating, truthful);
+        }
+
+        /// Payments decompose exactly: P = C + B and U = B, under both
+        /// valuation models.
+        #[test]
+        fn prop_payment_decomposition(
+            trues in proptest::collection::vec(0.1f64..10.0, 2..8),
+            bid_factor in 0.2f64..5.0,
+            exec_factor in 1.0f64..4.0,
+            r in 0.5f64..50.0,
+            contributed in proptest::bool::ANY,
+        ) {
+            let m = if contributed {
+                CompensationBonusMechanism::contributed()
+            } else {
+                CompensationBonusMechanism::paper()
+            };
+            let sys = lb_core::System::from_true_values(&trues).unwrap();
+            let profile = Profile::with_deviation(&sys, r, 0, bid_factor, exec_factor).unwrap();
+            let out = run_mechanism(&m, &profile).unwrap();
+            let breakdown = m.payment_breakdown(
+                profile.bids(), &out.allocation, profile.exec_values(), r,
+            ).unwrap();
+            for i in 0..trues.len() {
+                prop_assert!((out.payments[i] - breakdown[i].total()).abs() < 1e-9);
+                prop_assert!((out.utilities[i] - breakdown[i].bonus).abs() < 1e-9);
+            }
+        }
+    }
+}

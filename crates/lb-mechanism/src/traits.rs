@@ -1,0 +1,230 @@
+//! The mechanism abstraction and outcome accounting.
+
+use crate::error::MechanismError;
+use crate::profile::Profile;
+use lb_core::Allocation;
+use serde::{Deserialize, Serialize};
+
+/// How an agent's valuation (its "benefit or loss", Def. 3.1) is modelled.
+///
+/// The paper defines the valuation as "the negation of its latency". Two
+/// readings are arithmetically consistent with different parts of the paper
+/// (the published formulae are OCR-damaged; see `DESIGN.md`):
+///
+/// * [`ValuationModel::PerJobLatency`] — `V_i = −t̃_i·x_i`, the per-job
+///   latency `l_i(x_i)` a job experiences at machine `i`. This is the only
+///   reading consistent with the paper's *numerical* claims: the negative
+///   payment of C1 in experiment Low2 and the payment drop in True2 both
+///   require the compensation `C_i = t̃_i·x_i`. **Paper-faithful default.**
+/// * [`ValuationModel::ContributedLatency`] — `V_i = −t̃_i·x_i²`, machine
+///   `i`'s contribution to the total latency objective (so `Σ V_i = −L`).
+///   This matches the printed `x²` glyphs in Defs. 3.1/3.3.
+///
+/// The choice only shifts payment *levels* (compensation always exactly
+/// cancels the valuation, so utility = bonus under both): every incentive
+/// theorem is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ValuationModel {
+    /// `V_i = −t̃_i·x_i` (per-job latency; matches the paper's numbers).
+    #[default]
+    PerJobLatency,
+    /// `V_i = −t̃_i·x_i²` (contribution to total latency; matches the
+    /// printed formulae).
+    ContributedLatency,
+}
+
+impl ValuationModel {
+    /// Evaluates the valuation of an agent with execution value `exec_value`
+    /// serving jobs at rate `rate`.
+    #[must_use]
+    pub fn valuation(self, rate: f64, exec_value: f64) -> f64 {
+        match self {
+            Self::PerJobLatency => -exec_value * rate,
+            Self::ContributedLatency => -exec_value * rate * rate,
+        }
+    }
+
+    /// The compensation that exactly cancels the valuation (`C = −V`).
+    #[must_use]
+    pub fn compensation(self, rate: f64, exec_value: f64) -> f64 {
+        -self.valuation(rate, exec_value)
+    }
+}
+
+/// A direct-revelation load balancing mechanism with verification
+/// (Def. 3.2 of the paper): an allocation function over bids plus a payment
+/// function over bids *and observed execution values*.
+pub trait VerifiedMechanism {
+    /// Human-readable mechanism name (for reports and tables).
+    fn name(&self) -> &'static str;
+
+    /// The valuation model this mechanism's payments are designed around.
+    fn valuation_model(&self) -> ValuationModel {
+        ValuationModel::default()
+    }
+
+    /// An agent's valuation when serving at `rate` with execution value
+    /// `exec_value`.
+    ///
+    /// Defaults to the linear-latency formula of [`ValuationModel`];
+    /// mechanisms over other latency families
+    /// ([`crate::general::GeneralizedCompensationBonus`]) override it so the
+    /// valuation, the compensation and the realised latency all speak the
+    /// same cost language.
+    fn valuation(&self, rate: f64, exec_value: f64) -> f64 {
+        self.valuation_model().valuation(rate, exec_value)
+    }
+
+    /// Realised total latency of `allocation` under the execution values,
+    /// in this mechanism's latency family (linear by default).
+    ///
+    /// # Errors
+    /// Returns an error on arity mismatches.
+    fn realised_latency(
+        &self,
+        allocation: &Allocation,
+        exec_values: &[f64],
+    ) -> Result<f64, MechanismError> {
+        Ok(lb_core::total_latency_linear(allocation, exec_values)?)
+    }
+
+    /// The allocation function `x(b)` — jobs are assigned from bids alone,
+    /// before any execution happens.
+    ///
+    /// # Errors
+    /// Returns a [`MechanismError`] for invalid bids or rate.
+    fn allocate(&self, bids: &[f64], total_rate: f64) -> Result<Allocation, MechanismError>;
+
+    /// The payment function `P(b, t̃)`, evaluated after execution when the
+    /// execution values `t̃` have been observed.
+    ///
+    /// Mechanisms without verification simply ignore `exec_values` here —
+    /// that is precisely what [`crate::unverified::UnverifiedCompensationBonus`]
+    /// does, and the ablation experiments quantify the consequences.
+    ///
+    /// # Errors
+    /// Returns a [`MechanismError`] for arity mismatches or degenerate
+    /// systems (fewer than two agents).
+    fn payments(
+        &self,
+        bids: &[f64],
+        allocation: &Allocation,
+        exec_values: &[f64],
+        total_rate: f64,
+    ) -> Result<Vec<f64>, MechanismError>;
+}
+
+/// Complete accounting of one mechanism round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MechanismOutcome {
+    /// Job-rate allocation computed from the bids.
+    pub allocation: Allocation,
+    /// Payment handed to each agent.
+    pub payments: Vec<f64>,
+    /// Each agent's valuation `V_i` under the mechanism's valuation model.
+    pub valuations: Vec<f64>,
+    /// Each agent's utility `U_i = P_i + V_i`.
+    pub utilities: Vec<f64>,
+    /// Actual total latency `L(x(b), t̃) = Σ t̃_i x_i²` realised this round.
+    pub total_latency: f64,
+}
+
+impl MechanismOutcome {
+    /// Sum of payments handed out by the mechanism.
+    #[must_use]
+    pub fn total_payment(&self) -> f64 {
+        self.payments.iter().sum()
+    }
+
+    /// Sum of absolute valuations.
+    #[must_use]
+    pub fn total_valuation_abs(&self) -> f64 {
+        self.valuations.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Sum of agent utilities.
+    #[must_use]
+    pub fn total_utility(&self) -> f64 {
+        self.utilities.iter().sum()
+    }
+}
+
+/// Runs one full round of `mechanism` on `profile`: allocate from the bids,
+/// realise the latency under the execution values, compute payments,
+/// valuations and utilities.
+///
+/// # Errors
+/// Propagates any [`MechanismError`] from allocation or payment computation.
+pub fn run_mechanism<M: VerifiedMechanism + ?Sized>(
+    mechanism: &M,
+    profile: &Profile,
+) -> Result<MechanismOutcome, MechanismError> {
+    let allocation = mechanism.allocate(profile.bids(), profile.total_rate())?;
+    let payments =
+        mechanism.payments(profile.bids(), &allocation, profile.exec_values(), profile.total_rate())?;
+
+    let valuations: Vec<f64> = allocation
+        .rates()
+        .iter()
+        .zip(profile.exec_values())
+        .map(|(&x, &e)| mechanism.valuation(x, e))
+        .collect();
+    let utilities: Vec<f64> = payments.iter().zip(&valuations).map(|(p, v)| p + v).collect();
+    let total_latency = mechanism.realised_latency(&allocation, profile.exec_values())?;
+
+    Ok(MechanismOutcome { allocation, payments, valuations, utilities, total_latency })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cb::CompensationBonusMechanism;
+    use lb_core::scenario::paper_system;
+
+    #[test]
+    fn valuation_models_evaluate() {
+        assert_eq!(ValuationModel::PerJobLatency.valuation(3.0, 2.0), -6.0);
+        assert_eq!(ValuationModel::ContributedLatency.valuation(3.0, 2.0), -18.0);
+        assert_eq!(ValuationModel::PerJobLatency.compensation(3.0, 2.0), 6.0);
+    }
+
+    #[test]
+    fn outcome_totals_are_consistent() {
+        let mech = CompensationBonusMechanism::paper();
+        let profile = Profile::truthful(&paper_system(), 20.0).unwrap();
+        let out = run_mechanism(&mech, &profile).unwrap();
+        assert_eq!(out.payments.len(), 16);
+        assert!((out.total_payment() - out.payments.iter().sum::<f64>()).abs() < 1e-12);
+        // Utility identity: U = P + V elementwise.
+        for i in 0..16 {
+            assert!((out.utilities[i] - (out.payments[i] + out.valuations[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contributed_model_valuation_totals_equal_latency() {
+        let mech = CompensationBonusMechanism::contributed();
+        let profile = Profile::truthful(&paper_system(), 20.0).unwrap();
+        let out = run_mechanism(&mech, &profile).unwrap();
+        assert!((out.total_valuation_abs() - out.total_latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilities_are_model_independent() {
+        // Utility = bonus under both valuation models — the model shifts
+        // payments and valuations by equal and opposite amounts.
+        let profile = Profile::truthful(&paper_system(), 20.0).unwrap();
+        let a = run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
+        let b = run_mechanism(&CompensationBonusMechanism::contributed(), &profile).unwrap();
+        for (x, y) in a.utilities.iter().zip(&b.utilities) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn run_mechanism_is_object_safe() {
+        let mech: Box<dyn VerifiedMechanism> = Box::new(CompensationBonusMechanism::paper());
+        let profile = Profile::truthful(&paper_system(), 20.0).unwrap();
+        assert!(run_mechanism(mech.as_ref(), &profile).is_ok());
+    }
+}

@@ -1,0 +1,206 @@
+//! Ablation baseline: compensation-and-bonus **without** verification.
+//!
+//! Identical to [`crate::cb::CompensationBonusMechanism`] except that the
+//! payment is computed from the *bids only* — the mechanism never observes
+//! how fast the jobs were actually executed:
+//!
+//! ```text
+//! P_i(b) = C_i(b_i, x_i) + L_{-i}(b_{-i}) − L(x(b), b)
+//! ```
+//!
+//! (with `C_i(b_i, x_i)` the compensation formula evaluated at the *declared*
+//! value). This is a VCG-style payment over the declared problem, and it
+//! remains *bid*-truthful under the paper's valuation. What it loses — and
+//! what the paper's verification buys — is any coupling between payments and
+//! the **realised** execution:
+//!
+//! 1. **No execution response.** The payment is completely insensitive to
+//!    the observed execution values `t̃`. An agent that executes arbitrarily
+//!    slowly (paper experiments True2, High4, Low2) is paid exactly as if it
+//!    had run at full capacity, and the damage it causes to the other
+//!    agents' latency is never charged to anyone.
+//! 2. **Compensation drift.** The compensation refunds the *declared* cost,
+//!    not the realised cost. Any execution degradation (strategic or
+//!    accidental — overload, faults) leaves an uncompensated gap, and the
+//!    mechanism is blind to it.
+//!
+//! The integration tests and the `ablation` bench quantify both effects;
+//! that payment-responsiveness gap is the paper's motivation for paying only
+//! after execution has been observed.
+
+use crate::error::MechanismError;
+use crate::traits::{ValuationModel, VerifiedMechanism};
+use lb_core::allocation::optimal_latency_excluding;
+use lb_core::{pr_allocate, total_latency_linear, Allocation};
+use serde::{Deserialize, Serialize};
+
+/// Compensation-and-bonus payments computed from bids alone (no verification).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnverifiedCompensationBonus {
+    /// Valuation/compensation model (see [`ValuationModel`]).
+    pub valuation: ValuationModel,
+}
+
+impl UnverifiedCompensationBonus {
+    /// Paper-faithful valuation configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { valuation: ValuationModel::PerJobLatency }
+    }
+}
+
+impl VerifiedMechanism for UnverifiedCompensationBonus {
+    fn name(&self) -> &'static str {
+        "compensation-bonus (unverified)"
+    }
+
+    fn valuation_model(&self) -> ValuationModel {
+        self.valuation
+    }
+
+    fn allocate(&self, bids: &[f64], total_rate: f64) -> Result<Allocation, MechanismError> {
+        Ok(pr_allocate(bids, total_rate)?)
+    }
+
+    fn payments(
+        &self,
+        bids: &[f64],
+        allocation: &Allocation,
+        _exec_values: &[f64],
+        total_rate: f64,
+    ) -> Result<Vec<f64>, MechanismError> {
+        if bids.len() < 2 {
+            return Err(MechanismError::NeedTwoAgents);
+        }
+        if allocation.len() != bids.len() {
+            return Err(lb_core::CoreError::LengthMismatch {
+                expected: bids.len(),
+                actual: allocation.len(),
+            }
+            .into());
+        }
+        // The declared latency: what the mechanism *believes* happened.
+        let declared_latency = total_latency_linear(allocation, bids)?;
+        (0..bids.len())
+            .map(|i| {
+                let x = allocation.rate(i);
+                let compensation = self.valuation.compensation(x, bids[i]);
+                let without_i = optimal_latency_excluding(bids, i, total_rate)?;
+                Ok(compensation + without_i - declared_latency)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cb::CompensationBonusMechanism;
+    use crate::profile::Profile;
+    use crate::traits::run_mechanism;
+    use lb_core::scenario::{paper_system, PAPER_ARRIVAL_RATE};
+
+    #[test]
+    fn agrees_with_verified_on_fully_truthful_profiles() {
+        let profile = Profile::truthful(&paper_system(), PAPER_ARRIVAL_RATE).unwrap();
+        let verified = run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
+        let unverified = run_mechanism(&UnverifiedCompensationBonus::paper(), &profile).unwrap();
+        for (a, b) in verified.payments.iter().zip(&unverified.payments) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn payment_is_insensitive_to_execution_without_verification() {
+        // Agent 0 bids truthfully but executes slower and slower. The
+        // unverified mechanism pays it exactly the same every time; the
+        // verified mechanism's payment strictly decreases (C1 carries a load
+        // x1 ≈ 3.9 > 1, so the bonus drop dominates the compensation rise).
+        let sys = paper_system();
+        let honest = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();
+        let mech = UnverifiedCompensationBonus::paper();
+        let p_honest = run_mechanism(&mech, &honest).unwrap().payments[0];
+
+        let mut prev_verified = f64::INFINITY;
+        for exec_factor in [1.5, 2.0, 3.0] {
+            let lazy = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 1.0, exec_factor).unwrap();
+            let p_lazy = run_mechanism(&mech, &lazy).unwrap().payments[0];
+            assert!((p_honest - p_lazy).abs() < 1e-9, "{p_honest} vs {p_lazy}");
+
+            let v_lazy = run_mechanism(&CompensationBonusMechanism::paper(), &lazy).unwrap().payments[0];
+            assert!(v_lazy < p_lazy - 1e-6, "verified {v_lazy} !< unverified {p_lazy}");
+            assert!(v_lazy < prev_verified, "verified payment must keep falling");
+            prev_verified = v_lazy;
+        }
+    }
+
+    #[test]
+    fn other_agents_payments_ignore_the_damage_without_verification() {
+        // When C1 goes lazy, every other agent's realised bonus shrinks under
+        // the verified mechanism (the shared latency term grew), but the
+        // unverified mechanism keeps paying them as if nothing happened.
+        let sys = paper_system();
+        let honest = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();
+        let lazy = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 1.0, 3.0).unwrap();
+
+        let unv = UnverifiedCompensationBonus::paper();
+        let ver = CompensationBonusMechanism::paper();
+        let u_honest = run_mechanism(&unv, &honest).unwrap().payments;
+        let u_lazy = run_mechanism(&unv, &lazy).unwrap().payments;
+        let v_honest = run_mechanism(&ver, &honest).unwrap().payments;
+        let v_lazy = run_mechanism(&ver, &lazy).unwrap().payments;
+        for j in 1..16 {
+            assert!((u_honest[j] - u_lazy[j]).abs() < 1e-9, "unverified payment moved for {j}");
+            assert!(v_lazy[j] < v_honest[j] - 1e-9, "verified payment did not react for {j}");
+        }
+    }
+
+    #[test]
+    fn compensation_drifts_from_realised_cost_without_verification() {
+        // A machine degrades (t̃ = 2t) while bidding honestly. Verified
+        // compensation still refunds the realised cost exactly; unverified
+        // compensation refunds only the declared cost — half the real one.
+        let sys = paper_system();
+        let degraded = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 1.0, 2.0).unwrap();
+
+        let ver = CompensationBonusMechanism::paper();
+        let alloc = ver.allocate(degraded.bids(), PAPER_ARRIVAL_RATE).unwrap();
+        let x0 = alloc.rate(0);
+        let realised_cost = ver.valuation.compensation(x0, degraded.exec_values()[0]);
+
+        let breakdown = ver
+            .payment_breakdown(degraded.bids(), &alloc, degraded.exec_values(), PAPER_ARRIVAL_RATE)
+            .unwrap();
+        assert!((breakdown[0].compensation - realised_cost).abs() < 1e-9);
+
+        let declared_cost = ver.valuation.compensation(x0, degraded.bids()[0]);
+        assert!((declared_cost - realised_cost / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bid_truthfulness_still_holds_without_verification() {
+        // The unverified variant is VCG over the declared problem: with full
+        // capacity execution, no bid deviation beats truth under the
+        // contributed-latency valuation (whose cost function the VCG payment
+        // aligns with). What it cannot do is react to execution.
+        let sys = paper_system();
+        let mech = UnverifiedCompensationBonus { valuation: ValuationModel::ContributedLatency };
+        let truthful = run_mechanism(&mech, &Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap())
+            .unwrap()
+            .utilities[0];
+        for bid_factor in [0.25, 0.5, 0.8, 1.2, 2.0, 4.0] {
+            let p = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, bid_factor, 1.0).unwrap();
+            let u = run_mechanism(&mech, &p).unwrap().utilities[0];
+            assert!(u <= truthful + 1e-9, "bid deviation {bid_factor} gained: {u} > {truthful}");
+        }
+    }
+
+    #[test]
+    fn singleton_rejected() {
+        let profile = Profile::new(vec![1.0], vec![1.0], vec![1.0], 2.0).unwrap();
+        assert!(matches!(
+            run_mechanism(&UnverifiedCompensationBonus::paper(), &profile),
+            Err(MechanismError::NeedTwoAgents)
+        ));
+    }
+}

@@ -1,0 +1,84 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding wire messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// Bytes needed to continue.
+        needed: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// The input contained extra bytes after the value.
+    TrailingBytes(usize),
+    /// A byte string was not valid UTF-8 where a string was expected.
+    InvalidUtf8,
+    /// A tag byte (bool/option) held an invalid value.
+    InvalidTag(u8),
+    /// A `char` was encoded as an invalid scalar value.
+    InvalidChar(u32),
+    /// An enum variant index was out of range for the target enum.
+    InvalidVariant(u32),
+    /// A length prefix exceeded the remaining input (corruption guard).
+    LengthOverflow(u64),
+    /// The format is not self-describing: `deserialize_any` is unsupported.
+    NotSelfDescribing,
+    /// Sequences must know their length up front to be encoded.
+    UnknownLength,
+    /// Custom error raised by a `Serialize`/`Deserialize` implementation.
+    Custom(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof { needed, available } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {available} available")
+            }
+            Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            Self::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            Self::InvalidTag(t) => write!(f, "invalid tag byte {t}"),
+            Self::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            Self::InvalidVariant(v) => write!(f, "invalid enum variant index {v}"),
+            Self::LengthOverflow(n) => write!(f, "length prefix {n} exceeds remaining input"),
+            Self::NotSelfDescribing => {
+                write!(f, "format is not self-describing (deserialize_any unsupported)")
+            }
+            Self::UnknownLength => write!(f, "sequence length must be known up front"),
+            Self::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl serde::ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self::Custom(msg.to_string())
+    }
+}
+
+impl serde::de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self::Custom(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(CodecError::UnexpectedEof { needed: 4, available: 1 }.to_string().contains('4'));
+        assert!(CodecError::TrailingBytes(3).to_string().contains('3'));
+        assert!(CodecError::InvalidUtf8.to_string().contains("UTF-8"));
+        assert!(CodecError::InvalidTag(9).to_string().contains('9'));
+        assert!(CodecError::InvalidVariant(2).to_string().contains('2'));
+        assert!(CodecError::NotSelfDescribing.to_string().contains("self-describing"));
+        assert!(<CodecError as serde::ser::Error>::custom("boom").to_string().contains("boom"));
+    }
+}

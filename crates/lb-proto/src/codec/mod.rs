@@ -1,0 +1,213 @@
+//! Compact binary wire format (serde-based).
+//!
+//! A non-self-describing, little-endian binary encoding in the spirit of
+//! bincode, implemented from scratch on top of [`bytes`]:
+//!
+//! * fixed-width little-endian integers and floats,
+//! * `u64` length prefixes for strings, byte arrays, sequences and maps,
+//! * `u32` variant indices for enums,
+//! * one-byte tags for `Option` and `bool`.
+//!
+//! Because the format is not self-describing, decoding requires the exact
+//! type that was encoded — which is the right trade-off for a protocol whose
+//! two endpoints share one message vocabulary. Round-trip property tests
+//! (including proptest-generated payloads) live in the crate's test suite.
+
+mod de;
+mod error;
+mod ser;
+
+pub use de::{decode, Decoder};
+pub use error::CodecError;
+pub use ser::{encode, Encoder};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = encode(value).expect("encode");
+        let back: T = decode(&bytes).expect("decode");
+        assert_eq!(&back, value);
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Plain {
+        a: u8,
+        b: i64,
+        c: f64,
+        d: String,
+        e: bool,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Various {
+        Unit,
+        Newtype(u32),
+        Tuple(i16, String),
+        Struct { x: f32, y: Vec<u8> },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        inner: Vec<Various>,
+        map: BTreeMap<String, f64>,
+        opt: Option<Box<Nested>>,
+        tuple: (u8, u16, u32),
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&0u8);
+        roundtrip(&u64::MAX);
+        roundtrip(&i64::MIN);
+        roundtrip(&-1i8);
+        roundtrip(&3.141_592_653_589_793f64);
+        roundtrip(&f64::NEG_INFINITY);
+        roundtrip(&true);
+        roundtrip(&'λ');
+        roundtrip(&"hello world".to_string());
+        roundtrip(&u128::MAX);
+        roundtrip(&i128::MIN);
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        roundtrip(&Plain { a: 7, b: -42, c: 2.5, d: "bid".into(), e: false });
+    }
+
+    #[test]
+    fn enum_variants_roundtrip() {
+        roundtrip(&Various::Unit);
+        roundtrip(&Various::Newtype(99));
+        roundtrip(&Various::Tuple(-3, "x".into()));
+        roundtrip(&Various::Struct { x: 1.5, y: vec![1, 2, 3] });
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(&vec![1.0f64, 2.0, 3.0]);
+        roundtrip(&Vec::<u8>::new());
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1u32);
+        map.insert("b".to_string(), 2);
+        roundtrip(&map);
+        roundtrip(&Some(5u8));
+        roundtrip(&Option::<u8>::None);
+        roundtrip(&(1u8, -2i32, "three".to_string()));
+    }
+
+    #[test]
+    fn deeply_nested_roundtrip() {
+        let leaf = Nested {
+            inner: vec![Various::Unit, Various::Newtype(1)],
+            map: BTreeMap::new(),
+            opt: None,
+            tuple: (1, 2, 3),
+        };
+        let mut map = BTreeMap::new();
+        map.insert("k".to_string(), -0.5);
+        let root = Nested {
+            inner: vec![Various::Struct { x: 0.0, y: vec![] }],
+            map,
+            opt: Some(Box::new(leaf)),
+            tuple: (9, 8, 7),
+        };
+        roundtrip(&root);
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = encode(&Plain { a: 1, b: 2, c: 3.0, d: "abcd".into(), e: true }).unwrap();
+        for cut in 0..bytes.len() {
+            let err = decode::<Plain>(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&5u32).unwrap().to_vec();
+        bytes.push(0);
+        assert!(matches!(decode::<u32>(&bytes), Err(CodecError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn unknown_variant_is_rejected() {
+        // Encode a variant index beyond the enum's arity.
+        let bytes = encode(&17u32).unwrap();
+        assert!(decode::<Various>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(decode::<String>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_are_rejected() {
+        assert!(decode::<bool>(&[2]).is_err());
+        assert!(decode::<Option<u8>>(&[7]).is_err());
+    }
+
+    fn arb_message() -> impl Strategy<Value = crate::message::Message> {
+        use crate::message::{Message, RoundId};
+        let round = any::<u64>().prop_map(RoundId);
+        prop_oneof![
+            round.clone().prop_map(|round| Message::RequestBid { round }),
+            (round.clone(), any::<u32>(), -1e12f64..1e12).prop_map(|(round, machine, value)| {
+                Message::Bid { round, machine, value }
+            }),
+            (round.clone(), -1e12f64..1e12)
+                .prop_map(|(round, rate)| Message::Assign { round, rate }),
+            (round.clone(), any::<u32>())
+                .prop_map(|(round, machine)| Message::ExecutionDone { round, machine }),
+            (round, -1e12f64..1e12).prop_map(|(round, amount)| Message::Payment { round, amount }),
+        ]
+    }
+
+    proptest! {
+        /// Every protocol message, with arbitrary field values, survives the
+        /// wire format bit-exactly.
+        #[test]
+        fn prop_roundtrip_protocol_messages(msg in arb_message()) {
+            roundtrip(&msg);
+        }
+
+        #[test]
+        fn prop_roundtrip_plain(
+            a in any::<u8>(), b in any::<i64>(), c in any::<f64>(),
+            d in ".*", e in any::<bool>(),
+        ) {
+            prop_assume!(!c.is_nan());
+            roundtrip(&Plain { a, b, c, d, e });
+        }
+
+        #[test]
+        fn prop_roundtrip_vectors(v in proptest::collection::vec(any::<f64>(), 0..64)) {
+            prop_assume!(v.iter().all(|x| !x.is_nan()));
+            roundtrip(&v);
+        }
+
+        #[test]
+        fn prop_roundtrip_nested_options(v in proptest::collection::vec(
+            proptest::option::of(any::<i32>()), 0..32))
+        {
+            roundtrip(&v);
+        }
+
+        #[test]
+        fn prop_random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Decoding arbitrary garbage must fail gracefully, never panic.
+            let _ = decode::<Plain>(&data);
+            let _ = decode::<Various>(&data);
+            let _ = decode::<Vec<String>>(&data);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Serializer: Rust values → compact binary.
+
+use super::error::CodecError;
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::ser::{self, Serialize};
+
+/// Encodes a value into its wire representation.
+///
+/// # Errors
+/// Returns [`CodecError`] when the value cannot be represented (e.g. a
+/// sequence of unknown length) or a `Serialize` impl raises a custom error.
+pub fn encode<T: Serialize + ?Sized>(value: &T) -> Result<Bytes, CodecError> {
+    let mut encoder = Encoder::new();
+    value.serialize(&mut encoder)?;
+    Ok(encoder.into_bytes())
+}
+
+/// Streaming encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { buf: BytesMut::with_capacity(64) }
+    }
+
+    /// Finalises the encoder into an immutable byte buffer.
+    #[must_use]
+    pub fn into_bytes(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    fn put_len(&mut self, len: usize) {
+        self.buf.put_u64_le(len as u64);
+    }
+}
+
+impl ser::Serializer for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.buf.put_u8(u8::from(v));
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.buf.put_i8(v);
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.buf.put_i16_le(v);
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.buf.put_i32_le(v);
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.buf.put_i64_le(v);
+        Ok(())
+    }
+    fn serialize_i128(self, v: i128) -> Result<(), CodecError> {
+        self.buf.put_i128_le(v);
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.buf.put_u8(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.buf.put_u16_le(v);
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.buf.put_u32_le(v);
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.buf.put_u64_le(v);
+        Ok(())
+    }
+    fn serialize_u128(self, v: u128) -> Result<(), CodecError> {
+        self.buf.put_u128_le(v);
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.buf.put_f32_le(v);
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.buf.put_f64_le(v);
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.buf.put_u32_le(v as u32);
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.buf.put_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.buf.put_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.buf.put_u8(0);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.buf.put_u8(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.buf.put_u32_le(variant_index);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.buf.put_u32_le(variant_index);
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, CodecError> {
+        let len = len.ok_or(CodecError::UnknownLength)?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, CodecError> {
+        self.buf.put_u32_le(variant_index);
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, CodecError> {
+        let len = len.ok_or(CodecError::UnknownLength)?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, CodecError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, CodecError> {
+        self.buf.put_u32_le(variant_index);
+        Ok(self)
+    }
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+impl ser::SerializeSeq for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+impl ser::SerializeTuple for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+impl ser::SerializeTupleStruct for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+impl ser::SerializeTupleVariant for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+impl ser::SerializeMap for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+impl ser::SerializeStruct for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+impl ser::SerializeStructVariant for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_little_endian() {
+        assert_eq!(encode(&0x0102_0304u32).unwrap().as_ref(), &[4, 3, 2, 1]);
+        assert_eq!(encode(&0x01u8).unwrap().as_ref(), &[1]);
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let bytes = encode("ab").unwrap();
+        assert_eq!(bytes.as_ref(), &[2, 0, 0, 0, 0, 0, 0, 0, b'a', b'b']);
+    }
+
+    #[test]
+    fn options_use_one_byte_tags() {
+        assert_eq!(encode(&Option::<u8>::None).unwrap().as_ref(), &[0]);
+        assert_eq!(encode(&Some(7u8)).unwrap().as_ref(), &[1, 7]);
+    }
+
+    #[test]
+    fn unit_encodes_to_nothing() {
+        assert!(encode(&()).unwrap().is_empty());
+    }
+}

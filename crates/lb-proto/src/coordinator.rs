@@ -1,0 +1,420 @@
+//! The mechanism centre as an explicit state machine.
+//!
+//! The coordinator drives one round through four phases:
+//!
+//! ```text
+//! CollectingBids → Executing → Settling → Done
+//! ```
+//!
+//! It owns the verification plane: after allocating, it runs the
+//! discrete-event execution simulation ([`lb_sim::driver::simulate_round`])
+//! at the nodes' *actual* execution values and keeps only the *estimates*
+//! for payment — the coordinator never reads a node's private state.
+//!
+//! **Fault handling.** A machine whose bid never arrives can be *excluded*
+//! by [`Coordinator::close_bidding`]: the round proceeds over the
+//! respondents only (the excluded machine gets no jobs and no payment —
+//! exactly the `L_{-i}` world its bonus is benchmarked against). A machine
+//! whose completion acknowledgement is lost does not block settlement:
+//! [`Coordinator::close_execution`] settles from the coordinator's own
+//! measurements, which is all the payment needs.
+
+use crate::message::{Message, RoundId};
+use lb_core::Allocation;
+use lb_mechanism::{MechanismError, VerifiedMechanism};
+use lb_sim::driver::{simulate_round, SimulationConfig};
+
+/// Phase of the coordinator's round state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordinatorPhase {
+    /// Waiting for all bids.
+    CollectingBids,
+    /// Jobs executing; waiting for all completion acknowledgements.
+    Executing,
+    /// Payments computed and sent; waiting for the round to close.
+    Settling,
+    /// Round complete.
+    Done,
+}
+
+/// The mechanism centre for one round over `n` nodes.
+pub struct Coordinator<'m> {
+    mechanism: &'m dyn VerifiedMechanism,
+    total_rate: f64,
+    round: RoundId,
+    sim_config: SimulationConfig,
+    phase: CoordinatorPhase,
+    bids: Vec<Option<f64>>,
+    excluded: Vec<bool>,
+    done: Vec<bool>,
+    allocation: Option<Allocation>,
+    estimated_exec: Option<Vec<f64>>,
+    payments: Option<Vec<f64>>,
+}
+
+impl std::fmt::Debug for Coordinator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("round", &self.round)
+            .field("phase", &self.phase)
+            .field("excluded", &self.excluded)
+            .finish()
+    }
+}
+
+impl<'m> Coordinator<'m> {
+    /// Creates a coordinator for a round over `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(
+        mechanism: &'m dyn VerifiedMechanism,
+        n: usize,
+        total_rate: f64,
+        round: RoundId,
+        sim_config: SimulationConfig,
+    ) -> Self {
+        assert!(n > 0, "Coordinator: need at least one node");
+        Self {
+            mechanism,
+            total_rate,
+            round,
+            sim_config,
+            phase: CoordinatorPhase::CollectingBids,
+            bids: vec![None; n],
+            excluded: vec![false; n],
+            done: vec![false; n],
+            allocation: None,
+            estimated_exec: None,
+            payments: None,
+        }
+    }
+
+    /// Current phase.
+    #[must_use]
+    pub fn phase(&self) -> CoordinatorPhase {
+        self.phase
+    }
+
+    /// Machines excluded from the current round (bid never arrived).
+    #[must_use]
+    pub fn excluded(&self) -> &[bool] {
+        &self.excluded
+    }
+
+    /// Opening messages: one bid request per node.
+    #[must_use]
+    pub fn open(&self) -> Vec<Message> {
+        (0..self.bids.len()).map(|_| Message::RequestBid { round: self.round }).collect()
+    }
+
+    fn respondents(&self) -> Vec<usize> {
+        (0..self.bids.len()).filter(|&i| self.bids[i].is_some() && !self.excluded[i]).collect()
+    }
+
+    fn all_bids_in(&self) -> bool {
+        (0..self.bids.len()).all(|i| self.bids[i].is_some() || self.excluded[i])
+    }
+
+    fn all_done(&self) -> bool {
+        self.respondents().iter().all(|&i| self.done[i])
+    }
+
+    /// Handles one node message; returns messages to send, addressed by the
+    /// returned `(node, message)` pairs.
+    ///
+    /// `actual_exec_values` is the *world state* the execution simulation
+    /// runs against; the coordinator only ever uses its measurements of it.
+    ///
+    /// # Errors
+    /// Propagates mechanism/simulation errors.
+    ///
+    /// # Panics
+    /// Panics on protocol violations (wrong round, out-of-range machine,
+    /// coordinator-originated messages, duplicate bids).
+    pub fn handle(
+        &mut self,
+        message: &Message,
+        actual_exec_values: &[f64],
+    ) -> Result<Vec<(u32, Message)>, MechanismError> {
+        assert_eq!(message.round(), self.round, "coordinator: wrong round");
+        match *message {
+            Message::Bid { machine, value, .. } => {
+                let idx = machine as usize;
+                assert!(idx < self.bids.len(), "coordinator: machine out of range");
+                if self.excluded[idx] {
+                    // A bid that arrives after exclusion is stale: ignore it
+                    // in whatever phase it straggles in.
+                    return Ok(Vec::new());
+                }
+                assert!(self.phase == CoordinatorPhase::CollectingBids, "bid outside collection phase");
+                assert!(self.bids[idx].is_none(), "coordinator: duplicate bid from {machine}");
+                self.bids[idx] = Some(value);
+                if self.all_bids_in() {
+                    self.begin_execution(actual_exec_values)
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            Message::ExecutionDone { machine, .. } => {
+                assert!(self.phase == CoordinatorPhase::Executing, "completion outside execution phase");
+                let idx = machine as usize;
+                assert!(idx < self.done.len(), "coordinator: machine out of range");
+                self.done[idx] = true;
+                if self.all_done() {
+                    self.settle()
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            Message::RequestBid { .. } | Message::Assign { .. } | Message::Payment { .. } => {
+                panic!("coordinator received coordinator-originated message")
+            }
+        }
+    }
+
+    /// Bid timeout: excludes every machine whose bid has not arrived and
+    /// proceeds with the respondents. Returns the `Assign` messages.
+    ///
+    /// # Errors
+    /// Returns [`MechanismError::NeedTwoAgents`] when fewer than two bids
+    /// arrived (the mechanism cannot run), or downstream errors.
+    ///
+    /// # Panics
+    /// Panics if called outside the bid-collection phase.
+    pub fn close_bidding(
+        &mut self,
+        actual_exec_values: &[f64],
+    ) -> Result<Vec<(u32, Message)>, MechanismError> {
+        assert!(
+            self.phase == CoordinatorPhase::CollectingBids,
+            "close_bidding outside collection phase"
+        );
+        for i in 0..self.bids.len() {
+            if self.bids[i].is_none() {
+                self.excluded[i] = true;
+            }
+        }
+        if self.respondents().len() < 2 {
+            return Err(MechanismError::NeedTwoAgents);
+        }
+        self.begin_execution(actual_exec_values)
+    }
+
+    /// Execution timeout: settles from the coordinator's own measurements
+    /// even though some completion acknowledgements are missing.
+    ///
+    /// # Errors
+    /// Propagates mechanism errors.
+    ///
+    /// # Panics
+    /// Panics if called outside the execution phase.
+    pub fn close_execution(&mut self) -> Result<Vec<(u32, Message)>, MechanismError> {
+        assert!(self.phase == CoordinatorPhase::Executing, "close_execution outside execution phase");
+        self.settle()
+    }
+
+    fn begin_execution(
+        &mut self,
+        actual_exec_values: &[f64],
+    ) -> Result<Vec<(u32, Message)>, MechanismError> {
+        let respondents = self.respondents();
+        let sub_bids: Vec<f64> =
+            respondents.iter().map(|&i| self.bids[i].expect("respondent has bid")).collect();
+        let sub_exec: Vec<f64> = respondents.iter().map(|&i| actual_exec_values[i]).collect();
+        let sub_alloc = self.mechanism.allocate(&sub_bids, self.total_rate)?;
+
+        // Execution + verification over the participating machines.
+        let report = simulate_round(&sub_bids, &sub_exec, self.total_rate, &self.sim_config)?;
+
+        // Scatter into full-width vectors (excluded machines: rate 0, no
+        // verification evidence).
+        let n = self.bids.len();
+        let mut rates = vec![0.0; n];
+        let mut estimates = vec![0.0; n];
+        for (k, &i) in respondents.iter().enumerate() {
+            rates[i] = sub_alloc.rate(k);
+            estimates[i] = report.estimated_exec_values[k];
+        }
+        self.estimated_exec = Some(estimates);
+
+        let assigns = respondents
+            .iter()
+            .map(|&i| {
+                (
+                    u32::try_from(i).expect("node index fits u32"),
+                    Message::Assign { round: self.round, rate: rates[i] },
+                )
+            })
+            .collect();
+        self.allocation = Some(Allocation::new(rates, self.total_rate)?);
+        self.phase = CoordinatorPhase::Executing;
+        Ok(assigns)
+    }
+
+    fn settle(&mut self) -> Result<Vec<(u32, Message)>, MechanismError> {
+        let respondents = self.respondents();
+        let sub_bids: Vec<f64> =
+            respondents.iter().map(|&i| self.bids[i].expect("respondent has bid")).collect();
+        let allocation = self.allocation.as_ref().expect("allocation computed");
+        let estimates = self.estimated_exec.as_ref().expect("estimates computed");
+        let sub_rates: Vec<f64> = respondents.iter().map(|&i| allocation.rate(i)).collect();
+        let sub_alloc = Allocation::new(sub_rates, self.total_rate)?;
+        let sub_estimates: Vec<f64> = respondents.iter().map(|&i| estimates[i]).collect();
+
+        let sub_payments =
+            self.mechanism.payments(&sub_bids, &sub_alloc, &sub_estimates, self.total_rate)?;
+        let mut payments = vec![0.0; self.bids.len()];
+        for (k, &i) in respondents.iter().enumerate() {
+            payments[i] = sub_payments[k];
+        }
+        let out = respondents
+            .iter()
+            .map(|&i| {
+                (
+                    u32::try_from(i).expect("node index fits u32"),
+                    Message::Payment { round: self.round, amount: payments[i] },
+                )
+            })
+            .collect();
+        self.payments = Some(payments);
+        self.phase = CoordinatorPhase::Done;
+        Ok(out)
+    }
+
+    /// The allocation, once computed (full width; excluded machines at 0).
+    #[must_use]
+    pub fn allocation(&self) -> Option<&Allocation> {
+        self.allocation.as_ref()
+    }
+
+    /// The verification estimates, once measured (0 for excluded machines).
+    #[must_use]
+    pub fn estimated_exec_values(&self) -> Option<&[f64]> {
+        self.estimated_exec.as_deref()
+    }
+
+    /// The payments, once settled (0 for excluded machines).
+    #[must_use]
+    pub fn payments(&self) -> Option<&[f64]> {
+        self.payments.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_mechanism::CompensationBonusMechanism;
+    use lb_sim::server::ServiceModel;
+
+    fn config() -> SimulationConfig {
+        SimulationConfig {
+            horizon: 300.0,
+            seed: 9,
+            model: ServiceModel::StationaryDeterministic,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: lb_sim::estimator::EstimatorConfig::default(),
+        }
+    }
+
+    #[test]
+    fn full_round_state_machine() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0];
+        let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config());
+        assert_eq!(c.phase(), CoordinatorPhase::CollectingBids);
+        assert_eq!(c.open().len(), 2);
+
+        let none = c
+            .handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues)
+            .unwrap();
+        assert!(none.is_empty());
+        let assigns = c
+            .handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues)
+            .unwrap();
+        assert_eq!(assigns.len(), 2);
+        assert_eq!(c.phase(), CoordinatorPhase::Executing);
+        assert!(c.allocation().is_some());
+
+        let none = c
+            .handle(&Message::ExecutionDone { round: RoundId(0), machine: 1 }, &trues)
+            .unwrap();
+        assert!(none.is_empty());
+        let payments = c
+            .handle(&Message::ExecutionDone { round: RoundId(0), machine: 0 }, &trues)
+            .unwrap();
+        assert_eq!(payments.len(), 2);
+        assert_eq!(c.phase(), CoordinatorPhase::Done);
+        assert!(c.payments().is_some());
+        // Verification recovered the true execution values exactly
+        // (deterministic service model).
+        let est = c.estimated_exec_values().unwrap();
+        assert!((est[0] - 1.0).abs() < 1e-9 && (est[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn close_bidding_excludes_silent_machines() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0, 4.0];
+        let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
+        c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues).unwrap();
+        c.handle(&Message::Bid { round: RoundId(0), machine: 2, value: 4.0 }, &trues).unwrap();
+        // Machine 1 never bids; timeout.
+        let assigns = c.close_bidding(&trues).unwrap();
+        assert_eq!(assigns.len(), 2, "assigns only to respondents");
+        assert_eq!(c.excluded(), &[false, true, false]);
+        let alloc = c.allocation().unwrap();
+        assert_eq!(alloc.rate(1), 0.0);
+        assert!((alloc.total_rate() - 3.0).abs() < 1e-9);
+
+        // A stale bid from machine 1 after exclusion is ignored.
+        let out = c
+            .handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn close_bidding_needs_two_respondents() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0, 4.0];
+        let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
+        c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues).unwrap();
+        assert!(matches!(c.close_bidding(&trues), Err(MechanismError::NeedTwoAgents)));
+    }
+
+    #[test]
+    fn close_execution_settles_without_all_acks() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0];
+        let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config());
+        c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues).unwrap();
+        c.handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues).unwrap();
+        c.handle(&Message::ExecutionDone { round: RoundId(0), machine: 0 }, &trues).unwrap();
+        // Machine 1's ack is lost; settle from measurements.
+        let payments = c.close_execution().unwrap();
+        assert_eq!(payments.len(), 2);
+        assert_eq!(c.phase(), CoordinatorPhase::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate bid")]
+    fn duplicate_bid_panics() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0];
+        let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config());
+        let bid = Message::Bid { round: RoundId(0), machine: 0, value: 1.0 };
+        c.handle(&bid, &trues).unwrap();
+        c.handle(&bid, &trues).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong round")]
+    fn wrong_round_panics() {
+        let mech = CompensationBonusMechanism::paper();
+        let mut c = Coordinator::new(&mech, 1, 3.0, RoundId(0), config());
+        c.handle(&Message::Bid { round: RoundId(1), machine: 0, value: 1.0 }, &[1.0]).unwrap();
+    }
+}

@@ -1,0 +1,282 @@
+//! Fault-tolerant protocol runtime: lost messages, silent machines,
+//! coordinator timeouts.
+//!
+//! The paper's protocol implicitly assumes a reliable network; a deployable
+//! version cannot. This runtime drives the same round as
+//! [`crate::runtime::run_protocol_round`] over a lossy [`SimNetwork`] and
+//! applies two timeout rules when the network drains without progress:
+//!
+//! * **Bid timeout** — machines whose bids never arrived are *excluded*:
+//!   the round proceeds over the respondents (the excluded machine receives
+//!   no jobs and no payment, which is exactly the `L_{-i}` counterfactual
+//!   its bonus is measured against, so incentives are unaffected).
+//! * **Completion timeout** — settlement does not wait for lost completion
+//!   acknowledgements: payments derive from the coordinator's *own*
+//!   measurements, the acks are liveness signals only.
+
+use crate::coordinator::{Coordinator, CoordinatorPhase};
+use crate::message::{Message, RoundId};
+use crate::network::{Endpoint, SimNetwork};
+use crate::node::{NodeAgent, NodeSpec};
+use crate::runtime::{ProtocolConfig, ProtocolOutcome};
+use lb_mechanism::{MechanismError, VerifiedMechanism};
+
+/// Declarative fault plan for one round.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Machines whose `Bid` messages are lost in transit.
+    pub lose_bids_from: Vec<u32>,
+    /// Machines whose `ExecutionDone` acknowledgements are lost.
+    pub lose_acks_from: Vec<u32>,
+    /// Machines that never receive any coordinator message (full partition).
+    pub partitioned: Vec<u32>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the runtime then matches the reliable one).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    fn drops(&self, from: Endpoint, to: Endpoint, message: &Message) -> bool {
+        match (from, to, message) {
+            (Endpoint::Node(i), _, Message::Bid { .. }) if self.lose_bids_from.contains(&i) => true,
+            (Endpoint::Node(i), _, Message::ExecutionDone { .. })
+                if self.lose_acks_from.contains(&i) =>
+            {
+                true
+            }
+            (_, Endpoint::Node(i), _) if self.partitioned.contains(&i) => true,
+            (Endpoint::Node(i), _, _) if self.partitioned.contains(&i) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Runs one protocol round over a lossy network with timeout handling.
+///
+/// Returns the full-width outcome: excluded machines have rate 0, payment 0
+/// and utility 0.
+///
+/// # Errors
+/// Propagates mechanism errors — notably [`MechanismError::NeedTwoAgents`]
+/// when fewer than two machines' bids survive.
+///
+/// # Panics
+/// Panics if `specs` is empty or on internal protocol violations.
+pub fn run_protocol_round_with_faults<M: VerifiedMechanism>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    faults: &FaultPlan,
+) -> Result<ProtocolOutcome, MechanismError> {
+    assert!(!specs.is_empty(), "run_protocol_round_with_faults: need at least one node");
+    let n = specs.len();
+    let round = RoundId(0);
+    let codec_err = |e: crate::codec::CodecError| {
+        MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+    };
+
+    let mut nodes: Vec<NodeAgent> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &spec)| NodeAgent::new(u32::try_from(i).expect("fits u32"), spec))
+        .collect();
+    let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
+
+    let mut coordinator = Coordinator::new(mechanism, n, config.total_rate, round, config.simulation);
+    let mut network = SimNetwork::with_constant_latency(config.link_latency);
+    {
+        let plan = faults.clone();
+        network.set_drop_filter(move |from, to, m| plan.drops(from, to, m));
+    }
+
+    for (i, msg) in coordinator.open().into_iter().enumerate() {
+        network
+            .send(Endpoint::Coordinator, Endpoint::Node(u32::try_from(i).expect("fits u32")), &msg)
+            .map_err(codec_err)?;
+    }
+
+    // Drive until done, applying timeouts whenever the network drains.
+    loop {
+        match network.deliver_next().map_err(codec_err)? {
+            Some(delivery) => match delivery.to {
+                Endpoint::Node(i) => {
+                    if let Some(reply) = nodes[i as usize].handle(&delivery.message) {
+                        network
+                            .send(Endpoint::Node(i), Endpoint::Coordinator, &reply)
+                            .map_err(codec_err)?;
+                    }
+                }
+                Endpoint::Coordinator => {
+                    let outgoing = coordinator.handle(&delivery.message, &actual_exec)?;
+                    for (i, msg) in outgoing {
+                        network
+                            .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
+                            .map_err(codec_err)?;
+                    }
+                }
+            },
+            None => match coordinator.phase() {
+                CoordinatorPhase::Done => break,
+                CoordinatorPhase::CollectingBids => {
+                    // Bid timeout fired.
+                    let outgoing = coordinator.close_bidding(&actual_exec)?;
+                    for (i, msg) in outgoing {
+                        network
+                            .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
+                            .map_err(codec_err)?;
+                    }
+                }
+                CoordinatorPhase::Executing => {
+                    // Completion timeout fired.
+                    let outgoing = coordinator.close_execution()?;
+                    for (i, msg) in outgoing {
+                        network
+                            .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
+                            .map_err(codec_err)?;
+                    }
+                }
+                CoordinatorPhase::Settling => unreachable!("settling is instantaneous"),
+            },
+        }
+    }
+
+    let payments = coordinator.payments().expect("settled").to_vec();
+    let estimated = coordinator.estimated_exec_values().expect("verified").to_vec();
+    let allocation = coordinator.allocation().expect("allocated");
+
+    let rates: Vec<f64> = (0..n).map(|i| allocation.rate(i)).collect();
+    let utilities: Vec<f64> = (0..n)
+        .map(|i| {
+            // Node-side accounting where settlement reached the node; the
+            // coordinator's ledger elsewhere (excluded/partitioned machines
+            // served no jobs, so their valuation is 0 and utility equals the
+            // ledger payment, i.e. 0).
+            nodes[i].utility(mechanism.valuation_model()).unwrap_or(if rates[i] == 0.0 {
+                payments[i]
+            } else {
+                payments[i] + mechanism.valuation(rates[i], specs[i].exec_value)
+            })
+        })
+        .collect();
+
+    Ok(ProtocolOutcome { rates, payments, utilities, estimated_exec_values: estimated, stats: network.stats() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_protocol_round;
+    use lb_core::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
+    use lb_mechanism::{run_mechanism, CompensationBonusMechanism, Profile};
+    use lb_sim::driver::SimulationConfig;
+    use lb_sim::server::ServiceModel;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            total_rate: PAPER_ARRIVAL_RATE,
+            link_latency: 0.001,
+            simulation: SimulationConfig {
+                horizon: 300.0,
+                seed: 3,
+                model: ServiceModel::StationaryDeterministic,
+                workload: Default::default(),
+                warmup: 0.0,
+                estimator: lb_sim::estimator::EstimatorConfig::default(),
+            },
+        }
+    }
+
+    fn truthful_specs() -> Vec<NodeSpec> {
+        paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect()
+    }
+
+    #[test]
+    fn no_faults_matches_reliable_runtime() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let reliable = run_protocol_round(&mech, &specs, &config()).unwrap();
+        let faulty = run_protocol_round_with_faults(&mech, &specs, &config(), &FaultPlan::none())
+            .unwrap();
+        assert_eq!(reliable.payments, faulty.payments);
+        assert_eq!(reliable.stats, faulty.stats);
+    }
+
+    #[test]
+    fn lost_bid_excludes_the_machine_and_round_completes() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let faults = FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() };
+        let outcome = run_protocol_round_with_faults(&mech, &specs, &config(), &faults).unwrap();
+
+        assert_eq!(outcome.rates[0], 0.0);
+        assert_eq!(outcome.payments[0], 0.0);
+        assert_eq!(outcome.utilities[0], 0.0);
+
+        // The surviving machines are settled exactly as the 15-machine
+        // system C2..C16 (the L_{-C1} world).
+        let trues = paper_true_values();
+        let sub_sys = lb_core::System::from_true_values(&trues[1..]).unwrap();
+        let sub = run_mechanism(&mech, &Profile::truthful(&sub_sys, PAPER_ARRIVAL_RATE).unwrap())
+            .unwrap();
+        for j in 1..16 {
+            assert!(
+                (outcome.payments[j] - sub.payments[j - 1]).abs() < 1e-6,
+                "machine {j}: {} vs {}",
+                outcome.payments[j],
+                sub.payments[j - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn lost_ack_does_not_change_payments() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let clean = run_protocol_round(&mech, &specs, &config()).unwrap();
+        let faults = FaultPlan { lose_acks_from: vec![3, 7], ..FaultPlan::none() };
+        let outcome = run_protocol_round_with_faults(&mech, &specs, &config(), &faults).unwrap();
+        for i in 0..16 {
+            assert!((clean.payments[i] - outcome.payments[i]).abs() < 1e-9, "payment {i}");
+        }
+    }
+
+    #[test]
+    fn partitioned_machine_is_fully_excluded() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let faults = FaultPlan { partitioned: vec![5], ..FaultPlan::none() };
+        let outcome = run_protocol_round_with_faults(&mech, &specs, &config(), &faults).unwrap();
+        assert_eq!(outcome.rates[5], 0.0);
+        assert_eq!(outcome.payments[5], 0.0);
+        // Load conservation still holds over the survivors.
+        let total: f64 = outcome.rates.iter().sum();
+        assert!((total - PAPER_ARRIVAL_RATE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_many_lost_bids_is_a_clean_error() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs: Vec<NodeSpec> = vec![NodeSpec::truthful(1.0), NodeSpec::truthful(2.0)];
+        let faults = FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() };
+        assert!(matches!(
+            run_protocol_round_with_faults(&mech, &specs, &config(), &faults),
+            Err(MechanismError::NeedTwoAgents)
+        ));
+    }
+
+    #[test]
+    fn lazy_machine_is_still_penalized_under_faults() {
+        // A lossy network must not launder a lazy machine's behaviour.
+        let mech = CompensationBonusMechanism::paper();
+        let mut specs = truthful_specs();
+        specs[1] = NodeSpec::strategic(1.0, 1.0, 2.0);
+        let faults = FaultPlan { lose_acks_from: vec![1], ..FaultPlan::none() };
+        let outcome = run_protocol_round_with_faults(&mech, &specs, &config(), &faults).unwrap();
+
+        let honest = run_protocol_round(&mech, &truthful_specs(), &config()).unwrap();
+        assert!(outcome.payments[1] < honest.payments[1] - 1e-6);
+    }
+}

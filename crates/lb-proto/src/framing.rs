@@ -1,0 +1,223 @@
+//! Length-prefixed stream framing for the wire codec.
+//!
+//! The in-memory runtimes exchange whole frames; a TCP-style transport
+//! delivers *byte streams* with arbitrary fragmentation. [`FrameWriter`]
+//! prefixes each encoded message with a `u32` length; [`FrameReader`]
+//! reassembles frames from any sequence of partial reads, enforcing a
+//! maximum frame size against corrupt or malicious peers.
+
+use crate::codec::{decode, encode, CodecError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Maximum frame size accepted by default (1 MiB — far above any protocol
+/// message, small enough to bound memory under corruption).
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Encodes values into length-prefixed frames.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    buf: BytesMut,
+}
+
+impl FrameWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    /// Appends one value as a frame.
+    ///
+    /// # Errors
+    /// Propagates codec errors; rejects frames above [`DEFAULT_MAX_FRAME`].
+    pub fn write<T: Serialize>(&mut self, value: &T) -> Result<(), CodecError> {
+        let payload = encode(value)?;
+        if payload.len() > DEFAULT_MAX_FRAME {
+            return Err(CodecError::LengthOverflow(payload.len() as u64));
+        }
+        self.buf.put_u32_le(u32::try_from(payload.len()).expect("bounded by DEFAULT_MAX_FRAME"));
+        self.buf.put_slice(&payload);
+        Ok(())
+    }
+
+    /// Takes every byte written so far (the wire stream).
+    #[must_use]
+    pub fn take(&mut self) -> Bytes {
+        self.buf.split().freeze()
+    }
+
+    /// Bytes currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the writer holds no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Reassembles length-prefixed frames from arbitrary byte chunks.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: BytesMut,
+    max_frame: usize,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameReader {
+    /// Creates a reader with the default frame-size limit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_max_frame(DEFAULT_MAX_FRAME)
+    }
+
+    /// Creates a reader with an explicit frame-size limit.
+    ///
+    /// # Panics
+    /// Panics if `max_frame == 0`.
+    #[must_use]
+    pub fn with_max_frame(max_frame: usize) -> Self {
+        assert!(max_frame > 0, "FrameReader: max_frame must be positive");
+        Self { buf: BytesMut::new(), max_frame }
+    }
+
+    /// Feeds a chunk of received bytes (any fragmentation).
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.put_slice(chunk);
+    }
+
+    /// Pops the next complete frame, if one has fully arrived.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::LengthOverflow`] when a frame header exceeds the
+    /// limit (stream corrupt: no recovery), or decode errors for the payload.
+    pub fn next_frame<T: DeserializeOwned>(&mut self) -> Result<Option<T>, CodecError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > self.max_frame {
+            return Err(CodecError::LengthOverflow(len as u64));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let payload = self.buf.split_to(len);
+        decode(&payload).map(Some)
+    }
+
+    /// Bytes buffered but not yet consumed.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Message, RoundId};
+    use lb_stats::rng::{Rng, Xoshiro256StarStar};
+
+    fn sample_messages() -> Vec<Message> {
+        (0..20)
+            .map(|i| Message::Bid { round: RoundId(u64::from(i)), machine: i, value: f64::from(i) * 0.5 + 0.1 })
+            .collect()
+    }
+
+    #[test]
+    fn whole_stream_roundtrip() {
+        let msgs = sample_messages();
+        let mut w = FrameWriter::new();
+        for m in &msgs {
+            w.write(m).unwrap();
+        }
+        let stream = w.take();
+        assert!(w.is_empty());
+
+        let mut r = FrameReader::new();
+        r.feed(&stream);
+        let mut out = Vec::new();
+        while let Some(m) = r.next_frame::<Message>().unwrap() {
+            out.push(m);
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_reassembles() {
+        let msgs = sample_messages();
+        let mut w = FrameWriter::new();
+        for m in &msgs {
+            w.write(m).unwrap();
+        }
+        let stream = w.take();
+
+        let mut r = FrameReader::new();
+        let mut out = Vec::new();
+        for &b in stream.iter() {
+            r.feed(&[b]);
+            while let Some(m) = r.next_frame::<Message>().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn random_fragmentation_reassembles() {
+        let msgs = sample_messages();
+        let mut w = FrameWriter::new();
+        for m in &msgs {
+            w.write(m).unwrap();
+        }
+        let stream = w.take();
+
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let mut r = FrameReader::new();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let chunk = 1 + rng.next_below(13) as usize;
+            let end = (pos + chunk).min(stream.len());
+            r.feed(&stream[pos..end]);
+            pos = end;
+            while let Some(m) = r.next_frame::<Message>().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn oversized_header_is_rejected() {
+        let mut r = FrameReader::with_max_frame(16);
+        r.feed(&1_000u32.to_le_bytes());
+        r.feed(&[0u8; 8]);
+        assert!(matches!(r.next_frame::<Message>(), Err(CodecError::LengthOverflow(1000))));
+    }
+
+    #[test]
+    fn incomplete_frame_waits() {
+        let mut w = FrameWriter::new();
+        w.write(&Message::RequestBid { round: RoundId(1) }).unwrap();
+        let stream = w.take();
+        let mut r = FrameReader::new();
+        r.feed(&stream[..stream.len() - 1]);
+        assert!(r.next_frame::<Message>().unwrap().is_none());
+        r.feed(&stream[stream.len() - 1..]);
+        assert!(r.next_frame::<Message>().unwrap().is_some());
+    }
+}

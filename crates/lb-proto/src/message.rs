@@ -1,0 +1,117 @@
+//! Protocol message vocabulary.
+//!
+//! One round of the paper's centralized protocol exchanges, per machine:
+//! a bid request, a bid, an allocation, and a payment — `O(n)` messages.
+//! Job completions are data-plane traffic observed by the coordinator's
+//! monitoring (the verification), not control messages, so they do not enter
+//! the message count (matching the paper's `O(n)` figure).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a protocol round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RoundId(pub u64);
+
+/// Messages exchanged between the coordinator (the mechanism) and the nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Coordinator → node: report your latency parameter for this round.
+    RequestBid {
+        /// Round being negotiated.
+        round: RoundId,
+    },
+    /// Node → coordinator: the declared (possibly untruthful) value.
+    Bid {
+        /// Round this bid belongs to.
+        round: RoundId,
+        /// Sender machine index.
+        machine: u32,
+        /// Declared latency parameter `b_i`.
+        value: f64,
+    },
+    /// Coordinator → node: your assigned job arrival rate for this round.
+    Assign {
+        /// Round being executed.
+        round: RoundId,
+        /// Assigned rate `x_i`.
+        rate: f64,
+    },
+    /// Node → coordinator: execution finished (carries no trusted data —
+    /// the coordinator has *measured* the node's rate itself).
+    ExecutionDone {
+        /// Round that finished.
+        round: RoundId,
+        /// Sender machine index.
+        machine: u32,
+    },
+    /// Coordinator → node: your payment for this round.
+    Payment {
+        /// Round being settled.
+        round: RoundId,
+        /// Payment amount (may be negative — a fine).
+        amount: f64,
+    },
+}
+
+impl Message {
+    /// The round this message belongs to.
+    #[must_use]
+    pub fn round(&self) -> RoundId {
+        match self {
+            Self::RequestBid { round }
+            | Self::Bid { round, .. }
+            | Self::Assign { round, .. }
+            | Self::ExecutionDone { round, .. }
+            | Self::Payment { round, .. } => *round,
+        }
+    }
+
+    /// Short label for tracing.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::RequestBid { .. } => "request-bid",
+            Self::Bid { .. } => "bid",
+            Self::Assign { .. } => "assign",
+            Self::ExecutionDone { .. } => "execution-done",
+            Self::Payment { .. } => "payment",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode, encode};
+
+    #[test]
+    fn all_messages_roundtrip_through_codec() {
+        let msgs = [
+            Message::RequestBid { round: RoundId(1) },
+            Message::Bid { round: RoundId(1), machine: 3, value: 2.5 },
+            Message::Assign { round: RoundId(1), rate: 4.25 },
+            Message::ExecutionDone { round: RoundId(1), machine: 3 },
+            Message::Payment { round: RoundId(1), amount: -19.4 },
+        ];
+        for m in &msgs {
+            let bytes = encode(m).unwrap();
+            let back: Message = decode(&bytes).unwrap();
+            assert_eq!(&back, m);
+        }
+    }
+
+    #[test]
+    fn round_and_kind_accessors() {
+        let m = Message::Payment { round: RoundId(7), amount: 1.0 };
+        assert_eq!(m.round(), RoundId(7));
+        assert_eq!(m.kind(), "payment");
+        assert_eq!(Message::RequestBid { round: RoundId(0) }.kind(), "request-bid");
+    }
+
+    #[test]
+    fn wire_size_is_compact() {
+        let m = Message::Bid { round: RoundId(1), machine: 3, value: 2.5 };
+        // 4 (variant) + 8 (round) + 4 (machine) + 8 (value) = 24 bytes.
+        assert_eq!(encode(&m).unwrap().len(), 24);
+    }
+}

@@ -1,0 +1,207 @@
+//! In-memory simulated network with delay and accounting.
+//!
+//! Every control message is encoded to its wire form before "transmission",
+//! so the statistics measure real bytes; delivery is ordered by a
+//! deterministic discrete-event queue with per-link latency.
+
+use crate::codec::{decode, encode, CodecError};
+use crate::message::Message;
+use bytes::Bytes;
+use lb_sim::events::EventQueue;
+use lb_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Network endpoint address: the coordinator or a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The mechanism centre.
+    Coordinator,
+    /// Machine `i`.
+    Node(u32),
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Number of control messages sent.
+    pub messages: u64,
+    /// Total encoded bytes sent.
+    pub bytes: u64,
+}
+
+/// A delivered frame.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// Sender.
+    pub from: Endpoint,
+    /// Receiver.
+    pub to: Endpoint,
+    /// Decoded message.
+    pub message: Message,
+    /// Simulated delivery time.
+    pub at: SimTime,
+}
+
+struct Frame {
+    from: Endpoint,
+    to: Endpoint,
+    payload: Bytes,
+}
+
+/// Deterministic star-topology network between one coordinator and `n` nodes.
+pub struct SimNetwork {
+    queue: EventQueue<Frame>,
+    latency: Box<dyn Fn(Endpoint, Endpoint) -> f64>,
+    stats: MessageStats,
+    drop_filter: Option<Box<dyn Fn(Endpoint, Endpoint, &Message) -> bool>>,
+    dropped: u64,
+}
+
+impl std::fmt::Debug for SimNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNetwork")
+            .field("pending", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SimNetwork {
+    /// Creates a network with a constant per-link latency.
+    ///
+    /// # Panics
+    /// Panics if `latency` is negative or non-finite.
+    #[must_use]
+    pub fn with_constant_latency(latency: f64) -> Self {
+        assert!(latency.is_finite() && latency >= 0.0, "SimNetwork: invalid latency");
+        Self::with_latency_fn(move |_, _| latency)
+    }
+
+    /// Creates a network with an arbitrary per-link latency function.
+    #[must_use]
+    pub fn with_latency_fn(latency: impl Fn(Endpoint, Endpoint) -> f64 + 'static) -> Self {
+        Self {
+            queue: EventQueue::new(),
+            latency: Box::new(latency),
+            stats: MessageStats::default(),
+            drop_filter: None,
+            dropped: 0,
+        }
+    }
+
+    /// Installs a fault filter: frames for which it returns `true` are lost
+    /// in transit (sent and counted, never delivered).
+    pub fn set_drop_filter(
+        &mut self,
+        filter: impl Fn(Endpoint, Endpoint, &Message) -> bool + 'static,
+    ) {
+        self.drop_filter = Some(Box::new(filter));
+    }
+
+    /// Number of frames lost to the fault filter.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sends `message` from `from` to `to`, encoding it to wire form.
+    ///
+    /// # Errors
+    /// Propagates codec errors (which indicate a bug in the message types).
+    pub fn send(&mut self, from: Endpoint, to: Endpoint, message: &Message) -> Result<(), CodecError> {
+        let payload = encode(message)?;
+        self.stats.messages += 1;
+        self.stats.bytes += payload.len() as u64;
+        if let Some(filter) = &self.drop_filter {
+            if filter(from, to, message) {
+                self.dropped += 1;
+                return Ok(());
+            }
+        }
+        let delay = (self.latency)(from, to).max(0.0);
+        self.queue.schedule_in(delay, Frame { from, to, payload });
+        Ok(())
+    }
+
+    /// Delivers the next frame in timestamp order, decoding it.
+    ///
+    /// # Errors
+    /// Propagates codec errors on corrupt frames.
+    pub fn deliver_next(&mut self) -> Result<Option<Delivery>, CodecError> {
+        match self.queue.pop() {
+            None => Ok(None),
+            Some((at, frame)) => {
+                let message: Message = decode(&frame.payload)?;
+                Ok(Some(Delivery { from: frame.from, to: frame.to, message, at }))
+            }
+        }
+    }
+
+    /// Number of in-flight frames.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Traffic statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> MessageStats {
+        self.stats
+    }
+
+    /// Current simulated network time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::RoundId;
+
+    #[test]
+    fn messages_flow_and_are_counted() {
+        let mut net = SimNetwork::with_constant_latency(0.01);
+        let m = Message::RequestBid { round: RoundId(1) };
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(1), &m).unwrap();
+        assert_eq!(net.pending(), 2);
+        assert_eq!(net.stats().messages, 2);
+        assert!(net.stats().bytes > 0);
+
+        let d = net.deliver_next().unwrap().unwrap();
+        assert_eq!(d.message, m);
+        assert_eq!(d.to, Endpoint::Node(0));
+        assert!((d.at.seconds() - 0.01).abs() < 1e-12);
+        assert_eq!(net.pending(), 1);
+    }
+
+    #[test]
+    fn heterogeneous_latency_reorders_delivery() {
+        // Node 1's link is faster; its message should arrive first even
+        // though it was sent second.
+        let mut net = SimNetwork::with_latency_fn(|_, to| match to {
+            Endpoint::Node(1) => 0.001,
+            _ => 0.1,
+        });
+        let m = Message::RequestBid { round: RoundId(1) };
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(1), &m).unwrap();
+        let first = net.deliver_next().unwrap().unwrap();
+        assert_eq!(first.to, Endpoint::Node(1));
+    }
+
+    #[test]
+    fn empty_network_delivers_nothing() {
+        let mut net = SimNetwork::with_constant_latency(0.0);
+        assert!(net.deliver_next().unwrap().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid latency")]
+    fn negative_latency_is_rejected() {
+        let _ = SimNetwork::with_constant_latency(-1.0);
+    }
+}

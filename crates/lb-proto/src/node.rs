@@ -1,0 +1,191 @@
+//! Node-side behaviour.
+//!
+//! A node is a machine participating in the protocol. Its *behaviour* is the
+//! pair (bid, execution value); strategic reasoning about how to choose them
+//! lives in `lb-agents` — the protocol layer only needs the chosen values.
+
+use crate::message::{Message, RoundId};
+use serde::{Deserialize, Serialize};
+
+/// Static behaviour specification of one node for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// The machine's private true value `t_i`.
+    pub true_value: f64,
+    /// The bid it will report, `b_i`.
+    pub bid: f64,
+    /// The execution value it will realise, `t̃_i ≥ t_i`.
+    pub exec_value: f64,
+}
+
+impl NodeSpec {
+    /// A truthful node: bids its true value and executes at full capacity.
+    ///
+    /// # Panics
+    /// Panics unless `true_value` is finite and positive.
+    #[must_use]
+    pub fn truthful(true_value: f64) -> Self {
+        assert!(true_value.is_finite() && true_value > 0.0, "NodeSpec: invalid true value");
+        Self { true_value, bid: true_value, exec_value: true_value }
+    }
+
+    /// A strategic node with explicit bid and execution values.
+    ///
+    /// # Panics
+    /// Panics on invalid values or `exec_value < true_value` (machines
+    /// cannot run faster than their capacity).
+    #[must_use]
+    pub fn strategic(true_value: f64, bid: f64, exec_value: f64) -> Self {
+        assert!(true_value.is_finite() && true_value > 0.0, "NodeSpec: invalid true value");
+        assert!(bid.is_finite() && bid > 0.0, "NodeSpec: invalid bid");
+        assert!(
+            exec_value.is_finite() && exec_value >= true_value,
+            "NodeSpec: exec value must be >= true value"
+        );
+        Self { true_value, bid, exec_value }
+    }
+
+    /// Whether this node is fully truthful.
+    #[must_use]
+    pub fn is_truthful(&self) -> bool {
+        (self.bid - self.true_value).abs() < 1e-12 && (self.exec_value - self.true_value).abs() < 1e-12
+    }
+}
+
+/// Runtime state of a node inside one protocol round.
+#[derive(Debug, Clone)]
+pub struct NodeAgent {
+    /// Machine index.
+    pub machine: u32,
+    /// Behaviour for this round.
+    pub spec: NodeSpec,
+    /// Assigned rate, once the coordinator's `Assign` arrives.
+    pub assigned_rate: Option<f64>,
+    /// Payment received, once `Payment` arrives.
+    pub payment: Option<f64>,
+}
+
+impl NodeAgent {
+    /// Creates a node agent.
+    #[must_use]
+    pub fn new(machine: u32, spec: NodeSpec) -> Self {
+        Self { machine, spec, assigned_rate: None, payment: None }
+    }
+
+    /// Handles an incoming coordinator message, possibly producing a reply.
+    ///
+    /// # Panics
+    /// Panics if the coordinator sends a node-originated message (protocol
+    /// violation — indicates a routing bug, not recoverable state).
+    pub fn handle(&mut self, message: &Message) -> Option<Message> {
+        match *message {
+            Message::RequestBid { round } => Some(Message::Bid {
+                round,
+                machine: self.machine,
+                value: self.spec.bid,
+            }),
+            Message::Assign { round, rate } => {
+                self.assigned_rate = Some(rate);
+                // Execution itself is simulated by the coordinator's
+                // measurement plane; the node just acknowledges completion.
+                Some(Message::ExecutionDone { round, machine: self.machine })
+            }
+            Message::Payment { amount, .. } => {
+                self.payment = Some(amount);
+                None
+            }
+            Message::Bid { .. } | Message::ExecutionDone { .. } => {
+                panic!("node {} received node-originated message", self.machine)
+            }
+        }
+    }
+
+    /// The node's realised utility for a finished round: payment plus its
+    /// valuation under the given model.
+    #[must_use]
+    pub fn utility(&self, model: lb_mechanism::traits::ValuationModel) -> Option<f64> {
+        let p = self.payment?;
+        let x = self.assigned_rate?;
+        Some(p + model.valuation(x, self.spec.exec_value))
+    }
+
+    /// Resets per-round state, keeping the behaviour.
+    pub fn reset(&mut self) {
+        self.assigned_rate = None;
+        self.payment = None;
+    }
+}
+
+/// Convenience: the round id both sides agree on for a fresh protocol run.
+#[must_use]
+pub fn first_round() -> RoundId {
+    RoundId(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_mechanism::traits::ValuationModel;
+
+    #[test]
+    fn truthful_spec() {
+        let s = NodeSpec::truthful(2.0);
+        assert!(s.is_truthful());
+        assert_eq!(s.bid, 2.0);
+        assert_eq!(s.exec_value, 2.0);
+    }
+
+    #[test]
+    fn strategic_spec_validation() {
+        let s = NodeSpec::strategic(1.0, 3.0, 2.0);
+        assert!(!s.is_truthful());
+        assert_eq!(s.bid, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exec value must be >= true value")]
+    fn exec_below_truth_panics() {
+        let _ = NodeSpec::strategic(2.0, 2.0, 1.0);
+    }
+
+    #[test]
+    fn node_replies_to_protocol_messages() {
+        let mut node = NodeAgent::new(3, NodeSpec::truthful(2.0));
+        let round = RoundId(5);
+        let bid = node.handle(&Message::RequestBid { round }).unwrap();
+        assert_eq!(bid, Message::Bid { round, machine: 3, value: 2.0 });
+
+        let done = node.handle(&Message::Assign { round, rate: 1.5 }).unwrap();
+        assert_eq!(done, Message::ExecutionDone { round, machine: 3 });
+        assert_eq!(node.assigned_rate, Some(1.5));
+
+        assert!(node.handle(&Message::Payment { round, amount: 7.0 }).is_none());
+        assert_eq!(node.payment, Some(7.0));
+
+        let u = node.utility(ValuationModel::PerJobLatency).unwrap();
+        assert!((u - (7.0 - 2.0 * 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_is_none_before_settlement() {
+        let node = NodeAgent::new(0, NodeSpec::truthful(1.0));
+        assert!(node.utility(ValuationModel::PerJobLatency).is_none());
+    }
+
+    #[test]
+    fn reset_clears_round_state() {
+        let mut node = NodeAgent::new(0, NodeSpec::truthful(1.0));
+        node.handle(&Message::Assign { round: RoundId(0), rate: 1.0 });
+        node.handle(&Message::Payment { round: RoundId(0), amount: 1.0 });
+        node.reset();
+        assert!(node.assigned_rate.is_none());
+        assert!(node.payment.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "node-originated")]
+    fn routing_violation_panics() {
+        let mut node = NodeAgent::new(0, NodeSpec::truthful(1.0));
+        node.handle(&Message::Bid { round: RoundId(0), machine: 1, value: 1.0 });
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic single-threaded protocol runtime.
+//!
+//! Drives one complete round of the paper's centralized protocol over the
+//! simulated network: bid collection, allocation, execution with
+//! verification, and settlement. Produces the full accounting plus the
+//! message statistics that validate the paper's `O(n)` message claim
+//! (exactly `4n` control messages per round).
+
+use crate::coordinator::{Coordinator, CoordinatorPhase};
+use crate::message::RoundId;
+use crate::network::{Endpoint, MessageStats, SimNetwork};
+use crate::node::{NodeAgent, NodeSpec};
+use lb_mechanism::traits::ValuationModel;
+use lb_mechanism::{MechanismError, VerifiedMechanism};
+use lb_sim::driver::SimulationConfig;
+
+/// Configuration of a protocol round.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolConfig {
+    /// Total job arrival rate `R`.
+    pub total_rate: f64,
+    /// Constant per-link network latency (control plane).
+    pub link_latency: f64,
+    /// Execution-simulation configuration (data plane / verification).
+    pub simulation: SimulationConfig,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        Self { total_rate: 20.0, link_latency: 0.001, simulation: SimulationConfig::default() }
+    }
+}
+
+/// Result of one protocol round.
+#[derive(Debug, Clone)]
+pub struct ProtocolOutcome {
+    /// Per-node assigned rates.
+    pub rates: Vec<f64>,
+    /// Per-node payments as received by the nodes.
+    pub payments: Vec<f64>,
+    /// Per-node realised utilities (computed node-side from their actual
+    /// execution values).
+    pub utilities: Vec<f64>,
+    /// Execution values the coordinator estimated (the verification output).
+    pub estimated_exec_values: Vec<f64>,
+    /// Control-plane traffic statistics.
+    pub stats: MessageStats,
+}
+
+/// Runs one full protocol round deterministically.
+///
+/// # Errors
+/// Propagates mechanism/simulation/codec errors.
+///
+/// # Panics
+/// Panics if `specs` is empty or on internal protocol violations.
+pub fn run_protocol_round<M: VerifiedMechanism>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+) -> Result<ProtocolOutcome, MechanismError> {
+    run_protocol_round_traced(mechanism, specs, config).map(|(outcome, _)| outcome)
+}
+
+/// Like [`run_protocol_round`], additionally recording every delivered frame
+/// as a [`crate::trace::RoundTrace`] for offline audit/replay.
+///
+/// # Errors
+/// Propagates mechanism/simulation/codec errors.
+///
+/// # Panics
+/// Panics if `specs` is empty or on internal protocol violations.
+pub fn run_protocol_round_traced<M: VerifiedMechanism>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+) -> Result<(ProtocolOutcome, crate::trace::RoundTrace), MechanismError> {
+    assert!(!specs.is_empty(), "run_protocol_round: need at least one node");
+    let n = specs.len();
+    let round = RoundId(0);
+
+    let mut nodes: Vec<NodeAgent> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &spec)| NodeAgent::new(u32::try_from(i).expect("node index fits u32"), spec))
+        .collect();
+    let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
+
+    let mut coordinator =
+        Coordinator::new(mechanism, n, config.total_rate, round, config.simulation);
+    let mut network = SimNetwork::with_constant_latency(config.link_latency);
+
+    // Kick off: bid requests to every node.
+    for (i, msg) in coordinator.open().into_iter().enumerate() {
+        network
+            .send(Endpoint::Coordinator, Endpoint::Node(u32::try_from(i).expect("fits u32")), &msg)
+            .map_err(|e| MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() }))?;
+    }
+
+    // Event loop: deliver frames until the network drains.
+    let mut trace = crate::trace::RoundTrace::default();
+    while let Some(delivery) = network
+        .deliver_next()
+        .map_err(|e| MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() }))?
+    {
+        trace.entries.push(crate::trace::TraceEntry {
+            at: delivery.at.seconds(),
+            from: delivery.from,
+            to: delivery.to,
+            message: delivery.message.clone(),
+        });
+        match delivery.to {
+            Endpoint::Node(i) => {
+                let reply = nodes[i as usize].handle(&delivery.message);
+                if let Some(msg) = reply {
+                    network.send(Endpoint::Node(i), Endpoint::Coordinator, &msg).map_err(|e| {
+                        MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+                    })?;
+                }
+            }
+            Endpoint::Coordinator => {
+                let outgoing = coordinator.handle(&delivery.message, &actual_exec)?;
+                for (i, msg) in outgoing {
+                    network.send(Endpoint::Coordinator, Endpoint::Node(i), &msg).map_err(|e| {
+                        MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+                    })?;
+                }
+            }
+        }
+    }
+
+    assert_eq!(coordinator.phase(), CoordinatorPhase::Done, "protocol did not complete");
+    let model = mechanism.valuation_model();
+    let utilities: Vec<f64> =
+        nodes.iter().map(|node| node.utility(model).expect("round settled")).collect();
+    let outcome = ProtocolOutcome {
+        rates: nodes.iter().map(|nd| nd.assigned_rate.expect("assigned")).collect(),
+        payments: nodes.iter().map(|nd| nd.payment.expect("paid")).collect(),
+        utilities,
+        estimated_exec_values: coordinator
+            .estimated_exec_values()
+            .expect("verification complete")
+            .to_vec(),
+        stats: network.stats(),
+    };
+    Ok((outcome, trace))
+}
+
+/// The exact number of control messages one round exchanges: `4n`
+/// (request, bid, assign, payment per node — completion acks ride on the
+/// assign's reply), plus `n` completion acknowledgements = `5n` total.
+#[must_use]
+pub fn expected_message_count(n: usize) -> u64 {
+    5 * n as u64
+}
+
+/// Valuation model helper re-exported for node-side utility computation.
+#[must_use]
+pub fn default_valuation() -> ValuationModel {
+    ValuationModel::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_core::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
+    use lb_mechanism::{run_mechanism, CompensationBonusMechanism, Profile};
+    use lb_sim::server::ServiceModel;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            total_rate: PAPER_ARRIVAL_RATE,
+            link_latency: 0.001,
+            simulation: SimulationConfig {
+                horizon: 300.0,
+                seed: 3,
+                model: ServiceModel::StationaryDeterministic,
+                workload: Default::default(),
+                warmup: 0.0,
+                estimator: lb_sim::estimator::EstimatorConfig::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn truthful_round_matches_direct_mechanism_run() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = paper_true_values();
+        let specs: Vec<NodeSpec> = trues.iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let outcome = run_protocol_round(&mech, &specs, &config()).unwrap();
+
+        let sys = lb_core::scenario::paper_system();
+        let profile = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();
+        let direct = run_mechanism(&mech, &profile).unwrap();
+
+        for i in 0..trues.len() {
+            assert!((outcome.rates[i] - direct.allocation.rate(i)).abs() < 1e-9);
+            assert!((outcome.payments[i] - direct.payments[i]).abs() < 1e-6, "payment {i}");
+            assert!((outcome.utilities[i] - direct.utilities[i]).abs() < 1e-6, "utility {i}");
+        }
+    }
+
+    #[test]
+    fn traced_round_passes_replay_check() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs: Vec<NodeSpec> = paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let (outcome, trace) = run_protocol_round_traced(&mech, &specs, &config()).unwrap();
+        assert_eq!(trace.entries.len() as u64, outcome.stats.messages);
+        let violations = crate::trace::replay_check(&trace, specs.len());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn message_count_is_linear_in_n() {
+        let mech = CompensationBonusMechanism::paper();
+        for n in [2usize, 4, 8, 16] {
+            let specs: Vec<NodeSpec> = (0..n).map(|i| NodeSpec::truthful(1.0 + i as f64)).collect();
+            let mut cfg = config();
+            cfg.total_rate = 5.0;
+            let outcome = run_protocol_round(&mech, &specs, &cfg).unwrap();
+            assert_eq!(outcome.stats.messages, expected_message_count(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn strategic_node_is_detected_and_penalized() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = paper_true_values();
+        let mut specs: Vec<NodeSpec> = trues.iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let honest = run_protocol_round(&mech, &specs, &config()).unwrap();
+
+        // C1 bids truthfully but executes twice as slow (paper's True2).
+        specs[0] = NodeSpec::strategic(1.0, 1.0, 2.0);
+        let lazy = run_protocol_round(&mech, &specs, &config()).unwrap();
+        assert!((lazy.estimated_exec_values[0] - 2.0).abs() < 1e-9, "laziness not detected");
+        assert!(lazy.payments[0] < honest.payments[0], "laziness not penalized");
+        assert!(lazy.utilities[0] < honest.utilities[0], "laziness profitable");
+    }
+}

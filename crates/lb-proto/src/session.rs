@@ -1,0 +1,172 @@
+//! Multi-round protocol sessions.
+//!
+//! The paper describes a single round; a deployed system runs the protocol
+//! repeatedly (its load changes, its machines learn). A [`run_session`] call drives a
+//! sequence of rounds, letting the caller supply each round's node behaviour
+//! through a policy callback — which is how the strategic learners from
+//! `lb-agents` plug into the real protocol (see the workspace integration
+//! tests) — and aggregates the per-round outcomes and traffic statistics.
+
+use crate::node::NodeSpec;
+use crate::runtime::{run_protocol_round, ProtocolConfig, ProtocolOutcome};
+use lb_mechanism::{MechanismError, VerifiedMechanism};
+
+/// Summary of a finished session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Outcome of every round, in order.
+    pub rounds: Vec<ProtocolOutcome>,
+    /// Total control messages across the session.
+    pub total_messages: u64,
+    /// Total control bytes across the session.
+    pub total_bytes: u64,
+}
+
+impl SessionReport {
+    /// Number of rounds played.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the session is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Cumulative payment received by machine `i` over the session.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn cumulative_payment(&self, i: usize) -> f64 {
+        self.rounds.iter().map(|r| r.payments[i]).sum()
+    }
+
+    /// Cumulative utility of machine `i` over the session.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn cumulative_utility(&self, i: usize) -> f64 {
+        self.rounds.iter().map(|r| r.utilities[i]).sum()
+    }
+}
+
+/// Runs `rounds` protocol rounds. Before each round, `policy` is called with
+/// the round index and the previous round's outcome (None for the first) and
+/// must return every node's behaviour for the round; after each round it can
+/// observe the outcome through the next call.
+///
+/// Each round uses a distinct simulation seed (`base seed + round`) so the
+/// measurement noise is independent across rounds.
+///
+/// # Errors
+/// Propagates mechanism/protocol errors from any round.
+///
+/// # Panics
+/// Panics if `rounds == 0` or the policy returns an empty spec list.
+pub fn run_session<M, P>(
+    mechanism: &M,
+    config: &ProtocolConfig,
+    rounds: u32,
+    mut policy: P,
+) -> Result<SessionReport, MechanismError>
+where
+    M: VerifiedMechanism,
+    P: FnMut(u32, Option<&ProtocolOutcome>) -> Vec<NodeSpec>,
+{
+    assert!(rounds > 0, "run_session: need at least one round");
+    let mut outcomes: Vec<ProtocolOutcome> = Vec::with_capacity(rounds as usize);
+    let mut total_messages = 0;
+    let mut total_bytes = 0;
+    for round in 0..rounds {
+        let specs = policy(round, outcomes.last());
+        assert!(!specs.is_empty(), "run_session: policy returned no nodes");
+        let mut round_config = *config;
+        round_config.simulation.seed = config.simulation.seed.wrapping_add(u64::from(round));
+        let outcome = run_protocol_round(mechanism, &specs, &round_config)?;
+        total_messages += outcome.stats.messages;
+        total_bytes += outcome.stats.bytes;
+        outcomes.push(outcome);
+    }
+    Ok(SessionReport { rounds: outcomes, total_messages, total_bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_core::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
+    use lb_mechanism::CompensationBonusMechanism;
+    use lb_sim::driver::SimulationConfig;
+    use lb_sim::server::ServiceModel;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            total_rate: PAPER_ARRIVAL_RATE,
+            link_latency: 0.001,
+            simulation: SimulationConfig {
+                horizon: 200.0,
+                seed: 77,
+                model: ServiceModel::StationaryDeterministic,
+                workload: Default::default(),
+                warmup: 0.0,
+                estimator: lb_sim::estimator::EstimatorConfig::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn constant_policy_session_accumulates_linearly() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs: Vec<NodeSpec> =
+            paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let report = run_session(&mech, &config(), 5, |_, _| specs.clone()).unwrap();
+        assert_eq!(report.len(), 5);
+        assert_eq!(report.total_messages, 5 * 80);
+        // Deterministic service: every round pays the same, so the cumulative
+        // payment is 5x a single round.
+        let single = report.rounds[0].payments[0];
+        assert!((report.cumulative_payment(0) - 5.0 * single).abs() < 1e-9);
+        assert!((report.cumulative_utility(0) - 5.0 * report.rounds[0].utilities[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_sees_previous_outcomes() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = paper_true_values();
+        let mut observed_rounds = Vec::new();
+        let report = run_session(&mech, &config(), 3, |round, prev| {
+            observed_rounds.push((round, prev.is_some()));
+            // A reactive policy: machine 0 throttles whenever its previous
+            // utility was above 10 (an arbitrary rule to exercise the plumbing).
+            let throttle = prev.is_some_and(|o| o.utilities[0] > 10.0);
+            trues
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    if i == 0 && throttle {
+                        NodeSpec::strategic(t, t, 2.0 * t)
+                    } else {
+                        NodeSpec::truthful(t)
+                    }
+                })
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(observed_rounds, vec![(0, false), (1, true), (2, true)]);
+        // Round 0 truthful (utility 19.13 > 10) -> round 1 throttles -> its
+        // utility falls below 10 -> round 2 truthful again.
+        assert!(report.rounds[0].utilities[0] > 10.0);
+        assert!(report.rounds[1].utilities[0] < report.rounds[0].utilities[0]);
+        assert!(report.rounds[2].utilities[0] > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_panics() {
+        let mech = CompensationBonusMechanism::paper();
+        let _ = run_session(&mech, &config(), 0, |_, _| vec![NodeSpec::truthful(1.0)]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Protocol round tracing: record every frame, replay it later.
+//!
+//! Production mechanisms need an audit trail beyond the settlement record:
+//! *who said what, when*. A [`RoundTrace`] captures every delivered frame of
+//! a round in order (serializable through the wire codec, so traces can be
+//! shipped or archived), and [`replay_check`] re-validates a trace against
+//! the protocol's invariants — the off-line analogue of the coordinator's
+//! on-line assertions.
+
+use crate::message::Message;
+use crate::network::Endpoint;
+use serde::{Deserialize, Serialize};
+
+/// One delivered frame in a round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Simulated delivery time (seconds).
+    pub at: f64,
+    /// Sender.
+    pub from: Endpoint,
+    /// Receiver.
+    pub to: Endpoint,
+    /// The message.
+    pub message: Message,
+}
+
+/// An ordered record of every frame delivered in one round.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    /// Frames in delivery order.
+    pub entries: Vec<TraceEntry>,
+}
+
+/// A violation found while replaying a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceViolation {
+    /// Delivery times went backwards at this entry index.
+    TimeRegression(usize),
+    /// A node answered a request it never received.
+    UnsolicitedBid {
+        /// Offending machine.
+        machine: u32,
+    },
+    /// A machine bid more than once.
+    DuplicateBid {
+        /// Offending machine.
+        machine: u32,
+    },
+    /// An assignment was sent before every expected bid arrived or was
+    /// resolved by exclusion — the coordinator allocated early.
+    PrematureAssign(usize),
+    /// A payment was sent to a machine that was never assigned load.
+    PaymentWithoutAssignment {
+        /// Offending machine.
+        machine: u32,
+    },
+}
+
+/// Replays a trace and checks the protocol's causal invariants.
+///
+/// `n` is the number of machines the round was opened with. Returns every
+/// violation found (empty = clean trace).
+#[must_use]
+pub fn replay_check(trace: &RoundTrace, n: usize) -> Vec<TraceViolation> {
+    let mut violations = Vec::new();
+    let mut last_time = f64::NEG_INFINITY;
+    let mut requested = vec![false; n];
+    let mut bid = vec![false; n];
+    let mut assigned = vec![false; n];
+
+    for (idx, entry) in trace.entries.iter().enumerate() {
+        if entry.at < last_time {
+            violations.push(TraceViolation::TimeRegression(idx));
+        }
+        last_time = entry.at;
+        match (&entry.to, &entry.message) {
+            (Endpoint::Node(i), Message::RequestBid { .. }) => {
+                if let Some(slot) = requested.get_mut(*i as usize) {
+                    *slot = true;
+                }
+            }
+            (Endpoint::Coordinator, Message::Bid { machine, .. }) => {
+                let m = *machine as usize;
+                if !requested.get(m).copied().unwrap_or(false) {
+                    violations.push(TraceViolation::UnsolicitedBid { machine: *machine });
+                }
+                if bid.get(m).copied().unwrap_or(false) {
+                    violations.push(TraceViolation::DuplicateBid { machine: *machine });
+                }
+                if let Some(slot) = bid.get_mut(m) {
+                    *slot = true;
+                }
+            }
+            (Endpoint::Node(i), Message::Assign { .. }) => {
+                // Allocation must wait for the full bid picture: every machine
+                // has either bid or been excluded (never assigned later). We
+                // approximate exclusion as "never bids in the whole trace".
+                let all_resolved = (0..n).all(|m| {
+                    bid[m]
+                        || !trace.entries.iter().any(|e| {
+                            matches!(
+                                (&e.to, &e.message),
+                                (Endpoint::Coordinator, Message::Bid { machine, .. }) if *machine as usize == m
+                            )
+                        })
+                });
+                if !all_resolved {
+                    violations.push(TraceViolation::PrematureAssign(idx));
+                }
+                if let Some(slot) = assigned.get_mut(*i as usize) {
+                    *slot = true;
+                }
+            }
+            (Endpoint::Node(i), Message::Payment { .. }) => {
+                if !assigned.get(*i as usize).copied().unwrap_or(false) {
+                    violations.push(TraceViolation::PaymentWithoutAssignment { machine: *i });
+                }
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::RoundId;
+
+    fn clean_trace() -> RoundTrace {
+        let r = RoundId(0);
+        RoundTrace {
+            entries: vec![
+                TraceEntry { at: 0.0, from: Endpoint::Coordinator, to: Endpoint::Node(0), message: Message::RequestBid { round: r } },
+                TraceEntry { at: 0.0, from: Endpoint::Coordinator, to: Endpoint::Node(1), message: Message::RequestBid { round: r } },
+                TraceEntry { at: 0.1, from: Endpoint::Node(0), to: Endpoint::Coordinator, message: Message::Bid { round: r, machine: 0, value: 1.0 } },
+                TraceEntry { at: 0.2, from: Endpoint::Node(1), to: Endpoint::Coordinator, message: Message::Bid { round: r, machine: 1, value: 2.0 } },
+                TraceEntry { at: 0.3, from: Endpoint::Coordinator, to: Endpoint::Node(0), message: Message::Assign { round: r, rate: 2.0 } },
+                TraceEntry { at: 0.3, from: Endpoint::Coordinator, to: Endpoint::Node(1), message: Message::Assign { round: r, rate: 1.0 } },
+                TraceEntry { at: 0.4, from: Endpoint::Node(0), to: Endpoint::Coordinator, message: Message::ExecutionDone { round: r, machine: 0 } },
+                TraceEntry { at: 0.5, from: Endpoint::Node(1), to: Endpoint::Coordinator, message: Message::ExecutionDone { round: r, machine: 1 } },
+                TraceEntry { at: 0.6, from: Endpoint::Coordinator, to: Endpoint::Node(0), message: Message::Payment { round: r, amount: 3.0 } },
+                TraceEntry { at: 0.6, from: Endpoint::Coordinator, to: Endpoint::Node(1), message: Message::Payment { round: r, amount: 1.0 } },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_trace_replays_without_violations() {
+        assert!(replay_check(&clean_trace(), 2).is_empty());
+    }
+
+    #[test]
+    fn time_regression_is_flagged() {
+        let mut t = clean_trace();
+        t.entries[3].at = 0.05; // before the previous entry
+        let v = replay_check(&t, 2);
+        assert!(v.contains(&TraceViolation::TimeRegression(3)), "{v:?}");
+    }
+
+    #[test]
+    fn unsolicited_and_duplicate_bids_are_flagged() {
+        let mut t = clean_trace();
+        t.entries.remove(1); // node 1 never got a request
+        let v = replay_check(&t, 2);
+        assert!(v.contains(&TraceViolation::UnsolicitedBid { machine: 1 }), "{v:?}");
+
+        let mut t = clean_trace();
+        let dup = t.entries[2].clone();
+        t.entries.insert(3, dup);
+        let v = replay_check(&t, 2);
+        assert!(v.contains(&TraceViolation::DuplicateBid { machine: 0 }), "{v:?}");
+    }
+
+    #[test]
+    fn premature_assignment_is_flagged() {
+        let mut t = clean_trace();
+        // Move the first Assign before node 1's bid.
+        let assign = t.entries.remove(4);
+        t.entries.insert(3, TraceEntry { at: 0.15, ..assign });
+        let v = replay_check(&t, 2);
+        assert!(v.iter().any(|x| matches!(x, TraceViolation::PrematureAssign(_))), "{v:?}");
+    }
+
+    #[test]
+    fn payment_without_assignment_is_flagged() {
+        let mut t = clean_trace();
+        t.entries.retain(|e| !matches!(e.message, Message::Assign { .. }));
+        let v = replay_check(&t, 2);
+        assert!(
+            v.contains(&TraceViolation::PaymentWithoutAssignment { machine: 0 }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn traces_roundtrip_through_the_codec() {
+        let t = clean_trace();
+        let bytes = crate::codec::encode(&t).unwrap();
+        let back: RoundTrace = crate::codec::decode(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+}

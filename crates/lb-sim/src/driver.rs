@@ -1,0 +1,355 @@
+//! Round drivers: the full allocate → execute → observe → estimate → pay
+//! pipeline of the paper's protocol, realised over the discrete-event
+//! substrate.
+
+use crate::estimator::{EstimatorConfig, ExecValueEstimator};
+use crate::metrics::MachineObservation;
+use crate::server::ServiceModel;
+use lb_core::{pr_allocate, Allocation, CoreError};
+use lb_mechanism::{run_mechanism, MechanismError, MechanismOutcome, Profile, VerifiedMechanism};
+use lb_stats::rng::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulated round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Simulated horizon (seconds of job arrivals).
+    pub horizon: f64,
+    /// Root RNG seed; every machine derives an independent stream from it.
+    pub seed: u64,
+    /// How machines realise the latency abstraction.
+    pub model: ServiceModel,
+    /// How job arrivals are generated (Poisson or bursty MMPP).
+    pub workload: crate::workload::WorkloadModel,
+    /// Warm-up period: completions of jobs arriving before this time are
+    /// executed but not used for estimation (discards queueing transients).
+    pub warmup: f64,
+    /// Verification sensor configuration.
+    pub estimator: EstimatorConfig,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            horizon: 2_000.0,
+            seed: 0x5eed,
+            model: ServiceModel::StationaryExponential,
+            workload: crate::workload::WorkloadModel::Poisson,
+            warmup: 0.0,
+            estimator: EstimatorConfig::default(),
+        }
+    }
+}
+
+/// What the coordinator learns from one simulated execution round.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// The PR allocation computed from the bids.
+    pub allocation: Allocation,
+    /// Per-machine observations.
+    pub observations: Vec<MachineObservation>,
+    /// Estimated execution values (falls back to the machine's bid when a
+    /// machine stayed idle and produced no evidence).
+    pub estimated_exec_values: Vec<f64>,
+    /// Estimated total latency `Σ x_i · mean_response_i`.
+    pub estimated_total_latency: f64,
+}
+
+/// Simulates one execution round: PR-allocate the bids, drive per-machine
+/// Poisson arrivals through the service model at the machines' *actual*
+/// execution values, observe completions, and estimate the execution values.
+///
+/// # Errors
+/// Propagates validation errors from allocation (invalid bids/rate) or
+/// mismatched vector lengths.
+pub fn simulate_round(
+    bids: &[f64],
+    actual_exec_values: &[f64],
+    total_rate: f64,
+    config: &SimulationConfig,
+) -> Result<RoundReport, CoreError> {
+    if actual_exec_values.len() != bids.len() {
+        return Err(CoreError::LengthMismatch { expected: bids.len(), actual: actual_exec_values.len() });
+    }
+    if !(config.horizon.is_finite() && config.horizon > 0.0) {
+        return Err(CoreError::InvalidRate(config.horizon));
+    }
+    let allocation = pr_allocate(bids, total_rate)?;
+    let traces = crate::workload::per_machine_traces_with(
+        allocation.rates(),
+        config.horizon,
+        config.seed,
+        config.workload,
+    );
+
+    let base = Xoshiro256StarStar::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut observations = Vec::with_capacity(bids.len());
+    let mut estimated = Vec::with_capacity(bids.len());
+    let mut total_latency = 0.0;
+
+    for (i, trace) in traces.iter().enumerate() {
+        let rate = allocation.rate(i);
+        let mut rng = base.stream(i as u64);
+        let arrivals: Vec<f64> = trace.iter().map(|j| j.arrival).collect();
+        let responses = config.model.responses(&arrivals, actual_exec_values[i], rate, &mut rng);
+
+        let mut estimator = ExecValueEstimator::new(config.estimator);
+        let mut stats = lb_stats::online::OnlineStats::new();
+        for (&arrival, &r) in arrivals.iter().zip(&responses) {
+            if arrival < config.warmup {
+                continue;
+            }
+            estimator.observe(r, &mut rng);
+            stats.push(r);
+        }
+        let estimate = estimator.estimate(rate);
+        let obs = MachineObservation {
+            machine: i,
+            assigned_rate: rate,
+            jobs_arrived: arrivals.len() as u64,
+            response: stats,
+            estimated_exec: estimate,
+        };
+        total_latency += obs.latency_contribution();
+        // Idle machines produce no verification evidence: fall back to the bid.
+        estimated.push(estimate.unwrap_or(bids[i]));
+        observations.push(obs);
+    }
+
+    Ok(RoundReport {
+        allocation,
+        observations,
+        estimated_exec_values: estimated,
+        estimated_total_latency: total_latency,
+    })
+}
+
+/// Outcome of a *verified* round: simulation-backed estimates feeding the
+/// mechanism's payment computation.
+#[derive(Debug, Clone)]
+pub struct VerifiedRound {
+    /// The simulation evidence.
+    pub report: RoundReport,
+    /// Mechanism accounting computed from the *estimated* execution values —
+    /// what the coordinator would actually pay.
+    pub outcome: MechanismOutcome,
+    /// Mechanism accounting computed from the *true* execution values — the
+    /// oracle used to quantify estimation error.
+    pub oracle_outcome: MechanismOutcome,
+}
+
+impl VerifiedRound {
+    /// Maximum absolute payment error introduced by estimation, across agents.
+    #[must_use]
+    pub fn max_payment_error(&self) -> f64 {
+        self.outcome
+            .payments
+            .iter()
+            .zip(&self.oracle_outcome.payments)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs the paper's full protocol loop for one round, end to end:
+///
+/// 1. allocate jobs with PR on the bids,
+/// 2. execute them in the discrete-event simulator at the true execution
+///    values,
+/// 3. estimate `t̃` from observed completions (verification),
+/// 4. compute payments from the bids and *estimated* execution values.
+///
+/// The returned [`VerifiedRound`] also carries the oracle outcome (payments
+/// under the exact execution values) so callers can quantify the estimator's
+/// effect — the `ablation` bench sweeps noise and sample budgets through
+/// this function.
+///
+/// # Errors
+/// Propagates simulation and mechanism errors.
+pub fn verified_round<M: VerifiedMechanism + ?Sized>(
+    mechanism: &M,
+    profile: &Profile,
+    config: &SimulationConfig,
+) -> Result<VerifiedRound, MechanismError> {
+    let report = simulate_round(profile.bids(), profile.exec_values(), profile.total_rate(), config)?;
+
+    // The estimate may come out slightly below an agent's true value due to
+    // sampling noise; clamp into validity (the mechanism interface requires
+    // positive values, not truth-consistency — the coordinator does not know
+    // the truth).
+    let estimated: Vec<f64> =
+        report.estimated_exec_values.iter().map(|&e| e.max(1e-12)).collect();
+
+    let allocation = mechanism.allocate(profile.bids(), profile.total_rate())?;
+    let payments =
+        mechanism.payments(profile.bids(), &allocation, &estimated, profile.total_rate())?;
+    // Agents' real utilities are driven by their *actual* costs.
+    let valuations: Vec<f64> = allocation
+        .rates()
+        .iter()
+        .zip(profile.exec_values())
+        .map(|(&x, &e)| mechanism.valuation(x, e))
+        .collect();
+    let utilities: Vec<f64> = payments.iter().zip(&valuations).map(|(p, v)| p + v).collect();
+    let total_latency = mechanism.realised_latency(&allocation, &estimated)?;
+    let outcome = MechanismOutcome { allocation, payments, valuations, utilities, total_latency };
+
+    let oracle_outcome = run_mechanism(mechanism, profile)?;
+    Ok(VerifiedRound { report, outcome, oracle_outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_core::scenario::{paper_system, paper_true_values, PAPER_ARRIVAL_RATE};
+    use lb_mechanism::CompensationBonusMechanism;
+
+    fn deterministic_config() -> SimulationConfig {
+        SimulationConfig {
+            horizon: 500.0,
+            seed: 1,
+            model: ServiceModel::StationaryDeterministic,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: EstimatorConfig::default(),
+        }
+    }
+
+    #[test]
+    fn deterministic_round_recovers_exec_values_exactly() {
+        let trues = paper_true_values();
+        let report =
+            simulate_round(&trues, &trues, PAPER_ARRIVAL_RATE, &deterministic_config()).unwrap();
+        for (i, (&est, &t)) in report.estimated_exec_values.iter().zip(&trues).enumerate() {
+            assert!((est - t).abs() < 1e-9, "machine {i}: {est} vs {t}");
+        }
+        // Estimated total latency matches the closed form.
+        assert!(
+            (report.estimated_total_latency - 400.0 / 5.1).abs() < 1e-6,
+            "L = {}",
+            report.estimated_total_latency
+        );
+    }
+
+    #[test]
+    fn lazy_machine_is_detected() {
+        let trues = paper_true_values();
+        let mut exec = trues.clone();
+        exec[0] = 2.0; // C1 runs twice as slow.
+        let report = simulate_round(&trues, &exec, PAPER_ARRIVAL_RATE, &deterministic_config()).unwrap();
+        assert!((report.estimated_exec_values[0] - 2.0).abs() < 1e-9);
+        assert!((report.estimated_exec_values[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_round_estimates_within_tolerance() {
+        let trues = paper_true_values();
+        let config = SimulationConfig {
+            horizon: 20_000.0,
+            seed: 2,
+            model: ServiceModel::StationaryExponential,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: EstimatorConfig::default(),
+        };
+        let report = simulate_round(&trues, &trues, PAPER_ARRIVAL_RATE, &config).unwrap();
+        for (i, (&est, &t)) in report.estimated_exec_values.iter().zip(&trues).enumerate() {
+            let rel = (est - t).abs() / t;
+            assert!(rel < 0.1, "machine {i}: {est} vs {t}");
+        }
+    }
+
+    #[test]
+    fn verified_round_payments_match_oracle_in_deterministic_mode() {
+        let sys = paper_system();
+        let profile = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();
+        let vr = verified_round(&CompensationBonusMechanism::paper(), &profile, &deterministic_config())
+            .unwrap();
+        assert!(vr.max_payment_error() < 1e-6, "error {}", vr.max_payment_error());
+    }
+
+    #[test]
+    fn verified_round_detects_and_penalizes_laziness() {
+        let sys = paper_system();
+        let honest = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();
+        let lazy = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 1.0, 2.0).unwrap();
+        let mech = CompensationBonusMechanism::paper();
+        let cfg = deterministic_config();
+        let p_honest = verified_round(&mech, &honest, &cfg).unwrap().outcome.payments[0];
+        let p_lazy = verified_round(&mech, &lazy, &cfg).unwrap().outcome.payments[0];
+        assert!(p_lazy < p_honest - 1e-6, "lazy {p_lazy} !< honest {p_honest}");
+    }
+
+    #[test]
+    fn bursty_workload_keeps_the_estimator_unbiased_for_stationary_service() {
+        // Under the stationary service models the response law does not
+        // depend on the arrival pattern, so MMPP bursts change only the
+        // sample count, not the estimate's target.
+        let trues = paper_true_values();
+        let config = SimulationConfig {
+            horizon: 20_000.0,
+            seed: 21,
+            model: ServiceModel::StationaryExponential,
+            workload: crate::workload::WorkloadModel::Bursty {
+                burstiness: 8.0,
+                dwell_means: [50.0, 10.0],
+            },
+            warmup: 0.0,
+            estimator: EstimatorConfig::default(),
+        };
+        let report = simulate_round(&trues, &trues, PAPER_ARRIVAL_RATE, &config).unwrap();
+        for (i, (&est, &t)) in report.estimated_exec_values.iter().zip(&trues).enumerate() {
+            let rel = (est - t).abs() / t;
+            assert!(rel < 0.1, "machine {i}: {est} vs {t}");
+        }
+    }
+
+    #[test]
+    fn bursty_workload_biases_queueing_latency_upward() {
+        // With a *real* queue, bursts congest the server: the measured mean
+        // response (and hence the estimated t~) exceeds the stationary
+        // target. This quantifies where the paper's stationary assumption
+        // matters.
+        let trues = vec![1.0, 1.0];
+        let rate = 2.0;
+        let mk = |workload| SimulationConfig {
+            horizon: 30_000.0,
+            seed: 22,
+            model: ServiceModel::Mm1Queue,
+            workload,
+            warmup: 500.0,
+            estimator: EstimatorConfig::default(),
+        };
+        let calm = simulate_round(&trues, &trues, rate, &mk(crate::workload::WorkloadModel::Poisson))
+            .unwrap();
+        let bursty = simulate_round(
+            &trues,
+            &trues,
+            rate,
+            &mk(crate::workload::WorkloadModel::Bursty { burstiness: 6.0, dwell_means: [40.0, 10.0] }),
+        )
+        .unwrap();
+        assert!(
+            bursty.estimated_exec_values[0] > 1.2 * calm.estimated_exec_values[0],
+            "bursty {} vs calm {}",
+            bursty.estimated_exec_values[0],
+            calm.estimated_exec_values[0]
+        );
+    }
+
+    #[test]
+    fn mismatched_exec_length_is_rejected() {
+        let trues = paper_true_values();
+        let err =
+            simulate_round(&trues, &trues[..3], PAPER_ARRIVAL_RATE, &deterministic_config()).unwrap_err();
+        assert!(matches!(err, CoreError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn invalid_horizon_is_rejected() {
+        let trues = paper_true_values();
+        let mut cfg = deterministic_config();
+        cfg.horizon = 0.0;
+        assert!(simulate_round(&trues, &trues, PAPER_ARRIVAL_RATE, &cfg).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Deterministic discrete-event queue.
+//!
+//! The classic DES core: a priority queue of `(time, sequence, event)` where
+//! the monotone sequence number breaks time ties in insertion order, making
+//! the whole simulation deterministic for a given seed regardless of event
+//! payloads.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry in the queue.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list ordered by `(time, insertion order)`.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The current simulation time — the time of the last popped event.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is before the current simulation time (causality).
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(time >= self.now, "EventQueue: scheduling into the past ({time} < {})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules `event` after a non-negative delay from *now*.
+    ///
+    /// # Panics
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (s.time, s.event)
+        })
+    }
+
+    /// The timestamp of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(3.0), "c");
+        q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::new(1.0);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(5.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peek_time(), Some(SimTime::new(5.0)));
+        q.pop();
+        assert_eq!(q.now(), SimTime::new(5.0));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), "first");
+        q.pop();
+        q.schedule_in(1.5, "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::new(3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn causality_is_enforced() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), ());
+        q.pop();
+        q.schedule(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::new(1.0), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,121 @@
+//! Deterministic parallel replication of simulation rounds.
+//!
+//! Simulation results in the experiment harness are reported as mean ±
+//! confidence interval over independent replications; this module fans the
+//! replications out over threads ([`lb_stats::parallel::par_map`]) while
+//! keeping the result bit-identical to a sequential run (seeds are derived
+//! from the replication index, never from thread identity).
+
+use crate::driver::{simulate_round, RoundReport, SimulationConfig};
+use lb_core::CoreError;
+use lb_stats::ci::{mean_confidence_interval, ConfidenceInterval};
+use lb_stats::online::OnlineStats;
+use lb_stats::parallel::par_map;
+
+/// Aggregated replication results for one experiment point.
+#[derive(Debug, Clone)]
+pub struct ReplicationSummary {
+    /// Per-replication estimated total latency.
+    pub latencies: Vec<f64>,
+    /// Confidence interval over the replications.
+    pub latency_ci: ConfidenceInterval,
+    /// Per-machine mean estimated execution value across replications.
+    pub mean_estimated_exec: Vec<f64>,
+}
+
+/// Runs `replications` independent copies of `simulate_round` in parallel
+/// and aggregates them.
+///
+/// Replication `k` uses seed `config.seed + k`, so the ensemble is
+/// reproducible and grows incrementally (adding replications never changes
+/// earlier ones).
+///
+/// # Errors
+/// Propagates the first simulation error encountered.
+///
+/// # Panics
+/// Panics if `replications < 2` (no confidence interval exists).
+pub fn replicate(
+    bids: &[f64],
+    exec_values: &[f64],
+    total_rate: f64,
+    config: &SimulationConfig,
+    replications: usize,
+    threads: usize,
+) -> Result<ReplicationSummary, CoreError> {
+    assert!(replications >= 2, "replicate: need at least 2 replications");
+    let results: Vec<Result<RoundReport, CoreError>> = par_map(replications, threads, |k| {
+        let mut cfg = *config;
+        cfg.seed = config.seed.wrapping_add(k as u64);
+        simulate_round(bids, exec_values, total_rate, &cfg)
+    });
+
+    let mut latencies = Vec::with_capacity(replications);
+    let mut per_machine: Vec<OnlineStats> = vec![OnlineStats::new(); bids.len()];
+    for r in results {
+        let report = r?;
+        latencies.push(report.estimated_total_latency);
+        for (i, &e) in report.estimated_exec_values.iter().enumerate() {
+            per_machine[i].push(e);
+        }
+    }
+    let stats = OnlineStats::from_slice(&latencies);
+    let latency_ci = mean_confidence_interval(&stats, 0.95);
+    let mean_estimated_exec = per_machine.iter().map(OnlineStats::mean).collect();
+    Ok(ReplicationSummary { latencies, latency_ci, mean_estimated_exec })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServiceModel;
+    use lb_core::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
+
+    fn config() -> SimulationConfig {
+        SimulationConfig {
+            horizon: 800.0,
+            seed: 100,
+            model: ServiceModel::StationaryExponential,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: crate::estimator::EstimatorConfig::default(),
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let trues = paper_true_values();
+        let a = replicate(&trues, &trues, PAPER_ARRIVAL_RATE, &config(), 8, 1).unwrap();
+        let b = replicate(&trues, &trues, PAPER_ARRIVAL_RATE, &config(), 8, 4).unwrap();
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(a.mean_estimated_exec, b.mean_estimated_exec);
+    }
+
+    #[test]
+    fn ci_covers_analytic_latency() {
+        let trues = paper_true_values();
+        let summary = replicate(&trues, &trues, PAPER_ARRIVAL_RATE, &config(), 16, 4).unwrap();
+        let analytic = 400.0 / 5.1;
+        // Generous tolerance: CI half-width plus 5% modelling slack.
+        assert!(
+            (summary.latency_ci.mean - analytic).abs() < summary.latency_ci.half_width + 0.05 * analytic,
+            "CI mean {} vs analytic {analytic}",
+            summary.latency_ci.mean
+        );
+    }
+
+    #[test]
+    fn replications_are_incremental() {
+        let trues = paper_true_values();
+        let small = replicate(&trues, &trues, PAPER_ARRIVAL_RATE, &config(), 4, 2).unwrap();
+        let large = replicate(&trues, &trues, PAPER_ARRIVAL_RATE, &config(), 8, 2).unwrap();
+        assert_eq!(&large.latencies[..4], &small.latencies[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 replications")]
+    fn single_replication_panics() {
+        let trues = paper_true_values();
+        let _ = replicate(&trues, &trues, PAPER_ARRIVAL_RATE, &config(), 1, 1);
+    }
+}

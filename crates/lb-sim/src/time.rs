@@ -1,0 +1,125 @@
+//! Simulation time: a totally ordered, finite, non-negative clock value.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (seconds).
+///
+/// `SimTime` is a thin wrapper over `f64` that *guarantees* total ordering by
+/// rejecting NaN at construction, so it can safely key the event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a simulation time.
+    ///
+    /// # Panics
+    /// Panics if `seconds` is NaN or negative.
+    #[must_use]
+    pub fn new(seconds: f64) -> Self {
+        assert!(!seconds.is_nan(), "SimTime: NaN");
+        assert!(seconds >= 0.0, "SimTime: negative time {seconds}");
+        Self(seconds)
+    }
+
+    /// The underlying seconds value.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - other`, floored at zero.
+    #[must_use]
+    pub fn saturating_sub(self, other: Self) -> f64 {
+        (self.0 - other.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Construction guarantees no NaN, so partial_cmp is total here.
+        self.0.partial_cmp(&other.0).expect("SimTime is NaN-free by construction")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = Self;
+    fn add(self, dt: f64) -> Self {
+        Self::new(self.0 + dt)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, dt: f64) {
+        *self = *self + dt;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: Self) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::ZERO.min(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let t = SimTime::new(1.5) + 0.5;
+        assert_eq!(t.seconds(), 2.0);
+        let mut u = SimTime::ZERO;
+        u += 3.0;
+        assert_eq!(u.seconds(), 3.0);
+        assert_eq!(t - u, -1.0);
+        assert_eq!(u.saturating_sub(t), 1.0);
+        assert_eq!(t.saturating_sub(u), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_is_rejected() {
+        let _ = SimTime::new(-0.1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::new(1.25).to_string(), "1.250000s");
+    }
+}

@@ -1,0 +1,398 @@
+//! Job arrival workloads.
+//!
+//! The paper assumes jobs arrive at the system with total rate `R` and that
+//! the PR allocation splits this stream so machine `i` receives rate `x_i`.
+//! Splitting a Poisson stream by independent routing yields independent
+//! Poisson streams, so the simulator generates one [`PoissonProcess`] per
+//! machine at its assigned rate.
+
+use lb_stats::dist::{sample, Exponential};
+use lb_stats::rng::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous Poisson arrival process with a private RNG stream.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    interarrival: Exponential,
+    rng: Xoshiro256StarStar,
+    now: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a Poisson process with the given arrival rate (> 0) and a
+    /// dedicated RNG stream.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is finite and strictly positive.
+    #[must_use]
+    pub fn new(rate: f64, rng: Xoshiro256StarStar) -> Self {
+        Self { interarrival: Exponential::new(rate), rng, now: 0.0 }
+    }
+
+    /// The arrival rate λ.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.interarrival.rate()
+    }
+
+    /// Draws the next arrival time (strictly increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        self.now += sample(&self.interarrival, &mut self.rng);
+        self.now
+    }
+
+    /// Generates all arrival times up to `horizon`.
+    pub fn arrivals_until(&mut self, horizon: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity((self.rate() * horizon).ceil().max(1.0) as usize);
+        loop {
+            let t = self.next_arrival();
+            if t > horizon {
+                // Leave `now` past the horizon; subsequent calls continue the
+                // same process.
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// A two-state Markov-modulated Poisson process (MMPP-2): bursty arrivals.
+///
+/// The process alternates between a *calm* and a *burst* state with
+/// exponentially distributed dwell times; within a state, arrivals are
+/// Poisson at that state's rate. MMPPs are the standard parsimonious model
+/// of bursty traffic, used here to stress the verification estimator beyond
+/// the paper's stationary-Poisson assumption.
+#[derive(Debug, Clone)]
+pub struct MmppProcess {
+    rates: [f64; 2],
+    dwell_means: [f64; 2],
+    state: usize,
+    state_until: f64,
+    now: f64,
+    rng: Xoshiro256StarStar,
+}
+
+impl MmppProcess {
+    /// Creates an MMPP-2 starting in state 0.
+    ///
+    /// # Panics
+    /// Panics unless all rates and dwell means are finite and positive.
+    #[must_use]
+    pub fn new(rates: [f64; 2], dwell_means: [f64; 2], mut rng: Xoshiro256StarStar) -> Self {
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r > 0.0),
+            "MmppProcess: rates must be finite and > 0"
+        );
+        assert!(
+            dwell_means.iter().all(|d| d.is_finite() && *d > 0.0),
+            "MmppProcess: dwell means must be finite and > 0"
+        );
+        let first_dwell = sample(&Exponential::with_mean(dwell_means[0]), &mut rng);
+        Self { rates, dwell_means, state: 0, state_until: first_dwell, now: 0.0, rng }
+    }
+
+    /// Long-run average arrival rate (dwell-weighted).
+    #[must_use]
+    pub fn mean_rate(&self) -> f64 {
+        let w = self.dwell_means[0] + self.dwell_means[1];
+        (self.rates[0] * self.dwell_means[0] + self.rates[1] * self.dwell_means[1]) / w
+    }
+
+    /// Draws the next arrival time (strictly increasing), switching states
+    /// as dwell periods expire.
+    pub fn next_arrival(&mut self) -> f64 {
+        loop {
+            let gap = sample(&Exponential::new(self.rates[self.state]), &mut self.rng);
+            let candidate = self.now + gap;
+            if candidate <= self.state_until {
+                self.now = candidate;
+                return self.now;
+            }
+            // The tentative arrival falls after the state switch: advance to
+            // the switch and resample in the new state (memorylessness makes
+            // this exact).
+            self.now = self.state_until;
+            self.state ^= 1;
+            let dwell = sample(&Exponential::with_mean(self.dwell_means[self.state]), &mut self.rng);
+            self.state_until = self.now + dwell;
+        }
+    }
+
+    /// Generates all arrival times up to `horizon`.
+    pub fn arrivals_until(&mut self, horizon: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival();
+            if t > horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// A job flowing through the simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Global job identifier.
+    pub id: u64,
+    /// Machine the job was routed to.
+    pub machine: usize,
+    /// Arrival time at the machine.
+    pub arrival: f64,
+}
+
+/// How job arrivals are generated for each machine.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum WorkloadModel {
+    /// Stationary Poisson arrivals at the assigned rate (the paper's model).
+    #[default]
+    Poisson,
+    /// Bursty MMPP-2 arrivals whose *long-run mean* equals the assigned
+    /// rate: the burst state runs at `burstiness ×` the calm state's rate.
+    Bursty {
+        /// Ratio of burst-state to calm-state arrival rate (> 1).
+        burstiness: f64,
+        /// Mean dwell time in each state (calm, burst), in seconds.
+        dwell_means: [f64; 2],
+    },
+}
+
+impl WorkloadModel {
+    fn arrivals(self, rate: f64, horizon: f64, rng: Xoshiro256StarStar) -> Vec<f64> {
+        match self {
+            Self::Poisson => PoissonProcess::new(rate, rng).arrivals_until(horizon),
+            Self::Bursty { burstiness, dwell_means } => {
+                assert!(burstiness > 1.0, "WorkloadModel::Bursty: burstiness must be > 1");
+                // Choose calm/burst rates so the dwell-weighted mean is `rate`:
+                // r_calm·d0 + b·r_calm·d1 = rate·(d0+d1).
+                let [d0, d1] = dwell_means;
+                let r_calm = rate * (d0 + d1) / (d0 + burstiness * d1);
+                MmppProcess::new([r_calm, burstiness * r_calm], dwell_means, rng)
+                    .arrivals_until(horizon)
+            }
+        }
+    }
+}
+
+/// Generates per-machine arrival traces for one round.
+///
+/// Machine `i` receives a stream at long-run rate `rates[i]` under `model`;
+/// machines with zero (or epsilon) rate receive no jobs. Jobs are numbered
+/// globally in per-machine generation order.
+///
+/// # Panics
+/// Panics if `horizon` is not positive or any rate is negative/non-finite.
+#[must_use]
+pub fn per_machine_traces_with(
+    rates: &[f64],
+    horizon: f64,
+    seed: u64,
+    model: WorkloadModel,
+) -> Vec<Vec<Job>> {
+    assert!(horizon.is_finite() && horizon > 0.0, "per_machine_traces: invalid horizon");
+    let base = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut next_id = 0u64;
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            assert!(rate.is_finite() && rate >= 0.0, "per_machine_traces: invalid rate {rate}");
+            if rate <= 1e-12 {
+                return Vec::new();
+            }
+            model
+                .arrivals(rate, horizon, base.stream(i as u64))
+                .into_iter()
+                .map(|arrival| {
+                    let id = next_id;
+                    next_id += 1;
+                    Job { id, machine: i, arrival }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Generates per-machine *Poisson* arrival traces (the paper's model).
+///
+/// # Panics
+/// Panics if `horizon` is not positive or any rate is negative/non-finite.
+#[must_use]
+pub fn per_machine_traces(rates: &[f64], horizon: f64, seed: u64) -> Vec<Vec<Job>> {
+    per_machine_traces_with(rates, horizon, seed, WorkloadModel::Poisson)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_stats::online::OnlineStats;
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut p = PoissonProcess::new(5.0, Xoshiro256StarStar::seed_from_u64(1));
+        let mut prev = 0.0;
+        for _ in 0..1000 {
+            let t = p.next_arrival();
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let mut p = PoissonProcess::new(4.0, Xoshiro256StarStar::seed_from_u64(2));
+        let arrivals = p.arrivals_until(10_000.0);
+        let rate = arrivals.len() as f64 / 10_000.0;
+        assert!((rate - 4.0).abs() < 0.1, "rate = {rate}");
+    }
+
+    #[test]
+    fn interarrival_times_are_exponential() {
+        let mut p = PoissonProcess::new(2.0, Xoshiro256StarStar::seed_from_u64(3));
+        let arrivals = p.arrivals_until(50_000.0);
+        let mut stats = OnlineStats::new();
+        let mut prev = 0.0;
+        for &t in &arrivals {
+            stats.push(t - prev);
+            prev = t;
+        }
+        // Mean 0.5, std 0.5 for Exp(2).
+        assert!((stats.mean() - 0.5).abs() < 0.01, "mean {}", stats.mean());
+        assert!((stats.std_dev() - 0.5).abs() < 0.02, "std {}", stats.std_dev());
+    }
+
+    #[test]
+    fn interarrivals_pass_a_ks_test_against_the_exponential_cdf() {
+        // Stronger than the moment checks: the full interarrival law is
+        // exponential (Kolmogorov-Smirnov at 1%).
+        let rate = 3.0;
+        let mut p = PoissonProcess::new(rate, Xoshiro256StarStar::seed_from_u64(20));
+        let arrivals = p.arrivals_until(5_000.0);
+        let mut gaps = Vec::with_capacity(arrivals.len());
+        let mut prev = 0.0;
+        for &t in &arrivals {
+            gaps.push(t - prev);
+            prev = t;
+        }
+        let test = lb_stats::ks::ks_test(&gaps, lb_stats::ks::exponential_cdf(rate));
+        assert!(!test.rejects_at(0.01), "KS p-value {}", test.p_value);
+    }
+
+    #[test]
+    fn mmpp_interarrivals_fail_the_single_exponential_ks_test() {
+        // The same test separates the bursty process from a plain Poisson
+        // stream of equal mean rate.
+        let mut p = MmppProcess::new(
+            [0.5, 10.0],
+            [40.0, 10.0],
+            Xoshiro256StarStar::seed_from_u64(21),
+        );
+        let arrivals = p.arrivals_until(5_000.0);
+        let mut gaps = Vec::with_capacity(arrivals.len());
+        let mut prev = 0.0;
+        for &t in &arrivals {
+            gaps.push(t - prev);
+            prev = t;
+        }
+        let test = lb_stats::ks::ks_test(&gaps, lb_stats::ks::exponential_cdf(p.mean_rate()));
+        assert!(test.rejects_at(0.001), "KS p-value {}", test.p_value);
+    }
+
+    #[test]
+    fn continuation_past_horizon_is_seamless() {
+        let mut p = PoissonProcess::new(1.0, Xoshiro256StarStar::seed_from_u64(4));
+        let first = p.arrivals_until(100.0);
+        let second = p.arrivals_until(200.0);
+        assert!(second.first().copied().unwrap_or(f64::INFINITY) > 100.0);
+        assert!(!first.is_empty());
+    }
+
+    #[test]
+    fn traces_cover_machines_proportionally() {
+        let rates = [4.0, 2.0, 0.0];
+        let traces = per_machine_traces(&rates, 5_000.0, 7);
+        assert_eq!(traces.len(), 3);
+        assert!(traces[2].is_empty());
+        let ratio = traces[0].len() as f64 / traces[1].len() as f64;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio = {ratio}");
+        // Job ids are globally unique.
+        let mut ids: Vec<u64> = traces.iter().flatten().map(|j| j.id).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn mmpp_mean_rate_matches_empirical() {
+        let mut p = MmppProcess::new(
+            [1.0, 20.0],
+            [50.0, 5.0],
+            Xoshiro256StarStar::seed_from_u64(11),
+        );
+        let horizon = 50_000.0;
+        let arrivals = p.arrivals_until(horizon);
+        let empirical = arrivals.len() as f64 / horizon;
+        let analytic = p.mean_rate(); // (1*50 + 20*5)/55 = 150/55
+        assert!((analytic - 150.0 / 55.0).abs() < 1e-12);
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.05,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Index of dispersion of counts over windows: Poisson = 1, MMPP > 1.
+        let window = 10.0;
+        let horizon = 20_000.0;
+        let count_variance = |arrivals: &[f64]| -> (f64, f64) {
+            let bins = (horizon / window) as usize;
+            let mut counts = vec![0u32; bins];
+            for &a in arrivals {
+                let b = ((a / window) as usize).min(bins - 1);
+                counts[b] += 1;
+            }
+            let s = OnlineStats::from_slice(&counts.iter().map(|&c| f64::from(c)).collect::<Vec<_>>());
+            (s.mean(), s.variance())
+        };
+        let mut mmpp = MmppProcess::new(
+            [0.5, 10.0],
+            [40.0, 10.0],
+            Xoshiro256StarStar::seed_from_u64(12),
+        );
+        let (m_mean, m_var) = count_variance(&mmpp.arrivals_until(horizon));
+        let mut poisson = PoissonProcess::new(
+            mmpp.mean_rate(),
+            Xoshiro256StarStar::seed_from_u64(13),
+        );
+        let (p_mean, p_var) = count_variance(&poisson.arrivals_until(horizon));
+        let mmpp_iod = m_var / m_mean;
+        let poisson_iod = p_var / p_mean;
+        assert!(mmpp_iod > 2.0 * poisson_iod, "IoD mmpp {mmpp_iod} vs poisson {poisson_iod}");
+    }
+
+    #[test]
+    fn mmpp_arrivals_strictly_increase() {
+        let mut p = MmppProcess::new([2.0, 8.0], [5.0, 5.0], Xoshiro256StarStar::seed_from_u64(14));
+        let mut prev = 0.0;
+        for _ in 0..5_000 {
+            let t = p.next_arrival();
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = per_machine_traces(&[1.0, 2.0], 100.0, 42);
+        let b = per_machine_traces(&[1.0, 2.0], 100.0, 42);
+        assert_eq!(a, b);
+        let c = per_machine_traces(&[1.0, 2.0], 100.0, 43);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,229 @@
+//! Confidence intervals for simulation output analysis.
+//!
+//! Two tools: Student-t intervals over independent replications (the standard
+//! way to report discrete-event simulation results) and the batch-means method
+//! for a single long, autocorrelated run.
+
+use crate::online::OnlineStats;
+
+/// A two-sided confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level used, e.g. `0.95`.
+    pub confidence: f64,
+    /// Number of observations behind the estimate.
+    pub count: u64,
+}
+
+impl ConfidenceInterval {
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `value` lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+
+    /// Relative half-width (`half_width / |mean|`); `inf` for zero mean.
+    #[must_use]
+    pub fn relative_precision(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Two-sided Student-t critical value for the given degrees of freedom and
+/// confidence level (supported levels: 0.90, 0.95, 0.99).
+///
+/// Exact table entries for small `df`, smooth interpolation to the normal
+/// quantile for large `df`. Accuracy is better than 1% everywhere, which is
+/// far below simulation noise.
+///
+/// # Panics
+/// Panics if `df == 0` or the level is unsupported.
+#[must_use]
+pub fn t_critical(df: u64, confidence: f64) -> f64 {
+    assert!(df > 0, "t_critical: df must be >= 1");
+    // Table rows: df 1..=30, then selected larger dfs.
+    const LEVELS: [f64; 3] = [0.90, 0.95, 0.99];
+    const TABLE: [[f64; 3]; 30] = [
+        [6.314, 12.706, 63.657],
+        [2.920, 4.303, 9.925],
+        [2.353, 3.182, 5.841],
+        [2.132, 2.776, 4.604],
+        [2.015, 2.571, 4.032],
+        [1.943, 2.447, 3.707],
+        [1.895, 2.365, 3.499],
+        [1.860, 2.306, 3.355],
+        [1.833, 2.262, 3.250],
+        [1.812, 2.228, 3.169],
+        [1.796, 2.201, 3.106],
+        [1.782, 2.179, 3.055],
+        [1.771, 2.160, 3.012],
+        [1.761, 2.145, 2.977],
+        [1.753, 2.131, 2.947],
+        [1.746, 2.120, 2.921],
+        [1.740, 2.110, 2.898],
+        [1.734, 2.101, 2.878],
+        [1.729, 2.093, 2.861],
+        [1.725, 2.086, 2.845],
+        [1.721, 2.080, 2.831],
+        [1.717, 2.074, 2.819],
+        [1.714, 2.069, 2.807],
+        [1.711, 2.064, 2.797],
+        [1.708, 2.060, 2.787],
+        [1.706, 2.056, 2.779],
+        [1.703, 2.052, 2.771],
+        [1.701, 2.048, 2.763],
+        [1.699, 2.045, 2.756],
+        [1.697, 2.042, 2.750],
+    ];
+    // Normal quantiles for the three levels (df -> infinity limit).
+    const Z: [f64; 3] = [1.645, 1.960, 2.576];
+
+    let col = LEVELS
+        .iter()
+        .position(|&l| (l - confidence).abs() < 1e-9)
+        .unwrap_or_else(|| panic!("t_critical: unsupported confidence level {confidence}"));
+
+    if df <= 30 {
+        TABLE[(df - 1) as usize][col]
+    } else {
+        // Smooth df^-1 interpolation between the df=30 entry and the normal limit.
+        let t30 = TABLE[29][col];
+        let z = Z[col];
+        let w = 30.0 / df as f64;
+        z + (t30 - z) * w
+    }
+}
+
+/// Student-t confidence interval for the mean of the observations in `stats`.
+///
+/// # Panics
+/// Panics if `stats` holds fewer than two observations (no variance estimate)
+/// or the confidence level is unsupported.
+#[must_use]
+pub fn mean_confidence_interval(stats: &OnlineStats, confidence: f64) -> ConfidenceInterval {
+    assert!(stats.count() >= 2, "mean_confidence_interval: need at least 2 observations");
+    let t = t_critical(stats.count() - 1, confidence);
+    ConfidenceInterval {
+        mean: stats.mean(),
+        half_width: t * stats.std_error(),
+        confidence,
+        count: stats.count(),
+    }
+}
+
+/// Batch-means confidence interval for a single autocorrelated series.
+///
+/// The series is split into `batches` equal contiguous batches; batch means
+/// are approximately independent for long batches, so a t-interval over them
+/// is asymptotically valid. Trailing observations that do not fill the last
+/// batch are dropped.
+///
+/// # Panics
+/// Panics if `batches < 2` or the series is shorter than `2 * batches`.
+#[must_use]
+pub fn batch_means(series: &[f64], batches: usize, confidence: f64) -> ConfidenceInterval {
+    assert!(batches >= 2, "batch_means: need at least 2 batches");
+    assert!(series.len() >= 2 * batches, "batch_means: series too short for {batches} batches");
+    let batch_len = series.len() / batches;
+    let mut means = OnlineStats::new();
+    for b in 0..batches {
+        let chunk = &series[b * batch_len..(b + 1) * batch_len];
+        means.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+    }
+    mean_confidence_interval(&means, confidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{sample, Exponential};
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn t_critical_matches_table() {
+        assert!((t_critical(1, 0.95) - 12.706).abs() < 1e-9);
+        assert!((t_critical(10, 0.95) - 2.228).abs() < 1e-9);
+        assert!((t_critical(30, 0.99) - 2.750).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_critical_large_df_approaches_normal() {
+        assert!((t_critical(1_000_000, 0.95) - 1.960).abs() < 0.01);
+        assert!(t_critical(31, 0.95) < t_critical(30, 0.95));
+        assert!(t_critical(100, 0.95) > 1.960);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported confidence")]
+    fn t_critical_rejects_unknown_level() {
+        let _ = t_critical(10, 0.42);
+    }
+
+    #[test]
+    fn interval_geometry() {
+        let ci = ConfidenceInterval { mean: 10.0, half_width: 2.0, confidence: 0.95, count: 5 };
+        assert_eq!(ci.lo(), 8.0);
+        assert_eq!(ci.hi(), 12.0);
+        assert!(ci.contains(9.0));
+        assert!(!ci.contains(12.5));
+        assert!((ci.relative_precision() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_covers_known_mean() {
+        // 200 replications of an exponential(mean 2) sample mean: the 99% CI
+        // should cover the true mean.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+        let d = Exponential::with_mean(2.0);
+        let mut reps = OnlineStats::new();
+        for _ in 0..200 {
+            let m: f64 = (0..50).map(|_| sample(&d, &mut rng)).sum::<f64>() / 50.0;
+            reps.push(m);
+        }
+        let ci = mean_confidence_interval(&reps, 0.99);
+        assert!(ci.contains(2.0), "CI [{}, {}] misses 2.0", ci.lo(), ci.hi());
+    }
+
+    #[test]
+    fn batch_means_on_iid_series_covers_mean() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let d = Exponential::with_mean(1.0);
+        let series: Vec<f64> = (0..10_000).map(|_| sample(&d, &mut rng)).collect();
+        let ci = batch_means(&series, 20, 0.99);
+        assert!(ci.contains(1.0), "CI [{}, {}] misses 1.0", ci.lo(), ci.hi());
+        assert_eq!(ci.count, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "series too short")]
+    fn batch_means_rejects_short_series() {
+        let _ = batch_means(&[1.0, 2.0, 3.0], 2, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 observations")]
+    fn mean_ci_requires_two_points() {
+        let s = OnlineStats::from_slice(&[1.0]);
+        let _ = mean_confidence_interval(&s, 0.95);
+    }
+}

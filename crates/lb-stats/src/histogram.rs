@@ -1,0 +1,302 @@
+//! Histograms and reservoir sampling for latency-population analysis.
+
+use crate::rng::Rng;
+
+/// Fixed-width-bin histogram over a closed range, with under/overflow bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`, the bounds are non-finite, or `lo >= hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: need at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "Histogram: invalid range");
+        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "Histogram: NaN observation");
+        self.count += 1;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (value - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded observations (including out-of-range).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Counts that fell below `lo`.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Counts that fell at or above `hi`.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Raw per-bin counts.
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `[start, end)` value range of bin `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "Histogram: bin index out of range");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Approximate `q`-quantile (`0 <= q <= 1`) by linear interpolation over
+    /// the cumulative histogram. Out-of-range mass is attributed to the range
+    /// endpoints.
+    ///
+    /// # Panics
+    /// Panics if the histogram is empty or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(self.count > 0, "Histogram: quantile of empty histogram");
+        assert!((0.0..=1.0).contains(&q), "Histogram: q must be in [0,1]");
+        let target = q * self.count as f64;
+        let mut cum = self.underflow as f64;
+        if target <= cum {
+            return self.lo;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = cum + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - cum) / c as f64;
+                return self.lo + w * (i as f64 + frac);
+            }
+            cum = next;
+        }
+        self.hi
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "Histogram: geometry mismatch in merge"
+        );
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+/// Uniform reservoir sampler (Vitter's Algorithm R): keeps a fixed-size
+/// uniform random subset of an unbounded stream, for exact quantiles over
+/// large job populations.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    sample: Vec<f64>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding at most `capacity` observations.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Reservoir: capacity must be >= 1");
+        Self { sample: Vec::with_capacity(capacity), capacity, seen: 0 }
+    }
+
+    /// Offers one observation to the reservoir.
+    pub fn offer<R: Rng>(&mut self, value: f64, rng: &mut R) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(value);
+        } else {
+            let j = rng.next_below(self.seen);
+            if (j as usize) < self.capacity {
+                self.sample[j as usize] = value;
+            }
+        }
+    }
+
+    /// Number of observations offered so far.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample (unordered).
+    #[must_use]
+    pub fn sample(&self) -> &[f64] {
+        &self.sample
+    }
+
+    /// Exact `q`-quantile of the *retained sample* (nearest-rank).
+    ///
+    /// # Panics
+    /// Panics if the reservoir is empty or `q` outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sample.is_empty(), "Reservoir: empty");
+        assert!((0.0..=1.0).contains(&q), "Reservoir: q must be in [0,1]");
+        let mut sorted = self.sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in reservoir"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn records_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(5.0);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn bin_range_is_consistent() {
+        let h = Histogram::new(2.0, 4.0, 4);
+        assert_eq!(h.bin_range(0), (2.0, 2.5));
+        assert_eq!(h.bin_range(3), (3.5, 4.0));
+    }
+
+    #[test]
+    fn quantile_of_uniform_fill() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 50.0).abs() < 1.5, "median = {med}");
+        let p90 = h.quantile(0.9);
+        assert!((p90 - 90.0).abs() < 1.5, "p90 = {p90}");
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(3.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert!(h.quantile(1.0) <= 10.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        a.record(0.25);
+        b.record(0.75);
+        b.record(-1.0);
+        a.merge(&b);
+        assert_eq!(a.bins(), &[1, 1]);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let b = Histogram::new(0.0, 2.0, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn reservoir_keeps_all_when_under_capacity() {
+        let mut r = Reservoir::new(10);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for i in 0..5 {
+            r.offer(i as f64, &mut rng);
+        }
+        assert_eq!(r.sample().len(), 5);
+        assert_eq!(r.seen(), 5);
+    }
+
+    #[test]
+    fn reservoir_is_approximately_uniform() {
+        // Offer 0..1000, keep 100; the retained sample's mean should be near
+        // the population mean 499.5.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let mut means = 0.0;
+        let reps = 50;
+        for rep in 0..reps {
+            let mut r = Reservoir::new(100);
+            let mut local = Xoshiro256StarStar::seed_from_u64(1000 + rep);
+            for i in 0..1000 {
+                r.offer(i as f64, &mut local);
+            }
+            means += r.sample().iter().sum::<f64>() / 100.0;
+        }
+        let _ = &mut rng;
+        let grand = means / reps as f64;
+        assert!((grand - 499.5).abs() < 15.0, "grand mean {grand}");
+    }
+
+    #[test]
+    fn reservoir_quantile_nearest_rank() {
+        let mut r = Reservoir::new(5);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            r.offer(v, &mut rng);
+        }
+        assert_eq!(r.quantile(0.5), 3.0);
+        assert_eq!(r.quantile(1.0), 5.0);
+        assert_eq!(r.quantile(0.0), 1.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Statistics substrate for the `lbmv` workspace.
+//!
+//! The IPPS 2003 paper evaluates its mechanism by simulation; every stochastic
+//! ingredient that simulation needs lives here so the rest of the workspace
+//! stays deterministic and dependency-light:
+//!
+//! * [`rng`] — counter-seeded, splittable pseudo-random number generators
+//!   (SplitMix64 for seeding, xoshiro256\*\* as the workhorse generator).
+//!   Every simulation in the workspace is reproducible from a single `u64`
+//!   seed, and parallel replications draw from provably disjoint streams.
+//! * [`dist`] — probability distributions implemented from first principles
+//!   (exponential, uniform, Pareto, gamma, normal, Poisson, Zipf, …) behind a
+//!   single [`dist::Distribution`] trait.
+//! * [`online`] — numerically stable single-pass (Welford) statistics with
+//!   pairwise merge for parallel reductions, plus EWMA smoothing.
+//! * [`ci`] — Student-t confidence intervals and batch-means analysis for
+//!   autocorrelated simulation output.
+//! * [`histogram`] — fixed-bin histograms and reservoir sampling for
+//!   quantile estimation over large job populations.
+//! * [`parallel`] — deterministic fan-out of independent replications over
+//!   scoped threads (crossbeam), the workspace's HPC building block.
+
+pub mod autocorr;
+pub mod ci;
+pub mod dist;
+pub mod histogram;
+pub mod ks;
+pub mod online;
+pub mod parallel;
+pub mod quantile;
+pub mod rng;
+
+pub use autocorr::{autocorrelation, autocovariance, effective_sample_size, integrated_autocorrelation_time};
+pub use ci::{batch_means, mean_confidence_interval, ConfidenceInterval};
+pub use dist::Distribution;
+pub use histogram::{Histogram, Reservoir};
+pub use ks::{ks_test, KsTest};
+pub use online::{Ewma, OnlineStats};
+pub use parallel::par_map;
+pub use quantile::P2Quantile;
+pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};

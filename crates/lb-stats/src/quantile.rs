@@ -1,0 +1,226 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! Latency SLOs are quantiles (p95/p99), but storing every response time of
+//! a long simulation is wasteful. The P² algorithm (Jain & Chlamtac, 1985)
+//! tracks a single quantile with five markers and O(1) work per observation,
+//! adjusting marker heights by piecewise-parabolic interpolation.
+
+/// Streaming estimator of a single quantile.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based counts).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+    /// First five observations, collected before the markers initialise.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile, `0 < q < 1`.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "P2Quantile: q must be in (0, 1)");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    /// The tracked quantile level.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations seen.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn observe(&mut self, x: f64) {
+        assert!(!x.is_nan(), "P2Quantile: NaN observation");
+        self.count += 1;
+        if self.count <= 5 {
+            self.warmup.push(x);
+            if self.count == 5 {
+                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                for (h, &w) in self.heights.iter_mut().zip(&self.warmup) {
+                    *h = w;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    self.heights[i] = candidate;
+                } else {
+                    self.heights[i] = self.linear(i, s);
+                }
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let n = &self.positions;
+        let h = &self.heights;
+        h[i] + s / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + s) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - s) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate.
+    ///
+    /// # Panics
+    /// Panics if no observations have been fed.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        assert!(self.count > 0, "P2Quantile: no observations");
+        if self.count <= 5 {
+            // Exact small-sample quantile (nearest rank on the sorted warmup).
+            let mut sorted = self.warmup.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let rank = ((self.q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        } else {
+            self.heights[2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{sample, Exponential, Uniform};
+    use crate::rng::Xoshiro256StarStar;
+
+    fn exact_quantile(data: &mut [f64], q: f64) -> f64 {
+        data.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let rank = ((q * data.len() as f64).ceil() as usize).clamp(1, data.len());
+        data[rank - 1]
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p = P2Quantile::new(0.5);
+        for x in [5.0, 1.0, 3.0] {
+            p.observe(x);
+        }
+        assert_eq!(p.estimate(), 3.0);
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        let mut p = P2Quantile::new(0.5);
+        let d = Uniform::new(0.0, 10.0);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for _ in 0..100_000 {
+            p.observe(sample(&d, &mut rng));
+        }
+        assert!((p.estimate() - 5.0).abs() < 0.1, "median {}", p.estimate());
+    }
+
+    #[test]
+    fn p99_of_exponential_converges() {
+        let mut p = P2Quantile::new(0.99);
+        let d = Exponential::new(1.0);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let mut all = Vec::new();
+        for _ in 0..200_000 {
+            let x = sample(&d, &mut rng);
+            p.observe(x);
+            all.push(x);
+        }
+        let exact = exact_quantile(&mut all, 0.99);
+        // Theoretical p99 of Exp(1) is ln(100) = 4.605.
+        assert!((p.estimate() - exact).abs() / exact < 0.05, "{} vs {exact}", p.estimate());
+        assert!((p.estimate() - 100.0f64.ln()).abs() < 0.4);
+    }
+
+    #[test]
+    fn tracks_sorted_and_reversed_streams() {
+        for reversed in [false, true] {
+            let mut p = P2Quantile::new(0.9);
+            let mut values: Vec<f64> = (0..10_000).map(f64::from).collect();
+            if reversed {
+                values.reverse();
+            }
+            for v in values {
+                p.observe(v);
+            }
+            assert!((p.estimate() - 9_000.0).abs() < 300.0, "estimate {}", p.estimate());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in (0, 1)")]
+    fn invalid_q_panics() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations")]
+    fn empty_estimate_panics() {
+        let _ = P2Quantile::new(0.5).estimate();
+    }
+}

@@ -1,0 +1,70 @@
+//! The protocol under network faults: lost bids, partitions, lost acks —
+//! and the distributed payment audit that keeps the coordinator honest.
+//!
+//! ```text
+//! cargo run --example fault_tolerance
+//! ```
+
+use lbmv::core::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
+use lbmv::mechanism::CompensationBonusMechanism;
+use lbmv::proto::audit::{audit_settlement, SettlementRecord};
+use lbmv::proto::faults::{run_protocol_round_with_faults, FaultPlan};
+use lbmv::proto::{NodeSpec, ProtocolConfig};
+use lbmv::sim::driver::SimulationConfig;
+use lbmv::sim::server::ServiceModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mechanism = CompensationBonusMechanism::paper();
+    let specs: Vec<NodeSpec> =
+        paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+    let config = ProtocolConfig {
+        total_rate: PAPER_ARRIVAL_RATE,
+        link_latency: 0.002,
+        simulation: SimulationConfig {
+            horizon: 500.0,
+            seed: 11,
+            model: ServiceModel::StationaryDeterministic,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: Default::default(),
+        },
+    };
+
+    // 1. C1's bid is lost: the coordinator times out, excludes C1, and the
+    //    round settles over the 15 survivors.
+    let faults = FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() };
+    let outcome = run_protocol_round_with_faults(&mechanism, &specs, &config, &faults)?;
+    println!("C1 bid lost:");
+    println!("  C1 rate {:.2}, payment {:+.2} (excluded)", outcome.rates[0], outcome.payments[0]);
+    println!(
+        "  load conservation over survivors: total rate = {:.3}",
+        outcome.rates.iter().sum::<f64>()
+    );
+    println!("  C2 payment {:+.2} (paid as in the 15-machine system)", outcome.payments[1]);
+
+    // 2. Lost completion acks: settlement proceeds from the coordinator's
+    //    own measurements.
+    let faults = FaultPlan { lose_acks_from: vec![3, 7], ..FaultPlan::none() };
+    let outcome = run_protocol_round_with_faults(&mechanism, &specs, &config, &faults)?;
+    println!("\nC4+C8 acks lost: round still settles; C4 payment {:+.2}", outcome.payments[3]);
+
+    // 3. Audit: nodes recompute their payments from the broadcast settlement.
+    let record = SettlementRecord {
+        bids: specs.iter().map(|s| s.bid).collect(),
+        estimated_exec_values: outcome.estimated_exec_values.clone(),
+        total_rate: PAPER_ARRIVAL_RATE,
+        claimed_payments: outcome.payments.clone(),
+    };
+    let report = audit_settlement(&mechanism, &record, 1e-9)?;
+    println!("\naudit of the honest settlement: all verified = {}", report.all_verified());
+
+    let mut tampered = record;
+    tampered.claimed_payments[4] -= 1.0;
+    let report = audit_settlement(&mechanism, &tampered, 1e-6)?;
+    println!(
+        "audit after skimming C5 by 1.0: verified = {}, disputed machines = {:?}",
+        report.all_verified(),
+        report.disputed()
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! The mechanism beyond linear latencies: the generalized compensation-and-
+//! bonus construction on the M/M/1 model of the authors' companion paper
+//! (Grosu & Chronopoulos, Cluster 2002 — ref. [8] of the IPPS paper).
+//!
+//! ```text
+//! cargo run --example mm1_extension
+//! ```
+
+use lbmv::core::System;
+use lbmv::mechanism::{
+    run_mechanism, GeneralizedCompensationBonus, MechanismError, Mm1Family, Profile,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Machines are M/M/1 queues; the private parameter is the mean service
+    // time t = 1/mu (small t = fast machine, as in the paper).
+    // Capacities mu = [10, 5, 2] jobs/s.
+    let system = System::from_true_values(&[0.1, 0.2, 0.5])?;
+    let rate = 5.0;
+    let mechanism = GeneralizedCompensationBonus::new(Mm1Family);
+
+    println!("M/M/1 system: mu = [10, 5, 2], R = {rate} jobs/s\n");
+
+    let truthful = run_mechanism(&mechanism, &Profile::truthful(&system, rate)?)?;
+    println!("truthful allocation (note the slow machine is optimally idle):");
+    for (i, x) in truthful.allocation.rates().iter().enumerate() {
+        println!(
+            "  machine {i}: x = {x:.3} jobs/s, utility {:+.4}",
+            truthful.utilities[i]
+        );
+    }
+    println!("  realised total latency: {:.4}", truthful.total_latency);
+
+    // Capacity-aware strategic effects with no linear-model analogue:
+    println!("\nmachine 0 under-bids (t/2, i.e. claims mu = 20):");
+    match run_mechanism(&mechanism, &Profile::with_deviation(&system, rate, 0, 0.5, 2.0)?) {
+        Ok(out) => println!("  utility {:+.4}", out.utilities[0]),
+        Err(MechanismError::Core(e)) => {
+            println!("  round aborted: {e}");
+            println!("  (it attracted more load than it can actually serve — its queue diverges)");
+        }
+        Err(e) => return Err(e.into()),
+    }
+
+    println!("\nmachine 0 over-bids consistently (1.5x):");
+    let out = run_mechanism(&mechanism, &Profile::with_deviation(&system, rate, 0, 1.5, 1.5)?)?;
+    println!(
+        "  utility {:+.4} (truthful was {:+.4} — lying still loses)",
+        out.utilities[0], truthful.utilities[0]
+    );
+
+    println!("\nthe no-monopolist condition (R = 10 > leave-one-out capacity 7):");
+    match run_mechanism(&mechanism, &Profile::truthful(&system, 10.0)?) {
+        Err(MechanismError::Core(e)) => println!("  rejected: {e}"),
+        other => println!("  unexpected: {other:?}"),
+    }
+    Ok(())
+}

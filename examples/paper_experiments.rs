@@ -1,0 +1,46 @@
+//! Reproduces the paper's eight Table 2 experiments on the 16-computer
+//! Table 1 system and prints the Figure 1 / Figure 2 series.
+//!
+//! ```text
+//! cargo run --example paper_experiments
+//! ```
+
+use lbmv::core::scenario::{paper_system, PAPER_ARRIVAL_RATE};
+use lbmv::mechanism::{run_mechanism, CompensationBonusMechanism, Profile};
+
+/// (name, bid factor, execution factor) for C1 — everyone else truthful.
+const EXPERIMENTS: [(&str, f64, f64); 8] = [
+    ("True1", 1.0, 1.0),
+    ("True2", 1.0, 2.0),
+    ("High1", 3.0, 3.0),
+    ("High2", 3.0, 1.0),
+    ("High3", 3.0, 2.0),
+    ("High4", 3.0, 6.0),
+    ("Low1", 0.5, 1.0),
+    ("Low2", 0.5, 2.0),
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = paper_system();
+    let mechanism = CompensationBonusMechanism::paper();
+
+    let optimum = lbmv::core::optimal_latency_linear(&system.true_values(), PAPER_ARRIVAL_RATE)?;
+    println!("Table 1 system: 16 computers, t in {{1, 2, 5, 10}}, R = {PAPER_ARRIVAL_RATE} jobs/s");
+    println!("theoretical optimum L* = {optimum:.2}\n");
+
+    println!("{:<8} {:>12} {:>10} {:>12} {:>12}", "Exp", "latency L", "vs True1", "C1 payment", "C1 utility");
+    for (name, bid_factor, exec_factor) in EXPERIMENTS {
+        let profile = Profile::with_deviation(&system, PAPER_ARRIVAL_RATE, 0, bid_factor, exec_factor)?;
+        let out = run_mechanism(&mechanism, &profile)?;
+        println!(
+            "{:<8} {:>12.2} {:>9.1}% {:>12.2} {:>12.2}",
+            name,
+            out.total_latency,
+            100.0 * (out.total_latency - optimum) / optimum,
+            out.payments[0],
+            out.utilities[0],
+        );
+    }
+    println!("\nC1's utility is maximised by True1; Low2 even fines it (negative payment).");
+    Ok(())
+}

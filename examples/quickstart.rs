@@ -1,0 +1,42 @@
+//! Quickstart: allocate, verify, pay — the whole mechanism in 40 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lbmv::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A heterogeneous system: four machines, true latency parameters t_i
+    // (inversely proportional to speed — machine 0 is the fastest).
+    let system = System::from_true_values(&[1.0, 2.0, 4.0, 8.0])?;
+    let total_rate = 10.0; // jobs per second arriving at the system
+
+    // Classical setting: everyone obeys. The PR algorithm allocates jobs in
+    // proportion to processing rates (Theorem 2.1) and minimises the total
+    // latency L = Σ t_i x_i².
+    let allocation = pr_allocate(&system.true_values(), total_rate)?;
+    let optimal = total_latency_linear(&allocation, &system.true_values())?;
+    println!("optimal allocation: {:?}", allocation.rates());
+    println!("optimal total latency: {optimal:.3}");
+
+    // Strategic setting: machines are self-interested. The mechanism with
+    // verification pays compensation + bonus after observing execution.
+    let mechanism = CompensationBonusMechanism::paper();
+
+    // Everyone truthful:
+    let honest = Profile::truthful(&system, total_rate)?;
+    let outcome = lbmv::mechanism::run_mechanism(&mechanism, &honest)?;
+    println!("\ntruthful round:");
+    for (i, (p, u)) in outcome.payments.iter().zip(&outcome.utilities).enumerate() {
+        println!("  machine {i}: payment {p:+.3}, utility {u:+.3}");
+    }
+
+    // Machine 0 lies (bids 3x) and stalls (executes 2x slower):
+    let strategic = Profile::with_deviation(&system, total_rate, 0, 3.0, 2.0)?;
+    let outcome = lbmv::mechanism::run_mechanism(&mechanism, &strategic)?;
+    println!("\nafter machine 0 lies and stalls:");
+    println!("  machine 0: payment {:+.3}, utility {:+.3}", outcome.payments[0], outcome.utilities[0]);
+    println!("  (lower than its truthful utility — lying does not pay; Theorem 3.1)");
+    Ok(())
+}

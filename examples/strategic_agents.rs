@@ -1,0 +1,55 @@
+//! Strategic probing of the mechanism: best-response search, iterated
+//! best-response dynamics and a small empirical game.
+//!
+//! ```text
+//! cargo run --example strategic_agents
+//! ```
+
+use lbmv::agents::best_response::{best_response, SearchOptions};
+use lbmv::agents::dynamics::{run_dynamics, DynamicsOptions};
+use lbmv::agents::game::{consistent_strategy_menu, empirical_game};
+use lbmv::core::System;
+use lbmv::mechanism::{CompensationBonusMechanism, Profile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = System::from_true_values(&[1.0, 2.0, 5.0, 10.0])?;
+    let rate = 10.0;
+    let mechanism = CompensationBonusMechanism::paper();
+
+    // 1. Best response of machine 0 against truthful opponents.
+    let base = Profile::truthful(&system, rate)?;
+    let br = best_response(&mechanism, &base, 0, &SearchOptions::default())?;
+    println!("machine 0 best response: bid {:.3}, exec {:.3}", br.bid, br.exec_value);
+    println!("  utility {:.4} vs truthful {:.4} (gain {:+.2e})", br.utility, br.truthful_utility, br.gain());
+
+    // 2. Iterated best-response dynamics from a manipulated start.
+    let trues = system.true_values();
+    let bids: Vec<f64> = trues.iter().map(|t| t * 3.0).collect();
+    let exec: Vec<f64> = trues.iter().map(|t| t * 2.0).collect();
+    let start = Profile::new(trues.clone(), bids, exec, rate)?;
+    let report = run_dynamics(&mechanism, &start, &DynamicsOptions::default())?;
+    println!(
+        "\ndynamics: converged = {}, sweeps = {}, final bids {:?}",
+        report.converged,
+        report.sweeps,
+        report.final_bids().iter().map(|b| format!("{b:.2}")).collect::<Vec<_>>()
+    );
+    println!(
+        "  distance from the truth-equivalent class: {:.2e}",
+        report.distance_from_truth_up_to_scale(&trues)
+    );
+    println!("  (PR is scale-invariant: bids proportional to the truth are outcome-identical)");
+
+    // 3. Finite game over consistent strategies: truth is weakly dominant.
+    let small = System::from_true_values(&[1.0, 2.0, 5.0])?;
+    let game = empirical_game(&mechanism, &small, rate, &consistent_strategy_menu())?;
+    for agent in 0..3 {
+        println!(
+            "agent {agent}: truthful dominant = {}",
+            game.is_dominant(agent, 0, 1e-9)
+        );
+    }
+    let nash = game.pure_nash(1e-9);
+    println!("pure Nash equilibria (strategy indices): {nash:?}");
+    Ok(())
+}

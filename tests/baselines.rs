@@ -1,0 +1,107 @@
+//! Baseline comparisons: the verified mechanism vs the bid-only variant and
+//! the Archer–Tardos one-parameter mechanism — the contrasts that motivate
+//! the paper's design.
+
+use lbmv::core::scenario::{paper_system, PAPER_ARRIVAL_RATE};
+use lbmv::mechanism::{
+    frugality_ratio, run_mechanism, ArcherTardosMechanism, CompensationBonusMechanism, Profile,
+    UnverifiedCompensationBonus, VerifiedMechanism,
+};
+
+fn deviation(bid_f: f64, exec_f: f64) -> Profile {
+    Profile::with_deviation(&paper_system(), PAPER_ARRIVAL_RATE, 0, bid_f, exec_f).unwrap()
+}
+
+#[test]
+fn all_mechanisms_share_the_pr_allocation() {
+    let profile = deviation(2.0, 2.0);
+    let cb = CompensationBonusMechanism::paper();
+    let unv = UnverifiedCompensationBonus::paper();
+    let at = ArcherTardosMechanism::closed_form();
+    let a = cb.allocate(profile.bids(), PAPER_ARRIVAL_RATE).unwrap();
+    let b = unv.allocate(profile.bids(), PAPER_ARRIVAL_RATE).unwrap();
+    let c = at.allocate(profile.bids(), PAPER_ARRIVAL_RATE).unwrap();
+    assert_eq!(a.rates(), b.rates());
+    assert_eq!(a.rates(), c.rates());
+}
+
+#[test]
+fn only_the_verified_mechanism_reacts_to_execution() {
+    let honest = deviation(1.0, 1.0);
+    let lazy = deviation(1.0, 3.0);
+    let mechanisms: Vec<(Box<dyn VerifiedMechanism>, bool)> = vec![
+        (Box::new(CompensationBonusMechanism::paper()), true),
+        (Box::new(UnverifiedCompensationBonus::paper()), false),
+        (Box::new(ArcherTardosMechanism::closed_form()), false),
+    ];
+    for (mech, reacts) in &mechanisms {
+        let p_honest = run_mechanism(mech.as_ref(), &honest).unwrap().payments[0];
+        let p_lazy = run_mechanism(mech.as_ref(), &lazy).unwrap().payments[0];
+        if *reacts {
+            assert!(p_lazy < p_honest - 1e-6, "{} did not react", mech.name());
+        } else {
+            assert!((p_lazy - p_honest).abs() < 1e-9, "{} reacted unexpectedly", mech.name());
+        }
+    }
+}
+
+#[test]
+fn archer_tardos_pays_more_than_compensation_bonus_truthfully() {
+    // Frugality comparison at the truthful profile: the AT payment includes
+    // the full information-rent integral and is costlier for the system.
+    let profile = Profile::truthful(&paper_system(), PAPER_ARRIVAL_RATE).unwrap();
+    let cb = run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
+    let at = run_mechanism(&ArcherTardosMechanism::closed_form(), &profile).unwrap();
+    assert!(
+        at.total_payment() > cb.total_payment(),
+        "AT {} <= CB {}",
+        at.total_payment(),
+        cb.total_payment()
+    );
+    assert!(frugality_ratio(&cb) <= 2.5);
+}
+
+#[test]
+fn verified_and_unverified_differ_exactly_by_the_execution_response() {
+    // For honest bids the two payments differ by C(t̃) − C(b) on the agent's
+    // own term plus the latency gap on the bonus term; verify the identity.
+    let mech_v = CompensationBonusMechanism::paper();
+    let mech_u = UnverifiedCompensationBonus::paper();
+    let profile = deviation(1.0, 2.0); // True2
+    let alloc = mech_v.allocate(profile.bids(), PAPER_ARRIVAL_RATE).unwrap();
+
+    let pv = mech_v
+        .payments(profile.bids(), &alloc, profile.exec_values(), PAPER_ARRIVAL_RATE)
+        .unwrap();
+    let pu = mech_u
+        .payments(profile.bids(), &alloc, profile.exec_values(), PAPER_ARRIVAL_RATE)
+        .unwrap();
+
+    let x0 = alloc.rate(0);
+    let declared_latency =
+        lbmv::core::total_latency_linear(&alloc, profile.bids()).unwrap();
+    let actual_latency =
+        lbmv::core::total_latency_linear(&alloc, profile.exec_values()).unwrap();
+    // Agent 0: ΔP = ΔC + ΔB = (t̃−b)x − (L_actual − L_declared).
+    let expected_delta =
+        (profile.exec_values()[0] - profile.bids()[0]) * x0 - (actual_latency - declared_latency);
+    assert!(((pv[0] - pu[0]) - expected_delta).abs() < 1e-9);
+    // Agents j≠0: ΔP = −(L_actual − L_declared) (their compensation is
+    // unchanged; only the shared bonus term moves).
+    for j in 1..16 {
+        let expected = -(actual_latency - declared_latency);
+        assert!(((pv[j] - pu[j]) - expected).abs() < 1e-9, "agent {j}");
+    }
+}
+
+#[test]
+fn archer_tardos_quadrature_agrees_with_closed_form_on_deviations() {
+    for (bid_f, exec_f) in [(1.0, 1.0), (2.0, 2.0), (0.5, 1.0)] {
+        let profile = deviation(bid_f, exec_f);
+        let cf = run_mechanism(&ArcherTardosMechanism::closed_form(), &profile).unwrap();
+        let q = run_mechanism(&ArcherTardosMechanism::quadrature(), &profile).unwrap();
+        for (a, b) in cf.payments.iter().zip(&q.payments) {
+            assert!((a - b).abs() < 1e-4 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+}

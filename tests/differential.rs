@@ -1,0 +1,108 @@
+//! Differential property tests: independent implementations of the same
+//! quantity must agree on random inputs.
+//!
+//! * protocol runtime ⇔ direct mechanism evaluation,
+//! * PR closed form ⇔ KKT solver,
+//! * capped allocation ⇔ unconstrained PR when caps are loose,
+//! * analytic frugality ⇔ empirical frugality.
+
+use lbmv::core::{pr_allocate, pr_allocate_capped, solve_convex, ConvexSolverOptions, Linear};
+use lbmv::mechanism::{run_mechanism, CompensationBonusMechanism, Profile};
+use lbmv::proto::{run_protocol_round, NodeSpec, ProtocolConfig};
+use lbmv::sim::driver::SimulationConfig;
+use lbmv::sim::server::ServiceModel;
+use proptest::prelude::*;
+
+fn proto_config() -> ProtocolConfig {
+    ProtocolConfig {
+        total_rate: 0.0, // overwritten per case
+        link_latency: 0.0005,
+        simulation: SimulationConfig {
+            horizon: 100.0,
+            seed: 99,
+            model: ServiceModel::StationaryDeterministic,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: Default::default(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full message-passing protocol and the direct mechanism evaluation
+    /// agree on payments and utilities for random systems and deviations.
+    #[test]
+    fn prop_protocol_equals_mechanism(
+        trues in proptest::collection::vec(0.2f64..8.0, 2..10),
+        bid_factor in 0.3f64..4.0,
+        exec_factor in 1.0f64..3.0,
+        rate in 1.0f64..40.0,
+    ) {
+        let mech = CompensationBonusMechanism::paper();
+        let mut specs: Vec<NodeSpec> = trues.iter().map(|&t| NodeSpec::truthful(t)).collect();
+        specs[0] = NodeSpec::strategic(trues[0], trues[0] * bid_factor, trues[0] * exec_factor);
+
+        let mut config = proto_config();
+        config.total_rate = rate;
+        let proto = run_protocol_round(&mech, &specs, &config).unwrap();
+
+        let sys = lbmv::core::System::from_true_values(&trues).unwrap();
+        let profile = Profile::with_deviation(&sys, rate, 0, bid_factor, exec_factor).unwrap();
+        let direct = run_mechanism(&mech, &profile).unwrap();
+
+        for i in 0..trues.len() {
+            prop_assert!((proto.rates[i] - direct.allocation.rate(i)).abs() < 1e-9);
+            prop_assert!(
+                (proto.payments[i] - direct.payments[i]).abs() < 1e-6,
+                "payment {}: {} vs {}", i, proto.payments[i], direct.payments[i]
+            );
+            prop_assert!((proto.utilities[i] - direct.utilities[i]).abs() < 1e-6);
+        }
+    }
+
+    /// Loose caps make the capped allocator and plain PR identical; the KKT
+    /// solver agrees with both.
+    #[test]
+    fn prop_three_allocators_agree(
+        values in proptest::collection::vec(0.1f64..10.0, 1..10),
+        rate in 0.5f64..50.0,
+    ) {
+        let pr = pr_allocate(&values, rate).unwrap();
+        let caps = vec![rate * 2.0; values.len()];
+        let capped = pr_allocate_capped(&values, &caps, rate).unwrap();
+        let fns: Vec<Linear> = values.iter().map(|&t| Linear::new(t)).collect();
+        let refs: Vec<&Linear> = fns.iter().collect();
+        let kkt = solve_convex(&refs, rate, ConvexSolverOptions::default()).unwrap();
+        for i in 0..values.len() {
+            prop_assert!((pr.rate(i) - capped.rate(i)).abs() < 1e-9);
+            prop_assert!((pr.rate(i) - kkt.rate(i)).abs() < 1e-6 * pr.rate(i).max(1.0));
+        }
+    }
+
+    /// Analytic frugality formulas match the mechanism on uniform systems.
+    #[test]
+    fn prop_uniform_frugality_formulas(
+        n in 2usize..24,
+        t in 0.2f64..8.0,
+        rate in 0.5f64..30.0,
+    ) {
+        use lbmv::mechanism::metrics::{
+            analytic_frugality_uniform_contributed, analytic_frugality_uniform_per_job,
+            frugality_ratio,
+        };
+        let sys = lbmv::core::System::from_true_values(&vec![t; n]).unwrap();
+        let profile = Profile::truthful(&sys, rate).unwrap();
+
+        let contributed =
+            run_mechanism(&CompensationBonusMechanism::contributed(), &profile).unwrap();
+        prop_assert!(
+            (frugality_ratio(&contributed) - analytic_frugality_uniform_contributed(n)).abs() < 1e-9
+        );
+        let per_job = run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
+        prop_assert!(
+            (frugality_ratio(&per_job) - analytic_frugality_uniform_per_job(n, rate)).abs() < 1e-9
+        );
+    }
+}

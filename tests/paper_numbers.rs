@@ -1,0 +1,112 @@
+//! End-to-end reproduction of every numeric claim in the paper's prose,
+//! through the public facade (`lbmv`).
+
+use lbmv::core::scenario::{paper_system, PAPER_ARRIVAL_RATE};
+use lbmv::core::{optimal_latency_linear, pr_allocate, total_latency_linear};
+use lbmv::mechanism::{run_mechanism, CompensationBonusMechanism, Profile};
+
+fn run(bid_factor: f64, exec_factor: f64) -> lbmv::mechanism::MechanismOutcome {
+    let sys = paper_system();
+    let profile = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, bid_factor, exec_factor).unwrap();
+    run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap()
+}
+
+#[test]
+fn theorem_2_1_closed_form_on_the_paper_system() {
+    // L* = R²/Σ(1/t) = 400/5.1 = 78.43 (the paper's True1 value).
+    let sys = paper_system();
+    let l = optimal_latency_linear(&sys.true_values(), PAPER_ARRIVAL_RATE).unwrap();
+    assert!((l - 78.431_372_549_019_6).abs() < 1e-9);
+
+    // And the PR allocation achieves it.
+    let alloc = pr_allocate(&sys.true_values(), PAPER_ARRIVAL_RATE).unwrap();
+    let direct = total_latency_linear(&alloc, &sys.true_values()).unwrap();
+    assert!((direct - l).abs() < 1e-9);
+}
+
+#[test]
+fn pr_allocation_is_proportional_to_processing_rates() {
+    let sys = paper_system();
+    let alloc = pr_allocate(&sys.true_values(), PAPER_ARRIVAL_RATE).unwrap();
+    // C1 (t=1) gets 10x the load of C11 (t=10).
+    assert!((alloc.rate(0) / alloc.rate(10) - 10.0).abs() < 1e-9);
+    // x1 = (1/1)/5.1 * 20 = 3.9216.
+    assert!((alloc.rate(0) - 20.0 / 5.1).abs() < 1e-9);
+}
+
+#[test]
+fn true2_increases_latency_as_reported() {
+    // Paper prose: "C1 execution is slower increasing the total latency by
+    // 17%". With the recovered 2x multiplier the exact figure is +19.6%;
+    // the discrepancy is documented in EXPERIMENTS.md.
+    let out = run(1.0, 2.0);
+    let inc = out.total_latency / 78.431_372_549 - 1.0;
+    assert!((inc - 0.196).abs() < 0.002, "increase {inc}");
+}
+
+#[test]
+fn low1_increases_latency_by_11_percent() {
+    let out = run(0.5, 1.0);
+    let inc = out.total_latency / 78.431_372_549 - 1.0;
+    assert!((inc - 0.110).abs() < 0.002, "increase {inc}");
+}
+
+#[test]
+fn low2_increases_latency_by_66_percent() {
+    let out = run(0.5, 2.0);
+    let inc = out.total_latency / 78.431_372_549 - 1.0;
+    assert!((inc - 0.659).abs() < 0.003, "increase {inc}");
+}
+
+#[test]
+fn high1_utility_drop_is_62_percent() {
+    let truthful = run(1.0, 1.0).utilities[0];
+    let high1 = run(3.0, 3.0).utilities[0];
+    let drop = 1.0 - high1 / truthful;
+    assert!((drop - 0.616).abs() < 0.01, "drop {drop}");
+}
+
+#[test]
+fn low1_utility_drop_is_45_percent() {
+    let truthful = run(1.0, 1.0).utilities[0];
+    let low1 = run(0.5, 1.0).utilities[0];
+    let drop = 1.0 - low1 / truthful;
+    assert!((drop - 0.452).abs() < 0.01, "drop {drop}");
+}
+
+#[test]
+fn low2_fines_c1() {
+    // "the payment and utility of C1 are negative … the absolute value of
+    // the bonus is greater than the compensation".
+    let sys = paper_system();
+    let profile = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 0.5, 2.0).unwrap();
+    let mech = CompensationBonusMechanism::paper();
+    let out = run_mechanism(&mech, &profile).unwrap();
+    assert!(out.payments[0] < 0.0);
+    assert!(out.utilities[0] < 0.0);
+    let breakdown = mech
+        .payment_breakdown(profile.bids(), &out.allocation, profile.exec_values(), PAPER_ARRIVAL_RATE)
+        .unwrap();
+    assert!(breakdown[0].bonus < 0.0);
+    assert!(breakdown[0].bonus.abs() > breakdown[0].compensation);
+}
+
+#[test]
+fn high1_helps_other_computers_low1_hurts_them() {
+    // Paper: in High1 "the other computers obtain higher utilities"; in Low1
+    // "the other computers obtain lower utilities" (relative to True1).
+    let true1 = run(1.0, 1.0);
+    let high1 = run(3.0, 3.0);
+    let low1 = run(0.5, 1.0);
+    for j in 1..16 {
+        assert!(high1.utilities[j] > true1.utilities[j], "High1 C{}", j + 1);
+        assert!(low1.utilities[j] < true1.utilities[j], "Low1 C{}", j + 1);
+    }
+}
+
+#[test]
+fn total_payment_is_at_most_2_5_times_total_valuation_truthfully() {
+    let out = run(1.0, 1.0);
+    let ratio = out.total_payment() / out.total_valuation_abs();
+    assert!(ratio > 1.0 && ratio <= 2.5, "ratio {ratio}");
+}

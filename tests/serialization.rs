@@ -1,0 +1,73 @@
+//! Cross-crate serialization: every serde-derived domain type must survive
+//! the protocol's binary wire format, so settlement records, profiles and
+//! full outcomes can be shipped or persisted without a second codec.
+
+use lbmv::core::scenario::{paper_system, PAPER_ARRIVAL_RATE};
+use lbmv::core::{Allocation, System};
+use lbmv::mechanism::{run_mechanism, CompensationBonusMechanism, MechanismOutcome, Profile};
+use lbmv::proto::{decode, encode};
+use lbmv::sim::driver::SimulationConfig;
+
+fn roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de> + PartialEq + std::fmt::Debug,
+{
+    let bytes = encode(value).expect("encode");
+    let back: T = decode(&bytes).expect("decode");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn system_roundtrips() {
+    roundtrip(&paper_system());
+    roundtrip(&System::from_true_values(&[0.25]).unwrap());
+}
+
+#[test]
+fn profile_roundtrips() {
+    let profile =
+        Profile::with_deviation(&paper_system(), PAPER_ARRIVAL_RATE, 0, 3.0, 2.0).unwrap();
+    roundtrip(&profile);
+}
+
+#[test]
+fn allocation_roundtrips() {
+    let alloc = Allocation::new(vec![1.5, 0.5], 2.0).unwrap();
+    roundtrip(&alloc);
+}
+
+#[test]
+fn mechanism_outcome_roundtrips() {
+    let profile = Profile::truthful(&paper_system(), PAPER_ARRIVAL_RATE).unwrap();
+    let outcome: MechanismOutcome =
+        run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
+    roundtrip(&outcome);
+}
+
+#[test]
+fn simulation_config_roundtrips() {
+    roundtrip(&SimulationConfig::default());
+    let bursty = SimulationConfig {
+        workload: lbmv::sim::workload::WorkloadModel::Bursty {
+            burstiness: 4.0,
+            dwell_means: [30.0, 5.0],
+        },
+        warmup: 100.0,
+        ..SimulationConfig::default()
+    };
+    roundtrip(&bursty);
+}
+
+#[test]
+fn decoded_outcome_preserves_accounting_identities() {
+    let profile =
+        Profile::with_deviation(&paper_system(), PAPER_ARRIVAL_RATE, 0, 0.5, 2.0).unwrap();
+    let outcome = run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
+    let bytes = encode(&outcome).unwrap();
+    let back: MechanismOutcome = decode(&bytes).unwrap();
+    // The identities survive serialization bit-exactly.
+    for i in 0..back.payments.len() {
+        assert_eq!(back.utilities[i], outcome.payments[i] + outcome.valuations[i]);
+    }
+    assert_eq!(back.total_latency, outcome.total_latency);
+}

@@ -1,0 +1,139 @@
+//! Property-level verification of Theorems 3.1 and 3.2 across random
+//! systems, including the boundary where their preconditions fail.
+
+use lbmv::core::scenario::{paper_system, PAPER_ARRIVAL_RATE};
+use lbmv::core::System;
+use lbmv::mechanism::{
+    dominant_strategy_check, run_mechanism, truthfulness_scan, voluntary_participation_scan,
+    CompensationBonusMechanism, DeviationGrid, Profile,
+};
+use proptest::prelude::*;
+
+#[test]
+fn theorem_3_1_on_the_paper_system_every_agent() {
+    let sys = paper_system();
+    let mech = CompensationBonusMechanism::paper();
+    for agent in 0..16 {
+        let report =
+            truthfulness_scan(&mech, &sys, PAPER_ARRIVAL_RATE, agent, &DeviationGrid::default())
+                .unwrap();
+        assert!(report.is_truthful_optimal(1e-9), "agent {agent} gains {}", report.max_gain());
+    }
+}
+
+#[test]
+fn theorem_3_1_dense_grid_for_c1() {
+    let sys = paper_system();
+    let mech = CompensationBonusMechanism::paper();
+    let report =
+        truthfulness_scan(&mech, &sys, PAPER_ARRIVAL_RATE, 0, &DeviationGrid::dense()).unwrap();
+    assert!(report.is_truthful_optimal(1e-9), "gain {}", report.max_gain());
+}
+
+#[test]
+fn theorem_3_2_on_the_paper_system() {
+    let min_utility = voluntary_participation_scan(
+        &CompensationBonusMechanism::paper(),
+        &paper_system(),
+        PAPER_ARRIVAL_RATE,
+    )
+    .unwrap();
+    assert!(min_utility >= -1e-9, "min truthful utility {min_utility}");
+}
+
+#[test]
+fn dominant_strategy_against_consistent_opponents() {
+    let gain = dominant_strategy_check(
+        &CompensationBonusMechanism::paper(),
+        &paper_system(),
+        PAPER_ARRIVAL_RATE,
+        0,
+        &DeviationGrid::default(),
+    )
+    .unwrap();
+    assert!(gain <= 1e-9, "gain {gain}");
+}
+
+#[test]
+fn theorem_3_2_boundary_inconsistent_opponents_can_hurt_truthful_agents() {
+    // The theorems' precondition is that opponents are *consistent*
+    // (execution equals bid). Here every opponent bids truthfully but
+    // executes 10x slower; the realised latency blows past the L_{-i}
+    // benchmark and the truthful agent's utility goes negative. This
+    // documents the exact scope of the paper's Theorem 3.2.
+    let trues = vec![1.0, 1.0, 1.0, 1.0];
+    let bids = trues.clone();
+    let exec = vec![1.0, 10.0, 10.0, 10.0];
+    let profile = Profile::new(trues, bids, exec, 8.0).unwrap();
+    let out = run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
+    assert!(out.utilities[0] < 0.0, "truthful agent should lose here: {}", out.utilities[0]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.1 over random systems and environments.
+    #[test]
+    fn prop_truthfulness_random_systems(
+        trues in proptest::collection::vec(0.1f64..10.0, 2..12),
+        agent_frac in 0.0f64..1.0,
+        bid_factor in 0.1f64..8.0,
+        exec_factor in 1.0f64..6.0,
+        rate in 0.5f64..80.0,
+    ) {
+        let n = trues.len();
+        let agent = ((agent_frac * n as f64) as usize).min(n - 1);
+        let sys = System::from_true_values(&trues).unwrap();
+        let mech = CompensationBonusMechanism::paper();
+
+        let truthful = run_mechanism(&mech, &Profile::truthful(&sys, rate).unwrap())
+            .unwrap().utilities[agent];
+        let deviating = run_mechanism(
+            &mech,
+            &Profile::with_deviation(&sys, rate, agent, bid_factor, exec_factor).unwrap(),
+        ).unwrap().utilities[agent];
+        prop_assert!(deviating <= truthful + 1e-7 * truthful.abs().max(1.0),
+            "agent {} gained {} over {}", agent, deviating, truthful);
+    }
+
+    /// Theorem 3.2 over random systems with consistent opponents.
+    #[test]
+    fn prop_voluntary_participation_random_systems(
+        trues in proptest::collection::vec(0.1f64..10.0, 2..12),
+        factors in proptest::collection::vec(1.0f64..6.0, 2..12),
+        rate in 0.5f64..80.0,
+    ) {
+        let n = trues.len().min(factors.len());
+        let trues = &trues[..n];
+        let mut bids = Vec::with_capacity(n);
+        let mut exec = Vec::with_capacity(n);
+        for i in 0..n {
+            let b = if i == 0 { trues[0] } else { trues[i] * factors[i] };
+            bids.push(b);
+            exec.push(b);
+        }
+        let profile = Profile::new(trues.to_vec(), bids, exec, rate).unwrap();
+        let out = run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
+        prop_assert!(out.utilities[0] >= -1e-9, "truthful agent lost {}", out.utilities[0]);
+    }
+
+    /// Budget identity: utilities always equal payments plus valuations, and
+    /// the realised latency is the valuation-weighted load (model-exact
+    /// accounting over random profiles).
+    #[test]
+    fn prop_accounting_identities(
+        trues in proptest::collection::vec(0.1f64..10.0, 2..10),
+        bid_factor in 0.1f64..8.0,
+        exec_factor in 1.0f64..6.0,
+        rate in 0.5f64..80.0,
+    ) {
+        let sys = System::from_true_values(&trues).unwrap();
+        let profile = Profile::with_deviation(&sys, rate, 0, bid_factor, exec_factor).unwrap();
+        let out = run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
+        for i in 0..trues.len() {
+            prop_assert!((out.utilities[i] - (out.payments[i] + out.valuations[i])).abs() < 1e-9);
+        }
+        // Conservation: the allocation still sums to the arrival rate.
+        prop_assert!((out.allocation.total_rate() - rate).abs() < 1e-6 * rate.max(1.0));
+    }
+}
