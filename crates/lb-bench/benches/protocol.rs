@@ -75,7 +75,7 @@ fn bench_faulty_round(c: &mut Criterion) {
     group.sample_size(20);
     let mech = CompensationBonusMechanism::paper();
     let s = specs(16);
-    let plan = FaultPlan { lose_bids_from: vec![0], lose_acks_from: vec![5], partitioned: vec![] };
+    let plan = FaultPlan { lose_bids_from: vec![0], lose_acks_from: vec![5], ..FaultPlan::none() };
     group.bench_function("lossy_round_16", |b| {
         b.iter(|| {
             run_protocol_round_with_faults(black_box(&mech), &s, &proto_config(), &plan).unwrap()

@@ -1,0 +1,819 @@
+//! Chaos runtime: seeded probabilistic fault injection with retransmission.
+//!
+//! The declarative fault path ([`crate::faults`]) loses *named* messages and
+//! excludes on first loss. This module stresses the mechanism the way a real
+//! deployment would be stressed: every frame independently risks being
+//! dropped, duplicated, corrupted, or delay-jittered, driven by a seeded
+//! [`lb_stats::Xoshiro256StarStar`] stream so any failure reproduces from its
+//! seed alone. On top of the hostile link the coordinator runs a
+//! *retransmission protocol*: missing bids are re-requested with bounded
+//! retries and exponential backoff in simulated time, and only a machine
+//! that stays silent through every retry is excluded (the `L_{-i}`
+//! counterfactual of the paper). The coordinator itself is run in graceful
+//! mode, so duplicated, stale, or misrouted frames are absorbed and counted
+//! as [`Anomaly`] events rather than panicking.
+//!
+//! The incentive properties are seed-independent: whatever the fault
+//! schedule, allocation over the respondents sums to `R`, settled payments
+//! satisfy Def. 3.3 (`C_i + B_i`, re-checkable by [`crate::audit`]), and a
+//! truthful machine that participates never realises negative utility — the
+//! soak tests at the bottom of this file assert exactly that over a hundred
+//! seeds.
+
+use crate::coordinator::{Coordinator, CoordinatorPhase};
+use crate::faults::FaultPlan;
+use crate::message::{Message, RoundId};
+use crate::network::{Endpoint, FrameFate, MessageStats, NetPoll, SimNetwork};
+use crate::node::{NodeAgent, NodeSpec};
+use crate::runtime::{ProtocolConfig, ProtocolOutcome};
+use crate::trace::{Anomaly, AnomalyStats, RoundTrace, TraceEntry};
+use lb_mechanism::{MechanismError, VerifiedMechanism};
+use lb_sim::events::EventQueue;
+use lb_sim::time::SimTime;
+use lb_stats::{Rng, Xoshiro256StarStar};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn codec_err(e: crate::codec::CodecError) -> MechanismError {
+    MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+}
+
+/// Configuration of the chaos injector and the retransmission protocol.
+///
+/// Probabilities apply independently per frame; `plan` layers the
+/// declarative faults of [`FaultPlan`] on top (a frame is lost if either
+/// source says so), which makes the old path a special case of this one.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed of the chaos RNG. Round `r` uses the non-overlapping stream
+    /// `r` of this seed, so multi-round sessions are reproducible and
+    /// per-round faults are independent.
+    pub seed: u64,
+    /// Probability that a frame is lost in transit.
+    pub drop_prob: f64,
+    /// Probability that a frame is delivered twice.
+    pub duplicate_prob: f64,
+    /// Probability that a frame arrives corrupted (always detected — the
+    /// link model is CRC-checked, so corruption costs a frame but never
+    /// smuggles bad data into the mechanism).
+    pub corrupt_prob: f64,
+    /// Maximum extra per-frame delay, uniform in `[0, jitter]` seconds.
+    pub jitter: f64,
+    /// Declarative faults applied in addition to the probabilistic ones.
+    pub plan: FaultPlan,
+    /// How many times a missing bid is re-requested before exclusion.
+    pub bid_retries: u32,
+    /// Sim-time before the first bid-retry timer fires. Must comfortably
+    /// exceed one round trip or the coordinator re-requests bids that are
+    /// merely in flight.
+    pub retry_timeout: f64,
+    /// Exponential backoff factor between successive retries (≥ 1).
+    pub backoff: f64,
+    /// Sim-time after which execution settles without the missing acks.
+    pub exec_timeout: f64,
+}
+
+impl ChaosConfig {
+    /// A fault-free configuration: all probabilities zero, retries armed.
+    /// With this configuration the chaos runtime reproduces
+    /// [`crate::runtime::run_protocol_round`] bit for bit.
+    #[must_use]
+    pub fn reliable(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            corrupt_prob: 0.0,
+            jitter: 0.0,
+            plan: FaultPlan::none(),
+            bid_retries: 3,
+            retry_timeout: 0.05,
+            backoff: 2.0,
+            exec_timeout: 1.0,
+        }
+    }
+
+    /// A hostile configuration: 15% loss, 10% duplication, 10% corruption
+    /// and 5 ms jitter per frame — the soak-test default.
+    #[must_use]
+    pub fn heavy(seed: u64) -> Self {
+        Self {
+            drop_prob: 0.15,
+            duplicate_prob: 0.10,
+            corrupt_prob: 0.10,
+            jitter: 0.005,
+            ..Self::reliable(seed)
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("duplicate_prob", self.duplicate_prob),
+            ("corrupt_prob", self.corrupt_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "ChaosConfig: {name} must be in [0, 1], got {p}");
+        }
+        assert!(self.jitter.is_finite() && self.jitter >= 0.0, "ChaosConfig: invalid jitter");
+        assert!(
+            self.retry_timeout.is_finite() && self.retry_timeout > 0.0,
+            "ChaosConfig: retry_timeout must be positive"
+        );
+        assert!(
+            self.backoff.is_finite() && self.backoff >= 1.0,
+            "ChaosConfig: backoff must be >= 1"
+        );
+        assert!(
+            self.exec_timeout.is_finite() && self.exec_timeout > 0.0,
+            "ChaosConfig: exec_timeout must be positive"
+        );
+    }
+}
+
+/// Per-round fate oracle: one seeded RNG stream deciding every frame's fate.
+struct ChaosInjector {
+    rng: Xoshiro256StarStar,
+    drop_prob: f64,
+    duplicate_prob: f64,
+    corrupt_prob: f64,
+    jitter: f64,
+    plan: FaultPlan,
+    /// Shared with the owning [`ChaosRuntime`] so `lose_bid_attempts`
+    /// counts transmissions across the whole session ("the first `k`
+    /// ever"), letting a transient fault heal in a later round.
+    bid_attempts: Rc<RefCell<Vec<u32>>>,
+}
+
+impl ChaosInjector {
+    fn new(config: &ChaosConfig, round: RoundId, bid_attempts: Rc<RefCell<Vec<u32>>>) -> Self {
+        Self {
+            // Stream `round` of the base seed: reproducible, and provably
+            // non-overlapping with every other round's stream.
+            rng: Xoshiro256StarStar::seed_from_u64(config.seed).stream(round.0),
+            drop_prob: config.drop_prob,
+            duplicate_prob: config.duplicate_prob,
+            corrupt_prob: config.corrupt_prob,
+            jitter: config.jitter,
+            plan: config.plan.clone(),
+            bid_attempts,
+        }
+    }
+
+    fn fate(&mut self, from: Endpoint, to: Endpoint, message: &Message) -> FrameFate {
+        // Exactly five draws per frame regardless of the outcome, so one
+        // frame's fate never shifts the random stream seen by the next.
+        let drop = self.rng.next_bool(self.drop_prob);
+        let duplicate = self.rng.next_bool(self.duplicate_prob);
+        let corrupt = self.rng.next_bool(self.corrupt_prob);
+        let extra_delay = self.rng.next_range(0.0, self.jitter);
+        let duplicate_extra_delay = self.rng.next_range(0.0, self.jitter);
+        let declared =
+            self.plan.drops_counted(from, to, message, &mut self.bid_attempts.borrow_mut());
+        FrameFate {
+            drop: drop || declared,
+            duplicate,
+            corrupt,
+            extra_delay,
+            duplicate_extra_delay,
+        }
+    }
+}
+
+/// Link-level fault counters for one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosNetStats {
+    /// Frames lost in transit (probabilistic or declarative).
+    pub dropped: u64,
+    /// Duplicate copies injected.
+    pub duplicated: u64,
+    /// Frames delivered with detected corruption.
+    pub corrupted: u64,
+}
+
+/// Everything one chaotic round produced.
+#[derive(Debug, Clone)]
+pub struct ChaosRoundReport {
+    /// The protocol outcome (full width; excluded machines at rate 0,
+    /// payment 0).
+    pub outcome: ProtocolOutcome,
+    /// Which machines ended the round excluded (quarantined up front or
+    /// silent through every retry).
+    pub excluded: Vec<bool>,
+    /// Number of bid re-requests sent (one per missing machine per retry).
+    pub retries: u64,
+    /// Anomalies absorbed by the coordinator and the runtime combined.
+    pub anomalies: AnomalyStats,
+    /// The coordinator's-eye trace of the round: accepted inbound frames at
+    /// delivery time, outbound frames at send time.
+    pub trace: RoundTrace,
+    /// Link-level fault counters for the round.
+    pub faults: ChaosNetStats,
+}
+
+/// Timers the chaos runtime interleaves with frame arrivals.
+#[derive(Debug, Clone, Copy)]
+enum ChaosTimer {
+    /// Re-request missing bids (or give up and exclude) for `round`.
+    BidTimeout { round: RoundId, attempt: u32 },
+    /// Settle `round` from measurements even though acks are missing.
+    ExecTimeout { round: RoundId },
+}
+
+/// A persistent chaotic transport plus the retransmission driver.
+///
+/// The network (and its clock) lives across rounds, so late frames from a
+/// previous round can straggle into the next one — where the graceful
+/// coordinator absorbs them as [`Anomaly::StaleRound`]. Construct once,
+/// then call [`ChaosRuntime::run_round`] per round; multi-round sessions
+/// with health tracking live in [`crate::session::run_chaos_session`].
+pub struct ChaosRuntime {
+    network: SimNetwork,
+    timers: EventQueue<ChaosTimer>,
+    chaos: ChaosConfig,
+    protocol: ProtocolConfig,
+    n: usize,
+    /// Session-cumulative bid-transmission counts for the declarative
+    /// `lose_bid_attempts` faults (shared with the per-round injector).
+    bid_attempts: Rc<RefCell<Vec<u32>>>,
+}
+
+impl std::fmt::Debug for ChaosRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosRuntime")
+            .field("n", &self.n)
+            .field("chaos", &self.chaos)
+            .field("pending", &self.network.pending())
+            .finish()
+    }
+}
+
+impl ChaosRuntime {
+    /// Creates a chaos runtime for `n` machines.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the chaos configuration is invalid.
+    #[must_use]
+    pub fn new(n: usize, protocol: ProtocolConfig, chaos: ChaosConfig) -> Self {
+        assert!(n > 0, "ChaosRuntime: need at least one node");
+        chaos.validate();
+        Self {
+            network: SimNetwork::with_constant_latency(protocol.link_latency),
+            timers: EventQueue::new(),
+            chaos,
+            protocol,
+            n,
+            bid_attempts: Rc::new(RefCell::new(vec![0; n])),
+        }
+    }
+
+    /// Runs one round over the chaotic network.
+    ///
+    /// `active[i] == false` quarantines machine `i` for this round: it is
+    /// excluded up front and receives no bid request. Each round derives its
+    /// simulation seed as `base seed + round` (matching
+    /// [`crate::session::run_session`]) and its chaos stream as stream
+    /// `round` of the chaos seed.
+    ///
+    /// # Errors
+    /// Propagates mechanism errors — notably
+    /// [`MechanismError::NeedTwoAgents`] when fewer than two machines'
+    /// bids survive every retry.
+    ///
+    /// # Panics
+    /// Panics if `specs` or `active` have the wrong length.
+    pub fn run_round<M: VerifiedMechanism>(
+        &mut self,
+        mechanism: &M,
+        specs: &[NodeSpec],
+        round: RoundId,
+        active: &[bool],
+    ) -> Result<ChaosRoundReport, MechanismError> {
+        let n = self.n;
+        assert_eq!(specs.len(), n, "run_round: specs length mismatch");
+        assert_eq!(active.len(), n, "run_round: active length mismatch");
+
+        let mut nodes: Vec<NodeAgent> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| NodeAgent::new(u32::try_from(i).expect("fits u32"), spec))
+            .collect();
+        let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
+
+        let mut sim = self.protocol.simulation;
+        sim.seed = sim.seed.wrapping_add(round.0);
+        let mut coordinator =
+            Coordinator::new(mechanism, n, self.protocol.total_rate, round, sim);
+        for (i, &is_active) in active.iter().enumerate() {
+            if !is_active {
+                coordinator.exclude(i);
+            }
+        }
+
+        // Fresh per-round injector: fresh RNG stream, but session-cumulative
+        // bid-attempt counts.
+        let mut injector = ChaosInjector::new(&self.chaos, round, Rc::clone(&self.bid_attempts));
+        self.network.set_fate_fn(move |from, to, m| injector.fate(from, to, m));
+
+        // Counter snapshots so the report carries per-round deltas.
+        let stats0 = self.network.stats();
+        let dropped0 = self.network.dropped();
+        let duplicated0 = self.network.duplicated();
+        let corrupted0 = self.network.corrupted();
+
+        let mut trace = RoundTrace::default();
+        let mut runtime_anomalies = AnomalyStats::default();
+        let mut retries: u64 = 0;
+        let mut exec_timer_armed = false;
+        let mut now: SimTime = self.network.now().max(self.timers.now());
+
+        // Open: bid requests to the active machines only.
+        for (i, &is_active) in active.iter().enumerate() {
+            if !is_active {
+                continue;
+            }
+            let msg = Message::RequestBid { round };
+            let to = u32::try_from(i).expect("fits u32");
+            trace.entries.push(TraceEntry {
+                at: now.seconds(),
+                from: Endpoint::Coordinator,
+                to: Endpoint::Node(to),
+                message: msg.clone(),
+            });
+            self.network.send(Endpoint::Coordinator, Endpoint::Node(to), &msg).map_err(codec_err)?;
+        }
+        self.timers.schedule(
+            now + self.chaos.retry_timeout,
+            ChaosTimer::BidTimeout { round, attempt: 0 },
+        );
+
+        loop {
+            if coordinator.phase() == CoordinatorPhase::Done && self.network.pending() == 0 {
+                break;
+            }
+            let next_frame = self.network.next_arrival_time();
+            let next_timer = self.timers.peek_time();
+            let take_frame = match (next_frame, next_timer) {
+                (Some(f), Some(t)) => f <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => {
+                    // Defensive: no pending events but the round is stuck.
+                    // Fall back to the declarative runtime's drain-timeout
+                    // rules so the round always terminates.
+                    match coordinator.phase() {
+                        CoordinatorPhase::Done => break,
+                        CoordinatorPhase::CollectingBids => {
+                            let outgoing = coordinator.close_bidding(&actual_exec)?;
+                            self.send_from_coordinator(outgoing, now, &mut trace)?;
+                        }
+                        CoordinatorPhase::Executing => {
+                            let outgoing = coordinator.close_execution()?;
+                            self.send_from_coordinator(outgoing, now, &mut trace)?;
+                        }
+                        CoordinatorPhase::Settling => unreachable!("settling is instantaneous"),
+                    }
+                    if !exec_timer_armed && coordinator.phase() == CoordinatorPhase::Executing {
+                        exec_timer_armed = true;
+                        self.timers.schedule(
+                            now + self.chaos.exec_timeout,
+                            ChaosTimer::ExecTimeout { round },
+                        );
+                    }
+                    continue;
+                }
+            };
+
+            if take_frame {
+                match self.network.poll().map_err(codec_err)?.expect("arrival pending") {
+                    NetPoll::Corrupt { at, .. } => {
+                        now = now.max(at);
+                        runtime_anomalies.record(Anomaly::CorruptFrame);
+                    }
+                    NetPoll::Frame(delivery) => {
+                        now = now.max(delivery.at);
+                        match delivery.to {
+                            Endpoint::Node(i) => {
+                                let idx = i as usize;
+                                if idx >= n || delivery.message.machine().is_some() {
+                                    // Addressed nowhere, or a node-originated
+                                    // message bounced back to a node.
+                                    runtime_anomalies.record(Anomaly::Misrouted);
+                                } else if delivery.message.round() != round {
+                                    // Straggler from a previous round.
+                                    runtime_anomalies.record(Anomaly::StaleRound);
+                                } else if let Some(reply) = nodes[idx].handle(&delivery.message)
+                                {
+                                    self.network
+                                        .send(Endpoint::Node(i), Endpoint::Coordinator, &reply)
+                                        .map_err(codec_err)?;
+                                }
+                            }
+                            Endpoint::Coordinator => {
+                                let before = coordinator.anomalies().total();
+                                let outgoing =
+                                    coordinator.handle(&delivery.message, &actual_exec)?;
+                                if coordinator.anomalies().total() == before {
+                                    // Accepted: it enters the audit trail.
+                                    trace.entries.push(TraceEntry {
+                                        at: delivery.at.seconds(),
+                                        from: delivery.from,
+                                        to: delivery.to,
+                                        message: delivery.message.clone(),
+                                    });
+                                }
+                                self.send_from_coordinator(outgoing, now, &mut trace)?;
+                            }
+                        }
+                    }
+                }
+            } else {
+                let (at, timer) = self.timers.pop().expect("timer pending");
+                // Keep the two clocks in lockstep: safe because the timer
+                // was chosen only when no earlier frame is pending.
+                self.network.advance_to(at);
+                now = now.max(at);
+                match timer {
+                    ChaosTimer::BidTimeout { round: r, attempt } if r == round => {
+                        if coordinator.phase() == CoordinatorPhase::CollectingBids {
+                            let missing = coordinator.missing_bids();
+                            if missing.is_empty() || attempt >= self.chaos.bid_retries {
+                                // Retries exhausted: fall back to exclusion.
+                                let outgoing = coordinator.close_bidding(&actual_exec)?;
+                                self.send_from_coordinator(outgoing, now, &mut trace)?;
+                            } else {
+                                for &i in &missing {
+                                    retries += 1;
+                                    let msg = Message::RequestBid { round };
+                                    trace.entries.push(TraceEntry {
+                                        at: now.seconds(),
+                                        from: Endpoint::Coordinator,
+                                        to: Endpoint::Node(i),
+                                        message: msg.clone(),
+                                    });
+                                    self.network
+                                        .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
+                                        .map_err(codec_err)?;
+                                }
+                                let delay = self.chaos.retry_timeout
+                                    * self
+                                        .chaos
+                                        .backoff
+                                        .powi(i32::try_from(attempt + 1).unwrap_or(i32::MAX));
+                                self.timers.schedule(
+                                    now + delay,
+                                    ChaosTimer::BidTimeout { round, attempt: attempt + 1 },
+                                );
+                            }
+                        }
+                    }
+                    ChaosTimer::ExecTimeout { round: r } if r == round => {
+                        if coordinator.phase() == CoordinatorPhase::Executing {
+                            let outgoing = coordinator.close_execution()?;
+                            self.send_from_coordinator(outgoing, now, &mut trace)?;
+                        }
+                    }
+                    // Stale timer from an earlier round: ignore.
+                    ChaosTimer::BidTimeout { .. } | ChaosTimer::ExecTimeout { .. } => {}
+                }
+            }
+
+            if !exec_timer_armed && coordinator.phase() == CoordinatorPhase::Executing {
+                exec_timer_armed = true;
+                self.timers
+                    .schedule(now + self.chaos.exec_timeout, ChaosTimer::ExecTimeout { round });
+            }
+        }
+
+        let payments = coordinator.payments().expect("settled").to_vec();
+        let estimated = coordinator.estimated_exec_values().expect("verified").to_vec();
+        let allocation = coordinator.allocation().expect("allocated");
+        let rates: Vec<f64> = (0..n).map(|i| allocation.rate(i)).collect();
+        let utilities: Vec<f64> = (0..n)
+            .map(|i| {
+                // Node-side accounting where settlement reached the node;
+                // the coordinator's ledger elsewhere (identical by
+                // construction — see `faults.rs`).
+                nodes[i].utility(mechanism.valuation_model()).unwrap_or(if rates[i] == 0.0 {
+                    payments[i]
+                } else {
+                    payments[i] + mechanism.valuation(rates[i], specs[i].exec_value)
+                })
+            })
+            .collect();
+
+        let stats1 = self.network.stats();
+        let mut anomalies = runtime_anomalies;
+        anomalies.merge(coordinator.anomalies());
+        Ok(ChaosRoundReport {
+            outcome: ProtocolOutcome {
+                rates,
+                payments,
+                utilities,
+                estimated_exec_values: estimated,
+                stats: MessageStats {
+                    messages: stats1.messages - stats0.messages,
+                    bytes: stats1.bytes - stats0.bytes,
+                },
+            },
+            excluded: coordinator.excluded().to_vec(),
+            retries,
+            anomalies,
+            trace,
+            faults: ChaosNetStats {
+                dropped: self.network.dropped() - dropped0,
+                duplicated: self.network.duplicated() - duplicated0,
+                corrupted: self.network.corrupted() - corrupted0,
+            },
+        })
+    }
+
+    /// Sends coordinator-outbound messages, recording them in the trace at
+    /// the current unified time (the coordinator's send instant).
+    fn send_from_coordinator(
+        &mut self,
+        outgoing: Vec<(u32, Message)>,
+        now: SimTime,
+        trace: &mut RoundTrace,
+    ) -> Result<(), MechanismError> {
+        for (i, msg) in outgoing {
+            trace.entries.push(TraceEntry {
+                at: now.seconds(),
+                from: Endpoint::Coordinator,
+                to: Endpoint::Node(i),
+                message: msg.clone(),
+            });
+            self.network.send(Endpoint::Coordinator, Endpoint::Node(i), &msg).map_err(codec_err)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs a single round under chaos, constructing a fresh [`ChaosRuntime`].
+///
+/// With [`ChaosConfig::reliable`] this is bit-identical to
+/// [`crate::runtime::run_protocol_round`].
+///
+/// # Errors
+/// Propagates mechanism errors (see [`ChaosRuntime::run_round`]).
+///
+/// # Panics
+/// Panics if `specs` is empty or the chaos configuration is invalid.
+pub fn run_chaos_round<M: VerifiedMechanism>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    chaos: &ChaosConfig,
+) -> Result<ChaosRoundReport, MechanismError> {
+    assert!(!specs.is_empty(), "run_chaos_round: need at least one node");
+    let mut runtime = ChaosRuntime::new(specs.len(), *config, chaos.clone());
+    let active = vec![true; specs.len()];
+    runtime.run_round(mechanism, specs, RoundId(0), &active)
+}
+
+/// The message bound the retransmission protocol guarantees per round:
+/// `n·(5 + 2·retry budget)` protocol messages plus one possible extra reply
+/// per duplicated frame — still `O(n · (1 + retries))`.
+#[must_use]
+pub fn chaos_message_bound(n: usize, bid_retries: u32, duplicated: u64) -> u64 {
+    (n as u64) * (5 + 2 * u64::from(bid_retries)) + 2 * duplicated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{audit_settlement, SettlementRecord};
+    use crate::runtime::run_protocol_round;
+    use crate::trace::replay_check;
+    use lb_mechanism::CompensationBonusMechanism;
+    use lb_sim::driver::SimulationConfig;
+    use lb_sim::server::ServiceModel;
+    use proptest::prelude::*;
+
+    const RATE: f64 = 12.0;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            total_rate: RATE,
+            link_latency: 0.001,
+            simulation: SimulationConfig {
+                horizon: 50.0,
+                seed: 5,
+                model: ServiceModel::StationaryDeterministic,
+                workload: Default::default(),
+                warmup: 0.0,
+                estimator: lb_sim::estimator::EstimatorConfig::default(),
+            },
+        }
+    }
+
+    fn specs() -> Vec<NodeSpec> {
+        [1.0, 1.5, 2.0, 3.0, 4.5, 6.0].iter().map(|&t| NodeSpec::truthful(t)).collect()
+    }
+
+    /// Checks every seed-independent invariant on one round report.
+    fn assert_round_invariants(report: &ChaosRoundReport, specs: &[NodeSpec], chaos: &ChaosConfig) {
+        let n = specs.len();
+        let mech = CompensationBonusMechanism::paper();
+        let o = &report.outcome;
+
+        // Allocation over the respondents sums to R.
+        let total: f64 = o.rates.iter().sum();
+        assert!((total - RATE).abs() < 1e-6, "allocation sums to {total}, want {RATE}");
+        for (i, &ex) in report.excluded.iter().enumerate() {
+            if ex {
+                assert_eq!(o.rates[i], 0.0, "excluded machine {i} got load");
+                assert_eq!(o.payments[i], 0.0, "excluded machine {i} got paid");
+            }
+        }
+
+        // Payments conserve C_i + B_i (Def. 3.3): the settlement audits
+        // clean over the respondent sub-profile.
+        let resp: Vec<usize> = (0..n).filter(|&i| !report.excluded[i]).collect();
+        let record = SettlementRecord {
+            bids: resp.iter().map(|&i| specs[i].bid).collect(),
+            estimated_exec_values: resp.iter().map(|&i| o.estimated_exec_values[i]).collect(),
+            total_rate: RATE,
+            claimed_payments: resp.iter().map(|&i| o.payments[i]).collect(),
+        };
+        let audit = audit_settlement(&mech, &record, 1e-6).expect("auditable settlement");
+        assert!(audit.all_verified(), "disputed machines: {:?}", audit.disputed());
+
+        // Voluntary participation (Thm 3.2): truthful respondents never
+        // realise negative utility, chaos or not.
+        for &i in &resp {
+            if specs[i].is_truthful() {
+                assert!(o.utilities[i] >= -1e-6, "machine {i} utility {}", o.utilities[i]);
+            }
+        }
+
+        // Message complexity stays O(n · (1 + retries)).
+        let bound = chaos_message_bound(n, chaos.bid_retries, report.faults.duplicated);
+        assert!(
+            o.stats.messages <= bound,
+            "{} messages exceeds bound {bound}",
+            o.stats.messages
+        );
+
+        // The coordinator's-eye trace replays clean.
+        let violations = replay_check(&report.trace, n);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn soak_one_hundred_twenty_seeds_hold_all_invariants() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        let mut completed = 0u32;
+        for seed in 0..120u64 {
+            let chaos = ChaosConfig::heavy(seed);
+            match run_chaos_round(&mech, &specs, &config(), &chaos) {
+                Ok(report) => {
+                    assert_round_invariants(&report, &specs, &chaos);
+                    completed += 1;
+                }
+                // Legitimate when chaos silences all but one machine.
+                Err(MechanismError::NeedTwoAgents) => {}
+                Err(e) => panic!("seed {seed}: unexpected error {e:?}"),
+            }
+        }
+        // Retransmission makes wholesale exclusion vanishingly rare: the
+        // overwhelming majority of seeds must settle.
+        assert!(completed >= 110, "only {completed}/120 seeds completed");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Randomised soak: arbitrary seeds and fault intensities.
+        #[test]
+        fn prop_invariants_hold_under_arbitrary_chaos(
+            seed in any::<u64>(),
+            drop in 0.0f64..0.3,
+            dup in 0.0f64..0.3,
+            corrupt in 0.0f64..0.3,
+            jitter in 0.0f64..0.01,
+        ) {
+            let mech = CompensationBonusMechanism::paper();
+            let specs = specs();
+            let chaos = ChaosConfig {
+                drop_prob: drop,
+                duplicate_prob: dup,
+                corrupt_prob: corrupt,
+                jitter,
+                ..ChaosConfig::reliable(seed)
+            };
+            match run_chaos_round(&mech, &specs, &config(), &chaos) {
+                Ok(report) => assert_round_invariants(&report, &specs, &chaos),
+                Err(MechanismError::NeedTwoAgents) => {}
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_bid_is_retransmitted_and_included() {
+        // Machine 0's first bid transmission is lost; the retry gets
+        // through, so it is *included* — the whole point of retransmission.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        let chaos = ChaosConfig {
+            plan: FaultPlan { lose_bid_attempts: vec![(0, 1)], ..FaultPlan::none() },
+            ..ChaosConfig::reliable(42)
+        };
+        let report = run_chaos_round(&mech, &specs, &config(), &chaos).unwrap();
+
+        assert!(!report.excluded[0], "machine 0 was excluded despite retransmission");
+        assert!(report.outcome.rates[0] > 0.0);
+        assert_eq!(report.retries, 1, "exactly one re-request expected");
+
+        // Same participant set, same measurements: payments match the
+        // fault-free run exactly.
+        let clean = run_chaos_round(&mech, &specs, &config(), &ChaosConfig::reliable(42)).unwrap();
+        assert_eq!(report.outcome.payments, clean.outcome.payments);
+        assert_round_invariants(&report, &specs, &chaos);
+    }
+
+    #[test]
+    fn persistent_silence_exhausts_retries_then_excludes() {
+        // Every bid transmission from machine 0 is lost: after the retry
+        // budget the coordinator falls back to exclusion.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        let chaos = ChaosConfig {
+            plan: FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() },
+            ..ChaosConfig::reliable(42)
+        };
+        let report = run_chaos_round(&mech, &specs, &config(), &chaos).unwrap();
+
+        assert!(report.excluded[0]);
+        assert_eq!(report.outcome.rates[0], 0.0);
+        assert_eq!(report.outcome.payments[0], 0.0);
+        assert_eq!(report.retries, u64::from(chaos.bid_retries), "full retry budget spent");
+        assert_round_invariants(&report, &specs, &chaos);
+    }
+
+    #[test]
+    fn zero_fault_chaos_is_bit_identical_to_reliable_runtime() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        let reliable = run_protocol_round(&mech, &specs, &config()).unwrap();
+        let chaotic = run_chaos_round(&mech, &specs, &config(), &ChaosConfig::reliable(7)).unwrap();
+        assert_eq!(reliable.rates, chaotic.outcome.rates);
+        assert_eq!(reliable.payments, chaotic.outcome.payments);
+        assert_eq!(reliable.utilities, chaotic.outcome.utilities);
+        assert_eq!(reliable.estimated_exec_values, chaotic.outcome.estimated_exec_values);
+        assert_eq!(reliable.stats, chaotic.outcome.stats);
+        assert_eq!(chaotic.retries, 0);
+        assert_eq!(chaotic.anomalies.total(), 0);
+        assert_eq!(chaotic.faults, ChaosNetStats::default());
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_round() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        let chaos = ChaosConfig::heavy(1234);
+        let a = run_chaos_round(&mech, &specs, &config(), &chaos).unwrap();
+        let b = run_chaos_round(&mech, &specs, &config(), &chaos).unwrap();
+        assert_eq!(a.outcome.payments, b.outcome.payments);
+        assert_eq!(a.outcome.stats, b.outcome.stats);
+        assert_eq!(a.anomalies, b.anomalies);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn duplicated_frames_are_absorbed_idempotently() {
+        // Duplicate every frame: the coordinator must absorb the duplicate
+        // bids/acks and the outcome must match the clean run exactly.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        let chaos = ChaosConfig { duplicate_prob: 1.0, ..ChaosConfig::reliable(3) };
+        let report = run_chaos_round(&mech, &specs, &config(), &chaos).unwrap();
+        let clean = run_chaos_round(&mech, &specs, &config(), &ChaosConfig::reliable(3)).unwrap();
+        assert_eq!(report.outcome.payments, clean.outcome.payments);
+        assert!(report.anomalies.total() > 0, "duplicates should surface as anomalies");
+        assert!(report.faults.duplicated > 0);
+        assert_round_invariants(&report, &specs, &chaos);
+    }
+
+    #[test]
+    fn fully_corrupted_links_exclude_everything_cleanly() {
+        // Every frame corrupt: no bid ever arrives intact, so the round
+        // aborts with NeedTwoAgents — an error, never a panic.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        let chaos = ChaosConfig { corrupt_prob: 1.0, ..ChaosConfig::reliable(3) };
+        assert!(matches!(
+            run_chaos_round(&mech, &specs, &config(), &chaos),
+            Err(MechanismError::NeedTwoAgents)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob must be in [0, 1]")]
+    fn invalid_probability_is_rejected() {
+        let chaos = ChaosConfig { drop_prob: 1.5, ..ChaosConfig::reliable(0) };
+        let _ = ChaosRuntime::new(2, config(), chaos);
+    }
+}

@@ -20,6 +20,7 @@
 //! measurements, which is all the payment needs.
 
 use crate::message::{Message, RoundId};
+use crate::trace::{Anomaly, AnomalyStats};
 use lb_core::Allocation;
 use lb_mechanism::{MechanismError, VerifiedMechanism};
 use lb_sim::driver::{simulate_round, SimulationConfig};
@@ -50,6 +51,8 @@ pub struct Coordinator<'m> {
     allocation: Option<Allocation>,
     estimated_exec: Option<Vec<f64>>,
     payments: Option<Vec<f64>>,
+    strict: bool,
+    anomalies: AnomalyStats,
 }
 
 impl std::fmt::Debug for Coordinator<'_> {
@@ -88,7 +91,21 @@ impl<'m> Coordinator<'m> {
             allocation: None,
             estimated_exec: None,
             payments: None,
+            strict: false,
+            anomalies: AnomalyStats::default(),
         }
+    }
+
+    /// Sets strict mode. A strict coordinator panics on protocol violations
+    /// (wrong round, duplicate bid, out-of-phase or misrouted messages) —
+    /// useful in tests and the fault-free runtimes where any such message is
+    /// a bug. The default is graceful: violations are absorbed and counted in
+    /// [`Coordinator::anomalies`], so a byzantine or chaotic network cannot
+    /// crash the mechanism centre.
+    #[must_use]
+    pub fn with_strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
     }
 
     /// Current phase.
@@ -101,6 +118,46 @@ impl<'m> Coordinator<'m> {
     #[must_use]
     pub fn excluded(&self) -> &[bool] {
         &self.excluded
+    }
+
+    /// Anomalies absorbed so far (graceful mode counts instead of panicking).
+    #[must_use]
+    pub fn anomalies(&self) -> &AnomalyStats {
+        &self.anomalies
+    }
+
+    /// Machines still expected to bid: not excluded and no bid recorded.
+    /// Only meaningful during the collection phase; the retransmission
+    /// runtime re-requests exactly this set.
+    #[must_use]
+    pub fn missing_bids(&self) -> Vec<u32> {
+        (0..self.bids.len())
+            .filter(|&i| self.bids[i].is_none() && !self.excluded[i])
+            .map(|i| u32::try_from(i).expect("node index fits u32"))
+            .collect()
+    }
+
+    /// Excludes `machine` up front, before any timeout — used by sessions to
+    /// quarantine a machine for the round. Its bids will be absorbed as
+    /// stale.
+    ///
+    /// # Panics
+    /// Panics if called outside the collection phase or out of range.
+    pub fn exclude(&mut self, machine: usize) {
+        assert!(
+            self.phase == CoordinatorPhase::CollectingBids,
+            "exclude outside collection phase"
+        );
+        assert!(machine < self.excluded.len(), "coordinator: machine out of range");
+        self.excluded[machine] = true;
+    }
+
+    /// Records an anomaly and returns the empty reply set; panics instead
+    /// when strict.
+    fn reject(&mut self, anomaly: Anomaly, context: &str) -> Vec<(u32, Message)> {
+        self.anomalies.record(anomaly);
+        assert!(!self.strict, "{context}");
+        Vec::new()
     }
 
     /// Opening messages: one bid request per node.
@@ -131,25 +188,39 @@ impl<'m> Coordinator<'m> {
     /// Propagates mechanism/simulation errors.
     ///
     /// # Panics
-    /// Panics on protocol violations (wrong round, out-of-range machine,
-    /// coordinator-originated messages, duplicate bids).
+    /// In strict mode only ([`Coordinator::with_strict`]), panics on protocol
+    /// violations: wrong round, out-of-range machine, coordinator-originated
+    /// messages, duplicate bids, out-of-phase messages. A graceful
+    /// coordinator absorbs these and counts them as anomalies.
     pub fn handle(
         &mut self,
         message: &Message,
         actual_exec_values: &[f64],
     ) -> Result<Vec<(u32, Message)>, MechanismError> {
-        assert_eq!(message.round(), self.round, "coordinator: wrong round");
+        if message.round() != self.round {
+            return Ok(self.reject(Anomaly::StaleRound, "coordinator: wrong round"));
+        }
         match *message {
             Message::Bid { machine, value, .. } => {
                 let idx = machine as usize;
-                assert!(idx < self.bids.len(), "coordinator: machine out of range");
+                if idx >= self.bids.len() {
+                    return Ok(self.reject(Anomaly::Unsolicited, "coordinator: machine out of range"));
+                }
                 if self.excluded[idx] {
-                    // A bid that arrives after exclusion is stale: ignore it
-                    // in whatever phase it straggles in.
+                    // A bid that arrives after exclusion is stale: absorbed
+                    // in whatever phase it straggles in, even under strict
+                    // mode (losing a race against the timeout is the
+                    // network's fault, not a protocol violation).
+                    self.anomalies.record(Anomaly::StaleAfterExclusion);
                     return Ok(Vec::new());
                 }
-                assert!(self.phase == CoordinatorPhase::CollectingBids, "bid outside collection phase");
-                assert!(self.bids[idx].is_none(), "coordinator: duplicate bid from {machine}");
+                if self.phase != CoordinatorPhase::CollectingBids {
+                    return Ok(self.reject(Anomaly::WrongPhase, "bid outside collection phase"));
+                }
+                if self.bids[idx].is_some() {
+                    let context = format!("coordinator: duplicate bid from {machine}");
+                    return Ok(self.reject(Anomaly::DuplicateBid, &context));
+                }
                 self.bids[idx] = Some(value);
                 if self.all_bids_in() {
                     self.begin_execution(actual_exec_values)
@@ -158,9 +229,27 @@ impl<'m> Coordinator<'m> {
                 }
             }
             Message::ExecutionDone { machine, .. } => {
-                assert!(self.phase == CoordinatorPhase::Executing, "completion outside execution phase");
+                if self.phase != CoordinatorPhase::Executing {
+                    return Ok(
+                        self.reject(Anomaly::WrongPhase, "completion outside execution phase")
+                    );
+                }
                 let idx = machine as usize;
-                assert!(idx < self.done.len(), "coordinator: machine out of range");
+                if idx >= self.done.len() {
+                    return Ok(self.reject(Anomaly::Unsolicited, "coordinator: machine out of range"));
+                }
+                if self.excluded[idx] {
+                    // An excluded machine has nothing to complete; its ack
+                    // carries no standing in the round.
+                    self.anomalies.record(Anomaly::Unsolicited);
+                    return Ok(Vec::new());
+                }
+                if self.done[idx] {
+                    // A duplicated ack is idempotent: settlement depends on
+                    // the set of completed machines, not the ack count.
+                    self.anomalies.record(Anomaly::DuplicateAck);
+                    return Ok(Vec::new());
+                }
                 self.done[idx] = true;
                 if self.all_done() {
                     self.settle()
@@ -168,9 +257,9 @@ impl<'m> Coordinator<'m> {
                     Ok(Vec::new())
                 }
             }
-            Message::RequestBid { .. } | Message::Assign { .. } | Message::Payment { .. } => {
-                panic!("coordinator received coordinator-originated message")
-            }
+            Message::RequestBid { .. } | Message::Assign { .. } | Message::Payment { .. } => Ok(
+                self.reject(Anomaly::Misrouted, "coordinator received coordinator-originated message")
+            ),
         }
     }
 
@@ -220,6 +309,12 @@ impl<'m> Coordinator<'m> {
         actual_exec_values: &[f64],
     ) -> Result<Vec<(u32, Message)>, MechanismError> {
         let respondents = self.respondents();
+        if respondents.len() < 2 {
+            // Reachable when machines were excluded up front (quarantine)
+            // and every remaining machine bid: the mechanism needs at least
+            // two participants to run.
+            return Err(MechanismError::NeedTwoAgents);
+        }
         let sub_bids: Vec<f64> =
             respondents.iter().map(|&i| self.bids[i].expect("respondent has bid")).collect();
         let sub_exec: Vec<f64> = respondents.iter().map(|&i| actual_exec_values[i]).collect();
@@ -374,6 +469,7 @@ mod tests {
             .handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues)
             .unwrap();
         assert!(out.is_empty());
+        assert_eq!(c.anomalies().stale_after_exclusion, 1);
     }
 
     #[test]
@@ -401,10 +497,10 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "duplicate bid")]
-    fn duplicate_bid_panics() {
+    fn strict_duplicate_bid_panics() {
         let mech = CompensationBonusMechanism::paper();
         let trues = [1.0, 2.0];
-        let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config());
+        let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config()).with_strict(true);
         let bid = Message::Bid { round: RoundId(0), machine: 0, value: 1.0 };
         c.handle(&bid, &trues).unwrap();
         c.handle(&bid, &trues).unwrap();
@@ -412,9 +508,90 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "wrong round")]
-    fn wrong_round_panics() {
+    fn strict_wrong_round_panics() {
         let mech = CompensationBonusMechanism::paper();
-        let mut c = Coordinator::new(&mech, 1, 3.0, RoundId(0), config());
+        let mut c = Coordinator::new(&mech, 1, 3.0, RoundId(0), config()).with_strict(true);
         c.handle(&Message::Bid { round: RoundId(1), machine: 0, value: 1.0 }, &[1.0]).unwrap();
+    }
+
+    #[test]
+    fn graceful_coordinator_absorbs_violations_as_anomalies() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0];
+        let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config());
+        let bid0 = Message::Bid { round: RoundId(0), machine: 0, value: 1.0 };
+
+        // Wrong round, duplicate, out-of-range, misrouted, early ack: all
+        // absorbed without output and without state damage.
+        assert!(c.handle(&Message::Bid { round: RoundId(7), machine: 0, value: 9.0 }, &trues).unwrap().is_empty());
+        c.handle(&bid0, &trues).unwrap();
+        assert!(c.handle(&bid0, &trues).unwrap().is_empty());
+        assert!(c.handle(&Message::Bid { round: RoundId(0), machine: 9, value: 1.0 }, &trues).unwrap().is_empty());
+        assert!(c.handle(&Message::RequestBid { round: RoundId(0) }, &trues).unwrap().is_empty());
+        assert!(c.handle(&Message::ExecutionDone { round: RoundId(0), machine: 0 }, &trues).unwrap().is_empty());
+
+        let a = *c.anomalies();
+        assert_eq!(a.stale_rounds, 1);
+        assert_eq!(a.duplicate_bids, 1);
+        assert_eq!(a.unsolicited, 1);
+        assert_eq!(a.misrouted, 1);
+        assert_eq!(a.wrong_phase, 1);
+        assert_eq!(a.total(), 5);
+
+        // The round still completes normally afterwards.
+        let assigns = c
+            .handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues)
+            .unwrap();
+        assert_eq!(assigns.len(), 2);
+        assert_eq!(c.phase(), CoordinatorPhase::Executing);
+
+        // Duplicate acks are idempotent.
+        c.handle(&Message::ExecutionDone { round: RoundId(0), machine: 0 }, &trues).unwrap();
+        assert!(c.handle(&Message::ExecutionDone { round: RoundId(0), machine: 0 }, &trues).unwrap().is_empty());
+        assert_eq!(c.anomalies().duplicate_acks, 1);
+        let payments = c
+            .handle(&Message::ExecutionDone { round: RoundId(0), machine: 1 }, &trues)
+            .unwrap();
+        assert_eq!(payments.len(), 2);
+        assert_eq!(c.phase(), CoordinatorPhase::Done);
+    }
+
+    #[test]
+    fn missing_bids_tracks_outstanding_machines() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0, 4.0];
+        let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
+        assert_eq!(c.missing_bids(), vec![0, 1, 2]);
+        c.handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues).unwrap();
+        assert_eq!(c.missing_bids(), vec![0, 2]);
+        c.exclude(0);
+        assert_eq!(c.missing_bids(), vec![2]);
+    }
+
+    #[test]
+    fn upfront_exclusion_quarantines_a_machine() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0, 4.0];
+        let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
+        c.exclude(1);
+        c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues).unwrap();
+        // The quarantined machine's bid is absorbed as stale.
+        assert!(c.handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues).unwrap().is_empty());
+        let assigns = c
+            .handle(&Message::Bid { round: RoundId(0), machine: 2, value: 4.0 }, &trues)
+            .unwrap();
+        assert_eq!(assigns.len(), 2, "round runs over the two active machines");
+        assert_eq!(c.excluded(), &[false, true, false]);
+    }
+
+    #[test]
+    fn quarantine_below_two_participants_errors() {
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0, 4.0];
+        let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
+        c.exclude(1);
+        c.exclude(2);
+        let out = c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues);
+        assert!(matches!(out, Err(MechanismError::NeedTwoAgents)));
     }
 }

@@ -24,12 +24,20 @@ use lb_mechanism::{MechanismError, VerifiedMechanism};
 /// Declarative fault plan for one round.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    /// Machines whose `Bid` messages are lost in transit.
+    /// Machines whose `Bid` messages are lost in transit — every attempt,
+    /// so under a retrying runtime these machines exhaust their retries and
+    /// are excluded.
     pub lose_bids_from: Vec<u32>,
     /// Machines whose `ExecutionDone` acknowledgements are lost.
     pub lose_acks_from: Vec<u32>,
     /// Machines that never receive any coordinator message (full partition).
     pub partitioned: Vec<u32>,
+    /// `(machine, k)` pairs: only the machine's first `k` bid transmissions
+    /// are lost. Under [`run_protocol_round_with_faults`] (which never
+    /// retries) any `k >= 1` behaves like `lose_bids_from`; under the chaos
+    /// runtime a retransmission gets through once `k` attempts have failed,
+    /// demonstrating retry-then-include.
+    pub lose_bid_attempts: Vec<(u32, u32)>,
 }
 
 impl FaultPlan {
@@ -51,6 +59,30 @@ impl FaultPlan {
             (Endpoint::Node(i), _, _) if self.partitioned.contains(&i) => true,
             _ => false,
         }
+    }
+
+    /// Like `drops`, additionally counting bid transmissions per machine in
+    /// `bid_attempts` so `lose_bid_attempts` can lose only the first `k`.
+    pub(crate) fn drops_counted(
+        &self,
+        from: Endpoint,
+        to: Endpoint,
+        message: &Message,
+        bid_attempts: &mut [u32],
+    ) -> bool {
+        if let (Endpoint::Node(i), Message::Bid { .. }) = (from, message) {
+            let attempt = match bid_attempts.get_mut(i as usize) {
+                Some(count) => {
+                    *count += 1;
+                    *count
+                }
+                None => 1,
+            };
+            if self.lose_bid_attempts.iter().any(|&(m, k)| m == i && attempt <= k) {
+                return true;
+            }
+        }
+        self.drops(from, to, message)
     }
 }
 
@@ -85,11 +117,17 @@ pub fn run_protocol_round_with_faults<M: VerifiedMechanism>(
         .collect();
     let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
 
-    let mut coordinator = Coordinator::new(mechanism, n, config.total_rate, round, config.simulation);
+    // Strict: the drop filter only *loses* frames, so every frame that does
+    // arrive is still protocol-conformant.
+    let mut coordinator = Coordinator::new(mechanism, n, config.total_rate, round, config.simulation)
+        .with_strict(true);
     let mut network = SimNetwork::with_constant_latency(config.link_latency);
     {
         let plan = faults.clone();
-        network.set_drop_filter(move |from, to, m| plan.drops(from, to, m));
+        let mut bid_attempts = vec![0u32; n];
+        network.set_drop_filter(move |from, to, m| {
+            plan.drops_counted(from, to, m, &mut bid_attempts)
+        });
     }
 
     for (i, msg) in coordinator.open().into_iter().enumerate() {
@@ -265,6 +303,18 @@ mod tests {
             run_protocol_round_with_faults(&mech, &specs, &config(), &faults),
             Err(MechanismError::NeedTwoAgents)
         ));
+    }
+
+    #[test]
+    fn first_attempt_loss_excludes_without_retransmission() {
+        // The declarative runtime never retries, so losing just the first
+        // bid attempt is as fatal as losing them all.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let faults = FaultPlan { lose_bid_attempts: vec![(0, 1)], ..FaultPlan::none() };
+        let outcome = run_protocol_round_with_faults(&mech, &specs, &config(), &faults).unwrap();
+        assert_eq!(outcome.rates[0], 0.0);
+        assert_eq!(outcome.payments[0], 0.0);
     }
 
     #[test]

@@ -17,8 +17,14 @@
 //!   network.
 //! * [`threaded`] — the same protocol over real threads and crossbeam
 //!   channels; produces bit-identical outcomes to the deterministic runtime.
+//! * [`chaos`] — seeded probabilistic fault injection (drop / duplicate /
+//!   corrupt / jitter) plus the retransmission protocol that survives it:
+//!   missing bids are re-requested with exponential backoff before the
+//!   exclusion fallback, and multi-round sessions quarantine and re-admit
+//!   flaky machines ([`session::run_chaos_session`]).
 
 pub mod audit;
+pub mod chaos;
 pub mod codec;
 pub mod coordinator;
 pub mod faults;
@@ -32,14 +38,21 @@ pub mod threaded;
 pub mod trace;
 
 pub use audit::{audit_settlement, AuditReport, SettlementRecord};
+pub use chaos::{
+    chaos_message_bound, run_chaos_round, ChaosConfig, ChaosNetStats, ChaosRoundReport,
+    ChaosRuntime,
+};
 pub use codec::{decode, encode, CodecError};
 pub use coordinator::{Coordinator, CoordinatorPhase};
 pub use faults::{run_protocol_round_with_faults, FaultPlan};
 pub use framing::{FrameReader, FrameWriter};
 pub use message::{Message, RoundId};
-pub use network::{MessageStats, SimNetwork};
+pub use network::{FrameFate, MessageStats, NetPoll, SimNetwork};
 pub use node::NodeSpec;
 pub use runtime::{run_protocol_round, ProtocolConfig, ProtocolOutcome};
-pub use session::{run_session, SessionReport};
+pub use session::{
+    run_chaos_session, run_session, ChaosRoundResult, ChaosSessionConfig, ChaosSessionReport,
+    MachineHealth, SessionReport,
+};
 pub use threaded::run_protocol_round_threaded;
-pub use trace::{replay_check, RoundTrace, TraceEntry, TraceViolation};
+pub use trace::{replay_check, Anomaly, AnomalyStats, RoundTrace, TraceEntry, TraceViolation};

@@ -66,6 +66,15 @@ impl Message {
         }
     }
 
+    /// The sender machine index, for node-originated messages.
+    #[must_use]
+    pub fn machine(&self) -> Option<u32> {
+        match self {
+            Self::Bid { machine, .. } | Self::ExecutionDone { machine, .. } => Some(*machine),
+            Self::RequestBid { .. } | Self::Assign { .. } | Self::Payment { .. } => None,
+        }
+    }
+
     /// Short label for tracing.
     #[must_use]
     pub fn kind(&self) -> &'static str {
@@ -105,7 +114,10 @@ mod tests {
         let m = Message::Payment { round: RoundId(7), amount: 1.0 };
         assert_eq!(m.round(), RoundId(7));
         assert_eq!(m.kind(), "payment");
+        assert_eq!(m.machine(), None);
         assert_eq!(Message::RequestBid { round: RoundId(0) }.kind(), "request-bid");
+        let b = Message::Bid { round: RoundId(7), machine: 4, value: 1.0 };
+        assert_eq!(b.machine(), Some(4));
     }
 
     #[test]

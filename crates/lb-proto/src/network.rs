@@ -42,10 +42,68 @@ pub struct Delivery {
     pub at: SimTime,
 }
 
+/// The fate a chaos injector assigns to a single frame in transit.
+///
+/// The default fate ([`FrameFate::deliver`]) delivers the frame untouched;
+/// an injector can combine loss, duplication, corruption, and jitter on a
+/// single frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameFate {
+    /// Lose the frame in transit (sent and counted, never delivered).
+    pub drop: bool,
+    /// Deliver a second copy of the frame.
+    pub duplicate: bool,
+    /// Mangle the payload; the corruption is always *detected* on receipt
+    /// (a CRC-style link model), surfacing as [`NetPoll::Corrupt`].
+    pub corrupt: bool,
+    /// Extra delay added to the base link latency (clamped at zero).
+    pub extra_delay: f64,
+    /// Extra delay for the duplicate copy, if any (clamped at zero).
+    pub duplicate_extra_delay: f64,
+}
+
+impl FrameFate {
+    /// A clean delivery: no loss, no duplicate, no corruption, no jitter.
+    #[must_use]
+    pub fn deliver() -> Self {
+        Self {
+            drop: false,
+            duplicate: false,
+            corrupt: false,
+            extra_delay: 0.0,
+            duplicate_extra_delay: 0.0,
+        }
+    }
+}
+
+impl Default for FrameFate {
+    fn default() -> Self {
+        Self::deliver()
+    }
+}
+
+/// Result of polling the network for the next arrival.
+#[derive(Debug, Clone)]
+pub enum NetPoll {
+    /// A frame arrived intact and decoded cleanly.
+    Frame(Delivery),
+    /// A frame arrived but its payload failed integrity checks; the receiver
+    /// discards it (the link model guarantees corruption is detected).
+    Corrupt {
+        /// Sender of the damaged frame.
+        from: Endpoint,
+        /// Receiver that detected the damage.
+        to: Endpoint,
+        /// Simulated arrival time.
+        at: SimTime,
+    },
+}
+
 struct Frame {
     from: Endpoint,
     to: Endpoint,
     payload: Bytes,
+    corrupt: bool,
 }
 
 /// Deterministic star-topology network between one coordinator and `n` nodes.
@@ -53,8 +111,11 @@ pub struct SimNetwork {
     queue: EventQueue<Frame>,
     latency: Box<dyn Fn(Endpoint, Endpoint) -> f64>,
     stats: MessageStats,
-    drop_filter: Option<Box<dyn Fn(Endpoint, Endpoint, &Message) -> bool>>,
+    drop_filter: Option<Box<dyn FnMut(Endpoint, Endpoint, &Message) -> bool>>,
+    fate_fn: Option<Box<dyn FnMut(Endpoint, Endpoint, &Message) -> FrameFate>>,
     dropped: u64,
+    duplicated: u64,
+    corrupted: u64,
 }
 
 impl std::fmt::Debug for SimNetwork {
@@ -85,23 +146,50 @@ impl SimNetwork {
             latency: Box::new(latency),
             stats: MessageStats::default(),
             drop_filter: None,
+            fate_fn: None,
             dropped: 0,
+            duplicated: 0,
+            corrupted: 0,
         }
     }
 
     /// Installs a fault filter: frames for which it returns `true` are lost
     /// in transit (sent and counted, never delivered).
+    ///
+    /// The filter may be stateful (e.g. drop only the first `k` attempts).
     pub fn set_drop_filter(
         &mut self,
-        filter: impl Fn(Endpoint, Endpoint, &Message) -> bool + 'static,
+        filter: impl FnMut(Endpoint, Endpoint, &Message) -> bool + 'static,
     ) {
         self.drop_filter = Some(Box::new(filter));
     }
 
-    /// Number of frames lost to the fault filter.
+    /// Installs a chaos hook deciding the [`FrameFate`] of every frame that
+    /// survives the drop filter. The hook is typically a seeded RNG consumer,
+    /// so it is `FnMut`.
+    pub fn set_fate_fn(
+        &mut self,
+        fate: impl FnMut(Endpoint, Endpoint, &Message) -> FrameFate + 'static,
+    ) {
+        self.fate_fn = Some(Box::new(fate));
+    }
+
+    /// Number of frames lost in transit (fault filter or chaos drop).
     #[must_use]
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Number of duplicate copies injected by the chaos hook.
+    #[must_use]
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Number of frames delivered with detected corruption.
+    #[must_use]
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
     }
 
     /// Sends `message` from `from` to `to`, encoding it to wire form.
@@ -112,29 +200,100 @@ impl SimNetwork {
         let payload = encode(message)?;
         self.stats.messages += 1;
         self.stats.bytes += payload.len() as u64;
-        if let Some(filter) = &self.drop_filter {
+        if let Some(filter) = &mut self.drop_filter {
             if filter(from, to, message) {
                 self.dropped += 1;
                 return Ok(());
             }
         }
-        let delay = (self.latency)(from, to).max(0.0);
-        self.queue.schedule_in(delay, Frame { from, to, payload });
+        let fate = match &mut self.fate_fn {
+            Some(fate) => fate(from, to, message),
+            None => FrameFate::deliver(),
+        };
+        if fate.drop {
+            self.dropped += 1;
+            return Ok(());
+        }
+        let payload = if fate.corrupt {
+            self.corrupted += 1;
+            let mut damaged = payload.to_vec();
+            let mid = damaged.len() / 2;
+            damaged[mid] ^= 0x55;
+            Bytes::from(damaged)
+        } else {
+            payload
+        };
+        let base = (self.latency)(from, to).max(0.0);
+        let delay = base + fate.extra_delay.max(0.0);
+        self.queue.schedule_in(delay, Frame { from, to, payload: payload.clone(), corrupt: fate.corrupt });
+        if fate.duplicate {
+            self.duplicated += 1;
+            let dup_delay = base + fate.duplicate_extra_delay.max(0.0);
+            self.queue.schedule_in(dup_delay, Frame { from, to, payload, corrupt: fate.corrupt });
+        }
         Ok(())
     }
 
     /// Delivers the next frame in timestamp order, decoding it.
     ///
     /// # Errors
-    /// Propagates codec errors on corrupt frames.
+    /// Propagates codec errors on corrupt frames. Prefer [`Self::poll`] when
+    /// a chaos hook is installed: it reports detected corruption as data
+    /// rather than an error.
     pub fn deliver_next(&mut self) -> Result<Option<Delivery>, CodecError> {
         match self.queue.pop() {
             None => Ok(None),
             Some((at, frame)) => {
+                if frame.corrupt {
+                    return Err(CodecError::Custom(format!(
+                        "frame {:?} -> {:?} failed integrity check at {at}",
+                        frame.from, frame.to
+                    )));
+                }
                 let message: Message = decode(&frame.payload)?;
                 Ok(Some(Delivery { from: frame.from, to: frame.to, message, at }))
             }
         }
+    }
+
+    /// Delivers the next frame in timestamp order, reporting detected
+    /// corruption as [`NetPoll::Corrupt`] instead of an error.
+    ///
+    /// The link model is CRC-style: corruption injected by the chaos hook is
+    /// *always* detected at the receiver and never silently accepted, and any
+    /// mangled payload that coincidentally still decodes is rejected by the
+    /// integrity flag rather than trusted.
+    ///
+    /// # Errors
+    /// Propagates codec errors on frames that were *not* flagged corrupt
+    /// (which indicate a bug in the message types, not injected chaos).
+    pub fn poll(&mut self) -> Result<Option<NetPoll>, CodecError> {
+        match self.queue.pop() {
+            None => Ok(None),
+            Some((at, frame)) => {
+                if frame.corrupt {
+                    return Ok(Some(NetPoll::Corrupt { from: frame.from, to: frame.to, at }));
+                }
+                let message: Message = decode(&frame.payload)?;
+                Ok(Some(NetPoll::Frame(Delivery { from: frame.from, to: frame.to, message, at })))
+            }
+        }
+    }
+
+    /// The arrival time of the next in-flight frame, if any.
+    #[must_use]
+    pub fn next_arrival_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Advances the network clock to `time` without delivering a frame, so a
+    /// driver can interleave its own timers (e.g. retransmission backoff)
+    /// with frame arrivals on one consistent clock.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past or beyond the next pending arrival.
+    pub fn advance_to(&mut self, time: SimTime) {
+        self.queue.advance_to(time);
     }
 
     /// Number of in-flight frames.
@@ -203,5 +362,89 @@ mod tests {
     #[should_panic(expected = "invalid latency")]
     fn negative_latency_is_rejected() {
         let _ = SimNetwork::with_constant_latency(-1.0);
+    }
+
+    #[test]
+    fn fate_drop_loses_the_frame() {
+        let mut net = SimNetwork::with_constant_latency(0.01);
+        net.set_fate_fn(|_, _, _| FrameFate { drop: true, ..FrameFate::deliver() });
+        let m = Message::RequestBid { round: RoundId(1) };
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        assert_eq!(net.pending(), 0);
+        assert_eq!(net.dropped(), 1);
+        assert_eq!(net.stats().messages, 1, "dropped frames still count as sent");
+    }
+
+    #[test]
+    fn fate_duplicate_delivers_two_copies() {
+        let mut net = SimNetwork::with_constant_latency(0.01);
+        net.set_fate_fn(|_, _, _| FrameFate {
+            duplicate: true,
+            duplicate_extra_delay: 0.05,
+            ..FrameFate::deliver()
+        });
+        let m = Message::RequestBid { round: RoundId(1) };
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        assert_eq!(net.pending(), 2);
+        assert_eq!(net.duplicated(), 1);
+        assert_eq!(net.stats().messages, 1, "duplicates are link noise, not protocol messages");
+        let first = net.deliver_next().unwrap().unwrap();
+        let second = net.deliver_next().unwrap().unwrap();
+        assert_eq!(first.message, m);
+        assert_eq!(second.message, m);
+        assert!(second.at > first.at);
+    }
+
+    #[test]
+    fn fate_corrupt_is_always_detected() {
+        let mut net = SimNetwork::with_constant_latency(0.01);
+        net.set_fate_fn(|_, _, _| FrameFate { corrupt: true, ..FrameFate::deliver() });
+        let m = Message::RequestBid { round: RoundId(1) };
+        net.send(Endpoint::Coordinator, Endpoint::Node(3), &m).unwrap();
+        assert_eq!(net.corrupted(), 1);
+        match net.poll().unwrap().unwrap() {
+            NetPoll::Corrupt { to, .. } => assert_eq!(to, Endpoint::Node(3)),
+            NetPoll::Frame(d) => panic!("corrupt frame delivered intact: {d:?}"),
+        }
+    }
+
+    #[test]
+    fn fate_jitter_delays_delivery() {
+        let mut net = SimNetwork::with_constant_latency(0.01);
+        net.set_fate_fn(|_, _, _| FrameFate { extra_delay: 0.1, ..FrameFate::deliver() });
+        let m = Message::RequestBid { round: RoundId(1) };
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        let d = net.deliver_next().unwrap().unwrap();
+        assert!((d.at.seconds() - 0.11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stateful_drop_filter_can_count_attempts() {
+        // Drop only the first attempt per destination; the retry goes through.
+        let mut seen = [0u32; 2];
+        let mut net = SimNetwork::with_constant_latency(0.01);
+        net.set_drop_filter(move |_, to, _| {
+            let Endpoint::Node(i) = to else { return false };
+            seen[i as usize] += 1;
+            seen[i as usize] == 1
+        });
+        let m = Message::RequestBid { round: RoundId(1) };
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        assert_eq!(net.pending(), 0);
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        assert_eq!(net.pending(), 1);
+        assert_eq!(net.dropped(), 1);
+    }
+
+    #[test]
+    fn advance_to_interleaves_timers_with_arrivals() {
+        let mut net = SimNetwork::with_constant_latency(0.5);
+        let m = Message::RequestBid { round: RoundId(1) };
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        assert_eq!(net.next_arrival_time(), Some(SimTime::new(0.5)));
+        net.advance_to(SimTime::new(0.25));
+        assert_eq!(net.now(), SimTime::new(0.25));
+        let d = net.deliver_next().unwrap().unwrap();
+        assert_eq!(d.at, SimTime::new(0.5));
     }
 }

@@ -86,8 +86,10 @@ pub fn run_protocol_round_traced<M: VerifiedMechanism>(
         .collect();
     let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
 
+    // Strict: on a reliable network, any protocol violation is a bug.
     let mut coordinator =
-        Coordinator::new(mechanism, n, config.total_rate, round, config.simulation);
+        Coordinator::new(mechanism, n, config.total_rate, round, config.simulation)
+            .with_strict(true);
     let mut network = SimNetwork::with_constant_latency(config.link_latency);
 
     // Kick off: bid requests to every node.

@@ -6,9 +6,20 @@
 //! through a policy callback — which is how the strategic learners from
 //! `lb-agents` plug into the real protocol (see the workspace integration
 //! tests) — and aggregates the per-round outcomes and traffic statistics.
+//!
+//! [`run_chaos_session`] is the fault-tolerant variant: the same policy
+//! interface driven over one persistent [`ChaosRuntime`], with per-machine
+//! health tracking across rounds. A machine excluded too often in a row is
+//! *quarantined* (excluded up front, no retransmission budget wasted on it)
+//! for an exponentially growing number of rounds, then re-admitted — so a
+//! transiently faulty machine rejoins the mechanism instead of being lost
+//! forever, exactly the recovery story a deployed mechanism needs.
 
+use crate::chaos::{ChaosConfig, ChaosNetStats, ChaosRoundReport, ChaosRuntime};
+use crate::message::RoundId;
 use crate::node::NodeSpec;
 use crate::runtime::{run_protocol_round, ProtocolConfig, ProtocolOutcome};
+use crate::trace::AnomalyStats;
 use lb_mechanism::{MechanismError, VerifiedMechanism};
 
 /// Summary of a finished session.
@@ -94,6 +105,238 @@ where
     Ok(SessionReport { rounds: outcomes, total_messages, total_bytes })
 }
 
+/// Per-machine health state a chaos session tracks across rounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineHealth {
+    /// Exclusions in consecutive *active* rounds (quarantined rounds do not
+    /// count — the machine was never given a chance).
+    pub consecutive_exclusions: u32,
+    /// Total rounds in which the machine was active but ended excluded.
+    pub total_exclusions: u32,
+    /// First round index at which the machine is active again; at or past
+    /// this round the machine is not quarantined.
+    pub quarantined_until: u32,
+    /// Number of quarantine spells served so far.
+    pub quarantine_spells: u32,
+    /// Length of the most recent quarantine spell (rounds); doubles on each
+    /// consecutive offence and resets when the machine completes a round.
+    pub last_spell: u32,
+}
+
+/// Configuration of a fault-tolerant multi-round session.
+#[derive(Debug, Clone)]
+pub struct ChaosSessionConfig {
+    /// Number of rounds to play.
+    pub rounds: u32,
+    /// Chaos and retransmission configuration, shared by every round.
+    pub chaos: ChaosConfig,
+    /// Quarantine a machine after this many consecutive exclusions (≥ 1).
+    pub quarantine_after: u32,
+    /// Length of the first quarantine spell, in rounds (≥ 1).
+    pub quarantine_rounds: u32,
+    /// Upper bound on a quarantine spell as it doubles (≥ `quarantine_rounds`).
+    pub max_quarantine_rounds: u32,
+}
+
+impl ChaosSessionConfig {
+    /// A session with the default health policy: quarantine after 2
+    /// consecutive exclusions, first spell 1 round, spells capped at 8.
+    ///
+    /// # Panics
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn new(rounds: u32, chaos: ChaosConfig) -> Self {
+        assert!(rounds > 0, "ChaosSessionConfig: need at least one round");
+        Self { rounds, chaos, quarantine_after: 2, quarantine_rounds: 1, max_quarantine_rounds: 8 }
+    }
+
+    fn validate(&self) {
+        assert!(self.rounds > 0, "ChaosSessionConfig: need at least one round");
+        assert!(self.quarantine_after >= 1, "ChaosSessionConfig: quarantine_after must be >= 1");
+        assert!(self.quarantine_rounds >= 1, "ChaosSessionConfig: quarantine_rounds must be >= 1");
+        assert!(
+            self.max_quarantine_rounds >= self.quarantine_rounds,
+            "ChaosSessionConfig: max_quarantine_rounds must be >= quarantine_rounds"
+        );
+    }
+}
+
+/// How one round of a chaos session ended.
+#[derive(Debug)]
+pub enum ChaosRoundResult {
+    /// The round settled; full report attached.
+    Settled(ChaosRoundReport),
+    /// The round could not run (fewer than two machines' bids survived);
+    /// the session lifted every quarantine and carried on.
+    Aborted(MechanismError),
+}
+
+impl ChaosRoundResult {
+    /// The settled report, if the round settled.
+    #[must_use]
+    pub fn settled(&self) -> Option<&ChaosRoundReport> {
+        match self {
+            Self::Settled(report) => Some(report),
+            Self::Aborted(_) => None,
+        }
+    }
+}
+
+/// Summary of a finished fault-tolerant session.
+#[derive(Debug)]
+pub struct ChaosSessionReport {
+    /// Result of every round, in order.
+    pub rounds: Vec<ChaosRoundResult>,
+    /// Final health state of every machine.
+    pub health: Vec<MachineHealth>,
+    /// Total control messages across the settled rounds.
+    pub total_messages: u64,
+    /// Total control bytes across the settled rounds.
+    pub total_bytes: u64,
+    /// Total bid re-requests sent across the settled rounds.
+    pub total_retries: u64,
+    /// Anomalies absorbed across the settled rounds.
+    pub anomalies: AnomalyStats,
+    /// Link-level fault counters aggregated across the settled rounds.
+    pub faults: ChaosNetStats,
+    /// Rounds that aborted with [`MechanismError::NeedTwoAgents`].
+    pub aborted_rounds: u32,
+    /// Times a previously excluded machine completed a round again.
+    pub readmissions: u32,
+}
+
+/// Runs a fault-tolerant multi-round session over one persistent chaotic
+/// network.
+///
+/// `policy` is called before each round with the round index and the most
+/// recent *settled* report (`None` before the first settlement) and returns
+/// every machine's behaviour — the same interface as [`run_session`], so
+/// strategic agents plug in unchanged. Machine count must stay constant.
+///
+/// Health policy: a machine excluded in `quarantine_after` consecutive
+/// active rounds is quarantined for `quarantine_rounds` rounds, doubling on
+/// each repeat offence up to `max_quarantine_rounds`; completing a round
+/// resets its record. A round that cannot run ([`MechanismError::NeedTwoAgents`])
+/// is recorded as [`ChaosRoundResult::Aborted`] and lifts every quarantine.
+/// If quarantines would leave fewer than two machines active, they are
+/// lifted pre-emptively instead of aborting the round.
+///
+/// # Errors
+/// Propagates unexpected mechanism errors ([`MechanismError::NeedTwoAgents`]
+/// is handled internally as an aborted round).
+///
+/// # Panics
+/// Panics if the configuration is invalid, the policy returns an empty spec
+/// list, or the machine count changes between rounds.
+pub fn run_chaos_session<M, P>(
+    mechanism: &M,
+    config: &ProtocolConfig,
+    session: &ChaosSessionConfig,
+    mut policy: P,
+) -> Result<ChaosSessionReport, MechanismError>
+where
+    M: VerifiedMechanism,
+    P: FnMut(u32, Option<&ChaosRoundReport>) -> Vec<NodeSpec>,
+{
+    session.validate();
+    let mut runtime: Option<ChaosRuntime> = None;
+    let mut health: Vec<MachineHealth> = Vec::new();
+    let mut rounds: Vec<ChaosRoundResult> = Vec::with_capacity(session.rounds as usize);
+    let mut last_settled: Option<ChaosRoundReport> = None;
+    let mut total_messages = 0;
+    let mut total_bytes = 0;
+    let mut total_retries = 0;
+    let mut anomalies = AnomalyStats::default();
+    let mut faults = ChaosNetStats::default();
+    let mut aborted_rounds = 0;
+    let mut readmissions = 0;
+
+    for round in 0..session.rounds {
+        let specs = policy(round, last_settled.as_ref());
+        assert!(!specs.is_empty(), "run_chaos_session: policy returned no nodes");
+        let n = specs.len();
+        let runtime = runtime.get_or_insert_with(|| {
+            health = vec![MachineHealth::default(); n];
+            ChaosRuntime::new(n, *config, session.chaos.clone())
+        });
+        assert_eq!(health.len(), n, "run_chaos_session: machine count changed mid-session");
+
+        let mut active: Vec<bool> =
+            health.iter().map(|h| round >= h.quarantined_until).collect();
+        if active.iter().filter(|&&a| a).count() < 2 {
+            // Quarantine must never starve the mechanism below its minimum
+            // participation: give everyone another chance instead.
+            for h in &mut health {
+                h.quarantined_until = round;
+            }
+            active = vec![true; n];
+        }
+
+        match runtime.run_round(mechanism, &specs, RoundId(u64::from(round)), &active) {
+            Ok(report) => {
+                total_messages += report.outcome.stats.messages;
+                total_bytes += report.outcome.stats.bytes;
+                total_retries += report.retries;
+                anomalies.merge(&report.anomalies);
+                faults.dropped += report.faults.dropped;
+                faults.duplicated += report.faults.duplicated;
+                faults.corrupted += report.faults.corrupted;
+                for i in 0..n {
+                    if !active[i] {
+                        continue; // quarantined: no chance given, no blame.
+                    }
+                    if report.excluded[i] {
+                        health[i].consecutive_exclusions += 1;
+                        health[i].total_exclusions += 1;
+                        if health[i].consecutive_exclusions >= session.quarantine_after {
+                            let spell = if health[i].last_spell == 0 {
+                                session.quarantine_rounds
+                            } else {
+                                (health[i].last_spell * 2).min(session.max_quarantine_rounds)
+                            };
+                            health[i].last_spell = spell;
+                            health[i].quarantined_until = round + 1 + spell;
+                            health[i].quarantine_spells += 1;
+                        }
+                    } else {
+                        if health[i].consecutive_exclusions > 0 {
+                            readmissions += 1;
+                        }
+                        health[i].consecutive_exclusions = 0;
+                        health[i].last_spell = 0;
+                    }
+                }
+                last_settled = Some(report.clone());
+                rounds.push(ChaosRoundResult::Settled(report));
+            }
+            Err(MechanismError::NeedTwoAgents) => {
+                aborted_rounds += 1;
+                // Chaos silenced (or quarantine sidelined) too many machines
+                // at once: wipe the slate so the next round can recruit all.
+                for h in &mut health {
+                    h.quarantined_until = round + 1;
+                    h.consecutive_exclusions = 0;
+                    h.last_spell = 0;
+                }
+                rounds.push(ChaosRoundResult::Aborted(MechanismError::NeedTwoAgents));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(ChaosSessionReport {
+        rounds,
+        health,
+        total_messages,
+        total_bytes,
+        total_retries,
+        anomalies,
+        faults,
+        aborted_rounds,
+        readmissions,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +411,200 @@ mod tests {
     fn zero_rounds_panics() {
         let mech = CompensationBonusMechanism::paper();
         let _ = run_session(&mech, &config(), 0, |_, _| vec![NodeSpec::truthful(1.0)]);
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use lb_mechanism::CompensationBonusMechanism;
+    use lb_sim::driver::SimulationConfig;
+    use lb_sim::server::ServiceModel;
+
+    const RATE: f64 = 12.0;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            total_rate: RATE,
+            link_latency: 0.001,
+            simulation: SimulationConfig {
+                horizon: 50.0,
+                seed: 5,
+                model: ServiceModel::StationaryDeterministic,
+                workload: Default::default(),
+                warmup: 0.0,
+                estimator: lb_sim::estimator::EstimatorConfig::default(),
+            },
+        }
+    }
+
+    fn specs(n: usize) -> Vec<NodeSpec> {
+        (0..n).map(|i| NodeSpec::truthful(1.0 + i as f64 * 0.5)).collect()
+    }
+
+    #[test]
+    fn reliable_chaos_session_matches_plain_session() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(6);
+        let plain = run_session(&mech, &config(), 4, |_, _| specs.clone()).unwrap();
+        let session = ChaosSessionConfig::new(4, ChaosConfig::reliable(0));
+        let report =
+            run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+
+        assert_eq!(report.rounds.len(), 4);
+        assert_eq!(report.aborted_rounds, 0);
+        assert_eq!(report.total_retries, 0);
+        assert_eq!(report.anomalies.total(), 0);
+        assert_eq!(report.faults, ChaosNetStats::default());
+        assert_eq!(report.total_messages, plain.total_messages);
+        assert_eq!(report.total_bytes, plain.total_bytes);
+        for (r, result) in report.rounds.iter().enumerate() {
+            let settled = result.settled().expect("reliable round settles");
+            assert_eq!(settled.outcome.payments, plain.rounds[r].payments, "round {r}");
+            assert_eq!(settled.outcome.rates, plain.rounds[r].rates, "round {r}");
+        }
+        assert!(report.health.iter().all(|h| *h == MachineHealth::default()));
+    }
+
+    #[test]
+    fn transient_fault_quarantine_then_readmission() {
+        // Machine 0's first 4 bid transmissions ever are lost — exactly its
+        // round-0 budget (1 initial + 3 retries). It is excluded in round 0,
+        // quarantined for round 1, and readmitted in round 2 where its fifth
+        // transmission finally gets through.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(3);
+        let chaos = ChaosConfig {
+            plan: FaultPlan { lose_bid_attempts: vec![(0, 4)], ..FaultPlan::none() },
+            ..ChaosConfig::reliable(1)
+        };
+        let session = ChaosSessionConfig { quarantine_after: 1, ..ChaosSessionConfig::new(3, chaos) };
+        let report =
+            run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+
+        let r0 = report.rounds[0].settled().expect("round 0 settles over the other two");
+        assert!(r0.excluded[0], "round 0: machine 0 silent through every retry");
+        assert_eq!(r0.retries, 3, "round 0 spends the full retry budget");
+
+        let r1 = report.rounds[1].settled().expect("round 1 settles");
+        assert!(r1.excluded[0], "round 1: machine 0 quarantined up front");
+        assert_eq!(r1.retries, 0, "no retransmission budget wasted on a quarantined machine");
+
+        let r2 = report.rounds[2].settled().expect("round 2 settles");
+        assert!(!r2.excluded[0], "round 2: machine 0 is back");
+        assert!(r2.outcome.rates[0] > 0.0);
+
+        assert_eq!(report.readmissions, 1);
+        assert_eq!(report.total_retries, 3);
+        assert_eq!(report.health[0].total_exclusions, 1);
+        assert_eq!(report.health[0].quarantine_spells, 1);
+        assert_eq!(report.health[0].consecutive_exclusions, 0);
+    }
+
+    #[test]
+    fn persistent_offender_backs_off_exponentially() {
+        // Machine 0 never gets a bid through: each time it returns from
+        // quarantine it re-offends, and its spells double up to the cap.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(3);
+        let chaos = ChaosConfig {
+            plan: FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() },
+            ..ChaosConfig::reliable(2)
+        };
+        let session = ChaosSessionConfig {
+            quarantine_after: 1,
+            quarantine_rounds: 1,
+            max_quarantine_rounds: 2,
+            ..ChaosSessionConfig::new(7, chaos)
+        };
+        let report =
+            run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+
+        // Active (and excluded) in rounds 0, 2, 5; quarantined 1, 3-4, 6.
+        assert_eq!(report.aborted_rounds, 0);
+        assert_eq!(report.health[0].total_exclusions, 3);
+        assert_eq!(report.health[0].quarantine_spells, 3);
+        assert_eq!(report.health[0].last_spell, 2, "spell doubled then hit the cap");
+        assert_eq!(report.total_retries, 9, "3 active rounds x 3 retries");
+        assert_eq!(report.readmissions, 0);
+        for result in &report.rounds {
+            let settled = result.settled().expect("two healthy machines keep settling");
+            assert!(settled.excluded[0]);
+            let total: f64 = settled.outcome.rates.iter().sum();
+            assert!((total - RATE).abs() < 1e-6);
+        }
+        // The healthy machines never suffer.
+        assert_eq!(report.health[1], MachineHealth::default());
+        assert_eq!(report.health[2], MachineHealth::default());
+    }
+
+    #[test]
+    fn aborted_rounds_are_recorded_and_session_continues() {
+        // Two machines, one permanently silent: every round fails its
+        // minimum-participation requirement, yet the session never panics
+        // and reports each abort.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(2);
+        let chaos = ChaosConfig {
+            plan: FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() },
+            ..ChaosConfig::reliable(3)
+        };
+        let session = ChaosSessionConfig::new(2, chaos);
+        let report =
+            run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+        assert_eq!(report.rounds.len(), 2);
+        assert_eq!(report.aborted_rounds, 2);
+        assert!(report.rounds.iter().all(|r| r.settled().is_none()));
+        assert_eq!(report.readmissions, 0);
+    }
+
+    #[test]
+    fn policy_sees_latest_settled_report() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(3);
+        let mut observed = Vec::new();
+        let session = ChaosSessionConfig::new(3, ChaosConfig::reliable(4));
+        let _ = run_chaos_session(&mech, &config(), &session, |round, prev| {
+            observed.push((round, prev.is_some()));
+            specs.clone()
+        })
+        .unwrap();
+        assert_eq!(observed, vec![(0, false), (1, true), (2, true)]);
+    }
+
+    #[test]
+    fn heavy_chaos_sessions_never_panic_and_keep_invariants() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(6);
+        for seed in 0..20u64 {
+            let session = ChaosSessionConfig::new(6, ChaosConfig::heavy(seed));
+            let report =
+                run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+            assert_eq!(report.rounds.len(), 6, "seed {seed}");
+            let mut settled_messages = 0;
+            for result in &report.rounds {
+                let Some(r) = result.settled() else { continue };
+                settled_messages += r.outcome.stats.messages;
+                let total: f64 = r.outcome.rates.iter().sum();
+                assert!((total - RATE).abs() < 1e-6, "seed {seed}");
+                for (i, &ex) in r.excluded.iter().enumerate() {
+                    if !ex {
+                        assert!(r.outcome.utilities[i] >= -1e-6, "seed {seed} machine {i}");
+                    }
+                }
+            }
+            assert_eq!(report.total_messages, settled_messages, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "machine count changed")]
+    fn machine_count_change_is_rejected() {
+        let mech = CompensationBonusMechanism::paper();
+        let session = ChaosSessionConfig::new(2, ChaosConfig::reliable(0));
+        let _ = run_chaos_session(&mech, &config(), &session, |round, _| {
+            specs(if round == 0 { 3 } else { 4 })
+        });
     }
 }

@@ -7,7 +7,7 @@
 //! bit-identical to the deterministic runtime — asserted by tests — while
 //! the transport is genuinely concurrent.
 
-use crate::codec::{decode, encode};
+use crate::codec::{decode, encode, CodecError};
 use crate::coordinator::{Coordinator, CoordinatorPhase};
 use crate::message::{Message, RoundId};
 use crate::network::MessageStats;
@@ -18,14 +18,23 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use lb_mechanism::{MechanismError, VerifiedMechanism};
 use parking_lot::Mutex;
 
-fn codec_err(e: crate::codec::CodecError) -> MechanismError {
+fn codec_err(e: CodecError) -> MechanismError {
     MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+}
+
+fn chan_err(context: &str) -> MechanismError {
+    MechanismError::Core(lb_core::CoreError::Infeasible {
+        reason: format!("protocol channel closed: {context}"),
+    })
 }
 
 /// Runs one protocol round with every node on its own thread.
 ///
 /// # Errors
-/// Propagates mechanism/simulation/codec errors.
+/// Propagates mechanism/simulation/codec errors. A codec failure on any
+/// thread (or a channel closed by an early error) surfaces as an `Err`; the
+/// worker threads shut down cleanly in every error path rather than
+/// panicking or deadlocking.
 ///
 /// # Panics
 /// Panics if `specs` is empty, or if a worker thread panics.
@@ -39,16 +48,6 @@ pub fn run_protocol_round_threaded<M: VerifiedMechanism + Sync>(
     let round = RoundId(0);
     let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
 
-    // Channels: coordinator -> node i, and a shared node -> coordinator lane.
-    let (to_coord_tx, to_coord_rx): (Sender<(u32, Bytes)>, Receiver<(u32, Bytes)>) = unbounded();
-    let mut to_node_txs: Vec<Sender<Option<Bytes>>> = Vec::with_capacity(n);
-    let mut node_rxs: Vec<Receiver<Option<Bytes>>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded();
-        to_node_txs.push(tx);
-        node_rxs.push(rx);
-    }
-
     let stats = Mutex::new(MessageStats::default());
     let count = |stats: &Mutex<MessageStats>, payload: &Bytes| {
         let mut s = stats.lock();
@@ -60,6 +59,22 @@ pub fn run_protocol_round_threaded<M: VerifiedMechanism + Sync>(
 
     let result: Result<(Vec<f64>, MessageStats), MechanismError> =
         crossbeam::thread::scope(|scope| {
+            // Channels: coordinator -> node i, and a shared node ->
+            // coordinator lane carrying `Result` so a worker can report a
+            // corrupt frame instead of panicking. Created *inside* the scope
+            // so an early `?` return drops every sender, unblocking worker
+            // `recv`s and letting the scope join instead of deadlocking.
+            type NodeFrame = (u32, Result<Bytes, CodecError>);
+            let (to_coord_tx, to_coord_rx): (Sender<NodeFrame>, Receiver<NodeFrame>) =
+                unbounded();
+            let mut to_node_txs: Vec<Sender<Option<Bytes>>> = Vec::with_capacity(n);
+            let mut node_rxs: Vec<Receiver<Option<Bytes>>> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (tx, rx) = unbounded();
+                to_node_txs.push(tx);
+                node_rxs.push(rx);
+            }
+
             // Node threads: decode incoming frames, reply through the shared lane.
             for (i, rx) in node_rxs.into_iter().enumerate() {
                 let to_coord = to_coord_tx.clone();
@@ -67,15 +82,33 @@ pub fn run_protocol_round_threaded<M: VerifiedMechanism + Sync>(
                 let stats = &stats;
                 let finished = &finished_nodes;
                 scope.spawn(move |_| {
-                    let mut agent = NodeAgent::new(u32::try_from(i).expect("fits u32"), spec);
+                    let machine = u32::try_from(i).expect("fits u32");
+                    let mut agent = NodeAgent::new(machine, spec);
                     while let Ok(Some(frame)) = rx.recv() {
-                        let message: Message = decode(&frame).expect("node: corrupt frame");
+                        let message: Message = match decode(&frame) {
+                            Ok(m) => m,
+                            Err(e) => {
+                                // Report the corrupt frame; the coordinator
+                                // turns it into a round error.
+                                let _ = to_coord.send((machine, Err(e)));
+                                break;
+                            }
+                        };
                         if let Some(reply) = agent.handle(&message) {
-                            let payload = encode(&reply).expect("node: encode failed");
-                            count(stats, &payload);
-                            to_coord
-                                .send((u32::try_from(i).expect("fits u32"), payload))
-                                .expect("coordinator hung up early");
+                            match encode(&reply) {
+                                Ok(payload) => {
+                                    count(stats, &payload);
+                                    if to_coord.send((machine, Ok(payload))).is_err() {
+                                        // Coordinator dropped the lane (early
+                                        // error return): shut down quietly.
+                                        break;
+                                    }
+                                }
+                                Err(e) => {
+                                    let _ = to_coord.send((machine, Err(e)));
+                                    break;
+                                }
+                            }
                         }
                     }
                     finished.lock()[i] = Some(agent);
@@ -84,28 +117,35 @@ pub fn run_protocol_round_threaded<M: VerifiedMechanism + Sync>(
             drop(to_coord_tx);
 
             // Coordinator: sequential state machine over the shared lane.
+            // Strict — the channel transport never corrupts or reorders
+            // per-sender, so a protocol violation here is a bug.
             let mut coordinator =
-                Coordinator::new(mechanism, n, config.total_rate, round, config.simulation);
+                Coordinator::new(mechanism, n, config.total_rate, round, config.simulation)
+                    .with_strict(true);
             for (i, msg) in coordinator.open().into_iter().enumerate() {
                 let payload = encode(&msg).map_err(codec_err)?;
                 count(&stats, &payload);
-                to_node_txs[i].send(Some(payload)).expect("node hung up");
+                to_node_txs[i].send(Some(payload)).map_err(|_| chan_err("node hung up"))?;
             }
 
             while coordinator.phase() != CoordinatorPhase::Done {
-                let (_, frame) = to_coord_rx.recv().expect("all nodes hung up");
+                let (_, frame) =
+                    to_coord_rx.recv().map_err(|_| chan_err("all nodes hung up"))?;
+                let frame = frame.map_err(codec_err)?;
                 let message: Message = decode(&frame).map_err(codec_err)?;
                 let outgoing = coordinator.handle(&message, &actual_exec)?;
                 for (i, msg) in outgoing {
                     let payload = encode(&msg).map_err(codec_err)?;
                     count(&stats, &payload);
-                    to_node_txs[i as usize].send(Some(payload)).expect("node hung up");
+                    to_node_txs[i as usize]
+                        .send(Some(payload))
+                        .map_err(|_| chan_err("node hung up"))?;
                 }
             }
 
             // Close node channels so threads exit and park their agents.
             for tx in &to_node_txs {
-                tx.send(None).expect("node hung up");
+                let _ = tx.send(None);
             }
             // Drain any straggler frames (none expected, but don't deadlock).
             while to_coord_rx.try_recv().is_ok() {}
@@ -188,6 +228,18 @@ mod tests {
         }
         // Same control-plane traffic.
         assert_eq!(st.stats, mt.stats);
+    }
+
+    #[test]
+    fn mechanism_error_shuts_down_workers_cleanly() {
+        // An invalid total rate makes allocation fail once the last bid is
+        // in. The error must surface as `Err` — not a panic, and not a
+        // deadlock waiting on worker threads.
+        let mech = CompensationBonusMechanism::paper();
+        let specs: Vec<NodeSpec> = vec![NodeSpec::truthful(1.0), NodeSpec::truthful(2.0)];
+        let mut cfg = config();
+        cfg.total_rate = -1.0;
+        assert!(run_protocol_round_threaded(&mech, &specs, &cfg).is_err());
     }
 
     #[test]

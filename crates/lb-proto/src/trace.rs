@@ -56,6 +56,97 @@ pub enum TraceViolation {
     },
 }
 
+/// A protocol irregularity observed *on-line* and absorbed gracefully.
+///
+/// This is the runtime counterpart of [`TraceViolation`]: where `replay_check`
+/// flags problems in an archived trace, an `Anomaly` is recorded the moment a
+/// graceful coordinator (or the chaos runtime) sees a message it must ignore.
+/// A byzantine or chaotic network can therefore raise anomaly counts but can
+/// never crash the mechanism centre.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Anomaly {
+    /// A machine bid more than once in the collection phase.
+    DuplicateBid,
+    /// A machine reported execution completion more than once.
+    DuplicateAck,
+    /// A message carried a round id other than the current round.
+    StaleRound,
+    /// A message type arrived outside the phase that expects it.
+    WrongPhase,
+    /// A message referenced a machine outside the round's roster, or arrived
+    /// from a participant with no standing in the round.
+    Unsolicited,
+    /// A bid from a machine already excluded by timeout — too late to count.
+    StaleAfterExclusion,
+    /// A frame failed its link-level integrity check and was discarded.
+    CorruptFrame,
+    /// A frame arrived at an endpoint that can never accept it (e.g. a
+    /// coordinator-originated message echoed back to the coordinator).
+    Misrouted,
+}
+
+/// Per-kind counters of absorbed [`Anomaly`] events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnomalyStats {
+    /// Count of [`Anomaly::DuplicateBid`].
+    pub duplicate_bids: u64,
+    /// Count of [`Anomaly::DuplicateAck`].
+    pub duplicate_acks: u64,
+    /// Count of [`Anomaly::StaleRound`].
+    pub stale_rounds: u64,
+    /// Count of [`Anomaly::WrongPhase`].
+    pub wrong_phase: u64,
+    /// Count of [`Anomaly::Unsolicited`].
+    pub unsolicited: u64,
+    /// Count of [`Anomaly::StaleAfterExclusion`].
+    pub stale_after_exclusion: u64,
+    /// Count of [`Anomaly::CorruptFrame`].
+    pub corrupt_frames: u64,
+    /// Count of [`Anomaly::Misrouted`].
+    pub misrouted: u64,
+}
+
+impl AnomalyStats {
+    /// Records one occurrence of `anomaly`.
+    pub fn record(&mut self, anomaly: Anomaly) {
+        match anomaly {
+            Anomaly::DuplicateBid => self.duplicate_bids += 1,
+            Anomaly::DuplicateAck => self.duplicate_acks += 1,
+            Anomaly::StaleRound => self.stale_rounds += 1,
+            Anomaly::WrongPhase => self.wrong_phase += 1,
+            Anomaly::Unsolicited => self.unsolicited += 1,
+            Anomaly::StaleAfterExclusion => self.stale_after_exclusion += 1,
+            Anomaly::CorruptFrame => self.corrupt_frames += 1,
+            Anomaly::Misrouted => self.misrouted += 1,
+        }
+    }
+
+    /// Total anomalies across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.duplicate_bids
+            + self.duplicate_acks
+            + self.stale_rounds
+            + self.wrong_phase
+            + self.unsolicited
+            + self.stale_after_exclusion
+            + self.corrupt_frames
+            + self.misrouted
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &AnomalyStats) {
+        self.duplicate_bids += other.duplicate_bids;
+        self.duplicate_acks += other.duplicate_acks;
+        self.stale_rounds += other.stale_rounds;
+        self.wrong_phase += other.wrong_phase;
+        self.unsolicited += other.unsolicited;
+        self.stale_after_exclusion += other.stale_after_exclusion;
+        self.corrupt_frames += other.corrupt_frames;
+        self.misrouted += other.misrouted;
+    }
+}
+
 /// Replays a trace and checks the protocol's causal invariants.
 ///
 /// `n` is the number of machines the round was opened with. Returns every
@@ -191,6 +282,28 @@ mod tests {
             v.contains(&TraceViolation::PaymentWithoutAssignment { machine: 0 }),
             "{v:?}"
         );
+    }
+
+    #[test]
+    fn anomaly_stats_record_total_and_merge() {
+        let mut a = AnomalyStats::default();
+        a.record(Anomaly::DuplicateBid);
+        a.record(Anomaly::DuplicateBid);
+        a.record(Anomaly::StaleRound);
+        assert_eq!(a.duplicate_bids, 2);
+        assert_eq!(a.total(), 3);
+
+        let mut b = AnomalyStats::default();
+        b.record(Anomaly::CorruptFrame);
+        b.record(Anomaly::Misrouted);
+        b.record(Anomaly::DuplicateAck);
+        b.record(Anomaly::WrongPhase);
+        b.record(Anomaly::Unsolicited);
+        b.record(Anomaly::StaleAfterExclusion);
+        a.merge(&b);
+        assert_eq!(a.total(), 9);
+        assert_eq!(a.corrupt_frames, 1);
+        assert_eq!(a.stale_after_exclusion, 1);
     }
 
     #[test]

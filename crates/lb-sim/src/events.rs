@@ -76,6 +76,25 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
+    /// Advances the clock to `time` without popping an event.
+    ///
+    /// Used by drivers that interleave this queue with another time source
+    /// (e.g. the protocol chaos runtime firing a retransmission timer while
+    /// the network queue is quiet): the clock moves forward so subsequent
+    /// relative scheduling is anchored at the caller's notion of *now*.
+    ///
+    /// # Panics
+    /// Panics if `time` is before the current clock, or if an event earlier
+    /// than `time` is still pending (popping it later would move time
+    /// backwards).
+    pub fn advance_to(&mut self, time: SimTime) {
+        assert!(time >= self.now, "EventQueue: advancing into the past ({time} < {})", self.now);
+        if let Some(next) = self.peek_time() {
+            assert!(time <= next, "EventQueue: advancing past a pending event at {next}");
+        }
+        self.now = time;
+    }
+
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|s| {
@@ -155,6 +174,33 @@ mod tests {
         q.schedule(SimTime::new(2.0), ());
         q.pop();
         q.schedule(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_between_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(5.0), ());
+        q.advance_to(SimTime::new(3.0));
+        assert_eq!(q.now(), SimTime::new(3.0));
+        q.schedule_in(1.0, ());
+        let (t, ()) = q.pop().unwrap();
+        assert_eq!(t, SimTime::new(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "advancing past a pending event")]
+    fn advance_past_pending_event_is_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(1.0), ());
+        q.advance_to(SimTime::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "advancing into the past")]
+    fn advance_backwards_is_rejected() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::new(2.0));
+        q.advance_to(SimTime::new(1.0));
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! The protocol under network faults: lost bids, partitions, lost acks —
-//! and the distributed payment audit that keeps the coordinator honest.
+//! The protocol under network faults: lost bids, partitions, lost acks,
+//! the distributed payment audit that keeps the coordinator honest — and
+//! the chaos runtime, whose retransmission protocol turns transient bid
+//! loss into a retry instead of an exclusion.
 //!
 //! ```text
 //! cargo run --example fault_tolerance
@@ -8,6 +10,7 @@
 use lbmv::core::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
 use lbmv::mechanism::CompensationBonusMechanism;
 use lbmv::proto::audit::{audit_settlement, SettlementRecord};
+use lbmv::proto::chaos::{run_chaos_round, ChaosConfig};
 use lbmv::proto::faults::{run_protocol_round_with_faults, FaultPlan};
 use lbmv::proto::{NodeSpec, ProtocolConfig};
 use lbmv::sim::driver::SimulationConfig;
@@ -65,6 +68,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "audit after skimming C5 by 1.0: verified = {}, disputed machines = {:?}",
         report.all_verified(),
         report.disputed()
+    );
+
+    // 4. Retransmission saves a flaky machine: C1's first bid transmission is
+    //    lost, but the chaos runtime re-requests it after a timeout and the
+    //    retry gets through — C1 is *included*, not excluded.
+    let mut chaos = ChaosConfig::reliable(17);
+    chaos.plan = FaultPlan { lose_bid_attempts: vec![(0, 1)], ..FaultPlan::none() };
+    let report = run_chaos_round(&mechanism, &specs, &config, &chaos)?;
+    println!("\nC1's first bid lost, retransmission succeeds:");
+    println!(
+        "  C1 excluded = {}, rate {:.2}, payment {:+.2}",
+        report.excluded[0], report.outcome.rates[0], report.outcome.payments[0]
+    );
+    println!(
+        "  retries = {}, messages = {}, anomalies = {}",
+        report.retries,
+        report.outcome.stats.messages,
+        report.anomalies.total()
+    );
+
+    // 5. Retry exhaustion: C1 stays silent through every re-request, so after
+    //    the bounded backoff schedule the coordinator falls back to exclusion
+    //    and the round settles over the survivors.
+    let mut chaos = ChaosConfig::reliable(17);
+    chaos.plan = FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() };
+    let report = run_chaos_round(&mechanism, &specs, &config, &chaos)?;
+    println!("\nC1 silent through all retries:");
+    println!(
+        "  C1 excluded = {}, retries = {}, total rate over survivors = {:.3}",
+        report.excluded[0],
+        report.retries,
+        report.outcome.rates.iter().sum::<f64>()
+    );
+
+    // 6. Probabilistic chaos: heavy seeded drop/duplicate/corrupt/jitter on
+    //    every link. The protocol absorbs what it can and excludes the rest;
+    //    the anomaly and fault counters show what the network did.
+    let report = run_chaos_round(&mechanism, &specs, &config, &ChaosConfig::heavy(17))?;
+    let survivors = report.excluded.iter().filter(|&&e| !e).count();
+    println!("\nheavy chaos (seed 17): {survivors}/16 machines settled");
+    println!(
+        "  faults injected: {} dropped, {} duplicated, {} corrupted",
+        report.faults.dropped, report.faults.duplicated, report.faults.corrupted
+    );
+    println!(
+        "  retries = {}, anomalies absorbed = {}, messages = {}",
+        report.retries,
+        report.anomalies.total(),
+        report.outcome.stats.messages
     );
     Ok(())
 }

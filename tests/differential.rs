@@ -4,11 +4,17 @@
 //! * protocol runtime ⇔ direct mechanism evaluation,
 //! * PR closed form ⇔ KKT solver,
 //! * capped allocation ⇔ unconstrained PR when caps are loose,
-//! * analytic frugality ⇔ empirical frugality.
+//! * analytic frugality ⇔ empirical frugality,
+//! * chaos runtime at zero fault probability ⇔ reliable runtimes
+//!   (single-threaded and threaded), bit for bit,
+//! * every chaos trace ⇔ clean `replay_check`.
 
 use lbmv::core::{pr_allocate, pr_allocate_capped, solve_convex, ConvexSolverOptions, Linear};
 use lbmv::mechanism::{run_mechanism, CompensationBonusMechanism, Profile};
-use lbmv::proto::{run_protocol_round, NodeSpec, ProtocolConfig};
+use lbmv::proto::{
+    replay_check, run_chaos_round, run_protocol_round, run_protocol_round_threaded, ChaosConfig,
+    NodeSpec, ProtocolConfig,
+};
 use lbmv::sim::driver::SimulationConfig;
 use lbmv::sim::server::ServiceModel;
 use proptest::prelude::*;
@@ -104,5 +110,82 @@ proptest! {
         prop_assert!(
             (frugality_ratio(&per_job) - analytic_frugality_uniform_per_job(n, rate)).abs() < 1e-9
         );
+    }
+
+    /// With every fault probability at zero the chaos runtime is bit-identical
+    /// to both reliable runtimes: same frames, same clock, same floats.
+    #[test]
+    fn prop_zero_fault_chaos_equals_reliable_runtimes(
+        trues in proptest::collection::vec(0.2f64..8.0, 2..10),
+        bid_factor in 0.3f64..4.0,
+        rate in 1.0f64..40.0,
+        chaos_seed in 0u64..1000,
+    ) {
+        let mech = CompensationBonusMechanism::paper();
+        let mut specs: Vec<NodeSpec> = trues.iter().map(|&t| NodeSpec::truthful(t)).collect();
+        specs[0] = NodeSpec::strategic(trues[0], trues[0] * bid_factor, trues[0]);
+
+        let mut config = proto_config();
+        config.total_rate = rate;
+        let reliable = run_protocol_round(&mech, &specs, &config).unwrap();
+        let threaded = run_protocol_round_threaded(&mech, &specs, &config).unwrap();
+        let chaos = run_chaos_round(&mech, &specs, &config, &ChaosConfig::reliable(chaos_seed))
+            .unwrap();
+
+        prop_assert_eq!(chaos.retries, 0);
+        prop_assert_eq!(chaos.anomalies.total(), 0);
+        for i in 0..trues.len() {
+            // Exact equality: identical message schedule implies identical
+            // estimator inputs, hence identical f64 results.
+            prop_assert_eq!(chaos.outcome.rates[i], reliable.rates[i]);
+            prop_assert_eq!(chaos.outcome.payments[i], reliable.payments[i]);
+            prop_assert_eq!(chaos.outcome.utilities[i], reliable.utilities[i]);
+            prop_assert_eq!(chaos.outcome.estimated_exec_values[i], reliable.estimated_exec_values[i]);
+            prop_assert_eq!(chaos.outcome.rates[i], threaded.rates[i]);
+            prop_assert_eq!(chaos.outcome.payments[i], threaded.payments[i]);
+            prop_assert_eq!(chaos.outcome.utilities[i], threaded.utilities[i]);
+            prop_assert_eq!(chaos.outcome.estimated_exec_values[i], threaded.estimated_exec_values[i]);
+        }
+        prop_assert_eq!(chaos.outcome.stats.messages, reliable.stats.messages);
+        prop_assert_eq!(chaos.outcome.stats.bytes, reliable.stats.bytes);
+    }
+
+    /// Every trace the chaos runtime emits — under arbitrary fault pressure —
+    /// passes the replay checker: the coordinator's-eye view of the round is
+    /// always causally and temporally consistent.
+    #[test]
+    fn prop_chaos_traces_always_replay_cleanly(
+        trues in proptest::collection::vec(0.2f64..8.0, 3..10),
+        rate in 1.0f64..40.0,
+        chaos_seed in 0u64..1000,
+        drop_prob in 0.0f64..0.3,
+        duplicate_prob in 0.0f64..0.3,
+        corrupt_prob in 0.0f64..0.3,
+    ) {
+        let mech = CompensationBonusMechanism::paper();
+        let specs: Vec<NodeSpec> = trues.iter().map(|&t| NodeSpec::truthful(t)).collect();
+
+        let mut config = proto_config();
+        config.total_rate = rate;
+        let mut chaos_cfg = ChaosConfig::reliable(chaos_seed);
+        chaos_cfg.drop_prob = drop_prob;
+        chaos_cfg.duplicate_prob = duplicate_prob;
+        chaos_cfg.corrupt_prob = corrupt_prob;
+        chaos_cfg.jitter = 0.004;
+
+        match run_chaos_round(&mech, &specs, &config, &chaos_cfg) {
+            Ok(report) => {
+                let violations = replay_check(&report.trace, trues.len());
+                prop_assert!(
+                    violations.is_empty(),
+                    "replay violations under chaos: {:?}", violations
+                );
+            }
+            // Heavy chaos may legitimately silence too many machines.
+            Err(e) => prop_assert!(
+                matches!(e, lbmv::mechanism::MechanismError::NeedTwoAgents),
+                "unexpected error: {e}"
+            ),
+        }
     }
 }
