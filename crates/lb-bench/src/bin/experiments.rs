@@ -108,6 +108,10 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
             "Dynamic load: static shares vs per-epoch reallocation",
             &figures::dynamic_demo()?.render(),
         ),
+        "telemetry" => print_section(
+            "Telemetry: chaotic session timeline and metrics snapshot",
+            &figures::telemetry_demo()?,
+        ),
         "ablation" => {
             print_section(
                 "Ablation: verification on/off (C1 payment per experiment)",
@@ -123,7 +127,7 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
                 "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig1-sim",
                 "messages", "ablation", "faults", "audit", "learning", "mm1", "bursty", "dynamic",
                 "multi-liar", "sensitivity", "churn", "fees", "percentiles", "baselines",
-                "chart-fig1", "chart-fig2",
+                "telemetry", "chart-fig1", "chart-fig2",
             ] {
                 run(t)?;
             }
@@ -131,7 +135,7 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
         other => {
             eprintln!("unknown target '{other}'");
             eprintln!(
-                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic all"
+                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry all"
             );
             std::process::exit(2);
         }

@@ -793,6 +793,52 @@ pub fn figure1_simulated(horizon: f64, seed: u64) -> Result<Table, MechanismErro
     Ok(t)
 }
 
+/// Observability demo: a chaotic multi-round session recorded end-to-end by
+/// a telemetry ring, rendered as a protocol timeline plus the metrics
+/// snapshot derived from the same recording. A small 4-machine system keeps
+/// the timeline readable.
+///
+/// # Errors
+/// Propagates mechanism errors from the session.
+pub fn telemetry_demo() -> Result<String, MechanismError> {
+    use lb_proto::{run_chaos_session_observed, ChaosConfig, ChaosSessionConfig};
+    use lb_telemetry::{render_timeline, MetricsRegistry, RingCollector};
+    use std::sync::Arc;
+
+    let config = ProtocolConfig {
+        // Feasible for every >= 2-machine subset, so chaotic exclusions
+        // never make the allocation itself infeasible.
+        total_rate: 0.8,
+        link_latency: 0.001,
+        simulation: SimulationConfig {
+            horizon: 300.0,
+            seed: 9,
+            model: ServiceModel::StationaryDeterministic,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: EstimatorConfig::default(),
+        },
+    };
+    let session = ChaosSessionConfig::new(3, ChaosConfig::heavy(11));
+    let trues = [1.0, 1.0, 2.0, 2.0];
+    let ring = Arc::new(RingCollector::new(65_536));
+    run_chaos_session_observed(
+        &CompensationBonusMechanism::paper(),
+        &config,
+        &session,
+        |_, _| trues.iter().map(|&t| NodeSpec::truthful(t)).collect(),
+        ring.clone(),
+    )?;
+
+    let events = ring.snapshot();
+    let mut registry = MetricsRegistry::new();
+    registry.ingest(&events);
+    let mut out = render_timeline(&events);
+    out.push('\n');
+    out.push_str(&registry.snapshot().to_text());
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -846,6 +892,13 @@ mod tests {
     #[test]
     fn churn_table_builds() {
         assert_eq!(churn_demo().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn telemetry_demo_renders_spans_and_counters() {
+        let s = telemetry_demo().unwrap();
+        assert!(s.contains("phase.collect_bids"), "{s}");
+        assert!(s.contains("net.messages"), "{s}");
     }
 
     #[test]

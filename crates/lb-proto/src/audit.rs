@@ -103,6 +103,25 @@ pub fn audit_broadcast_cost(record: &SettlementRecord, n: usize) -> Result<Messa
     Ok(MessageStats { messages: n as u64, bytes: bytes * n as u64 })
 }
 
+/// [`audit_broadcast_cost`], additionally recording the cost into a
+/// telemetry collector as `audit.messages` / `audit.bytes` counters at time
+/// `at` — so a session recording can account for the audit broadcast
+/// alongside the control-plane traffic it rides on.
+///
+/// # Errors
+/// Propagates codec errors.
+pub fn audit_broadcast_cost_observed(
+    record: &SettlementRecord,
+    n: usize,
+    at: f64,
+    collector: &dyn lb_telemetry::Collector,
+) -> Result<MessageStats, MechanismError> {
+    let stats = audit_broadcast_cost(record, n)?;
+    collector.counter(at, "audit.messages", lb_telemetry::Subsystem::Coordinator, stats.messages);
+    collector.counter(at, "audit.bytes", lb_telemetry::Subsystem::Coordinator, stats.bytes);
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +206,21 @@ mod tests {
         assert_eq!(cost32.bytes, 2 * cost16.bytes);
         // The record serialises compactly: 3 f64 vectors + rate.
         assert!(cost16.bytes / 16 < 1024, "record too large: {} bytes", cost16.bytes / 16);
+    }
+
+    #[test]
+    fn observed_broadcast_cost_matches_the_registry_counters() {
+        use lb_telemetry::{MetricsRegistry, RingCollector};
+        let record = settled_record();
+        let n = record.bids.len();
+        let ring = RingCollector::new(16);
+        let stats = audit_broadcast_cost_observed(&record, n, 1.5, &ring).unwrap();
+        assert_eq!(stats, audit_broadcast_cost(&record, n).unwrap());
+
+        let mut reg = MetricsRegistry::new();
+        reg.ingest(&ring.snapshot());
+        assert_eq!(reg.counter("audit.messages"), stats.messages);
+        assert_eq!(reg.counter("audit.bytes"), stats.bytes);
     }
 
     #[test]

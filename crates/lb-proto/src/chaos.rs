@@ -31,8 +31,10 @@ use lb_mechanism::{MechanismError, VerifiedMechanism};
 use lb_sim::events::EventQueue;
 use lb_sim::time::SimTime;
 use lb_stats::{Rng, Xoshiro256StarStar};
+use lb_telemetry::{noop_collector, Collector, Field, Subsystem};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 fn codec_err(e: crate::codec::CodecError) -> MechanismError {
     MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
@@ -235,6 +237,7 @@ pub struct ChaosRuntime {
     /// Session-cumulative bid-transmission counts for the declarative
     /// `lose_bid_attempts` faults (shared with the per-round injector).
     bid_attempts: Rc<RefCell<Vec<u32>>>,
+    collector: Arc<dyn Collector>,
 }
 
 impl std::fmt::Debug for ChaosRuntime {
@@ -263,7 +266,26 @@ impl ChaosRuntime {
             protocol,
             n,
             bid_attempts: Rc::new(RefCell::new(vec![0; n])),
+            collector: noop_collector(),
         }
+    }
+
+    /// The current unified simulated time of the runtime (network clock and
+    /// timer clock in lockstep) — the timestamp source for session-level
+    /// telemetry.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.network.now().max(self.timers.now())
+    }
+
+    /// Attaches a telemetry collector. It is forwarded to the underlying
+    /// network (frame-level `net.*` events) and to every round's coordinator
+    /// (`round`/`phase.*` spans, anomaly and exclusion instants); the runtime
+    /// itself adds `chaos.retransmit` instants, `chaos.backoff` delay samples
+    /// and link-level anomaly instants. All events carry simulated time.
+    pub fn set_collector(&mut self, collector: Arc<dyn Collector>) {
+        self.network.set_collector(Arc::clone(&collector));
+        self.collector = collector;
     }
 
     /// Runs one round over the chaotic network.
@@ -292,22 +314,44 @@ impl ChaosRuntime {
         assert_eq!(specs.len(), n, "run_round: specs length mismatch");
         assert_eq!(active.len(), n, "run_round: active length mismatch");
 
+        let mut sim = self.protocol.simulation;
+        sim.seed = sim.seed.wrapping_add(round.0);
+        let mut coordinator = Coordinator::new(mechanism, n, self.protocol.total_rate, round, sim)
+            .with_collector(Arc::clone(&self.collector));
+        coordinator.set_now(self.network.now().max(self.timers.now()).seconds());
+        for (i, &is_active) in active.iter().enumerate() {
+            if !is_active {
+                coordinator.exclude(i);
+            }
+        }
+
+        let result = self.drive_round(mechanism, specs, round, &mut coordinator, active);
+        if result.is_err() {
+            // A failed round (e.g. NeedTwoAgents) abandons the coordinator
+            // mid-phase; close its spans so the recording replays cleanly.
+            coordinator.end_telemetry();
+        }
+        result
+    }
+
+    /// The event loop of one round, split out of [`ChaosRuntime::run_round`]
+    /// so every `?` exit funnels through one place that can close the
+    /// coordinator's telemetry spans.
+    fn drive_round<M: VerifiedMechanism>(
+        &mut self,
+        mechanism: &M,
+        specs: &[NodeSpec],
+        round: RoundId,
+        coordinator: &mut Coordinator<'_>,
+        active: &[bool],
+    ) -> Result<ChaosRoundReport, MechanismError> {
+        let n = self.n;
         let mut nodes: Vec<NodeAgent> = specs
             .iter()
             .enumerate()
             .map(|(i, &spec)| NodeAgent::new(u32::try_from(i).expect("fits u32"), spec))
             .collect();
         let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
-
-        let mut sim = self.protocol.simulation;
-        sim.seed = sim.seed.wrapping_add(round.0);
-        let mut coordinator =
-            Coordinator::new(mechanism, n, self.protocol.total_rate, round, sim);
-        for (i, &is_active) in active.iter().enumerate() {
-            if !is_active {
-                coordinator.exclude(i);
-            }
-        }
 
         // Fresh per-round injector: fresh RNG stream, but session-cumulative
         // bid-attempt counts.
@@ -360,6 +404,7 @@ impl ChaosRuntime {
                     // Defensive: no pending events but the round is stuck.
                     // Fall back to the declarative runtime's drain-timeout
                     // rules so the round always terminates.
+                    coordinator.set_now(now.seconds());
                     match coordinator.phase() {
                         CoordinatorPhase::Done => break,
                         CoordinatorPhase::CollectingBids => {
@@ -387,7 +432,7 @@ impl ChaosRuntime {
                 match self.network.poll().map_err(codec_err)?.expect("arrival pending") {
                     NetPoll::Corrupt { at, .. } => {
                         now = now.max(at);
-                        runtime_anomalies.record(Anomaly::CorruptFrame);
+                        self.note_link_anomaly(now, &mut runtime_anomalies, Anomaly::CorruptFrame);
                     }
                     NetPoll::Frame(delivery) => {
                         now = now.max(delivery.at);
@@ -397,10 +442,18 @@ impl ChaosRuntime {
                                 if idx >= n || delivery.message.machine().is_some() {
                                     // Addressed nowhere, or a node-originated
                                     // message bounced back to a node.
-                                    runtime_anomalies.record(Anomaly::Misrouted);
+                                    self.note_link_anomaly(
+                                        now,
+                                        &mut runtime_anomalies,
+                                        Anomaly::Misrouted,
+                                    );
                                 } else if delivery.message.round() != round {
                                     // Straggler from a previous round.
-                                    runtime_anomalies.record(Anomaly::StaleRound);
+                                    self.note_link_anomaly(
+                                        now,
+                                        &mut runtime_anomalies,
+                                        Anomaly::StaleRound,
+                                    );
                                 } else if let Some(reply) = nodes[idx].handle(&delivery.message)
                                 {
                                     self.network
@@ -409,6 +462,7 @@ impl ChaosRuntime {
                                 }
                             }
                             Endpoint::Coordinator => {
+                                coordinator.set_now(now.seconds());
                                 let before = coordinator.anomalies().total();
                                 let outgoing =
                                     coordinator.handle(&delivery.message, &actual_exec)?;
@@ -432,6 +486,7 @@ impl ChaosRuntime {
                 // was chosen only when no earlier frame is pending.
                 self.network.advance_to(at);
                 now = now.max(at);
+                coordinator.set_now(now.seconds());
                 match timer {
                     ChaosTimer::BidTimeout { round: r, attempt } if r == round => {
                         if coordinator.phase() == CoordinatorPhase::CollectingBids {
@@ -443,6 +498,17 @@ impl ChaosRuntime {
                             } else {
                                 for &i in &missing {
                                     retries += 1;
+                                    if self.collector.enabled() {
+                                        self.collector.instant(
+                                            now.seconds(),
+                                            "chaos.retransmit",
+                                            Subsystem::Chaos,
+                                            vec![
+                                                Field::u64("machine", u64::from(i)),
+                                                Field::u64("attempt", u64::from(attempt)),
+                                            ],
+                                        );
+                                    }
                                     let msg = Message::RequestBid { round };
                                     trace.entries.push(TraceEntry {
                                         at: now.seconds(),
@@ -459,6 +525,12 @@ impl ChaosRuntime {
                                         .chaos
                                         .backoff
                                         .powi(i32::try_from(attempt + 1).unwrap_or(i32::MAX));
+                                self.collector.histogram(
+                                    now.seconds(),
+                                    "chaos.backoff",
+                                    Subsystem::Chaos,
+                                    delay,
+                                );
                                 self.timers.schedule(
                                     now + delay,
                                     ChaosTimer::BidTimeout { round, attempt: attempt + 1 },
@@ -525,6 +597,21 @@ impl ChaosRuntime {
                 corrupted: self.network.corrupted() - corrupted0,
             },
         })
+    }
+
+    /// Counts a link-level anomaly and mirrors it as an `anomaly` telemetry
+    /// instant on the chaos lane (the coordinator emits its own for the
+    /// frames it absorbs itself).
+    fn note_link_anomaly(&self, at: SimTime, stats: &mut AnomalyStats, anomaly: Anomaly) {
+        stats.record(anomaly);
+        if self.collector.enabled() {
+            self.collector.instant(
+                at.seconds(),
+                "anomaly",
+                Subsystem::Chaos,
+                vec![Field::str("kind", anomaly.name())],
+            );
+        }
     }
 
     /// Sends coordinator-outbound messages, recording them in the trace at
@@ -815,5 +902,66 @@ mod tests {
     fn invalid_probability_is_rejected() {
         let chaos = ChaosConfig { drop_prob: 1.5, ..ChaosConfig::reliable(0) };
         let _ = ChaosRuntime::new(2, config(), chaos);
+    }
+
+    #[test]
+    fn instrumented_chaotic_round_records_a_replayable_story() {
+        use lb_telemetry::{replay_spans, MetricsRegistry, RingCollector};
+
+        // A lost first bid forces a retransmission; heavy chaos on top makes
+        // sure drops, duplicates and corruption all appear in the recording.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        let chaos = ChaosConfig {
+            plan: FaultPlan { lose_bid_attempts: vec![(0, 1)], ..FaultPlan::none() },
+            ..ChaosConfig::heavy(7)
+        };
+        let ring = Arc::new(RingCollector::new(65_536));
+        let mut runtime = ChaosRuntime::new(specs.len(), config(), chaos);
+        runtime.set_collector(ring.clone());
+        let report =
+            runtime.run_round(&mech, &specs, RoundId(0), &vec![true; specs.len()]).unwrap();
+
+        let events = ring.snapshot();
+        assert_eq!(ring.overwritten(), 0, "ring too small for the round");
+
+        // The span story replays cleanly: one round span, nested phases.
+        let spans = replay_spans(&events).unwrap();
+        assert_eq!(spans.iter().filter(|s| s.name == "round").count(), 1);
+        assert!(spans.iter().any(|s| s.name == "phase.collect_bids" && s.depth == 1));
+        assert!(spans.iter().any(|s| s.name == "phase.settle" && s.depth == 1));
+
+        // Retransmissions and anomalies are visible one-for-one.
+        let retransmits = events.iter().filter(|e| e.name == "chaos.retransmit").count();
+        assert_eq!(retransmits as u64, report.retries);
+        let anomaly_instants = events.iter().filter(|e| e.name == "anomaly").count();
+        assert_eq!(anomaly_instants as u64, report.anomalies.total());
+
+        // The registry's wire counters agree with the report's statistics.
+        let mut reg = MetricsRegistry::new();
+        reg.ingest(&events);
+        assert_eq!(reg.counter("net.messages"), report.outcome.stats.messages);
+        assert_eq!(reg.counter("net.bytes"), report.outcome.stats.bytes);
+        assert_eq!(reg.counter("net.fate.dropped"), report.faults.dropped);
+        assert_eq!(reg.counter("anomaly.total"), report.anomalies.total());
+    }
+
+    #[test]
+    fn telemetry_is_inert_by_default() {
+        // An uninstrumented runtime must behave bit-identically to one with
+        // an explicit noop collector attached.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        let chaos = ChaosConfig::heavy(11);
+        let mut plain = ChaosRuntime::new(specs.len(), config(), chaos.clone());
+        let mut noop = ChaosRuntime::new(specs.len(), config(), chaos);
+        noop.set_collector(lb_telemetry::noop_collector());
+        let active = vec![true; specs.len()];
+        let a = plain.run_round(&mech, &specs, RoundId(0), &active).unwrap();
+        let b = noop.run_round(&mech, &specs, RoundId(0), &active).unwrap();
+        assert_eq!(a.outcome.payments, b.outcome.payments);
+        assert_eq!(a.outcome.rates, b.outcome.rates);
+        assert_eq!(a.outcome.stats, b.outcome.stats);
+        assert_eq!(a.retries, b.retries);
     }
 }

@@ -24,6 +24,9 @@ use crate::trace::{Anomaly, AnomalyStats};
 use lb_core::Allocation;
 use lb_mechanism::{MechanismError, VerifiedMechanism};
 use lb_sim::driver::{simulate_round, SimulationConfig};
+use lb_telemetry::{noop_collector, Collector, Field, Phase, SpanId, Subsystem};
+use std::cell::Cell;
+use std::sync::Arc;
 
 /// Phase of the coordinator's round state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +56,15 @@ pub struct Coordinator<'m> {
     payments: Option<Vec<f64>>,
     strict: bool,
     anomalies: AnomalyStats,
+    collector: Arc<dyn Collector>,
+    /// Logical clock for telemetry, in seconds. The coordinator has no clock
+    /// of its own; drivers call [`Coordinator::set_now`] before each handle
+    /// or close call (sim time in the deterministic runtimes, a monotonic
+    /// offset in the threaded one).
+    now: Cell<f64>,
+    round_span: Cell<SpanId>,
+    phase_span: Cell<SpanId>,
+    spans_started: Cell<bool>,
 }
 
 impl std::fmt::Debug for Coordinator<'_> {
@@ -93,6 +105,106 @@ impl<'m> Coordinator<'m> {
             payments: None,
             strict: false,
             anomalies: AnomalyStats::default(),
+            collector: noop_collector(),
+            now: Cell::new(0.0),
+            round_span: Cell::new(SpanId::NULL),
+            phase_span: Cell::new(SpanId::NULL),
+            spans_started: Cell::new(false),
+        }
+    }
+
+    /// Attaches a telemetry collector. The coordinator then emits a `round`
+    /// span with nested `phase.*` spans, an `anomaly` instant per absorbed
+    /// irregularity and an `exclude` instant per exclusion, all timestamped
+    /// with the clock fed through [`Coordinator::set_now`]. The default is
+    /// the free noop collector.
+    #[must_use]
+    pub fn with_collector(mut self, collector: Arc<dyn Collector>) -> Self {
+        self.collector = collector;
+        self
+    }
+
+    /// Advances the coordinator's logical telemetry clock (seconds). Call
+    /// before delivering a message or closing a phase so emitted events carry
+    /// the driver's time; never moves backwards on its own.
+    pub fn set_now(&self, at: f64) {
+        self.now.set(at);
+    }
+
+    /// The attached telemetry collector (the noop collector by default).
+    #[must_use]
+    pub fn collector(&self) -> &Arc<dyn Collector> {
+        &self.collector
+    }
+
+    /// Opens the `round` span (and the collect-bids phase span) on first
+    /// use. Lazy so that un-instrumented coordinators never allocate ids.
+    fn ensure_round_span(&self) {
+        if self.spans_started.get() || !self.collector.enabled() {
+            return;
+        }
+        self.spans_started.set(true);
+        let at = self.now.get();
+        let round = self.collector.span_start(
+            at,
+            "round",
+            Subsystem::Coordinator,
+            vec![
+                Field::u64("round", self.round.0),
+                Field::u64("n", self.bids.len() as u64),
+            ],
+        );
+        self.round_span.set(round);
+        self.phase_span.set(self.collector.span_start_in(
+            at,
+            Phase::CollectBids.span_name(),
+            Subsystem::Coordinator,
+            round,
+            Vec::new(),
+        ));
+    }
+
+    /// Ends the current phase span and, unless `next` is `None`, opens the
+    /// next one under the round span.
+    fn switch_phase_span(&self, next: Option<Phase>, fields: Vec<Field>) {
+        if !self.collector.enabled() || !self.spans_started.get() {
+            return;
+        }
+        let at = self.now.get();
+        let current = self.phase_span.get();
+        if !current.is_null() {
+            self.collector.span_end(at, current);
+        }
+        match next {
+            Some(phase) => self.phase_span.set(self.collector.span_start_in(
+                at,
+                phase.span_name(),
+                Subsystem::Coordinator,
+                self.round_span.get(),
+                fields,
+            )),
+            None => self.phase_span.set(SpanId::NULL),
+        }
+    }
+
+    /// Closes any telemetry spans still open — call when abandoning a round
+    /// midway (e.g. a session aborting on `NeedTwoAgents`) so the recording
+    /// still replays cleanly. A settled round has already closed its spans;
+    /// calling this again is a no-op.
+    pub fn end_telemetry(&self) {
+        if !self.spans_started.get() {
+            return;
+        }
+        let at = self.now.get();
+        let phase = self.phase_span.get();
+        if !phase.is_null() {
+            self.collector.span_end(at, phase);
+            self.phase_span.set(SpanId::NULL);
+        }
+        let round = self.round_span.get();
+        if !round.is_null() {
+            self.collector.span_end(at, round);
+            self.round_span.set(SpanId::NULL);
         }
     }
 
@@ -149,13 +261,32 @@ impl<'m> Coordinator<'m> {
             "exclude outside collection phase"
         );
         assert!(machine < self.excluded.len(), "coordinator: machine out of range");
+        self.ensure_round_span();
         self.excluded[machine] = true;
+        self.collector.instant(
+            self.now.get(),
+            "exclude",
+            Subsystem::Coordinator,
+            vec![Field::u64("machine", machine as u64), Field::str("reason", "quarantine")],
+        );
+    }
+
+    /// Records an anomaly in the stats and as an `anomaly` telemetry
+    /// instant.
+    fn note_anomaly(&mut self, anomaly: Anomaly) {
+        self.anomalies.record(anomaly);
+        self.collector.instant(
+            self.now.get(),
+            "anomaly",
+            Subsystem::Coordinator,
+            vec![Field::str("kind", anomaly.name())],
+        );
     }
 
     /// Records an anomaly and returns the empty reply set; panics instead
     /// when strict.
     fn reject(&mut self, anomaly: Anomaly, context: &str) -> Vec<(u32, Message)> {
-        self.anomalies.record(anomaly);
+        self.note_anomaly(anomaly);
         assert!(!self.strict, "{context}");
         Vec::new()
     }
@@ -163,6 +294,7 @@ impl<'m> Coordinator<'m> {
     /// Opening messages: one bid request per node.
     #[must_use]
     pub fn open(&self) -> Vec<Message> {
+        self.ensure_round_span();
         (0..self.bids.len()).map(|_| Message::RequestBid { round: self.round }).collect()
     }
 
@@ -197,6 +329,7 @@ impl<'m> Coordinator<'m> {
         message: &Message,
         actual_exec_values: &[f64],
     ) -> Result<Vec<(u32, Message)>, MechanismError> {
+        self.ensure_round_span();
         if message.round() != self.round {
             return Ok(self.reject(Anomaly::StaleRound, "coordinator: wrong round"));
         }
@@ -211,7 +344,7 @@ impl<'m> Coordinator<'m> {
                     // in whatever phase it straggles in, even under strict
                     // mode (losing a race against the timeout is the
                     // network's fault, not a protocol violation).
-                    self.anomalies.record(Anomaly::StaleAfterExclusion);
+                    self.note_anomaly(Anomaly::StaleAfterExclusion);
                     return Ok(Vec::new());
                 }
                 if self.phase != CoordinatorPhase::CollectingBids {
@@ -241,13 +374,13 @@ impl<'m> Coordinator<'m> {
                 if self.excluded[idx] {
                     // An excluded machine has nothing to complete; its ack
                     // carries no standing in the round.
-                    self.anomalies.record(Anomaly::Unsolicited);
+                    self.note_anomaly(Anomaly::Unsolicited);
                     return Ok(Vec::new());
                 }
                 if self.done[idx] {
                     // A duplicated ack is idempotent: settlement depends on
                     // the set of completed machines, not the ack count.
-                    self.anomalies.record(Anomaly::DuplicateAck);
+                    self.note_anomaly(Anomaly::DuplicateAck);
                     return Ok(Vec::new());
                 }
                 self.done[idx] = true;
@@ -280,9 +413,16 @@ impl<'m> Coordinator<'m> {
             self.phase == CoordinatorPhase::CollectingBids,
             "close_bidding outside collection phase"
         );
+        self.ensure_round_span();
         for i in 0..self.bids.len() {
-            if self.bids[i].is_none() {
+            if self.bids[i].is_none() && !self.excluded[i] {
                 self.excluded[i] = true;
+                self.collector.instant(
+                    self.now.get(),
+                    "exclude",
+                    Subsystem::Coordinator,
+                    vec![Field::u64("machine", i as u64), Field::str("reason", "timeout")],
+                );
             }
         }
         if self.respondents().len() < 2 {
@@ -315,13 +455,28 @@ impl<'m> Coordinator<'m> {
             // two participants to run.
             return Err(MechanismError::NeedTwoAgents);
         }
+        self.switch_phase_span(
+            Some(Phase::Allocate),
+            vec![Field::u64("respondents", respondents.len() as u64)],
+        );
         let sub_bids: Vec<f64> =
             respondents.iter().map(|&i| self.bids[i].expect("respondent has bid")).collect();
         let sub_exec: Vec<f64> = respondents.iter().map(|&i| actual_exec_values[i]).collect();
         let sub_alloc = self.mechanism.allocate(&sub_bids, self.total_rate)?;
 
-        // Execution + verification over the participating machines.
+        // Execution + verification over the participating machines. The
+        // verification simulation runs on its own internal clock, so it is
+        // summarised here as an instant rather than nested spans.
         let report = simulate_round(&sub_bids, &sub_exec, self.total_rate, &self.sim_config)?;
+        self.collector.instant(
+            self.now.get(),
+            "verify",
+            Subsystem::Coordinator,
+            vec![
+                Field::u64("machines", respondents.len() as u64),
+                Field::f64("horizon", self.sim_config.horizon),
+            ],
+        );
 
         // Scatter into full-width vectors (excluded machines: rate 0, no
         // verification evidence).
@@ -345,11 +500,16 @@ impl<'m> Coordinator<'m> {
             .collect();
         self.allocation = Some(Allocation::new(rates, self.total_rate)?);
         self.phase = CoordinatorPhase::Executing;
+        self.switch_phase_span(Some(Phase::Execute), Vec::new());
         Ok(assigns)
     }
 
     fn settle(&mut self) -> Result<Vec<(u32, Message)>, MechanismError> {
         let respondents = self.respondents();
+        self.switch_phase_span(
+            Some(Phase::Settle),
+            vec![Field::u64("completed", respondents.iter().filter(|&&i| self.done[i]).count() as u64)],
+        );
         let sub_bids: Vec<f64> =
             respondents.iter().map(|&i| self.bids[i].expect("respondent has bid")).collect();
         let allocation = self.allocation.as_ref().expect("allocation computed");
@@ -375,6 +535,8 @@ impl<'m> Coordinator<'m> {
             .collect();
         self.payments = Some(payments);
         self.phase = CoordinatorPhase::Done;
+        self.switch_phase_span(None, Vec::new());
+        self.end_telemetry();
         Ok(out)
     }
 
@@ -554,6 +716,74 @@ mod tests {
             .unwrap();
         assert_eq!(payments.len(), 2);
         assert_eq!(c.phase(), CoordinatorPhase::Done);
+    }
+
+    #[test]
+    fn instrumented_round_emits_clean_phase_spans_and_anomalies() {
+        use lb_telemetry::{replay_spans, EventKind, RingCollector};
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0];
+        let ring = Arc::new(RingCollector::new(256));
+        let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(3), config())
+            .with_collector(ring.clone());
+
+        c.set_now(0.0);
+        let _ = c.open();
+        c.set_now(0.1);
+        c.handle(&Message::Bid { round: RoundId(3), machine: 0, value: 1.0 }, &trues).unwrap();
+        // A duplicate bid mid-round surfaces as an anomaly instant.
+        c.set_now(0.15);
+        c.handle(&Message::Bid { round: RoundId(3), machine: 0, value: 1.0 }, &trues).unwrap();
+        c.set_now(0.2);
+        c.handle(&Message::Bid { round: RoundId(3), machine: 1, value: 2.0 }, &trues).unwrap();
+        c.set_now(0.4);
+        c.handle(&Message::ExecutionDone { round: RoundId(3), machine: 0 }, &trues).unwrap();
+        c.set_now(0.5);
+        c.handle(&Message::ExecutionDone { round: RoundId(3), machine: 1 }, &trues).unwrap();
+
+        let events = ring.snapshot();
+        let spans = replay_spans(&events).expect("recording replays cleanly");
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in
+            ["round", "phase.collect_bids", "phase.allocate", "phase.execute", "phase.settle"]
+        {
+            assert!(names.contains(&expected), "missing span {expected}: {names:?}");
+        }
+        let round_span = spans.iter().find(|s| s.name == "round").unwrap();
+        assert_eq!(round_span.depth, 0);
+        assert!((round_span.start, round_span.end) == (0.0, 0.5));
+        for s in spans.iter().filter(|s| s.name.starts_with("phase.")) {
+            assert_eq!(s.parent, Some(round_span.id), "{} nests under round", s.name);
+        }
+
+        let anomalies: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "anomaly" && matches!(e.kind, EventKind::Instant))
+            .collect();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(
+            anomalies[0].field("kind"),
+            Some(&lb_telemetry::FieldValue::Str("duplicate_bid".into()))
+        );
+        assert_eq!(anomalies[0].at, 0.15);
+    }
+
+    #[test]
+    fn abandoned_round_closes_spans_via_end_telemetry() {
+        use lb_telemetry::{replay_spans, RingCollector};
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0, 4.0];
+        let ring = Arc::new(RingCollector::new(64));
+        let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config())
+            .with_collector(ring.clone());
+        c.set_now(0.0);
+        c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues).unwrap();
+        c.set_now(1.0);
+        assert!(c.close_bidding(&trues).is_err(), "one respondent cannot run");
+        // The driver abandons the round; telemetry must still balance.
+        c.end_telemetry();
+        let spans = replay_spans(&ring.snapshot()).expect("abandoned round still replays");
+        assert!(spans.iter().any(|s| s.name == "round"));
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //!   missing bids are re-requested with exponential backoff before the
 //!   exclusion fallback, and multi-round sessions quarantine and re-admit
 //!   flaky machines ([`session::run_chaos_session`]).
+//!
+//! Every driver is instrumented for `lb-telemetry`: attach a collector
+//! (e.g. [`lb_telemetry::RingCollector`]) via
+//! [`Coordinator::with_collector`], [`SimNetwork::set_collector`],
+//! [`ChaosRuntime::set_collector`] or the `*_observed` entry points, and the
+//! round's phase spans, frame fates, retransmissions and session health
+//! decisions are recorded on the simulated clock. The default collector is
+//! the noop, which keeps the uninstrumented paths bit-identical and free.
 
 pub mod audit;
 pub mod chaos;
@@ -37,7 +45,10 @@ pub mod session;
 pub mod threaded;
 pub mod trace;
 
-pub use audit::{audit_settlement, AuditReport, SettlementRecord};
+pub use audit::{
+    audit_broadcast_cost, audit_broadcast_cost_observed, audit_settlement, AuditReport,
+    SettlementRecord,
+};
 pub use chaos::{
     chaos_message_bound, run_chaos_round, ChaosConfig, ChaosNetStats, ChaosRoundReport,
     ChaosRuntime,
@@ -49,10 +60,13 @@ pub use framing::{FrameReader, FrameWriter};
 pub use message::{Message, RoundId};
 pub use network::{FrameFate, MessageStats, NetPoll, SimNetwork};
 pub use node::NodeSpec;
-pub use runtime::{run_protocol_round, ProtocolConfig, ProtocolOutcome};
-pub use session::{
-    run_chaos_session, run_session, ChaosRoundResult, ChaosSessionConfig, ChaosSessionReport,
-    MachineHealth, SessionReport,
+pub use runtime::{
+    run_protocol_round, run_protocol_round_observed, run_protocol_round_traced, ProtocolConfig,
+    ProtocolOutcome,
 };
-pub use threaded::run_protocol_round_threaded;
+pub use session::{
+    run_chaos_session, run_chaos_session_observed, run_session, ChaosRoundResult,
+    ChaosSessionConfig, ChaosSessionReport, MachineHealth, SessionReport,
+};
+pub use threaded::{run_protocol_round_threaded, run_protocol_round_threaded_observed};
 pub use trace::{replay_check, Anomaly, AnomalyStats, RoundTrace, TraceEntry, TraceViolation};

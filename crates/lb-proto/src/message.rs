@@ -66,6 +66,19 @@ impl Message {
         }
     }
 
+    /// Stable snake_case name of the message variant, used as the telemetry
+    /// `kind` field on network events.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Self::RequestBid { .. } => "request_bid",
+            Self::Bid { .. } => "bid",
+            Self::Assign { .. } => "assign",
+            Self::ExecutionDone { .. } => "execution_done",
+            Self::Payment { .. } => "payment",
+        }
+    }
+
     /// The sender machine index, for node-originated messages.
     #[must_use]
     pub fn machine(&self) -> Option<u32> {

@@ -9,7 +9,9 @@ use crate::message::Message;
 use bytes::Bytes;
 use lb_sim::events::EventQueue;
 use lb_sim::time::SimTime;
+use lb_telemetry::{noop_collector, Collector, Field, Subsystem};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Network endpoint address: the coordinator or a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -18,6 +20,26 @@ pub enum Endpoint {
     Coordinator,
     /// Machine `i`.
     Node(u32),
+}
+
+impl Endpoint {
+    /// Human-readable label (`coordinator` / `node3`) for telemetry fields.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Endpoint::Coordinator => "coordinator".to_string(),
+            Endpoint::Node(i) => format!("node{i}"),
+        }
+    }
+
+    /// The machine index, for node endpoints.
+    #[must_use]
+    pub fn node_index(self) -> Option<u32> {
+        match self {
+            Endpoint::Coordinator => None,
+            Endpoint::Node(i) => Some(i),
+        }
+    }
 }
 
 /// Aggregate traffic statistics.
@@ -116,6 +138,7 @@ pub struct SimNetwork {
     dropped: u64,
     duplicated: u64,
     corrupted: u64,
+    collector: Arc<dyn Collector>,
 }
 
 impl std::fmt::Debug for SimNetwork {
@@ -150,7 +173,16 @@ impl SimNetwork {
             dropped: 0,
             duplicated: 0,
             corrupted: 0,
+            collector: noop_collector(),
         }
+    }
+
+    /// Attaches a telemetry collector. The network then emits a `net.send`
+    /// instant per frame (with its fate), `net.deliver` / `net.corrupt`
+    /// instants on receipt, and `net.messages` / `net.bytes` counters, all
+    /// timestamped on the network's simulated clock.
+    pub fn set_collector(&mut self, collector: Arc<dyn Collector>) {
+        self.collector = collector;
     }
 
     /// Installs a fault filter: frames for which it returns `true` are lost
@@ -192,17 +224,43 @@ impl SimNetwork {
         self.corrupted
     }
 
+    /// Emits the `net.send` instant and the message/byte counters for one
+    /// frame, tagging the frame's fate (`delivered` / `dropped` /
+    /// `corrupted` / `duplicated`).
+    fn note_send(&self, from: Endpoint, to: Endpoint, message: &Message, bytes: usize, fate: &'static str) {
+        if !self.collector.enabled() {
+            return;
+        }
+        let at = self.queue.now().seconds();
+        let mut fields = vec![
+            Field::str("kind", message.kind_name()),
+            Field::str("from", from.label()),
+            Field::str("to", to.label()),
+            Field::u64("bytes", bytes as u64),
+            Field::str("fate", fate),
+        ];
+        // Star topology: the non-coordinator endpoint identifies the link.
+        if let Some(node) = to.node_index().or_else(|| from.node_index()) {
+            fields.push(Field::u64("node", u64::from(node)));
+        }
+        self.collector.instant(at, "net.send", Subsystem::Network, fields);
+        self.collector.counter(at, "net.messages", Subsystem::Network, 1);
+        self.collector.counter(at, "net.bytes", Subsystem::Network, bytes as u64);
+    }
+
     /// Sends `message` from `from` to `to`, encoding it to wire form.
     ///
     /// # Errors
     /// Propagates codec errors (which indicate a bug in the message types).
     pub fn send(&mut self, from: Endpoint, to: Endpoint, message: &Message) -> Result<(), CodecError> {
         let payload = encode(message)?;
+        let size = payload.len();
         self.stats.messages += 1;
-        self.stats.bytes += payload.len() as u64;
+        self.stats.bytes += size as u64;
         if let Some(filter) = &mut self.drop_filter {
             if filter(from, to, message) {
                 self.dropped += 1;
+                self.note_send(from, to, message, size, "dropped");
                 return Ok(());
             }
         }
@@ -212,6 +270,7 @@ impl SimNetwork {
         };
         if fate.drop {
             self.dropped += 1;
+            self.note_send(from, to, message, size, "dropped");
             return Ok(());
         }
         let payload = if fate.corrupt {
@@ -223,6 +282,17 @@ impl SimNetwork {
         } else {
             payload
         };
+        self.note_send(
+            from,
+            to,
+            message,
+            size,
+            match (fate.corrupt, fate.duplicate) {
+                (true, _) => "corrupted",
+                (false, true) => "duplicated",
+                (false, false) => "delivered",
+            },
+        );
         let base = (self.latency)(from, to).max(0.0);
         let delay = base + fate.extra_delay.max(0.0);
         self.queue.schedule_in(delay, Frame { from, to, payload: payload.clone(), corrupt: fate.corrupt });
@@ -272,9 +342,28 @@ impl SimNetwork {
             None => Ok(None),
             Some((at, frame)) => {
                 if frame.corrupt {
+                    self.collector.instant(
+                        at.seconds(),
+                        "net.corrupt",
+                        Subsystem::Network,
+                        vec![
+                            Field::str("from", frame.from.label()),
+                            Field::str("to", frame.to.label()),
+                        ],
+                    );
                     return Ok(Some(NetPoll::Corrupt { from: frame.from, to: frame.to, at }));
                 }
                 let message: Message = decode(&frame.payload)?;
+                self.collector.instant(
+                    at.seconds(),
+                    "net.deliver",
+                    Subsystem::Network,
+                    vec![
+                        Field::str("kind", message.kind_name()),
+                        Field::str("from", frame.from.label()),
+                        Field::str("to", frame.to.label()),
+                    ],
+                );
                 Ok(Some(NetPoll::Frame(Delivery { from: frame.from, to: frame.to, message, at })))
             }
         }
@@ -434,6 +523,61 @@ mod tests {
         net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
         assert_eq!(net.pending(), 1);
         assert_eq!(net.dropped(), 1);
+    }
+
+    #[test]
+    fn telemetry_records_sends_fates_and_deliveries() {
+        use lb_telemetry::{MetricsRegistry, RingCollector};
+        let ring = Arc::new(RingCollector::new(128));
+        let mut net = SimNetwork::with_constant_latency(0.01);
+        net.set_collector(ring.clone());
+        // First frame to a destination is dropped, others delivered; one
+        // frame corrupted.
+        let mut first = true;
+        net.set_fate_fn(move |_, _, _| {
+            if first {
+                first = false;
+                FrameFate { drop: true, ..FrameFate::deliver() }
+            } else {
+                FrameFate::deliver()
+            }
+        });
+        let m = Message::RequestBid { round: RoundId(1) };
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(1), &m).unwrap();
+        while let Some(_poll) = net.poll().unwrap() {}
+
+        let mut reg = MetricsRegistry::new();
+        reg.ingest(&ring.snapshot());
+        assert_eq!(reg.counter("net.messages"), net.stats().messages);
+        assert_eq!(reg.counter("net.bytes"), net.stats().bytes);
+        assert_eq!(reg.counter("net.fate.dropped"), net.dropped());
+        assert_eq!(reg.counter("net.fate.delivered"), 2);
+        assert_eq!(reg.counter("net.machine.0"), 2);
+        assert_eq!(reg.counter("net.machine.1"), 1);
+        let deliveries =
+            ring.snapshot().iter().filter(|e| e.name == "net.deliver").count();
+        assert_eq!(deliveries, 2);
+    }
+
+    #[test]
+    fn telemetry_flags_detected_corruption() {
+        use lb_telemetry::RingCollector;
+        let ring = Arc::new(RingCollector::new(32));
+        let mut net = SimNetwork::with_constant_latency(0.01);
+        net.set_collector(ring.clone());
+        net.set_fate_fn(|_, _, _| FrameFate { corrupt: true, ..FrameFate::deliver() });
+        let m = Message::RequestBid { round: RoundId(1) };
+        net.send(Endpoint::Coordinator, Endpoint::Node(3), &m).unwrap();
+        let _ = net.poll().unwrap().unwrap();
+        let events = ring.snapshot();
+        assert!(events.iter().any(|e| e.name == "net.corrupt"));
+        let send = events.iter().find(|e| e.name == "net.send").unwrap();
+        assert_eq!(
+            send.field("fate"),
+            Some(&lb_telemetry::FieldValue::Str("corrupted".into()))
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@ use crate::node::{NodeAgent, NodeSpec};
 use lb_mechanism::traits::ValuationModel;
 use lb_mechanism::{MechanismError, VerifiedMechanism};
 use lb_sim::driver::SimulationConfig;
+use lb_telemetry::{noop_collector, Collector};
+use std::sync::Arc;
 
 /// Configuration of a protocol round.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +77,25 @@ pub fn run_protocol_round_traced<M: VerifiedMechanism>(
     specs: &[NodeSpec],
     config: &ProtocolConfig,
 ) -> Result<(ProtocolOutcome, crate::trace::RoundTrace), MechanismError> {
+    run_protocol_round_observed(mechanism, specs, config, noop_collector())
+}
+
+/// Like [`run_protocol_round_traced`], additionally recording telemetry into
+/// `collector`: the coordinator's `round`/`phase.*` spans and the network's
+/// frame-level `net.*` events, all timestamped with simulated time. With the
+/// noop collector this is [`run_protocol_round_traced`] exactly.
+///
+/// # Errors
+/// Propagates mechanism/simulation/codec errors.
+///
+/// # Panics
+/// Panics if `specs` is empty or on internal protocol violations.
+pub fn run_protocol_round_observed<M: VerifiedMechanism>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    collector: Arc<dyn Collector>,
+) -> Result<(ProtocolOutcome, crate::trace::RoundTrace), MechanismError> {
     assert!(!specs.is_empty(), "run_protocol_round: need at least one node");
     let n = specs.len();
     let round = RoundId(0);
@@ -89,47 +110,75 @@ pub fn run_protocol_round_traced<M: VerifiedMechanism>(
     // Strict: on a reliable network, any protocol violation is a bug.
     let mut coordinator =
         Coordinator::new(mechanism, n, config.total_rate, round, config.simulation)
-            .with_strict(true);
+            .with_strict(true)
+            .with_collector(Arc::clone(&collector));
     let mut network = SimNetwork::with_constant_latency(config.link_latency);
+    network.set_collector(collector);
 
-    // Kick off: bid requests to every node.
-    for (i, msg) in coordinator.open().into_iter().enumerate() {
-        network
-            .send(Endpoint::Coordinator, Endpoint::Node(u32::try_from(i).expect("fits u32")), &msg)
-            .map_err(|e| MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() }))?;
-    }
+    let result = (|| {
+        // Kick off: bid requests to every node.
+        coordinator.set_now(network.now().seconds());
+        for (i, msg) in coordinator.open().into_iter().enumerate() {
+            network
+                .send(
+                    Endpoint::Coordinator,
+                    Endpoint::Node(u32::try_from(i).expect("fits u32")),
+                    &msg,
+                )
+                .map_err(|e| {
+                    MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+                })?;
+        }
 
-    // Event loop: deliver frames until the network drains.
-    let mut trace = crate::trace::RoundTrace::default();
-    while let Some(delivery) = network
-        .deliver_next()
-        .map_err(|e| MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() }))?
-    {
-        trace.entries.push(crate::trace::TraceEntry {
-            at: delivery.at.seconds(),
-            from: delivery.from,
-            to: delivery.to,
-            message: delivery.message.clone(),
-        });
-        match delivery.to {
-            Endpoint::Node(i) => {
-                let reply = nodes[i as usize].handle(&delivery.message);
-                if let Some(msg) = reply {
-                    network.send(Endpoint::Node(i), Endpoint::Coordinator, &msg).map_err(|e| {
-                        MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
-                    })?;
+        // Event loop: deliver frames until the network drains.
+        let mut trace = crate::trace::RoundTrace::default();
+        while let Some(delivery) = network.deliver_next().map_err(|e| {
+            MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+        })? {
+            trace.entries.push(crate::trace::TraceEntry {
+                at: delivery.at.seconds(),
+                from: delivery.from,
+                to: delivery.to,
+                message: delivery.message.clone(),
+            });
+            match delivery.to {
+                Endpoint::Node(i) => {
+                    let reply = nodes[i as usize].handle(&delivery.message);
+                    if let Some(msg) = reply {
+                        network.send(Endpoint::Node(i), Endpoint::Coordinator, &msg).map_err(
+                            |e| {
+                                MechanismError::Core(lb_core::CoreError::Infeasible {
+                                    reason: e.to_string(),
+                                })
+                            },
+                        )?;
+                    }
                 }
-            }
-            Endpoint::Coordinator => {
-                let outgoing = coordinator.handle(&delivery.message, &actual_exec)?;
-                for (i, msg) in outgoing {
-                    network.send(Endpoint::Coordinator, Endpoint::Node(i), &msg).map_err(|e| {
-                        MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
-                    })?;
+                Endpoint::Coordinator => {
+                    coordinator.set_now(delivery.at.seconds());
+                    let outgoing = coordinator.handle(&delivery.message, &actual_exec)?;
+                    for (i, msg) in outgoing {
+                        network.send(Endpoint::Coordinator, Endpoint::Node(i), &msg).map_err(
+                            |e| {
+                                MechanismError::Core(lb_core::CoreError::Infeasible {
+                                    reason: e.to_string(),
+                                })
+                            },
+                        )?;
+                    }
                 }
             }
         }
-    }
+        Ok(trace)
+    })();
+    let trace = match result {
+        Ok(trace) => trace,
+        Err(e) => {
+            // Close any open spans so a partial recording replays cleanly.
+            coordinator.end_telemetry();
+            return Err(e);
+        }
+    };
 
     assert_eq!(coordinator.phase(), CoordinatorPhase::Done, "protocol did not complete");
     let model = mechanism.valuation_model();
@@ -210,6 +259,33 @@ mod tests {
         assert_eq!(trace.entries.len() as u64, outcome.stats.messages);
         let violations = crate::trace::replay_check(&trace, specs.len());
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn observed_round_replays_cleanly_and_matches_the_wire_stats() {
+        use lb_telemetry::{replay_spans, MetricsRegistry, RingCollector};
+        let mech = CompensationBonusMechanism::paper();
+        let specs: Vec<NodeSpec> =
+            paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let ring = Arc::new(RingCollector::new(16_384));
+        let (outcome, trace) =
+            run_protocol_round_observed(&mech, &specs, &config(), ring.clone()).unwrap();
+
+        let events = ring.snapshot();
+        let spans = replay_spans(&events).expect("recording replays cleanly");
+        assert_eq!(spans.iter().filter(|s| s.name == "round").count(), 1);
+        for phase in ["phase.collect_bids", "phase.allocate", "phase.execute", "phase.settle"] {
+            assert!(spans.iter().any(|s| s.name == phase && s.depth == 1), "missing {phase}");
+        }
+
+        let mut reg = MetricsRegistry::new();
+        reg.ingest(&events);
+        assert_eq!(reg.counter("net.messages"), outcome.stats.messages);
+        assert_eq!(reg.counter("net.bytes"), outcome.stats.bytes);
+        assert_eq!(trace.entries.len() as u64, outcome.stats.messages);
+        // Reliable network: nothing dropped, nothing anomalous.
+        assert_eq!(reg.counter("net.fate.dropped"), 0);
+        assert_eq!(reg.counter("anomaly.total"), 0);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! for an exponentially growing number of rounds, then re-admitted — so a
 //! transiently faulty machine rejoins the mechanism instead of being lost
 //! forever, exactly the recovery story a deployed mechanism needs.
+//! [`run_chaos_session_observed`] is the same driver with a telemetry
+//! collector attached, recording the whole session down to frame level.
 
 use crate::chaos::{ChaosConfig, ChaosNetStats, ChaosRoundReport, ChaosRuntime};
 use crate::message::RoundId;
@@ -21,6 +23,8 @@ use crate::node::NodeSpec;
 use crate::runtime::{run_protocol_round, ProtocolConfig, ProtocolOutcome};
 use crate::trace::AnomalyStats;
 use lb_mechanism::{MechanismError, VerifiedMechanism};
+use lb_telemetry::{noop_collector, Collector, Field, Subsystem};
+use std::sync::Arc;
 
 /// Summary of a finished session.
 #[derive(Debug, Clone)]
@@ -232,7 +236,38 @@ pub fn run_chaos_session<M, P>(
     mechanism: &M,
     config: &ProtocolConfig,
     session: &ChaosSessionConfig,
+    policy: P,
+) -> Result<ChaosSessionReport, MechanismError>
+where
+    M: VerifiedMechanism,
+    P: FnMut(u32, Option<&ChaosRoundReport>) -> Vec<NodeSpec>,
+{
+    run_chaos_session_observed(mechanism, config, session, policy, noop_collector())
+}
+
+/// [`run_chaos_session`] with a telemetry collector attached.
+///
+/// The collector is forwarded to the chaos runtime (and through it to the
+/// network and each round's coordinator), so a single recording carries the
+/// whole story of the session: frame-level `net.*` events, per-round
+/// `round`/`phase.*` spans, retransmissions, and the session's own health
+/// decisions — a `session.quarantine` instant (fields `machine`, `spell`)
+/// when a machine is put away, `session.readmit` (field `machine`) when a
+/// previously excluded machine completes a round again, and `session.abort`
+/// (field `round`) when a round cannot run. All events carry simulated time
+/// from the session's persistent clock, which never resets between rounds.
+///
+/// # Errors
+/// Propagates unexpected mechanism errors, exactly as [`run_chaos_session`].
+///
+/// # Panics
+/// Panics under the same conditions as [`run_chaos_session`].
+pub fn run_chaos_session_observed<M, P>(
+    mechanism: &M,
+    config: &ProtocolConfig,
+    session: &ChaosSessionConfig,
     mut policy: P,
+    collector: Arc<dyn Collector>,
 ) -> Result<ChaosSessionReport, MechanismError>
 where
     M: VerifiedMechanism,
@@ -257,7 +292,9 @@ where
         let n = specs.len();
         let runtime = runtime.get_or_insert_with(|| {
             health = vec![MachineHealth::default(); n];
-            ChaosRuntime::new(n, *config, session.chaos.clone())
+            let mut rt = ChaosRuntime::new(n, *config, session.chaos.clone());
+            rt.set_collector(Arc::clone(&collector));
+            rt
         });
         assert_eq!(health.len(), n, "run_chaos_session: machine count changed mid-session");
 
@@ -297,10 +334,29 @@ where
                             health[i].last_spell = spell;
                             health[i].quarantined_until = round + 1 + spell;
                             health[i].quarantine_spells += 1;
+                            if collector.enabled() {
+                                collector.instant(
+                                    runtime.now().seconds(),
+                                    "session.quarantine",
+                                    Subsystem::Session,
+                                    vec![
+                                        Field::u64("machine", i as u64),
+                                        Field::u64("spell", u64::from(spell)),
+                                    ],
+                                );
+                            }
                         }
                     } else {
                         if health[i].consecutive_exclusions > 0 {
                             readmissions += 1;
+                            if collector.enabled() {
+                                collector.instant(
+                                    runtime.now().seconds(),
+                                    "session.readmit",
+                                    Subsystem::Session,
+                                    vec![Field::u64("machine", i as u64)],
+                                );
+                            }
                         }
                         health[i].consecutive_exclusions = 0;
                         health[i].last_spell = 0;
@@ -311,6 +367,14 @@ where
             }
             Err(MechanismError::NeedTwoAgents) => {
                 aborted_rounds += 1;
+                if collector.enabled() {
+                    collector.instant(
+                        runtime.now().seconds(),
+                        "session.abort",
+                        Subsystem::Session,
+                        vec![Field::u64("round", u64::from(round))],
+                    );
+                }
                 // Chaos silenced (or quarantine sidelined) too many machines
                 // at once: wipe the slate so the next round can recruit all.
                 for h in &mut health {

@@ -16,7 +16,10 @@ use crate::runtime::{ProtocolConfig, ProtocolOutcome};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lb_mechanism::{MechanismError, VerifiedMechanism};
+use lb_telemetry::{noop_collector, Collector, Subsystem};
 use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn codec_err(e: CodecError) -> MechanismError {
     MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
@@ -43,16 +46,47 @@ pub fn run_protocol_round_threaded<M: VerifiedMechanism + Sync>(
     specs: &[NodeSpec],
     config: &ProtocolConfig,
 ) -> Result<ProtocolOutcome, MechanismError> {
+    run_protocol_round_threaded_observed(mechanism, specs, config, noop_collector())
+}
+
+/// [`run_protocol_round_threaded`] with a telemetry collector attached.
+///
+/// Unlike the deterministic runtimes there is no simulated clock here, so
+/// events are timestamped with *wall-clock seconds since the round started*
+/// (a monotonic [`Instant`] offset). Node threads bump the `net.messages` /
+/// `net.bytes` counters concurrently — which is exactly why [`Collector`]
+/// implementations must be thread-safe — while the coordinator's phase spans
+/// come from its own sequential state machine, so the recording still
+/// replays cleanly.
+///
+/// # Errors
+/// Propagates the same errors as [`run_protocol_round_threaded`].
+///
+/// # Panics
+/// Panics if `specs` is empty, or if a worker thread panics.
+pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    collector: Arc<dyn Collector>,
+) -> Result<ProtocolOutcome, MechanismError> {
     assert!(!specs.is_empty(), "run_protocol_round_threaded: need at least one node");
     let n = specs.len();
     let round = RoundId(0);
     let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
+    let epoch = Instant::now();
 
     let stats = Mutex::new(MessageStats::default());
     let count = |stats: &Mutex<MessageStats>, payload: &Bytes| {
         let mut s = stats.lock();
         s.messages += 1;
         s.bytes += payload.len() as u64;
+        drop(s);
+        if collector.enabled() {
+            let at = epoch.elapsed().as_secs_f64();
+            collector.counter(at, "net.messages", Subsystem::Network, 1);
+            collector.counter(at, "net.bytes", Subsystem::Network, payload.len() as u64);
+        }
     };
 
     let finished_nodes: Mutex<Vec<Option<NodeAgent>>> = Mutex::new((0..n).map(|_| None).collect());
@@ -121,26 +155,38 @@ pub fn run_protocol_round_threaded<M: VerifiedMechanism + Sync>(
             // per-sender, so a protocol violation here is a bug.
             let mut coordinator =
                 Coordinator::new(mechanism, n, config.total_rate, round, config.simulation)
-                    .with_strict(true);
-            for (i, msg) in coordinator.open().into_iter().enumerate() {
-                let payload = encode(&msg).map_err(codec_err)?;
-                count(&stats, &payload);
-                to_node_txs[i].send(Some(payload)).map_err(|_| chan_err("node hung up"))?;
-            }
-
-            while coordinator.phase() != CoordinatorPhase::Done {
-                let (_, frame) =
-                    to_coord_rx.recv().map_err(|_| chan_err("all nodes hung up"))?;
-                let frame = frame.map_err(codec_err)?;
-                let message: Message = decode(&frame).map_err(codec_err)?;
-                let outgoing = coordinator.handle(&message, &actual_exec)?;
-                for (i, msg) in outgoing {
+                    .with_strict(true)
+                    .with_collector(Arc::clone(&collector));
+            let drive = (|| -> Result<(), MechanismError> {
+                coordinator.set_now(epoch.elapsed().as_secs_f64());
+                for (i, msg) in coordinator.open().into_iter().enumerate() {
                     let payload = encode(&msg).map_err(codec_err)?;
                     count(&stats, &payload);
-                    to_node_txs[i as usize]
-                        .send(Some(payload))
-                        .map_err(|_| chan_err("node hung up"))?;
+                    to_node_txs[i].send(Some(payload)).map_err(|_| chan_err("node hung up"))?;
                 }
+
+                while coordinator.phase() != CoordinatorPhase::Done {
+                    let (_, frame) =
+                        to_coord_rx.recv().map_err(|_| chan_err("all nodes hung up"))?;
+                    let frame = frame.map_err(codec_err)?;
+                    let message: Message = decode(&frame).map_err(codec_err)?;
+                    coordinator.set_now(epoch.elapsed().as_secs_f64());
+                    let outgoing = coordinator.handle(&message, &actual_exec)?;
+                    for (i, msg) in outgoing {
+                        let payload = encode(&msg).map_err(codec_err)?;
+                        count(&stats, &payload);
+                        to_node_txs[i as usize]
+                            .send(Some(payload))
+                            .map_err(|_| chan_err("node hung up"))?;
+                    }
+                }
+                Ok(())
+            })();
+            if let Err(e) = drive {
+                // Close any open spans before the early return drops the
+                // senders, so a partial recording still replays cleanly.
+                coordinator.end_telemetry();
+                return Err(e);
             }
 
             // Close node channels so threads exit and park their agents.
@@ -240,6 +286,29 @@ mod tests {
         let mut cfg = config();
         cfg.total_rate = -1.0;
         assert!(run_protocol_round_threaded(&mech, &specs, &cfg).is_err());
+    }
+
+    #[test]
+    fn observed_threaded_round_records_replayable_spans() {
+        use lb_telemetry::{replay_spans, MetricsRegistry, RingCollector};
+        let mech = CompensationBonusMechanism::paper();
+        let specs: Vec<NodeSpec> =
+            paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let ring = Arc::new(RingCollector::new(16_384));
+        let outcome =
+            run_protocol_round_threaded_observed(&mech, &specs, &config(), ring.clone()).unwrap();
+
+        // Node threads recorded counters concurrently; the coordinator's
+        // sequential spans still replay cleanly around them.
+        let events = ring.snapshot();
+        let spans = replay_spans(&events).expect("recording replays cleanly");
+        assert_eq!(spans.iter().filter(|s| s.name == "round").count(), 1);
+        assert!(spans.iter().any(|s| s.name == "phase.settle"));
+
+        let mut reg = MetricsRegistry::new();
+        reg.ingest(&events);
+        assert_eq!(reg.counter("net.messages"), outcome.stats.messages);
+        assert_eq!(reg.counter("net.bytes"), outcome.stats.bytes);
     }
 
     #[test]

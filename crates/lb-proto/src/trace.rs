@@ -85,6 +85,24 @@ pub enum Anomaly {
     Misrouted,
 }
 
+impl Anomaly {
+    /// Stable snake_case name, used as the telemetry `kind` field so
+    /// recordings and metrics keys are greppable.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Anomaly::DuplicateBid => "duplicate_bid",
+            Anomaly::DuplicateAck => "duplicate_ack",
+            Anomaly::StaleRound => "stale_round",
+            Anomaly::WrongPhase => "wrong_phase",
+            Anomaly::Unsolicited => "unsolicited",
+            Anomaly::StaleAfterExclusion => "stale_after_exclusion",
+            Anomaly::CorruptFrame => "corrupt_frame",
+            Anomaly::Misrouted => "misrouted",
+        }
+    }
+}
+
 /// Per-kind counters of absorbed [`Anomaly`] events.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AnomalyStats {
@@ -107,43 +125,70 @@ pub struct AnomalyStats {
 }
 
 impl AnomalyStats {
-    /// Records one occurrence of `anomaly`.
+    /// Records one occurrence of `anomaly`. Counters saturate rather than
+    /// wrap: a hostile network can raise counts but never panic (debug) or
+    /// silently reset (release) the audit trail.
     pub fn record(&mut self, anomaly: Anomaly) {
-        match anomaly {
-            Anomaly::DuplicateBid => self.duplicate_bids += 1,
-            Anomaly::DuplicateAck => self.duplicate_acks += 1,
-            Anomaly::StaleRound => self.stale_rounds += 1,
-            Anomaly::WrongPhase => self.wrong_phase += 1,
-            Anomaly::Unsolicited => self.unsolicited += 1,
-            Anomaly::StaleAfterExclusion => self.stale_after_exclusion += 1,
-            Anomaly::CorruptFrame => self.corrupt_frames += 1,
-            Anomaly::Misrouted => self.misrouted += 1,
-        }
+        let slot = match anomaly {
+            Anomaly::DuplicateBid => &mut self.duplicate_bids,
+            Anomaly::DuplicateAck => &mut self.duplicate_acks,
+            Anomaly::StaleRound => &mut self.stale_rounds,
+            Anomaly::WrongPhase => &mut self.wrong_phase,
+            Anomaly::Unsolicited => &mut self.unsolicited,
+            Anomaly::StaleAfterExclusion => &mut self.stale_after_exclusion,
+            Anomaly::CorruptFrame => &mut self.corrupt_frames,
+            Anomaly::Misrouted => &mut self.misrouted,
+        };
+        *slot = slot.saturating_add(1);
     }
 
-    /// Total anomalies across all kinds.
+    /// Total anomalies across all kinds (saturating).
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.duplicate_bids
-            + self.duplicate_acks
-            + self.stale_rounds
-            + self.wrong_phase
-            + self.unsolicited
-            + self.stale_after_exclusion
-            + self.corrupt_frames
-            + self.misrouted
+        [
+            self.duplicate_bids,
+            self.duplicate_acks,
+            self.stale_rounds,
+            self.wrong_phase,
+            self.unsolicited,
+            self.stale_after_exclusion,
+            self.corrupt_frames,
+            self.misrouted,
+        ]
+        .into_iter()
+        .fold(0u64, u64::saturating_add)
     }
 
-    /// Adds every counter of `other` into `self`.
+    /// Adds every counter of `other` into `self` (saturating).
     pub fn merge(&mut self, other: &AnomalyStats) {
-        self.duplicate_bids += other.duplicate_bids;
-        self.duplicate_acks += other.duplicate_acks;
-        self.stale_rounds += other.stale_rounds;
-        self.wrong_phase += other.wrong_phase;
-        self.unsolicited += other.unsolicited;
-        self.stale_after_exclusion += other.stale_after_exclusion;
-        self.corrupt_frames += other.corrupt_frames;
-        self.misrouted += other.misrouted;
+        self.duplicate_bids = self.duplicate_bids.saturating_add(other.duplicate_bids);
+        self.duplicate_acks = self.duplicate_acks.saturating_add(other.duplicate_acks);
+        self.stale_rounds = self.stale_rounds.saturating_add(other.stale_rounds);
+        self.wrong_phase = self.wrong_phase.saturating_add(other.wrong_phase);
+        self.unsolicited = self.unsolicited.saturating_add(other.unsolicited);
+        self.stale_after_exclusion =
+            self.stale_after_exclusion.saturating_add(other.stale_after_exclusion);
+        self.corrupt_frames = self.corrupt_frames.saturating_add(other.corrupt_frames);
+        self.misrouted = self.misrouted.saturating_add(other.misrouted);
+    }
+
+    /// Iterates the non-zero counters as `(kind, count)` pairs, in
+    /// declaration order.
+    #[must_use]
+    pub fn nonzero(&self) -> Vec<(Anomaly, u64)> {
+        [
+            (Anomaly::DuplicateBid, self.duplicate_bids),
+            (Anomaly::DuplicateAck, self.duplicate_acks),
+            (Anomaly::StaleRound, self.stale_rounds),
+            (Anomaly::WrongPhase, self.wrong_phase),
+            (Anomaly::Unsolicited, self.unsolicited),
+            (Anomaly::StaleAfterExclusion, self.stale_after_exclusion),
+            (Anomaly::CorruptFrame, self.corrupt_frames),
+            (Anomaly::Misrouted, self.misrouted),
+        ]
+        .into_iter()
+        .filter(|(_, c)| *c > 0)
+        .collect()
     }
 }
 
@@ -304,6 +349,82 @@ mod tests {
         assert_eq!(a.total(), 9);
         assert_eq!(a.corrupt_frames, 1);
         assert_eq!(a.stale_after_exclusion, 1);
+    }
+
+    #[test]
+    fn anomaly_stats_merge_with_empty_is_identity() {
+        let mut a = AnomalyStats::default();
+        for k in [
+            Anomaly::DuplicateBid,
+            Anomaly::DuplicateAck,
+            Anomaly::StaleRound,
+            Anomaly::WrongPhase,
+            Anomaly::Unsolicited,
+            Anomaly::StaleAfterExclusion,
+            Anomaly::CorruptFrame,
+            Anomaly::Misrouted,
+        ] {
+            a.record(k);
+        }
+        let before = a;
+
+        // merging the empty stats changes nothing…
+        a.merge(&AnomalyStats::default());
+        assert_eq!(a, before);
+
+        // …and merging *into* the empty stats reproduces the original.
+        let mut empty = AnomalyStats::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn anomaly_stats_saturate_instead_of_overflowing() {
+        let mut a = AnomalyStats { duplicate_bids: u64::MAX, ..AnomalyStats::default() };
+        // One more duplicate bid must not wrap the counter.
+        a.record(Anomaly::DuplicateBid);
+        assert_eq!(a.duplicate_bids, u64::MAX);
+
+        // total() saturates across kinds rather than overflowing the sum.
+        a.corrupt_frames = u64::MAX;
+        assert_eq!(a.total(), u64::MAX);
+
+        // merge() saturates per counter.
+        let mut b = AnomalyStats { duplicate_bids: 1, misrouted: 7, ..AnomalyStats::default() };
+        b.merge(&a);
+        assert_eq!(b.duplicate_bids, u64::MAX);
+        assert_eq!(b.misrouted, 7);
+    }
+
+    #[test]
+    fn anomaly_names_are_stable_and_distinct() {
+        let kinds = [
+            Anomaly::DuplicateBid,
+            Anomaly::DuplicateAck,
+            Anomaly::StaleRound,
+            Anomaly::WrongPhase,
+            Anomaly::Unsolicited,
+            Anomaly::StaleAfterExclusion,
+            Anomaly::CorruptFrame,
+            Anomaly::Misrouted,
+        ];
+        let names: std::collections::BTreeSet<&str> =
+            kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+        assert!(names.iter().all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c == '_')));
+    }
+
+    #[test]
+    fn nonzero_lists_only_touched_counters() {
+        let mut a = AnomalyStats::default();
+        assert!(a.nonzero().is_empty());
+        a.record(Anomaly::StaleRound);
+        a.record(Anomaly::StaleRound);
+        a.record(Anomaly::Misrouted);
+        assert_eq!(
+            a.nonzero(),
+            vec![(Anomaly::StaleRound, 2), (Anomaly::Misrouted, 1)]
+        );
     }
 
     #[test]

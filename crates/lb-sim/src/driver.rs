@@ -8,6 +8,7 @@ use crate::server::ServiceModel;
 use lb_core::{pr_allocate, Allocation, CoreError};
 use lb_mechanism::{run_mechanism, MechanismError, MechanismOutcome, Profile, VerifiedMechanism};
 use lb_stats::rng::Xoshiro256StarStar;
+use lb_telemetry::{Collector, Field, NoopCollector, Subsystem};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one simulated round.
@@ -68,6 +69,29 @@ pub fn simulate_round(
     total_rate: f64,
     config: &SimulationConfig,
 ) -> Result<RoundReport, CoreError> {
+    simulate_round_observed(bids, actual_exec_values, total_rate, config, &NoopCollector)
+}
+
+/// [`simulate_round`] with a telemetry collector attached.
+///
+/// The simulation runs on its own clock from `0` to `config.horizon`, so the
+/// recording carries a `sim.round` span over the whole horizon with one
+/// nested `sim.machine` span per machine (fields `machine` and `rate` at
+/// start; `jobs` and `estimate` attached at the end, once known). Protocol
+/// drivers deliberately do *not* nest these under their round spans — the
+/// verification simulation's clock is not the protocol clock — and summarise
+/// it as a `verify` instant instead; this entry point is for observing the
+/// simulator standalone.
+///
+/// # Errors
+/// Propagates validation errors, exactly as [`simulate_round`].
+pub fn simulate_round_observed(
+    bids: &[f64],
+    actual_exec_values: &[f64],
+    total_rate: f64,
+    config: &SimulationConfig,
+    collector: &dyn Collector,
+) -> Result<RoundReport, CoreError> {
     if actual_exec_values.len() != bids.len() {
         return Err(CoreError::LengthMismatch { expected: bids.len(), actual: actual_exec_values.len() });
     }
@@ -82,6 +106,16 @@ pub fn simulate_round(
         config.workload,
     );
 
+    let round_span = collector.span_start(
+        0.0,
+        "sim.round",
+        Subsystem::Sim,
+        vec![
+            Field::u64("machines", bids.len() as u64),
+            Field::f64("horizon", config.horizon),
+        ],
+    );
+
     let base = Xoshiro256StarStar::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut observations = Vec::with_capacity(bids.len());
     let mut estimated = Vec::with_capacity(bids.len());
@@ -89,6 +123,13 @@ pub fn simulate_round(
 
     for (i, trace) in traces.iter().enumerate() {
         let rate = allocation.rate(i);
+        let machine_span = collector.span_start_in(
+            0.0,
+            "sim.machine",
+            Subsystem::Sim,
+            round_span,
+            vec![Field::u64("machine", i as u64), Field::f64("rate", rate)],
+        );
         let mut rng = base.stream(i as u64);
         let arrivals: Vec<f64> = trace.iter().map(|j| j.arrival).collect();
         let responses = config.model.responses(&arrivals, actual_exec_values[i], rate, &mut rng);
@@ -112,10 +153,20 @@ pub fn simulate_round(
         };
         total_latency += obs.latency_contribution();
         // Idle machines produce no verification evidence: fall back to the bid.
-        estimated.push(estimate.unwrap_or(bids[i]));
+        let settled = estimate.unwrap_or(bids[i]);
+        collector.span_end_with(
+            config.horizon,
+            machine_span,
+            vec![
+                Field::u64("jobs", arrivals.len() as u64),
+                Field::f64("estimate", settled),
+            ],
+        );
+        estimated.push(settled);
         observations.push(obs);
     }
 
+    collector.span_end(config.horizon, round_span);
     Ok(RoundReport {
         allocation,
         observations,
@@ -239,6 +290,45 @@ mod tests {
         let report = simulate_round(&trues, &exec, PAPER_ARRIVAL_RATE, &deterministic_config()).unwrap();
         assert!((report.estimated_exec_values[0] - 2.0).abs() < 1e-9);
         assert!((report.estimated_exec_values[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_round_records_one_span_per_machine() {
+        use lb_telemetry::{replay_spans, FieldValue, RingCollector};
+        let trues = paper_true_values();
+        let ring = RingCollector::new(256);
+        let report = simulate_round_observed(
+            &trues,
+            &trues,
+            PAPER_ARRIVAL_RATE,
+            &deterministic_config(),
+            &ring,
+        )
+        .unwrap();
+
+        let spans = replay_spans(&ring.snapshot()).unwrap();
+        let round: Vec<_> = spans.iter().filter(|s| s.name == "sim.round").collect();
+        assert_eq!(round.len(), 1);
+        assert!((round[0].duration() - 500.0).abs() < 1e-12);
+        let machines: Vec<_> = spans.iter().filter(|s| s.name == "sim.machine").collect();
+        assert_eq!(machines.len(), trues.len());
+        for span in machines {
+            assert_eq!(span.depth, 1);
+            assert_eq!(span.parent, Some(round[0].id));
+            let Some(&FieldValue::U64(m)) = span.field("machine") else {
+                panic!("sim.machine span lacks a machine field")
+            };
+            let Some(&FieldValue::F64(est)) = span.field("estimate") else {
+                panic!("sim.machine span lacks an estimate field")
+            };
+            assert!((est - report.estimated_exec_values[m as usize]).abs() < 1e-12);
+        }
+
+        // The collector is observational only: the noop path settles on the
+        // exact same estimates.
+        let plain =
+            simulate_round(&trues, &trues, PAPER_ARRIVAL_RATE, &deterministic_config()).unwrap();
+        assert_eq!(plain.estimated_exec_values, report.estimated_exec_values);
     }
 
     #[test]

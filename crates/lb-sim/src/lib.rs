@@ -36,7 +36,10 @@ pub mod system;
 pub mod time;
 pub mod workload;
 
-pub use driver::{simulate_round, verified_round, RoundReport, SimulationConfig, VerifiedRound};
+pub use driver::{
+    simulate_round, simulate_round_observed, verified_round, RoundReport, SimulationConfig,
+    VerifiedRound,
+};
 pub use estimator::{EstimatorConfig, ExecValueEstimator};
 pub use events::EventQueue;
 pub use server::ServiceModel;

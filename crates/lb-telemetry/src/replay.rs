@@ -1,0 +1,298 @@
+//! Span replay: validates a recording's span structure and extracts the
+//! completed spans.
+//!
+//! A recording "replays cleanly" when every [`EventKind::SpanEnd`] matches an
+//! open span, every child closes no later than its parent, no span has a
+//! negative duration, and nothing is left open at the end. The Chrome-trace
+//! exporter builds on the completed spans this module returns, so a trace
+//! file is only ever produced from a structurally valid recording.
+
+use crate::event::{EventKind, Field, SpanId, Subsystem, TelemetryEvent};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A span that opened and closed within the recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedSpan {
+    /// The span's id within the recording.
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Span name (e.g. `round`, `phase.collect_bids`, `sim.machine`).
+    pub name: String,
+    /// Emitting subsystem.
+    pub cat: Subsystem,
+    /// Start timestamp, seconds on the recording's clock.
+    pub start: f64,
+    /// End timestamp, seconds on the recording's clock.
+    pub end: f64,
+    /// Nesting depth (0 for top-level spans).
+    pub depth: usize,
+    /// Fields from the start event followed by any attached at the end.
+    pub fields: Vec<Field>,
+}
+
+impl CompletedSpan {
+    /// Span duration in seconds.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Looks up a field by key (end-of-span fields included).
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&crate::event::FieldValue> {
+        self.fields.iter().find(|f| f.key == key).map(|f| &f.value)
+    }
+}
+
+/// Why a recording does not replay cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// A `SpanEnd` referenced an id that was never opened (or already
+    /// closed).
+    EndWithoutStart {
+        /// The unmatched id.
+        id: SpanId,
+        /// Timestamp of the offending end event.
+        at: f64,
+    },
+    /// Two `SpanStart`s carried the same id.
+    DuplicateSpanId {
+        /// The reused id.
+        id: SpanId,
+    },
+    /// A span opened under a parent that was not open at the time.
+    UnknownParent {
+        /// The child span.
+        id: SpanId,
+        /// The missing parent id.
+        parent: SpanId,
+    },
+    /// A span closed while one of its children was still open.
+    ChildStillOpen {
+        /// The closing parent.
+        parent: SpanId,
+        /// The child that had not closed.
+        child: SpanId,
+    },
+    /// A span closed before it started on the recording clock.
+    NegativeDuration {
+        /// The offending span.
+        id: SpanId,
+        /// Its start timestamp.
+        start: f64,
+        /// Its (earlier) end timestamp.
+        end: f64,
+    },
+    /// The recording ended with spans still open.
+    UnclosedSpans {
+        /// Ids still open at the end of the recording, in open order.
+        open: Vec<SpanId>,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::EndWithoutStart { id, at } => {
+                write!(f, "span end for unknown id {} at t={at}", id.0)
+            }
+            ReplayError::DuplicateSpanId { id } => {
+                write!(f, "span id {} started twice", id.0)
+            }
+            ReplayError::UnknownParent { id, parent } => {
+                write!(f, "span {} opened under unknown parent {}", id.0, parent.0)
+            }
+            ReplayError::ChildStillOpen { parent, child } => {
+                write!(f, "span {} closed while child {} still open", parent.0, child.0)
+            }
+            ReplayError::NegativeDuration { id, start, end } => {
+                write!(f, "span {} ends at t={end} before its start t={start}", id.0)
+            }
+            ReplayError::UnclosedSpans { open } => {
+                write!(f, "{} span(s) never closed (first id {})", open.len(), open[0].0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+struct OpenSpan {
+    parent: Option<SpanId>,
+    name: String,
+    cat: Subsystem,
+    start: f64,
+    depth: usize,
+    fields: Vec<Field>,
+}
+
+/// Replays a recording's span events, returning the completed spans in
+/// order of their *end* events.
+///
+/// Non-span events (instants, counters, gauges, histogram samples) are
+/// ignored; recordings interleave them freely.
+///
+/// # Errors
+/// Returns the first structural violation found — see [`ReplayError`].
+pub fn replay_spans(events: &[TelemetryEvent]) -> Result<Vec<CompletedSpan>, ReplayError> {
+    let mut open: BTreeMap<SpanId, OpenSpan> = BTreeMap::new();
+    let mut open_order: Vec<SpanId> = Vec::new();
+    let mut done: Vec<CompletedSpan> = Vec::new();
+
+    for event in events {
+        match &event.kind {
+            EventKind::SpanStart { id, parent } => {
+                if open.contains_key(id) || done.iter().any(|s| s.id == *id) {
+                    return Err(ReplayError::DuplicateSpanId { id: *id });
+                }
+                let depth = match parent {
+                    None => 0,
+                    Some(p) => match open.get(p) {
+                        Some(parent_span) => parent_span.depth + 1,
+                        None => return Err(ReplayError::UnknownParent { id: *id, parent: *p }),
+                    },
+                };
+                open.insert(
+                    *id,
+                    OpenSpan {
+                        parent: *parent,
+                        name: event.name.clone().into_owned(),
+                        cat: event.cat,
+                        start: event.at,
+                        depth,
+                        fields: event.fields.clone(),
+                    },
+                );
+                open_order.push(*id);
+            }
+            EventKind::SpanEnd { id } => {
+                let Some(span) = open.remove(id) else {
+                    return Err(ReplayError::EndWithoutStart { id: *id, at: event.at });
+                };
+                if let Some(child) = open.iter().find(|(_, s)| s.parent == Some(*id)) {
+                    return Err(ReplayError::ChildStillOpen { parent: *id, child: *child.0 });
+                }
+                if event.at < span.start {
+                    return Err(ReplayError::NegativeDuration {
+                        id: *id,
+                        start: span.start,
+                        end: event.at,
+                    });
+                }
+                open_order.retain(|o| o != id);
+                let mut fields = span.fields;
+                fields.extend(event.fields.iter().cloned());
+                done.push(CompletedSpan {
+                    id: *id,
+                    parent: span.parent,
+                    name: span.name,
+                    cat: span.cat,
+                    start: span.start,
+                    end: event.at,
+                    depth: span.depth,
+                    fields,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    if !open_order.is_empty() {
+        return Err(ReplayError::UnclosedSpans { open: open_order });
+    }
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::ring::RingCollector;
+
+    #[test]
+    fn nested_spans_replay_cleanly() {
+        let ring = RingCollector::new(64);
+        let round = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![Field::u64("round", 1)]);
+        let collect = ring.span_start_in(0.0, "phase.collect_bids", Subsystem::Coordinator, round, vec![]);
+        ring.instant(0.1, "net.send", Subsystem::Network, vec![]);
+        ring.span_end(0.4, collect);
+        let exec = ring.span_start_in(0.4, "phase.execute", Subsystem::Coordinator, round, vec![]);
+        ring.span_end_with(0.9, exec, vec![Field::u64("acks", 4)]);
+        ring.span_end(1.0, round);
+
+        let spans = replay_spans(&ring.snapshot()).unwrap();
+        assert_eq!(spans.len(), 3);
+        // Ordered by end event.
+        assert_eq!(spans[0].name, "phase.collect_bids");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "phase.execute");
+        assert_eq!(spans[1].field("acks"), Some(&crate::event::FieldValue::U64(4)));
+        assert_eq!(spans[2].name, "round");
+        assert_eq!(spans[2].depth, 0);
+        assert!((spans[2].duration() - 1.0).abs() < 1e-12);
+        assert_eq!(spans[0].parent, Some(spans[2].id));
+    }
+
+    #[test]
+    fn end_without_start_is_rejected() {
+        let ring = RingCollector::new(8);
+        ring.span_end(1.0, SpanId(42));
+        // span_end on an id the ring never issued still records the event.
+        let err = replay_spans(&ring.snapshot()).unwrap_err();
+        assert_eq!(err, ReplayError::EndWithoutStart { id: SpanId(42), at: 1.0 });
+    }
+
+    #[test]
+    fn parent_closing_before_child_is_rejected() {
+        let ring = RingCollector::new(8);
+        let a = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![]);
+        let b = ring.span_start_in(0.1, "phase.allocate", Subsystem::Coordinator, a, vec![]);
+        ring.span_end(0.2, a);
+        let err = replay_spans(&ring.snapshot()).unwrap_err();
+        assert_eq!(err, ReplayError::ChildStillOpen { parent: a, child: b });
+    }
+
+    #[test]
+    fn unclosed_spans_are_rejected() {
+        let ring = RingCollector::new(8);
+        let a = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![]);
+        let err = replay_spans(&ring.snapshot()).unwrap_err();
+        assert_eq!(err, ReplayError::UnclosedSpans { open: vec![a] });
+    }
+
+    #[test]
+    fn negative_duration_is_rejected() {
+        let ring = RingCollector::new(8);
+        let a = ring.span_start(1.0, "round", Subsystem::Coordinator, vec![]);
+        ring.span_end(0.5, a);
+        assert!(matches!(
+            replay_spans(&ring.snapshot()),
+            Err(ReplayError::NegativeDuration { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_parent_is_rejected() {
+        let ring = RingCollector::new(8);
+        let _ = ring.span_start_in(0.0, "phase.settle", Subsystem::Coordinator, SpanId(99), vec![]);
+        assert!(matches!(replay_spans(&ring.snapshot()), Err(ReplayError::UnknownParent { .. })));
+    }
+
+    #[test]
+    fn overlapping_sibling_spans_are_fine() {
+        // Per-machine simulator spans overlap in time; that is legal as long
+        // as each closes before the shared parent does.
+        let ring = RingCollector::new(16);
+        let parent = ring.span_start(0.0, "phase.execute", Subsystem::Coordinator, vec![]);
+        let m0 = ring.span_start_in(0.0, "sim.machine", Subsystem::Sim, parent, vec![]);
+        let m1 = ring.span_start_in(0.0, "sim.machine", Subsystem::Sim, parent, vec![]);
+        ring.span_end(2.0, m1);
+        ring.span_end(3.0, m0);
+        ring.span_end(3.0, parent);
+        let spans = replay_spans(&ring.snapshot()).unwrap();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans.iter().filter(|s| s.name == "sim.machine").count(), 2);
+    }
+}

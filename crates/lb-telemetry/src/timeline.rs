@@ -1,0 +1,195 @@
+//! Plain-text timeline renderer for recordings.
+//!
+//! [`render_timeline`] turns an event list into a human-readable,
+//! indentation-nested transcript — the terminal-friendly counterpart of the
+//! Chrome trace exporter — followed by a summary of span durations, counter
+//! totals and instant counts.
+
+use crate::event::{EventKind, Field, SpanId, TelemetryEvent};
+use crate::replay::replay_spans;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn fields_suffix(fields: &[Field]) -> String {
+    if fields.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(" {");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}={}", f.key, f.value);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a recording as an indented plain-text timeline plus a summary.
+///
+/// The timeline tolerates structurally broken recordings (it simply prints
+/// what happened, flagging unmatched span ends); the per-span duration
+/// summary is only included when the recording replays cleanly.
+#[must_use]
+pub fn render_timeline(events: &[TelemetryEvent]) -> String {
+    let mut out = String::new();
+    let mut open: BTreeMap<SpanId, (String, f64, usize)> = BTreeMap::new();
+    let mut depth = 0usize;
+
+    for event in events {
+        let indent = "  ".repeat(depth + 1);
+        match &event.kind {
+            EventKind::SpanStart { id, .. } => {
+                let _ = writeln!(
+                    out,
+                    "[{:>11.6}] {}> {} ({}){}",
+                    event.at,
+                    "  ".repeat(depth),
+                    event.name,
+                    event.cat,
+                    fields_suffix(&event.fields)
+                );
+                open.insert(*id, (event.name.clone().into_owned(), event.at, depth));
+                depth += 1;
+            }
+            EventKind::SpanEnd { id } => match open.remove(id) {
+                Some((name, start, d)) => {
+                    depth = depth.saturating_sub(1);
+                    let _ = writeln!(
+                        out,
+                        "[{:>11.6}] {}< {}  dur={:.6}s{}",
+                        event.at,
+                        "  ".repeat(d),
+                        name,
+                        event.at - start,
+                        fields_suffix(&event.fields)
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "[{:>11.6}] {indent}! span end for unknown id {}",
+                        event.at, id.0
+                    );
+                }
+            },
+            EventKind::Instant => {
+                let _ = writeln!(
+                    out,
+                    "[{:>11.6}] {indent}. {} ({}){}",
+                    event.at,
+                    event.name,
+                    event.cat,
+                    fields_suffix(&event.fields)
+                );
+            }
+            EventKind::Counter { delta } => {
+                let _ = writeln!(
+                    out,
+                    "[{:>11.6}] {indent}+ {} +={delta}",
+                    event.at, event.name
+                );
+            }
+            EventKind::Gauge { value } => {
+                let _ = writeln!(
+                    out,
+                    "[{:>11.6}] {indent}= {} = {value:.6}",
+                    event.at, event.name
+                );
+            }
+            EventKind::Histogram { value } => {
+                let _ = writeln!(
+                    out,
+                    "[{:>11.6}] {indent}~ {} sample {value:.6}",
+                    event.at, event.name
+                );
+            }
+        }
+    }
+
+    // ---- summary ----------------------------------------------------
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut instants: BTreeMap<&str, u64> = BTreeMap::new();
+    for event in events {
+        match &event.kind {
+            EventKind::Counter { delta } => {
+                let slot = counters.entry(event.name.as_ref()).or_insert(0);
+                *slot = slot.saturating_add(*delta);
+            }
+            EventKind::Instant => {
+                *instants.entry(event.name.as_ref()).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let _ = writeln!(out, "---- summary ({} events) ----", events.len());
+    if let Ok(spans) = replay_spans(events) {
+        let mut durations: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+        for span in &spans {
+            let slot = durations.entry(span.name.as_str()).or_insert((0, 0.0));
+            slot.0 += 1;
+            slot.1 += span.duration();
+        }
+        for (name, (count, total)) in &durations {
+            let _ = writeln!(
+                out,
+                "span     {name}: n={count} total={total:.6}s mean={:.6}s",
+                total / *count as f64
+            );
+        }
+    } else {
+        out.push_str("span     (recording does not replay cleanly; durations omitted)\n");
+    }
+    for (name, total) in &counters {
+        let _ = writeln!(out, "counter  {name}: {total}");
+    }
+    for (name, count) in &instants {
+        let _ = writeln!(out, "instant  {name}: x{count}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::event::Subsystem;
+    use crate::ring::RingCollector;
+
+    #[test]
+    fn timeline_nests_and_summarises() {
+        let ring = RingCollector::new(64);
+        let round = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![Field::u64("round", 1)]);
+        let collect =
+            ring.span_start_in(0.0, "phase.collect_bids", Subsystem::Coordinator, round, vec![]);
+        ring.instant(
+            0.1,
+            "anomaly",
+            Subsystem::Coordinator,
+            vec![Field::str("kind", "late_bid")],
+        );
+        ring.counter(0.1, "net.messages", Subsystem::Network, 4);
+        ring.span_end(0.5, collect);
+        ring.span_end(0.6, round);
+
+        let text = render_timeline(&ring.snapshot());
+        assert!(text.contains("> round (coordinator) {round=1}"));
+        assert!(text.contains("  > phase.collect_bids"), "{text}");
+        assert!(text.contains(". anomaly (coordinator) {kind=late_bid}"));
+        assert!(text.contains("dur=0.500000s"));
+        assert!(text.contains("counter  net.messages: 4"));
+        assert!(text.contains("instant  anomaly: x1"));
+        assert!(text.contains("span     round: n=1 total=0.600000s"));
+    }
+
+    #[test]
+    fn broken_recordings_still_render() {
+        let ring = RingCollector::new(8);
+        ring.span_end(0.5, SpanId(9));
+        let _ = ring.span_start(1.0, "round", Subsystem::Coordinator, vec![]);
+        let text = render_timeline(&ring.snapshot());
+        assert!(text.contains("! span end for unknown id 9"));
+        assert!(text.contains("does not replay cleanly"));
+    }
+}

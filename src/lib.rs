@@ -12,6 +12,8 @@
 //! * [`agents`] — strategic bidding/execution models and best-response
 //!   dynamics.
 //! * [`stats`] — RNG streams, distributions and output analysis.
+//! * [`telemetry`] — structured tracing and metrics: span/event collectors,
+//!   a ring-buffer recorder, and JSONL / Chrome-trace / timeline exporters.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 //!
@@ -39,6 +41,7 @@ pub use lb_mechanism as mechanism;
 pub use lb_proto as proto;
 pub use lb_sim as sim;
 pub use lb_stats as stats;
+pub use lb_telemetry as telemetry;
 
 /// Commonly used items, importable with `use lbmv::prelude::*`.
 pub mod prelude {
@@ -53,4 +56,5 @@ pub mod prelude {
     pub use lb_proto::{run_protocol_round, NodeSpec, ProtocolConfig};
     pub use lb_sim::driver::{verified_round, SimulationConfig};
     pub use lb_stats::{OnlineStats, Rng, Xoshiro256StarStar};
+    pub use lb_telemetry::{Collector, MetricsRegistry, RingCollector};
 }
