@@ -33,9 +33,18 @@ impl EpsilonGreedyAgent {
     #[must_use]
     pub fn new(menu: Vec<StrategyOption>, epsilon: f64, rng: Xoshiro256StarStar) -> Self {
         assert!(!menu.is_empty(), "EpsilonGreedyAgent: empty menu");
-        assert!((0.0..=1.0).contains(&epsilon), "EpsilonGreedyAgent: epsilon out of range");
+        assert!(
+            (0.0..=1.0).contains(&epsilon),
+            "EpsilonGreedyAgent: epsilon out of range"
+        );
         let k = menu.len();
-        Self { menu, epsilon, arm_stats: vec![OnlineStats::new(); k], pulls: vec![0; k], rng }
+        Self {
+            menu,
+            epsilon,
+            arm_stats: vec![OnlineStats::new(); k],
+            pulls: vec![0; k],
+            rng,
+        }
     }
 
     /// Picks the next arm (explore with probability ε, else exploit; unplayed
@@ -151,10 +160,16 @@ pub fn repeated_play<M: VerifiedMechanism + ?Sized>(
     let mut regret_acc = 0.0;
     for round in 0..rounds {
         let arms: Vec<usize> = agents.iter_mut().map(EpsilonGreedyAgent::choose).collect();
-        let bids: Vec<f64> =
-            arms.iter().zip(true_values).map(|(&a, &t)| t * menu[a].bid_factor).collect();
-        let exec: Vec<f64> =
-            arms.iter().zip(true_values).map(|(&a, &t)| t * menu[a].exec_factor.max(1.0)).collect();
+        let bids: Vec<f64> = arms
+            .iter()
+            .zip(true_values)
+            .map(|(&a, &t)| t * menu[a].bid_factor)
+            .collect();
+        let exec: Vec<f64> = arms
+            .iter()
+            .zip(true_values)
+            .map(|(&a, &t)| t * menu[a].exec_factor.max(1.0))
+            .collect();
         let profile = Profile::new(true_values.to_vec(), bids, exec, total_rate)?;
         let outcome = run_mechanism(mechanism, &profile)?;
 
@@ -243,7 +258,12 @@ mod tests {
         // Per-round regret against the truthful counterfactual is always
         // >= 0 for a truthful mechanism: the cumulative trace is monotone.
         for w in regret.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "regret decreased: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "regret decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
         // Sublinearity in practice: late per-round regret far below early.
         let early = regret[regret.len() / 10] / (regret.len() / 10) as f64;

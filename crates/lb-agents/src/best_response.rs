@@ -26,7 +26,13 @@ pub struct SearchOptions {
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        Self { bid_lo: 0.05, bid_hi: 20.0, grid: 24, exec_hi: 5.0, refine_iters: 60 }
+        Self {
+            bid_lo: 0.05,
+            bid_hi: 20.0,
+            grid: 24,
+            exec_hi: 5.0,
+            refine_iters: 60,
+        }
     }
 }
 
@@ -139,7 +145,12 @@ pub fn best_response<M: VerifiedMechanism + ?Sized>(
         best = (refined_bid, exec, refined_u);
     }
 
-    Ok(BestResponse { bid: best.0, exec_value: best.1, utility: best.2, truthful_utility })
+    Ok(BestResponse {
+        bid: best.0,
+        exec_value: best.1,
+        utility: best.2,
+        truthful_utility,
+    })
 }
 
 #[cfg(test)]
@@ -157,8 +168,16 @@ mod tests {
             let br = best_response(&mech, &base, agent, &SearchOptions::default()).unwrap();
             assert!(br.truth_is_best(1e-6), "agent {agent}: gain {}", br.gain());
             let t = base.true_values()[agent];
-            assert!((br.bid - t).abs() / t < 0.05, "agent {agent}: best bid {} vs t {t}", br.bid);
-            assert!((br.exec_value - t).abs() / t < 1e-9, "agent {agent}: exec {}", br.exec_value);
+            assert!(
+                (br.bid - t).abs() / t < 0.05,
+                "agent {agent}: best bid {} vs t {t}",
+                br.bid
+            );
+            assert!(
+                (br.exec_value - t).abs() / t < 1e-9,
+                "agent {agent}: exec {}",
+                br.exec_value
+            );
         }
     }
 
@@ -204,13 +223,20 @@ mod tests {
                 _total_rate: f64,
             ) -> Result<Vec<f64>, MechanismError> {
                 // Pays each agent its bid times its load — trivially gameable.
-                Ok(bids.iter().zip(allocation.rates()).map(|(&b, &x)| 10.0 * b * x).collect())
+                Ok(bids
+                    .iter()
+                    .zip(allocation.rates())
+                    .map(|(&b, &x)| 10.0 * b * x)
+                    .collect())
             }
         }
         let sys = paper_system();
         let base = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();
         let br = best_response(&PayTheBid, &base, 0, &SearchOptions::default()).unwrap();
-        assert!(br.gain() > 1.0, "search failed to find the obvious deviation");
+        assert!(
+            br.gain() > 1.0,
+            "search failed to find the obvious deviation"
+        );
         assert!(br.bid > base.true_values()[0], "deviation should over-bid");
     }
 

@@ -33,7 +33,10 @@ impl BiddingStrategy {
         match self {
             Self::Truthful => true_value,
             Self::Scaled(factor) => {
-                assert!(factor.is_finite() && *factor > 0.0, "Scaled: invalid factor");
+                assert!(
+                    factor.is_finite() && *factor > 0.0,
+                    "Scaled: invalid factor"
+                );
                 true_value * *factor
             }
             Self::Fixed(value) => {
@@ -50,7 +53,8 @@ impl BiddingStrategy {
     /// Whether this strategy always reports the truth.
     #[must_use]
     pub fn is_truthful(&self) -> bool {
-        matches!(self, Self::Truthful) || matches!(self, Self::Scaled(f) if (*f - 1.0).abs() < 1e-12)
+        matches!(self, Self::Truthful)
+            || matches!(self, Self::Scaled(f) if (*f - 1.0).abs() < 1e-12)
     }
 }
 

@@ -51,14 +51,16 @@ pub fn coalition_search<M: VerifiedMechanism + ?Sized>(
     factors: &[f64],
 ) -> Result<CoalitionReport, MechanismError> {
     assert!(a != b, "coalition_search: need two distinct machines");
-    assert!(a < true_values.len() && b < true_values.len(), "coalition_search: index out of range");
+    assert!(
+        a < true_values.len() && b < true_values.len(),
+        "coalition_search: index out of range"
+    );
 
     let joint = |fa: f64, fb: f64| -> Result<f64, MechanismError> {
         let mut bids = true_values.to_vec();
         bids[a] *= fa;
         bids[b] *= fb;
-        let profile =
-            Profile::new(true_values.to_vec(), bids, true_values.to_vec(), total_rate)?;
+        let profile = Profile::new(true_values.to_vec(), bids, true_values.to_vec(), total_rate)?;
         let out = run_mechanism(mechanism, &profile)?;
         Ok(out.utilities[a] + out.utilities[b])
     };
@@ -107,7 +109,11 @@ mod tests {
             &factors(),
         )
         .unwrap();
-        assert!(report.gain() > 0.0, "expected a profitable coalition, gain {}", report.gain());
+        assert!(
+            report.gain() > 0.0,
+            "expected a profitable coalition, gain {}",
+            report.gain()
+        );
         // The profitable direction is upward misreporting.
         assert!(report.best_factors.0 > 1.0 || report.best_factors.1 > 1.0);
     }
@@ -123,8 +129,7 @@ mod tests {
         let sys = paper_system();
         let trues = sys.true_values();
         let mech = CompensationBonusMechanism::paper();
-        let report =
-            coalition_search(&mech, &trues, PAPER_ARRIVAL_RATE, 0, 1, &factors()).unwrap();
+        let report = coalition_search(&mech, &trues, PAPER_ARRIVAL_RATE, 0, 1, &factors()).unwrap();
         let (fa, fb) = report.best_factors;
 
         let evaluate = |f0: f64, f1: f64| {

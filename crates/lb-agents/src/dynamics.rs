@@ -22,7 +22,11 @@ pub struct DynamicsOptions {
 
 impl Default for DynamicsOptions {
     fn default() -> Self {
-        Self { max_sweeps: 10, tolerance: 1e-4, search: SearchOptions::default() }
+        Self {
+            max_sweeps: 10,
+            tolerance: 1e-4,
+            search: SearchOptions::default(),
+        }
     }
 }
 
@@ -141,7 +145,12 @@ pub fn run_dynamics<M: VerifiedMechanism + ?Sized>(
         }
     }
 
-    Ok(DynamicsReport { bid_history, exec_history, sweeps, converged })
+    Ok(DynamicsReport {
+        bid_history,
+        exec_history,
+        sweeps,
+        converged,
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +175,11 @@ mod tests {
 
         let mech = CompensationBonusMechanism::paper();
         let report = run_dynamics(&mech, &start, &DynamicsOptions::default()).unwrap();
-        assert!(report.converged, "did not converge in {} sweeps", report.sweeps);
+        assert!(
+            report.converged,
+            "did not converge in {} sweeps",
+            report.sweeps
+        );
         // Scale-invariance of PR: the dynamics land on bids *proportional*
         // to the true values with full-capacity execution — outcome-identical
         // to truth (same allocation, same optimal latency).

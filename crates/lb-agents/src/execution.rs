@@ -30,7 +30,10 @@ impl ExecutionStrategy {
         match *self {
             Self::FullCapacity => true_value,
             Self::Throttled(factor) => {
-                assert!(factor.is_finite() && factor >= 1.0, "Throttled: factor must be >= 1");
+                assert!(
+                    factor.is_finite() && factor >= 1.0,
+                    "Throttled: factor must be >= 1"
+                );
                 true_value * factor
             }
             Self::MatchBid => bid.max(true_value),

@@ -29,14 +29,23 @@ impl<'g> FictitiousPlay<'g> {
     /// Panics if the profile arity or any index is out of range.
     #[must_use]
     pub fn new(game: &'g EmpiricalGame, initial: &[usize]) -> Self {
-        assert_eq!(initial.len(), game.n, "FictitiousPlay: profile arity mismatch");
+        assert_eq!(
+            initial.len(),
+            game.n,
+            "FictitiousPlay: profile arity mismatch"
+        );
         let k = game.menu.len();
         let mut counts = vec![vec![0u64; k]; game.n];
         for (agent, &s) in initial.iter().enumerate() {
             assert!(s < k, "FictitiousPlay: strategy index out of range");
             counts[agent][s] = 1;
         }
-        Self { game, counts, last: initial.to_vec(), rounds: 1 }
+        Self {
+            game,
+            counts,
+            last: initial.to_vec(),
+            rounds: 1,
+        }
     }
 
     /// Empirical mixed strategy of `agent` (its belief held by others).
@@ -46,7 +55,10 @@ impl<'g> FictitiousPlay<'g> {
     #[must_use]
     pub fn belief(&self, agent: usize) -> Vec<f64> {
         let total: u64 = self.counts[agent].iter().sum();
-        self.counts[agent].iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts[agent]
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 
     /// Expected utility of `agent` playing `strategy` against the current
@@ -138,8 +150,13 @@ mod tests {
 
     fn game() -> EmpiricalGame {
         let sys = System::from_true_values(&[1.0, 2.0, 5.0]).unwrap();
-        empirical_game(&CompensationBonusMechanism::paper(), &sys, 10.0, &consistent_strategy_menu())
-            .unwrap()
+        empirical_game(
+            &CompensationBonusMechanism::paper(),
+            &sys,
+            10.0,
+            &consistent_strategy_menu(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! truthful option should be dominant for every agent and the all-truthful
 //! profile a Nash equilibrium.
 
-use lb_mechanism::{run_mechanism, MechanismError, Profile, VerifiedMechanism};
 use lb_core::System;
+use lb_mechanism::{run_mechanism, MechanismError, Profile, VerifiedMechanism};
 
 /// A named pure strategy: multiplicative bid and execution factors.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,11 +25,31 @@ pub struct StrategyOption {
 #[must_use]
 pub fn paper_strategy_menu() -> Vec<StrategyOption> {
     vec![
-        StrategyOption { name: "truthful", bid_factor: 1.0, exec_factor: 1.0 },
-        StrategyOption { name: "high-consistent", bid_factor: 3.0, exec_factor: 3.0 },
-        StrategyOption { name: "high-fast", bid_factor: 3.0, exec_factor: 1.0 },
-        StrategyOption { name: "low", bid_factor: 0.5, exec_factor: 1.0 },
-        StrategyOption { name: "lazy", bid_factor: 1.0, exec_factor: 2.0 },
+        StrategyOption {
+            name: "truthful",
+            bid_factor: 1.0,
+            exec_factor: 1.0,
+        },
+        StrategyOption {
+            name: "high-consistent",
+            bid_factor: 3.0,
+            exec_factor: 3.0,
+        },
+        StrategyOption {
+            name: "high-fast",
+            bid_factor: 3.0,
+            exec_factor: 1.0,
+        },
+        StrategyOption {
+            name: "low",
+            bid_factor: 0.5,
+            exec_factor: 1.0,
+        },
+        StrategyOption {
+            name: "lazy",
+            bid_factor: 1.0,
+            exec_factor: 2.0,
+        },
     ]
 }
 
@@ -39,10 +59,26 @@ pub fn paper_strategy_menu() -> Vec<StrategyOption> {
 #[must_use]
 pub fn consistent_strategy_menu() -> Vec<StrategyOption> {
     vec![
-        StrategyOption { name: "truthful", bid_factor: 1.0, exec_factor: 1.0 },
-        StrategyOption { name: "slow-1.5x", bid_factor: 1.5, exec_factor: 1.5 },
-        StrategyOption { name: "slow-2x", bid_factor: 2.0, exec_factor: 2.0 },
-        StrategyOption { name: "slow-3x", bid_factor: 3.0, exec_factor: 3.0 },
+        StrategyOption {
+            name: "truthful",
+            bid_factor: 1.0,
+            exec_factor: 1.0,
+        },
+        StrategyOption {
+            name: "slow-1.5x",
+            bid_factor: 1.5,
+            exec_factor: 1.5,
+        },
+        StrategyOption {
+            name: "slow-2x",
+            bid_factor: 2.0,
+            exec_factor: 2.0,
+        },
+        StrategyOption {
+            name: "slow-3x",
+            bid_factor: 3.0,
+            exec_factor: 3.0,
+        },
     ]
 }
 
@@ -179,8 +215,13 @@ pub fn empirical_game<M: VerifiedMechanism + ?Sized>(
     assert!(!menu.is_empty(), "empirical_game: empty menu");
     let n = system.len();
     let k = menu.len();
-    let size = k.checked_pow(u32::try_from(n).expect("n fits u32")).expect("table too large");
-    assert!(size <= 1_000_000, "empirical_game: table too large ({size} entries)");
+    let size = k
+        .checked_pow(u32::try_from(n).expect("n fits u32"))
+        .expect("table too large");
+    assert!(
+        size <= 1_000_000,
+        "empirical_game: table too large ({size} entries)"
+    );
 
     let trues = system.true_values();
     let mut strides = vec![0usize; n];
@@ -193,9 +234,16 @@ pub fn empirical_game<M: VerifiedMechanism + ?Sized>(
     let mut payoffs = Vec::with_capacity(size);
     let mut profile = vec![0usize; n];
     for _ in 0..size {
-        let bids: Vec<f64> = profile.iter().zip(&trues).map(|(&s, &t)| t * menu[s].bid_factor).collect();
-        let exec: Vec<f64> =
-            profile.iter().zip(&trues).map(|(&s, &t)| t * menu[s].exec_factor.max(1.0)).collect();
+        let bids: Vec<f64> = profile
+            .iter()
+            .zip(&trues)
+            .map(|(&s, &t)| t * menu[s].bid_factor)
+            .collect();
+        let exec: Vec<f64> = profile
+            .iter()
+            .zip(&trues)
+            .map(|(&s, &t)| t * menu[s].exec_factor.max(1.0))
+            .collect();
         let p = Profile::new(trues.clone(), bids, exec, total_rate)?;
         payoffs.push(run_mechanism(mechanism, &p)?.utilities);
         // Odometer.
@@ -207,7 +255,12 @@ pub fn empirical_game<M: VerifiedMechanism + ?Sized>(
             profile[pos] = 0;
         }
     }
-    Ok(EmpiricalGame { menu: menu.to_vec(), n, payoffs, strides })
+    Ok(EmpiricalGame {
+        menu: menu.to_vec(),
+        n,
+        payoffs,
+        strides,
+    })
 }
 
 #[cfg(test)]
@@ -243,7 +296,10 @@ mod tests {
         // (execution = bid), truth is weakly dominant for every agent.
         let g = consistent_game();
         for agent in 0..3 {
-            assert!(g.is_dominant(agent, 0, 1e-9), "truthful not dominant for agent {agent}");
+            assert!(
+                g.is_dominant(agent, 0, 1e-9),
+                "truthful not dominant for agent {agent}"
+            );
         }
     }
 
@@ -251,7 +307,11 @@ mod tests {
     fn no_lazy_strategy_is_dominant_in_consistent_menu() {
         let g = consistent_game();
         for s in 1..g.menu.len() {
-            assert!(!g.is_dominant(0, s, 1e-9), "strategy {} should not be dominant", g.menu[s].name);
+            assert!(
+                !g.is_dominant(0, s, 1e-9),
+                "strategy {} should not be dominant",
+                g.menu[s].name
+            );
         }
     }
 
@@ -262,7 +322,10 @@ mod tests {
         // literal truth-telling is *not* dominant over the full menu. This is
         // the boundary of Theorem 3.1 the crate documents.
         let g = game();
-        assert!(!g.is_dominant(0, 0, 1e-9), "truth unexpectedly dominant over inconsistent menu");
+        assert!(
+            !g.is_dominant(0, 0, 1e-9),
+            "truth unexpectedly dominant over inconsistent menu"
+        );
     }
 
     #[test]

@@ -21,8 +21,10 @@ fn bench_verification_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_verification");
     let verified = CompensationBonusMechanism::paper();
     let unverified = UnverifiedCompensationBonus::paper();
-    let profiles: Vec<Profile> =
-        paper_experiments().iter().map(|s| experiment_profile(s).unwrap()).collect();
+    let profiles: Vec<Profile> = paper_experiments()
+        .iter()
+        .map(|s| experiment_profile(s).unwrap())
+        .collect();
     group.bench_function("verified_all_experiments", |b| {
         b.iter(|| {
             for p in &profiles {
@@ -52,11 +54,18 @@ fn bench_estimator_budget(c: &mut Criterion) {
             model: ServiceModel::StationaryExponential,
             workload: Default::default(),
             warmup: 0.0,
-            estimator: EstimatorConfig { max_samples: Some(samples), noise_cv: 0.0 },
+            estimator: EstimatorConfig {
+                max_samples: Some(samples),
+                noise_cv: 0.0,
+            },
         };
-        group.bench_with_input(BenchmarkId::from_parameter(samples), &config, |b, config| {
-            b.iter(|| black_box(verified_round(&mech, &profile, config).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(samples),
+            &config,
+            |b, config| {
+                b.iter(|| black_box(verified_round(&mech, &profile, config).unwrap()));
+            },
+        );
     }
     group.finish();
 }

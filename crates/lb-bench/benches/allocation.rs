@@ -47,5 +47,10 @@ fn bench_mm1_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pr_scaling, bench_convex_vs_closed_form, bench_mm1_solver);
+criterion_group!(
+    benches,
+    bench_pr_scaling,
+    bench_convex_vs_closed_form,
+    bench_mm1_solver
+);
 criterion_main!(benches);

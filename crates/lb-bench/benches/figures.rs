@@ -8,8 +8,12 @@ use std::hint::black_box;
 
 fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("regen_tables");
-    group.bench_function("table1", |b| b.iter(|| black_box(figures::table1().render())));
-    group.bench_function("table2", |b| b.iter(|| black_box(figures::table2().render())));
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(figures::table1().render()))
+    });
+    group.bench_function("table2", |b| {
+        b.iter(|| black_box(figures::table2().render()))
+    });
     group.finish();
 }
 

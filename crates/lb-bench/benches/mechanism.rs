@@ -62,5 +62,10 @@ fn bench_figure_regeneration(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mechanisms, bench_payment_scaling, bench_figure_regeneration);
+criterion_group!(
+    benches,
+    bench_mechanisms,
+    bench_payment_scaling,
+    bench_figure_regeneration
+);
 criterion_main!(benches);

@@ -15,7 +15,11 @@ use std::hint::black_box;
 
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
-    let msg = Message::Bid { round: RoundId(7), machine: 3, value: 2.5 };
+    let msg = Message::Bid {
+        round: RoundId(7),
+        machine: 3,
+        value: 2.5,
+    };
     let bytes = encode(&msg).unwrap();
     group.bench_function("encode_bid", |b| {
         b.iter(|| encode(black_box(&msg)).unwrap());
@@ -42,7 +46,9 @@ fn proto_config() -> ProtocolConfig {
 }
 
 fn specs(n: usize) -> Vec<NodeSpec> {
-    (0..n).map(|i| NodeSpec::truthful(1.0 + (i % 7) as f64)).collect()
+    (0..n)
+        .map(|i| NodeSpec::truthful(1.0 + (i % 7) as f64))
+        .collect()
 }
 
 fn bench_round_scaling(c: &mut Criterion) {
@@ -75,7 +81,11 @@ fn bench_faulty_round(c: &mut Criterion) {
     group.sample_size(20);
     let mech = CompensationBonusMechanism::paper();
     let s = specs(16);
-    let plan = FaultPlan { lose_bids_from: vec![0], lose_acks_from: vec![5], ..FaultPlan::none() };
+    let plan = FaultPlan {
+        lose_bids_from: vec![0],
+        lose_acks_from: vec![5],
+        ..FaultPlan::none()
+    };
     group.bench_function("lossy_round_16", |b| {
         b.iter(|| {
             run_protocol_round_with_faults(black_box(&mech), &s, &proto_config(), &plan).unwrap()

@@ -10,7 +10,14 @@ use lb_sim::server::ServiceModel;
 use std::hint::black_box;
 
 fn config(model: ServiceModel, horizon: f64) -> SimulationConfig {
-    SimulationConfig { horizon, seed: 1, model, workload: Default::default(), warmup: 0.0, estimator: EstimatorConfig::default() }
+    SimulationConfig {
+        horizon,
+        seed: 1,
+        model,
+        workload: Default::default(),
+        warmup: 0.0,
+        estimator: EstimatorConfig::default(),
+    }
 }
 
 fn bench_service_models(c: &mut Criterion) {
@@ -24,8 +31,13 @@ fn bench_service_models(c: &mut Criterion) {
         let cfg = config(model, 500.0);
         group.bench_function(name, |b| {
             b.iter(|| {
-                simulate_round(black_box(&trues), black_box(&trues), PAPER_ARRIVAL_RATE, &cfg)
-                    .unwrap()
+                simulate_round(
+                    black_box(&trues),
+                    black_box(&trues),
+                    PAPER_ARRIVAL_RATE,
+                    &cfg,
+                )
+                .unwrap()
             });
         });
     }
@@ -38,11 +50,21 @@ fn bench_horizon_scaling(c: &mut Criterion) {
     let trues = paper_true_values();
     for horizon in [250.0f64, 1_000.0, 4_000.0] {
         let cfg = config(ServiceModel::StationaryExponential, horizon);
-        group.bench_with_input(BenchmarkId::from_parameter(horizon as u64), &cfg, |b, cfg| {
-            b.iter(|| {
-                simulate_round(black_box(&trues), black_box(&trues), PAPER_ARRIVAL_RATE, cfg).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(horizon as u64),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    simulate_round(
+                        black_box(&trues),
+                        black_box(&trues),
+                        PAPER_ARRIVAL_RATE,
+                        cfg,
+                    )
+                    .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -53,14 +75,31 @@ fn bench_parallel_replication(c: &mut Criterion) {
     let trues = paper_true_values();
     let cfg = config(ServiceModel::StationaryExponential, 500.0);
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                replicate(black_box(&trues), &trues, PAPER_ARRIVAL_RATE, &cfg, 16, threads).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    replicate(
+                        black_box(&trues),
+                        &trues,
+                        PAPER_ARRIVAL_RATE,
+                        &cfg,
+                        16,
+                        threads,
+                    )
+                    .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_service_models, bench_horizon_scaling, bench_parallel_replication);
+criterion_group!(
+    benches,
+    bench_service_models,
+    bench_horizon_scaling,
+    bench_parallel_replication
+);
 criterion_main!(benches);

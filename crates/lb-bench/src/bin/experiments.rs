@@ -42,7 +42,10 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
                 "Figure 6: payment structure (truthful profile, arrival-rate sweep)",
                 &sweep.render(),
             );
-            print_section("Figure 6 (supplement): payment structure per experiment", &per_exp.render());
+            print_section(
+                "Figure 6 (supplement): payment structure per experiment",
+                &per_exp.render(),
+            );
         }
         "fig1-sim" => print_section(
             "Figure 1 via discrete-event simulation (stochastic service, estimated latency)",
@@ -124,10 +127,32 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
         }
         "all" => {
             for t in [
-                "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig1-sim",
-                "messages", "ablation", "faults", "audit", "learning", "mm1", "bursty", "dynamic",
-                "multi-liar", "sensitivity", "churn", "fees", "percentiles", "baselines",
-                "telemetry", "chart-fig1", "chart-fig2",
+                "table1",
+                "table2",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig1-sim",
+                "messages",
+                "ablation",
+                "faults",
+                "audit",
+                "learning",
+                "mm1",
+                "bursty",
+                "dynamic",
+                "multi-liar",
+                "sensitivity",
+                "churn",
+                "fees",
+                "percentiles",
+                "baselines",
+                "telemetry",
+                "chart-fig1",
+                "chart-fig2",
             ] {
                 run(t)?;
             }

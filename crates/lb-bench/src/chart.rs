@@ -23,7 +23,11 @@ impl BarChart {
     #[must_use]
     pub fn new(title: &str, width: usize) -> Self {
         assert!(width >= 10, "BarChart: width too small");
-        Self { title: title.to_string(), entries: Vec::new(), width }
+        Self {
+            title: title.to_string(),
+            entries: Vec::new(),
+            width,
+        }
     }
 
     /// Adds one labelled bar.
@@ -59,8 +63,16 @@ impl BarChart {
             return out;
         }
         let label_w = self.entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
-        let max = self.entries.iter().map(|&(_, v)| v.max(0.0)).fold(0.0f64, f64::max);
-        let min = self.entries.iter().map(|&(_, v)| v.min(0.0)).fold(0.0f64, f64::min);
+        let max = self
+            .entries
+            .iter()
+            .map(|&(_, v)| v.max(0.0))
+            .fold(0.0f64, f64::max);
+        let min = self
+            .entries
+            .iter()
+            .map(|&(_, v)| v.min(0.0))
+            .fold(0.0f64, f64::min);
         let span = (max - min).max(f64::MIN_POSITIVE);
         // Portion of the bar area left of the zero axis.
         let neg_cells = ((-min / span) * self.width as f64).round() as usize;
@@ -74,11 +86,22 @@ impl BarChart {
                 } else {
                     0
                 };
-                let _ = write!(out, "{}{}", " ".repeat(neg_cells), "#".repeat(cells.max(usize::from(*value > 0.0))));
+                let _ = write!(
+                    out,
+                    "{}{}",
+                    " ".repeat(neg_cells),
+                    "#".repeat(cells.max(usize::from(*value > 0.0)))
+                );
             } else {
-                let cells = ((-value / -min.min(-f64::MIN_POSITIVE)) * neg_cells as f64).round() as usize;
+                let cells =
+                    ((-value / -min.min(-f64::MIN_POSITIVE)) * neg_cells as f64).round() as usize;
                 let cells = cells.max(1).min(neg_cells);
-                let _ = write!(out, "{}{}", " ".repeat(neg_cells - cells), "#".repeat(cells));
+                let _ = write!(
+                    out,
+                    "{}{}",
+                    " ".repeat(neg_cells - cells),
+                    "#".repeat(cells)
+                );
             }
             let _ = writeln!(out, "  {value:.2}");
         }

@@ -110,7 +110,12 @@ pub fn figure6() -> Result<(Table, Table), MechanismError> {
     }
     let mut per_exp = Table::new(&["Experiment", "Total payment", "Total valuation", "Ratio"]);
     for r in all_experiments()? {
-        per_exp.row(&[r.spec.name.into(), f2(r.total_payment), f2(r.total_valuation), f2(r.frugality)]);
+        per_exp.row(&[
+            r.spec.name.into(),
+            f2(r.total_payment),
+            f2(r.total_valuation),
+            f2(r.frugality),
+        ]);
     }
     Ok((sweep, per_exp))
 }
@@ -123,7 +128,9 @@ pub fn message_counts() -> Result<Table, MechanismError> {
     let mech = CompensationBonusMechanism::paper();
     let mut t = Table::new(&["n computers", "Messages", "Messages / n", "Bytes"]);
     for n in [2usize, 4, 8, 16, 32, 64] {
-        let specs: Vec<NodeSpec> = (0..n).map(|i| NodeSpec::truthful(1.0 + i as f64 / 4.0)).collect();
+        let specs: Vec<NodeSpec> = (0..n)
+            .map(|i| NodeSpec::truthful(1.0 + i as f64 / 4.0))
+            .collect();
         let config = ProtocolConfig {
             total_rate: 10.0,
             link_latency: 0.001,
@@ -155,7 +162,12 @@ pub fn message_counts() -> Result<Table, MechanismError> {
 pub fn ablation_verification() -> Result<Table, MechanismError> {
     let verified = CompensationBonusMechanism::paper();
     let unverified = UnverifiedCompensationBonus::paper();
-    let mut t = Table::new(&["Experiment", "C1 payment (verified)", "C1 payment (unverified)", "Verification response"]);
+    let mut t = Table::new(&[
+        "Experiment",
+        "C1 payment (verified)",
+        "C1 payment (unverified)",
+        "Verification response",
+    ]);
     for spec in paper_experiments() {
         let profile = crate::paper::experiment_profile(&spec)?;
         let v = run_mechanism(&verified, &profile)?.payments[0];
@@ -174,8 +186,12 @@ pub fn ablation_estimator() -> Result<Table, MechanismError> {
     let mech = CompensationBonusMechanism::paper();
     let sys = paper_system();
     let profile = Profile::truthful(&sys, PAPER_ARRIVAL_RATE)?;
-    let mut t =
-        Table::new(&["Noise cv", "Horizon (s)", "Max |payment error|", "Max |t~ error| (rel)"]);
+    let mut t = Table::new(&[
+        "Noise cv",
+        "Horizon (s)",
+        "Max |payment error|",
+        "Max |t~ error| (rel)",
+    ]);
     for &noise in &[0.0, 0.1, 0.3] {
         for &horizon in &[200.0, 1_000.0, 5_000.0] {
             let config = SimulationConfig {
@@ -184,7 +200,10 @@ pub fn ablation_estimator() -> Result<Table, MechanismError> {
                 model: ServiceModel::StationaryExponential,
                 workload: Default::default(),
                 warmup: 0.0,
-                estimator: EstimatorConfig { max_samples: None, noise_cv: noise },
+                estimator: EstimatorConfig {
+                    max_samples: None,
+                    noise_cv: noise,
+                },
             };
             let round = verified_round(&mech, &profile, &config)?;
             let trues = paper_true_values();
@@ -211,10 +230,8 @@ pub fn ablation_estimator() -> Result<Table, MechanismError> {
 /// # Errors
 /// Propagates mechanism errors.
 pub fn figure1_chart() -> Result<crate::chart::BarChart, MechanismError> {
-    let mut c = crate::chart::BarChart::new(
-        "Figure 1: total latency per experiment (R = 20 jobs/s)",
-        48,
-    );
+    let mut c =
+        crate::chart::BarChart::new("Figure 1: total latency per experiment (R = 20 jobs/s)", 48);
     for r in all_experiments()? {
         c.bar(r.spec.name, r.total_latency);
     }
@@ -242,8 +259,10 @@ pub fn figure2_chart() -> Result<(crate::chart::BarChart, crate::chart::BarChart
 pub fn fault_tolerance() -> Result<Table, MechanismError> {
     use lb_proto::faults::{run_protocol_round_with_faults, FaultPlan};
     let mech = CompensationBonusMechanism::paper();
-    let specs: Vec<NodeSpec> =
-        paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+    let specs: Vec<NodeSpec> = paper_true_values()
+        .iter()
+        .map(|&t| NodeSpec::truthful(t))
+        .collect();
     let config = ProtocolConfig {
         total_rate: PAPER_ARRIVAL_RATE,
         link_latency: 0.001,
@@ -258,11 +277,35 @@ pub fn fault_tolerance() -> Result<Table, MechanismError> {
     };
     let scenarios: Vec<(&str, FaultPlan)> = vec![
         ("no faults", FaultPlan::none()),
-        ("C1 bid lost", FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() }),
-        ("C1 partitioned", FaultPlan { partitioned: vec![0], ..FaultPlan::none() }),
-        ("C4+C8 acks lost", FaultPlan { lose_acks_from: vec![3, 7], ..FaultPlan::none() }),
+        (
+            "C1 bid lost",
+            FaultPlan {
+                lose_bids_from: vec![0],
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "C1 partitioned",
+            FaultPlan {
+                partitioned: vec![0],
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "C4+C8 acks lost",
+            FaultPlan {
+                lose_acks_from: vec![3, 7],
+                ..FaultPlan::none()
+            },
+        ),
     ];
-    let mut t = Table::new(&["Scenario", "Total latency", "Excluded", "C2 payment", "Messages"]);
+    let mut t = Table::new(&[
+        "Scenario",
+        "Total latency",
+        "Excluded",
+        "C2 payment",
+        "Messages",
+    ]);
     for (name, plan) in scenarios {
         let out = run_protocol_round_with_faults(&mech, &specs, &config, &plan)?;
         let latency: f64 = out
@@ -290,8 +333,10 @@ pub fn fault_tolerance() -> Result<Table, MechanismError> {
 pub fn audit_demo() -> Result<Table, MechanismError> {
     use lb_proto::audit::{audit_settlement, SettlementRecord};
     let mech = CompensationBonusMechanism::paper();
-    let specs: Vec<NodeSpec> =
-        paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+    let specs: Vec<NodeSpec> = paper_true_values()
+        .iter()
+        .map(|&t| NodeSpec::truthful(t))
+        .collect();
     let config = ProtocolConfig {
         total_rate: PAPER_ARRIVAL_RATE,
         link_latency: 0.001,
@@ -311,7 +356,12 @@ pub fn audit_demo() -> Result<Table, MechanismError> {
         total_rate: PAPER_ARRIVAL_RATE,
         claimed_payments: outcome.payments,
     };
-    let mut t = Table::new(&["Settlement", "All verified", "Disputed machines", "Max discrepancy"]);
+    let mut t = Table::new(&[
+        "Settlement",
+        "All verified",
+        "Disputed machines",
+        "Max discrepancy",
+    ]);
     let honest = audit_settlement(&mech, &record, 1e-9)?;
     t.row(&[
         "honest coordinator".into(),
@@ -340,8 +390,12 @@ pub fn learning_demo() -> Result<Table, MechanismError> {
     let trues = [1.0, 2.0, 5.0, 10.0];
     let menu = consistent_strategy_menu();
     let mech = CompensationBonusMechanism::paper();
-    let mut t =
-        Table::new(&["Rounds", "Agents on truthful arm", "Truthful-arm play share", "Late latency / L*"]);
+    let mut t = Table::new(&[
+        "Rounds",
+        "Agents on truthful arm",
+        "Truthful-arm play share",
+        "Late latency / L*",
+    ]);
     let optimal = lb_core::optimal_latency_linear(&trues, 10.0)?;
     for rounds in [200u32, 1_000, 4_000] {
         let report = repeated_play(&mech, &trues, 10.0, &menu, rounds, 0.1, 7)?;
@@ -370,13 +424,14 @@ pub fn mm1_demo() -> Result<Table, MechanismError> {
     use lb_mechanism::{GeneralizedCompensationBonus, Mm1Family};
     let gen = GeneralizedCompensationBonus::new(Mm1Family);
     // Mean service times 1/mu; capacities mu = [10, 5, 2].
-    let sys = lb_core::System::from_true_values(&[0.1, 0.2, 0.5])
-        .map_err(MechanismError::from)?;
+    let sys = lb_core::System::from_true_values(&[0.1, 0.2, 0.5]).map_err(MechanismError::from)?;
     let rate = 5.0;
     let mut t = Table::new(&["Scenario", "x1", "x2", "x3", "U1", "U2", "U3"]);
-    for (name, bid_f, exec_f) in
-        [("truthful", 1.0, 1.0), ("C1 bids 1.5x", 1.5, 1.0), ("C1 lazy 1.5x", 1.0, 1.5)]
-    {
+    for (name, bid_f, exec_f) in [
+        ("truthful", 1.0, 1.0),
+        ("C1 bids 1.5x", 1.5, 1.0),
+        ("C1 lazy 1.5x", 1.0, 1.5),
+    ] {
         let profile = Profile::with_deviation(&sys, rate, 0, bid_f, exec_f)?;
         let out = run_mechanism(&gen, &profile)?;
         t.row(&[
@@ -402,7 +457,13 @@ pub fn bursty_demo() -> Result<Table, MechanismError> {
     let mut t = Table::new(&["Workload", "Service model", "Max |t~ error| (rel)"]);
     for (wname, workload) in [
         ("poisson", WorkloadModel::Poisson),
-        ("bursty 8x", WorkloadModel::Bursty { burstiness: 8.0, dwell_means: [50.0, 10.0] }),
+        (
+            "bursty 8x",
+            WorkloadModel::Bursty {
+                burstiness: 8.0,
+                dwell_means: [50.0, 10.0],
+            },
+        ),
     ] {
         for (sname, model) in [
             ("stationary-exp", ServiceModel::StationaryExponential),
@@ -413,7 +474,11 @@ pub fn bursty_demo() -> Result<Table, MechanismError> {
                 seed: 33,
                 model,
                 workload,
-                warmup: if matches!(model, ServiceModel::Mm1Queue) { 1_000.0 } else { 0.0 },
+                warmup: if matches!(model, ServiceModel::Mm1Queue) {
+                    1_000.0
+                } else {
+                    0.0
+                },
                 estimator: EstimatorConfig::default(),
             };
             let report =
@@ -477,14 +542,19 @@ pub fn dynamic_demo() -> Result<Table, MechanismError> {
         "Adaptation benefit",
     ]);
 
-    for &(label, lo, hi) in
-        &[("calm (15..25)", 15.0, 25.0), ("mild (10..30)", 10.0, 30.0), ("wild (4..36)", 4.0, 36.0)]
-    {
+    for &(label, lo, hi) in &[
+        ("calm (15..25)", 15.0, 25.0),
+        ("mild (10..30)", 10.0, 30.0),
+        ("wild (4..36)", 4.0, 36.0),
+    ] {
         let epochs = [(1.0, lo), (1.0, hi)];
         let mean_rate = 0.5 * (lo + hi);
 
         // Linear family: paper's model — shares are load-invariant.
-        let lin: Vec<Linear> = paper_true_values().iter().map(|&v| Linear::new(v)).collect();
+        let lin: Vec<Linear> = paper_true_values()
+            .iter()
+            .map(|&v| Linear::new(v))
+            .collect();
         let refs: Vec<&Linear> = lin.iter().collect();
         let base = solve_convex(&refs, mean_rate, ConvexSolverOptions::default())?;
         let shares: Vec<f64> = base.rates().iter().map(|x| x / mean_rate).collect();
@@ -528,7 +598,12 @@ pub fn multi_liar_demo() -> Result<Table, MechanismError> {
     let trues = sys.true_values();
     let mech = CompensationBonusMechanism::paper();
     let optimal = lb_core::optimal_latency_linear(&trues, PAPER_ARRIVAL_RATE)?;
-    let mut t = Table::new(&["Liars (k)", "Total latency", "vs True1", "Mean liar utility drop"]);
+    let mut t = Table::new(&[
+        "Liars (k)",
+        "Total latency",
+        "vs True1",
+        "Mean liar utility drop",
+    ]);
     let truthful = run_mechanism(&mech, &Profile::truthful(&sys, PAPER_ARRIVAL_RATE)?)?;
     for k in [0usize, 1, 2, 4, 8, 16] {
         let mut bids = trues.clone();
@@ -565,7 +640,11 @@ pub fn multi_liar_demo() -> Result<Table, MechanismError> {
 pub fn sensitivity_demo() -> Result<Table, MechanismError> {
     let sys = paper_system();
     let mech = CompensationBonusMechanism::paper();
-    let mut t = Table::new(&["Bid factor", "C1 utility (full speed)", "C1 utility (exec = bid)"]);
+    let mut t = Table::new(&[
+        "Bid factor",
+        "C1 utility (full speed)",
+        "C1 utility (exec = bid)",
+    ]);
     for &f in &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0] {
         let fast = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, f, 1.0)?;
         let consistent = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, f, f.max(1.0))?;
@@ -644,10 +723,8 @@ pub fn fees_demo() -> Result<Table, MechanismError> {
     let sys = paper_system();
     let trues = sys.true_values();
     let profile = Profile::truthful(&sys, PAPER_ARRIVAL_RATE)?;
-    let break_even = FeeAdjusted::<CompensationBonusMechanism>::break_even_fraction(
-        &trues,
-        PAPER_ARRIVAL_RATE,
-    )?;
+    let break_even =
+        FeeAdjusted::<CompensationBonusMechanism>::break_even_fraction(&trues, PAPER_ARRIVAL_RATE)?;
     let mut t = Table::new(&[
         "Fee fraction",
         "Total payment",
@@ -711,7 +788,8 @@ pub fn percentiles_demo() -> Result<Table, MechanismError> {
             config.horizon,
             config.seed,
         );
-        let base = lb_stats::rng::Xoshiro256StarStar::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let base =
+            lb_stats::rng::Xoshiro256StarStar::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
         for (i, trace) in traces.iter().enumerate() {
             let mut rng = base.stream(i as u64);
             let arrivals: Vec<f64> = trace.iter().map(|j| j.arrival).collect();
@@ -751,7 +829,11 @@ pub fn baselines_demo() -> Result<Table, MechanismError> {
     t.row(&["PR (Theorem 2.1)".into(), f2(opt), pct(0.0)]);
     let eq = equal_split(values.len(), PAPER_ARRIVAL_RATE)?;
     let l = lb_core::total_latency_linear(&eq, &values)?;
-    t.row(&["equal split".into(), f2(l), pct(penalty_vs_optimal(&eq, &values, PAPER_ARRIVAL_RATE)?)]);
+    t.row(&[
+        "equal split".into(),
+        f2(l),
+        pct(penalty_vs_optimal(&eq, &values, PAPER_ARRIVAL_RATE)?),
+    ]);
     for cycle in [16u32, 128, 1024] {
         let wrr = weighted_round_robin(&values, PAPER_ARRIVAL_RATE, cycle)?;
         let l = lb_core::total_latency_linear(&wrr, &values)?;
@@ -779,7 +861,12 @@ pub fn figure1_simulated(horizon: f64, seed: u64) -> Result<Table, MechanismErro
         estimator: EstimatorConfig::default(),
     };
     let optimal = lb_core::optimal_latency_linear(&paper_true_values(), PAPER_ARRIVAL_RATE)?;
-    let mut t = Table::new(&["Experiment", "L (analytic)", "L (simulated)", "vs True1 (sim)"]);
+    let mut t = Table::new(&[
+        "Experiment",
+        "L (analytic)",
+        "L (simulated)",
+        "vs True1 (sim)",
+    ]);
     for spec in paper_experiments() {
         let analytic = run_experiment(&spec)?;
         let sim = crate::paper::run_experiment_simulated(&spec, &config)?;

@@ -19,6 +19,6 @@ pub mod figures;
 pub mod paper;
 pub mod tables;
 
-pub use paper::{paper_experiments, run_experiment, ExperimentResult, ExperimentSpec};
 pub use chart::BarChart;
+pub use paper::{paper_experiments, run_experiment, ExperimentResult, ExperimentSpec};
 pub use tables::Table;

@@ -81,7 +81,9 @@ pub fn paper_experiments() -> Vec<ExperimentSpec> {
 /// Looks up an experiment by name (case-insensitive).
 #[must_use]
 pub fn experiment_by_name(name: &str) -> Option<ExperimentSpec> {
-    paper_experiments().into_iter().find(|e| e.name.eq_ignore_ascii_case(name))
+    paper_experiments()
+        .into_iter()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
 }
 
 /// The full accounting of one experiment.
@@ -142,10 +144,8 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentResult, Mechani
     let mechanism = CompensationBonusMechanism::paper();
     let profile = experiment_profile(spec)?;
     let outcome = run_mechanism(&mechanism, &profile)?;
-    let optimal = lb_core::optimal_latency_linear(
-        &paper_system().true_values(),
-        PAPER_ARRIVAL_RATE,
-    )?;
+    let optimal =
+        lb_core::optimal_latency_linear(&paper_system().true_values(), PAPER_ARRIVAL_RATE)?;
     Ok(ExperimentResult {
         spec: *spec,
         total_latency: outcome.total_latency,
@@ -197,7 +197,10 @@ mod tests {
         let e = paper_experiments();
         assert_eq!(e.len(), 8);
         let names: Vec<&str> = e.iter().map(|x| x.name).collect();
-        assert_eq!(names, ["True1", "True2", "High1", "High2", "High3", "High4", "Low1", "Low2"]);
+        assert_eq!(
+            names,
+            ["True1", "True2", "High1", "High2", "High3", "High4", "Low1", "Low2"]
+        );
     }
 
     #[test]
@@ -209,7 +212,11 @@ mod tests {
     #[test]
     fn true1_reproduces_the_paper_optimum() {
         let r = run_experiment(&experiment_by_name("True1").unwrap()).unwrap();
-        assert!((r.total_latency - 78.431_372_549).abs() < 1e-6, "L = {}", r.total_latency);
+        assert!(
+            (r.total_latency - 78.431_372_549).abs() < 1e-6,
+            "L = {}",
+            r.total_latency
+        );
         assert!(r.degradation.abs() < 1e-9);
     }
 
@@ -217,9 +224,17 @@ mod tests {
     fn low1_and_low2_match_paper_percentages() {
         // Paper: Low1 ≈ +11%, Low2 ≈ +66%.
         let low1 = run_experiment(&experiment_by_name("Low1").unwrap()).unwrap();
-        assert!((low1.degradation - 0.110).abs() < 0.005, "Low1 {}", low1.degradation);
+        assert!(
+            (low1.degradation - 0.110).abs() < 0.005,
+            "Low1 {}",
+            low1.degradation
+        );
         let low2 = run_experiment(&experiment_by_name("Low2").unwrap()).unwrap();
-        assert!((low2.degradation - 0.659).abs() < 0.005, "Low2 {}", low2.degradation);
+        assert!(
+            (low2.degradation - 0.659).abs() < 0.005,
+            "Low2 {}",
+            low2.degradation
+        );
     }
 
     #[test]
@@ -237,11 +252,17 @@ mod tests {
     #[test]
     fn true1_maximizes_c1_utility_across_experiments() {
         // Paper: "C1 obtains the highest utility in the experiment True1".
-        let results: Vec<ExperimentResult> =
-            paper_experiments().iter().map(|s| run_experiment(s).unwrap()).collect();
+        let results: Vec<ExperimentResult> = paper_experiments()
+            .iter()
+            .map(|s| run_experiment(s).unwrap())
+            .collect();
         let true1_utility = results[0].c1_utility();
         for r in &results[1..] {
-            assert!(r.c1_utility() < true1_utility, "{} beats True1", r.spec.name);
+            assert!(
+                r.c1_utility() < true1_utility,
+                "{} beats True1",
+                r.spec.name
+            );
         }
     }
 
@@ -256,7 +277,11 @@ mod tests {
     fn high_ordering_matches_prose() {
         // High2 (full capacity) < High3 (faster than bid) < High1 (at bid)
         // < High4 (slower than bid) in total latency.
-        let l = |n: &str| run_experiment(&experiment_by_name(n).unwrap()).unwrap().total_latency;
+        let l = |n: &str| {
+            run_experiment(&experiment_by_name(n).unwrap())
+                .unwrap()
+                .total_latency
+        };
         assert!(l("High2") < l("High3"));
         assert!(l("High3") < l("High1"));
         assert!(l("High1") < l("High4"));

@@ -13,7 +13,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

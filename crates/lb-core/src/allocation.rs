@@ -16,10 +16,14 @@
 use crate::error::CoreError;
 use crate::latency::LatencyFunction;
 use crate::machine::{validate_values, System};
+use crate::numeric::{compensated_sum, feasibility_tolerance};
 use serde::{Deserialize, Serialize};
 
-/// Default tolerance used when checking allocation feasibility.
-pub const FEASIBILITY_TOL: f64 = 1e-9;
+/// Default base tolerance used when checking allocation feasibility.
+///
+/// The effective window is scale- and size-aware: see
+/// [`crate::numeric::feasibility_tolerance`].
+pub const FEASIBILITY_TOL: f64 = crate::numeric::FEASIBILITY_TOL;
 
 /// A job-rate allocation across the machines of a [`System`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,8 +33,13 @@ pub struct Allocation {
 
 impl Allocation {
     /// Wraps raw per-machine rates after validating feasibility against the
-    /// total rate `r` (positivity and conservation, to `FEASIBILITY_TOL`
-    /// relative tolerance).
+    /// total rate `r` (positivity and conservation).
+    ///
+    /// Conservation is checked with a compensated (Neumaier) sum against the
+    /// scale- and size-aware window of
+    /// [`crate::numeric::feasibility_tolerance`], so algebraically exact
+    /// allocations are accepted even at `n = 10_000` machines with latency
+    /// parameters spread over twelve orders of magnitude.
     ///
     /// # Errors
     /// Returns [`CoreError::Infeasible`] when a rate is negative/non-finite
@@ -46,8 +55,8 @@ impl Allocation {
                 });
             }
         }
-        let sum: f64 = rates.iter().sum();
-        if (sum - r).abs() > FEASIBILITY_TOL * r.abs().max(1.0) {
+        let sum = compensated_sum(rates.iter().copied());
+        if (sum - r).abs() > feasibility_tolerance(rates.len(), r) {
             return Err(CoreError::Infeasible {
                 reason: format!("rates sum to {sum}, expected {r}"),
             });
@@ -89,10 +98,10 @@ impl Allocation {
         self.rates.is_empty()
     }
 
-    /// Total allocated rate `Σ x_i`.
+    /// Total allocated rate `Σ x_i` (compensated sum).
     #[must_use]
     pub fn total_rate(&self) -> f64 {
-        self.rates.iter().sum()
+        compensated_sum(self.rates.iter().copied())
     }
 
     /// Checks feasibility against total rate `r` within `tol`.
@@ -131,12 +140,24 @@ pub fn validate_rate(r: f64) -> Result<(), CoreError> {
 /// ```
 ///
 /// # Errors
-/// Returns an error for empty/invalid `values` or an invalid rate.
+/// Returns an error for empty/invalid `values` or an invalid rate, and
+/// [`CoreError::NumericalOverflow`] if `Σ 1/t_j` leaves the finite range
+/// (possible only near the extreme ends of the validated parameter domain).
 pub fn pr_allocate(values: &[f64], r: f64) -> Result<Allocation, CoreError> {
     validate_values("latency coefficient", values)?;
     validate_rate(r)?;
-    let inv_sum: f64 = values.iter().map(|t| 1.0 / t).sum();
-    let rates = values.iter().map(|t| (1.0 / t) / inv_sum * r).collect();
+    let inv_sum = compensated_sum(values.iter().map(|t| 1.0 / t));
+    if !inv_sum.is_finite() || inv_sum <= 0.0 {
+        return Err(CoreError::NumericalOverflow {
+            what: "sum of inverse latency coefficients",
+        });
+    }
+    let rates: Vec<f64> = values.iter().map(|t| (1.0 / t) / inv_sum * r).collect();
+    if rates.iter().any(|x| !x.is_finite()) {
+        return Err(CoreError::NumericalOverflow {
+            what: "PR allocation rate",
+        });
+    }
     Ok(Allocation::from_raw(rates))
 }
 
@@ -144,24 +165,51 @@ pub fn pr_allocate(values: &[f64], r: f64) -> Result<Allocation, CoreError> {
 /// latency coefficients `values` (execution values in the mechanism).
 ///
 /// # Errors
-/// Returns [`CoreError::LengthMismatch`] when the arities differ.
+/// Returns [`CoreError::LengthMismatch`] when the arities differ, or
+/// [`CoreError::NumericalOverflow`] when a `t·x²` term or the sum leaves the
+/// finite `f64` range.
 pub fn total_latency_linear(alloc: &Allocation, values: &[f64]) -> Result<f64, CoreError> {
     if alloc.len() != values.len() {
-        return Err(CoreError::LengthMismatch { expected: values.len(), actual: alloc.len() });
+        return Err(CoreError::LengthMismatch {
+            expected: values.len(),
+            actual: alloc.len(),
+        });
     }
-    Ok(alloc.rates().iter().zip(values).map(|(&x, &t)| t * x * x).sum())
+    let latency = compensated_sum(alloc.rates().iter().zip(values).map(|(&x, &t)| t * x * x));
+    if latency.is_finite() {
+        Ok(latency)
+    } else {
+        Err(CoreError::NumericalOverflow {
+            what: "total latency Σ t_i·x_i²",
+        })
+    }
 }
 
 /// Closed-form minimum total latency for linear latencies (Theorem 2.1):
 /// `L* = r² / Σ (1/values[i])`.
 ///
 /// # Errors
-/// Returns an error for empty/invalid `values` or an invalid rate.
+/// Returns an error for empty/invalid `values` or an invalid rate, or
+/// [`CoreError::NumericalOverflow`] when the result leaves the finite range.
 pub fn optimal_latency_linear(values: &[f64], r: f64) -> Result<f64, CoreError> {
     validate_values("latency coefficient", values)?;
     validate_rate(r)?;
-    let inv_sum: f64 = values.iter().map(|t| 1.0 / t).sum();
-    Ok(r * r / inv_sum)
+    let inv_sum = compensated_sum(values.iter().map(|t| 1.0 / t));
+    if !inv_sum.is_finite() || inv_sum <= 0.0 {
+        return Err(CoreError::NumericalOverflow {
+            what: "sum of inverse latency coefficients",
+        });
+    }
+    // `r · (r / inv_sum)` delays overflow vs. `r² / inv_sum` when r is huge
+    // and inv_sum is large enough to bring the quotient back in range.
+    let latency = r * (r / inv_sum);
+    if latency.is_finite() {
+        Ok(latency)
+    } else {
+        Err(CoreError::NumericalOverflow {
+            what: "optimal latency r²/Σ(1/t_j)",
+        })
+    }
 }
 
 /// Optimal total latency when machine `exclude` is removed from the system —
@@ -173,13 +221,20 @@ pub fn optimal_latency_linear(values: &[f64], r: f64) -> Result<f64, CoreError> 
 /// validation error from the remaining values.
 pub fn optimal_latency_excluding(values: &[f64], exclude: usize, r: f64) -> Result<f64, CoreError> {
     if exclude >= values.len() {
-        return Err(CoreError::LengthMismatch { expected: values.len(), actual: exclude });
+        return Err(CoreError::LengthMismatch {
+            expected: values.len(),
+            actual: exclude,
+        });
     }
     if values.len() < 2 {
         return Err(CoreError::EmptySystem);
     }
-    let remaining: Vec<f64> =
-        values.iter().enumerate().filter(|&(i, _)| i != exclude).map(|(_, &v)| v).collect();
+    let remaining: Vec<f64> = values
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != exclude)
+        .map(|(_, &v)| v)
+        .collect();
     optimal_latency_linear(&remaining, r)
 }
 
@@ -192,9 +247,14 @@ pub fn total_latency_fn<F: LatencyFunction + ?Sized>(
     fns: &[&F],
 ) -> Result<f64, CoreError> {
     if alloc.len() != fns.len() {
-        return Err(CoreError::LengthMismatch { expected: fns.len(), actual: alloc.len() });
+        return Err(CoreError::LengthMismatch {
+            expected: fns.len(),
+            actual: alloc.len(),
+        });
     }
-    Ok(alloc.rates().iter().zip(fns).map(|(&x, f)| f.total(x)).sum())
+    Ok(compensated_sum(
+        alloc.rates().iter().zip(fns).map(|(&x, f)| f.total(x)),
+    ))
 }
 
 /// Convenience: the optimal allocation and latency for a [`System`] when all
@@ -338,6 +398,64 @@ mod tests {
         assert!(pr_allocate(&[1.0], -3.0).is_err());
         assert!(pr_allocate(&[1.0], f64::INFINITY).is_err());
         assert!(optimal_latency_linear(&[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn feasibility_survives_large_n_wide_spread() {
+        // Regression for the `alloc` fuzz-oracle class: 10_000 machines with
+        // latency parameters log-spaced over twelve orders of magnitude. The
+        // PR closed form is algebraically exact, so re-validating its output
+        // through `Allocation::new` must succeed — the old fixed 1e-9 window
+        // over a naive sum had no n-headroom for this.
+        let n = 10_000;
+        #[allow(clippy::cast_precision_loss)]
+        let values: Vec<f64> = (0..n)
+            .map(|i| 10f64.powf(-6.0 + 12.0 * i as f64 / (n - 1) as f64))
+            .collect();
+        let r = 20.0;
+        let a = pr_allocate(&values, r).unwrap();
+        let revalidated = Allocation::new(a.rates().to_vec(), r).unwrap();
+        assert!((revalidated.total_rate() - r).abs() <= feasibility_tolerance(n, r));
+        // The closed form and the direct evaluation still agree tightly.
+        let direct = total_latency_linear(&a, &values).unwrap();
+        let closed = optimal_latency_linear(&values, r).unwrap();
+        assert!(
+            (direct - closed).abs() < 1e-9 * closed,
+            "{direct} vs {closed}"
+        );
+    }
+
+    #[test]
+    fn feasibility_window_is_scale_invariant() {
+        // Tiny and huge total rates get proportionally scaled windows: the
+        // same relative perturbation is accepted (or rejected) at any scale.
+        for &r in &[1e-6, 1.0, 1e9] {
+            let exact = pr_allocate(&[1.0, 3.0, 7.0], r).unwrap();
+            assert!(
+                Allocation::new(exact.rates().to_vec(), r).is_ok(),
+                "exact at r={r}"
+            );
+            let mut off = exact.rates().to_vec();
+            off[0] += r * 1e-3; // 0.1% conservation violation at every scale
+            assert!(Allocation::new(off, r).is_err(), "violation at r={r}");
+        }
+    }
+
+    #[test]
+    fn overflow_surfaces_as_typed_error_not_nan() {
+        // A huge-but-valid rate against a slow machine drives r²/Σ(1/t)
+        // past f64::MAX; the kernel must answer with NumericalOverflow,
+        // never return inf/NaN.
+        assert!(matches!(
+            optimal_latency_linear(&[1e250], 1e200),
+            Err(CoreError::NumericalOverflow { .. })
+        ));
+        // Subnormal latency parameters never reach the 1/t kernel at all:
+        // they are rejected by validation with a typed error.
+        assert!(matches!(
+            pr_allocate(&[f64::MIN_POSITIVE / 2.0, 1.0], 1.0),
+            Err(CoreError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

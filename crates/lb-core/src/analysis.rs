@@ -79,7 +79,11 @@ mod tests {
             let num = (optimal_latency_linear(&up, r).unwrap()
                 - optimal_latency_linear(&down, r).unwrap())
                 / (2.0 * h);
-            assert!((num - sens[i]).abs() < 1e-4 * sens[i].max(1.0), "machine {i}: {num} vs {}", sens[i]);
+            assert!(
+                (num - sens[i]).abs() < 1e-4 * sens[i].max(1.0),
+                "machine {i}: {num} vs {}",
+                sens[i]
+            );
         }
     }
 

@@ -36,23 +36,36 @@ pub fn weighted_round_robin(
     validate_values("latency coefficient", values)?;
     validate_rate(r)?;
     if cycle_len == 0 {
-        return Err(CoreError::InvalidParameter { name: "cycle_len", value: 0.0 });
+        return Err(CoreError::InvalidParameter {
+            name: "cycle_len",
+            value: 0.0,
+        });
     }
     let inv_sum: f64 = values.iter().map(|t| 1.0 / t).sum();
     // Ideal fractional quotas per cycle.
-    let ideal: Vec<f64> =
-        values.iter().map(|t| (1.0 / t) / inv_sum * f64::from(cycle_len)).collect();
+    let ideal: Vec<f64> = values
+        .iter()
+        .map(|t| (1.0 / t) / inv_sum * f64::from(cycle_len))
+        .collect();
     // Largest-remainder apportionment to integers.
     let mut quotas: Vec<u32> = ideal.iter().map(|q| q.floor() as u32).collect();
     let assigned: u32 = quotas.iter().sum();
-    let mut remainders: Vec<(usize, f64)> =
-        ideal.iter().enumerate().map(|(i, q)| (i, q - q.floor())).collect();
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
+    let mut remainders: Vec<(usize, f64)> = ideal
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (i, q - q.floor()))
+        .collect();
+    // `total_cmp` gives a total order without the panicking `partial_cmp`
+    // unwrap; remainders are fractional parts in [0, 1) so NaN cannot occur,
+    // but fuzzed inputs should never be able to reach an abort path anyway.
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
     for k in 0..(cycle_len - assigned) as usize {
         quotas[remainders[k % remainders.len()].0] += 1;
     }
-    let rates: Vec<f64> =
-        quotas.iter().map(|&q| f64::from(q) / f64::from(cycle_len) * r).collect();
+    let rates: Vec<f64> = quotas
+        .iter()
+        .map(|&q| f64::from(q) / f64::from(cycle_len) * r)
+        .collect();
     Allocation::new(rates, r)
 }
 

@@ -13,6 +13,7 @@
 use crate::allocation::{validate_rate, Allocation};
 use crate::error::CoreError;
 use crate::machine::validate_values;
+use crate::numeric::compensated_sum;
 
 /// Solves `min Σ values[i]·x_i²` s.t. `Σx = r`, `0 ≤ x_i ≤ caps[i]`.
 ///
@@ -24,17 +25,26 @@ pub fn pr_allocate_capped(values: &[f64], caps: &[f64], r: f64) -> Result<Alloca
     validate_values("latency coefficient", values)?;
     validate_rate(r)?;
     if caps.len() != values.len() {
-        return Err(CoreError::LengthMismatch { expected: values.len(), actual: caps.len() });
+        return Err(CoreError::LengthMismatch {
+            expected: values.len(),
+            actual: caps.len(),
+        });
     }
     let mut total_cap = 0.0;
     for &c in caps {
         if !(c.is_finite() && c >= 0.0) {
-            return Err(CoreError::InvalidParameter { name: "cap", value: c });
+            return Err(CoreError::InvalidParameter {
+                name: "cap",
+                value: c,
+            });
         }
         total_cap += c;
     }
     if total_cap < r * (1.0 - 1e-12) {
-        return Err(CoreError::InsufficientCapacity { rate: r, capacity: total_cap });
+        return Err(CoreError::InsufficientCapacity {
+            rate: r,
+            capacity: total_cap,
+        });
     }
 
     let n = values.len();
@@ -44,8 +54,7 @@ pub fn pr_allocate_capped(values: &[f64], caps: &[f64], r: f64) -> Result<Alloca
 
     loop {
         // PR over the unclamped machines for the remaining load.
-        let inv_sum: f64 =
-            (0..n).filter(|&i| !clamped[i]).map(|i| 1.0 / values[i]).sum();
+        let inv_sum = compensated_sum((0..n).filter(|&i| !clamped[i]).map(|i| 1.0 / values[i]));
         if inv_sum <= 0.0 {
             // Everything is clamped; remaining must be ~0 by the capacity check.
             break;
@@ -67,7 +76,7 @@ pub fn pr_allocate_capped(values: &[f64], caps: &[f64], r: f64) -> Result<Alloca
         if !violated {
             break;
         }
-        let clamped_load: f64 = (0..n).filter(|&i| clamped[i]).map(|i| rates[i]).sum();
+        let clamped_load = compensated_sum((0..n).filter(|&i| clamped[i]).map(|i| rates[i]));
         remaining = r - clamped_load;
         if remaining <= 0.0 {
             // Caps absorb everything (possible only when Σ caps == r).

@@ -17,6 +17,7 @@
 use crate::allocation::{validate_rate, Allocation};
 use crate::error::CoreError;
 use crate::latency::LatencyFunction;
+use crate::numeric::compensated_sum;
 
 /// Options for [`solve_convex`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,7 +30,10 @@ pub struct ConvexSolverOptions {
 
 impl Default for ConvexSolverOptions {
     fn default() -> Self {
-        Self { tolerance: 1e-12, max_iterations: 200 }
+        Self {
+            tolerance: 1e-12,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -66,10 +70,14 @@ pub fn solve_convex<F: LatencyFunction + ?Sized>(
         }
     }
     if capacitated && capacity_sum <= r {
-        return Err(CoreError::InsufficientCapacity { rate: r, capacity: capacity_sum });
+        return Err(CoreError::InsufficientCapacity {
+            rate: r,
+            capacity: capacity_sum,
+        });
     }
 
-    let assigned = |lambda: f64| -> f64 { fns.iter().map(|f| f.inverse_marginal(lambda)).sum() };
+    let assigned =
+        |lambda: f64| -> f64 { compensated_sum(fns.iter().map(|f| f.inverse_marginal(lambda))) };
 
     // Bracket lambda: at lambda = min marginal at 0, total assignment is 0;
     // grow the upper bound geometrically until assignment >= r.
@@ -102,11 +110,14 @@ pub fn solve_convex<F: LatencyFunction + ?Sized>(
 
     // Redistribute the (tiny) conservation residual proportionally over the
     // loaded machines, so the returned allocation satisfies Σx = r exactly.
-    let sum: f64 = rates.iter().sum();
+    let sum = compensated_sum(rates.iter().copied());
     let residual = r - sum;
     let rel_residual = residual.abs() / r;
     if rel_residual > 1e-6 {
-        return Err(CoreError::SolverDidNotConverge { iterations, residual });
+        return Err(CoreError::SolverDidNotConverge {
+            iterations,
+            residual,
+        });
     }
     if sum > 0.0 {
         let scale = r / sum;
@@ -145,7 +156,8 @@ mod tests {
         let fns: Vec<Linear> = ts.iter().map(|&t| Linear::new(t)).collect();
         let refs: Vec<&Linear> = fns.iter().collect();
         let alloc = solve_convex(&refs, 20.0, ConvexSolverOptions::default()).unwrap();
-        let dynrefs: Vec<&dyn LatencyFunction> = fns.iter().map(|f| f as &dyn LatencyFunction).collect();
+        let dynrefs: Vec<&dyn LatencyFunction> =
+            fns.iter().map(|f| f as &dyn LatencyFunction).collect();
         let latency = total_latency_fn(&alloc, &dynrefs).unwrap();
         assert!((latency - 400.0 / 5.1).abs() < 1e-6, "latency = {latency}");
     }

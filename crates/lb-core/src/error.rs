@@ -44,6 +44,18 @@ pub enum CoreError {
         /// Residual conservation error at exit.
         residual: f64,
     },
+    /// The system has more machines than machine ids (`u32`) can index.
+    SystemTooLarge {
+        /// Number of machines requested.
+        requested: usize,
+    },
+    /// An intermediate computation left the representable `f64` range
+    /// (overflowed to infinity or collapsed to NaN) even though every input
+    /// passed validation.
+    NumericalOverflow {
+        /// Which quantity overflowed (for diagnostics).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -54,15 +66,32 @@ impl fmt::Display for CoreError {
             }
             Self::EmptySystem => write!(f, "system must contain at least one machine"),
             Self::LengthMismatch { expected, actual } => {
-                write!(f, "vector length {actual} does not match system size {expected}")
+                write!(
+                    f,
+                    "vector length {actual} does not match system size {expected}"
+                )
             }
-            Self::InvalidRate(r) => write!(f, "invalid total arrival rate {r} (must be finite and > 0)"),
+            Self::InvalidRate(r) => {
+                write!(f, "invalid total arrival rate {r} (must be finite and > 0)")
+            }
             Self::Infeasible { reason } => write!(f, "infeasible allocation: {reason}"),
             Self::InsufficientCapacity { rate, capacity } => {
                 write!(f, "total rate {rate} exceeds aggregate capacity {capacity}")
             }
-            Self::SolverDidNotConverge { iterations, residual } => {
+            Self::SolverDidNotConverge {
+                iterations,
+                residual,
+            } => {
                 write!(f, "convex solver did not converge after {iterations} iterations (residual {residual:e})")
+            }
+            Self::SystemTooLarge { requested } => {
+                write!(f, "system of {requested} machines exceeds the u32 id space")
+            }
+            Self::NumericalOverflow { what } => {
+                write!(
+                    f,
+                    "numerical overflow computing {what} (result left the finite f64 range)"
+                )
             }
         }
     }
@@ -76,19 +105,36 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::InvalidParameter { name: "true value", value: -1.0 };
+        let e = CoreError::InvalidParameter {
+            name: "true value",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("true value"));
         assert!(e.to_string().contains("-1"));
 
-        let e = CoreError::LengthMismatch { expected: 16, actual: 3 };
+        let e = CoreError::LengthMismatch {
+            expected: 16,
+            actual: 3,
+        };
         assert!(e.to_string().contains("16"));
         assert!(e.to_string().contains('3'));
 
-        let e = CoreError::InsufficientCapacity { rate: 5.0, capacity: 4.0 };
+        let e = CoreError::InsufficientCapacity {
+            rate: 5.0,
+            capacity: 4.0,
+        };
         assert!(e.to_string().contains('5'));
 
-        let e = CoreError::SolverDidNotConverge { iterations: 7, residual: 1e-3 };
+        let e = CoreError::SolverDidNotConverge {
+            iterations: 7,
+            residual: 1e-3,
+        };
         assert!(e.to_string().contains('7'));
+
+        let e = CoreError::NumericalOverflow {
+            what: "sum of inverse latencies",
+        };
+        assert!(e.to_string().contains("inverse latencies"));
     }
 
     #[test]

@@ -135,7 +135,10 @@ impl Affine {
     /// Panics unless `a >= 0` and `b > 0` (both finite).
     #[must_use]
     pub fn new(a: f64, b: f64) -> Self {
-        assert!(a.is_finite() && a >= 0.0, "Affine: a must be finite and >= 0");
+        assert!(
+            a.is_finite() && a >= 0.0,
+            "Affine: a must be finite and >= 0"
+        );
         assert!(b.is_finite() && b > 0.0, "Affine: b must be finite and > 0");
         Self { a, b }
     }
@@ -226,8 +229,14 @@ impl PowerLaw {
     /// Panics unless `t > 0` and `gamma >= 1` (both finite).
     #[must_use]
     pub fn new(t: f64, gamma: f64) -> Self {
-        assert!(t.is_finite() && t > 0.0, "PowerLaw: t must be finite and > 0");
-        assert!(gamma.is_finite() && gamma >= 1.0, "PowerLaw: gamma must be >= 1");
+        assert!(
+            t.is_finite() && t > 0.0,
+            "PowerLaw: t must be finite and > 0"
+        );
+        assert!(
+            gamma.is_finite() && gamma >= 1.0,
+            "PowerLaw: gamma must be >= 1"
+        );
         Self { t, gamma }
     }
 }
@@ -264,12 +273,18 @@ impl Polynomial {
     /// non-finite, or all coefficients are zero.
     #[must_use]
     pub fn new(coeffs: Vec<f64>) -> Self {
-        assert!(!coeffs.is_empty(), "Polynomial: need at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "Polynomial: need at least one coefficient"
+        );
         assert!(
             coeffs.iter().all(|c| c.is_finite() && *c >= 0.0),
             "Polynomial: coefficients must be finite and >= 0"
         );
-        assert!(coeffs.iter().any(|&c| c > 0.0), "Polynomial: all-zero latency is invalid");
+        assert!(
+            coeffs.iter().any(|&c| c > 0.0),
+            "Polynomial: all-zero latency is invalid"
+        );
         Self { coeffs }
     }
 
@@ -332,7 +347,10 @@ mod tests {
         for &x in xs {
             let num = (f.total(x + h) - f.total((x - h).max(0.0))) / (h + (x - (x - h).max(0.0)));
             let ana = f.marginal_total(x);
-            assert!((num - ana).abs() < tol * (1.0 + ana.abs()), "x={x}: numeric {num} vs analytic {ana}");
+            assert!(
+                (num - ana).abs() < tol * (1.0 + ana.abs()),
+                "x={x}: numeric {num} vs analytic {ana}"
+            );
         }
     }
 
@@ -341,7 +359,10 @@ mod tests {
             let x = f.inverse_marginal(l);
             assert!(x >= 0.0);
             if x > 0.0 {
-                assert!((f.marginal_total(x) - l).abs() < 1e-6 * (1.0 + l), "lambda={l}, x={x}");
+                assert!(
+                    (f.marginal_total(x) - l).abs() < 1e-6 * (1.0 + l),
+                    "lambda={l}, x={x}"
+                );
             } else {
                 assert!(f.marginal_total(0.0) >= l - 1e-12);
             }
@@ -491,8 +512,11 @@ mod tests {
 
     #[test]
     fn trait_objects_are_usable() {
-        let fns: Vec<Box<dyn LatencyFunction>> =
-            vec![Box::new(Linear::new(1.0)), Box::new(Mm1::new(2.0)), Box::new(Affine::new(0.1, 1.0))];
+        let fns: Vec<Box<dyn LatencyFunction>> = vec![
+            Box::new(Linear::new(1.0)),
+            Box::new(Mm1::new(2.0)),
+            Box::new(Affine::new(0.1, 1.0)),
+        ];
         let total: f64 = fns.iter().map(|f| f.total(0.5)).sum();
         assert!(total > 0.0);
     }

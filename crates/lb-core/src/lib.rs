@@ -32,6 +32,7 @@ pub mod convex;
 pub mod error;
 pub mod latency;
 pub mod machine;
+pub mod numeric;
 pub mod scenario;
 
 pub use allocation::{optimal_latency_linear, pr_allocate, total_latency_linear, Allocation};
@@ -41,5 +42,6 @@ pub use capped::pr_allocate_capped;
 pub use convex::{solve_convex, ConvexSolverOptions};
 pub use error::CoreError;
 pub use latency::{Affine, LatencyFunction, Linear, Mm1, Polynomial, PowerLaw};
-pub use machine::{Machine, MachineId, System};
+pub use machine::{Machine, MachineId, System, MAX_LATENCY_PARAM, MIN_LATENCY_PARAM};
+pub use numeric::{compensated_sum, feasibility_tolerance, CompensatedSum};
 pub use scenario::paper_system;

@@ -48,12 +48,31 @@ impl Machine {
     }
 }
 
-/// Validates that a latency parameter is finite and strictly positive.
+/// Smallest admissible latency parameter.
+///
+/// Chosen so that `1/t` is always a *normal* finite `f64`: a subnormal `t`
+/// (e.g. `1e-308`) would make `1/t` infinite and silently poison every
+/// allocation and `L_{-i}` bonus term downstream with `inf`/NaN. `1e-300`
+/// leaves eight orders of magnitude of guard band above the subnormal
+/// threshold while being far below any physical latency coefficient.
+pub const MIN_LATENCY_PARAM: f64 = 1e-300;
+
+/// Largest admissible latency parameter, the mirror bound of
+/// [`MIN_LATENCY_PARAM`]: keeps `1/t` a normal `f64` (never subnormal/zero),
+/// so products and quotients of validated parameters stay well-conditioned.
+pub const MAX_LATENCY_PARAM: f64 = 1e300;
+
+/// Validates that a latency parameter is finite, strictly positive and
+/// within `[MIN_LATENCY_PARAM, MAX_LATENCY_PARAM]`.
+///
+/// The range bounds guarantee that `1/value` can never overflow to infinity
+/// or collapse to zero — the root cause of NaN-poisoned allocations from
+/// degenerate (subnormal) bids.
 ///
 /// # Errors
 /// Returns [`CoreError::InvalidParameter`] otherwise.
 pub fn validate_positive(name: &'static str, value: f64) -> Result<(), CoreError> {
-    if value.is_finite() && value > 0.0 {
+    if value.is_finite() && (MIN_LATENCY_PARAM..=MAX_LATENCY_PARAM).contains(&value) {
         Ok(())
     } else {
         Err(CoreError::InvalidParameter { name, value })
@@ -85,8 +104,9 @@ impl System {
     /// Builds a system from per-machine true values.
     ///
     /// # Errors
-    /// Returns [`CoreError::EmptySystem`] for an empty list or
-    /// [`CoreError::InvalidParameter`] for any invalid true value.
+    /// Returns [`CoreError::EmptySystem`] for an empty list,
+    /// [`CoreError::InvalidParameter`] for any invalid true value, or
+    /// [`CoreError::SystemTooLarge`] past `u32::MAX` machines.
     pub fn from_true_values(true_values: &[f64]) -> Result<Self, CoreError> {
         if true_values.is_empty() {
             return Err(CoreError::EmptySystem);
@@ -94,7 +114,12 @@ impl System {
         let machines = true_values
             .iter()
             .enumerate()
-            .map(|(i, &t)| Machine::new(MachineId(u32::try_from(i).expect("system size fits u32")), t))
+            .map(|(i, &t)| {
+                let id = u32::try_from(i).map_err(|_| CoreError::SystemTooLarge {
+                    requested: true_values.len(),
+                })?;
+                Machine::new(MachineId(id), t)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { machines })
     }
@@ -124,10 +149,11 @@ impl System {
     }
 
     /// Sum of processing rates, `Σ 1/t_i` — the denominator of the PR
-    /// allocation and of the optimal latency `R²/Σ(1/t_i)`.
+    /// allocation and of the optimal latency `R²/Σ(1/t_i)`. Accumulated with
+    /// a compensated sum so wide `t` spreads do not lose the slow machines.
     #[must_use]
     pub fn total_processing_rate(&self) -> f64 {
-        self.machines.iter().map(Machine::processing_rate).sum()
+        crate::numeric::compensated_sum(self.machines.iter().map(Machine::processing_rate))
     }
 
     /// Machine lookup by id.
@@ -144,7 +170,10 @@ impl System {
         if values.len() == self.len() {
             Ok(())
         } else {
-            Err(CoreError::LengthMismatch { expected: self.len(), actual: values.len() })
+            Err(CoreError::LengthMismatch {
+                expected: self.len(),
+                actual: values.len(),
+            })
         }
     }
 }
@@ -163,6 +192,23 @@ mod tests {
         assert!(Machine::new(MachineId(0), -1.0).is_err());
         assert!(Machine::new(MachineId(0), f64::NAN).is_err());
         assert!(Machine::new(MachineId(0), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn degenerate_magnitudes_are_rejected() {
+        // Regression for the `payment` fuzz-oracle class: a subnormal true
+        // value made 1/t infinite and NaN-poisoned the bonus term. The
+        // validated range keeps every reciprocal a normal finite f64.
+        assert!(Machine::new(MachineId(0), f64::MIN_POSITIVE / 4.0).is_err());
+        assert!(Machine::new(MachineId(0), 1e-308).is_err());
+        assert!(Machine::new(MachineId(0), 1e301).is_err());
+        assert!(Machine::new(MachineId(0), MIN_LATENCY_PARAM).is_ok());
+        assert!(Machine::new(MachineId(0), MAX_LATENCY_PARAM).is_ok());
+        let fast = Machine::new(MachineId(0), MIN_LATENCY_PARAM).unwrap();
+        let slow = Machine::new(MachineId(1), MAX_LATENCY_PARAM).unwrap();
+        assert!(fast.processing_rate().is_finite());
+        assert!(slow.processing_rate() > 0.0);
+        assert!(slow.processing_rate().is_normal());
     }
 
     #[test]
@@ -190,7 +236,10 @@ mod tests {
 
     #[test]
     fn system_rejects_empty_and_invalid() {
-        assert!(matches!(System::from_true_values(&[]), Err(CoreError::EmptySystem)));
+        assert!(matches!(
+            System::from_true_values(&[]),
+            Err(CoreError::EmptySystem)
+        ));
         assert!(System::from_true_values(&[1.0, -2.0]).is_err());
     }
 
@@ -200,7 +249,10 @@ mod tests {
         assert!(sys.check_len(&[1.0, 1.0]).is_ok());
         assert!(matches!(
             sys.check_len(&[1.0]),
-            Err(CoreError::LengthMismatch { expected: 2, actual: 1 })
+            Err(CoreError::LengthMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 

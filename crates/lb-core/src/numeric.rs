@@ -1,0 +1,133 @@
+//! Compensated floating-point summation and scale-aware tolerances.
+//!
+//! The allocation and latency kernels accumulate sums whose terms can span
+//! twelve orders of magnitude (`Σ_j 1/t_j` with `t` spreads up to `1e12`).
+//! A naive left-to-right `f64` sum loses up to `n · ε · Σ|term|` of absolute
+//! accuracy, which is enough to push an algebraically exact PR allocation
+//! outside a fixed `1e-9` feasibility window at large `n`. This module
+//! provides a Neumaier-compensated accumulator (error bound `2ε` independent
+//! of `n` for the compensated result) and the `n`-scaled tolerance used by
+//! the feasibility checks.
+
+/// A Neumaier (improved Kahan) compensated accumulator.
+///
+/// Tracks a running sum and a separate compensation term holding the
+/// low-order bits lost at each addition. Unlike classic Kahan summation,
+/// Neumaier's variant stays accurate when an incoming term is larger in
+/// magnitude than the running sum, which happens routinely with
+/// log-uniformly distributed latency parameters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompensatedSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl CompensatedSum {
+    /// A fresh accumulator at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term, capturing the round-off into the compensation term.
+    pub fn add(&mut self, term: f64) {
+        let t = self.sum + term;
+        if self.sum.abs() >= term.abs() {
+            self.compensation += (self.sum - t) + term;
+        } else {
+            self.compensation += (term - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// Compensated sum of an iterator of `f64` terms.
+#[must_use]
+pub fn compensated_sum<I: IntoIterator<Item = f64>>(terms: I) -> f64 {
+    let mut acc = CompensatedSum::new();
+    for term in terms {
+        acc.add(term);
+    }
+    acc.value()
+}
+
+/// Base relative tolerance for feasibility checks on compensated sums.
+pub const FEASIBILITY_TOL: f64 = 1e-9;
+
+/// Scale- and size-aware feasibility tolerance for comparing a sum of `n`
+/// allocation rates against a target total rate `r`.
+///
+/// The absolute error of a compensated sum of `n` non-negative terms that
+/// total `r` is bounded by `O(ε) · r`, but the *inputs* themselves (each
+/// rate is a quotient of two long sums) carry relative error that grows
+/// like `√n` under the usual random-round-off model. `√n` scaling keeps
+/// the check tight at small `n` while admitting algebraically exact
+/// allocations at `n = 10_000` and `t` spreads of `1e12`.
+#[must_use]
+pub fn feasibility_tolerance(n: usize, r: f64) -> f64 {
+    // `max(1.0)` keeps the tolerance meaningful for |r| < 1 without making
+    // it collapse to a denormal-sized window.
+    #[allow(clippy::cast_precision_loss)]
+    let scale = (n.max(1) as f64).sqrt();
+    FEASIBILITY_TOL * scale * r.abs().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(compensated_sum(std::iter::empty()), 0.0);
+        assert_eq!(CompensatedSum::new().value(), 0.0);
+    }
+
+    #[test]
+    fn recovers_cancellation_kahan_cannot() {
+        // Classic Neumaier witness: 1 + 1e100 + 1 - 1e100 == 2 exactly
+        // under compensation, 0 under naive or plain-Kahan summation.
+        let terms = [1.0, 1e100, 1.0, -1e100];
+        let naive: f64 = terms.iter().sum();
+        assert_eq!(naive, 0.0);
+        assert_eq!(compensated_sum(terms.iter().copied()), 2.0);
+    }
+
+    #[test]
+    fn matches_naive_on_benign_input() {
+        let terms: Vec<f64> = (1..=100).map(f64::from).collect();
+        let naive: f64 = terms.iter().sum();
+        assert_eq!(compensated_sum(terms.iter().copied()), naive);
+    }
+
+    #[test]
+    fn compensates_wide_magnitude_spread() {
+        // n tiny terms drowned by one huge term: naive summation loses all
+        // of them; the compensated sum keeps them to within one ulp.
+        let small = 1e-8;
+        let n = 10_000;
+        let mut acc = CompensatedSum::new();
+        acc.add(1e12);
+        for _ in 0..n {
+            acc.add(small);
+        }
+        acc.add(-1e12);
+        let expected = f64::from(n) * small;
+        let rel = ((acc.value() - expected) / expected).abs();
+        assert!(rel < 1e-12, "relative error {rel:e}");
+    }
+
+    #[test]
+    fn tolerance_scales_with_n_and_r() {
+        assert!(feasibility_tolerance(1, 1.0) >= FEASIBILITY_TOL);
+        assert!(feasibility_tolerance(10_000, 1.0) >= 100.0 * FEASIBILITY_TOL * 0.99);
+        assert!(feasibility_tolerance(4, 1e6) >= 2e6 * FEASIBILITY_TOL * 0.99);
+        // Small rates do not collapse the window below the base tolerance.
+        assert!(feasibility_tolerance(1, 1e-30) >= FEASIBILITY_TOL);
+    }
+}

@@ -49,9 +49,14 @@ pub fn uniform_system(n: usize, t: f64) -> Result<System, CoreError> {
 /// Propagates validation errors (`n == 0`, invalid `t_min`/`ratio`).
 pub fn geometric_system(n: usize, t_min: f64, ratio: f64) -> Result<System, CoreError> {
     if !(ratio.is_finite() && ratio > 0.0) {
-        return Err(CoreError::InvalidParameter { name: "ratio", value: ratio });
+        return Err(CoreError::InvalidParameter {
+            name: "ratio",
+            value: ratio,
+        });
     }
-    let values: Vec<f64> = (0..n).map(|i| t_min * ratio.powi(i32::try_from(i).unwrap_or(i32::MAX))).collect();
+    let values: Vec<f64> = (0..n)
+        .map(|i| t_min * ratio.powi(i32::try_from(i).unwrap_or(i32::MAX)))
+        .collect();
     System::from_true_values(&values)
 }
 
@@ -61,16 +66,29 @@ pub fn geometric_system(n: usize, t_min: f64, ratio: f64) -> Result<System, Core
 ///
 /// # Errors
 /// Propagates validation errors.
-pub fn random_system_from_uniforms(uniforms: &[f64], t_min: f64, t_max: f64) -> Result<System, CoreError> {
+pub fn random_system_from_uniforms(
+    uniforms: &[f64],
+    t_min: f64,
+    t_max: f64,
+) -> Result<System, CoreError> {
     if !(t_min.is_finite() && t_min > 0.0) {
-        return Err(CoreError::InvalidParameter { name: "t_min", value: t_min });
+        return Err(CoreError::InvalidParameter {
+            name: "t_min",
+            value: t_min,
+        });
     }
     if !(t_max.is_finite() && t_max >= t_min) {
-        return Err(CoreError::InvalidParameter { name: "t_max", value: t_max });
+        return Err(CoreError::InvalidParameter {
+            name: "t_max",
+            value: t_max,
+        });
     }
     let ln_lo = t_min.ln();
     let ln_hi = t_max.ln();
-    let values: Vec<f64> = uniforms.iter().map(|&u| (ln_lo + u * (ln_hi - ln_lo)).exp()).collect();
+    let values: Vec<f64> = uniforms
+        .iter()
+        .map(|&u| (ln_lo + u * (ln_hi - ln_lo)).exp())
+        .collect();
     System::from_true_values(&values)
 }
 

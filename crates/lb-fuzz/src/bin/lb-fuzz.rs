@@ -1,0 +1,143 @@
+//! Command-line driver for the deterministic fuzz harness.
+//!
+//! ```text
+//! lb-fuzz [--iters N] [--seed S] [--oracle NAME]... [--raw-seed SEED] [--list]
+//! ```
+//!
+//! `--seed` is the base seed: iteration `i` runs under `derive_seed(seed, i)`.
+//! `--raw-seed` bypasses derivation and runs each selected oracle exactly
+//! once with that seed — the one-liner for reproducing a reported failure.
+//! Exits non-zero if any oracle records a failure.
+
+use lb_fuzz::{registry, run_one, run_oracle, FuzzConfig, Oracle};
+use std::process::ExitCode;
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    oracles: Vec<String>,
+    raw_seed: Option<u64>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        iters: 1000,
+        seed: 0xCAFE_F00D,
+        oracles: Vec::new(),
+        raw_seed: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--raw-seed" => {
+                let v = value("--raw-seed")?
+                    .parse()
+                    .map_err(|e| format!("--raw-seed: {e}"))?;
+                args.raw_seed = Some(v);
+            }
+            "--oracle" => args.oracles.push(value("--oracle")?),
+            "--list" => args.list = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn selected(names: &[String]) -> Result<Vec<&'static Oracle>, String> {
+    if names.is_empty() {
+        return Ok(registry().iter().collect());
+    }
+    names
+        .iter()
+        .map(|name| {
+            registry()
+                .iter()
+                .find(|o| o.name == name)
+                .ok_or_else(|| format!("unknown oracle: {name} (try --list)"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("lb-fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for oracle in registry() {
+            println!("{:<10} {}", oracle.name, oracle.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let oracles = match selected(&args.oracles) {
+        Ok(oracles) => oracles,
+        Err(e) => {
+            eprintln!("lb-fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    if let Some(raw_seed) = args.raw_seed {
+        for oracle in oracles {
+            match run_one(oracle, raw_seed) {
+                Ok(()) => println!("{:<10} seed {raw_seed:#018x}  ok", oracle.name),
+                Err(message) => {
+                    failed = true;
+                    println!("{:<10} seed {raw_seed:#018x}  FAIL: {message}", oracle.name);
+                }
+            }
+        }
+    } else {
+        let config = FuzzConfig {
+            seed: args.seed,
+            iterations: args.iters,
+        };
+        for oracle in oracles {
+            let report = run_oracle(oracle, &config);
+            if report.failures.is_empty() {
+                println!(
+                    "{:<10} {} iterations under base seed {:#018x}  ok",
+                    report.oracle, report.iterations, args.seed
+                );
+            } else {
+                failed = true;
+                println!(
+                    "{:<10} {} iterations under base seed {:#018x}  {} FAILURE(S)",
+                    report.oracle,
+                    report.iterations,
+                    args.seed,
+                    report.failures.len()
+                );
+                for f in &report.failures {
+                    println!(
+                        "  iteration {:>6}: reproduce with --oracle {} --raw-seed {}",
+                        f.iteration, f.oracle, f.seed
+                    );
+                    println!("    {}", f.message);
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

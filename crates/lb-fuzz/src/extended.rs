@@ -1,0 +1,268 @@
+//! Double-double ("two-f64") extended-precision arithmetic.
+//!
+//! The differential oracles need a reference answer that is *meaningfully*
+//! more accurate than the production kernels they judge, without pulling in
+//! an arbitrary-precision dependency. A double-double represents a value as
+//! an unevaluated sum `hi + lo` of two `f64`s with `|lo| ≤ ulp(hi)/2`,
+//! giving ≈ 106 bits of significand — about 10¹⁶ times tighter than the
+//! 1e-9 relative-error budget the oracles enforce, so reference error is
+//! never the reason a comparison fails.
+//!
+//! The primitives are the classical error-free transformations (Dekker,
+//! Knuth; see Hida–Li–Bailey's QD library for the compound algorithms):
+//! `two_sum` captures the exact rounding error of an addition, `two_prod`
+//! of a multiplication (via FMA). This module is deliberately std-only so
+//! it can be unit-tested in isolation.
+
+/// An unevaluated sum `hi + lo` carrying ≈ 106 bits of significand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoF64 {
+    /// Leading component: the represented value rounded to nearest `f64`.
+    pub hi: f64,
+    /// Trailing error term, non-overlapping with `hi`.
+    pub lo: f64,
+}
+
+/// Exact sum of two `f64`s: returns `(fl(a+b), err)` with `a+b = fl(a+b)+err`.
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let err = (a - (s - bb)) + (b - bb);
+    (s, err)
+}
+
+/// Like [`two_sum`] but requires `|a| ≥ |b|` (one branch cheaper).
+fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let err = b - (s - a);
+    (s, err)
+}
+
+/// Exact product of two `f64`s via fused multiply-add.
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let err = a.mul_add(b, -p);
+    (p, err)
+}
+
+impl TwoF64 {
+    /// The additive identity.
+    pub const ZERO: Self = Self { hi: 0.0, lo: 0.0 };
+
+    /// Lifts an `f64` exactly.
+    #[must_use]
+    pub fn from_f64(x: f64) -> Self {
+        Self { hi: x, lo: 0.0 }
+    }
+
+    /// Rounds back to the nearest `f64`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Negation (exact).
+    #[must_use]
+    pub fn neg(self) -> Self {
+        Self {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+
+    /// Double-double + `f64`.
+    #[must_use]
+    pub fn add_f64(self, b: f64) -> Self {
+        let (s, e) = two_sum(self.hi, b);
+        let (hi, lo) = quick_two_sum(s, e + self.lo);
+        Self { hi, lo }
+    }
+
+    /// Double-double + double-double.
+    #[must_use]
+    pub fn add(self, other: Self) -> Self {
+        let (s, e) = two_sum(self.hi, other.hi);
+        let (hi, lo) = quick_two_sum(s, e + self.lo + other.lo);
+        Self { hi, lo }
+    }
+
+    /// Double-double − double-double.
+    #[must_use]
+    pub fn sub(self, other: Self) -> Self {
+        self.add(other.neg())
+    }
+
+    /// Double-double × `f64`.
+    #[must_use]
+    pub fn mul_f64(self, b: f64) -> Self {
+        let (p, e) = two_prod(self.hi, b);
+        let (hi, lo) = quick_two_sum(p, e + self.lo * b);
+        Self { hi, lo }
+    }
+
+    /// Double-double ÷ double-double (one Newton correction step — accurate
+    /// to the full double-double precision for the oracles' purposes).
+    #[must_use]
+    pub fn div(self, other: Self) -> Self {
+        let q0 = self.hi / other.hi;
+        let r = self.sub(other.mul_f64(q0));
+        let q1 = (r.hi + r.lo) / other.hi;
+        let (hi, lo) = quick_two_sum(q0, q1);
+        Self { hi, lo }
+    }
+
+    /// Double-double ÷ `f64`.
+    #[must_use]
+    pub fn div_f64(self, b: f64) -> Self {
+        self.div(Self::from_f64(b))
+    }
+
+    /// The reciprocal `1/b` at double-double precision.
+    #[must_use]
+    pub fn recip(b: f64) -> Self {
+        Self::from_f64(1.0).div_f64(b)
+    }
+}
+
+/// `Σ_j 1/t_j` at double-double precision.
+#[must_use]
+pub fn inv_sum_dd(values: &[f64]) -> TwoF64 {
+    values
+        .iter()
+        .fold(TwoF64::ZERO, |acc, &t| acc.add(TwoF64::recip(t)))
+}
+
+/// The PR rates `x_i = r · (1/t_i) / Σ_j 1/t_j` (Theorem 2.1) computed end
+/// to end at double-double precision, rounded to `f64` at the very last step.
+#[must_use]
+pub fn pr_rates_dd(values: &[f64], r: f64) -> Vec<f64> {
+    let inv_sum = inv_sum_dd(values);
+    values
+        .iter()
+        .map(|&t| TwoF64::recip(t).mul_f64(r).div(inv_sum).value())
+        .collect()
+}
+
+/// The optimal total latency `L* = r² / Σ_j 1/t_j` (Theorem 2.1) at
+/// double-double precision.
+#[must_use]
+pub fn optimal_latency_dd(values: &[f64], r: f64) -> f64 {
+    TwoF64::from_f64(r)
+        .mul_f64(r)
+        .div(inv_sum_dd(values))
+        .value()
+}
+
+/// `L_{-i}`: the optimal latency of the system with machine `exclude`
+/// removed, at double-double precision.
+///
+/// # Panics
+/// Panics if `exclude` is out of bounds or fewer than two values remain.
+#[must_use]
+pub fn optimal_latency_excluding_dd(values: &[f64], exclude: usize, r: f64) -> f64 {
+    assert!(
+        exclude < values.len() && values.len() >= 2,
+        "optimal_latency_excluding_dd: bad input"
+    );
+    let inv_sum = values
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != exclude)
+        .fold(TwoF64::ZERO, |acc, (_, &t)| acc.add(TwoF64::recip(t)));
+    TwoF64::from_f64(r).mul_f64(r).div(inv_sum).value()
+}
+
+/// The realised total latency `L = Σ_i t̃_i · x_i²` at double-double
+/// precision (each term is an exact-product chain before accumulation).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn total_latency_dd(rates: &[f64], values: &[f64]) -> f64 {
+    assert_eq!(
+        rates.len(),
+        values.len(),
+        "total_latency_dd: length mismatch"
+    );
+    rates
+        .iter()
+        .zip(values)
+        .fold(TwoF64::ZERO, |acc, (&x, &t)| {
+            acc.add(TwoF64::from_f64(x).mul_f64(x).mul_f64(t))
+        })
+        .value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_recovers_what_f64_rounds_away() {
+        // In plain f64, (1 + 1e-20) − 1 == 0. The double-double keeps it.
+        let a = TwoF64::from_f64(1.0).add_f64(1e-20);
+        let diff = a.add_f64(-1.0);
+        assert_eq!(diff.value(), 1e-20);
+    }
+
+    #[test]
+    fn reciprocal_is_accurate_beyond_f64() {
+        let third = TwoF64::recip(3.0);
+        let one = third.mul_f64(3.0);
+        assert!(
+            (one.value() - 1.0).abs() < 1e-30,
+            "residual {}",
+            one.value() - 1.0
+        );
+        // The trailing term captures the representation error of 1/3.
+        assert!(third.lo != 0.0);
+    }
+
+    #[test]
+    fn inv_sum_matches_exact_dyadic_case() {
+        // 1/1 + 1/2 + 1/4 = 1.75 exactly in binary.
+        let s = inv_sum_dd(&[1.0, 2.0, 4.0]);
+        assert_eq!(s.hi, 1.75);
+        assert_eq!(s.lo, 0.0);
+    }
+
+    #[test]
+    fn optimal_latency_matches_closed_form_on_uniform_system() {
+        // n equal machines: Σ 1/t = n/t, L* = r²·t/n.
+        let values = [2.0; 5];
+        let got = optimal_latency_dd(&values, 10.0);
+        assert!((got - 40.0).abs() < 1e-12, "L* = {got}");
+    }
+
+    #[test]
+    fn pr_rates_conserve_and_stay_proportional() {
+        let values = [1.0, 2.0, 5.0, 1e-6, 1e6];
+        let r = 20.0;
+        let rates = pr_rates_dd(&values, r);
+        let total: f64 = rates.iter().sum();
+        assert!((total - r).abs() < 1e-9 * r, "sum {total}");
+        // x_i · t_i is constant across machines for the PR solution.
+        let k = rates[0] * values[0];
+        for (x, t) in rates.iter().zip(&values) {
+            assert!((x * t - k).abs() < 1e-9 * k, "{} vs {k}", x * t);
+        }
+    }
+
+    #[test]
+    fn excluding_drops_exactly_one_reciprocal() {
+        let values = [1.0, 2.0, 4.0];
+        let got = optimal_latency_excluding_dd(&values, 0, 10.0);
+        // Remaining Σ 1/t = 0.75, L = 100 / 0.75.
+        assert!((got - 100.0 / 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_latency_survives_catastrophic_magnitude_spread() {
+        // Terms at 1e12 and 1e-12: a naive f64 sum loses the small one
+        // entirely; the double-double keeps it to the last bit.
+        let rates = [1e6, 1e-6, 1.0];
+        let values = [1.0, 1.0, -1e12];
+        let got = total_latency_dd(&rates, &values);
+        assert_eq!(got, 1e-12);
+    }
+}

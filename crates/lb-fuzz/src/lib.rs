@@ -1,0 +1,43 @@
+//! In-tree deterministic fuzzing for the `lbmv` workspace.
+//!
+//! A conventional fuzzer needs an external engine and a corpus; this crate
+//! needs neither. It is **seed-deterministic** (every iteration's inputs
+//! derive from `derive_seed(base, i)`, so any finding is a single `u64` to
+//! reproduce), **structure-aware** (inputs are generated directly in the
+//! domain — latency parameters by magnitude class, protocol messages,
+//! chaos schedules — instead of raw bytes), and **differential**: each
+//! oracle compares a production kernel against an independent reference
+//! that cannot share its bugs.
+//!
+//! The four oracles (see [`harness::registry`]):
+//!
+//! * `alloc` — the PR closed form ([Theorem 2.1]) vs. the KKT bisection
+//!   solver vs. a double-double reference, on spreads up to 10¹².
+//! * `payment` — compensation-and-bonus payments (Def. 3.3) vs. a
+//!   brute-force `C_i + B_i` at ≈106-bit precision.
+//! * `codec` — wire-format and framing round-trips, plus byte-mutation
+//!   robustness of the length-prefixed decoder.
+//! * `session` — full chaos protocol rounds against their seed-independent
+//!   invariants (conservation, voluntary participation, message bounds,
+//!   bit-exact replay).
+//!
+//! Run from the workspace root:
+//!
+//! ```text
+//! cargo run -p lb-fuzz --release -- --iters 10000 --seed 3405691582
+//! ```
+//!
+//! [Theorem 2.1]: lb_core::pr_allocate
+
+pub mod extended;
+pub mod generate;
+pub mod harness;
+pub mod oracles;
+
+pub use extended::{
+    inv_sum_dd, optimal_latency_dd, optimal_latency_excluding_dd, pr_rates_dd, total_latency_dd,
+    TwoF64,
+};
+pub use harness::{
+    registry, run_all, run_one, run_oracle, FuzzConfig, FuzzFailure, Oracle, OracleReport,
+};

@@ -1,0 +1,87 @@
+//! Allocation oracle: Theorem 2.1's closed form, three ways.
+//!
+//! For one random system (2–12 machines, latency parameters spread up to
+//! 10¹²) the oracle demands that
+//!
+//! 1. [`pr_allocate`] agrees with the double-double reference
+//!    [`pr_rates_dd`] to 1e-9 relative error per machine, and its output
+//!    passes back through the [`Allocation::new`] feasibility gate;
+//! 2. [`optimal_latency_linear`] agrees with [`optimal_latency_dd`];
+//! 3. the KKT bisection solver [`solve_convex`] over `Linear` latency
+//!    functions lands on the same allocation (to its own tolerance) —
+//!    two independent derivations of the same optimum.
+
+use crate::extended::{optimal_latency_dd, pr_rates_dd};
+use crate::generate::{arrival_rate, latency_values, rng_for, spread_half_width};
+use crate::oracles::close;
+use lb_core::{
+    optimal_latency_linear, pr_allocate, solve_convex, Allocation, ConvexSolverOptions, Linear,
+};
+use lb_stats::Rng;
+
+/// Runs one allocation-oracle iteration.
+///
+/// # Errors
+/// Returns a description of the first disagreement found.
+pub fn check(seed: u64) -> Result<(), String> {
+    let mut rng = rng_for(seed);
+    let half_width = spread_half_width(&mut rng);
+    #[allow(clippy::cast_possible_truncation)]
+    let n = 2 + rng.next_below(11) as usize;
+    let values = latency_values(&mut rng, n, half_width);
+    let r = arrival_rate(&mut rng);
+
+    let alloc = pr_allocate(&values, r).map_err(|e| format!("pr_allocate failed: {e}"))?;
+
+    // The closed form's own output must survive re-validation: this is the
+    // feasibility-tolerance bug class (naive sum + absolute window).
+    Allocation::new(alloc.rates().to_vec(), r)
+        .map_err(|e| format!("PR output rejected by feasibility gate: {e}"))?;
+
+    let want_rates = pr_rates_dd(&values, r);
+    for (i, (&got, &want)) in alloc.rates().iter().zip(&want_rates).enumerate() {
+        if !close(got, want, want) {
+            return Err(format!(
+                "rate[{i}] = {got:e} vs dd reference {want:e} (t = {:e}, r = {r:e})",
+                values[i]
+            ));
+        }
+    }
+
+    let got_latency =
+        optimal_latency_linear(&values, r).map_err(|e| format!("optimal_latency_linear: {e}"))?;
+    let want_latency = optimal_latency_dd(&values, r);
+    if !close(got_latency, want_latency, want_latency) {
+        return Err(format!(
+            "L* = {got_latency:e} vs dd reference {want_latency:e} (r = {r:e})"
+        ));
+    }
+
+    // Independent derivation: KKT bisection. For linear latencies the
+    // solver's inverse-marginal is exactly proportional to 1/t_i, so after
+    // its conservation rescale it must reproduce the closed form tightly.
+    let fns: Vec<Linear> = values.iter().map(|&t| Linear::new(t)).collect();
+    let refs: Vec<&Linear> = fns.iter().collect();
+    let solved = solve_convex(&refs, r, ConvexSolverOptions::default())
+        .map_err(|e| format!("solve_convex failed on a valid linear system: {e}"))?;
+    for (i, (&got, &want)) in solved.rates().iter().zip(alloc.rates()).enumerate() {
+        if (got - want).abs() > 1e-6 * want.abs().max(1e-300) {
+            return Err(format!(
+                "solver rate[{i}] = {got:e} vs closed form {want:e}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_for_a_small_seed_sample() {
+        for seed in 0..50 {
+            check(seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Codec oracle: wire-format round-trips and byte-level corruption.
+//!
+//! Three properties, in increasing order of hostility:
+//!
+//! 1. **Round-trip**: `decode(encode(m)) == m` for random messages.
+//! 2. **Framing**: a stream of frames survives arbitrary re-fragmentation
+//!    through [`FrameReader`].
+//! 3. **Corruption**: after random byte mutations, decoding must return a
+//!    typed error or a (possibly different) valid message — never panic,
+//!    never hang, never emit more frames than the stream can hold. The
+//!    length-prefix bound bugs live exactly here.
+
+use crate::generate::{message, mutate_bytes, rng_for};
+use lb_proto::{decode, encode, FrameReader, FrameWriter, Message};
+use lb_stats::Rng;
+
+/// Runs one codec-oracle iteration.
+///
+/// # Errors
+/// Returns a description of the first violated property.
+pub fn check(seed: u64) -> Result<(), String> {
+    let mut rng = rng_for(seed);
+    let count = 1 + rng.next_below(8);
+    let msgs: Vec<Message> = (0..count).map(|_| message(&mut rng)).collect();
+
+    // 1. Plain round-trip.
+    for m in &msgs {
+        let bytes = encode(m).map_err(|e| format!("encode failed: {e}"))?;
+        let back: Message = decode(&bytes).map_err(|e| format!("decode of own encoding: {e}"))?;
+        if back != *m {
+            return Err(format!("round-trip changed the message: {m:?} -> {back:?}"));
+        }
+    }
+
+    // 2. Framed stream under random fragmentation.
+    let mut writer = FrameWriter::new();
+    for m in &msgs {
+        writer.write(m).map_err(|e| format!("frame write: {e}"))?;
+    }
+    let stream = writer.take();
+    let mut reader = FrameReader::new();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < stream.len() {
+        #[allow(clippy::cast_possible_truncation)]
+        let chunk = 1 + rng.next_below(16) as usize;
+        let end = (pos + chunk).min(stream.len());
+        reader.feed(&stream[pos..end]);
+        pos = end;
+        while let Some(m) = reader
+            .next_frame::<Message>()
+            .map_err(|e| format!("clean stream rejected: {e}"))?
+        {
+            out.push(m);
+        }
+    }
+    if out != msgs {
+        return Err(format!(
+            "framed stream re-ordered or lost messages: {} of {count}",
+            out.len()
+        ));
+    }
+
+    // 3. Mutated stream: every outcome except panic/runaway is acceptable.
+    let mut corrupted = stream.to_vec();
+    mutate_bytes(&mut rng, &mut corrupted);
+    let mut reader = FrameReader::new();
+    reader.feed(&corrupted);
+    // Each accepted frame consumes ≥ 4 bytes, so this bounds the loop.
+    let max_frames = corrupted.len() / 4 + 1;
+    let mut produced = 0;
+    loop {
+        match reader.next_frame::<Message>() {
+            Ok(Some(_)) => {
+                produced += 1;
+                if produced > max_frames {
+                    return Err(format!(
+                        "reader produced {produced} frames from a {}-byte corrupted stream",
+                        corrupted.len()
+                    ));
+                }
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+
+    // Raw noise straight into the decoder: typed result either way.
+    #[allow(clippy::cast_possible_truncation)]
+    let noise: Vec<u8> = (0..rng.next_below(64))
+        .map(|_| rng.next_u64() as u8)
+        .collect();
+    let _ = decode::<Message>(&noise);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_for_a_small_seed_sample() {
+        for seed in 0..50 {
+            check(seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

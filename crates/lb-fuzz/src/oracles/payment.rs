@@ -1,0 +1,103 @@
+//! Payment oracle: Definition 3.3's `P_i = C_i + B_i`, brute-forced at
+//! double-double precision.
+//!
+//! The bonus `B_i = L_{-i}(b_{-i}) − L(x(b), t̃)` is a difference of two
+//! near-equal totals whenever one machine contributes little, so the honest
+//! error measure is relative to the *magnitudes being cancelled*, not to the
+//! difference: the oracle enforces
+//! `|got − ref| ≤ 1e-9 · max(|C_i|, |L_{-i}|, |L|)`. Both sides consume the
+//! same bids/rates/execution values — the comparison isolates arithmetic
+//! error in the production kernel, which must stay ~seven orders of
+//! magnitude below the budget thanks to compensated summation.
+
+use crate::extended::{optimal_latency_excluding_dd, total_latency_dd, TwoF64};
+use crate::generate::{arrival_rate, latency_values, rng_for, spread_half_width};
+use crate::oracles::REL_TOL;
+use lb_mechanism::traits::ValuationModel;
+use lb_mechanism::CompensationBonusMechanism;
+use lb_stats::Rng;
+
+/// Runs one payment-oracle iteration.
+///
+/// # Errors
+/// Returns a description of the first disagreement found.
+pub fn check(seed: u64) -> Result<(), String> {
+    let mut rng = rng_for(seed);
+    let half_width = spread_half_width(&mut rng);
+    #[allow(clippy::cast_possible_truncation)]
+    let n = 2 + rng.next_below(9) as usize;
+    let true_values = latency_values(&mut rng, n, half_width);
+    // Strategic bids around the truth (×10^[-0.3, 0.6]) and lazy execution
+    // (t̃ = t · [1, 3]): the payment formula must hold off the truthful path.
+    let bids: Vec<f64> = true_values
+        .iter()
+        .map(|&t| t * 10f64.powf(rng.next_range(-0.3, 0.6)))
+        .collect();
+    let exec_values: Vec<f64> = true_values
+        .iter()
+        .map(|&t| t * rng.next_range(1.0, 3.0))
+        .collect();
+    let r = arrival_rate(&mut rng);
+    let mech = if rng.next_bool(0.5) {
+        CompensationBonusMechanism::paper()
+    } else {
+        CompensationBonusMechanism::contributed()
+    };
+
+    let alloc = lb_core::pr_allocate(&bids, r).map_err(|e| format!("pr_allocate: {e}"))?;
+    let breakdown = mech
+        .payment_breakdown(&bids, &alloc, &exec_values, r)
+        .map_err(|e| format!("payment_breakdown failed on valid profile: {e}"))?;
+
+    let actual_latency_dd = total_latency_dd(alloc.rates(), &exec_values);
+    for (i, b) in breakdown.iter().enumerate() {
+        let x = alloc.rate(i);
+        // C_i = −V_i at double-double precision.
+        let comp_dd = match mech.valuation {
+            ValuationModel::PerJobLatency => TwoF64::from_f64(exec_values[i]).mul_f64(x),
+            ValuationModel::ContributedLatency => {
+                TwoF64::from_f64(x).mul_f64(x).mul_f64(exec_values[i])
+            }
+        };
+        let without_i = optimal_latency_excluding_dd(&bids, i, r);
+        let want = comp_dd
+            .add_f64(without_i)
+            .add_f64(-actual_latency_dd)
+            .value();
+        let scale = comp_dd
+            .value()
+            .abs()
+            .max(without_i.abs())
+            .max(actual_latency_dd.abs());
+        let got = b.total();
+        if (got - want).abs() > REL_TOL * scale.max(1e-300) {
+            return Err(format!(
+                "P[{i}] = {got:e} vs dd reference {want:e} \
+                 (C = {:e}, L_-i = {without_i:e}, L = {actual_latency_dd:e}, r = {r:e})",
+                comp_dd.value()
+            ));
+        }
+        // The compensation component alone must also match (it is what the
+        // settlement audit refunds; a bonus-side error must not hide in it).
+        if (b.compensation - comp_dd.value()).abs() > REL_TOL * comp_dd.value().abs().max(1e-300) {
+            return Err(format!(
+                "C[{i}] = {:e} vs dd reference {:e}",
+                b.compensation,
+                comp_dd.value()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_for_a_small_seed_sample() {
+        for seed in 0..50 {
+            check(seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

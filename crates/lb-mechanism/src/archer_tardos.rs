@@ -59,13 +59,17 @@ impl ArcherTardosMechanism {
     /// Closed-form variant (the default).
     #[must_use]
     pub fn closed_form() -> Self {
-        Self { evaluation: PaymentEvaluation::ClosedForm }
+        Self {
+            evaluation: PaymentEvaluation::ClosedForm,
+        }
     }
 
     /// Quadrature variant (cross-check / extensions).
     #[must_use]
     pub fn quadrature() -> Self {
-        Self { evaluation: PaymentEvaluation::Quadrature }
+        Self {
+            evaluation: PaymentEvaluation::Quadrature,
+        }
     }
 
     /// The work measure `w_i(b) = x_i(b)²` under the PR allocation, as a
@@ -167,7 +171,11 @@ mod tests {
             let x = out.allocation.rate(i);
             let declared = profile.bids()[i] * x * x;
             assert!(out.payments[i] > declared, "agent {i}");
-            assert!(out.utilities[i] > 0.0, "agent {i} utility {}", out.utilities[i]);
+            assert!(
+                out.utilities[i] > 0.0,
+                "agent {i} utility {}",
+                out.utilities[i]
+            );
         }
     }
 

@@ -26,7 +26,8 @@
 
 use crate::error::MechanismError;
 use crate::traits::{ValuationModel, VerifiedMechanism};
-use lb_core::allocation::optimal_latency_excluding;
+use lb_core::allocation::{optimal_latency_excluding, validate_rate};
+use lb_core::machine::validate_values;
 use lb_core::{pr_allocate, total_latency_linear, Allocation};
 use serde::{Deserialize, Serialize};
 
@@ -58,16 +59,25 @@ impl CompensationBonusMechanism {
     /// The paper-faithful configuration (per-job-latency valuation).
     #[must_use]
     pub fn paper() -> Self {
-        Self { valuation: ValuationModel::PerJobLatency }
+        Self {
+            valuation: ValuationModel::PerJobLatency,
+        }
     }
 
     /// The contributed-latency configuration (`V_i = −t̃_i x_i²`).
     #[must_use]
     pub fn contributed() -> Self {
-        Self { valuation: ValuationModel::ContributedLatency }
+        Self {
+            valuation: ValuationModel::ContributedLatency,
+        }
     }
 
     /// Computes the per-agent compensation/bonus decomposition.
+    ///
+    /// Bids, execution values and the rate are validated at entry — a
+    /// degenerate input (subnormal bid, non-finite rate) answers with a
+    /// typed error here instead of NaN-poisoning `1/b_i` and every `L_{-i}`
+    /// bonus term downstream.
     ///
     /// # Errors
     /// Returns [`MechanismError::NeedTwoAgents`] for singleton systems
@@ -82,6 +92,9 @@ impl CompensationBonusMechanism {
         if bids.len() < 2 {
             return Err(MechanismError::NeedTwoAgents);
         }
+        validate_values("bid", bids)?;
+        validate_values("execution value", exec_values)?;
+        validate_rate(total_rate)?;
         if allocation.len() != bids.len() || exec_values.len() != bids.len() {
             return Err(lb_core::CoreError::LengthMismatch {
                 expected: bids.len(),
@@ -94,8 +107,17 @@ impl CompensationBonusMechanism {
             .map(|i| {
                 let x = allocation.rate(i);
                 let compensation = self.valuation.compensation(x, exec_values[i]);
+                if !compensation.is_finite() {
+                    return Err(lb_core::CoreError::NumericalOverflow {
+                        what: "compensation term C_i",
+                    }
+                    .into());
+                }
                 let without_i = optimal_latency_excluding(bids, i, total_rate)?;
-                Ok(PaymentBreakdown { compensation, bonus: without_i - actual_latency })
+                Ok(PaymentBreakdown {
+                    compensation,
+                    bonus: without_i - actual_latency,
+                })
             })
             .collect()
     }
@@ -149,7 +171,11 @@ mod tests {
         let profile = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();
         let out = run_mechanism(&mech(), &profile).unwrap();
         let expected = 400.0 / 4.1 - 400.0 / 5.1;
-        assert!((out.utilities[0] - expected).abs() < 1e-9, "U1 = {}", out.utilities[0]);
+        assert!(
+            (out.utilities[0] - expected).abs() < 1e-9,
+            "U1 = {}",
+            out.utilities[0]
+        );
     }
 
     #[test]
@@ -163,10 +189,18 @@ mod tests {
     fn compensation_exactly_cancels_valuation() {
         let sys = paper_system();
         let profile = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 3.0, 3.0).unwrap();
-        for m in [CompensationBonusMechanism::paper(), CompensationBonusMechanism::contributed()] {
+        for m in [
+            CompensationBonusMechanism::paper(),
+            CompensationBonusMechanism::contributed(),
+        ] {
             let alloc = m.allocate(profile.bids(), PAPER_ARRIVAL_RATE).unwrap();
             let breakdown = m
-                .payment_breakdown(profile.bids(), &alloc, profile.exec_values(), PAPER_ARRIVAL_RATE)
+                .payment_breakdown(
+                    profile.bids(),
+                    &alloc,
+                    profile.exec_values(),
+                    PAPER_ARRIVAL_RATE,
+                )
                 .unwrap();
             for (i, b) in breakdown.iter().enumerate() {
                 let x = alloc.rate(i);
@@ -182,7 +216,12 @@ mod tests {
         let profile = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 0.5, 2.0).unwrap();
         let out = run_mechanism(&mech(), &profile).unwrap();
         let breakdown = mech()
-            .payment_breakdown(profile.bids(), &out.allocation, profile.exec_values(), PAPER_ARRIVAL_RATE)
+            .payment_breakdown(
+                profile.bids(),
+                &out.allocation,
+                profile.exec_values(),
+                PAPER_ARRIVAL_RATE,
+            )
             .unwrap();
         for i in 0..profile.len() {
             assert!((out.utilities[i] - breakdown[i].bonus).abs() < 1e-9);
@@ -203,7 +242,11 @@ mod tests {
         let x1 = 40.0 / 6.1;
         let l_actual = 2.0 * x1 * x1 + (20.0 / 6.1) * (20.0 / 6.1) * 4.1;
         let expected = 2.0 * x1 + (400.0 / 4.1 - l_actual);
-        assert!((out.payments[0] - expected).abs() < 1e-9, "{} vs {expected}", out.payments[0]);
+        assert!(
+            (out.payments[0] - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            out.payments[0]
+        );
     }
 
     #[test]
@@ -230,7 +273,43 @@ mod tests {
         let m = mech();
         let alloc = m.allocate(&[1.0, 2.0], 5.0).unwrap();
         assert!(m.payments(&[1.0, 2.0], &alloc, &[1.0], 5.0).is_err());
-        assert!(m.payments(&[1.0, 2.0, 3.0], &alloc, &[1.0, 2.0, 3.0], 5.0).is_err());
+        assert!(m
+            .payments(&[1.0, 2.0, 3.0], &alloc, &[1.0, 2.0, 3.0], 5.0)
+            .is_err());
+    }
+
+    #[test]
+    fn degenerate_bids_yield_typed_errors_not_nan() {
+        // Regression for the `payment` fuzz-oracle class: a subnormal bid
+        // used to reach 1/b_i, turn the allocation infinite and NaN-poison
+        // every bonus. Now each degenerate input answers with a typed error.
+        let m = mech();
+        let alloc = m.allocate(&[1.0, 2.0], 5.0).unwrap();
+        let subnormal = f64::MIN_POSITIVE / 2.0;
+        assert!(matches!(
+            m.payment_breakdown(&[subnormal, 2.0], &alloc, &[1.0, 2.0], 5.0),
+            Err(MechanismError::Core(
+                lb_core::CoreError::InvalidParameter { .. }
+            ))
+        ));
+        assert!(matches!(
+            m.payment_breakdown(&[1.0, 2.0], &alloc, &[subnormal, 2.0], 5.0),
+            Err(MechanismError::Core(
+                lb_core::CoreError::InvalidParameter { .. }
+            ))
+        ));
+        assert!(matches!(
+            m.payment_breakdown(&[1.0, 2.0], &alloc, &[1.0, 2.0], f64::NAN),
+            Err(MechanismError::Core(lb_core::CoreError::InvalidRate(_)))
+        ));
+        assert!(m.allocate(&[subnormal, 2.0], 5.0).is_err());
+        // A valid wide-spread profile still computes finite payments.
+        let wide = [1e-6, 1e6];
+        let alloc = m.allocate(&wide, 5.0).unwrap();
+        let breakdown = m.payment_breakdown(&wide, &alloc, &wide, 5.0).unwrap();
+        for b in &breakdown {
+            assert!(b.total().is_finite());
+        }
     }
 
     proptest! {
@@ -287,6 +366,64 @@ mod tests {
             ).unwrap().utilities[0];
             prop_assert!(deviating <= truthful + 1e-7 * truthful.abs().max(1.0),
                 "deviation gained: {} > {}", deviating, truthful);
+        }
+
+        /// Theorem 3.1 under extreme magnitudes: true values sampled
+        /// log-uniformly over 1e-6..1e6 (twelve orders of magnitude), others
+        /// consistent — truth still dominates every (bid, exec) deviation.
+        #[test]
+        fn prop_truthfulness_extreme_magnitudes(
+            exponents in proptest::collection::vec(-6.0f64..6.0, 2..8),
+            bid_factor in 0.2f64..5.0,
+            exec_factor in 1.0f64..4.0,
+            other_factor in 1.0f64..2.0,
+            r_exp in -3.0f64..3.0,
+        ) {
+            let trues: Vec<f64> = exponents.iter().map(|&e| 10f64.powf(e)).collect();
+            let r = 10f64.powf(r_exp);
+            let mut bids: Vec<f64> = trues.iter().map(|&t| t * other_factor).collect();
+            let mut exec = bids.clone();
+            bids[0] = trues[0];
+            exec[0] = trues[0];
+            let truthful = run_mechanism(
+                &mech(),
+                &Profile::new(trues.clone(), bids.clone(), exec.clone(), r).unwrap(),
+            ).unwrap().utilities[0];
+            bids[0] = trues[0] * bid_factor;
+            exec[0] = trues[0] * exec_factor;
+            let deviating = run_mechanism(
+                &mech(),
+                &Profile::new(trues.clone(), bids, exec, r).unwrap(),
+            ).unwrap().utilities[0];
+            prop_assert!(deviating <= truthful + 1e-7 * truthful.abs().max(1.0),
+                "deviation gained: {} > {}", deviating, truthful);
+        }
+
+        /// Theorem 3.2 under extreme magnitudes: truthful utility stays
+        /// non-negative against consistent opponents across 1e-6..1e6 spreads.
+        #[test]
+        fn prop_participation_extreme_magnitudes(
+            exponents in proptest::collection::vec(-6.0f64..6.0, 2..8),
+            other_factors in proptest::collection::vec(1.0f64..5.0, 2..8),
+            r_exp in -3.0f64..3.0,
+        ) {
+            let n = exponents.len().min(other_factors.len());
+            let trues: Vec<f64> = exponents[..n].iter().map(|&e| 10f64.powf(e)).collect();
+            let r = 10f64.powf(r_exp);
+            let mut bids = vec![trues[0]];
+            let mut exec = vec![trues[0]];
+            for i in 1..n {
+                let b = trues[i] * other_factors[i];
+                bids.push(b);
+                exec.push(b);
+            }
+            let profile = Profile::new(trues.clone(), bids, exec, r).unwrap();
+            let out = run_mechanism(&mech(), &profile).unwrap();
+            // Utilities here scale like r²·t, so the acceptance floor must
+            // be relative to the magnitude of the terms being cancelled.
+            let scale = out.utilities[0].abs().max(out.total_latency.abs()).max(1.0);
+            prop_assert!(out.utilities[0] >= -1e-9 * scale,
+                "truthful agent lost: {}", out.utilities[0]);
         }
 
         /// Payments decompose exactly: P = C + B and U = B, under both

@@ -71,7 +71,11 @@ mod tests {
         assert!(e.to_string().contains("machine"));
         assert!(std::error::Error::source(&e).is_some());
 
-        let e = MechanismError::ExecutionFasterThanTruth { agent: 3, true_value: 2.0, exec_value: 1.0 };
+        let e = MechanismError::ExecutionFasterThanTruth {
+            agent: 3,
+            true_value: 2.0,
+            exec_value: 1.0,
+        };
         assert!(e.to_string().contains("agent 3"));
         assert!(std::error::Error::source(&e).is_none());
 

@@ -39,7 +39,10 @@ impl<M> FeeAdjusted<M> {
     /// Panics if `fraction` is negative or non-finite.
     #[must_use]
     pub fn new(inner: M, fraction: f64) -> Self {
-        assert!(fraction.is_finite() && fraction >= 0.0, "FeeAdjusted: invalid fraction");
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "FeeAdjusted: invalid fraction"
+        );
         Self { inner, fraction }
     }
 
@@ -114,7 +117,9 @@ impl<M: VerifiedMechanism> VerifiedMechanism for FeeAdjusted<M> {
         exec_values: &[f64],
         total_rate: f64,
     ) -> Result<Vec<f64>, MechanismError> {
-        let base = self.inner.payments(bids, allocation, exec_values, total_rate)?;
+        let base = self
+            .inner
+            .payments(bids, allocation, exec_values, total_rate)?;
         base.into_iter()
             .enumerate()
             .map(|(i, p)| Ok(p - self.fee(bids, i, total_rate)?))
@@ -157,9 +162,11 @@ mod tests {
     fn break_even_keeps_everyone_whole_and_beyond_breaks_participation() {
         let sys = paper_system();
         let trues = sys.true_values();
-        let fraction =
-            FeeAdjusted::<CompensationBonusMechanism>::break_even_fraction(&trues, PAPER_ARRIVAL_RATE)
-                .unwrap();
+        let fraction = FeeAdjusted::<CompensationBonusMechanism>::break_even_fraction(
+            &trues,
+            PAPER_ARRIVAL_RATE,
+        )
+        .unwrap();
         assert!(fraction > 0.0);
 
         let profile = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();

@@ -41,7 +41,11 @@ impl LatencyFamily for LinearFamily {
     type Fn = Linear;
     fn make(&self, t: f64) -> Result<Linear, MechanismError> {
         if !(t.is_finite() && t > 0.0) {
-            return Err(lb_core::CoreError::InvalidParameter { name: "linear t", value: t }.into());
+            return Err(lb_core::CoreError::InvalidParameter {
+                name: "linear t",
+                value: t,
+            }
+            .into());
         }
         Ok(Linear::new(t))
     }
@@ -58,7 +62,11 @@ impl LatencyFamily for Mm1Family {
     type Fn = Mm1;
     fn make(&self, t: f64) -> Result<Mm1, MechanismError> {
         if !(t.is_finite() && t > 0.0) {
-            return Err(lb_core::CoreError::InvalidParameter { name: "mm1 t", value: t }.into());
+            return Err(lb_core::CoreError::InvalidParameter {
+                name: "mm1 t",
+                value: t,
+            }
+            .into());
         }
         Ok(Mm1::new(1.0 / t))
     }
@@ -94,7 +102,11 @@ impl<F: LatencyFamily> GeneralizedCompensationBonus<F> {
     /// Creates the mechanism with default options.
     #[must_use]
     pub fn new(family: F) -> Self {
-        Self { family, valuation: ValuationModel::default(), solver: SolverOptionsWrapper::default() }
+        Self {
+            family,
+            valuation: ValuationModel::default(),
+            solver: SolverOptionsWrapper::default(),
+        }
     }
 
     fn fns(&self, values: &[f64]) -> Result<Vec<F::Fn>, MechanismError> {
@@ -105,7 +117,12 @@ impl<F: LatencyFamily> GeneralizedCompensationBonus<F> {
         let fns = self.fns(values)?;
         let refs: Vec<&F::Fn> = fns.iter().collect();
         let alloc = solve_convex(&refs, rate, self.solver.0)?;
-        Ok(alloc.rates().iter().zip(&fns).map(|(&x, f)| f.total(x)).sum())
+        Ok(alloc
+            .rates()
+            .iter()
+            .zip(&fns)
+            .map(|(&x, f)| f.total(x))
+            .sum())
     }
 
     /// Actual total latency of `allocation` under execution parameters.
@@ -116,11 +133,17 @@ impl<F: LatencyFamily> GeneralizedCompensationBonus<F> {
     /// an [`lb_core::CoreError::Infeasible`] error rather than a NaN payment.
     fn actual_latency(&self, allocation: &Allocation, exec: &[f64]) -> Result<f64, MechanismError> {
         let fns = self.fns(exec)?;
-        let total: f64 = allocation.rates().iter().zip(&fns).map(|(&x, f)| f.total(x)).sum();
+        let total: f64 = allocation
+            .rates()
+            .iter()
+            .zip(&fns)
+            .map(|(&x, f)| f.total(x))
+            .sum();
         if !total.is_finite() {
             return Err(lb_core::CoreError::Infeasible {
-                reason: "realised latency diverges: a machine was allocated beyond its actual capacity"
-                    .to_string(),
+                reason:
+                    "realised latency diverges: a machine was allocated beyond its actual capacity"
+                        .to_string(),
             }
             .into());
         }
@@ -188,8 +211,12 @@ impl<F: LatencyFamily> VerifiedMechanism for GeneralizedCompensationBonus<F> {
             .map(|i| {
                 let x = allocation.rate(i);
                 let compensation = -self.valuation_of(&exec_fns[i], x);
-                let others: Vec<f64> =
-                    bids.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &b)| b).collect();
+                let others: Vec<f64> = bids
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &b)| b)
+                    .collect();
                 let without_i = self.optimal_latency(&others, total_rate)?;
                 Ok(compensation + without_i - actual)
             })
@@ -216,7 +243,8 @@ mod tests {
         let cb = CompensationBonusMechanism::paper();
         for (bid_f, exec_f) in [(1.0, 1.0), (3.0, 3.0), (0.5, 2.0)] {
             let profile =
-                Profile::with_deviation(&paper_system(), PAPER_ARRIVAL_RATE, 0, bid_f, exec_f).unwrap();
+                Profile::with_deviation(&paper_system(), PAPER_ARRIVAL_RATE, 0, bid_f, exec_f)
+                    .unwrap();
             let a = run_mechanism(&gen, &profile).unwrap();
             let b = run_mechanism(&cb, &profile).unwrap();
             for i in 0..16 {
@@ -226,7 +254,9 @@ mod tests {
                     a.payments[i],
                     b.payments[i]
                 );
-                assert!((a.utilities[i] - b.utilities[i]).abs() < 1e-5 * b.utilities[i].abs().max(1.0));
+                assert!(
+                    (a.utilities[i] - b.utilities[i]).abs() < 1e-5 * b.utilities[i].abs().max(1.0)
+                );
             }
         }
     }
@@ -266,7 +296,9 @@ mod tests {
         let gen = GeneralizedCompensationBonus::new(Mm1Family);
         let sys = mm1_system();
         let rate = 5.0;
-        let truthful = run_mechanism(&gen, &Profile::truthful(&sys, rate).unwrap()).unwrap().utilities[0];
+        let truthful = run_mechanism(&gen, &Profile::truthful(&sys, rate).unwrap())
+            .unwrap()
+            .utilities[0];
         for bid_f in [0.5, 0.8, 1.2, 1.5, 2.5] {
             for exec_f in [1.0, 1.3, 2.0] {
                 let p = Profile::with_deviation(&sys, rate, 0, bid_f, exec_f).unwrap();
@@ -278,7 +310,9 @@ mod tests {
                             out.utilities[0]
                         );
                     }
-                    Err(MechanismError::Core(lb_core::CoreError::InsufficientCapacity { .. })) => {
+                    Err(MechanismError::Core(lb_core::CoreError::InsufficientCapacity {
+                        ..
+                    })) => {
                         // A deviation that makes the declared system unable to
                         // carry the load is rejected outright — also no gain.
                     }
@@ -302,7 +336,9 @@ mod tests {
         let profile = Profile::truthful(&mm1_system(), 10.0).unwrap();
         assert!(matches!(
             run_mechanism(&gen, &profile),
-            Err(MechanismError::Core(lb_core::CoreError::InsufficientCapacity { .. }))
+            Err(MechanismError::Core(
+                lb_core::CoreError::InsufficientCapacity { .. }
+            ))
         ));
     }
 
@@ -321,7 +357,10 @@ mod tests {
     fn singleton_rejected() {
         let gen = GeneralizedCompensationBonus::new(LinearFamily);
         let profile = Profile::new(vec![1.0], vec![1.0], vec![1.0], 2.0).unwrap();
-        assert!(matches!(run_mechanism(&gen, &profile), Err(MechanismError::NeedTwoAgents)));
+        assert!(matches!(
+            run_mechanism(&gen, &profile),
+            Err(MechanismError::NeedTwoAgents)
+        ));
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub fn frugality_ratio(outcome: &MechanismOutcome) -> f64 {
 /// Panics if `optimal` is not strictly positive.
 #[must_use]
 pub fn degradation(actual: f64, optimal: f64) -> f64 {
-    assert!(optimal > 0.0, "degradation: optimal latency must be positive");
+    assert!(
+        optimal > 0.0,
+        "degradation: optimal latency must be positive"
+    );
     (actual - optimal) / optimal
 }
 
@@ -78,7 +81,10 @@ impl PaymentStructure {
 /// Panics if `n < 2`.
 #[must_use]
 pub fn analytic_frugality_uniform_contributed(n: usize) -> f64 {
-    assert!(n >= 2, "analytic_frugality_uniform_contributed: need n >= 2");
+    assert!(
+        n >= 2,
+        "analytic_frugality_uniform_contributed: need n >= 2"
+    );
     1.0 + n as f64 / (n as f64 - 1.0)
 }
 
@@ -98,7 +104,10 @@ pub fn analytic_frugality_uniform_contributed(n: usize) -> f64 {
 #[must_use]
 pub fn analytic_frugality_uniform_per_job(n: usize, r: f64) -> f64 {
     assert!(n >= 2, "analytic_frugality_uniform_per_job: need n >= 2");
-    assert!(r.is_finite() && r > 0.0, "analytic_frugality_uniform_per_job: invalid rate");
+    assert!(
+        r.is_finite() && r > 0.0,
+        "analytic_frugality_uniform_per_job: invalid rate"
+    );
     1.0 + r / (n as f64 - 1.0)
 }
 
@@ -121,7 +130,10 @@ mod tests {
                 run_mechanism(&CompensationBonusMechanism::contributed(), &profile).unwrap();
             let want = analytic_frugality_uniform_contributed(n);
             let got = frugality_ratio(&contributed);
-            assert!((got - want).abs() < 1e-9, "contributed n={n}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-9,
+                "contributed n={n}: {got} vs {want}"
+            );
 
             let per_job = run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
             let want = analytic_frugality_uniform_per_job(n, r);

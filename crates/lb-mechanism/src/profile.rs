@@ -60,7 +60,12 @@ impl Profile {
                 });
             }
         }
-        Ok(Self { true_values, bids, exec_values, total_rate })
+        Ok(Self {
+            true_values,
+            bids,
+            exec_values,
+            total_rate,
+        })
     }
 
     /// The fully truthful profile for a system: `b = t̃ = t`.
@@ -90,7 +95,11 @@ impl Profile {
     ) -> Result<Self, MechanismError> {
         let t = system.true_values();
         if agent >= t.len() {
-            return Err(lb_core::CoreError::LengthMismatch { expected: t.len(), actual: agent }.into());
+            return Err(lb_core::CoreError::LengthMismatch {
+                expected: t.len(),
+                actual: agent,
+            }
+            .into());
         }
         let mut bids = t.clone();
         let mut exec = t.clone();
@@ -156,7 +165,11 @@ impl Profile {
         exec_value: f64,
     ) -> Result<Self, MechanismError> {
         if agent >= self.len() {
-            return Err(lb_core::CoreError::LengthMismatch { expected: self.len(), actual: agent }.into());
+            return Err(lb_core::CoreError::LengthMismatch {
+                expected: self.len(),
+                actual: agent,
+            }
+            .into());
         }
         let mut bids = self.bids.clone();
         let mut exec = self.exec_values.clone();
@@ -183,7 +196,10 @@ mod tests {
     #[test]
     fn execution_faster_than_truth_is_rejected() {
         let err = Profile::new(vec![2.0, 2.0], vec![2.0, 2.0], vec![1.9, 2.0], 5.0).unwrap_err();
-        assert!(matches!(err, MechanismError::ExecutionFasterThanTruth { agent: 0, .. }));
+        assert!(matches!(
+            err,
+            MechanismError::ExecutionFasterThanTruth { agent: 0, .. }
+        ));
     }
 
     #[test]

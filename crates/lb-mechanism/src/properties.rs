@@ -25,7 +25,9 @@ pub struct DeviationGrid {
 impl Default for DeviationGrid {
     fn default() -> Self {
         Self {
-            bid_factors: vec![0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0, 3.0, 5.0, 10.0],
+            bid_factors: vec![
+                0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0, 3.0, 5.0, 10.0,
+            ],
             exec_factors: vec![1.0, 1.1, 1.5, 2.0, 3.0, 5.0],
         }
     }
@@ -37,7 +39,10 @@ impl DeviationGrid {
     pub fn dense() -> Self {
         let bid_factors: Vec<f64> = (1..=60).map(|k| 0.1 * f64::from(k)).collect();
         let exec_factors: Vec<f64> = (10..=50).map(|k| 0.1 * f64::from(k)).collect();
-        Self { bid_factors, exec_factors }
+        Self {
+            bid_factors,
+            exec_factors,
+        }
     }
 }
 
@@ -100,7 +105,13 @@ pub fn truthfulness_scan<M: VerifiedMechanism + ?Sized>(
             }
         }
     }
-    Ok(DeviationReport { agent, truthful_utility, best_utility, best_bid_factor, best_exec_factor })
+    Ok(DeviationReport {
+        agent,
+        truthful_utility,
+        best_utility,
+        best_bid_factor,
+        best_exec_factor,
+    })
 }
 
 /// Checks voluntary participation (Theorem 3.2): for each agent, the truthful
@@ -181,8 +192,11 @@ pub fn dominant_strategy_check<M: VerifiedMechanism + ?Sized>(
             let mut exec = base_exec.clone();
             bids[agent] = trues[agent];
             exec[agent] = trues[agent];
-            run_mechanism(mechanism, &Profile::new(trues.clone(), bids, exec, total_rate)?)?
-                .utilities[agent]
+            run_mechanism(
+                mechanism,
+                &Profile::new(trues.clone(), bids, exec, total_rate)?,
+            )?
+            .utilities[agent]
         };
         for &bf in &grid.bid_factors {
             for &ef in &grid.exec_factors {
@@ -190,9 +204,11 @@ pub fn dominant_strategy_check<M: VerifiedMechanism + ?Sized>(
                 let mut exec = base_exec.clone();
                 bids[agent] = trues[agent] * bf;
                 exec[agent] = trues[agent] * ef.max(1.0);
-                let utility =
-                    run_mechanism(mechanism, &Profile::new(trues.clone(), bids, exec, total_rate)?)?
-                        .utilities[agent];
+                let utility = run_mechanism(
+                    mechanism,
+                    &Profile::new(trues.clone(), bids, exec, total_rate)?,
+                )?
+                .utilities[agent];
                 worst_gain = worst_gain.max(utility - truthful);
             }
         }
@@ -219,7 +235,11 @@ mod tests {
                 &DeviationGrid::default(),
             )
             .unwrap();
-            assert!(report.is_truthful_optimal(1e-9), "agent {agent}: gain {}", report.max_gain());
+            assert!(
+                report.is_truthful_optimal(1e-9),
+                "agent {agent}: gain {}",
+                report.max_gain()
+            );
             assert_eq!(report.best_bid_factor, 1.0);
             assert_eq!(report.best_exec_factor, 1.0);
         }
@@ -227,9 +247,12 @@ mod tests {
 
     #[test]
     fn cb_satisfies_voluntary_participation() {
-        let min_utility =
-            voluntary_participation_scan(&CompensationBonusMechanism::paper(), &paper_system(), PAPER_ARRIVAL_RATE)
-                .unwrap();
+        let min_utility = voluntary_participation_scan(
+            &CompensationBonusMechanism::paper(),
+            &paper_system(),
+            PAPER_ARRIVAL_RATE,
+        )
+        .unwrap();
         assert!(min_utility >= -1e-9, "min truthful utility {min_utility}");
     }
 
@@ -252,7 +275,10 @@ mod tests {
         // truthful; the default grid includes lazy execution, which AT cannot
         // punish but which also never *helps* the agent in the paper's
         // valuation, so the scan still certifies it.
-        let grid = DeviationGrid { bid_factors: DeviationGrid::default().bid_factors, exec_factors: vec![1.0] };
+        let grid = DeviationGrid {
+            bid_factors: DeviationGrid::default().bid_factors,
+            exec_factors: vec![1.0],
+        };
         let report = truthfulness_scan(
             &ArcherTardosMechanism::closed_form(),
             &paper_system(),
@@ -261,7 +287,11 @@ mod tests {
             &grid,
         )
         .unwrap();
-        assert!(report.is_truthful_optimal(1e-9), "gain {}", report.max_gain());
+        assert!(
+            report.is_truthful_optimal(1e-9),
+            "gain {}",
+            report.max_gain()
+        );
     }
 
     #[test]

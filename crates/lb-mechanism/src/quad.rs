@@ -7,16 +7,36 @@
 //! non-linear latency families can reuse the same payment rule.
 
 use crate::error::MechanismError;
+use lb_core::CoreError;
 
 /// Adaptive Simpson quadrature of `f` over `[a, b]` to absolute tolerance
 /// `tol`.
 ///
 /// # Errors
 /// Returns [`MechanismError::QuadratureFailed`] if the recursion depth limit
-/// is reached before the error estimate falls below `tol`.
-pub fn integrate<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, tol: f64) -> Result<f64, MechanismError> {
-    assert!(a.is_finite() && b.is_finite() && a <= b, "integrate: invalid interval");
-    assert!(tol > 0.0, "integrate: tolerance must be positive");
+/// is reached before the error estimate falls below `tol` or the integrand
+/// produces non-finite values, and a typed validation error for an invalid
+/// interval or tolerance (fuzzed inputs must never abort).
+pub fn integrate<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<f64, MechanismError> {
+    if !(a.is_finite() && b.is_finite() && a <= b) {
+        return Err(CoreError::InvalidParameter {
+            name: "integration bound",
+            value: b - a,
+        }
+        .into());
+    }
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "integration tolerance",
+            value: tol,
+        }
+        .into());
+    }
     if a == b {
         return Ok(0.0);
     }
@@ -36,9 +56,20 @@ pub fn integrate<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, tol: f64) -> Result<f
 ///
 /// # Errors
 /// Returns [`MechanismError::QuadratureFailed`] if the transformed integral
-/// does not converge within the depth limit.
-pub fn integrate_to_infinity<F: Fn(f64) -> f64>(f: &F, a: f64, tol: f64) -> Result<f64, MechanismError> {
-    assert!(a.is_finite(), "integrate_to_infinity: lower bound must be finite");
+/// does not converge within the depth limit, or a typed validation error for
+/// a non-finite lower bound.
+pub fn integrate_to_infinity<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    tol: f64,
+) -> Result<f64, MechanismError> {
+    if !a.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "integration bound",
+            value: a,
+        }
+        .into());
+    }
     let g = |s: f64| -> f64 {
         if s >= 1.0 {
             return 0.0;
@@ -75,12 +106,21 @@ fn adaptive<F: Fn(f64) -> f64>(
     let left = simpson(a, m, fa, flm, fm);
     let right = simpson(m, b, fm, frm, fb);
     let delta = left + right - whole;
+    if !delta.is_finite() {
+        // A non-finite integrand can never converge; bail out immediately
+        // instead of recursing the full depth on poisoned estimates.
+        return Err(MechanismError::QuadratureFailed {
+            estimate: delta.abs(),
+        });
+    }
     if delta.abs() <= 15.0 * tol || (b - a) < 1e-14 {
         // Richardson extrapolation term improves the estimate one order.
         return Ok(left + right + delta / 15.0);
     }
     if depth == 0 {
-        return Err(MechanismError::QuadratureFailed { estimate: delta.abs() });
+        return Err(MechanismError::QuadratureFailed {
+            estimate: delta.abs(),
+        });
     }
     let l = adaptive(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)?;
     let r = adaptive(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)?;
@@ -140,8 +180,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid interval")]
-    fn reversed_interval_panics() {
-        let _ = integrate(&|x: f64| x, 1.0, 0.0, 1e-9);
+    fn invalid_inputs_yield_typed_errors_not_panics() {
+        // Regression for the fuzz no-abort policy: these used to assert.
+        assert!(integrate(&|x: f64| x, 1.0, 0.0, 1e-9).is_err());
+        assert!(integrate(&|x: f64| x, 0.0, f64::INFINITY, 1e-9).is_err());
+        assert!(integrate(&|x: f64| x, 0.0, 1.0, 0.0).is_err());
+        assert!(integrate(&|x: f64| x, 0.0, 1.0, f64::NAN).is_err());
+        assert!(integrate_to_infinity(&|u: f64| (-u).exp(), f64::NAN, 1e-9).is_err());
+    }
+
+    #[test]
+    fn non_finite_integrand_fails_fast() {
+        // A pole inside the interval poisons the Simpson estimates with
+        // inf/NaN; the integrator must answer QuadratureFailed, not recurse
+        // forever or return a poisoned value.
+        let got = integrate(&|x: f64| 1.0 / x, -1.0, 1.0, 1e-9);
+        assert!(
+            matches!(got, Err(MechanismError::QuadratureFailed { .. })),
+            "{got:?}"
+        );
     }
 }

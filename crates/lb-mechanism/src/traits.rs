@@ -160,8 +160,12 @@ pub fn run_mechanism<M: VerifiedMechanism + ?Sized>(
     profile: &Profile,
 ) -> Result<MechanismOutcome, MechanismError> {
     let allocation = mechanism.allocate(profile.bids(), profile.total_rate())?;
-    let payments =
-        mechanism.payments(profile.bids(), &allocation, profile.exec_values(), profile.total_rate())?;
+    let payments = mechanism.payments(
+        profile.bids(),
+        &allocation,
+        profile.exec_values(),
+        profile.total_rate(),
+    )?;
 
     let valuations: Vec<f64> = allocation
         .rates()
@@ -169,10 +173,20 @@ pub fn run_mechanism<M: VerifiedMechanism + ?Sized>(
         .zip(profile.exec_values())
         .map(|(&x, &e)| mechanism.valuation(x, e))
         .collect();
-    let utilities: Vec<f64> = payments.iter().zip(&valuations).map(|(p, v)| p + v).collect();
+    let utilities: Vec<f64> = payments
+        .iter()
+        .zip(&valuations)
+        .map(|(p, v)| p + v)
+        .collect();
     let total_latency = mechanism.realised_latency(&allocation, profile.exec_values())?;
 
-    Ok(MechanismOutcome { allocation, payments, valuations, utilities, total_latency })
+    Ok(MechanismOutcome {
+        allocation,
+        payments,
+        valuations,
+        utilities,
+        total_latency,
+    })
 }
 
 #[cfg(test)]
@@ -184,7 +198,10 @@ mod tests {
     #[test]
     fn valuation_models_evaluate() {
         assert_eq!(ValuationModel::PerJobLatency.valuation(3.0, 2.0), -6.0);
-        assert_eq!(ValuationModel::ContributedLatency.valuation(3.0, 2.0), -18.0);
+        assert_eq!(
+            ValuationModel::ContributedLatency.valuation(3.0, 2.0),
+            -18.0
+        );
         assert_eq!(ValuationModel::PerJobLatency.compensation(3.0, 2.0), 6.0);
     }
 

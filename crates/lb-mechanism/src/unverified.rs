@@ -45,7 +45,9 @@ impl UnverifiedCompensationBonus {
     /// Paper-faithful valuation configuration.
     #[must_use]
     pub fn paper() -> Self {
-        Self { valuation: ValuationModel::PerJobLatency }
+        Self {
+            valuation: ValuationModel::PerJobLatency,
+        }
     }
 }
 
@@ -123,12 +125,18 @@ mod tests {
 
         let mut prev_verified = f64::INFINITY;
         for exec_factor in [1.5, 2.0, 3.0] {
-            let lazy = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 1.0, exec_factor).unwrap();
+            let lazy =
+                Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 1.0, exec_factor).unwrap();
             let p_lazy = run_mechanism(&mech, &lazy).unwrap().payments[0];
             assert!((p_honest - p_lazy).abs() < 1e-9, "{p_honest} vs {p_lazy}");
 
-            let v_lazy = run_mechanism(&CompensationBonusMechanism::paper(), &lazy).unwrap().payments[0];
-            assert!(v_lazy < p_lazy - 1e-6, "verified {v_lazy} !< unverified {p_lazy}");
+            let v_lazy = run_mechanism(&CompensationBonusMechanism::paper(), &lazy)
+                .unwrap()
+                .payments[0];
+            assert!(
+                v_lazy < p_lazy - 1e-6,
+                "verified {v_lazy} !< unverified {p_lazy}"
+            );
             assert!(v_lazy < prev_verified, "verified payment must keep falling");
             prev_verified = v_lazy;
         }
@@ -150,8 +158,14 @@ mod tests {
         let v_honest = run_mechanism(&ver, &honest).unwrap().payments;
         let v_lazy = run_mechanism(&ver, &lazy).unwrap().payments;
         for j in 1..16 {
-            assert!((u_honest[j] - u_lazy[j]).abs() < 1e-9, "unverified payment moved for {j}");
-            assert!(v_lazy[j] < v_honest[j] - 1e-9, "verified payment did not react for {j}");
+            assert!(
+                (u_honest[j] - u_lazy[j]).abs() < 1e-9,
+                "unverified payment moved for {j}"
+            );
+            assert!(
+                v_lazy[j] < v_honest[j] - 1e-9,
+                "verified payment did not react for {j}"
+            );
         }
     }
 
@@ -169,7 +183,12 @@ mod tests {
         let realised_cost = ver.valuation.compensation(x0, degraded.exec_values()[0]);
 
         let breakdown = ver
-            .payment_breakdown(degraded.bids(), &alloc, degraded.exec_values(), PAPER_ARRIVAL_RATE)
+            .payment_breakdown(
+                degraded.bids(),
+                &alloc,
+                degraded.exec_values(),
+                PAPER_ARRIVAL_RATE,
+            )
             .unwrap();
         assert!((breakdown[0].compensation - realised_cost).abs() < 1e-9);
 
@@ -184,14 +203,19 @@ mod tests {
         // contributed-latency valuation (whose cost function the VCG payment
         // aligns with). What it cannot do is react to execution.
         let sys = paper_system();
-        let mech = UnverifiedCompensationBonus { valuation: ValuationModel::ContributedLatency };
+        let mech = UnverifiedCompensationBonus {
+            valuation: ValuationModel::ContributedLatency,
+        };
         let truthful = run_mechanism(&mech, &Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap())
             .unwrap()
             .utilities[0];
         for bid_factor in [0.25, 0.5, 0.8, 1.2, 2.0, 4.0] {
             let p = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, bid_factor, 1.0).unwrap();
             let u = run_mechanism(&mech, &p).unwrap().utilities[0];
-            assert!(u <= truthful + 1e-9, "bid deviation {bid_factor} gained: {u} > {truthful}");
+            assert!(
+                u <= truthful + 1e-9,
+                "bid deviation {bid_factor} gained: {u} > {truthful}"
+            );
         }
     }
 

@@ -48,7 +48,12 @@ impl AuditReport {
     /// Indices of machines whose payments were tampered with.
     #[must_use]
     pub fn disputed(&self) -> Vec<usize> {
-        self.verified.iter().enumerate().filter(|&(_, v)| !v).map(|(i, _)| i).collect()
+        self.verified
+            .iter()
+            .enumerate()
+            .filter(|&(_, v)| !v)
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 
@@ -71,13 +76,20 @@ pub fn audit_settlement<M: VerifiedMechanism + ?Sized>(
     {
         return Err(lb_core::CoreError::LengthMismatch {
             expected: record.bids.len(),
-            actual: record.claimed_payments.len().min(record.estimated_exec_values.len()),
+            actual: record
+                .claimed_payments
+                .len()
+                .min(record.estimated_exec_values.len()),
         }
         .into());
     }
     let allocation = mechanism.allocate(&record.bids, record.total_rate)?;
-    let recomputed =
-        mechanism.payments(&record.bids, &allocation, &record.estimated_exec_values, record.total_rate)?;
+    let recomputed = mechanism.payments(
+        &record.bids,
+        &allocation,
+        &record.estimated_exec_values,
+        record.total_rate,
+    )?;
     let verified: Vec<bool> = recomputed
         .iter()
         .zip(&record.claimed_payments)
@@ -88,7 +100,11 @@ pub fn audit_settlement<M: VerifiedMechanism + ?Sized>(
         .zip(&record.claimed_payments)
         .map(|(r, c)| (r - c).abs())
         .fold(0.0, f64::max);
-    Ok(AuditReport { verified, max_discrepancy, recomputed })
+    Ok(AuditReport {
+        verified,
+        max_discrepancy,
+        recomputed,
+    })
 }
 
 /// Traffic cost of adding the audit broadcast to a settled round: one
@@ -96,11 +112,21 @@ pub fn audit_settlement<M: VerifiedMechanism + ?Sized>(
 ///
 /// # Errors
 /// Propagates codec errors.
-pub fn audit_broadcast_cost(record: &SettlementRecord, n: usize) -> Result<MessageStats, MechanismError> {
+pub fn audit_broadcast_cost(
+    record: &SettlementRecord,
+    n: usize,
+) -> Result<MessageStats, MechanismError> {
     let bytes = crate::codec::encode(record)
-        .map_err(|e| MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() }))?
+        .map_err(|e| {
+            MechanismError::Core(lb_core::CoreError::Infeasible {
+                reason: e.to_string(),
+            })
+        })?
         .len() as u64;
-    Ok(MessageStats { messages: n as u64, bytes: bytes * n as u64 })
+    Ok(MessageStats {
+        messages: n as u64,
+        bytes: bytes * n as u64,
+    })
 }
 
 /// [`audit_broadcast_cost`], additionally recording the cost into a
@@ -117,8 +143,18 @@ pub fn audit_broadcast_cost_observed(
     collector: &dyn lb_telemetry::Collector,
 ) -> Result<MessageStats, MechanismError> {
     let stats = audit_broadcast_cost(record, n)?;
-    collector.counter(at, "audit.messages", lb_telemetry::Subsystem::Coordinator, stats.messages);
-    collector.counter(at, "audit.bytes", lb_telemetry::Subsystem::Coordinator, stats.bytes);
+    collector.counter(
+        at,
+        "audit.messages",
+        lb_telemetry::Subsystem::Coordinator,
+        stats.messages,
+    );
+    collector.counter(
+        at,
+        "audit.bytes",
+        lb_telemetry::Subsystem::Coordinator,
+        stats.bytes,
+    );
     Ok(stats)
 }
 
@@ -134,8 +170,10 @@ mod tests {
 
     fn settled_record() -> SettlementRecord {
         let mech = CompensationBonusMechanism::paper();
-        let specs: Vec<NodeSpec> =
-            paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let specs: Vec<NodeSpec> = paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect();
         let config = ProtocolConfig {
             total_rate: PAPER_ARRIVAL_RATE,
             link_latency: 0.001,
@@ -160,8 +198,7 @@ mod tests {
     #[test]
     fn honest_settlement_passes_audit() {
         let record = settled_record();
-        let report =
-            audit_settlement(&CompensationBonusMechanism::paper(), &record, 1e-9).unwrap();
+        let report = audit_settlement(&CompensationBonusMechanism::paper(), &record, 1e-9).unwrap();
         assert!(report.all_verified(), "disputed: {:?}", report.disputed());
         assert!(report.max_discrepancy < 1e-9);
     }
@@ -170,8 +207,7 @@ mod tests {
     fn tampered_payment_is_detected_by_exactly_that_machine() {
         let mut record = settled_record();
         record.claimed_payments[4] += 0.5; // coordinator skims machine 4
-        let report =
-            audit_settlement(&CompensationBonusMechanism::paper(), &record, 1e-6).unwrap();
+        let report = audit_settlement(&CompensationBonusMechanism::paper(), &record, 1e-6).unwrap();
         assert!(!report.all_verified());
         assert_eq!(report.disputed(), vec![4]);
         assert!((report.max_discrepancy - 0.5).abs() < 1e-9);
@@ -184,10 +220,12 @@ mod tests {
         // applied to the forged data.
         let mut record = settled_record();
         record.estimated_exec_values[0] *= 2.0;
-        let report =
-            audit_settlement(&CompensationBonusMechanism::paper(), &record, 1e-6).unwrap();
+        let report = audit_settlement(&CompensationBonusMechanism::paper(), &record, 1e-6).unwrap();
         assert!(!report.all_verified());
-        assert!(report.disputed().len() > 1, "forged data should implicate many payments");
+        assert!(
+            report.disputed().len() > 1,
+            "forged data should implicate many payments"
+        );
     }
 
     #[test]
@@ -205,7 +243,11 @@ mod tests {
         assert_eq!(cost16.messages, 16);
         assert_eq!(cost32.bytes, 2 * cost16.bytes);
         // The record serialises compactly: 3 f64 vectors + rate.
-        assert!(cost16.bytes / 16 < 1024, "record too large: {} bytes", cost16.bytes / 16);
+        assert!(
+            cost16.bytes / 16 < 1024,
+            "record too large: {} bytes",
+            cost16.bytes / 16
+        );
     }
 
     #[test]

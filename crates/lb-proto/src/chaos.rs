@@ -37,7 +37,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 fn codec_err(e: crate::codec::CodecError) -> MechanismError {
-    MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+    MechanismError::Core(lb_core::CoreError::Infeasible {
+        reason: e.to_string(),
+    })
 }
 
 /// Configuration of the chaos injector and the retransmission protocol.
@@ -114,9 +116,15 @@ impl ChaosConfig {
             ("duplicate_prob", self.duplicate_prob),
             ("corrupt_prob", self.corrupt_prob),
         ] {
-            assert!((0.0..=1.0).contains(&p), "ChaosConfig: {name} must be in [0, 1], got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "ChaosConfig: {name} must be in [0, 1], got {p}"
+            );
         }
-        assert!(self.jitter.is_finite() && self.jitter >= 0.0, "ChaosConfig: invalid jitter");
+        assert!(
+            self.jitter.is_finite() && self.jitter >= 0.0,
+            "ChaosConfig: invalid jitter"
+        );
         assert!(
             self.retry_timeout.is_finite() && self.retry_timeout > 0.0,
             "ChaosConfig: retry_timeout must be positive"
@@ -170,7 +178,8 @@ impl ChaosInjector {
         let extra_delay = self.rng.next_range(0.0, self.jitter);
         let duplicate_extra_delay = self.rng.next_range(0.0, self.jitter);
         let declared =
-            self.plan.drops_counted(from, to, message, &mut self.bid_attempts.borrow_mut());
+            self.plan
+                .drops_counted(from, to, message, &mut self.bid_attempts.borrow_mut());
         FrameFate {
             drop: drop || declared,
             duplicate,
@@ -356,7 +365,8 @@ impl ChaosRuntime {
         // Fresh per-round injector: fresh RNG stream, but session-cumulative
         // bid-attempt counts.
         let mut injector = ChaosInjector::new(&self.chaos, round, Rc::clone(&self.bid_attempts));
-        self.network.set_fate_fn(move |from, to, m| injector.fate(from, to, m));
+        self.network
+            .set_fate_fn(move |from, to, m| injector.fate(from, to, m));
 
         // Counter snapshots so the report carries per-round deltas.
         let stats0 = self.network.stats();
@@ -383,7 +393,9 @@ impl ChaosRuntime {
                 to: Endpoint::Node(to),
                 message: msg.clone(),
             });
-            self.network.send(Endpoint::Coordinator, Endpoint::Node(to), &msg).map_err(codec_err)?;
+            self.network
+                .send(Endpoint::Coordinator, Endpoint::Node(to), &msg)
+                .map_err(codec_err)?;
         }
         self.timers.schedule(
             now + self.chaos.retry_timeout,
@@ -429,7 +441,12 @@ impl ChaosRuntime {
             };
 
             if take_frame {
-                match self.network.poll().map_err(codec_err)?.expect("arrival pending") {
+                match self
+                    .network
+                    .poll()
+                    .map_err(codec_err)?
+                    .expect("arrival pending")
+                {
                     NetPoll::Corrupt { at, .. } => {
                         now = now.max(at);
                         self.note_link_anomaly(now, &mut runtime_anomalies, Anomaly::CorruptFrame);
@@ -454,8 +471,7 @@ impl ChaosRuntime {
                                         &mut runtime_anomalies,
                                         Anomaly::StaleRound,
                                     );
-                                } else if let Some(reply) = nodes[idx].handle(&delivery.message)
-                                {
+                                } else if let Some(reply) = nodes[idx].handle(&delivery.message) {
                                     self.network
                                         .send(Endpoint::Node(i), Endpoint::Coordinator, &reply)
                                         .map_err(codec_err)?;
@@ -533,7 +549,10 @@ impl ChaosRuntime {
                                 );
                                 self.timers.schedule(
                                     now + delay,
-                                    ChaosTimer::BidTimeout { round, attempt: attempt + 1 },
+                                    ChaosTimer::BidTimeout {
+                                        round,
+                                        attempt: attempt + 1,
+                                    },
                                 );
                             }
                         }
@@ -551,13 +570,18 @@ impl ChaosRuntime {
 
             if !exec_timer_armed && coordinator.phase() == CoordinatorPhase::Executing {
                 exec_timer_armed = true;
-                self.timers
-                    .schedule(now + self.chaos.exec_timeout, ChaosTimer::ExecTimeout { round });
+                self.timers.schedule(
+                    now + self.chaos.exec_timeout,
+                    ChaosTimer::ExecTimeout { round },
+                );
             }
         }
 
         let payments = coordinator.payments().expect("settled").to_vec();
-        let estimated = coordinator.estimated_exec_values().expect("verified").to_vec();
+        let estimated = coordinator
+            .estimated_exec_values()
+            .expect("verified")
+            .to_vec();
         let allocation = coordinator.allocation().expect("allocated");
         let rates: Vec<f64> = (0..n).map(|i| allocation.rate(i)).collect();
         let utilities: Vec<f64> = (0..n)
@@ -565,11 +589,13 @@ impl ChaosRuntime {
                 // Node-side accounting where settlement reached the node;
                 // the coordinator's ledger elsewhere (identical by
                 // construction — see `faults.rs`).
-                nodes[i].utility(mechanism.valuation_model()).unwrap_or(if rates[i] == 0.0 {
-                    payments[i]
-                } else {
-                    payments[i] + mechanism.valuation(rates[i], specs[i].exec_value)
-                })
+                nodes[i]
+                    .utility(mechanism.valuation_model())
+                    .unwrap_or(if rates[i] == 0.0 {
+                        payments[i]
+                    } else {
+                        payments[i] + mechanism.valuation(rates[i], specs[i].exec_value)
+                    })
             })
             .collect();
 
@@ -629,7 +655,9 @@ impl ChaosRuntime {
                 to: Endpoint::Node(i),
                 message: msg.clone(),
             });
-            self.network.send(Endpoint::Coordinator, Endpoint::Node(i), &msg).map_err(codec_err)?;
+            self.network
+                .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
+                .map_err(codec_err)?;
         }
         Ok(())
     }
@@ -694,7 +722,10 @@ mod tests {
     }
 
     fn specs() -> Vec<NodeSpec> {
-        [1.0, 1.5, 2.0, 3.0, 4.5, 6.0].iter().map(|&t| NodeSpec::truthful(t)).collect()
+        [1.0, 1.5, 2.0, 3.0, 4.5, 6.0]
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect()
     }
 
     /// Checks every seed-independent invariant on one round report.
@@ -705,7 +736,10 @@ mod tests {
 
         // Allocation over the respondents sums to R.
         let total: f64 = o.rates.iter().sum();
-        assert!((total - RATE).abs() < 1e-6, "allocation sums to {total}, want {RATE}");
+        assert!(
+            (total - RATE).abs() < 1e-6,
+            "allocation sums to {total}, want {RATE}"
+        );
         for (i, &ex) in report.excluded.iter().enumerate() {
             if ex {
                 assert_eq!(o.rates[i], 0.0, "excluded machine {i} got load");
@@ -723,13 +757,21 @@ mod tests {
             claimed_payments: resp.iter().map(|&i| o.payments[i]).collect(),
         };
         let audit = audit_settlement(&mech, &record, 1e-6).expect("auditable settlement");
-        assert!(audit.all_verified(), "disputed machines: {:?}", audit.disputed());
+        assert!(
+            audit.all_verified(),
+            "disputed machines: {:?}",
+            audit.disputed()
+        );
 
         // Voluntary participation (Thm 3.2): truthful respondents never
         // realise negative utility, chaos or not.
         for &i in &resp {
             if specs[i].is_truthful() {
-                assert!(o.utilities[i] >= -1e-6, "machine {i} utility {}", o.utilities[i]);
+                assert!(
+                    o.utilities[i] >= -1e-6,
+                    "machine {i} utility {}",
+                    o.utilities[i]
+                );
             }
         }
 
@@ -804,12 +846,18 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let specs = specs();
         let chaos = ChaosConfig {
-            plan: FaultPlan { lose_bid_attempts: vec![(0, 1)], ..FaultPlan::none() },
+            plan: FaultPlan {
+                lose_bid_attempts: vec![(0, 1)],
+                ..FaultPlan::none()
+            },
             ..ChaosConfig::reliable(42)
         };
         let report = run_chaos_round(&mech, &specs, &config(), &chaos).unwrap();
 
-        assert!(!report.excluded[0], "machine 0 was excluded despite retransmission");
+        assert!(
+            !report.excluded[0],
+            "machine 0 was excluded despite retransmission"
+        );
         assert!(report.outcome.rates[0] > 0.0);
         assert_eq!(report.retries, 1, "exactly one re-request expected");
 
@@ -827,7 +875,10 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let specs = specs();
         let chaos = ChaosConfig {
-            plan: FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() },
+            plan: FaultPlan {
+                lose_bids_from: vec![0],
+                ..FaultPlan::none()
+            },
             ..ChaosConfig::reliable(42)
         };
         let report = run_chaos_round(&mech, &specs, &config(), &chaos).unwrap();
@@ -835,7 +886,11 @@ mod tests {
         assert!(report.excluded[0]);
         assert_eq!(report.outcome.rates[0], 0.0);
         assert_eq!(report.outcome.payments[0], 0.0);
-        assert_eq!(report.retries, u64::from(chaos.bid_retries), "full retry budget spent");
+        assert_eq!(
+            report.retries,
+            u64::from(chaos.bid_retries),
+            "full retry budget spent"
+        );
         assert_round_invariants(&report, &specs, &chaos);
     }
 
@@ -848,7 +903,10 @@ mod tests {
         assert_eq!(reliable.rates, chaotic.outcome.rates);
         assert_eq!(reliable.payments, chaotic.outcome.payments);
         assert_eq!(reliable.utilities, chaotic.outcome.utilities);
-        assert_eq!(reliable.estimated_exec_values, chaotic.outcome.estimated_exec_values);
+        assert_eq!(
+            reliable.estimated_exec_values,
+            chaotic.outcome.estimated_exec_values
+        );
         assert_eq!(reliable.stats, chaotic.outcome.stats);
         assert_eq!(chaotic.retries, 0);
         assert_eq!(chaotic.anomalies.total(), 0);
@@ -875,11 +933,17 @@ mod tests {
         // bids/acks and the outcome must match the clean run exactly.
         let mech = CompensationBonusMechanism::paper();
         let specs = specs();
-        let chaos = ChaosConfig { duplicate_prob: 1.0, ..ChaosConfig::reliable(3) };
+        let chaos = ChaosConfig {
+            duplicate_prob: 1.0,
+            ..ChaosConfig::reliable(3)
+        };
         let report = run_chaos_round(&mech, &specs, &config(), &chaos).unwrap();
         let clean = run_chaos_round(&mech, &specs, &config(), &ChaosConfig::reliable(3)).unwrap();
         assert_eq!(report.outcome.payments, clean.outcome.payments);
-        assert!(report.anomalies.total() > 0, "duplicates should surface as anomalies");
+        assert!(
+            report.anomalies.total() > 0,
+            "duplicates should surface as anomalies"
+        );
         assert!(report.faults.duplicated > 0);
         assert_round_invariants(&report, &specs, &chaos);
     }
@@ -890,7 +954,10 @@ mod tests {
         // aborts with NeedTwoAgents — an error, never a panic.
         let mech = CompensationBonusMechanism::paper();
         let specs = specs();
-        let chaos = ChaosConfig { corrupt_prob: 1.0, ..ChaosConfig::reliable(3) };
+        let chaos = ChaosConfig {
+            corrupt_prob: 1.0,
+            ..ChaosConfig::reliable(3)
+        };
         assert!(matches!(
             run_chaos_round(&mech, &specs, &config(), &chaos),
             Err(MechanismError::NeedTwoAgents)
@@ -900,7 +967,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "drop_prob must be in [0, 1]")]
     fn invalid_probability_is_rejected() {
-        let chaos = ChaosConfig { drop_prob: 1.5, ..ChaosConfig::reliable(0) };
+        let chaos = ChaosConfig {
+            drop_prob: 1.5,
+            ..ChaosConfig::reliable(0)
+        };
         let _ = ChaosRuntime::new(2, config(), chaos);
     }
 
@@ -913,14 +983,18 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let specs = specs();
         let chaos = ChaosConfig {
-            plan: FaultPlan { lose_bid_attempts: vec![(0, 1)], ..FaultPlan::none() },
+            plan: FaultPlan {
+                lose_bid_attempts: vec![(0, 1)],
+                ..FaultPlan::none()
+            },
             ..ChaosConfig::heavy(7)
         };
         let ring = Arc::new(RingCollector::new(65_536));
         let mut runtime = ChaosRuntime::new(specs.len(), config(), chaos);
         runtime.set_collector(ring.clone());
-        let report =
-            runtime.run_round(&mech, &specs, RoundId(0), &vec![true; specs.len()]).unwrap();
+        let report = runtime
+            .run_round(&mech, &specs, RoundId(0), &vec![true; specs.len()])
+            .unwrap();
 
         let events = ring.snapshot();
         assert_eq!(ring.overwritten(), 0, "ring too small for the round");
@@ -928,11 +1002,18 @@ mod tests {
         // The span story replays cleanly: one round span, nested phases.
         let spans = replay_spans(&events).unwrap();
         assert_eq!(spans.iter().filter(|s| s.name == "round").count(), 1);
-        assert!(spans.iter().any(|s| s.name == "phase.collect_bids" && s.depth == 1));
-        assert!(spans.iter().any(|s| s.name == "phase.settle" && s.depth == 1));
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "phase.collect_bids" && s.depth == 1));
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "phase.settle" && s.depth == 1));
 
         // Retransmissions and anomalies are visible one-for-one.
-        let retransmits = events.iter().filter(|e| e.name == "chaos.retransmit").count();
+        let retransmits = events
+            .iter()
+            .filter(|e| e.name == "chaos.retransmit")
+            .count();
         assert_eq!(retransmits as u64, report.retries);
         let anomaly_instants = events.iter().filter(|e| e.name == "anomaly").count();
         assert_eq!(anomaly_instants as u64, report.anomalies.total());

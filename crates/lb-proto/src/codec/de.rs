@@ -38,7 +38,10 @@ impl<'a> Decoder<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.input.len() < n {
-            return Err(CodecError::UnexpectedEof { needed: n, available: self.input.len() });
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                available: self.input.len(),
+            });
         }
         let (head, tail) = self.input.split_at(n);
         self.input = tail;
@@ -64,10 +67,13 @@ impl<'a> Decoder<'a> {
 
     fn read_len(&mut self) -> Result<usize, CodecError> {
         let len = self.read_u64()?;
-        // Corruption guard: a length can never exceed the remaining bytes
-        // (every element takes at least one byte except units, which only
-        // occur in fixed positions).
-        if len > self.input.len() as u64 && len > (1 << 32) {
+        // Corruption guard: a sequence of `len` elements needs at least one
+        // byte each (zero-sized elements occur only in fixed positions), so
+        // any length beyond the remaining input is corrupt. Rejecting here —
+        // before any collection is reserved — bounds allocation by the input
+        // size. The guard used to fire only past 2^32, letting a corrupt
+        // 4-byte-range length drive a multi-GB `Vec::with_capacity`.
+        if len > self.input.len() as u64 {
             return Err(CodecError::LengthOverflow(len));
         }
         usize::try_from(len).map_err(|_| CodecError::LengthOverflow(len))
@@ -172,11 +178,21 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.read_len()?;
-        visitor.visit_seq(CountedSeq { decoder: self, remaining: len })
+        visitor.visit_seq(CountedSeq {
+            decoder: self,
+            remaining: len,
+        })
     }
 
-    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(CountedSeq { decoder: self, remaining: len })
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(CountedSeq {
+            decoder: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -190,7 +206,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.read_len()?;
-        visitor.visit_map(CountedMap { decoder: self, remaining: len })
+        visitor.visit_map(CountedMap {
+            decoder: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -263,7 +282,10 @@ impl<'de> de::MapAccess<'de> for CountedMap<'_, 'de> {
         self.remaining -= 1;
         seed.deserialize(&mut *self.decoder).map(Some)
     }
-    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, CodecError> {
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
         seed.deserialize(&mut *self.decoder)
     }
     fn size_hint(&self) -> Option<usize> {
@@ -284,7 +306,12 @@ impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
     ) -> Result<(V::Value, Self::Variant), CodecError> {
         let index = self.decoder.read_u32()?;
         let value = seed.deserialize(index.into_deserializer())?;
-        Ok((value, VariantAccess { decoder: self.decoder }))
+        Ok((
+            value,
+            VariantAccess {
+                decoder: self.decoder,
+            },
+        ))
     }
 }
 
@@ -297,10 +324,17 @@ impl<'de> de::VariantAccess<'de> for VariantAccess<'_, 'de> {
     fn unit_variant(self) -> Result<(), CodecError> {
         Ok(())
     }
-    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, CodecError> {
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
         seed.deserialize(self.decoder)
     }
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
         de::Deserializer::deserialize_tuple(self.decoder, len, visitor)
     }
     fn struct_variant<V: Visitor<'de>>(
@@ -326,7 +360,13 @@ mod tests {
     #[test]
     fn eof_reports_need() {
         let err = decode::<u32>(&[1, 2]).unwrap_err();
-        assert_eq!(err, CodecError::UnexpectedEof { needed: 4, available: 2 });
+        assert_eq!(
+            err,
+            CodecError::UnexpectedEof {
+                needed: 4,
+                available: 2
+            }
+        );
     }
 
     #[test]
@@ -346,7 +386,10 @@ mod tests {
                 d.deserialize_any(V)
             }
         }
-        assert!(matches!(decode::<Any>(&[]), Err(CodecError::NotSelfDescribing)));
+        assert!(matches!(
+            decode::<Any>(&[]),
+            Err(CodecError::NotSelfDescribing)
+        ));
     }
 
     #[test]
@@ -354,5 +397,33 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(decode::<Vec<u8>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_sub_4gib_length_prefix_is_caught() {
+        // Regression for the `codec` fuzz-oracle class: the guard used to
+        // fire only for lengths past 2^32, so a corrupt prefix like 3e9 (or
+        // even 1000 against a 2-byte tail) passed the length check and was
+        // handed to the seq visitor as a trusted size hint. Any length
+        // beyond the remaining bytes is corrupt and must be rejected before
+        // a visitor can act on it.
+        for corrupt_len in [10u64, 1_000, 3_000_000_000] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&corrupt_len.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 2]);
+            assert_eq!(
+                decode::<Vec<u8>>(&bytes).unwrap_err(),
+                CodecError::LengthOverflow(corrupt_len),
+                "len {corrupt_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_length_prefix_still_decodes() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        bytes.extend_from_slice(&[7, 8, 9]);
+        assert_eq!(decode::<Vec<u8>>(&bytes).unwrap(), vec![7, 8, 9]);
     }
 }

@@ -24,6 +24,14 @@ pub enum CodecError {
     InvalidVariant(u32),
     /// A length prefix exceeded the remaining input (corruption guard).
     LengthOverflow(u64),
+    /// A frame exceeded the configured maximum frame size (hostile or
+    /// corrupted header; bounds allocation before any buffering happens).
+    FrameTooLarge {
+        /// Length announced by the frame header.
+        len: u64,
+        /// Maximum frame size the reader/writer accepts.
+        max: u64,
+    },
     /// The format is not self-describing: `deserialize_any` is unsupported.
     NotSelfDescribing,
     /// Sequences must know their length up front to be encoded.
@@ -36,7 +44,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnexpectedEof { needed, available } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {available} available")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {available} available"
+                )
             }
             Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
             Self::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
@@ -44,8 +55,17 @@ impl fmt::Display for CodecError {
             Self::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
             Self::InvalidVariant(v) => write!(f, "invalid enum variant index {v}"),
             Self::LengthOverflow(n) => write!(f, "length prefix {n} exceeds remaining input"),
+            Self::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the maximum frame size {max}"
+                )
+            }
             Self::NotSelfDescribing => {
-                write!(f, "format is not self-describing (deserialize_any unsupported)")
+                write!(
+                    f,
+                    "format is not self-describing (deserialize_any unsupported)"
+                )
             }
             Self::UnknownLength => write!(f, "sequence length must be known up front"),
             Self::Custom(msg) => write!(f, "{msg}"),
@@ -73,12 +93,27 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(CodecError::UnexpectedEof { needed: 4, available: 1 }.to_string().contains('4'));
+        assert!(CodecError::UnexpectedEof {
+            needed: 4,
+            available: 1
+        }
+        .to_string()
+        .contains('4'));
         assert!(CodecError::TrailingBytes(3).to_string().contains('3'));
         assert!(CodecError::InvalidUtf8.to_string().contains("UTF-8"));
         assert!(CodecError::InvalidTag(9).to_string().contains('9'));
         assert!(CodecError::InvalidVariant(2).to_string().contains('2'));
-        assert!(CodecError::NotSelfDescribing.to_string().contains("self-describing"));
-        assert!(<CodecError as serde::ser::Error>::custom("boom").to_string().contains("boom"));
+        assert!(CodecError::NotSelfDescribing
+            .to_string()
+            .contains("self-describing"));
+        let e = CodecError::FrameTooLarge {
+            len: 5_000_000,
+            max: 1_048_576,
+        };
+        assert!(e.to_string().contains("5000000"));
+        assert!(e.to_string().contains("1048576"));
+        assert!(<CodecError as serde::ser::Error>::custom("boom")
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -28,7 +28,9 @@ mod tests {
     use serde::{Deserialize, Serialize};
     use std::collections::BTreeMap;
 
-    fn roundtrip<T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug>(value: &T) {
+    fn roundtrip<T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug>(
+        value: &T,
+    ) {
         let bytes = encode(value).expect("encode");
         let back: T = decode(&bytes).expect("decode");
         assert_eq!(&back, value);
@@ -76,7 +78,13 @@ mod tests {
 
     #[test]
     fn struct_roundtrip() {
-        roundtrip(&Plain { a: 7, b: -42, c: 2.5, d: "bid".into(), e: false });
+        roundtrip(&Plain {
+            a: 7,
+            b: -42,
+            c: 2.5,
+            d: "bid".into(),
+            e: false,
+        });
     }
 
     #[test]
@@ -84,7 +92,10 @@ mod tests {
         roundtrip(&Various::Unit);
         roundtrip(&Various::Newtype(99));
         roundtrip(&Various::Tuple(-3, "x".into()));
-        roundtrip(&Various::Struct { x: 1.5, y: vec![1, 2, 3] });
+        roundtrip(&Various::Struct {
+            x: 1.5,
+            y: vec![1, 2, 3],
+        });
     }
 
     #[test]
@@ -121,7 +132,14 @@ mod tests {
 
     #[test]
     fn truncated_input_errors_cleanly() {
-        let bytes = encode(&Plain { a: 1, b: 2, c: 3.0, d: "abcd".into(), e: true }).unwrap();
+        let bytes = encode(&Plain {
+            a: 1,
+            b: 2,
+            c: 3.0,
+            d: "abcd".into(),
+            e: true,
+        })
+        .unwrap();
         for cut in 0..bytes.len() {
             let err = decode::<Plain>(&bytes[..cut]);
             assert!(err.is_err(), "cut at {cut} decoded successfully");
@@ -132,7 +150,10 @@ mod tests {
     fn trailing_bytes_are_rejected() {
         let mut bytes = encode(&5u32).unwrap().to_vec();
         bytes.push(0);
-        assert!(matches!(decode::<u32>(&bytes), Err(CodecError::TrailingBytes(1))));
+        assert!(matches!(
+            decode::<u32>(&bytes),
+            Err(CodecError::TrailingBytes(1))
+        ));
     }
 
     #[test]
@@ -160,9 +181,15 @@ mod tests {
         use crate::message::{Message, RoundId};
         let round = any::<u64>().prop_map(RoundId);
         prop_oneof![
-            round.clone().prop_map(|round| Message::RequestBid { round }),
+            round
+                .clone()
+                .prop_map(|round| Message::RequestBid { round }),
             (round.clone(), any::<u32>(), -1e12f64..1e12).prop_map(|(round, machine, value)| {
-                Message::Bid { round, machine, value }
+                Message::Bid {
+                    round,
+                    machine,
+                    value,
+                }
             }),
             (round.clone(), -1e12f64..1e12)
                 .prop_map(|(round, rate)| Message::Assign { round, rate }),

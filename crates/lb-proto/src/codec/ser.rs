@@ -25,7 +25,9 @@ impl Encoder {
     /// Creates an empty encoder.
     #[must_use]
     pub fn new() -> Self {
-        Self { buf: BytesMut::with_capacity(64) }
+        Self {
+            buf: BytesMut::with_capacity(64),
+        }
     }
 
     /// Finalises the encoder into an immutable byte buffer.

@@ -260,14 +260,20 @@ impl<'m> Coordinator<'m> {
             self.phase == CoordinatorPhase::CollectingBids,
             "exclude outside collection phase"
         );
-        assert!(machine < self.excluded.len(), "coordinator: machine out of range");
+        assert!(
+            machine < self.excluded.len(),
+            "coordinator: machine out of range"
+        );
         self.ensure_round_span();
         self.excluded[machine] = true;
         self.collector.instant(
             self.now.get(),
             "exclude",
             Subsystem::Coordinator,
-            vec![Field::u64("machine", machine as u64), Field::str("reason", "quarantine")],
+            vec![
+                Field::u64("machine", machine as u64),
+                Field::str("reason", "quarantine"),
+            ],
         );
     }
 
@@ -295,11 +301,15 @@ impl<'m> Coordinator<'m> {
     #[must_use]
     pub fn open(&self) -> Vec<Message> {
         self.ensure_round_span();
-        (0..self.bids.len()).map(|_| Message::RequestBid { round: self.round }).collect()
+        (0..self.bids.len())
+            .map(|_| Message::RequestBid { round: self.round })
+            .collect()
     }
 
     fn respondents(&self) -> Vec<usize> {
-        (0..self.bids.len()).filter(|&i| self.bids[i].is_some() && !self.excluded[i]).collect()
+        (0..self.bids.len())
+            .filter(|&i| self.bids[i].is_some() && !self.excluded[i])
+            .collect()
     }
 
     fn all_bids_in(&self) -> bool {
@@ -337,7 +347,9 @@ impl<'m> Coordinator<'m> {
             Message::Bid { machine, value, .. } => {
                 let idx = machine as usize;
                 if idx >= self.bids.len() {
-                    return Ok(self.reject(Anomaly::Unsolicited, "coordinator: machine out of range"));
+                    return Ok(
+                        self.reject(Anomaly::Unsolicited, "coordinator: machine out of range")
+                    );
                 }
                 if self.excluded[idx] {
                     // A bid that arrives after exclusion is stale: absorbed
@@ -369,7 +381,9 @@ impl<'m> Coordinator<'m> {
                 }
                 let idx = machine as usize;
                 if idx >= self.done.len() {
-                    return Ok(self.reject(Anomaly::Unsolicited, "coordinator: machine out of range"));
+                    return Ok(
+                        self.reject(Anomaly::Unsolicited, "coordinator: machine out of range")
+                    );
                 }
                 if self.excluded[idx] {
                     // An excluded machine has nothing to complete; its ack
@@ -390,9 +404,12 @@ impl<'m> Coordinator<'m> {
                     Ok(Vec::new())
                 }
             }
-            Message::RequestBid { .. } | Message::Assign { .. } | Message::Payment { .. } => Ok(
-                self.reject(Anomaly::Misrouted, "coordinator received coordinator-originated message")
-            ),
+            Message::RequestBid { .. } | Message::Assign { .. } | Message::Payment { .. } => {
+                Ok(self.reject(
+                    Anomaly::Misrouted,
+                    "coordinator received coordinator-originated message",
+                ))
+            }
         }
     }
 
@@ -421,7 +438,10 @@ impl<'m> Coordinator<'m> {
                     self.now.get(),
                     "exclude",
                     Subsystem::Coordinator,
-                    vec![Field::u64("machine", i as u64), Field::str("reason", "timeout")],
+                    vec![
+                        Field::u64("machine", i as u64),
+                        Field::str("reason", "timeout"),
+                    ],
                 );
             }
         }
@@ -440,7 +460,10 @@ impl<'m> Coordinator<'m> {
     /// # Panics
     /// Panics if called outside the execution phase.
     pub fn close_execution(&mut self) -> Result<Vec<(u32, Message)>, MechanismError> {
-        assert!(self.phase == CoordinatorPhase::Executing, "close_execution outside execution phase");
+        assert!(
+            self.phase == CoordinatorPhase::Executing,
+            "close_execution outside execution phase"
+        );
         self.settle()
     }
 
@@ -459,8 +482,10 @@ impl<'m> Coordinator<'m> {
             Some(Phase::Allocate),
             vec![Field::u64("respondents", respondents.len() as u64)],
         );
-        let sub_bids: Vec<f64> =
-            respondents.iter().map(|&i| self.bids[i].expect("respondent has bid")).collect();
+        let sub_bids: Vec<f64> = respondents
+            .iter()
+            .map(|&i| self.bids[i].expect("respondent has bid"))
+            .collect();
         let sub_exec: Vec<f64> = respondents.iter().map(|&i| actual_exec_values[i]).collect();
         let sub_alloc = self.mechanism.allocate(&sub_bids, self.total_rate)?;
 
@@ -494,7 +519,10 @@ impl<'m> Coordinator<'m> {
             .map(|&i| {
                 (
                     u32::try_from(i).expect("node index fits u32"),
-                    Message::Assign { round: self.round, rate: rates[i] },
+                    Message::Assign {
+                        round: self.round,
+                        rate: rates[i],
+                    },
                 )
             })
             .collect();
@@ -508,10 +536,15 @@ impl<'m> Coordinator<'m> {
         let respondents = self.respondents();
         self.switch_phase_span(
             Some(Phase::Settle),
-            vec![Field::u64("completed", respondents.iter().filter(|&&i| self.done[i]).count() as u64)],
+            vec![Field::u64(
+                "completed",
+                respondents.iter().filter(|&&i| self.done[i]).count() as u64,
+            )],
         );
-        let sub_bids: Vec<f64> =
-            respondents.iter().map(|&i| self.bids[i].expect("respondent has bid")).collect();
+        let sub_bids: Vec<f64> = respondents
+            .iter()
+            .map(|&i| self.bids[i].expect("respondent has bid"))
+            .collect();
         let allocation = self.allocation.as_ref().expect("allocation computed");
         let estimates = self.estimated_exec.as_ref().expect("estimates computed");
         let sub_rates: Vec<f64> = respondents.iter().map(|&i| allocation.rate(i)).collect();
@@ -519,7 +552,8 @@ impl<'m> Coordinator<'m> {
         let sub_estimates: Vec<f64> = respondents.iter().map(|&i| estimates[i]).collect();
 
         let sub_payments =
-            self.mechanism.payments(&sub_bids, &sub_alloc, &sub_estimates, self.total_rate)?;
+            self.mechanism
+                .payments(&sub_bids, &sub_alloc, &sub_estimates, self.total_rate)?;
         let mut payments = vec![0.0; self.bids.len()];
         for (k, &i) in respondents.iter().enumerate() {
             payments[i] = sub_payments[k];
@@ -529,7 +563,10 @@ impl<'m> Coordinator<'m> {
             .map(|&i| {
                 (
                     u32::try_from(i).expect("node index fits u32"),
-                    Message::Payment { round: self.round, amount: payments[i] },
+                    Message::Payment {
+                        round: self.round,
+                        amount: payments[i],
+                    },
                 )
             })
             .collect();
@@ -585,22 +622,48 @@ mod tests {
         assert_eq!(c.open().len(), 2);
 
         let none = c
-            .handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues)
+            .handle(
+                &Message::Bid {
+                    round: RoundId(0),
+                    machine: 0,
+                    value: 1.0,
+                },
+                &trues,
+            )
             .unwrap();
         assert!(none.is_empty());
         let assigns = c
-            .handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues)
+            .handle(
+                &Message::Bid {
+                    round: RoundId(0),
+                    machine: 1,
+                    value: 2.0,
+                },
+                &trues,
+            )
             .unwrap();
         assert_eq!(assigns.len(), 2);
         assert_eq!(c.phase(), CoordinatorPhase::Executing);
         assert!(c.allocation().is_some());
 
         let none = c
-            .handle(&Message::ExecutionDone { round: RoundId(0), machine: 1 }, &trues)
+            .handle(
+                &Message::ExecutionDone {
+                    round: RoundId(0),
+                    machine: 1,
+                },
+                &trues,
+            )
             .unwrap();
         assert!(none.is_empty());
         let payments = c
-            .handle(&Message::ExecutionDone { round: RoundId(0), machine: 0 }, &trues)
+            .handle(
+                &Message::ExecutionDone {
+                    round: RoundId(0),
+                    machine: 0,
+                },
+                &trues,
+            )
             .unwrap();
         assert_eq!(payments.len(), 2);
         assert_eq!(c.phase(), CoordinatorPhase::Done);
@@ -616,8 +679,24 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let trues = [1.0, 2.0, 4.0];
         let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
-        c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues).unwrap();
-        c.handle(&Message::Bid { round: RoundId(0), machine: 2, value: 4.0 }, &trues).unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(0),
+                machine: 0,
+                value: 1.0,
+            },
+            &trues,
+        )
+        .unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(0),
+                machine: 2,
+                value: 4.0,
+            },
+            &trues,
+        )
+        .unwrap();
         // Machine 1 never bids; timeout.
         let assigns = c.close_bidding(&trues).unwrap();
         assert_eq!(assigns.len(), 2, "assigns only to respondents");
@@ -628,7 +707,14 @@ mod tests {
 
         // A stale bid from machine 1 after exclusion is ignored.
         let out = c
-            .handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues)
+            .handle(
+                &Message::Bid {
+                    round: RoundId(0),
+                    machine: 1,
+                    value: 2.0,
+                },
+                &trues,
+            )
             .unwrap();
         assert!(out.is_empty());
         assert_eq!(c.anomalies().stale_after_exclusion, 1);
@@ -639,8 +725,19 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let trues = [1.0, 2.0, 4.0];
         let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
-        c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues).unwrap();
-        assert!(matches!(c.close_bidding(&trues), Err(MechanismError::NeedTwoAgents)));
+        c.handle(
+            &Message::Bid {
+                round: RoundId(0),
+                machine: 0,
+                value: 1.0,
+            },
+            &trues,
+        )
+        .unwrap();
+        assert!(matches!(
+            c.close_bidding(&trues),
+            Err(MechanismError::NeedTwoAgents)
+        ));
     }
 
     #[test]
@@ -648,9 +745,32 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let trues = [1.0, 2.0];
         let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config());
-        c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues).unwrap();
-        c.handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues).unwrap();
-        c.handle(&Message::ExecutionDone { round: RoundId(0), machine: 0 }, &trues).unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(0),
+                machine: 0,
+                value: 1.0,
+            },
+            &trues,
+        )
+        .unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(0),
+                machine: 1,
+                value: 2.0,
+            },
+            &trues,
+        )
+        .unwrap();
+        c.handle(
+            &Message::ExecutionDone {
+                round: RoundId(0),
+                machine: 0,
+            },
+            &trues,
+        )
+        .unwrap();
         // Machine 1's ack is lost; settle from measurements.
         let payments = c.close_execution().unwrap();
         assert_eq!(payments.len(), 2);
@@ -663,7 +783,11 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let trues = [1.0, 2.0];
         let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config()).with_strict(true);
-        let bid = Message::Bid { round: RoundId(0), machine: 0, value: 1.0 };
+        let bid = Message::Bid {
+            round: RoundId(0),
+            machine: 0,
+            value: 1.0,
+        };
         c.handle(&bid, &trues).unwrap();
         c.handle(&bid, &trues).unwrap();
     }
@@ -673,7 +797,15 @@ mod tests {
     fn strict_wrong_round_panics() {
         let mech = CompensationBonusMechanism::paper();
         let mut c = Coordinator::new(&mech, 1, 3.0, RoundId(0), config()).with_strict(true);
-        c.handle(&Message::Bid { round: RoundId(1), machine: 0, value: 1.0 }, &[1.0]).unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(1),
+                machine: 0,
+                value: 1.0,
+            },
+            &[1.0],
+        )
+        .unwrap();
     }
 
     #[test]
@@ -681,16 +813,52 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let trues = [1.0, 2.0];
         let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config());
-        let bid0 = Message::Bid { round: RoundId(0), machine: 0, value: 1.0 };
+        let bid0 = Message::Bid {
+            round: RoundId(0),
+            machine: 0,
+            value: 1.0,
+        };
 
         // Wrong round, duplicate, out-of-range, misrouted, early ack: all
         // absorbed without output and without state damage.
-        assert!(c.handle(&Message::Bid { round: RoundId(7), machine: 0, value: 9.0 }, &trues).unwrap().is_empty());
+        assert!(c
+            .handle(
+                &Message::Bid {
+                    round: RoundId(7),
+                    machine: 0,
+                    value: 9.0
+                },
+                &trues
+            )
+            .unwrap()
+            .is_empty());
         c.handle(&bid0, &trues).unwrap();
         assert!(c.handle(&bid0, &trues).unwrap().is_empty());
-        assert!(c.handle(&Message::Bid { round: RoundId(0), machine: 9, value: 1.0 }, &trues).unwrap().is_empty());
-        assert!(c.handle(&Message::RequestBid { round: RoundId(0) }, &trues).unwrap().is_empty());
-        assert!(c.handle(&Message::ExecutionDone { round: RoundId(0), machine: 0 }, &trues).unwrap().is_empty());
+        assert!(c
+            .handle(
+                &Message::Bid {
+                    round: RoundId(0),
+                    machine: 9,
+                    value: 1.0
+                },
+                &trues
+            )
+            .unwrap()
+            .is_empty());
+        assert!(c
+            .handle(&Message::RequestBid { round: RoundId(0) }, &trues)
+            .unwrap()
+            .is_empty());
+        assert!(c
+            .handle(
+                &Message::ExecutionDone {
+                    round: RoundId(0),
+                    machine: 0
+                },
+                &trues
+            )
+            .unwrap()
+            .is_empty());
 
         let a = *c.anomalies();
         assert_eq!(a.stale_rounds, 1);
@@ -702,17 +870,46 @@ mod tests {
 
         // The round still completes normally afterwards.
         let assigns = c
-            .handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues)
+            .handle(
+                &Message::Bid {
+                    round: RoundId(0),
+                    machine: 1,
+                    value: 2.0,
+                },
+                &trues,
+            )
             .unwrap();
         assert_eq!(assigns.len(), 2);
         assert_eq!(c.phase(), CoordinatorPhase::Executing);
 
         // Duplicate acks are idempotent.
-        c.handle(&Message::ExecutionDone { round: RoundId(0), machine: 0 }, &trues).unwrap();
-        assert!(c.handle(&Message::ExecutionDone { round: RoundId(0), machine: 0 }, &trues).unwrap().is_empty());
+        c.handle(
+            &Message::ExecutionDone {
+                round: RoundId(0),
+                machine: 0,
+            },
+            &trues,
+        )
+        .unwrap();
+        assert!(c
+            .handle(
+                &Message::ExecutionDone {
+                    round: RoundId(0),
+                    machine: 0
+                },
+                &trues
+            )
+            .unwrap()
+            .is_empty());
         assert_eq!(c.anomalies().duplicate_acks, 1);
         let payments = c
-            .handle(&Message::ExecutionDone { round: RoundId(0), machine: 1 }, &trues)
+            .handle(
+                &Message::ExecutionDone {
+                    round: RoundId(0),
+                    machine: 1,
+                },
+                &trues,
+            )
             .unwrap();
         assert_eq!(payments.len(), 2);
         assert_eq!(c.phase(), CoordinatorPhase::Done);
@@ -724,36 +921,86 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let trues = [1.0, 2.0];
         let ring = Arc::new(RingCollector::new(256));
-        let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(3), config())
-            .with_collector(ring.clone());
+        let mut c =
+            Coordinator::new(&mech, 2, 3.0, RoundId(3), config()).with_collector(ring.clone());
 
         c.set_now(0.0);
         let _ = c.open();
         c.set_now(0.1);
-        c.handle(&Message::Bid { round: RoundId(3), machine: 0, value: 1.0 }, &trues).unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(3),
+                machine: 0,
+                value: 1.0,
+            },
+            &trues,
+        )
+        .unwrap();
         // A duplicate bid mid-round surfaces as an anomaly instant.
         c.set_now(0.15);
-        c.handle(&Message::Bid { round: RoundId(3), machine: 0, value: 1.0 }, &trues).unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(3),
+                machine: 0,
+                value: 1.0,
+            },
+            &trues,
+        )
+        .unwrap();
         c.set_now(0.2);
-        c.handle(&Message::Bid { round: RoundId(3), machine: 1, value: 2.0 }, &trues).unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(3),
+                machine: 1,
+                value: 2.0,
+            },
+            &trues,
+        )
+        .unwrap();
         c.set_now(0.4);
-        c.handle(&Message::ExecutionDone { round: RoundId(3), machine: 0 }, &trues).unwrap();
+        c.handle(
+            &Message::ExecutionDone {
+                round: RoundId(3),
+                machine: 0,
+            },
+            &trues,
+        )
+        .unwrap();
         c.set_now(0.5);
-        c.handle(&Message::ExecutionDone { round: RoundId(3), machine: 1 }, &trues).unwrap();
+        c.handle(
+            &Message::ExecutionDone {
+                round: RoundId(3),
+                machine: 1,
+            },
+            &trues,
+        )
+        .unwrap();
 
         let events = ring.snapshot();
         let spans = replay_spans(&events).expect("recording replays cleanly");
         let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
-        for expected in
-            ["round", "phase.collect_bids", "phase.allocate", "phase.execute", "phase.settle"]
-        {
-            assert!(names.contains(&expected), "missing span {expected}: {names:?}");
+        for expected in [
+            "round",
+            "phase.collect_bids",
+            "phase.allocate",
+            "phase.execute",
+            "phase.settle",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "missing span {expected}: {names:?}"
+            );
         }
         let round_span = spans.iter().find(|s| s.name == "round").unwrap();
         assert_eq!(round_span.depth, 0);
         assert!((round_span.start, round_span.end) == (0.0, 0.5));
         for s in spans.iter().filter(|s| s.name.starts_with("phase.")) {
-            assert_eq!(s.parent, Some(round_span.id), "{} nests under round", s.name);
+            assert_eq!(
+                s.parent,
+                Some(round_span.id),
+                "{} nests under round",
+                s.name
+            );
         }
 
         let anomalies: Vec<_> = events
@@ -774,12 +1021,23 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let trues = [1.0, 2.0, 4.0];
         let ring = Arc::new(RingCollector::new(64));
-        let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config())
-            .with_collector(ring.clone());
+        let mut c =
+            Coordinator::new(&mech, 3, 3.0, RoundId(0), config()).with_collector(ring.clone());
         c.set_now(0.0);
-        c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues).unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(0),
+                machine: 0,
+                value: 1.0,
+            },
+            &trues,
+        )
+        .unwrap();
         c.set_now(1.0);
-        assert!(c.close_bidding(&trues).is_err(), "one respondent cannot run");
+        assert!(
+            c.close_bidding(&trues).is_err(),
+            "one respondent cannot run"
+        );
         // The driver abandons the round; telemetry must still balance.
         c.end_telemetry();
         let spans = replay_spans(&ring.snapshot()).expect("abandoned round still replays");
@@ -792,7 +1050,15 @@ mod tests {
         let trues = [1.0, 2.0, 4.0];
         let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
         assert_eq!(c.missing_bids(), vec![0, 1, 2]);
-        c.handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues).unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(0),
+                machine: 1,
+                value: 2.0,
+            },
+            &trues,
+        )
+        .unwrap();
         assert_eq!(c.missing_bids(), vec![0, 2]);
         c.exclude(0);
         assert_eq!(c.missing_bids(), vec![2]);
@@ -804,11 +1070,36 @@ mod tests {
         let trues = [1.0, 2.0, 4.0];
         let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
         c.exclude(1);
-        c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues).unwrap();
+        c.handle(
+            &Message::Bid {
+                round: RoundId(0),
+                machine: 0,
+                value: 1.0,
+            },
+            &trues,
+        )
+        .unwrap();
         // The quarantined machine's bid is absorbed as stale.
-        assert!(c.handle(&Message::Bid { round: RoundId(0), machine: 1, value: 2.0 }, &trues).unwrap().is_empty());
+        assert!(c
+            .handle(
+                &Message::Bid {
+                    round: RoundId(0),
+                    machine: 1,
+                    value: 2.0
+                },
+                &trues
+            )
+            .unwrap()
+            .is_empty());
         let assigns = c
-            .handle(&Message::Bid { round: RoundId(0), machine: 2, value: 4.0 }, &trues)
+            .handle(
+                &Message::Bid {
+                    round: RoundId(0),
+                    machine: 2,
+                    value: 4.0,
+                },
+                &trues,
+            )
             .unwrap();
         assert_eq!(assigns.len(), 2, "round runs over the two active machines");
         assert_eq!(c.excluded(), &[false, true, false]);
@@ -821,7 +1112,14 @@ mod tests {
         let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
         c.exclude(1);
         c.exclude(2);
-        let out = c.handle(&Message::Bid { round: RoundId(0), machine: 0, value: 1.0 }, &trues);
+        let out = c.handle(
+            &Message::Bid {
+                round: RoundId(0),
+                machine: 0,
+                value: 1.0,
+            },
+            &trues,
+        );
         assert!(matches!(out, Err(MechanismError::NeedTwoAgents)));
     }
 }

@@ -78,7 +78,11 @@ impl FaultPlan {
                 }
                 None => 1,
             };
-            if self.lose_bid_attempts.iter().any(|&(m, k)| m == i && attempt <= k) {
+            if self
+                .lose_bid_attempts
+                .iter()
+                .any(|&(m, k)| m == i && attempt <= k)
+            {
                 return true;
             }
         }
@@ -103,11 +107,16 @@ pub fn run_protocol_round_with_faults<M: VerifiedMechanism>(
     config: &ProtocolConfig,
     faults: &FaultPlan,
 ) -> Result<ProtocolOutcome, MechanismError> {
-    assert!(!specs.is_empty(), "run_protocol_round_with_faults: need at least one node");
+    assert!(
+        !specs.is_empty(),
+        "run_protocol_round_with_faults: need at least one node"
+    );
     let n = specs.len();
     let round = RoundId(0);
     let codec_err = |e: crate::codec::CodecError| {
-        MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+        MechanismError::Core(lb_core::CoreError::Infeasible {
+            reason: e.to_string(),
+        })
     };
 
     let mut nodes: Vec<NodeAgent> = specs
@@ -119,20 +128,24 @@ pub fn run_protocol_round_with_faults<M: VerifiedMechanism>(
 
     // Strict: the drop filter only *loses* frames, so every frame that does
     // arrive is still protocol-conformant.
-    let mut coordinator = Coordinator::new(mechanism, n, config.total_rate, round, config.simulation)
-        .with_strict(true);
+    let mut coordinator =
+        Coordinator::new(mechanism, n, config.total_rate, round, config.simulation)
+            .with_strict(true);
     let mut network = SimNetwork::with_constant_latency(config.link_latency);
     {
         let plan = faults.clone();
         let mut bid_attempts = vec![0u32; n];
-        network.set_drop_filter(move |from, to, m| {
-            plan.drops_counted(from, to, m, &mut bid_attempts)
-        });
+        network
+            .set_drop_filter(move |from, to, m| plan.drops_counted(from, to, m, &mut bid_attempts));
     }
 
     for (i, msg) in coordinator.open().into_iter().enumerate() {
         network
-            .send(Endpoint::Coordinator, Endpoint::Node(u32::try_from(i).expect("fits u32")), &msg)
+            .send(
+                Endpoint::Coordinator,
+                Endpoint::Node(u32::try_from(i).expect("fits u32")),
+                &msg,
+            )
             .map_err(codec_err)?;
     }
 
@@ -182,7 +195,10 @@ pub fn run_protocol_round_with_faults<M: VerifiedMechanism>(
     }
 
     let payments = coordinator.payments().expect("settled").to_vec();
-    let estimated = coordinator.estimated_exec_values().expect("verified").to_vec();
+    let estimated = coordinator
+        .estimated_exec_values()
+        .expect("verified")
+        .to_vec();
     let allocation = coordinator.allocation().expect("allocated");
 
     let rates: Vec<f64> = (0..n).map(|i| allocation.rate(i)).collect();
@@ -192,15 +208,23 @@ pub fn run_protocol_round_with_faults<M: VerifiedMechanism>(
             // coordinator's ledger elsewhere (excluded/partitioned machines
             // served no jobs, so their valuation is 0 and utility equals the
             // ledger payment, i.e. 0).
-            nodes[i].utility(mechanism.valuation_model()).unwrap_or(if rates[i] == 0.0 {
-                payments[i]
-            } else {
-                payments[i] + mechanism.valuation(rates[i], specs[i].exec_value)
-            })
+            nodes[i]
+                .utility(mechanism.valuation_model())
+                .unwrap_or(if rates[i] == 0.0 {
+                    payments[i]
+                } else {
+                    payments[i] + mechanism.valuation(rates[i], specs[i].exec_value)
+                })
         })
         .collect();
 
-    Ok(ProtocolOutcome { rates, payments, utilities, estimated_exec_values: estimated, stats: network.stats() })
+    Ok(ProtocolOutcome {
+        rates,
+        payments,
+        utilities,
+        estimated_exec_values: estimated,
+        stats: network.stats(),
+    })
 }
 
 #[cfg(test)]
@@ -228,7 +252,10 @@ mod tests {
     }
 
     fn truthful_specs() -> Vec<NodeSpec> {
-        paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect()
+        paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect()
     }
 
     #[test]
@@ -236,8 +263,8 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let specs = truthful_specs();
         let reliable = run_protocol_round(&mech, &specs, &config()).unwrap();
-        let faulty = run_protocol_round_with_faults(&mech, &specs, &config(), &FaultPlan::none())
-            .unwrap();
+        let faulty =
+            run_protocol_round_with_faults(&mech, &specs, &config(), &FaultPlan::none()).unwrap();
         assert_eq!(reliable.payments, faulty.payments);
         assert_eq!(reliable.stats, faulty.stats);
     }
@@ -246,7 +273,10 @@ mod tests {
     fn lost_bid_excludes_the_machine_and_round_completes() {
         let mech = CompensationBonusMechanism::paper();
         let specs = truthful_specs();
-        let faults = FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() };
+        let faults = FaultPlan {
+            lose_bids_from: vec![0],
+            ..FaultPlan::none()
+        };
         let outcome = run_protocol_round_with_faults(&mech, &specs, &config(), &faults).unwrap();
 
         assert_eq!(outcome.rates[0], 0.0);
@@ -257,8 +287,11 @@ mod tests {
         // system C2..C16 (the L_{-C1} world).
         let trues = paper_true_values();
         let sub_sys = lb_core::System::from_true_values(&trues[1..]).unwrap();
-        let sub = run_mechanism(&mech, &Profile::truthful(&sub_sys, PAPER_ARRIVAL_RATE).unwrap())
-            .unwrap();
+        let sub = run_mechanism(
+            &mech,
+            &Profile::truthful(&sub_sys, PAPER_ARRIVAL_RATE).unwrap(),
+        )
+        .unwrap();
         for j in 1..16 {
             assert!(
                 (outcome.payments[j] - sub.payments[j - 1]).abs() < 1e-6,
@@ -274,10 +307,16 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let specs = truthful_specs();
         let clean = run_protocol_round(&mech, &specs, &config()).unwrap();
-        let faults = FaultPlan { lose_acks_from: vec![3, 7], ..FaultPlan::none() };
+        let faults = FaultPlan {
+            lose_acks_from: vec![3, 7],
+            ..FaultPlan::none()
+        };
         let outcome = run_protocol_round_with_faults(&mech, &specs, &config(), &faults).unwrap();
         for i in 0..16 {
-            assert!((clean.payments[i] - outcome.payments[i]).abs() < 1e-9, "payment {i}");
+            assert!(
+                (clean.payments[i] - outcome.payments[i]).abs() < 1e-9,
+                "payment {i}"
+            );
         }
     }
 
@@ -285,7 +324,10 @@ mod tests {
     fn partitioned_machine_is_fully_excluded() {
         let mech = CompensationBonusMechanism::paper();
         let specs = truthful_specs();
-        let faults = FaultPlan { partitioned: vec![5], ..FaultPlan::none() };
+        let faults = FaultPlan {
+            partitioned: vec![5],
+            ..FaultPlan::none()
+        };
         let outcome = run_protocol_round_with_faults(&mech, &specs, &config(), &faults).unwrap();
         assert_eq!(outcome.rates[5], 0.0);
         assert_eq!(outcome.payments[5], 0.0);
@@ -298,7 +340,10 @@ mod tests {
     fn too_many_lost_bids_is_a_clean_error() {
         let mech = CompensationBonusMechanism::paper();
         let specs: Vec<NodeSpec> = vec![NodeSpec::truthful(1.0), NodeSpec::truthful(2.0)];
-        let faults = FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() };
+        let faults = FaultPlan {
+            lose_bids_from: vec![0],
+            ..FaultPlan::none()
+        };
         assert!(matches!(
             run_protocol_round_with_faults(&mech, &specs, &config(), &faults),
             Err(MechanismError::NeedTwoAgents)
@@ -311,7 +356,10 @@ mod tests {
         // bid attempt is as fatal as losing them all.
         let mech = CompensationBonusMechanism::paper();
         let specs = truthful_specs();
-        let faults = FaultPlan { lose_bid_attempts: vec![(0, 1)], ..FaultPlan::none() };
+        let faults = FaultPlan {
+            lose_bid_attempts: vec![(0, 1)],
+            ..FaultPlan::none()
+        };
         let outcome = run_protocol_round_with_faults(&mech, &specs, &config(), &faults).unwrap();
         assert_eq!(outcome.rates[0], 0.0);
         assert_eq!(outcome.payments[0], 0.0);
@@ -323,7 +371,10 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let mut specs = truthful_specs();
         specs[1] = NodeSpec::strategic(1.0, 1.0, 2.0);
-        let faults = FaultPlan { lose_acks_from: vec![1], ..FaultPlan::none() };
+        let faults = FaultPlan {
+            lose_acks_from: vec![1],
+            ..FaultPlan::none()
+        };
         let outcome = run_protocol_round_with_faults(&mech, &specs, &config(), &faults).unwrap();
 
         let honest = run_protocol_round(&mech, &truthful_specs(), &config()).unwrap();

@@ -11,9 +11,14 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
-/// Maximum frame size accepted by default (1 MiB — far above any protocol
-/// message, small enough to bound memory under corruption).
-pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+/// Hard upper bound on any frame, reader or writer side (1 MiB — far above
+/// any protocol message, small enough to bound memory under corruption). A
+/// corrupted or hostile header can announce up to `u32::MAX` (4 GiB); every
+/// path compares against this bound *before* buffering or allocating.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Maximum frame size accepted by default (alias of [`MAX_FRAME_LEN`]).
+pub const DEFAULT_MAX_FRAME: usize = MAX_FRAME_LEN;
 
 /// Encodes values into length-prefixed frames.
 #[derive(Debug, Default)]
@@ -25,19 +30,32 @@ impl FrameWriter {
     /// Creates an empty writer.
     #[must_use]
     pub fn new() -> Self {
-        Self { buf: BytesMut::new() }
+        Self {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Appends one value as a frame.
     ///
     /// # Errors
-    /// Propagates codec errors; rejects frames above [`DEFAULT_MAX_FRAME`].
+    /// Propagates codec errors; returns [`CodecError::FrameTooLarge`] for
+    /// payloads above [`MAX_FRAME_LEN`] (a peer must never be able to emit a
+    /// frame its counterpart is required to reject).
     pub fn write<T: Serialize>(&mut self, value: &T) -> Result<(), CodecError> {
         let payload = encode(value)?;
-        if payload.len() > DEFAULT_MAX_FRAME {
-            return Err(CodecError::LengthOverflow(payload.len() as u64));
+        let Ok(len) = u32::try_from(payload.len()) else {
+            return Err(CodecError::FrameTooLarge {
+                len: payload.len() as u64,
+                max: MAX_FRAME_LEN as u64,
+            });
+        };
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(CodecError::FrameTooLarge {
+                len: payload.len() as u64,
+                max: MAX_FRAME_LEN as u64,
+            });
         }
-        self.buf.put_u32_le(u32::try_from(payload.len()).expect("bounded by DEFAULT_MAX_FRAME"));
+        self.buf.put_u32_le(len);
         self.buf.put_slice(&payload);
         Ok(())
     }
@@ -81,14 +99,18 @@ impl FrameReader {
         Self::with_max_frame(DEFAULT_MAX_FRAME)
     }
 
-    /// Creates a reader with an explicit frame-size limit.
+    /// Creates a reader with an explicit frame-size limit. Limits above the
+    /// hard bound [`MAX_FRAME_LEN`] are clamped to it.
     ///
     /// # Panics
     /// Panics if `max_frame == 0`.
     #[must_use]
     pub fn with_max_frame(max_frame: usize) -> Self {
         assert!(max_frame > 0, "FrameReader: max_frame must be positive");
-        Self { buf: BytesMut::new(), max_frame }
+        Self {
+            buf: BytesMut::new(),
+            max_frame: max_frame.min(MAX_FRAME_LEN),
+        }
     }
 
     /// Feeds a chunk of received bytes (any fragmentation).
@@ -99,15 +121,20 @@ impl FrameReader {
     /// Pops the next complete frame, if one has fully arrived.
     ///
     /// # Errors
-    /// Returns [`CodecError::LengthOverflow`] when a frame header exceeds the
+    /// Returns [`CodecError::FrameTooLarge`] when a frame header exceeds the
     /// limit (stream corrupt: no recovery), or decode errors for the payload.
+    /// The check runs before any payload is buffered past the header, so a
+    /// corrupted header cannot drive an allocation beyond the limit.
     pub fn next_frame<T: DeserializeOwned>(&mut self) -> Result<Option<T>, CodecError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
         let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
         if len > self.max_frame {
-            return Err(CodecError::LengthOverflow(len as u64));
+            return Err(CodecError::FrameTooLarge {
+                len: len as u64,
+                max: self.max_frame as u64,
+            });
         }
         if self.buf.len() < 4 + len {
             return Ok(None);
@@ -132,7 +159,11 @@ mod tests {
 
     fn sample_messages() -> Vec<Message> {
         (0..20)
-            .map(|i| Message::Bid { round: RoundId(u64::from(i)), machine: i, value: f64::from(i) * 0.5 + 0.1 })
+            .map(|i| Message::Bid {
+                round: RoundId(u64::from(i)),
+                machine: i,
+                value: f64::from(i) * 0.5 + 0.1,
+            })
             .collect()
     }
 
@@ -206,7 +237,44 @@ mod tests {
         let mut r = FrameReader::with_max_frame(16);
         r.feed(&1_000u32.to_le_bytes());
         r.feed(&[0u8; 8]);
-        assert!(matches!(r.next_frame::<Message>(), Err(CodecError::LengthOverflow(1000))));
+        assert!(matches!(
+            r.next_frame::<Message>(),
+            Err(CodecError::FrameTooLarge { len: 1000, max: 16 })
+        ));
+    }
+
+    #[test]
+    fn corrupted_header_cannot_exceed_hard_bound() {
+        // Regression for the `codec` fuzz-oracle class: a hostile header
+        // announcing u32::MAX (4 GiB) must be rejected against MAX_FRAME_LEN
+        // before any buffering, even on a reader configured with a huge
+        // custom limit (which is clamped to the hard bound).
+        let mut r = FrameReader::with_max_frame(usize::MAX);
+        r.feed(&u32::MAX.to_le_bytes());
+        r.feed(&[0u8; 32]);
+        match r.next_frame::<Message>() {
+            Err(CodecError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u64::from(u32::MAX));
+                assert_eq!(max, MAX_FRAME_LEN as u64);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_corrupted_length_byte_is_detected() {
+        // Flip the high byte of a valid frame's length prefix: the announced
+        // length jumps past the limit and the reader reports it as corrupt.
+        let mut w = FrameWriter::new();
+        w.write(&Message::RequestBid { round: RoundId(7) }).unwrap();
+        let mut stream = w.take().to_vec();
+        stream[3] ^= 0x80; // now len >= 2^31 > MAX_FRAME_LEN
+        let mut r = FrameReader::new();
+        r.feed(&stream);
+        assert!(matches!(
+            r.next_frame::<Message>(),
+            Err(CodecError::FrameTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use chaos::{
 pub use codec::{decode, encode, CodecError};
 pub use coordinator::{Coordinator, CoordinatorPhase};
 pub use faults::{run_protocol_round_with_faults, FaultPlan};
-pub use framing::{FrameReader, FrameWriter};
+pub use framing::{FrameReader, FrameWriter, DEFAULT_MAX_FRAME, MAX_FRAME_LEN};
 pub use message::{Message, RoundId};
 pub use network::{FrameFate, MessageStats, NetPoll, SimNetwork};
 pub use node::NodeSpec;

@@ -110,10 +110,23 @@ mod tests {
     fn all_messages_roundtrip_through_codec() {
         let msgs = [
             Message::RequestBid { round: RoundId(1) },
-            Message::Bid { round: RoundId(1), machine: 3, value: 2.5 },
-            Message::Assign { round: RoundId(1), rate: 4.25 },
-            Message::ExecutionDone { round: RoundId(1), machine: 3 },
-            Message::Payment { round: RoundId(1), amount: -19.4 },
+            Message::Bid {
+                round: RoundId(1),
+                machine: 3,
+                value: 2.5,
+            },
+            Message::Assign {
+                round: RoundId(1),
+                rate: 4.25,
+            },
+            Message::ExecutionDone {
+                round: RoundId(1),
+                machine: 3,
+            },
+            Message::Payment {
+                round: RoundId(1),
+                amount: -19.4,
+            },
         ];
         for m in &msgs {
             let bytes = encode(m).unwrap();
@@ -124,18 +137,32 @@ mod tests {
 
     #[test]
     fn round_and_kind_accessors() {
-        let m = Message::Payment { round: RoundId(7), amount: 1.0 };
+        let m = Message::Payment {
+            round: RoundId(7),
+            amount: 1.0,
+        };
         assert_eq!(m.round(), RoundId(7));
         assert_eq!(m.kind(), "payment");
         assert_eq!(m.machine(), None);
-        assert_eq!(Message::RequestBid { round: RoundId(0) }.kind(), "request-bid");
-        let b = Message::Bid { round: RoundId(7), machine: 4, value: 1.0 };
+        assert_eq!(
+            Message::RequestBid { round: RoundId(0) }.kind(),
+            "request-bid"
+        );
+        let b = Message::Bid {
+            round: RoundId(7),
+            machine: 4,
+            value: 1.0,
+        };
         assert_eq!(b.machine(), Some(4));
     }
 
     #[test]
     fn wire_size_is_compact() {
-        let m = Message::Bid { round: RoundId(1), machine: 3, value: 2.5 };
+        let m = Message::Bid {
+            round: RoundId(1),
+            machine: 3,
+            value: 2.5,
+        };
         // 4 (variant) + 8 (round) + 4 (machine) + 8 (value) = 24 bytes.
         assert_eq!(encode(&m).unwrap().len(), 24);
     }

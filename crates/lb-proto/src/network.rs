@@ -157,7 +157,10 @@ impl SimNetwork {
     /// Panics if `latency` is negative or non-finite.
     #[must_use]
     pub fn with_constant_latency(latency: f64) -> Self {
-        assert!(latency.is_finite() && latency >= 0.0, "SimNetwork: invalid latency");
+        assert!(
+            latency.is_finite() && latency >= 0.0,
+            "SimNetwork: invalid latency"
+        );
         Self::with_latency_fn(move |_, _| latency)
     }
 
@@ -227,7 +230,14 @@ impl SimNetwork {
     /// Emits the `net.send` instant and the message/byte counters for one
     /// frame, tagging the frame's fate (`delivered` / `dropped` /
     /// `corrupted` / `duplicated`).
-    fn note_send(&self, from: Endpoint, to: Endpoint, message: &Message, bytes: usize, fate: &'static str) {
+    fn note_send(
+        &self,
+        from: Endpoint,
+        to: Endpoint,
+        message: &Message,
+        bytes: usize,
+        fate: &'static str,
+    ) {
         if !self.collector.enabled() {
             return;
         }
@@ -243,16 +253,24 @@ impl SimNetwork {
         if let Some(node) = to.node_index().or_else(|| from.node_index()) {
             fields.push(Field::u64("node", u64::from(node)));
         }
-        self.collector.instant(at, "net.send", Subsystem::Network, fields);
-        self.collector.counter(at, "net.messages", Subsystem::Network, 1);
-        self.collector.counter(at, "net.bytes", Subsystem::Network, bytes as u64);
+        self.collector
+            .instant(at, "net.send", Subsystem::Network, fields);
+        self.collector
+            .counter(at, "net.messages", Subsystem::Network, 1);
+        self.collector
+            .counter(at, "net.bytes", Subsystem::Network, bytes as u64);
     }
 
     /// Sends `message` from `from` to `to`, encoding it to wire form.
     ///
     /// # Errors
     /// Propagates codec errors (which indicate a bug in the message types).
-    pub fn send(&mut self, from: Endpoint, to: Endpoint, message: &Message) -> Result<(), CodecError> {
+    pub fn send(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        message: &Message,
+    ) -> Result<(), CodecError> {
         let payload = encode(message)?;
         let size = payload.len();
         self.stats.messages += 1;
@@ -295,11 +313,27 @@ impl SimNetwork {
         );
         let base = (self.latency)(from, to).max(0.0);
         let delay = base + fate.extra_delay.max(0.0);
-        self.queue.schedule_in(delay, Frame { from, to, payload: payload.clone(), corrupt: fate.corrupt });
+        self.queue.schedule_in(
+            delay,
+            Frame {
+                from,
+                to,
+                payload: payload.clone(),
+                corrupt: fate.corrupt,
+            },
+        );
         if fate.duplicate {
             self.duplicated += 1;
             let dup_delay = base + fate.duplicate_extra_delay.max(0.0);
-            self.queue.schedule_in(dup_delay, Frame { from, to, payload, corrupt: fate.corrupt });
+            self.queue.schedule_in(
+                dup_delay,
+                Frame {
+                    from,
+                    to,
+                    payload,
+                    corrupt: fate.corrupt,
+                },
+            );
         }
         Ok(())
     }
@@ -321,7 +355,12 @@ impl SimNetwork {
                     )));
                 }
                 let message: Message = decode(&frame.payload)?;
-                Ok(Some(Delivery { from: frame.from, to: frame.to, message, at }))
+                Ok(Some(Delivery {
+                    from: frame.from,
+                    to: frame.to,
+                    message,
+                    at,
+                }))
             }
         }
     }
@@ -351,7 +390,11 @@ impl SimNetwork {
                             Field::str("to", frame.to.label()),
                         ],
                     );
-                    return Ok(Some(NetPoll::Corrupt { from: frame.from, to: frame.to, at }));
+                    return Ok(Some(NetPoll::Corrupt {
+                        from: frame.from,
+                        to: frame.to,
+                        at,
+                    }));
                 }
                 let message: Message = decode(&frame.payload)?;
                 self.collector.instant(
@@ -364,7 +407,12 @@ impl SimNetwork {
                         Field::str("to", frame.to.label()),
                     ],
                 );
-                Ok(Some(NetPoll::Frame(Delivery { from: frame.from, to: frame.to, message, at })))
+                Ok(Some(NetPoll::Frame(Delivery {
+                    from: frame.from,
+                    to: frame.to,
+                    message,
+                    at,
+                })))
             }
         }
     }
@@ -413,8 +461,10 @@ mod tests {
     fn messages_flow_and_are_counted() {
         let mut net = SimNetwork::with_constant_latency(0.01);
         let m = Message::RequestBid { round: RoundId(1) };
-        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
-        net.send(Endpoint::Coordinator, Endpoint::Node(1), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m)
+            .unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(1), &m)
+            .unwrap();
         assert_eq!(net.pending(), 2);
         assert_eq!(net.stats().messages, 2);
         assert!(net.stats().bytes > 0);
@@ -435,8 +485,10 @@ mod tests {
             _ => 0.1,
         });
         let m = Message::RequestBid { round: RoundId(1) };
-        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
-        net.send(Endpoint::Coordinator, Endpoint::Node(1), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m)
+            .unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(1), &m)
+            .unwrap();
         let first = net.deliver_next().unwrap().unwrap();
         assert_eq!(first.to, Endpoint::Node(1));
     }
@@ -456,12 +508,20 @@ mod tests {
     #[test]
     fn fate_drop_loses_the_frame() {
         let mut net = SimNetwork::with_constant_latency(0.01);
-        net.set_fate_fn(|_, _, _| FrameFate { drop: true, ..FrameFate::deliver() });
+        net.set_fate_fn(|_, _, _| FrameFate {
+            drop: true,
+            ..FrameFate::deliver()
+        });
         let m = Message::RequestBid { round: RoundId(1) };
-        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m)
+            .unwrap();
         assert_eq!(net.pending(), 0);
         assert_eq!(net.dropped(), 1);
-        assert_eq!(net.stats().messages, 1, "dropped frames still count as sent");
+        assert_eq!(
+            net.stats().messages,
+            1,
+            "dropped frames still count as sent"
+        );
     }
 
     #[test]
@@ -473,10 +533,15 @@ mod tests {
             ..FrameFate::deliver()
         });
         let m = Message::RequestBid { round: RoundId(1) };
-        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m)
+            .unwrap();
         assert_eq!(net.pending(), 2);
         assert_eq!(net.duplicated(), 1);
-        assert_eq!(net.stats().messages, 1, "duplicates are link noise, not protocol messages");
+        assert_eq!(
+            net.stats().messages,
+            1,
+            "duplicates are link noise, not protocol messages"
+        );
         let first = net.deliver_next().unwrap().unwrap();
         let second = net.deliver_next().unwrap().unwrap();
         assert_eq!(first.message, m);
@@ -487,9 +552,13 @@ mod tests {
     #[test]
     fn fate_corrupt_is_always_detected() {
         let mut net = SimNetwork::with_constant_latency(0.01);
-        net.set_fate_fn(|_, _, _| FrameFate { corrupt: true, ..FrameFate::deliver() });
+        net.set_fate_fn(|_, _, _| FrameFate {
+            corrupt: true,
+            ..FrameFate::deliver()
+        });
         let m = Message::RequestBid { round: RoundId(1) };
-        net.send(Endpoint::Coordinator, Endpoint::Node(3), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(3), &m)
+            .unwrap();
         assert_eq!(net.corrupted(), 1);
         match net.poll().unwrap().unwrap() {
             NetPoll::Corrupt { to, .. } => assert_eq!(to, Endpoint::Node(3)),
@@ -500,9 +569,13 @@ mod tests {
     #[test]
     fn fate_jitter_delays_delivery() {
         let mut net = SimNetwork::with_constant_latency(0.01);
-        net.set_fate_fn(|_, _, _| FrameFate { extra_delay: 0.1, ..FrameFate::deliver() });
+        net.set_fate_fn(|_, _, _| FrameFate {
+            extra_delay: 0.1,
+            ..FrameFate::deliver()
+        });
         let m = Message::RequestBid { round: RoundId(1) };
-        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m)
+            .unwrap();
         let d = net.deliver_next().unwrap().unwrap();
         assert!((d.at.seconds() - 0.11).abs() < 1e-12);
     }
@@ -518,9 +591,11 @@ mod tests {
             seen[i as usize] == 1
         });
         let m = Message::RequestBid { round: RoundId(1) };
-        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m)
+            .unwrap();
         assert_eq!(net.pending(), 0);
-        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m)
+            .unwrap();
         assert_eq!(net.pending(), 1);
         assert_eq!(net.dropped(), 1);
     }
@@ -537,15 +612,21 @@ mod tests {
         net.set_fate_fn(move |_, _, _| {
             if first {
                 first = false;
-                FrameFate { drop: true, ..FrameFate::deliver() }
+                FrameFate {
+                    drop: true,
+                    ..FrameFate::deliver()
+                }
             } else {
                 FrameFate::deliver()
             }
         });
         let m = Message::RequestBid { round: RoundId(1) };
-        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
-        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
-        net.send(Endpoint::Coordinator, Endpoint::Node(1), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m)
+            .unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m)
+            .unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(1), &m)
+            .unwrap();
         while let Some(_poll) = net.poll().unwrap() {}
 
         let mut reg = MetricsRegistry::new();
@@ -556,8 +637,11 @@ mod tests {
         assert_eq!(reg.counter("net.fate.delivered"), 2);
         assert_eq!(reg.counter("net.machine.0"), 2);
         assert_eq!(reg.counter("net.machine.1"), 1);
-        let deliveries =
-            ring.snapshot().iter().filter(|e| e.name == "net.deliver").count();
+        let deliveries = ring
+            .snapshot()
+            .iter()
+            .filter(|e| e.name == "net.deliver")
+            .count();
         assert_eq!(deliveries, 2);
     }
 
@@ -567,9 +651,13 @@ mod tests {
         let ring = Arc::new(RingCollector::new(32));
         let mut net = SimNetwork::with_constant_latency(0.01);
         net.set_collector(ring.clone());
-        net.set_fate_fn(|_, _, _| FrameFate { corrupt: true, ..FrameFate::deliver() });
+        net.set_fate_fn(|_, _, _| FrameFate {
+            corrupt: true,
+            ..FrameFate::deliver()
+        });
         let m = Message::RequestBid { round: RoundId(1) };
-        net.send(Endpoint::Coordinator, Endpoint::Node(3), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(3), &m)
+            .unwrap();
         let _ = net.poll().unwrap().unwrap();
         let events = ring.snapshot();
         assert!(events.iter().any(|e| e.name == "net.corrupt"));
@@ -584,7 +672,8 @@ mod tests {
     fn advance_to_interleaves_timers_with_arrivals() {
         let mut net = SimNetwork::with_constant_latency(0.5);
         let m = Message::RequestBid { round: RoundId(1) };
-        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m).unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(0), &m)
+            .unwrap();
         assert_eq!(net.next_arrival_time(), Some(SimTime::new(0.5)));
         net.advance_to(SimTime::new(0.25));
         assert_eq!(net.now(), SimTime::new(0.25));

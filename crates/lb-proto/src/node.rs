@@ -25,8 +25,15 @@ impl NodeSpec {
     /// Panics unless `true_value` is finite and positive.
     #[must_use]
     pub fn truthful(true_value: f64) -> Self {
-        assert!(true_value.is_finite() && true_value > 0.0, "NodeSpec: invalid true value");
-        Self { true_value, bid: true_value, exec_value: true_value }
+        assert!(
+            true_value.is_finite() && true_value > 0.0,
+            "NodeSpec: invalid true value"
+        );
+        Self {
+            true_value,
+            bid: true_value,
+            exec_value: true_value,
+        }
     }
 
     /// A strategic node with explicit bid and execution values.
@@ -36,19 +43,27 @@ impl NodeSpec {
     /// cannot run faster than their capacity).
     #[must_use]
     pub fn strategic(true_value: f64, bid: f64, exec_value: f64) -> Self {
-        assert!(true_value.is_finite() && true_value > 0.0, "NodeSpec: invalid true value");
+        assert!(
+            true_value.is_finite() && true_value > 0.0,
+            "NodeSpec: invalid true value"
+        );
         assert!(bid.is_finite() && bid > 0.0, "NodeSpec: invalid bid");
         assert!(
             exec_value.is_finite() && exec_value >= true_value,
             "NodeSpec: exec value must be >= true value"
         );
-        Self { true_value, bid, exec_value }
+        Self {
+            true_value,
+            bid,
+            exec_value,
+        }
     }
 
     /// Whether this node is fully truthful.
     #[must_use]
     pub fn is_truthful(&self) -> bool {
-        (self.bid - self.true_value).abs() < 1e-12 && (self.exec_value - self.true_value).abs() < 1e-12
+        (self.bid - self.true_value).abs() < 1e-12
+            && (self.exec_value - self.true_value).abs() < 1e-12
     }
 }
 
@@ -69,7 +84,12 @@ impl NodeAgent {
     /// Creates a node agent.
     #[must_use]
     pub fn new(machine: u32, spec: NodeSpec) -> Self {
-        Self { machine, spec, assigned_rate: None, payment: None }
+        Self {
+            machine,
+            spec,
+            assigned_rate: None,
+            payment: None,
+        }
     }
 
     /// Handles an incoming coordinator message, possibly producing a reply.
@@ -88,7 +108,10 @@ impl NodeAgent {
                 self.assigned_rate = Some(rate);
                 // Execution itself is simulated by the coordinator's
                 // measurement plane; the node just acknowledges completion.
-                Some(Message::ExecutionDone { round, machine: self.machine })
+                Some(Message::ExecutionDone {
+                    round,
+                    machine: self.machine,
+                })
             }
             Message::Payment { amount, .. } => {
                 self.payment = Some(amount);
@@ -153,13 +176,22 @@ mod tests {
         let mut node = NodeAgent::new(3, NodeSpec::truthful(2.0));
         let round = RoundId(5);
         let bid = node.handle(&Message::RequestBid { round }).unwrap();
-        assert_eq!(bid, Message::Bid { round, machine: 3, value: 2.0 });
+        assert_eq!(
+            bid,
+            Message::Bid {
+                round,
+                machine: 3,
+                value: 2.0
+            }
+        );
 
         let done = node.handle(&Message::Assign { round, rate: 1.5 }).unwrap();
         assert_eq!(done, Message::ExecutionDone { round, machine: 3 });
         assert_eq!(node.assigned_rate, Some(1.5));
 
-        assert!(node.handle(&Message::Payment { round, amount: 7.0 }).is_none());
+        assert!(node
+            .handle(&Message::Payment { round, amount: 7.0 })
+            .is_none());
         assert_eq!(node.payment, Some(7.0));
 
         let u = node.utility(ValuationModel::PerJobLatency).unwrap();
@@ -175,8 +207,14 @@ mod tests {
     #[test]
     fn reset_clears_round_state() {
         let mut node = NodeAgent::new(0, NodeSpec::truthful(1.0));
-        node.handle(&Message::Assign { round: RoundId(0), rate: 1.0 });
-        node.handle(&Message::Payment { round: RoundId(0), amount: 1.0 });
+        node.handle(&Message::Assign {
+            round: RoundId(0),
+            rate: 1.0,
+        });
+        node.handle(&Message::Payment {
+            round: RoundId(0),
+            amount: 1.0,
+        });
         node.reset();
         assert!(node.assigned_rate.is_none());
         assert!(node.payment.is_none());
@@ -186,6 +224,10 @@ mod tests {
     #[should_panic(expected = "node-originated")]
     fn routing_violation_panics() {
         let mut node = NodeAgent::new(0, NodeSpec::truthful(1.0));
-        node.handle(&Message::Bid { round: RoundId(0), machine: 1, value: 1.0 });
+        node.handle(&Message::Bid {
+            round: RoundId(0),
+            machine: 1,
+            value: 1.0,
+        });
     }
 }

@@ -29,7 +29,11 @@ pub struct ProtocolConfig {
 
 impl Default for ProtocolConfig {
     fn default() -> Self {
-        Self { total_rate: 20.0, link_latency: 0.001, simulation: SimulationConfig::default() }
+        Self {
+            total_rate: 20.0,
+            link_latency: 0.001,
+            simulation: SimulationConfig::default(),
+        }
     }
 }
 
@@ -96,7 +100,10 @@ pub fn run_protocol_round_observed<M: VerifiedMechanism>(
     config: &ProtocolConfig,
     collector: Arc<dyn Collector>,
 ) -> Result<(ProtocolOutcome, crate::trace::RoundTrace), MechanismError> {
-    assert!(!specs.is_empty(), "run_protocol_round: need at least one node");
+    assert!(
+        !specs.is_empty(),
+        "run_protocol_round: need at least one node"
+    );
     let n = specs.len();
     let round = RoundId(0);
 
@@ -126,14 +133,18 @@ pub fn run_protocol_round_observed<M: VerifiedMechanism>(
                     &msg,
                 )
                 .map_err(|e| {
-                    MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+                    MechanismError::Core(lb_core::CoreError::Infeasible {
+                        reason: e.to_string(),
+                    })
                 })?;
         }
 
         // Event loop: deliver frames until the network drains.
         let mut trace = crate::trace::RoundTrace::default();
         while let Some(delivery) = network.deliver_next().map_err(|e| {
-            MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+            MechanismError::Core(lb_core::CoreError::Infeasible {
+                reason: e.to_string(),
+            })
         })? {
             trace.entries.push(crate::trace::TraceEntry {
                 at: delivery.at.seconds(),
@@ -145,26 +156,26 @@ pub fn run_protocol_round_observed<M: VerifiedMechanism>(
                 Endpoint::Node(i) => {
                     let reply = nodes[i as usize].handle(&delivery.message);
                     if let Some(msg) = reply {
-                        network.send(Endpoint::Node(i), Endpoint::Coordinator, &msg).map_err(
-                            |e| {
+                        network
+                            .send(Endpoint::Node(i), Endpoint::Coordinator, &msg)
+                            .map_err(|e| {
                                 MechanismError::Core(lb_core::CoreError::Infeasible {
                                     reason: e.to_string(),
                                 })
-                            },
-                        )?;
+                            })?;
                     }
                 }
                 Endpoint::Coordinator => {
                     coordinator.set_now(delivery.at.seconds());
                     let outgoing = coordinator.handle(&delivery.message, &actual_exec)?;
                     for (i, msg) in outgoing {
-                        network.send(Endpoint::Coordinator, Endpoint::Node(i), &msg).map_err(
-                            |e| {
+                        network
+                            .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
+                            .map_err(|e| {
                                 MechanismError::Core(lb_core::CoreError::Infeasible {
                                     reason: e.to_string(),
                                 })
-                            },
-                        )?;
+                            })?;
                     }
                 }
             }
@@ -180,12 +191,21 @@ pub fn run_protocol_round_observed<M: VerifiedMechanism>(
         }
     };
 
-    assert_eq!(coordinator.phase(), CoordinatorPhase::Done, "protocol did not complete");
+    assert_eq!(
+        coordinator.phase(),
+        CoordinatorPhase::Done,
+        "protocol did not complete"
+    );
     let model = mechanism.valuation_model();
-    let utilities: Vec<f64> =
-        nodes.iter().map(|node| node.utility(model).expect("round settled")).collect();
+    let utilities: Vec<f64> = nodes
+        .iter()
+        .map(|node| node.utility(model).expect("round settled"))
+        .collect();
     let outcome = ProtocolOutcome {
-        rates: nodes.iter().map(|nd| nd.assigned_rate.expect("assigned")).collect(),
+        rates: nodes
+            .iter()
+            .map(|nd| nd.assigned_rate.expect("assigned"))
+            .collect(),
         payments: nodes.iter().map(|nd| nd.payment.expect("paid")).collect(),
         utilities,
         estimated_exec_values: coordinator
@@ -246,15 +266,24 @@ mod tests {
 
         for i in 0..trues.len() {
             assert!((outcome.rates[i] - direct.allocation.rate(i)).abs() < 1e-9);
-            assert!((outcome.payments[i] - direct.payments[i]).abs() < 1e-6, "payment {i}");
-            assert!((outcome.utilities[i] - direct.utilities[i]).abs() < 1e-6, "utility {i}");
+            assert!(
+                (outcome.payments[i] - direct.payments[i]).abs() < 1e-6,
+                "payment {i}"
+            );
+            assert!(
+                (outcome.utilities[i] - direct.utilities[i]).abs() < 1e-6,
+                "utility {i}"
+            );
         }
     }
 
     #[test]
     fn traced_round_passes_replay_check() {
         let mech = CompensationBonusMechanism::paper();
-        let specs: Vec<NodeSpec> = paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let specs: Vec<NodeSpec> = paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect();
         let (outcome, trace) = run_protocol_round_traced(&mech, &specs, &config()).unwrap();
         assert_eq!(trace.entries.len() as u64, outcome.stats.messages);
         let violations = crate::trace::replay_check(&trace, specs.len());
@@ -265,8 +294,10 @@ mod tests {
     fn observed_round_replays_cleanly_and_matches_the_wire_stats() {
         use lb_telemetry::{replay_spans, MetricsRegistry, RingCollector};
         let mech = CompensationBonusMechanism::paper();
-        let specs: Vec<NodeSpec> =
-            paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let specs: Vec<NodeSpec> = paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect();
         let ring = Arc::new(RingCollector::new(16_384));
         let (outcome, trace) =
             run_protocol_round_observed(&mech, &specs, &config(), ring.clone()).unwrap();
@@ -274,8 +305,16 @@ mod tests {
         let events = ring.snapshot();
         let spans = replay_spans(&events).expect("recording replays cleanly");
         assert_eq!(spans.iter().filter(|s| s.name == "round").count(), 1);
-        for phase in ["phase.collect_bids", "phase.allocate", "phase.execute", "phase.settle"] {
-            assert!(spans.iter().any(|s| s.name == phase && s.depth == 1), "missing {phase}");
+        for phase in [
+            "phase.collect_bids",
+            "phase.allocate",
+            "phase.execute",
+            "phase.settle",
+        ] {
+            assert!(
+                spans.iter().any(|s| s.name == phase && s.depth == 1),
+                "missing {phase}"
+            );
         }
 
         let mut reg = MetricsRegistry::new();
@@ -310,8 +349,17 @@ mod tests {
         // C1 bids truthfully but executes twice as slow (paper's True2).
         specs[0] = NodeSpec::strategic(1.0, 1.0, 2.0);
         let lazy = run_protocol_round(&mech, &specs, &config()).unwrap();
-        assert!((lazy.estimated_exec_values[0] - 2.0).abs() < 1e-9, "laziness not detected");
-        assert!(lazy.payments[0] < honest.payments[0], "laziness not penalized");
-        assert!(lazy.utilities[0] < honest.utilities[0], "laziness profitable");
+        assert!(
+            (lazy.estimated_exec_values[0] - 2.0).abs() < 1e-9,
+            "laziness not detected"
+        );
+        assert!(
+            lazy.payments[0] < honest.payments[0],
+            "laziness not penalized"
+        );
+        assert!(
+            lazy.utilities[0] < honest.utilities[0],
+            "laziness profitable"
+        );
     }
 }

@@ -106,7 +106,11 @@ where
         total_bytes += outcome.stats.bytes;
         outcomes.push(outcome);
     }
-    Ok(SessionReport { rounds: outcomes, total_messages, total_bytes })
+    Ok(SessionReport {
+        rounds: outcomes,
+        total_messages,
+        total_bytes,
+    })
 }
 
 /// Per-machine health state a chaos session tracks across rounds.
@@ -151,13 +155,28 @@ impl ChaosSessionConfig {
     #[must_use]
     pub fn new(rounds: u32, chaos: ChaosConfig) -> Self {
         assert!(rounds > 0, "ChaosSessionConfig: need at least one round");
-        Self { rounds, chaos, quarantine_after: 2, quarantine_rounds: 1, max_quarantine_rounds: 8 }
+        Self {
+            rounds,
+            chaos,
+            quarantine_after: 2,
+            quarantine_rounds: 1,
+            max_quarantine_rounds: 8,
+        }
     }
 
     fn validate(&self) {
-        assert!(self.rounds > 0, "ChaosSessionConfig: need at least one round");
-        assert!(self.quarantine_after >= 1, "ChaosSessionConfig: quarantine_after must be >= 1");
-        assert!(self.quarantine_rounds >= 1, "ChaosSessionConfig: quarantine_rounds must be >= 1");
+        assert!(
+            self.rounds > 0,
+            "ChaosSessionConfig: need at least one round"
+        );
+        assert!(
+            self.quarantine_after >= 1,
+            "ChaosSessionConfig: quarantine_after must be >= 1"
+        );
+        assert!(
+            self.quarantine_rounds >= 1,
+            "ChaosSessionConfig: quarantine_rounds must be >= 1"
+        );
         assert!(
             self.max_quarantine_rounds >= self.quarantine_rounds,
             "ChaosSessionConfig: max_quarantine_rounds must be >= quarantine_rounds"
@@ -288,7 +307,10 @@ where
 
     for round in 0..session.rounds {
         let specs = policy(round, last_settled.as_ref());
-        assert!(!specs.is_empty(), "run_chaos_session: policy returned no nodes");
+        assert!(
+            !specs.is_empty(),
+            "run_chaos_session: policy returned no nodes"
+        );
         let n = specs.len();
         let runtime = runtime.get_or_insert_with(|| {
             health = vec![MachineHealth::default(); n];
@@ -296,10 +318,16 @@ where
             rt.set_collector(Arc::clone(&collector));
             rt
         });
-        assert_eq!(health.len(), n, "run_chaos_session: machine count changed mid-session");
+        assert_eq!(
+            health.len(),
+            n,
+            "run_chaos_session: machine count changed mid-session"
+        );
 
-        let mut active: Vec<bool> =
-            health.iter().map(|h| round >= h.quarantined_until).collect();
+        let mut active: Vec<bool> = health
+            .iter()
+            .map(|h| round >= h.quarantined_until)
+            .collect();
         if active.iter().filter(|&&a| a).count() < 2 {
             // Quarantine must never starve the mechanism below its minimum
             // participation: give everyone another chance instead.
@@ -427,8 +455,10 @@ mod tests {
     #[test]
     fn constant_policy_session_accumulates_linearly() {
         let mech = CompensationBonusMechanism::paper();
-        let specs: Vec<NodeSpec> =
-            paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let specs: Vec<NodeSpec> = paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect();
         let report = run_session(&mech, &config(), 5, |_, _| specs.clone()).unwrap();
         assert_eq!(report.len(), 5);
         assert_eq!(report.total_messages, 5 * 80);
@@ -504,7 +534,9 @@ mod chaos_tests {
     }
 
     fn specs(n: usize) -> Vec<NodeSpec> {
-        (0..n).map(|i| NodeSpec::truthful(1.0 + i as f64 * 0.5)).collect()
+        (0..n)
+            .map(|i| NodeSpec::truthful(1.0 + i as f64 * 0.5))
+            .collect()
     }
 
     #[test]
@@ -513,8 +545,7 @@ mod chaos_tests {
         let specs = specs(6);
         let plain = run_session(&mech, &config(), 4, |_, _| specs.clone()).unwrap();
         let session = ChaosSessionConfig::new(4, ChaosConfig::reliable(0));
-        let report =
-            run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+        let report = run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
 
         assert_eq!(report.rounds.len(), 4);
         assert_eq!(report.aborted_rounds, 0);
@@ -525,7 +556,10 @@ mod chaos_tests {
         assert_eq!(report.total_bytes, plain.total_bytes);
         for (r, result) in report.rounds.iter().enumerate() {
             let settled = result.settled().expect("reliable round settles");
-            assert_eq!(settled.outcome.payments, plain.rounds[r].payments, "round {r}");
+            assert_eq!(
+                settled.outcome.payments, plain.rounds[r].payments,
+                "round {r}"
+            );
             assert_eq!(settled.outcome.rates, plain.rounds[r].rates, "round {r}");
         }
         assert!(report.health.iter().all(|h| *h == MachineHealth::default()));
@@ -540,20 +574,33 @@ mod chaos_tests {
         let mech = CompensationBonusMechanism::paper();
         let specs = specs(3);
         let chaos = ChaosConfig {
-            plan: FaultPlan { lose_bid_attempts: vec![(0, 4)], ..FaultPlan::none() },
+            plan: FaultPlan {
+                lose_bid_attempts: vec![(0, 4)],
+                ..FaultPlan::none()
+            },
             ..ChaosConfig::reliable(1)
         };
-        let session = ChaosSessionConfig { quarantine_after: 1, ..ChaosSessionConfig::new(3, chaos) };
-        let report =
-            run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+        let session = ChaosSessionConfig {
+            quarantine_after: 1,
+            ..ChaosSessionConfig::new(3, chaos)
+        };
+        let report = run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
 
-        let r0 = report.rounds[0].settled().expect("round 0 settles over the other two");
-        assert!(r0.excluded[0], "round 0: machine 0 silent through every retry");
+        let r0 = report.rounds[0]
+            .settled()
+            .expect("round 0 settles over the other two");
+        assert!(
+            r0.excluded[0],
+            "round 0: machine 0 silent through every retry"
+        );
         assert_eq!(r0.retries, 3, "round 0 spends the full retry budget");
 
         let r1 = report.rounds[1].settled().expect("round 1 settles");
         assert!(r1.excluded[0], "round 1: machine 0 quarantined up front");
-        assert_eq!(r1.retries, 0, "no retransmission budget wasted on a quarantined machine");
+        assert_eq!(
+            r1.retries, 0,
+            "no retransmission budget wasted on a quarantined machine"
+        );
 
         let r2 = report.rounds[2].settled().expect("round 2 settles");
         assert!(!r2.excluded[0], "round 2: machine 0 is back");
@@ -573,7 +620,10 @@ mod chaos_tests {
         let mech = CompensationBonusMechanism::paper();
         let specs = specs(3);
         let chaos = ChaosConfig {
-            plan: FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() },
+            plan: FaultPlan {
+                lose_bids_from: vec![0],
+                ..FaultPlan::none()
+            },
             ..ChaosConfig::reliable(2)
         };
         let session = ChaosSessionConfig {
@@ -582,18 +632,22 @@ mod chaos_tests {
             max_quarantine_rounds: 2,
             ..ChaosSessionConfig::new(7, chaos)
         };
-        let report =
-            run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+        let report = run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
 
         // Active (and excluded) in rounds 0, 2, 5; quarantined 1, 3-4, 6.
         assert_eq!(report.aborted_rounds, 0);
         assert_eq!(report.health[0].total_exclusions, 3);
         assert_eq!(report.health[0].quarantine_spells, 3);
-        assert_eq!(report.health[0].last_spell, 2, "spell doubled then hit the cap");
+        assert_eq!(
+            report.health[0].last_spell, 2,
+            "spell doubled then hit the cap"
+        );
         assert_eq!(report.total_retries, 9, "3 active rounds x 3 retries");
         assert_eq!(report.readmissions, 0);
         for result in &report.rounds {
-            let settled = result.settled().expect("two healthy machines keep settling");
+            let settled = result
+                .settled()
+                .expect("two healthy machines keep settling");
             assert!(settled.excluded[0]);
             let total: f64 = settled.outcome.rates.iter().sum();
             assert!((total - RATE).abs() < 1e-6);
@@ -611,12 +665,14 @@ mod chaos_tests {
         let mech = CompensationBonusMechanism::paper();
         let specs = specs(2);
         let chaos = ChaosConfig {
-            plan: FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() },
+            plan: FaultPlan {
+                lose_bids_from: vec![0],
+                ..FaultPlan::none()
+            },
             ..ChaosConfig::reliable(3)
         };
         let session = ChaosSessionConfig::new(2, chaos);
-        let report =
-            run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+        let report = run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
         assert_eq!(report.rounds.len(), 2);
         assert_eq!(report.aborted_rounds, 2);
         assert!(report.rounds.iter().all(|r| r.settled().is_none()));

@@ -22,7 +22,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn codec_err(e: CodecError) -> MechanismError {
-    MechanismError::Core(lb_core::CoreError::Infeasible { reason: e.to_string() })
+    MechanismError::Core(lb_core::CoreError::Infeasible {
+        reason: e.to_string(),
+    })
 }
 
 fn chan_err(context: &str) -> MechanismError {
@@ -70,7 +72,10 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
     config: &ProtocolConfig,
     collector: Arc<dyn Collector>,
 ) -> Result<ProtocolOutcome, MechanismError> {
-    assert!(!specs.is_empty(), "run_protocol_round_threaded: need at least one node");
+    assert!(
+        !specs.is_empty(),
+        "run_protocol_round_threaded: need at least one node"
+    );
     let n = specs.len();
     let round = RoundId(0);
     let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
@@ -99,8 +104,7 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
             // so an early `?` return drops every sender, unblocking worker
             // `recv`s and letting the scope join instead of deadlocking.
             type NodeFrame = (u32, Result<Bytes, CodecError>);
-            let (to_coord_tx, to_coord_rx): (Sender<NodeFrame>, Receiver<NodeFrame>) =
-                unbounded();
+            let (to_coord_tx, to_coord_rx): (Sender<NodeFrame>, Receiver<NodeFrame>) = unbounded();
             let mut to_node_txs: Vec<Sender<Option<Bytes>>> = Vec::with_capacity(n);
             let mut node_rxs: Vec<Receiver<Option<Bytes>>> = Vec::with_capacity(n);
             for _ in 0..n {
@@ -162,12 +166,15 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
                 for (i, msg) in coordinator.open().into_iter().enumerate() {
                     let payload = encode(&msg).map_err(codec_err)?;
                     count(&stats, &payload);
-                    to_node_txs[i].send(Some(payload)).map_err(|_| chan_err("node hung up"))?;
+                    to_node_txs[i]
+                        .send(Some(payload))
+                        .map_err(|_| chan_err("node hung up"))?;
                 }
 
                 while coordinator.phase() != CoordinatorPhase::Done {
-                    let (_, frame) =
-                        to_coord_rx.recv().map_err(|_| chan_err("all nodes hung up"))?;
+                    let (_, frame) = to_coord_rx
+                        .recv()
+                        .map_err(|_| chan_err("all nodes hung up"))?;
                     let frame = frame.map_err(codec_err)?;
                     let message: Message = decode(&frame).map_err(codec_err)?;
                     coordinator.set_now(epoch.elapsed().as_secs_f64());
@@ -197,7 +204,10 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
             while to_coord_rx.try_recv().is_ok() {}
 
             let payments = coordinator.payments().expect("settled").to_vec();
-            let estimated = coordinator.estimated_exec_values().expect("verified").to_vec();
+            let estimated = coordinator
+                .estimated_exec_values()
+                .expect("verified")
+                .to_vec();
             let _ = estimated;
             Ok((payments, *stats.lock()))
         })
@@ -225,7 +235,13 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
         estimated = report.estimated_exec_values;
     }
 
-    Ok(ProtocolOutcome { rates, payments, utilities, estimated_exec_values: estimated, stats })
+    Ok(ProtocolOutcome {
+        rates,
+        payments,
+        utilities,
+        estimated_exec_values: estimated,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -265,8 +281,14 @@ mod tests {
         assert_eq!(st.rates.len(), mt.rates.len());
         for i in 0..specs.len() {
             assert!((st.rates[i] - mt.rates[i]).abs() < 1e-12, "rate {i}");
-            assert!((st.payments[i] - mt.payments[i]).abs() < 1e-9, "payment {i}");
-            assert!((st.utilities[i] - mt.utilities[i]).abs() < 1e-9, "utility {i}");
+            assert!(
+                (st.payments[i] - mt.payments[i]).abs() < 1e-9,
+                "payment {i}"
+            );
+            assert!(
+                (st.utilities[i] - mt.utilities[i]).abs() < 1e-9,
+                "utility {i}"
+            );
             assert!(
                 (st.estimated_exec_values[i] - mt.estimated_exec_values[i]).abs() < 1e-12,
                 "estimate {i}"
@@ -292,8 +314,10 @@ mod tests {
     fn observed_threaded_round_records_replayable_spans() {
         use lb_telemetry::{replay_spans, MetricsRegistry, RingCollector};
         let mech = CompensationBonusMechanism::paper();
-        let specs: Vec<NodeSpec> =
-            paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let specs: Vec<NodeSpec> = paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect();
         let ring = Arc::new(RingCollector::new(16_384));
         let outcome =
             run_protocol_round_threaded_observed(&mech, &specs, &config(), ring.clone()).unwrap();
@@ -314,7 +338,10 @@ mod tests {
     #[test]
     fn threaded_round_is_repeatable() {
         let mech = CompensationBonusMechanism::paper();
-        let specs: Vec<NodeSpec> = paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+        let specs: Vec<NodeSpec> = paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect();
         let a = run_protocol_round_threaded(&mech, &specs, &config()).unwrap();
         let b = run_protocol_round_threaded(&mech, &specs, &config()).unwrap();
         assert_eq!(a.payments, b.payments);

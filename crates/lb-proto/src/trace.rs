@@ -166,8 +166,9 @@ impl AnomalyStats {
         self.stale_rounds = self.stale_rounds.saturating_add(other.stale_rounds);
         self.wrong_phase = self.wrong_phase.saturating_add(other.wrong_phase);
         self.unsolicited = self.unsolicited.saturating_add(other.unsolicited);
-        self.stale_after_exclusion =
-            self.stale_after_exclusion.saturating_add(other.stale_after_exclusion);
+        self.stale_after_exclusion = self
+            .stale_after_exclusion
+            .saturating_add(other.stale_after_exclusion);
         self.corrupt_frames = self.corrupt_frames.saturating_add(other.corrupt_frames);
         self.misrouted = self.misrouted.saturating_add(other.misrouted);
     }
@@ -267,16 +268,92 @@ mod tests {
         let r = RoundId(0);
         RoundTrace {
             entries: vec![
-                TraceEntry { at: 0.0, from: Endpoint::Coordinator, to: Endpoint::Node(0), message: Message::RequestBid { round: r } },
-                TraceEntry { at: 0.0, from: Endpoint::Coordinator, to: Endpoint::Node(1), message: Message::RequestBid { round: r } },
-                TraceEntry { at: 0.1, from: Endpoint::Node(0), to: Endpoint::Coordinator, message: Message::Bid { round: r, machine: 0, value: 1.0 } },
-                TraceEntry { at: 0.2, from: Endpoint::Node(1), to: Endpoint::Coordinator, message: Message::Bid { round: r, machine: 1, value: 2.0 } },
-                TraceEntry { at: 0.3, from: Endpoint::Coordinator, to: Endpoint::Node(0), message: Message::Assign { round: r, rate: 2.0 } },
-                TraceEntry { at: 0.3, from: Endpoint::Coordinator, to: Endpoint::Node(1), message: Message::Assign { round: r, rate: 1.0 } },
-                TraceEntry { at: 0.4, from: Endpoint::Node(0), to: Endpoint::Coordinator, message: Message::ExecutionDone { round: r, machine: 0 } },
-                TraceEntry { at: 0.5, from: Endpoint::Node(1), to: Endpoint::Coordinator, message: Message::ExecutionDone { round: r, machine: 1 } },
-                TraceEntry { at: 0.6, from: Endpoint::Coordinator, to: Endpoint::Node(0), message: Message::Payment { round: r, amount: 3.0 } },
-                TraceEntry { at: 0.6, from: Endpoint::Coordinator, to: Endpoint::Node(1), message: Message::Payment { round: r, amount: 1.0 } },
+                TraceEntry {
+                    at: 0.0,
+                    from: Endpoint::Coordinator,
+                    to: Endpoint::Node(0),
+                    message: Message::RequestBid { round: r },
+                },
+                TraceEntry {
+                    at: 0.0,
+                    from: Endpoint::Coordinator,
+                    to: Endpoint::Node(1),
+                    message: Message::RequestBid { round: r },
+                },
+                TraceEntry {
+                    at: 0.1,
+                    from: Endpoint::Node(0),
+                    to: Endpoint::Coordinator,
+                    message: Message::Bid {
+                        round: r,
+                        machine: 0,
+                        value: 1.0,
+                    },
+                },
+                TraceEntry {
+                    at: 0.2,
+                    from: Endpoint::Node(1),
+                    to: Endpoint::Coordinator,
+                    message: Message::Bid {
+                        round: r,
+                        machine: 1,
+                        value: 2.0,
+                    },
+                },
+                TraceEntry {
+                    at: 0.3,
+                    from: Endpoint::Coordinator,
+                    to: Endpoint::Node(0),
+                    message: Message::Assign {
+                        round: r,
+                        rate: 2.0,
+                    },
+                },
+                TraceEntry {
+                    at: 0.3,
+                    from: Endpoint::Coordinator,
+                    to: Endpoint::Node(1),
+                    message: Message::Assign {
+                        round: r,
+                        rate: 1.0,
+                    },
+                },
+                TraceEntry {
+                    at: 0.4,
+                    from: Endpoint::Node(0),
+                    to: Endpoint::Coordinator,
+                    message: Message::ExecutionDone {
+                        round: r,
+                        machine: 0,
+                    },
+                },
+                TraceEntry {
+                    at: 0.5,
+                    from: Endpoint::Node(1),
+                    to: Endpoint::Coordinator,
+                    message: Message::ExecutionDone {
+                        round: r,
+                        machine: 1,
+                    },
+                },
+                TraceEntry {
+                    at: 0.6,
+                    from: Endpoint::Coordinator,
+                    to: Endpoint::Node(0),
+                    message: Message::Payment {
+                        round: r,
+                        amount: 3.0,
+                    },
+                },
+                TraceEntry {
+                    at: 0.6,
+                    from: Endpoint::Coordinator,
+                    to: Endpoint::Node(1),
+                    message: Message::Payment {
+                        round: r,
+                        amount: 1.0,
+                    },
+                },
             ],
         }
     }
@@ -299,13 +376,19 @@ mod tests {
         let mut t = clean_trace();
         t.entries.remove(1); // node 1 never got a request
         let v = replay_check(&t, 2);
-        assert!(v.contains(&TraceViolation::UnsolicitedBid { machine: 1 }), "{v:?}");
+        assert!(
+            v.contains(&TraceViolation::UnsolicitedBid { machine: 1 }),
+            "{v:?}"
+        );
 
         let mut t = clean_trace();
         let dup = t.entries[2].clone();
         t.entries.insert(3, dup);
         let v = replay_check(&t, 2);
-        assert!(v.contains(&TraceViolation::DuplicateBid { machine: 0 }), "{v:?}");
+        assert!(
+            v.contains(&TraceViolation::DuplicateBid { machine: 0 }),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -315,13 +398,18 @@ mod tests {
         let assign = t.entries.remove(4);
         t.entries.insert(3, TraceEntry { at: 0.15, ..assign });
         let v = replay_check(&t, 2);
-        assert!(v.iter().any(|x| matches!(x, TraceViolation::PrematureAssign(_))), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, TraceViolation::PrematureAssign(_))),
+            "{v:?}"
+        );
     }
 
     #[test]
     fn payment_without_assignment_is_flagged() {
         let mut t = clean_trace();
-        t.entries.retain(|e| !matches!(e.message, Message::Assign { .. }));
+        t.entries
+            .retain(|e| !matches!(e.message, Message::Assign { .. }));
         let v = replay_check(&t, 2);
         assert!(
             v.contains(&TraceViolation::PaymentWithoutAssignment { machine: 0 }),
@@ -380,7 +468,10 @@ mod tests {
 
     #[test]
     fn anomaly_stats_saturate_instead_of_overflowing() {
-        let mut a = AnomalyStats { duplicate_bids: u64::MAX, ..AnomalyStats::default() };
+        let mut a = AnomalyStats {
+            duplicate_bids: u64::MAX,
+            ..AnomalyStats::default()
+        };
         // One more duplicate bid must not wrap the counter.
         a.record(Anomaly::DuplicateBid);
         assert_eq!(a.duplicate_bids, u64::MAX);
@@ -390,7 +481,11 @@ mod tests {
         assert_eq!(a.total(), u64::MAX);
 
         // merge() saturates per counter.
-        let mut b = AnomalyStats { duplicate_bids: 1, misrouted: 7, ..AnomalyStats::default() };
+        let mut b = AnomalyStats {
+            duplicate_bids: 1,
+            misrouted: 7,
+            ..AnomalyStats::default()
+        };
         b.merge(&a);
         assert_eq!(b.duplicate_bids, u64::MAX);
         assert_eq!(b.misrouted, 7);
@@ -408,10 +503,11 @@ mod tests {
             Anomaly::CorruptFrame,
             Anomaly::Misrouted,
         ];
-        let names: std::collections::BTreeSet<&str> =
-            kinds.iter().map(|k| k.name()).collect();
+        let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());
-        assert!(names.iter().all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c == '_')));
+        assert!(names
+            .iter()
+            .all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c == '_')));
     }
 
     #[test]

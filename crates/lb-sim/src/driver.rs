@@ -93,7 +93,10 @@ pub fn simulate_round_observed(
     collector: &dyn Collector,
 ) -> Result<RoundReport, CoreError> {
     if actual_exec_values.len() != bids.len() {
-        return Err(CoreError::LengthMismatch { expected: bids.len(), actual: actual_exec_values.len() });
+        return Err(CoreError::LengthMismatch {
+            expected: bids.len(),
+            actual: actual_exec_values.len(),
+        });
     }
     if !(config.horizon.is_finite() && config.horizon > 0.0) {
         return Err(CoreError::InvalidRate(config.horizon));
@@ -132,7 +135,9 @@ pub fn simulate_round_observed(
         );
         let mut rng = base.stream(i as u64);
         let arrivals: Vec<f64> = trace.iter().map(|j| j.arrival).collect();
-        let responses = config.model.responses(&arrivals, actual_exec_values[i], rate, &mut rng);
+        let responses = config
+            .model
+            .responses(&arrivals, actual_exec_values[i], rate, &mut rng);
 
         let mut estimator = ExecValueEstimator::new(config.estimator);
         let mut stats = lb_stats::online::OnlineStats::new();
@@ -222,18 +227,30 @@ pub fn verified_round<M: VerifiedMechanism + ?Sized>(
     profile: &Profile,
     config: &SimulationConfig,
 ) -> Result<VerifiedRound, MechanismError> {
-    let report = simulate_round(profile.bids(), profile.exec_values(), profile.total_rate(), config)?;
+    let report = simulate_round(
+        profile.bids(),
+        profile.exec_values(),
+        profile.total_rate(),
+        config,
+    )?;
 
     // The estimate may come out slightly below an agent's true value due to
     // sampling noise; clamp into validity (the mechanism interface requires
     // positive values, not truth-consistency — the coordinator does not know
     // the truth).
-    let estimated: Vec<f64> =
-        report.estimated_exec_values.iter().map(|&e| e.max(1e-12)).collect();
+    let estimated: Vec<f64> = report
+        .estimated_exec_values
+        .iter()
+        .map(|&e| e.max(1e-12))
+        .collect();
 
     let allocation = mechanism.allocate(profile.bids(), profile.total_rate())?;
-    let payments =
-        mechanism.payments(profile.bids(), &allocation, &estimated, profile.total_rate())?;
+    let payments = mechanism.payments(
+        profile.bids(),
+        &allocation,
+        &estimated,
+        profile.total_rate(),
+    )?;
     // Agents' real utilities are driven by their *actual* costs.
     let valuations: Vec<f64> = allocation
         .rates()
@@ -241,12 +258,26 @@ pub fn verified_round<M: VerifiedMechanism + ?Sized>(
         .zip(profile.exec_values())
         .map(|(&x, &e)| mechanism.valuation(x, e))
         .collect();
-    let utilities: Vec<f64> = payments.iter().zip(&valuations).map(|(p, v)| p + v).collect();
+    let utilities: Vec<f64> = payments
+        .iter()
+        .zip(&valuations)
+        .map(|(p, v)| p + v)
+        .collect();
     let total_latency = mechanism.realised_latency(&allocation, &estimated)?;
-    let outcome = MechanismOutcome { allocation, payments, valuations, utilities, total_latency };
+    let outcome = MechanismOutcome {
+        allocation,
+        payments,
+        valuations,
+        utilities,
+        total_latency,
+    };
 
     let oracle_outcome = run_mechanism(mechanism, profile)?;
-    Ok(VerifiedRound { report, outcome, oracle_outcome })
+    Ok(VerifiedRound {
+        report,
+        outcome,
+        oracle_outcome,
+    })
 }
 
 #[cfg(test)]
@@ -287,7 +318,8 @@ mod tests {
         let trues = paper_true_values();
         let mut exec = trues.clone();
         exec[0] = 2.0; // C1 runs twice as slow.
-        let report = simulate_round(&trues, &exec, PAPER_ARRIVAL_RATE, &deterministic_config()).unwrap();
+        let report =
+            simulate_round(&trues, &exec, PAPER_ARRIVAL_RATE, &deterministic_config()).unwrap();
         assert!((report.estimated_exec_values[0] - 2.0).abs() < 1e-9);
         assert!((report.estimated_exec_values[1] - 1.0).abs() < 1e-9);
     }
@@ -353,9 +385,17 @@ mod tests {
     fn verified_round_payments_match_oracle_in_deterministic_mode() {
         let sys = paper_system();
         let profile = Profile::truthful(&sys, PAPER_ARRIVAL_RATE).unwrap();
-        let vr = verified_round(&CompensationBonusMechanism::paper(), &profile, &deterministic_config())
-            .unwrap();
-        assert!(vr.max_payment_error() < 1e-6, "error {}", vr.max_payment_error());
+        let vr = verified_round(
+            &CompensationBonusMechanism::paper(),
+            &profile,
+            &deterministic_config(),
+        )
+        .unwrap();
+        assert!(
+            vr.max_payment_error() < 1e-6,
+            "error {}",
+            vr.max_payment_error()
+        );
     }
 
     #[test]
@@ -365,9 +405,15 @@ mod tests {
         let lazy = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, 1.0, 2.0).unwrap();
         let mech = CompensationBonusMechanism::paper();
         let cfg = deterministic_config();
-        let p_honest = verified_round(&mech, &honest, &cfg).unwrap().outcome.payments[0];
+        let p_honest = verified_round(&mech, &honest, &cfg)
+            .unwrap()
+            .outcome
+            .payments[0];
         let p_lazy = verified_round(&mech, &lazy, &cfg).unwrap().outcome.payments[0];
-        assert!(p_lazy < p_honest - 1e-6, "lazy {p_lazy} !< honest {p_honest}");
+        assert!(
+            p_lazy < p_honest - 1e-6,
+            "lazy {p_lazy} !< honest {p_honest}"
+        );
     }
 
     #[test]
@@ -410,13 +456,21 @@ mod tests {
             warmup: 500.0,
             estimator: EstimatorConfig::default(),
         };
-        let calm = simulate_round(&trues, &trues, rate, &mk(crate::workload::WorkloadModel::Poisson))
-            .unwrap();
+        let calm = simulate_round(
+            &trues,
+            &trues,
+            rate,
+            &mk(crate::workload::WorkloadModel::Poisson),
+        )
+        .unwrap();
         let bursty = simulate_round(
             &trues,
             &trues,
             rate,
-            &mk(crate::workload::WorkloadModel::Bursty { burstiness: 6.0, dwell_means: [40.0, 10.0] }),
+            &mk(crate::workload::WorkloadModel::Bursty {
+                burstiness: 6.0,
+                dwell_means: [40.0, 10.0],
+            }),
         )
         .unwrap();
         assert!(
@@ -430,8 +484,13 @@ mod tests {
     #[test]
     fn mismatched_exec_length_is_rejected() {
         let trues = paper_true_values();
-        let err =
-            simulate_round(&trues, &trues[..3], PAPER_ARRIVAL_RATE, &deterministic_config()).unwrap_err();
+        let err = simulate_round(
+            &trues,
+            &trues[..3],
+            PAPER_ARRIVAL_RATE,
+            &deterministic_config(),
+        )
+        .unwrap_err();
         assert!(matches!(err, CoreError::LengthMismatch { .. }));
     }
 

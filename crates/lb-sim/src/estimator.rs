@@ -37,7 +37,10 @@ pub struct EstimatorConfig {
 
 impl Default for EstimatorConfig {
     fn default() -> Self {
-        Self { max_samples: None, noise_cv: 0.0 }
+        Self {
+            max_samples: None,
+            noise_cv: 0.0,
+        }
     }
 }
 
@@ -53,7 +56,10 @@ impl ExecValueEstimator {
     /// Creates an estimator with the given configuration.
     #[must_use]
     pub fn new(config: EstimatorConfig) -> Self {
-        Self { stats: OnlineStats::new(), config }
+        Self {
+            stats: OnlineStats::new(),
+            config,
+        }
     }
 
     /// Records one observed response time, applying configured noise and
@@ -132,10 +138,11 @@ mod tests {
     fn exponential_model_recovery_converges() {
         let exec = 3.0;
         let rate = 2.0;
-        let arrivals =
-            PoissonProcess::new(rate, Xoshiro256StarStar::seed_from_u64(2)).arrivals_until(20_000.0);
+        let arrivals = PoissonProcess::new(rate, Xoshiro256StarStar::seed_from_u64(2))
+            .arrivals_until(20_000.0);
         let mut rng = Xoshiro256StarStar::seed_from_u64(3);
-        let responses = ServiceModel::StationaryExponential.responses(&arrivals, exec, rate, &mut rng);
+        let responses =
+            ServiceModel::StationaryExponential.responses(&arrivals, exec, rate, &mut rng);
         let mut est = ExecValueEstimator::new(EstimatorConfig::default());
         for &r in &responses {
             est.observe(r, &mut rng);
@@ -143,7 +150,12 @@ mod tests {
         let t = est.estimate(rate).unwrap();
         assert!((t - exec).abs() / exec < 0.03, "estimate {t}");
         let ci = est.estimate_ci(rate, 0.99).unwrap();
-        assert!(ci.contains(exec), "CI [{}, {}] misses {exec}", ci.lo(), ci.hi());
+        assert!(
+            ci.contains(exec),
+            "CI [{}, {}] misses {exec}",
+            ci.lo(),
+            ci.hi()
+        );
     }
 
     #[test]
@@ -159,8 +171,10 @@ mod tests {
 
     #[test]
     fn sample_cap_is_respected() {
-        let mut est =
-            ExecValueEstimator::new(EstimatorConfig { max_samples: Some(10), noise_cv: 0.0 });
+        let mut est = ExecValueEstimator::new(EstimatorConfig {
+            max_samples: Some(10),
+            noise_cv: 0.0,
+        });
         let mut rng = Xoshiro256StarStar::seed_from_u64(5);
         for i in 0..100 {
             est.observe(i as f64, &mut rng);
@@ -173,8 +187,10 @@ mod tests {
     #[test]
     fn noise_is_unbiased_but_widens_spread() {
         let mut clean = ExecValueEstimator::new(EstimatorConfig::default());
-        let mut noisy =
-            ExecValueEstimator::new(EstimatorConfig { max_samples: None, noise_cv: 0.3 });
+        let mut noisy = ExecValueEstimator::new(EstimatorConfig {
+            max_samples: None,
+            noise_cv: 0.3,
+        });
         let mut rng1 = Xoshiro256StarStar::seed_from_u64(6);
         let mut rng2 = Xoshiro256StarStar::seed_from_u64(7);
         for _ in 0..50_000 {

@@ -32,7 +32,10 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
         // first.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -48,7 +51,11 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     #[must_use]
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The current simulation time — the time of the last popped event.
@@ -62,7 +69,11 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics if `time` is before the current simulation time (causality).
     pub fn schedule(&mut self, time: SimTime, event: E) {
-        assert!(time >= self.now, "EventQueue: scheduling into the past ({time} < {})", self.now);
+        assert!(
+            time >= self.now,
+            "EventQueue: scheduling into the past ({time} < {})",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, event });
@@ -88,9 +99,16 @@ impl<E> EventQueue<E> {
     /// than `time` is still pending (popping it later would move time
     /// backwards).
     pub fn advance_to(&mut self, time: SimTime) {
-        assert!(time >= self.now, "EventQueue: advancing into the past ({time} < {})", self.now);
+        assert!(
+            time >= self.now,
+            "EventQueue: advancing into the past ({time} < {})",
+            self.now
+        );
         if let Some(next) = self.peek_time() {
-            assert!(time <= next, "EventQueue: advancing past a pending event at {next}");
+            assert!(
+                time <= next,
+                "EventQueue: advancing past a pending event at {next}"
+            );
         }
         self.now = time;
     }

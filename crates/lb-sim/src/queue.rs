@@ -29,7 +29,10 @@ impl Mm1Analytic {
     /// Panics unless `0 < lambda < mu` (stability).
     #[must_use]
     pub fn new(lambda: f64, mu: f64) -> Self {
-        assert!(lambda > 0.0 && mu > lambda, "Mm1Analytic: need 0 < lambda < mu");
+        assert!(
+            lambda > 0.0 && mu > lambda,
+            "Mm1Analytic: need 0 < lambda < mu"
+        );
         Self { lambda, mu }
     }
 
@@ -104,12 +107,21 @@ pub fn simulate_fcfs<D: Distribution + ?Sized>(
         Departure(usize),
     }
 
-    let mut records: Vec<JobRecord> =
-        arrivals.iter().map(|&a| JobRecord { arrival: a, start: 0.0, completion: 0.0 }).collect();
+    let mut records: Vec<JobRecord> = arrivals
+        .iter()
+        .map(|&a| JobRecord {
+            arrival: a,
+            start: 0.0,
+            completion: 0.0,
+        })
+        .collect();
     let mut queue = EventQueue::new();
     let mut prev = 0.0;
     for (i, &a) in arrivals.iter().enumerate() {
-        assert!(a >= prev && a >= 0.0, "simulate_fcfs: arrivals must be sorted and non-negative");
+        assert!(
+            a >= prev && a >= 0.0,
+            "simulate_fcfs: arrivals must be sorted and non-negative"
+        );
         prev = a;
         queue.schedule(SimTime::new(a), Ev::Arrival(i));
     }
@@ -171,16 +183,30 @@ pub fn simulate_fcfs<D: Distribution + ?Sized>(
 /// any requirement is non-positive.
 #[must_use]
 pub fn simulate_ps(arrivals: &[f64], requirements: &[f64]) -> Vec<JobRecord> {
-    assert_eq!(arrivals.len(), requirements.len(), "simulate_ps: arity mismatch");
+    assert_eq!(
+        arrivals.len(),
+        requirements.len(),
+        "simulate_ps: arity mismatch"
+    );
     let n = arrivals.len();
     let mut records: Vec<JobRecord> = arrivals
         .iter()
-        .map(|&a| JobRecord { arrival: a, start: a, completion: 0.0 })
+        .map(|&a| JobRecord {
+            arrival: a,
+            start: a,
+            completion: 0.0,
+        })
         .collect();
     let mut prev = 0.0;
     for (&a, &r) in arrivals.iter().zip(requirements) {
-        assert!(a >= prev && a >= 0.0, "simulate_ps: arrivals must be sorted and non-negative");
-        assert!(r.is_finite() && r > 0.0, "simulate_ps: requirements must be > 0");
+        assert!(
+            a >= prev && a >= 0.0,
+            "simulate_ps: arrivals must be sorted and non-negative"
+        );
+        assert!(
+            r.is_finite() && r > 0.0,
+            "simulate_ps: requirements must be > 0"
+        );
         prev = a;
     }
 
@@ -202,7 +228,11 @@ pub fn simulate_ps(arrivals: &[f64], requirements: &[f64]) -> Vec<JobRecord> {
         let k = active.len() as f64;
         let min_rem = active.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
         let finish_dt = min_rem * k;
-        let arrival_dt = if next_arrival < n { arrivals[next_arrival] - now } else { f64::INFINITY };
+        let arrival_dt = if next_arrival < n {
+            arrivals[next_arrival] - now
+        } else {
+            f64::INFINITY
+        };
 
         if arrival_dt < finish_dt {
             // Serve everyone at rate 1/k until the arrival, then admit it.
@@ -257,8 +287,16 @@ pub fn summarize(records: &[JobRecord], warmup: f64) -> QueueSummary {
         }
         busy += r.completion - r.start;
     }
-    let utilization = if makespan > 0.0 { (busy / makespan).min(1.0) } else { 0.0 };
-    QueueSummary { response, wait, utilization }
+    let utilization = if makespan > 0.0 {
+        (busy / makespan).min(1.0)
+    } else {
+        0.0
+    };
+    QueueSummary {
+        response,
+        wait,
+        utilization,
+    }
 }
 
 #[cfg(test)]
@@ -324,8 +362,14 @@ mod tests {
         let recs = simulate_fcfs(&arrivals, &Exponential::new(mu), &mut rng);
         let summary = summarize(&recs, 100.0);
         let analytic = Mm1Analytic::new(lambda, mu);
-        let rel = (summary.response.mean() - analytic.mean_response()).abs() / analytic.mean_response();
-        assert!(rel < 0.05, "mean response {} vs analytic {}", summary.response.mean(), analytic.mean_response());
+        let rel =
+            (summary.response.mean() - analytic.mean_response()).abs() / analytic.mean_response();
+        assert!(
+            rel < 0.05,
+            "mean response {} vs analytic {}",
+            summary.response.mean(),
+            analytic.mean_response()
+        );
         assert!((summary.utilization - analytic.utilization()).abs() < 0.02);
     }
 
@@ -370,13 +414,20 @@ mod tests {
         let arrivals = arrivals_gen.arrivals_until(20_000.0);
         let mut rng = Xoshiro256StarStar::seed_from_u64(31);
         let svc = Exponential::new(mu);
-        let reqs: Vec<f64> =
-            arrivals.iter().map(|_| lb_stats::dist::sample(&svc, &mut rng)).collect();
+        let reqs: Vec<f64> = arrivals
+            .iter()
+            .map(|_| lb_stats::dist::sample(&svc, &mut rng))
+            .collect();
         let recs = simulate_ps(&arrivals, &reqs);
         let summary = summarize(&recs, 200.0);
         let analytic = Mm1Analytic::new(lambda, mu).mean_response();
         let rel = (summary.response.mean() - analytic).abs() / analytic;
-        assert!(rel < 0.06, "PS mean {} vs 1/(mu-lambda) {}", summary.response.mean(), analytic);
+        assert!(
+            rel < 0.06,
+            "PS mean {} vs 1/(mu-lambda) {}",
+            summary.response.mean(),
+            analytic
+        );
     }
 
     #[test]
@@ -396,13 +447,21 @@ mod tests {
         // exponential — and FCFS would actually beat PS.)
         let svc = Pareto::with_mean(mean_svc, 2.1);
         let mut rng = Xoshiro256StarStar::seed_from_u64(33);
-        let reqs: Vec<f64> =
-            arrivals.iter().map(|_| lb_stats::dist::sample(&svc, &mut rng)).collect();
+        let reqs: Vec<f64> = arrivals
+            .iter()
+            .map(|_| lb_stats::dist::sample(&svc, &mut rng))
+            .collect();
 
         let ps = summarize(&simulate_ps(&arrivals, &reqs), 500.0);
         // FCFS with the *same* arrivals and requirements.
-        let mut fcfs_recs: Vec<JobRecord> =
-            arrivals.iter().map(|&a| JobRecord { arrival: a, start: 0.0, completion: 0.0 }).collect();
+        let mut fcfs_recs: Vec<JobRecord> = arrivals
+            .iter()
+            .map(|&a| JobRecord {
+                arrival: a,
+                start: 0.0,
+                completion: 0.0,
+            })
+            .collect();
         let mut busy = 0.0f64;
         for (i, (&a, &r)) in arrivals.iter().zip(&reqs).enumerate() {
             let start = a.max(busy);
@@ -413,7 +472,12 @@ mod tests {
         let fcfs = summarize(&fcfs_recs, 500.0);
 
         let ps_rel = (ps.response.mean() - analytic).abs() / analytic;
-        assert!(ps_rel < 0.15, "PS mean {} vs insensitive value {}", ps.response.mean(), analytic);
+        assert!(
+            ps_rel < 0.15,
+            "PS mean {} vs insensitive value {}",
+            ps.response.mean(),
+            analytic
+        );
         assert!(
             fcfs.response.mean() > 1.2 * ps.response.mean(),
             "FCFS {} should exceed PS {} under high-variance service",

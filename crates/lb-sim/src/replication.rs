@@ -62,7 +62,11 @@ pub fn replicate(
     let stats = OnlineStats::from_slice(&latencies);
     let latency_ci = mean_confidence_interval(&stats, 0.95);
     let mean_estimated_exec = per_machine.iter().map(OnlineStats::mean).collect();
-    Ok(ReplicationSummary { latencies, latency_ci, mean_estimated_exec })
+    Ok(ReplicationSummary {
+        latencies,
+        latency_ci,
+        mean_estimated_exec,
+    })
 }
 
 #[cfg(test)]
@@ -98,7 +102,8 @@ mod tests {
         let analytic = 400.0 / 5.1;
         // Generous tolerance: CI half-width plus 5% modelling slack.
         assert!(
-            (summary.latency_ci.mean - analytic).abs() < summary.latency_ci.half_width + 0.05 * analytic,
+            (summary.latency_ci.mean - analytic).abs()
+                < summary.latency_ci.half_width + 0.05 * analytic,
             "CI mean {} vs analytic {analytic}",
             summary.latency_ci.mean
         );

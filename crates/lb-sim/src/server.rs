@@ -57,8 +57,14 @@ impl ServiceModel {
         assigned_rate: f64,
         rng: &mut Xoshiro256StarStar,
     ) -> Vec<f64> {
-        assert!(exec_value.is_finite() && exec_value > 0.0, "ServiceModel: invalid exec value");
-        assert!(assigned_rate.is_finite() && assigned_rate >= 0.0, "ServiceModel: invalid rate");
+        assert!(
+            exec_value.is_finite() && exec_value > 0.0,
+            "ServiceModel: invalid exec value"
+        );
+        assert!(
+            assigned_rate.is_finite() && assigned_rate >= 0.0,
+            "ServiceModel: invalid rate"
+        );
         if arrivals.is_empty() || assigned_rate <= 0.0 {
             return Vec::new();
         }
@@ -133,7 +139,11 @@ mod tests {
         let r = ServiceModel::StationaryExponential.responses(&a, 1.5, 4.0, &mut rng);
         let stats = OnlineStats::from_slice(&r);
         let target = 6.0;
-        assert!((stats.mean() - target).abs() / target < 0.02, "mean {}", stats.mean());
+        assert!(
+            (stats.mean() - target).abs() / target < 0.02,
+            "mean {}",
+            stats.mean()
+        );
     }
 
     #[test]
@@ -147,7 +157,11 @@ mod tests {
         let tail = &r[r.len() / 10..];
         let stats = OnlineStats::from_slice(tail);
         let target = exec * rate; // 2.0
-        assert!((stats.mean() - target).abs() / target < 0.06, "mean {}", stats.mean());
+        assert!(
+            (stats.mean() - target).abs() / target < 0.06,
+            "mean {}",
+            stats.mean()
+        );
     }
 
     #[test]
@@ -160,14 +174,22 @@ mod tests {
         let tail = &r[r.len() / 10..];
         let stats = OnlineStats::from_slice(tail);
         let target = exec * rate;
-        assert!((stats.mean() - target).abs() / target < 0.06, "mean {}", stats.mean());
+        assert!(
+            (stats.mean() - target).abs() / target < 0.06,
+            "mean {}",
+            stats.mean()
+        );
     }
 
     #[test]
     fn idle_machine_produces_nothing() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(7);
-        assert!(ServiceModel::StationaryExponential.responses(&[], 1.0, 1.0, &mut rng).is_empty());
-        assert!(ServiceModel::Mm1Queue.responses(&[1.0, 2.0], 1.0, 0.0, &mut rng).is_empty());
+        assert!(ServiceModel::StationaryExponential
+            .responses(&[], 1.0, 1.0, &mut rng)
+            .is_empty());
+        assert!(ServiceModel::Mm1Queue
+            .responses(&[1.0, 2.0], 1.0, 0.0, &mut rng)
+            .is_empty());
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn simulate_system_dispatch(
     config: &SimulationConfig,
 ) -> Result<DispatchReport, CoreError> {
     if actual_exec_values.len() != bids.len() {
-        return Err(CoreError::LengthMismatch { expected: bids.len(), actual: actual_exec_values.len() });
+        return Err(CoreError::LengthMismatch {
+            expected: bids.len(),
+            actual: actual_exec_values.len(),
+        });
     }
     if !(config.horizon.is_finite() && config.horizon > 0.0) {
         return Err(CoreError::InvalidRate(config.horizon));
@@ -66,8 +69,12 @@ pub fn simulate_system_dispatch(
     let mut estimated = Vec::with_capacity(n);
     for i in 0..n {
         let mut rng = base.stream(2 + i as u64);
-        let responses =
-            config.model.responses(&arrivals[i], actual_exec_values[i], allocation.rate(i), &mut rng);
+        let responses = config.model.responses(
+            &arrivals[i],
+            actual_exec_values[i],
+            allocation.rate(i),
+            &mut rng,
+        );
         let mut estimator = ExecValueEstimator::new(config.estimator);
         for (&a, &r) in arrivals[i].iter().zip(&responses) {
             if a >= config.warmup {
@@ -77,7 +84,11 @@ pub fn simulate_system_dispatch(
         estimated.push(estimator.estimate(allocation.rate(i)).unwrap_or(bids[i]));
     }
 
-    Ok(DispatchReport { allocation, arrivals, estimated_exec_values: estimated })
+    Ok(DispatchReport {
+        allocation,
+        arrivals,
+        estimated_exec_values: estimated,
+    })
 }
 
 // `Rng` trait needed for `route_rng.next_u64()` above.
@@ -91,7 +102,12 @@ mod tests {
     use lb_stats::ks::{exponential_cdf, ks_test};
 
     fn config(horizon: f64, model: ServiceModel) -> SimulationConfig {
-        SimulationConfig { horizon, seed: 77, model, ..SimulationConfig::default() }
+        SimulationConfig {
+            horizon,
+            seed: 77,
+            model,
+            ..SimulationConfig::default()
+        }
     }
 
     #[test]
@@ -135,7 +151,11 @@ mod tests {
                 prev = t;
             }
             let test = ks_test(&gaps, exponential_cdf(report.allocation.rate(i)));
-            assert!(!test.rejects_at(0.01), "machine {i}: KS p = {}", test.p_value);
+            assert!(
+                !test.rejects_at(0.01),
+                "machine {i}: KS p = {}",
+                test.p_value
+            );
         }
     }
 
@@ -147,15 +167,18 @@ mod tests {
         let mut exec = trues.clone();
         exec[0] = 2.0; // a lazy machine must be detected by both
         let cfg = config(20_000.0, ServiceModel::StationaryExponential);
-        let dispatch =
-            simulate_system_dispatch(&trues, &exec, PAPER_ARRIVAL_RATE, &cfg).unwrap();
+        let dispatch = simulate_system_dispatch(&trues, &exec, PAPER_ARRIVAL_RATE, &cfg).unwrap();
         let per_machine =
             crate::driver::simulate_round(&trues, &exec, PAPER_ARRIVAL_RATE, &cfg).unwrap();
         for i in 0..trues.len() {
             let a = dispatch.estimated_exec_values[i];
             let b = per_machine.estimated_exec_values[i];
             assert!((a - b).abs() / b < 0.12, "machine {i}: {a} vs {b}");
-            assert!((a - exec[i]).abs() / exec[i] < 0.1, "machine {i} truth: {a} vs {}", exec[i]);
+            assert!(
+                (a - exec[i]).abs() / exec[i] < 0.1,
+                "machine {i} truth: {a} vs {}",
+                exec[i]
+            );
         }
         assert!((dispatch.estimated_exec_values[0] - 2.0).abs() < 0.2);
     }

@@ -51,7 +51,9 @@ impl PartialOrd for SimTime {
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
         // Construction guarantees no NaN, so partial_cmp is total here.
-        self.0.partial_cmp(&other.0).expect("SimTime is NaN-free by construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is NaN-free by construction")
     }
 }
 

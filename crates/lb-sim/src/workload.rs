@@ -26,7 +26,11 @@ impl PoissonProcess {
     /// Panics unless `rate` is finite and strictly positive.
     #[must_use]
     pub fn new(rate: f64, rng: Xoshiro256StarStar) -> Self {
-        Self { interarrival: Exponential::new(rate), rng, now: 0.0 }
+        Self {
+            interarrival: Exponential::new(rate),
+            rng,
+            now: 0.0,
+        }
     }
 
     /// The arrival rate λ.
@@ -90,7 +94,14 @@ impl MmppProcess {
             "MmppProcess: dwell means must be finite and > 0"
         );
         let first_dwell = sample(&Exponential::with_mean(dwell_means[0]), &mut rng);
-        Self { rates, dwell_means, state: 0, state_until: first_dwell, now: 0.0, rng }
+        Self {
+            rates,
+            dwell_means,
+            state: 0,
+            state_until: first_dwell,
+            now: 0.0,
+            rng,
+        }
     }
 
     /// Long-run average arrival rate (dwell-weighted).
@@ -115,7 +126,10 @@ impl MmppProcess {
             // this exact).
             self.now = self.state_until;
             self.state ^= 1;
-            let dwell = sample(&Exponential::with_mean(self.dwell_means[self.state]), &mut self.rng);
+            let dwell = sample(
+                &Exponential::with_mean(self.dwell_means[self.state]),
+                &mut self.rng,
+            );
             self.state_until = self.now + dwell;
         }
     }
@@ -165,8 +179,14 @@ impl WorkloadModel {
     fn arrivals(self, rate: f64, horizon: f64, rng: Xoshiro256StarStar) -> Vec<f64> {
         match self {
             Self::Poisson => PoissonProcess::new(rate, rng).arrivals_until(horizon),
-            Self::Bursty { burstiness, dwell_means } => {
-                assert!(burstiness > 1.0, "WorkloadModel::Bursty: burstiness must be > 1");
+            Self::Bursty {
+                burstiness,
+                dwell_means,
+            } => {
+                assert!(
+                    burstiness > 1.0,
+                    "WorkloadModel::Bursty: burstiness must be > 1"
+                );
                 // Choose calm/burst rates so the dwell-weighted mean is `rate`:
                 // r_calm·d0 + b·r_calm·d1 = rate·(d0+d1).
                 let [d0, d1] = dwell_means;
@@ -193,14 +213,20 @@ pub fn per_machine_traces_with(
     seed: u64,
     model: WorkloadModel,
 ) -> Vec<Vec<Job>> {
-    assert!(horizon.is_finite() && horizon > 0.0, "per_machine_traces: invalid horizon");
+    assert!(
+        horizon.is_finite() && horizon > 0.0,
+        "per_machine_traces: invalid horizon"
+    );
     let base = Xoshiro256StarStar::seed_from_u64(seed);
     let mut next_id = 0u64;
     rates
         .iter()
         .enumerate()
         .map(|(i, &rate)| {
-            assert!(rate.is_finite() && rate >= 0.0, "per_machine_traces: invalid rate {rate}");
+            assert!(
+                rate.is_finite() && rate >= 0.0,
+                "per_machine_traces: invalid rate {rate}"
+            );
             if rate <= 1e-12 {
                 return Vec::new();
             }
@@ -210,7 +236,11 @@ pub fn per_machine_traces_with(
                 .map(|arrival| {
                     let id = next_id;
                     next_id += 1;
-                    Job { id, machine: i, arrival }
+                    Job {
+                        id,
+                        machine: i,
+                        arrival,
+                    }
                 })
                 .collect()
         })
@@ -262,7 +292,11 @@ mod tests {
         }
         // Mean 0.5, std 0.5 for Exp(2).
         assert!((stats.mean() - 0.5).abs() < 0.01, "mean {}", stats.mean());
-        assert!((stats.std_dev() - 0.5).abs() < 0.02, "std {}", stats.std_dev());
+        assert!(
+            (stats.std_dev() - 0.5).abs() < 0.02,
+            "std {}",
+            stats.std_dev()
+        );
     }
 
     #[test]
@@ -357,7 +391,8 @@ mod tests {
                 let b = ((a / window) as usize).min(bins - 1);
                 counts[b] += 1;
             }
-            let s = OnlineStats::from_slice(&counts.iter().map(|&c| f64::from(c)).collect::<Vec<_>>());
+            let s =
+                OnlineStats::from_slice(&counts.iter().map(|&c| f64::from(c)).collect::<Vec<_>>());
             (s.mean(), s.variance())
         };
         let mut mmpp = MmppProcess::new(
@@ -366,19 +401,24 @@ mod tests {
             Xoshiro256StarStar::seed_from_u64(12),
         );
         let (m_mean, m_var) = count_variance(&mmpp.arrivals_until(horizon));
-        let mut poisson = PoissonProcess::new(
-            mmpp.mean_rate(),
-            Xoshiro256StarStar::seed_from_u64(13),
-        );
+        let mut poisson =
+            PoissonProcess::new(mmpp.mean_rate(), Xoshiro256StarStar::seed_from_u64(13));
         let (p_mean, p_var) = count_variance(&poisson.arrivals_until(horizon));
         let mmpp_iod = m_var / m_mean;
         let poisson_iod = p_var / p_mean;
-        assert!(mmpp_iod > 2.0 * poisson_iod, "IoD mmpp {mmpp_iod} vs poisson {poisson_iod}");
+        assert!(
+            mmpp_iod > 2.0 * poisson_iod,
+            "IoD mmpp {mmpp_iod} vs poisson {poisson_iod}"
+        );
     }
 
     #[test]
     fn mmpp_arrivals_strictly_increase() {
-        let mut p = MmppProcess::new([2.0, 8.0], [5.0, 5.0], Xoshiro256StarStar::seed_from_u64(14));
+        let mut p = MmppProcess::new(
+            [2.0, 8.0],
+            [5.0, 5.0],
+            Xoshiro256StarStar::seed_from_u64(14),
+        );
         let mut prev = 0.0;
         for _ in 0..5_000 {
             let t = p.next_arrival();

@@ -12,7 +12,10 @@
 /// Panics if the series is shorter than `lag + 2`.
 #[must_use]
 pub fn autocovariance(series: &[f64], lag: usize) -> f64 {
-    assert!(series.len() >= lag + 2, "autocovariance: series too short for lag {lag}");
+    assert!(
+        series.len() >= lag + 2,
+        "autocovariance: series too short for lag {lag}"
+    );
     let n = series.len();
     let mean = series.iter().sum::<f64>() / n as f64;
     let mut acc = 0.0;
@@ -48,7 +51,10 @@ pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
 /// Panics if the series has fewer than 3 observations.
 #[must_use]
 pub fn integrated_autocorrelation_time(series: &[f64]) -> f64 {
-    assert!(series.len() >= 3, "integrated_autocorrelation_time: series too short");
+    assert!(
+        series.len() >= 3,
+        "integrated_autocorrelation_time: series too short"
+    );
     let max_lag = (series.len() / 4).max(1);
     let mut tau = 1.0;
     for lag in 1..=max_lag {

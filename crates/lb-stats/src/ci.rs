@@ -121,7 +121,10 @@ pub fn t_critical(df: u64, confidence: f64) -> f64 {
 /// or the confidence level is unsupported.
 #[must_use]
 pub fn mean_confidence_interval(stats: &OnlineStats, confidence: f64) -> ConfidenceInterval {
-    assert!(stats.count() >= 2, "mean_confidence_interval: need at least 2 observations");
+    assert!(
+        stats.count() >= 2,
+        "mean_confidence_interval: need at least 2 observations"
+    );
     let t = t_critical(stats.count() - 1, confidence);
     ConfidenceInterval {
         mean: stats.mean(),
@@ -143,7 +146,10 @@ pub fn mean_confidence_interval(stats: &OnlineStats, confidence: f64) -> Confide
 #[must_use]
 pub fn batch_means(series: &[f64], batches: usize, confidence: f64) -> ConfidenceInterval {
     assert!(batches >= 2, "batch_means: need at least 2 batches");
-    assert!(series.len() >= 2 * batches, "batch_means: series too short for {batches} batches");
+    assert!(
+        series.len() >= 2 * batches,
+        "batch_means: series too short for {batches} batches"
+    );
     let batch_len = series.len() / batches;
     let mut means = OnlineStats::new();
     for b in 0..batches {
@@ -181,7 +187,12 @@ mod tests {
 
     #[test]
     fn interval_geometry() {
-        let ci = ConfidenceInterval { mean: 10.0, half_width: 2.0, confidence: 0.95, count: 5 };
+        let ci = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 2.0,
+            confidence: 0.95,
+            count: 5,
+        };
         assert_eq!(ci.lo(), 8.0);
         assert_eq!(ci.hi(), 12.0);
         assert!(ci.contains(9.0));

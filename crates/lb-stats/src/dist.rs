@@ -93,7 +93,10 @@ impl Uniform {
     /// Panics if the bounds are non-finite or `lo > hi`.
     #[must_use]
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "Uniform: invalid bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "Uniform: invalid bounds"
+        );
         Self { lo, hi }
     }
 }
@@ -127,14 +130,20 @@ impl Exponential {
     /// Panics if `rate` is not strictly positive and finite.
     #[must_use]
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "Exponential: rate must be > 0");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Exponential: rate must be > 0"
+        );
         Self { rate }
     }
 
     /// Creates an exponential distribution with the given mean (> 0).
     #[must_use]
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "Exponential: mean must be > 0");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "Exponential: mean must be > 0"
+        );
         Self::new(1.0 / mean)
     }
 
@@ -174,8 +183,14 @@ impl Pareto {
     /// Panics unless `scale > 0` and `shape > 0`.
     #[must_use]
     pub fn new(scale: f64, shape: f64) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "Pareto: scale must be > 0");
-        assert!(shape.is_finite() && shape > 0.0, "Pareto: shape must be > 0");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "Pareto: scale must be > 0"
+        );
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "Pareto: shape must be > 0"
+        );
         Self { scale, shape }
     }
 
@@ -226,9 +241,18 @@ impl Hyperexponential {
     /// Panics unless `p ∈ [0, 1]` and both rates are finite and positive.
     #[must_use]
     pub fn new(p: f64, rate1: f64, rate2: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "Hyperexponential: p must be in [0, 1]");
-        assert!(rate1.is_finite() && rate1 > 0.0, "Hyperexponential: rate1 must be > 0");
-        assert!(rate2.is_finite() && rate2 > 0.0, "Hyperexponential: rate2 must be > 0");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Hyperexponential: p must be in [0, 1]"
+        );
+        assert!(
+            rate1.is_finite() && rate1 > 0.0,
+            "Hyperexponential: rate1 must be > 0"
+        );
+        assert!(
+            rate2.is_finite() && rate2 > 0.0,
+            "Hyperexponential: rate2 must be > 0"
+        );
         Self { p, rate1, rate2 }
     }
 
@@ -240,8 +264,14 @@ impl Hyperexponential {
     /// Panics unless `mean > 0` and `cv2 > 1`.
     #[must_use]
     pub fn with_mean_cv2(mean: f64, cv2: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "Hyperexponential: mean must be > 0");
-        assert!(cv2 > 1.0, "Hyperexponential: cv2 must exceed 1 (else use Exponential)");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "Hyperexponential: mean must be > 0"
+        );
+        assert!(
+            cv2 > 1.0,
+            "Hyperexponential: cv2 must exceed 1 (else use Exponential)"
+        );
         let p = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
         let rate1 = 2.0 * p / mean;
         let rate2 = 2.0 * (1.0 - p) / mean;
@@ -259,7 +289,11 @@ impl Hyperexponential {
 
 impl Distribution for Hyperexponential {
     fn sample(&self, rng: &mut dyn FnMut() -> u64) -> f64 {
-        let rate = if bits_to_unit(rng()) < self.p { self.rate1 } else { self.rate2 };
+        let rate = if bits_to_unit(rng()) < self.p {
+            self.rate1
+        } else {
+            self.rate2
+        };
         -unit_open(rng).ln() / rate
     }
     fn mean(&self) -> Option<f64> {
@@ -300,7 +334,10 @@ impl Normal {
     /// Panics unless `std_dev >= 0` and both parameters are finite.
     #[must_use]
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0, "Normal: invalid parameters");
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "Normal: invalid parameters"
+        );
         Self { mean, std_dev }
     }
 }
@@ -334,7 +371,10 @@ impl LogNormal {
     /// Panics unless both parameters are finite and `sigma >= 0`.
     #[must_use]
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "LogNormal: invalid parameters");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "LogNormal: invalid parameters"
+        );
         Self { mu, sigma }
     }
 
@@ -445,8 +485,14 @@ impl Weibull {
     /// Panics unless both parameters are finite and strictly positive.
     #[must_use]
     pub fn new(scale: f64, shape: f64) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "Weibull: scale must be > 0");
-        assert!(shape.is_finite() && shape > 0.0, "Weibull: shape must be > 0");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "Weibull: scale must be > 0"
+        );
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "Weibull: shape must be > 0"
+        );
         Self { scale, shape }
     }
 }
@@ -559,11 +605,17 @@ impl Categorical {
     /// or sums to zero.
     #[must_use]
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "Categorical: weights must be non-empty");
+        assert!(
+            !weights.is_empty(),
+            "Categorical: weights must be non-empty"
+        );
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w.is_finite() && w >= 0.0, "Categorical: weights must be finite and >= 0");
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "Categorical: weights must be finite and >= 0"
+                );
                 w
             })
             .sum();
@@ -588,7 +640,11 @@ impl Categorical {
         for i in large.into_iter().chain(small) {
             prob[i] = 1.0;
         }
-        Self { prob, alias, weights: weights.to_vec() }
+        Self {
+            prob,
+            alias,
+            weights: weights.to_vec(),
+        }
     }
 
     /// Draws an index in `0..len` according to the weights.
@@ -610,12 +666,25 @@ impl Distribution for Categorical {
     }
     fn mean(&self) -> Option<f64> {
         let total: f64 = self.weights.iter().sum();
-        Some(self.weights.iter().enumerate().map(|(i, w)| i as f64 * w).sum::<f64>() / total)
+        Some(
+            self.weights
+                .iter()
+                .enumerate()
+                .map(|(i, w)| i as f64 * w)
+                .sum::<f64>()
+                / total,
+        )
     }
     fn variance(&self) -> Option<f64> {
         let total: f64 = self.weights.iter().sum();
         let m = self.mean()?;
-        let e2 = self.weights.iter().enumerate().map(|(i, w)| (i as f64) * (i as f64) * w).sum::<f64>() / total;
+        let e2 = self
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as f64) * (i as f64) * w)
+            .sum::<f64>()
+            / total;
         Some(e2 - m * m)
     }
 }
@@ -638,7 +707,9 @@ impl Zipf {
         assert!(n > 0, "Zipf: n must be >= 1");
         assert!(s.is_finite() && s >= 0.0, "Zipf: exponent must be >= 0");
         let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
-        Self { cat: Categorical::new(&weights) }
+        Self {
+            cat: Categorical::new(&weights),
+        }
     }
 
     /// Draws a rank in `1..=n`.
@@ -679,8 +750,18 @@ mod tests {
         let s = empirical(d, n, seed);
         let m = d.mean().expect("finite mean");
         let v = d.variance().expect("finite variance");
-        assert!((s.mean() - m).abs() < mean_tol, "mean {} vs {}", s.mean(), m);
-        assert!((s.variance() - v).abs() < var_tol, "var {} vs {}", s.variance(), v);
+        assert!(
+            (s.mean() - m).abs() < mean_tol,
+            "mean {} vs {}",
+            s.mean(),
+            m
+        );
+        assert!(
+            (s.variance() - v).abs() < var_tol,
+            "var {} vs {}",
+            s.variance(),
+            v
+        );
     }
 
     #[test]

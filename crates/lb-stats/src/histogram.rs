@@ -21,8 +21,18 @@ impl Histogram {
     #[must_use]
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "Histogram: need at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "Histogram: invalid range");
-        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 }
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "Histogram: invalid range"
+        );
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Records one observation.
@@ -138,7 +148,11 @@ impl Reservoir {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "Reservoir: capacity must be >= 1");
-        Self { sample: Vec::with_capacity(capacity), capacity, seen: 0 }
+        Self {
+            sample: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
     }
 
     /// Offers one observation to the reservoir.

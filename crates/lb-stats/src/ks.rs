@@ -42,7 +42,11 @@ pub fn ks_test<F: Fn(f64) -> f64>(sample: &[f64], cdf: F) -> KsTest {
         let lower = f - i as f64 / nf;
         d = d.max(upper).max(lower);
     }
-    KsTest { statistic: d, p_value: kolmogorov_sf((nf.sqrt() + 0.12 + 0.11 / nf.sqrt()) * d), n }
+    KsTest {
+        statistic: d,
+        p_value: kolmogorov_sf((nf.sqrt() + 0.12 + 0.11 / nf.sqrt()) * d),
+        n,
+    }
 }
 
 /// Survival function of the Kolmogorov distribution,
@@ -71,7 +75,13 @@ fn kolmogorov_sf(t: f64) -> f64 {
 /// CDF of the exponential distribution with the given rate.
 #[must_use]
 pub fn exponential_cdf(rate: f64) -> impl Fn(f64) -> f64 {
-    move |x: f64| if x <= 0.0 { 0.0 } else { 1.0 - (-rate * x).exp() }
+    move |x: f64| {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-rate * x).exp()
+        }
+    }
 }
 
 /// CDF of the uniform distribution on `[lo, hi]`.
@@ -95,7 +105,12 @@ mod tests {
     fn exponential_sample_passes_against_its_own_cdf() {
         let s = draw(&Exponential::new(2.0), 5_000, 1);
         let test = ks_test(&s, exponential_cdf(2.0));
-        assert!(!test.rejects_at(0.01), "D = {}, p = {}", test.statistic, test.p_value);
+        assert!(
+            !test.rejects_at(0.01),
+            "D = {}, p = {}",
+            test.statistic,
+            test.p_value
+        );
     }
 
     #[test]

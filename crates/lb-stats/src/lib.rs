@@ -30,7 +30,9 @@ pub mod parallel;
 pub mod quantile;
 pub mod rng;
 
-pub use autocorr::{autocorrelation, autocovariance, effective_sample_size, integrated_autocorrelation_time};
+pub use autocorr::{
+    autocorrelation, autocovariance, effective_sample_size, integrated_autocorrelation_time,
+};
 pub use ci::{batch_means, mean_confidence_interval, ConfidenceInterval};
 pub use dist::Distribution;
 pub use histogram::{Histogram, Reservoir};
@@ -38,4 +40,4 @@ pub use ks::{ks_test, KsTest};
 pub use online::{Ewma, OnlineStats};
 pub use parallel::par_map;
 pub use quantile::P2Quantile;
-pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
+pub use rng::{derive_seed, Rng, SplitMix64, Xoshiro256StarStar};

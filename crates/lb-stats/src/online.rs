@@ -20,7 +20,14 @@ impl OnlineStats {
     /// Creates an empty accumulator.
     #[must_use]
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Builds an accumulator from a slice in one pass.
@@ -250,9 +257,14 @@ mod tests {
     fn welford_is_stable_for_large_offsets() {
         // Classic catastrophic-cancellation scenario for naive sum-of-squares.
         let offset = 1e9;
-        let s = OnlineStats::from_slice(&[offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0]);
+        let s =
+            OnlineStats::from_slice(&[offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0]);
         assert!((s.mean() - (offset + 10.0)).abs() < 1e-3);
-        assert!((s.variance() - 30.0).abs() < 1e-6, "variance = {}", s.variance());
+        assert!(
+            (s.variance() - 30.0).abs() < 1e-6,
+            "variance = {}",
+            s.variance()
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ where
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("par_map worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("par_map worker panicked"))
+                .collect()
         })
         .expect("par_map scope panicked");
 
@@ -66,7 +69,10 @@ where
             }
         }
     }
-    slots.into_iter().map(|s| s.expect("par_map: missing result slot")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map: missing result slot"))
+        .collect()
 }
 
 /// Default worker count: available parallelism, clamped to at least 1.

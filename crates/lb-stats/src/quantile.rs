@@ -63,7 +63,8 @@ impl P2Quantile {
         if self.count <= 5 {
             self.warmup.push(x);
             if self.count == 5 {
-                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                self.warmup
+                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
                 for (h, &w) in self.heights.iter_mut().zip(&self.warmup) {
                     *h = w;
                 }
@@ -193,7 +194,11 @@ mod tests {
         }
         let exact = exact_quantile(&mut all, 0.99);
         // Theoretical p99 of Exp(1) is ln(100) = 4.605.
-        assert!((p.estimate() - exact).abs() / exact < 0.05, "{} vs {exact}", p.estimate());
+        assert!(
+            (p.estimate() - exact).abs() / exact < 0.05,
+            "{} vs {exact}",
+            p.estimate()
+        );
         assert!((p.estimate() - 100.0f64.ln()).abs() < 0.4);
     }
 
@@ -208,7 +213,11 @@ mod tests {
             for v in values {
                 p.observe(v);
             }
-            assert!((p.estimate() - 9_000.0).abs() < 300.0, "estimate {}", p.estimate());
+            assert!(
+                (p.estimate() - 9_000.0).abs() < 300.0,
+                "estimate {}",
+                p.estimate()
+            );
         }
     }
 

@@ -78,7 +78,10 @@ pub trait Rng {
     /// # Panics
     /// Panics if `lo > hi` or either bound is non-finite.
     fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "next_range: invalid bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "next_range: invalid bounds"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 }
@@ -110,6 +113,20 @@ impl Rng for SplitMix64 {
     }
 }
 
+/// Derives a per-task sub-seed from a base seed and a task index.
+///
+/// Equals the `(index + 1)`-th SplitMix64 output of `base`, so for a fixed
+/// base the map `index → seed` is injective (SplitMix64 is a bijective
+/// stream: equal outputs would imply equal stream positions). This is the
+/// standard way to fan one user-supplied seed out to millions of independent
+/// fuzz iterations while keeping every iteration individually reproducible:
+/// `derive_seed(base, i)` depends only on `(base, i)`, never on how many
+/// iterations ran before.
+#[must_use]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    SplitMix64::new(base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))).next_u64()
+}
+
 /// xoshiro256\*\* generator (Blackman & Vigna, 2018).
 ///
 /// 256 bits of state, period 2²⁵⁶ − 1, passes all known statistical test
@@ -135,7 +152,10 @@ impl Xoshiro256StarStar {
     /// Panics if the state is all zeros (the one invalid xoshiro state).
     #[must_use]
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must be non-zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256** state must be non-zero"
+        );
         Self { s }
     }
 
@@ -211,8 +231,31 @@ mod tests {
         let first: Vec<u64> = (0..3).map(|_| g.next_u64()).collect();
         assert_eq!(
             first,
-            vec![0xE220_A839_7B1D_CDAF, 0x6E78_9E6A_A1B9_65F4, 0x06C4_5D18_8009_454F]
+            vec![
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F
+            ]
         );
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spreads() {
+        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+        // Injective per index: state(base, i) = base + (i+1)·γ (mod 2⁶⁴) is
+        // distinct for distinct i < 2⁶⁴ (γ is odd), and the output mix is a
+        // bijection — spot-check a window.
+        let base = 0xDEAD_BEEF_CAFE_F00D;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(derive_seed(base, i)), "collision at index {i}");
+        }
+        // Index 0 equals the first SplitMix64 output of the base seed (the
+        // documented identity that makes failures reproducible by hand).
+        assert_eq!(derive_seed(base, 0), SplitMix64::new(base).next_u64());
+        // Consecutive indices land far apart (avalanche sanity check).
+        let diff = derive_seed(base, 1) ^ derive_seed(base, 2);
+        assert!(diff.count_ones() > 10, "weak diffusion: {diff:#x}");
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in protocol order.
-    pub const ALL: [Phase; 4] = [Phase::CollectBids, Phase::Allocate, Phase::Execute, Phase::Settle];
+    pub const ALL: [Phase; 4] = [
+        Phase::CollectBids,
+        Phase::Allocate,
+        Phase::Execute,
+        Phase::Settle,
+    ];
 
     /// Short lowercase name (`collect_bids`, `allocate`, …).
     #[must_use]
@@ -187,31 +192,46 @@ impl Field {
     /// Unsigned-integer field.
     #[must_use]
     pub fn u64(key: &'static str, value: u64) -> Self {
-        Self { key: Cow::Borrowed(key), value: FieldValue::U64(value) }
+        Self {
+            key: Cow::Borrowed(key),
+            value: FieldValue::U64(value),
+        }
     }
 
     /// Signed-integer field.
     #[must_use]
     pub fn i64(key: &'static str, value: i64) -> Self {
-        Self { key: Cow::Borrowed(key), value: FieldValue::I64(value) }
+        Self {
+            key: Cow::Borrowed(key),
+            value: FieldValue::I64(value),
+        }
     }
 
     /// Floating-point field.
     #[must_use]
     pub fn f64(key: &'static str, value: f64) -> Self {
-        Self { key: Cow::Borrowed(key), value: FieldValue::F64(value) }
+        Self {
+            key: Cow::Borrowed(key),
+            value: FieldValue::F64(value),
+        }
     }
 
     /// Boolean field.
     #[must_use]
     pub fn bool(key: &'static str, value: bool) -> Self {
-        Self { key: Cow::Borrowed(key), value: FieldValue::Bool(value) }
+        Self {
+            key: Cow::Borrowed(key),
+            value: FieldValue::Bool(value),
+        }
     }
 
     /// String field.
     #[must_use]
     pub fn str(key: &'static str, value: impl Into<String>) -> Self {
-        Self { key: Cow::Borrowed(key), value: FieldValue::Str(value.into()) }
+        Self {
+            key: Cow::Borrowed(key),
+            value: FieldValue::Str(value.into()),
+        }
     }
 }
 

@@ -61,7 +61,14 @@ fn field_value_json(value: &FieldValue) -> Json {
     let (tag, json) = match value {
         FieldValue::U64(v) => ("u64", Json::Num(*v as f64)),
         FieldValue::I64(v) => ("i64", Json::Num(*v as f64)),
-        FieldValue::F64(v) => ("f64", if v.is_finite() { Json::Num(*v) } else { Json::Null }),
+        FieldValue::F64(v) => (
+            "f64",
+            if v.is_finite() {
+                Json::Num(*v)
+            } else {
+                Json::Null
+            },
+        ),
         FieldValue::Bool(v) => ("bool", Json::Bool(*v)),
         FieldValue::Str(v) => ("str", Json::Str(v.clone())),
     };
@@ -90,7 +97,11 @@ fn event_json(event: &TelemetryEvent) -> Json {
         EventKind::Gauge { value } | EventKind::Histogram { value } => {
             obj.insert(
                 "value".into(),
-                if value.is_finite() { Json::Num(*value) } else { Json::Null },
+                if value.is_finite() {
+                    Json::Num(*value)
+                } else {
+                    Json::Null
+                },
             );
         }
         EventKind::Instant => {}
@@ -129,7 +140,10 @@ pub fn to_jsonl(events: &[TelemetryEvent]) -> String {
 }
 
 fn schema_err(line: usize, message: impl Into<String>) -> ExportError {
-    ExportError::Schema { line, message: message.into() }
+    ExportError::Schema {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_field(line: usize, entry: &Json) -> Result<Field, ExportError> {
@@ -151,9 +165,17 @@ fn parse_field(line: usize, entry: &Json) -> Result<Field, ExportError> {
         ("f64", Json::Null) => FieldValue::F64(f64::NAN),
         ("bool", Json::Bool(v)) => FieldValue::Bool(*v),
         ("str", Json::Str(v)) => FieldValue::Str(v.clone()),
-        _ => return Err(schema_err(line, format!("field '{key}' has bad tag '{tag}'"))),
+        _ => {
+            return Err(schema_err(
+                line,
+                format!("field '{key}' has bad tag '{tag}'"),
+            ))
+        }
     };
-    Ok(Field { key: Cow::Owned(key.to_string()), value })
+    Ok(Field {
+        key: Cow::Owned(key.to_string()),
+        value,
+    })
 }
 
 fn parse_event(line: usize, json: &Json) -> Result<TelemetryEvent, ExportError> {
@@ -215,7 +237,13 @@ fn parse_event(line: usize, json: &Json) -> Result<TelemetryEvent, ExportError> 
             fields.push(parse_field(line, entry)?);
         }
     }
-    Ok(TelemetryEvent { at, name: Cow::Owned(name), cat, kind, fields })
+    Ok(TelemetryEvent {
+        at,
+        name: Cow::Owned(name),
+        cat,
+        kind,
+        fields,
+    })
 }
 
 /// Parses a JSONL recording produced by [`to_jsonl`]. Blank lines are
@@ -324,7 +352,11 @@ pub fn to_chrome_trace(events: &[TelemetryEvent]) -> Result<String, ExportError>
                     "args",
                     Json::obj([(
                         "value",
-                        if value.is_finite() { Json::Num(*value) } else { Json::Null },
+                        if value.is_finite() {
+                            Json::Num(*value)
+                        } else {
+                            Json::Null
+                        },
                     )]),
                 ),
             ])),
@@ -340,7 +372,11 @@ pub fn to_chrome_trace(events: &[TelemetryEvent]) -> Result<String, ExportError>
                     "args",
                     Json::obj([(
                         "value",
-                        if value.is_finite() { Json::Num(*value) } else { Json::Null },
+                        if value.is_finite() {
+                            Json::Num(*value)
+                        } else {
+                            Json::Null
+                        },
                     )]),
                 ),
             ])),
@@ -363,10 +399,19 @@ mod tests {
 
     fn sample_recording() -> Vec<TelemetryEvent> {
         let ring = RingCollector::new(64);
-        let round =
-            ring.span_start(0.0, "round", Subsystem::Coordinator, vec![Field::u64("round", 7)]);
-        let collect =
-            ring.span_start_in(0.0, "phase.collect_bids", Subsystem::Coordinator, round, vec![]);
+        let round = ring.span_start(
+            0.0,
+            "round",
+            Subsystem::Coordinator,
+            vec![Field::u64("round", 7)],
+        );
+        let collect = ring.span_start_in(
+            0.0,
+            "phase.collect_bids",
+            Subsystem::Coordinator,
+            round,
+            vec![],
+        );
         ring.instant(
             0.05,
             "net.send",
@@ -440,7 +485,12 @@ mod tests {
                 e.get("ph").and_then(Json::as_str) == Some("C")
                     && e.get("name").and_then(Json::as_str) == Some("net.messages")
             })
-            .map(|e| e.get("args").and_then(|a| a.get("value")).and_then(Json::as_f64).unwrap())
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+                    .unwrap()
+            })
             .collect();
         assert_eq!(counters, vec![1.0, 3.0]);
     }
@@ -449,6 +499,9 @@ mod tests {
     fn chrome_trace_refuses_unbalanced_spans() {
         let ring = RingCollector::new(8);
         let _ = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![]);
-        assert!(matches!(to_chrome_trace(&ring.snapshot()), Err(ExportError::Replay(_))));
+        assert!(matches!(
+            to_chrome_trace(&ring.snapshot()),
+            Err(ExportError::Replay(_))
+        ));
     }
 }

@@ -133,7 +133,10 @@ impl Json {
     /// # Errors
     /// Returns a [`JsonError`] describing the first syntax problem.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -192,7 +195,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError { at: self.pos, message: message.into() }
+        JsonError {
+            at: self.pos,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -348,12 +354,17 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        let value: f64 = text.parse().map_err(|_| self.err(format!("invalid number '{text}'")))?;
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("invalid number '{text}'")))?;
         Ok(Json::Num(value))
     }
 }
@@ -364,7 +375,15 @@ mod tests {
 
     #[test]
     fn scalars_roundtrip() {
-        for text in ["null", "true", "false", "0", "-1.5", "3.141592653589793", "\"hi\""] {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-1.5",
+            "3.141592653589793",
+            "\"hi\"",
+        ] {
             let v = Json::parse(text).unwrap();
             assert_eq!(Json::parse(&v.render()).unwrap(), v, "{text}");
         }
@@ -375,7 +394,10 @@ mod tests {
         let v = Json::obj([
             ("name", Json::Str("phase.collect_bids".into())),
             ("at", Json::Num(0.125)),
-            ("tags", Json::Arr(vec![Json::Num(1.0), Json::Bool(true), Json::Null])),
+            (
+                "tags",
+                Json::Arr(vec![Json::Num(1.0), Json::Bool(true), Json::Null]),
+            ),
             (
                 "nested",
                 Json::obj([("escaped", Json::Str("a\"b\\c\nd\tcontrol:\u{1}".into()))]),
@@ -398,7 +420,10 @@ mod tests {
         assert_eq!(v.get("n").and_then(Json::as_f64), Some(3.0));
         assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
         assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
-        assert_eq!(v.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
         assert_eq!(v.get("missing"), None);
         assert_eq!(Json::Num(-1.0).as_u64(), None);
         assert_eq!(Json::Num(1.5).as_u64(), None);
@@ -406,7 +431,16 @@ mod tests {
 
     #[test]
     fn syntax_errors_are_reported() {
-        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1.2.3", "[1] junk"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "[1] junk",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
     }
@@ -414,7 +448,10 @@ mod tests {
     #[test]
     fn whitespace_is_tolerated() {
         let v = Json::parse(" \n\t{ \"a\" : [ 1 , 2 ] } \r\n").unwrap();
-        assert_eq!(v.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
     }
 
     #[test]

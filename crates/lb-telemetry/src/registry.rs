@@ -106,7 +106,10 @@ impl MetricsRegistry {
 
     /// Records one sample of the named distribution.
     pub fn observe(&mut self, name: impl Into<String>, value: f64) {
-        self.histograms.entry(name.into()).or_insert_with(HistogramMetric::new).observe(value);
+        self.histograms
+            .entry(name.into())
+            .or_insert_with(HistogramMetric::new)
+            .observe(value);
     }
 
     /// Current value of a counter (zero if never touched).
@@ -225,7 +228,12 @@ impl MetricsSnapshot {
         let mut out = String::new();
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
-            let width = self.counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            let width = self
+                .counters
+                .iter()
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
             for (name, value) in &self.counters {
                 let _ = writeln!(out, "  {name:<width$}  {value}");
             }
@@ -239,7 +247,12 @@ impl MetricsSnapshot {
         }
         if !self.histograms.is_empty() {
             out.push_str("histograms:\n");
-            let width = self.histograms.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            let width = self
+                .histograms
+                .iter()
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
@@ -254,7 +267,13 @@ impl MetricsSnapshot {
     /// Renders the snapshot as a JSON object.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        let finite = |v: f64| if v.is_finite() { Json::Num(v) } else { Json::Null };
+        let finite = |v: f64| {
+            if v.is_finite() {
+                Json::Num(v)
+            } else {
+                Json::Null
+            }
+        };
         Json::obj([
             (
                 "counters",
@@ -267,7 +286,12 @@ impl MetricsSnapshot {
             ),
             (
                 "gauges",
-                Json::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), finite(*v))).collect()),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), finite(*v)))
+                        .collect(),
+                ),
             ),
             (
                 "histograms",
@@ -332,8 +356,13 @@ mod tests {
     fn ingest_derives_span_and_event_metrics() {
         let ring = RingCollector::new(64);
         let round = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![]);
-        let collect =
-            ring.span_start_in(0.0, "phase.collect_bids", Subsystem::Coordinator, round, vec![]);
+        let collect = ring.span_start_in(
+            0.0,
+            "phase.collect_bids",
+            Subsystem::Coordinator,
+            round,
+            vec![],
+        );
         ring.instant(
             0.1,
             "net.send",
@@ -346,8 +375,18 @@ mod tests {
             Subsystem::Network,
             vec![Field::u64("node", 2), Field::str("fate", "dropped")],
         );
-        ring.instant(0.3, "anomaly", Subsystem::Coordinator, vec![Field::str("kind", "late_bid")]);
-        ring.instant(0.35, "chaos.retransmit", Subsystem::Chaos, vec![Field::u64("machine", 2)]);
+        ring.instant(
+            0.3,
+            "anomaly",
+            Subsystem::Coordinator,
+            vec![Field::str("kind", "late_bid")],
+        );
+        ring.instant(
+            0.35,
+            "chaos.retransmit",
+            Subsystem::Chaos,
+            vec![Field::u64("machine", 2)],
+        );
         ring.counter(0.4, "net.messages", Subsystem::Network, 2);
         ring.gauge(0.4, "session.healthy", Subsystem::Session, 3.0);
         ring.histogram(0.4, "chaos.backoff", Subsystem::Chaos, 0.05);
@@ -380,7 +419,10 @@ mod tests {
         reg.add("net.machine.0", 2);
         reg.add("netother", 9);
         let per_machine = reg.counters_with_prefix("net.machine.");
-        assert_eq!(per_machine, vec![("net.machine.0", 2), ("net.machine.1", 4)]);
+        assert_eq!(
+            per_machine,
+            vec![("net.machine.0", 2), ("net.machine.1", 4)]
+        );
     }
 
     #[test]
@@ -397,7 +439,10 @@ mod tests {
         let json = snap.to_json();
         let reparsed = Json::parse(&json.render()).unwrap();
         assert_eq!(
-            reparsed.get("counters").and_then(|c| c.get("messages")).and_then(Json::as_u64),
+            reparsed
+                .get("counters")
+                .and_then(|c| c.get("messages"))
+                .and_then(Json::as_u64),
             Some(12)
         );
         assert_eq!(

@@ -105,13 +105,26 @@ impl fmt::Display for ReplayError {
                 write!(f, "span {} opened under unknown parent {}", id.0, parent.0)
             }
             ReplayError::ChildStillOpen { parent, child } => {
-                write!(f, "span {} closed while child {} still open", parent.0, child.0)
+                write!(
+                    f,
+                    "span {} closed while child {} still open",
+                    parent.0, child.0
+                )
             }
             ReplayError::NegativeDuration { id, start, end } => {
-                write!(f, "span {} ends at t={end} before its start t={start}", id.0)
+                write!(
+                    f,
+                    "span {} ends at t={end} before its start t={start}",
+                    id.0
+                )
             }
             ReplayError::UnclosedSpans { open } => {
-                write!(f, "{} span(s) never closed (first id {})", open.len(), open[0].0)
+                write!(
+                    f,
+                    "{} span(s) never closed (first id {})",
+                    open.len(),
+                    open[0].0
+                )
             }
         }
     }
@@ -151,7 +164,12 @@ pub fn replay_spans(events: &[TelemetryEvent]) -> Result<Vec<CompletedSpan>, Rep
                     None => 0,
                     Some(p) => match open.get(p) {
                         Some(parent_span) => parent_span.depth + 1,
-                        None => return Err(ReplayError::UnknownParent { id: *id, parent: *p }),
+                        None => {
+                            return Err(ReplayError::UnknownParent {
+                                id: *id,
+                                parent: *p,
+                            })
+                        }
                     },
                 };
                 open.insert(
@@ -169,10 +187,16 @@ pub fn replay_spans(events: &[TelemetryEvent]) -> Result<Vec<CompletedSpan>, Rep
             }
             EventKind::SpanEnd { id } => {
                 let Some(span) = open.remove(id) else {
-                    return Err(ReplayError::EndWithoutStart { id: *id, at: event.at });
+                    return Err(ReplayError::EndWithoutStart {
+                        id: *id,
+                        at: event.at,
+                    });
                 };
                 if let Some(child) = open.iter().find(|(_, s)| s.parent == Some(*id)) {
-                    return Err(ReplayError::ChildStillOpen { parent: *id, child: *child.0 });
+                    return Err(ReplayError::ChildStillOpen {
+                        parent: *id,
+                        child: *child.0,
+                    });
                 }
                 if event.at < span.start {
                     return Err(ReplayError::NegativeDuration {
@@ -214,8 +238,19 @@ mod tests {
     #[test]
     fn nested_spans_replay_cleanly() {
         let ring = RingCollector::new(64);
-        let round = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![Field::u64("round", 1)]);
-        let collect = ring.span_start_in(0.0, "phase.collect_bids", Subsystem::Coordinator, round, vec![]);
+        let round = ring.span_start(
+            0.0,
+            "round",
+            Subsystem::Coordinator,
+            vec![Field::u64("round", 1)],
+        );
+        let collect = ring.span_start_in(
+            0.0,
+            "phase.collect_bids",
+            Subsystem::Coordinator,
+            round,
+            vec![],
+        );
         ring.instant(0.1, "net.send", Subsystem::Network, vec![]);
         ring.span_end(0.4, collect);
         let exec = ring.span_start_in(0.4, "phase.execute", Subsystem::Coordinator, round, vec![]);
@@ -228,7 +263,10 @@ mod tests {
         assert_eq!(spans[0].name, "phase.collect_bids");
         assert_eq!(spans[0].depth, 1);
         assert_eq!(spans[1].name, "phase.execute");
-        assert_eq!(spans[1].field("acks"), Some(&crate::event::FieldValue::U64(4)));
+        assert_eq!(
+            spans[1].field("acks"),
+            Some(&crate::event::FieldValue::U64(4))
+        );
         assert_eq!(spans[2].name, "round");
         assert_eq!(spans[2].depth, 0);
         assert!((spans[2].duration() - 1.0).abs() < 1e-12);
@@ -241,7 +279,13 @@ mod tests {
         ring.span_end(1.0, SpanId(42));
         // span_end on an id the ring never issued still records the event.
         let err = replay_spans(&ring.snapshot()).unwrap_err();
-        assert_eq!(err, ReplayError::EndWithoutStart { id: SpanId(42), at: 1.0 });
+        assert_eq!(
+            err,
+            ReplayError::EndWithoutStart {
+                id: SpanId(42),
+                at: 1.0
+            }
+        );
     }
 
     #[test]
@@ -251,7 +295,13 @@ mod tests {
         let b = ring.span_start_in(0.1, "phase.allocate", Subsystem::Coordinator, a, vec![]);
         ring.span_end(0.2, a);
         let err = replay_spans(&ring.snapshot()).unwrap_err();
-        assert_eq!(err, ReplayError::ChildStillOpen { parent: a, child: b });
+        assert_eq!(
+            err,
+            ReplayError::ChildStillOpen {
+                parent: a,
+                child: b
+            }
+        );
     }
 
     #[test]
@@ -276,8 +326,17 @@ mod tests {
     #[test]
     fn unknown_parent_is_rejected() {
         let ring = RingCollector::new(8);
-        let _ = ring.span_start_in(0.0, "phase.settle", Subsystem::Coordinator, SpanId(99), vec![]);
-        assert!(matches!(replay_spans(&ring.snapshot()), Err(ReplayError::UnknownParent { .. })));
+        let _ = ring.span_start_in(
+            0.0,
+            "phase.settle",
+            Subsystem::Coordinator,
+            SpanId(99),
+            vec![],
+        );
+        assert!(matches!(
+            replay_spans(&ring.snapshot()),
+            Err(ReplayError::UnknownParent { .. })
+        ));
     }
 
     #[test]

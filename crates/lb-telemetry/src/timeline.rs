@@ -160,9 +160,19 @@ mod tests {
     #[test]
     fn timeline_nests_and_summarises() {
         let ring = RingCollector::new(64);
-        let round = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![Field::u64("round", 1)]);
-        let collect =
-            ring.span_start_in(0.0, "phase.collect_bids", Subsystem::Coordinator, round, vec![]);
+        let round = ring.span_start(
+            0.0,
+            "round",
+            Subsystem::Coordinator,
+            vec![Field::u64("round", 1)],
+        );
+        let collect = ring.span_start_in(
+            0.0,
+            "phase.collect_bids",
+            Subsystem::Coordinator,
+            round,
+            vec![],
+        );
         ring.instant(
             0.1,
             "anomaly",

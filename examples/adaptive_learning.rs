@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect()
     })?;
 
-    println!("{} protocol rounds, {} control messages total", report.len(), report.total_messages);
+    println!(
+        "{} protocol rounds, {} control messages total",
+        report.len(),
+        report.total_messages
+    );
     let learners = learners.borrow();
     for (i, learner) in learners.iter().enumerate() {
         let pulls = learner.pulls();
@@ -76,7 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             learner.mean_utility(learner.best_arm()),
         );
     }
-    println!("\ncumulative utility of machine 0 over the session: {:+.1}", report.cumulative_utility(0));
-    println!("(every learner's best arm should be `truthful` — Theorem 3.1, discovered empirically)");
+    println!(
+        "\ncumulative utility of machine 0 over the session: {:+.1}",
+        report.cumulative_utility(0)
+    );
+    println!(
+        "(every learner's best arm should be `truthful` — Theorem 3.1, discovered empirically)"
+    );
     Ok(())
 }

@@ -18,8 +18,10 @@ use lbmv::sim::server::ServiceModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mechanism = CompensationBonusMechanism::paper();
-    let specs: Vec<NodeSpec> =
-        paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+    let specs: Vec<NodeSpec> = paper_true_values()
+        .iter()
+        .map(|&t| NodeSpec::truthful(t))
+        .collect();
     let config = ProtocolConfig {
         total_rate: PAPER_ARRIVAL_RATE,
         link_latency: 0.002,
@@ -35,21 +37,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. C1's bid is lost: the coordinator times out, excludes C1, and the
     //    round settles over the 15 survivors.
-    let faults = FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() };
+    let faults = FaultPlan {
+        lose_bids_from: vec![0],
+        ..FaultPlan::none()
+    };
     let outcome = run_protocol_round_with_faults(&mechanism, &specs, &config, &faults)?;
     println!("C1 bid lost:");
-    println!("  C1 rate {:.2}, payment {:+.2} (excluded)", outcome.rates[0], outcome.payments[0]);
+    println!(
+        "  C1 rate {:.2}, payment {:+.2} (excluded)",
+        outcome.rates[0], outcome.payments[0]
+    );
     println!(
         "  load conservation over survivors: total rate = {:.3}",
         outcome.rates.iter().sum::<f64>()
     );
-    println!("  C2 payment {:+.2} (paid as in the 15-machine system)", outcome.payments[1]);
+    println!(
+        "  C2 payment {:+.2} (paid as in the 15-machine system)",
+        outcome.payments[1]
+    );
 
     // 2. Lost completion acks: settlement proceeds from the coordinator's
     //    own measurements.
-    let faults = FaultPlan { lose_acks_from: vec![3, 7], ..FaultPlan::none() };
+    let faults = FaultPlan {
+        lose_acks_from: vec![3, 7],
+        ..FaultPlan::none()
+    };
     let outcome = run_protocol_round_with_faults(&mechanism, &specs, &config, &faults)?;
-    println!("\nC4+C8 acks lost: round still settles; C4 payment {:+.2}", outcome.payments[3]);
+    println!(
+        "\nC4+C8 acks lost: round still settles; C4 payment {:+.2}",
+        outcome.payments[3]
+    );
 
     // 3. Audit: nodes recompute their payments from the broadcast settlement.
     let record = SettlementRecord {
@@ -59,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         claimed_payments: outcome.payments.clone(),
     };
     let report = audit_settlement(&mechanism, &record, 1e-9)?;
-    println!("\naudit of the honest settlement: all verified = {}", report.all_verified());
+    println!(
+        "\naudit of the honest settlement: all verified = {}",
+        report.all_verified()
+    );
 
     let mut tampered = record;
     tampered.claimed_payments[4] -= 1.0;
@@ -74,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    lost, but the chaos runtime re-requests it after a timeout and the
     //    retry gets through — C1 is *included*, not excluded.
     let mut chaos = ChaosConfig::reliable(17);
-    chaos.plan = FaultPlan { lose_bid_attempts: vec![(0, 1)], ..FaultPlan::none() };
+    chaos.plan = FaultPlan {
+        lose_bid_attempts: vec![(0, 1)],
+        ..FaultPlan::none()
+    };
     let report = run_chaos_round(&mechanism, &specs, &config, &chaos)?;
     println!("\nC1's first bid lost, retransmission succeeds:");
     println!(
@@ -92,7 +115,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the bounded backoff schedule the coordinator falls back to exclusion
     //    and the round settles over the survivors.
     let mut chaos = ChaosConfig::reliable(17);
-    chaos.plan = FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() };
+    chaos.plan = FaultPlan {
+        lose_bids_from: vec![0],
+        ..FaultPlan::none()
+    };
     let report = run_chaos_round(&mechanism, &specs, &config, &chaos)?;
     println!("\nC1 silent through all retries:");
     println!(

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let at = ArcherTardosMechanism::closed_form();
 
     println!("arrival-rate sweep on the paper's 16-computer system:");
-    println!("{:>6} {:>14} {:>16} {:>8} {:>10}", "R", "total payment", "total valuation", "ratio", "AT ratio");
+    println!(
+        "{:>6} {:>14} {:>16} {:>8} {:>10}",
+        "R", "total payment", "total valuation", "ratio", "AT ratio"
+    );
     let sys = paper_system();
     for k in 1..=10 {
         let r = 2.0 * f64::from(k);

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Capacity-aware strategic effects with no linear-model analogue:
     println!("\nmachine 0 under-bids (t/2, i.e. claims mu = 20):");
-    match run_mechanism(&mechanism, &Profile::with_deviation(&system, rate, 0, 0.5, 2.0)?) {
+    match run_mechanism(
+        &mechanism,
+        &Profile::with_deviation(&system, rate, 0, 0.5, 2.0)?,
+    ) {
         Ok(out) => println!("  utility {:+.4}", out.utilities[0]),
         Err(MechanismError::Core(e)) => {
             println!("  round aborted: {e}");
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nmachine 0 over-bids consistently (1.5x):");
-    let out = run_mechanism(&mechanism, &Profile::with_deviation(&system, rate, 0, 1.5, 1.5)?)?;
+    let out = run_mechanism(
+        &mechanism,
+        &Profile::with_deviation(&system, rate, 0, 1.5, 1.5)?,
+    )?;
     println!(
         "  utility {:+.4} (truthful was {:+.4} — lying still loses)",
         out.utilities[0], truthful.utilities[0]

@@ -28,9 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table 1 system: 16 computers, t in {{1, 2, 5, 10}}, R = {PAPER_ARRIVAL_RATE} jobs/s");
     println!("theoretical optimum L* = {optimum:.2}\n");
 
-    println!("{:<8} {:>12} {:>10} {:>12} {:>12}", "Exp", "latency L", "vs True1", "C1 payment", "C1 utility");
+    println!(
+        "{:<8} {:>12} {:>10} {:>12} {:>12}",
+        "Exp", "latency L", "vs True1", "C1 payment", "C1 utility"
+    );
     for (name, bid_factor, exec_factor) in EXPERIMENTS {
-        let profile = Profile::with_deviation(&system, PAPER_ARRIVAL_RATE, 0, bid_factor, exec_factor)?;
+        let profile =
+            Profile::with_deviation(&system, PAPER_ARRIVAL_RATE, 0, bid_factor, exec_factor)?;
         let out = run_mechanism(&mechanism, &profile)?;
         println!(
             "{:<8} {:>12.2} {:>9.1}% {:>12.2} {:>12.2}",

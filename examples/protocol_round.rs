@@ -17,8 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mechanism = CompensationBonusMechanism::paper();
 
     // The paper's 16 computers; C1 over-bids and matches its bid (High1).
-    let mut specs: Vec<NodeSpec> =
-        paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
+    let mut specs: Vec<NodeSpec> = paper_true_values()
+        .iter()
+        .map(|&t| NodeSpec::truthful(t))
+        .collect();
     specs[0] = NodeSpec::strategic(1.0, 3.0, 3.0);
 
     let config = ProtocolConfig {
@@ -36,22 +38,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let outcome = run_protocol_round(&mechanism, &specs, &config)?;
     println!("deterministic runtime:");
-    println!("  messages: {} ({} per node), bytes: {}", outcome.stats.messages,
-        outcome.stats.messages / specs.len() as u64, outcome.stats.bytes);
-    println!("  C1: rate {:.3}, estimated t~ {:.3}, payment {:+.2}, utility {:+.2}",
-        outcome.rates[0], outcome.estimated_exec_values[0], outcome.payments[0], outcome.utilities[0]);
-    println!("  C2: rate {:.3}, payment {:+.2}, utility {:+.2}",
-        outcome.rates[1], outcome.payments[1], outcome.utilities[1]);
+    println!(
+        "  messages: {} ({} per node), bytes: {}",
+        outcome.stats.messages,
+        outcome.stats.messages / specs.len() as u64,
+        outcome.stats.bytes
+    );
+    println!(
+        "  C1: rate {:.3}, estimated t~ {:.3}, payment {:+.2}, utility {:+.2}",
+        outcome.rates[0],
+        outcome.estimated_exec_values[0],
+        outcome.payments[0],
+        outcome.utilities[0]
+    );
+    println!(
+        "  C2: rate {:.3}, payment {:+.2}, utility {:+.2}",
+        outcome.rates[1], outcome.payments[1], outcome.utilities[1]
+    );
 
     let threaded = run_protocol_round_threaded(&mechanism, &specs, &config)?;
     println!("\nthreaded runtime (crossbeam channels, binary codec):");
-    println!("  messages: {}, bytes: {}", threaded.stats.messages, threaded.stats.bytes);
+    println!(
+        "  messages: {}, bytes: {}",
+        threaded.stats.messages, threaded.stats.bytes
+    );
     let max_dp = outcome
         .payments
         .iter()
         .zip(&threaded.payments)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    println!("  max payment difference vs deterministic runtime: {max_dp:.3e} (bit-identical protocol)");
+    println!(
+        "  max payment difference vs deterministic runtime: {max_dp:.3e} (bit-identical protocol)"
+    );
     Ok(())
 }

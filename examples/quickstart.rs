@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let strategic = Profile::with_deviation(&system, total_rate, 0, 3.0, 2.0)?;
     let outcome = lbmv::mechanism::run_mechanism(&mechanism, &strategic)?;
     println!("\nafter machine 0 lies and stalls:");
-    println!("  machine 0: payment {:+.3}, utility {:+.3}", outcome.payments[0], outcome.utilities[0]);
+    println!(
+        "  machine 0: payment {:+.3}, utility {:+.3}",
+        outcome.payments[0], outcome.utilities[0]
+    );
     println!("  (lower than its truthful utility — lying does not pay; Theorem 3.1)");
     Ok(())
 }

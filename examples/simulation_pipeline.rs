@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "C1 payment: {:+.2} (oracle with exact t~: {:+.2})",
         round.outcome.payments[0], round.oracle_outcome.payments[0]
     );
-    println!("max |payment error| across machines: {:.4}", round.max_payment_error());
+    println!(
+        "max |payment error| across machines: {:.4}",
+        round.max_payment_error()
+    );
     println!(
         "estimated total latency {:.2} vs analytic {:.2}",
         round.report.estimated_total_latency, round.oracle_outcome.total_latency

@@ -19,8 +19,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Best response of machine 0 against truthful opponents.
     let base = Profile::truthful(&system, rate)?;
     let br = best_response(&mechanism, &base, 0, &SearchOptions::default())?;
-    println!("machine 0 best response: bid {:.3}, exec {:.3}", br.bid, br.exec_value);
-    println!("  utility {:.4} vs truthful {:.4} (gain {:+.2e})", br.utility, br.truthful_utility, br.gain());
+    println!(
+        "machine 0 best response: bid {:.3}, exec {:.3}",
+        br.bid, br.exec_value
+    );
+    println!(
+        "  utility {:.4} vs truthful {:.4} (gain {:+.2e})",
+        br.utility,
+        br.truthful_utility,
+        br.gain()
+    );
 
     // 2. Iterated best-response dynamics from a manipulated start.
     let trues = system.true_values();
@@ -32,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ndynamics: converged = {}, sweeps = {}, final bids {:?}",
         report.converged,
         report.sweeps,
-        report.final_bids().iter().map(|b| format!("{b:.2}")).collect::<Vec<_>>()
+        report
+            .final_bids()
+            .iter()
+            .map(|b| format!("{b:.2}"))
+            .collect::<Vec<_>>()
     );
     println!(
         "  distance from the truth-equivalent class: {:.2e}",

@@ -40,7 +40,11 @@ fn only_the_verified_mechanism_reacts_to_execution() {
         if *reacts {
             assert!(p_lazy < p_honest - 1e-6, "{} did not react", mech.name());
         } else {
-            assert!((p_lazy - p_honest).abs() < 1e-9, "{} reacted unexpectedly", mech.name());
+            assert!(
+                (p_lazy - p_honest).abs() < 1e-9,
+                "{} reacted unexpectedly",
+                mech.name()
+            );
         }
     }
 }
@@ -71,17 +75,25 @@ fn verified_and_unverified_differ_exactly_by_the_execution_response() {
     let alloc = mech_v.allocate(profile.bids(), PAPER_ARRIVAL_RATE).unwrap();
 
     let pv = mech_v
-        .payments(profile.bids(), &alloc, profile.exec_values(), PAPER_ARRIVAL_RATE)
+        .payments(
+            profile.bids(),
+            &alloc,
+            profile.exec_values(),
+            PAPER_ARRIVAL_RATE,
+        )
         .unwrap();
     let pu = mech_u
-        .payments(profile.bids(), &alloc, profile.exec_values(), PAPER_ARRIVAL_RATE)
+        .payments(
+            profile.bids(),
+            &alloc,
+            profile.exec_values(),
+            PAPER_ARRIVAL_RATE,
+        )
         .unwrap();
 
     let x0 = alloc.rate(0);
-    let declared_latency =
-        lbmv::core::total_latency_linear(&alloc, profile.bids()).unwrap();
-    let actual_latency =
-        lbmv::core::total_latency_linear(&alloc, profile.exec_values()).unwrap();
+    let declared_latency = lbmv::core::total_latency_linear(&alloc, profile.bids()).unwrap();
+    let actual_latency = lbmv::core::total_latency_linear(&alloc, profile.exec_values()).unwrap();
     // Agent 0: ΔP = ΔC + ΔB = (t̃−b)x − (L_actual − L_declared).
     let expected_delta =
         (profile.exec_values()[0] - profile.bids()[0]) * x0 - (actual_latency - declared_latency);

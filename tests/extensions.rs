@@ -70,7 +70,11 @@ fn learners_converge_to_truth_through_the_real_protocol() {
     .unwrap();
 
     for (i, learner) in learners.borrow().iter().enumerate() {
-        assert_eq!(learner.best_arm(), 0, "machine {i} did not learn truthfulness");
+        assert_eq!(
+            learner.best_arm(),
+            0,
+            "machine {i} did not learn truthfulness"
+        );
     }
 }
 
@@ -78,9 +82,14 @@ fn learners_converge_to_truth_through_the_real_protocol() {
 fn fault_then_audit_pipeline() {
     // Round with faults, then the settlement audit passes end-to-end.
     let mechanism = CompensationBonusMechanism::paper();
-    let specs: Vec<NodeSpec> =
-        paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect();
-    let faults = FaultPlan { lose_acks_from: vec![2], ..FaultPlan::none() };
+    let specs: Vec<NodeSpec> = paper_true_values()
+        .iter()
+        .map(|&t| NodeSpec::truthful(t))
+        .collect();
+    let faults = FaultPlan {
+        lose_acks_from: vec![2],
+        ..FaultPlan::none()
+    };
     let outcome = run_protocol_round_with_faults(&mechanism, &specs, &config(), &faults).unwrap();
 
     let record = SettlementRecord {
@@ -101,7 +110,10 @@ fn excluded_machine_bonus_identity() {
     let mechanism = CompensationBonusMechanism::paper();
     let trues = paper_true_values();
     let specs: Vec<NodeSpec> = trues.iter().map(|&t| NodeSpec::truthful(t)).collect();
-    let faults = FaultPlan { lose_bids_from: vec![0], ..FaultPlan::none() };
+    let faults = FaultPlan {
+        lose_bids_from: vec![0],
+        ..FaultPlan::none()
+    };
     let outcome = run_protocol_round_with_faults(&mechanism, &specs, &config(), &faults).unwrap();
 
     let survivors = lbmv::core::System::from_true_values(&trues[1..]).unwrap();

@@ -1,0 +1,27 @@
+//! Bounded fuzz smoke: every differential oracle holds over a fixed-seed
+//! budget small enough for `cargo test`. The CI job runs the same oracles
+//! at 10⁴ iterations through the `lb-fuzz` binary in release mode.
+
+use lb_fuzz::{registry, run_oracle, FuzzConfig};
+
+#[test]
+fn all_oracles_hold_for_the_smoke_budget() {
+    let config = FuzzConfig {
+        seed: 0x5EED_CAFE,
+        iterations: 200,
+    };
+    for oracle in registry() {
+        let report = run_oracle(oracle, &config);
+        assert!(
+            report.failures.is_empty(),
+            "oracle {} failed {} time(s); first: iteration {} (reproduce with \
+             `cargo run -p lb-fuzz -- --oracle {} --raw-seed {}`): {}",
+            oracle.name,
+            report.failures.len(),
+            report.failures[0].iteration,
+            oracle.name,
+            report.failures[0].seed,
+            report.failures[0].message
+        );
+    }
+}

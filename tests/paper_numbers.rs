@@ -7,7 +7,8 @@ use lbmv::mechanism::{run_mechanism, CompensationBonusMechanism, Profile};
 
 fn run(bid_factor: f64, exec_factor: f64) -> lbmv::mechanism::MechanismOutcome {
     let sys = paper_system();
-    let profile = Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, bid_factor, exec_factor).unwrap();
+    let profile =
+        Profile::with_deviation(&sys, PAPER_ARRIVAL_RATE, 0, bid_factor, exec_factor).unwrap();
     run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap()
 }
 
@@ -85,7 +86,12 @@ fn low2_fines_c1() {
     assert!(out.payments[0] < 0.0);
     assert!(out.utilities[0] < 0.0);
     let breakdown = mech
-        .payment_breakdown(profile.bids(), &out.allocation, profile.exec_values(), PAPER_ARRIVAL_RATE)
+        .payment_breakdown(
+            profile.bids(),
+            &out.allocation,
+            profile.exec_values(),
+            PAPER_ARRIVAL_RATE,
+        )
         .unwrap();
     assert!(breakdown[0].bonus < 0.0);
     assert!(breakdown[0].bonus.abs() > breakdown[0].compensation);

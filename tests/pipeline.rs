@@ -60,7 +60,11 @@ fn stochastic_simulation_converges_to_analytic_with_horizon() {
     // Error shrinks with horizon (allow one inversion from noise between the
     // first two, but the longest horizon must beat the shortest).
     assert!(errors[2] < errors[0], "errors did not shrink: {errors:?}");
-    assert!(errors[2] / analytic.total_latency < 0.02, "final rel error {}", errors[2]);
+    assert!(
+        errors[2] / analytic.total_latency < 0.02,
+        "final rel error {}",
+        errors[2]
+    );
 }
 
 #[test]
@@ -82,8 +86,14 @@ fn protocol_and_direct_mechanism_agree() {
     let direct = run_mechanism(&mech, &profile).unwrap();
 
     for i in 0..16 {
-        assert!((proto.payments[i] - direct.payments[i]).abs() < 1e-6, "payment {i}");
-        assert!((proto.utilities[i] - direct.utilities[i]).abs() < 1e-6, "utility {i}");
+        assert!(
+            (proto.payments[i] - direct.payments[i]).abs() < 1e-6,
+            "payment {i}"
+        );
+        assert!(
+            (proto.utilities[i] - direct.utilities[i]).abs() < 1e-6,
+            "utility {i}"
+        );
     }
     // Low2's fine survives the full protocol path.
     assert!(proto.payments[0] < 0.0);
@@ -140,10 +150,17 @@ fn estimator_noise_perturbs_payments_boundedly() {
         model: ServiceModel::StationaryExponential,
         workload: Default::default(),
         warmup: 0.0,
-        estimator: EstimatorConfig { max_samples: None, noise_cv: 0.2 },
+        estimator: EstimatorConfig {
+            max_samples: None,
+            noise_cv: 0.2,
+        },
     };
     let round = verified_round(&mech, &profile, &noisy).unwrap();
     // With thousands of samples, even 20% per-observation noise keeps the
     // payment error small relative to payment magnitudes (~20+).
-    assert!(round.max_payment_error() < 2.0, "error {}", round.max_payment_error());
+    assert!(
+        round.max_payment_error() < 2.0,
+        "error {}",
+        round.max_payment_error()
+    );
 }

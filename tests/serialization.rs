@@ -67,7 +67,10 @@ fn decoded_outcome_preserves_accounting_identities() {
     let back: MechanismOutcome = decode(&bytes).unwrap();
     // The identities survive serialization bit-exactly.
     for i in 0..back.payments.len() {
-        assert_eq!(back.utilities[i], outcome.payments[i] + outcome.valuations[i]);
+        assert_eq!(
+            back.utilities[i],
+            outcome.payments[i] + outcome.valuations[i]
+        );
     }
     assert_eq!(back.total_latency, outcome.total_latency);
 }

@@ -34,7 +34,10 @@ fn paper_config(seed: u64) -> ProtocolConfig {
 }
 
 fn truthful_specs() -> Vec<NodeSpec> {
-    paper_true_values().iter().map(|&t| NodeSpec::truthful(t)).collect()
+    paper_true_values()
+        .iter()
+        .map(|&t| NodeSpec::truthful(t))
+        .collect()
 }
 
 /// Runs a 3-round heavy-chaos session on the paper system, recording into a
@@ -65,7 +68,9 @@ fn chaos_session_recording_replays_and_matches_the_wire() {
     assert_eq!(reloaded, events);
     let spans = replay_spans(&reloaded).unwrap();
     assert_eq!(spans.iter().filter(|s| s.name == "round").count(), 3);
-    assert!(spans.iter().any(|s| s.name == "phase.collect_bids" && s.depth == 1));
+    assert!(spans
+        .iter()
+        .any(|s| s.name == "phase.collect_bids" && s.depth == 1));
 
     // The metrics derived from the recording agree with the protocol's own
     // accounting — every send attempt, drops included, on both sides.
@@ -79,7 +84,11 @@ fn chaos_session_recording_replays_and_matches_the_wire() {
 #[test]
 fn audit_broadcast_counters_match_the_audit_cost() {
     let (report, mut events) = recorded_session(7);
-    let last = report.rounds.last().and_then(|r| r.settled()).expect("settled round");
+    let last = report
+        .rounds
+        .last()
+        .and_then(|r| r.settled())
+        .expect("settled round");
     let record = SettlementRecord {
         bids: truthful_specs().iter().map(|s| s.bid).collect(),
         estimated_exec_values: last.outcome.estimated_exec_values.clone(),
@@ -119,17 +128,11 @@ fn recording_a_session_does_not_change_its_outcome() {
     let config = paper_config(3);
     let session = ChaosSessionConfig::new(3, ChaosConfig::heavy(7));
 
-    let plain =
-        run_chaos_session(&mechanism, &config, &session, |_, _| truthful_specs()).unwrap();
+    let plain = run_chaos_session(&mechanism, &config, &session, |_, _| truthful_specs()).unwrap();
     let ring = Arc::new(RingCollector::new(65_536));
-    let observed = run_chaos_session_observed(
-        &mechanism,
-        &config,
-        &session,
-        |_, _| truthful_specs(),
-        ring,
-    )
-    .unwrap();
+    let observed =
+        run_chaos_session_observed(&mechanism, &config, &session, |_, _| truthful_specs(), ring)
+            .unwrap();
 
     assert_eq!(plain.total_messages, observed.total_messages);
     assert_eq!(plain.total_retries, observed.total_retries);

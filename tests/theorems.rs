@@ -14,10 +14,19 @@ fn theorem_3_1_on_the_paper_system_every_agent() {
     let sys = paper_system();
     let mech = CompensationBonusMechanism::paper();
     for agent in 0..16 {
-        let report =
-            truthfulness_scan(&mech, &sys, PAPER_ARRIVAL_RATE, agent, &DeviationGrid::default())
-                .unwrap();
-        assert!(report.is_truthful_optimal(1e-9), "agent {agent} gains {}", report.max_gain());
+        let report = truthfulness_scan(
+            &mech,
+            &sys,
+            PAPER_ARRIVAL_RATE,
+            agent,
+            &DeviationGrid::default(),
+        )
+        .unwrap();
+        assert!(
+            report.is_truthful_optimal(1e-9),
+            "agent {agent} gains {}",
+            report.max_gain()
+        );
     }
 }
 
@@ -27,7 +36,11 @@ fn theorem_3_1_dense_grid_for_c1() {
     let mech = CompensationBonusMechanism::paper();
     let report =
         truthfulness_scan(&mech, &sys, PAPER_ARRIVAL_RATE, 0, &DeviationGrid::dense()).unwrap();
-    assert!(report.is_truthful_optimal(1e-9), "gain {}", report.max_gain());
+    assert!(
+        report.is_truthful_optimal(1e-9),
+        "gain {}",
+        report.max_gain()
+    );
 }
 
 #[test]
@@ -66,7 +79,11 @@ fn theorem_3_2_boundary_inconsistent_opponents_can_hurt_truthful_agents() {
     let exec = vec![1.0, 10.0, 10.0, 10.0];
     let profile = Profile::new(trues, bids, exec, 8.0).unwrap();
     let out = run_mechanism(&CompensationBonusMechanism::paper(), &profile).unwrap();
-    assert!(out.utilities[0] < 0.0, "truthful agent should lose here: {}", out.utilities[0]);
+    assert!(
+        out.utilities[0] < 0.0,
+        "truthful agent should lose here: {}",
+        out.utilities[0]
+    );
 }
 
 proptest! {
