@@ -75,6 +75,39 @@ fn bench_threaded_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tracing overhead: the same deterministic round untraced, fully traced
+/// (wire trailers + span recording into a ring), and head-sampled away
+/// (collector attached but every round rejected, the production idle state).
+/// The untraced/traced ratio is the number the ≤10% overhead budget in
+/// DESIGN.md §12 is judged against.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    use lb_proto::runtime::run_protocol_round_observed;
+    use lb_telemetry::{noop_collector, RingCollector};
+    use std::sync::Arc;
+    let mut group = c.benchmark_group("protocol_tracing");
+    group.sample_size(20);
+    let mech = CompensationBonusMechanism::paper();
+    for n in [16usize, 64] {
+        let s = specs(n);
+        group.bench_with_input(BenchmarkId::new("untraced", n), &s, |b, s| {
+            b.iter(|| run_protocol_round(black_box(&mech), s, &proto_config()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("traced", n), &s, |b, s| {
+            b.iter(|| {
+                let ring = Arc::new(RingCollector::new(16_384));
+                run_protocol_round_observed(black_box(&mech), s, &proto_config(), ring).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("noop_collector", n), &s, |b, s| {
+            b.iter(|| {
+                run_protocol_round_observed(black_box(&mech), s, &proto_config(), noop_collector())
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_faulty_round(c: &mut Criterion) {
     use lb_proto::faults::{run_protocol_round_with_faults, FaultPlan};
     let mut group = c.benchmark_group("protocol_faults");
@@ -127,6 +160,7 @@ criterion_group!(
     bench_codec,
     bench_round_scaling,
     bench_threaded_round,
+    bench_tracing_overhead,
     bench_faulty_round,
     bench_audit,
     bench_session

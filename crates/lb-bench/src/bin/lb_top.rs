@@ -1,0 +1,351 @@
+//! `lb-top` — a terminal dashboard over lbmv telemetry recordings.
+//!
+//! Reads a JSONL trace recording (the [`lb_telemetry::to_jsonl`] format every
+//! instrumented driver can produce) from a file or from a live
+//! [`lb_telemetry::ExposeServer`] `/trace` endpoint, rebuilds the span forest
+//! and metric registry, and renders per-round phase timings, per-machine
+//! allocation and payment gauges, network counters and retransmission
+//! histograms as plain ANSI text.
+//!
+//! ```text
+//! lb_top --file round_trace.jsonl --once        # one frame (CI mode)
+//! lb_top --url 127.0.0.1:9100                   # live, refresh every second
+//! lb_top --url 127.0.0.1:9100 --interval 0.25   # faster refresh
+//! ```
+//!
+//! `--once` renders exactly one frame with no cursor control, so output is
+//! pipe- and CI-friendly; live mode redraws in place until interrupted.
+
+use lb_telemetry::{
+    from_jsonl, replay_spans, CompletedSpan, FieldValue, MetricsRegistry, MetricsSnapshot,
+    TelemetryEvent,
+};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Where the recording comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Source {
+    /// A JSONL file on disk.
+    File(String),
+    /// `host:port` of a live exposition server; `/trace` is fetched.
+    Url(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    source: Source,
+    once: bool,
+    interval: f64,
+}
+
+const USAGE: &str = "usage: lb_top (--file PATH | --url HOST:PORT) [--once] [--interval SECS]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut file = None;
+    let mut url = None;
+    let mut once = false;
+    let mut interval = 1.0f64;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--file" => file = Some(value("--file")?),
+            "--url" => url = Some(value("--url")?),
+            "--once" => once = true,
+            "--interval" => {
+                interval = value("--interval")?
+                    .parse()
+                    .map_err(|e| format!("--interval: {e}"))?;
+                if !(interval > 0.0 && interval.is_finite()) {
+                    return Err("--interval must be a positive number".into());
+                }
+            }
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    let source = match (file, url) {
+        (Some(f), None) => Source::File(f),
+        (None, Some(u)) => Source::Url(u),
+        _ => return Err(format!("exactly one of --file/--url required\n{USAGE}")),
+    };
+    Ok(Args {
+        source,
+        once,
+        interval,
+    })
+}
+
+/// Minimal HTTP/1.0 GET against the std-only exposition server: one request,
+/// read to EOF, split off the headers.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("socket timeout: {e}"))?;
+    let request = format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    let (status, rest) = response
+        .split_once("\r\n")
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    if !status.contains("200") {
+        return Err(format!("GET {path}: {status}"));
+    }
+    let body = rest
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or_default();
+    Ok(body.to_string())
+}
+
+fn load_events(source: &Source) -> Result<Vec<TelemetryEvent>, String> {
+    let text = match source {
+        Source::File(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
+        }
+        Source::Url(addr) => http_get(addr, "/trace")?,
+    };
+    from_jsonl(&text).map_err(|e| format!("parse recording: {e}"))
+}
+
+fn field_u64(span: &CompletedSpan, key: &str) -> Option<u64> {
+    span.fields.iter().find(|f| f.key == key).and_then(|f| {
+        if let FieldValue::U64(v) = f.value {
+            Some(v)
+        } else {
+            None
+        }
+    })
+}
+
+fn bar(fraction: f64, width: usize) -> String {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let filled = ((fraction.clamp(0.0, 1.0) * width as f64).round() as usize).min(width);
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+fn phase_line(out: &mut String, spans: &[CompletedSpan], round: &CompletedSpan) {
+    let phases: Vec<&CompletedSpan> = spans
+        .iter()
+        .filter(|s| s.parent == Some(round.id) && s.name.starts_with("phase."))
+        .collect();
+    let total = (round.end - round.start).max(f64::EPSILON);
+    for phase in phases {
+        let dur = phase.end - phase.start;
+        out.push_str(&format!(
+            "    {:<22} {:>10.6}s  {}\n",
+            phase.name,
+            dur,
+            bar(dur / total, 24)
+        ));
+    }
+}
+
+/// Renders one dashboard frame from a parsed recording.
+fn render(events: &[TelemetryEvent], source_label: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "lb-top — {source_label} — {} events\n\n",
+        events.len()
+    ));
+
+    let mut registry = MetricsRegistry::new();
+    registry.ingest(events);
+    let snapshot = registry.snapshot();
+
+    match replay_spans(events) {
+        Ok(spans) => {
+            let rounds: Vec<&CompletedSpan> = spans.iter().filter(|s| s.name == "round").collect();
+            out.push_str(&format!("ROUNDS ({})\n", rounds.len()));
+            for round in rounds {
+                let id = field_u64(round, "round").unwrap_or(0);
+                let n = field_u64(round, "n").unwrap_or(0);
+                let trace = match (field_u64(round, "trace_hi"), field_u64(round, "trace_lo")) {
+                    (Some(hi), Some(lo)) => format!("  trace {hi:016x}{lo:016x}"),
+                    _ => String::new(),
+                };
+                out.push_str(&format!(
+                    "  round {id}  n={n}  {:.6}s{trace}\n",
+                    round.end - round.start
+                ));
+                phase_line(&mut out, &spans, round);
+            }
+            let node_spans = spans.iter().filter(|s| s.name.starts_with("node.")).count();
+            out.push_str(&format!("  node spans: {node_spans}\n"));
+        }
+        Err(e) => out.push_str(&format!("ROUNDS — trace does not replay: {e}\n")),
+    }
+
+    render_machines(&mut out, &snapshot);
+    render_metrics(&mut out, &snapshot);
+    out
+}
+
+fn render_machines(out: &mut String, snapshot: &MetricsSnapshot) {
+    let mut rows: Vec<(u64, f64, f64)> = Vec::new();
+    for (name, value) in &snapshot.gauges {
+        if let Some(m) = name
+            .strip_prefix("alloc.rate.m")
+            .and_then(|m| m.parse().ok())
+        {
+            rows.push((m, *value, f64::NAN));
+        }
+    }
+    for (name, value) in &snapshot.gauges {
+        if let Some(m) = name
+            .strip_prefix("payment.m")
+            .and_then(|m| m.parse::<u64>().ok())
+        {
+            if let Some(row) = rows.iter_mut().find(|r| r.0 == m) {
+                row.2 = *value;
+            } else {
+                rows.push((m, f64::NAN, *value));
+            }
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_by_key(|r| r.0);
+    let max_rate = rows.iter().map(|r| r.1).fold(0.0f64, f64::max).max(1e-300);
+    out.push_str(&format!("\nMACHINES ({})\n", rows.len()));
+    out.push_str("  machine        rate                              payment\n");
+    for (m, rate, payment) in rows {
+        out.push_str(&format!(
+            "  m{m:<4} {rate:>12.6}  {}  {payment:>12.6}\n",
+            bar(rate / max_rate, 24)
+        ));
+    }
+    if let Some(total) = snapshot
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "round.payment.total")
+        .map(|(_, v)| *v)
+    {
+        out.push_str(&format!("  total payment: {total:.6}\n"));
+    }
+}
+
+fn render_metrics(out: &mut String, snapshot: &MetricsSnapshot) {
+    if !snapshot.counters.is_empty() {
+        out.push_str("\nCOUNTERS\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("  {name:<32} {value:>12}\n"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("\nHISTOGRAMS (count / mean / p50 / p95 / p99)\n");
+        for (name, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "  {name:<32} {:>8}  {:>10.6} {:>10.6} {:>10.6} {:>10.6}\n",
+                h.count, h.mean, h.p50, h.p95, h.p99
+            ));
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let label = match &args.source {
+        Source::File(path) => path.clone(),
+        Source::Url(addr) => format!("http://{addr}/trace"),
+    };
+    loop {
+        let events = load_events(&args.source)?;
+        let frame = render(&events, &label);
+        if args.once {
+            print!("{frame}");
+            return Ok(());
+        }
+        // Live mode: clear and home, redraw, sleep. Plain ANSI, no raw mode.
+        print!("\x1b[2J\x1b[H{frame}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_secs_f64(args.interval));
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run(&args) {
+        eprintln!("lb_top: {message}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = include_str!("../../fixtures/round_trace.jsonl");
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_and_reject() {
+        let a = parse_args(&strings(&["--file", "x.jsonl", "--once"])).unwrap();
+        assert_eq!(a.source, Source::File("x.jsonl".into()));
+        assert!(a.once);
+        let a = parse_args(&strings(&["--url", "127.0.0.1:9", "--interval", "0.5"])).unwrap();
+        assert_eq!(a.source, Source::Url("127.0.0.1:9".into()));
+        assert!((a.interval - 0.5).abs() < 1e-12);
+        assert!(parse_args(&strings(&[])).is_err());
+        assert!(parse_args(&strings(&["--file", "a", "--url", "b"])).is_err());
+        assert!(parse_args(&strings(&["--file", "a", "--interval", "-1"])).is_err());
+        assert!(parse_args(&strings(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn fixture_renders_every_section() {
+        let events = from_jsonl(FIXTURE).expect("fixture parses");
+        let frame = render(&events, "fixture");
+        for needle in [
+            "ROUNDS",
+            "phase.collect_bids",
+            "phase.settle",
+            "MACHINES",
+            "total payment:",
+            "COUNTERS",
+            "net.messages",
+            "HISTOGRAMS",
+            "chaos.backoff",
+        ] {
+            assert!(frame.contains(needle), "missing {needle:?} in:\n{frame}");
+        }
+    }
+
+    #[test]
+    fn fixture_replays_into_a_clean_span_forest() {
+        let events = from_jsonl(FIXTURE).expect("fixture parses");
+        let spans = replay_spans(&events).expect("fixture replays");
+        assert!(spans.iter().any(|s| s.name == "round"));
+        assert!(spans.iter().any(|s| s.name == "node.bid"));
+    }
+
+    #[test]
+    fn bars_are_clamped_and_sized() {
+        assert_eq!(bar(0.0, 8), "........");
+        assert_eq!(bar(1.0, 8), "########");
+        assert_eq!(bar(2.0, 8), "########");
+        assert_eq!(bar(0.5, 8), "####....");
+        assert_eq!(bar(-1.0, 8), "........");
+    }
+}

@@ -26,7 +26,7 @@ pub struct Oracle {
     pub run: fn(u64) -> Result<(), String>,
 }
 
-/// The four differential oracles, in dependency order (pure kernels first).
+/// The five differential oracles, in dependency order (pure kernels first).
 #[must_use]
 pub fn registry() -> &'static [Oracle] {
     const ORACLES: &[Oracle] = &[
@@ -49,6 +49,11 @@ pub fn registry() -> &'static [Oracle] {
             name: "session",
             description: "chaos-round invariants under random fault schedules",
             run: oracles::session::check,
+        },
+        Oracle {
+            name: "telemetry",
+            description: "telemetry JSONL round-trip, replay and mutation robustness",
+            run: oracles::telemetry::check,
         },
     ];
     ORACLES
@@ -208,6 +213,6 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_stable() {
         let names: Vec<&str> = registry().iter().map(|o| o.name).collect();
-        assert_eq!(names, ["alloc", "payment", "codec", "session"]);
+        assert_eq!(names, ["alloc", "payment", "codec", "session", "telemetry"]);
     }
 }

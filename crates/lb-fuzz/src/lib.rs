@@ -9,7 +9,7 @@
 //! oracle compares a production kernel against an independent reference
 //! that cannot share its bugs.
 //!
-//! The four oracles (see [`harness::registry`]):
+//! The five oracles (see [`harness::registry`]):
 //!
 //! * `alloc` — the PR closed form ([Theorem 2.1]) vs. the KKT bisection
 //!   solver vs. a double-double reference, on spreads up to 10¹².
@@ -20,6 +20,9 @@
 //! * `session` — full chaos protocol rounds against their seed-independent
 //!   invariants (conservation, voluntary participation, message bounds,
 //!   bit-exact replay).
+//! * `telemetry` — JSONL recording round-trips, span-forest replay and
+//!   byte-mutation robustness of the telemetry parser (typed errors, never
+//!   panics).
 //!
 //! Run from the workspace root:
 //!

@@ -10,6 +10,7 @@ pub mod alloc;
 pub mod codec;
 pub mod payment;
 pub mod session;
+pub mod telemetry;
 
 /// Relative-error budget the numerical oracles enforce against the
 /// double-double references (the acceptance bar for spreads up to 10¹²).

@@ -31,7 +31,7 @@ use lb_mechanism::{MechanismError, VerifiedMechanism};
 use lb_sim::events::EventQueue;
 use lb_sim::time::SimTime;
 use lb_stats::{Rng, Xoshiro256StarStar};
-use lb_telemetry::{noop_collector, Collector, Field, Subsystem};
+use lb_telemetry::{noop_collector, Collector, Field, SpanId, Subsystem, TraceContext};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -327,6 +327,15 @@ impl ChaosRuntime {
         sim.seed = sim.seed.wrapping_add(round.0);
         let mut coordinator = Coordinator::new(mechanism, n, self.protocol.total_rate, round, sim)
             .with_collector(Arc::clone(&self.collector));
+        if self.collector.enabled() {
+            // One deterministic trace per round, derived from the chaos seed
+            // so a replay of the same seed reproduces identical trace ids.
+            // Head-based sampling happens one level up (the session swaps in
+            // a noop collector for unsampled rounds), so an instrumented
+            // round here is always sampled.
+            coordinator =
+                coordinator.with_trace(TraceContext::root(self.chaos.seed, round.0, true));
+        }
         coordinator.set_now(self.network.now().max(self.timers.now()).seconds());
         for (i, &is_active) in active.iter().enumerate() {
             if !is_active {
@@ -380,7 +389,11 @@ impl ChaosRuntime {
         let mut exec_timer_armed = false;
         let mut now: SimTime = self.network.now().max(self.timers.now());
 
-        // Open: bid requests to the active machines only.
+        // Open: bid requests to the active machines only. Open the round's
+        // telemetry spans first so these frames already carry the
+        // `phase.collect_bids` span in their trace context.
+        coordinator.begin_round_telemetry();
+        let wire = coordinator.wire_context();
         for (i, &is_active) in active.iter().enumerate() {
             if !is_active {
                 continue;
@@ -394,7 +407,12 @@ impl ChaosRuntime {
                 message: msg.clone(),
             });
             self.network
-                .send(Endpoint::Coordinator, Endpoint::Node(to), &msg)
+                .send_traced(
+                    Endpoint::Coordinator,
+                    Endpoint::Node(to),
+                    &msg,
+                    wire.as_ref(),
+                )
                 .map_err(codec_err)?;
         }
         self.timers.schedule(
@@ -421,11 +439,13 @@ impl ChaosRuntime {
                         CoordinatorPhase::Done => break,
                         CoordinatorPhase::CollectingBids => {
                             let outgoing = coordinator.close_bidding(&actual_exec)?;
-                            self.send_from_coordinator(outgoing, now, &mut trace)?;
+                            let wire = coordinator.wire_context();
+                            self.send_from_coordinator(outgoing, now, &mut trace, wire.as_ref())?;
                         }
                         CoordinatorPhase::Executing => {
                             let outgoing = coordinator.close_execution()?;
-                            self.send_from_coordinator(outgoing, now, &mut trace)?;
+                            let wire = coordinator.wire_context();
+                            self.send_from_coordinator(outgoing, now, &mut trace, wire.as_ref())?;
                         }
                         CoordinatorPhase::Settling => unreachable!("settling is instantaneous"),
                     }
@@ -471,10 +491,68 @@ impl ChaosRuntime {
                                         &mut runtime_anomalies,
                                         Anomaly::StaleRound,
                                     );
-                                } else if let Some(reply) = nodes[idx].handle(&delivery.message) {
-                                    self.network
-                                        .send(Endpoint::Node(i), Endpoint::Coordinator, &reply)
-                                        .map_err(codec_err)?;
+                                } else {
+                                    // Continue the trace the frame carried.
+                                    // Chaos can deliver a context whose span
+                                    // already closed (a duplicate straggling
+                                    // past a phase transition); those degrade
+                                    // to instants so the recording still
+                                    // replays cleanly.
+                                    let ctx = delivery
+                                        .ctx
+                                        .filter(|c| c.sampled && self.collector.enabled());
+                                    let span = ctx.map_or(SpanId::NULL, |c| {
+                                        let at = now.seconds();
+                                        let fields = vec![Field::u64("machine", u64::from(i))];
+                                        let name = match delivery.message {
+                                            Message::RequestBid { .. } => "node.bid",
+                                            Message::Assign { .. } => "node.execute",
+                                            Message::Payment { .. } => {
+                                                self.collector.instant(
+                                                    at,
+                                                    "node.payment",
+                                                    Subsystem::Node,
+                                                    fields,
+                                                );
+                                                return SpanId::NULL;
+                                            }
+                                            _ => return SpanId::NULL,
+                                        };
+                                        let parent = SpanId(c.span_id);
+                                        if parent.is_null() || parent != coordinator.phase_span() {
+                                            self.collector.instant(
+                                                at,
+                                                name,
+                                                Subsystem::Node,
+                                                fields,
+                                            );
+                                            return SpanId::NULL;
+                                        }
+                                        self.collector.span_start_in(
+                                            at,
+                                            name,
+                                            Subsystem::Node,
+                                            parent,
+                                            fields,
+                                        )
+                                    });
+                                    let reply = nodes[idx].handle(&delivery.message);
+                                    if !span.is_null() {
+                                        self.collector.span_end(now.seconds(), span);
+                                    }
+                                    if let Some(reply) = reply {
+                                        let child = ctx
+                                            .filter(|_| !span.is_null())
+                                            .map(|c| c.with_span(span.0));
+                                        self.network
+                                            .send_traced(
+                                                Endpoint::Node(i),
+                                                Endpoint::Coordinator,
+                                                &reply,
+                                                child.as_ref(),
+                                            )
+                                            .map_err(codec_err)?;
+                                    }
                                 }
                             }
                             Endpoint::Coordinator => {
@@ -491,7 +569,13 @@ impl ChaosRuntime {
                                         message: delivery.message.clone(),
                                     });
                                 }
-                                self.send_from_coordinator(outgoing, now, &mut trace)?;
+                                let wire = coordinator.wire_context();
+                                self.send_from_coordinator(
+                                    outgoing,
+                                    now,
+                                    &mut trace,
+                                    wire.as_ref(),
+                                )?;
                             }
                         }
                     }
@@ -510,8 +594,18 @@ impl ChaosRuntime {
                             if missing.is_empty() || attempt >= self.chaos.bid_retries {
                                 // Retries exhausted: fall back to exclusion.
                                 let outgoing = coordinator.close_bidding(&actual_exec)?;
-                                self.send_from_coordinator(outgoing, now, &mut trace)?;
+                                let wire = coordinator.wire_context();
+                                self.send_from_coordinator(
+                                    outgoing,
+                                    now,
+                                    &mut trace,
+                                    wire.as_ref(),
+                                )?;
                             } else {
+                                // Retransmissions carry the same
+                                // `phase.collect_bids` context as the
+                                // originals: they are part of the same trace.
+                                let wire = coordinator.wire_context();
                                 for &i in &missing {
                                     retries += 1;
                                     if self.collector.enabled() {
@@ -533,7 +627,12 @@ impl ChaosRuntime {
                                         message: msg.clone(),
                                     });
                                     self.network
-                                        .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
+                                        .send_traced(
+                                            Endpoint::Coordinator,
+                                            Endpoint::Node(i),
+                                            &msg,
+                                            wire.as_ref(),
+                                        )
                                         .map_err(codec_err)?;
                                 }
                                 let delay = self.chaos.retry_timeout
@@ -560,7 +659,8 @@ impl ChaosRuntime {
                     ChaosTimer::ExecTimeout { round: r } if r == round => {
                         if coordinator.phase() == CoordinatorPhase::Executing {
                             let outgoing = coordinator.close_execution()?;
-                            self.send_from_coordinator(outgoing, now, &mut trace)?;
+                            let wire = coordinator.wire_context();
+                            self.send_from_coordinator(outgoing, now, &mut trace, wire.as_ref())?;
                         }
                     }
                     // Stale timer from an earlier round: ignore.
@@ -641,12 +741,15 @@ impl ChaosRuntime {
     }
 
     /// Sends coordinator-outbound messages, recording them in the trace at
-    /// the current unified time (the coordinator's send instant).
+    /// the current unified time (the coordinator's send instant). `wire` is
+    /// the coordinator's trace context *after* the transition that produced
+    /// `outgoing`, so frames carry the span of the phase they belong to.
     fn send_from_coordinator(
         &mut self,
         outgoing: Vec<(u32, Message)>,
         now: SimTime,
         trace: &mut RoundTrace,
+        wire: Option<&TraceContext>,
     ) -> Result<(), MechanismError> {
         for (i, msg) in outgoing {
             trace.entries.push(TraceEntry {
@@ -656,7 +759,7 @@ impl ChaosRuntime {
                 message: msg.clone(),
             });
             self.network
-                .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
+                .send_traced(Endpoint::Coordinator, Endpoint::Node(i), &msg, wire)
                 .map_err(codec_err)?;
         }
         Ok(())
@@ -1025,6 +1128,93 @@ mod tests {
         assert_eq!(reg.counter("net.bytes"), report.outcome.stats.bytes);
         assert_eq!(reg.counter("net.fate.dropped"), report.faults.dropped);
         assert_eq!(reg.counter("anomaly.total"), report.anomalies.total());
+    }
+
+    #[test]
+    fn retransmitted_chaotic_round_stitches_into_one_trace() {
+        use lb_telemetry::{replay_spans, EventKind, FieldValue, RingCollector};
+
+        // Machine 0's first bid request is lost; the retransmission carries
+        // the same phase.collect_bids context, so its bid span still stitches
+        // into the one round trace.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        let n = specs.len();
+        let chaos = ChaosConfig {
+            plan: FaultPlan {
+                lose_bid_attempts: vec![(0, 1)],
+                ..FaultPlan::none()
+            },
+            ..ChaosConfig::reliable(42)
+        };
+        let ring = Arc::new(RingCollector::new(65_536));
+        let mut runtime = ChaosRuntime::new(n, config(), chaos);
+        runtime.set_collector(ring.clone());
+        let report = runtime
+            .run_round(&mech, &specs, RoundId(0), &vec![true; n])
+            .unwrap();
+        assert_eq!(report.retries, 1);
+
+        let events = ring.snapshot();
+        let spans = replay_spans(&events).expect("traced chaos recording replays cleanly");
+
+        // The round span advertises the trace id derived from the chaos seed.
+        let expected = TraceContext::root(42, 0, true);
+        let round_start = events
+            .iter()
+            .find(|e| e.name == "round" && matches!(e.kind, EventKind::SpanStart { .. }))
+            .unwrap();
+        #[allow(clippy::cast_possible_truncation)]
+        let lo = expected.trace_id as u64;
+        assert_eq!(round_start.field("trace_lo"), Some(&FieldValue::U64(lo)));
+
+        let phase_id = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} span recorded"))
+                .id
+        };
+        let collect = phase_id("phase.collect_bids");
+        let execute = phase_id("phase.execute");
+        let bids: Vec<_> = spans.iter().filter(|s| s.name == "node.bid").collect();
+        let execs: Vec<_> = spans.iter().filter(|s| s.name == "node.execute").collect();
+        // All n machines bid — machine 0 via the retransmitted request — and
+        // every node span is parented on the matching coordinator phase.
+        assert_eq!(bids.len(), n);
+        assert_eq!(execs.len(), n);
+        assert!(bids.iter().all(|s| s.parent == Some(collect)));
+        assert!(execs.iter().all(|s| s.parent == Some(execute)));
+        assert_eq!(
+            events.iter().filter(|e| e.name == "node.payment").count(),
+            n
+        );
+    }
+
+    #[test]
+    fn heavy_chaos_trace_still_replays_cleanly() {
+        use lb_telemetry::{replay_spans, RingCollector};
+
+        // Under heavy loss/duplication/corruption some contexts arrive stale
+        // (their span already closed). Those must degrade to instants — the
+        // recording must replay cleanly for every seed that settles.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs();
+        for seed in 0..20u64 {
+            let ring = Arc::new(RingCollector::new(65_536));
+            let mut runtime = ChaosRuntime::new(specs.len(), config(), ChaosConfig::heavy(seed));
+            runtime.set_collector(ring.clone());
+            match runtime.run_round(&mech, &specs, RoundId(0), &vec![true; specs.len()]) {
+                Ok(_) => {
+                    let events = ring.snapshot();
+                    assert_eq!(ring.overwritten(), 0, "seed {seed}: ring too small");
+                    replay_spans(&events)
+                        .unwrap_or_else(|e| panic!("seed {seed}: replay failed: {e:?}"));
+                }
+                Err(MechanismError::NeedTwoAgents) => {}
+                Err(e) => panic!("seed {seed}: unexpected error {e:?}"),
+            }
+        }
     }
 
     #[test]

@@ -12,14 +12,78 @@
 //! type that was encoded — which is the right trade-off for a protocol whose
 //! two endpoints share one message vocabulary. Round-trip property tests
 //! (including proptest-generated payloads) live in the crate's test suite.
+//!
+//! # Trace-context trailer
+//!
+//! [`encode_with_context`] / [`decode_with_context`] carry an optional
+//! [`TraceContext`] as a fixed-size trailer *after* the encoded message,
+//! inside the same frame payload. The trailer is self-delimiting (magic +
+//! version + fixed length), so a receiver that knows about it can peel it
+//! off, while the message encoding itself is byte-identical to the plain
+//! [`encode`] output — frames written without a trailer decode unchanged,
+//! which keeps old recordings and uninstrumented runs bit-compatible.
 
 mod de;
 mod error;
 mod ser;
 
+use bytes::{BufMut, Bytes, BytesMut};
+use lb_telemetry::{TraceContext, TRAILER_LEN};
+use serde::{Deserialize, Serialize};
+
 pub use de::{decode, Decoder};
 pub use error::CodecError;
 pub use ser::{encode, Encoder};
+
+/// Encodes `value`, appending `ctx` as a fixed-size trace trailer when
+/// present. With `ctx == None` the output is byte-identical to [`encode`],
+/// so uninstrumented traffic never changes on the wire.
+///
+/// # Errors
+/// Propagates codec errors from the message encoding.
+pub fn encode_with_context<T: Serialize + ?Sized>(
+    value: &T,
+    ctx: Option<&TraceContext>,
+) -> Result<Bytes, CodecError> {
+    let body = encode(value)?;
+    match ctx {
+        None => Ok(body),
+        Some(ctx) => {
+            let mut buf = BytesMut::with_capacity(body.len() + TRAILER_LEN);
+            buf.put_slice(&body);
+            buf.put_slice(&ctx.to_trailer());
+            Ok(buf.freeze())
+        }
+    }
+}
+
+/// Decodes a value that may carry a trace-context trailer.
+///
+/// Exactly-consumed input decodes as `(value, None)`; input whose leftover
+/// is one well-formed trailer decodes as `(value, Some(ctx))`. Any other
+/// leftover — wrong length, bad magic, unknown version, reserved flag bits —
+/// is rejected as [`CodecError::TrailingBytes`], exactly as the plain
+/// [`decode`] would reject it.
+///
+/// # Errors
+/// Returns [`CodecError`] for truncated, corrupt or unexplained trailing
+/// input.
+pub fn decode_with_context<'a, T: Deserialize<'a>>(
+    bytes: &'a [u8],
+) -> Result<(T, Option<TraceContext>), CodecError> {
+    let mut decoder = Decoder::new(bytes);
+    let value = T::deserialize(&mut decoder)?;
+    let rest = decoder.remaining();
+    if rest == 0 {
+        return Ok((value, None));
+    }
+    if rest == TRAILER_LEN {
+        if let Some(ctx) = TraceContext::from_trailer(&bytes[bytes.len() - rest..]) {
+            return Ok((value, Some(ctx)));
+        }
+    }
+    Err(CodecError::TrailingBytes(rest))
+}
 
 #[cfg(test)]
 mod tests {
@@ -175,6 +239,77 @@ mod tests {
     fn invalid_bool_and_option_tags_are_rejected() {
         assert!(decode::<bool>(&[2]).is_err());
         assert!(decode::<Option<u8>>(&[7]).is_err());
+    }
+
+    #[test]
+    fn context_trailer_roundtrips() {
+        let msg = crate::message::Message::Bid {
+            round: crate::message::RoundId(7),
+            machine: 3,
+            value: 1.5,
+        };
+        let ctx = TraceContext::root(42, 7, true).with_span(99);
+        let bytes = encode_with_context(&msg, Some(&ctx)).unwrap();
+        let (back, got): (crate::message::Message, _) = decode_with_context(&bytes).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(got, Some(ctx));
+    }
+
+    #[test]
+    fn absent_context_is_byte_identical_to_plain_encode() {
+        let msg = crate::message::Message::RequestBid {
+            round: crate::message::RoundId(3),
+        };
+        let plain = encode(&msg).unwrap();
+        let traced = encode_with_context(&msg, None).unwrap();
+        assert_eq!(plain, traced);
+        let (back, ctx): (crate::message::Message, _) = decode_with_context(&plain).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(ctx, None, "trailer-free frames decode without a context");
+    }
+
+    #[test]
+    fn trailered_bytes_are_rejected_by_the_plain_decoder() {
+        // A context-unaware decoder sees the trailer as unexplained input:
+        // backward compatibility is one-directional by design (old frames
+        // always decode; new frames need a context-aware receiver).
+        let msg = crate::message::Message::RequestBid {
+            round: crate::message::RoundId(3),
+        };
+        let ctx = TraceContext::root(1, 0, false);
+        let bytes = encode_with_context(&msg, Some(&ctx)).unwrap();
+        assert!(matches!(
+            decode::<crate::message::Message>(&bytes),
+            Err(CodecError::TrailingBytes(n)) if n == TRAILER_LEN
+        ));
+    }
+
+    #[test]
+    fn corrupted_trailer_is_rejected_not_misread() {
+        let msg = crate::message::Message::RequestBid {
+            round: crate::message::RoundId(3),
+        };
+        let ctx = TraceContext::root(5, 2, true);
+        let good = encode_with_context(&msg, Some(&ctx)).unwrap();
+        let body_len = good.len() - TRAILER_LEN;
+        // Damage the magic, the version byte and the flags byte in turn.
+        for offset in [body_len, body_len + 2, good.len() - 1] {
+            let mut bad = good.to_vec();
+            bad[offset] ^= 0xFF;
+            assert!(
+                matches!(
+                    decode_with_context::<crate::message::Message>(&bad),
+                    Err(CodecError::TrailingBytes(n)) if n == TRAILER_LEN
+                ),
+                "corruption at {offset} was not rejected"
+            );
+        }
+        // Truncating the trailer leaves unexplained bytes, not a context.
+        let truncated = &good[..good.len() - 1];
+        assert!(matches!(
+            decode_with_context::<crate::message::Message>(truncated),
+            Err(CodecError::TrailingBytes(n)) if n == TRAILER_LEN - 1
+        ));
     }
 
     fn arb_message() -> impl Strategy<Value = crate::message::Message> {

@@ -24,7 +24,11 @@ use crate::trace::{Anomaly, AnomalyStats};
 use lb_core::Allocation;
 use lb_mechanism::{MechanismError, VerifiedMechanism};
 use lb_sim::driver::{simulate_round, SimulationConfig};
-use lb_telemetry::{noop_collector, Collector, Field, Phase, SpanId, Subsystem};
+use lb_telemetry::{
+    noop_collector, Collector, EventKind, Field, Phase, SpanId, Subsystem, TelemetryEvent,
+    TraceContext,
+};
+use std::borrow::Cow;
 use std::cell::Cell;
 use std::sync::Arc;
 
@@ -65,6 +69,14 @@ pub struct Coordinator<'m> {
     round_span: Cell<SpanId>,
     phase_span: Cell<SpanId>,
     spans_started: Cell<bool>,
+    /// Trace context of the round, set by [`Coordinator::with_trace`]. When
+    /// present (and sampled, and a collector is attached) every outbound
+    /// frame carries it on the wire via [`Coordinator::wire_context`].
+    trace: Cell<Option<TraceContext>>,
+    /// The span id outbound frames are parented on: the currently open
+    /// phase span, retained across settlement so Payment frames sent at
+    /// round close still carry the trace identity.
+    wire_span: Cell<SpanId>,
 }
 
 impl std::fmt::Debug for Coordinator<'_> {
@@ -110,7 +122,51 @@ impl<'m> Coordinator<'m> {
             round_span: Cell::new(SpanId::NULL),
             phase_span: Cell::new(SpanId::NULL),
             spans_started: Cell::new(false),
+            trace: Cell::new(None),
+            wire_span: Cell::new(SpanId::NULL),
         }
+    }
+
+    /// Attaches a wire-propagated trace context. Outbound frames then carry
+    /// it (with the current phase span as parent) when the context is
+    /// sampled and a collector is attached — see
+    /// [`Coordinator::wire_context`].
+    #[must_use]
+    pub fn with_trace(self, ctx: TraceContext) -> Self {
+        self.trace.set(Some(ctx));
+        self
+    }
+
+    /// The trace context outbound frames should carry right now: the round's
+    /// context re-parented on the most recent phase span. `None` when no
+    /// context was attached, the round is unsampled, or telemetry is off —
+    /// in which case frames stay byte-identical to the untraced wire format.
+    #[must_use]
+    pub fn wire_context(&self) -> Option<TraceContext> {
+        if !self.collector.enabled() {
+            return None;
+        }
+        let ctx = self.trace.get()?;
+        if !ctx.sampled {
+            return None;
+        }
+        Some(ctx.with_span(self.wire_span.get().0))
+    }
+
+    /// The currently open phase span ([`SpanId::NULL`] when none is open) —
+    /// drivers use it to decide whether an inbound frame's context still
+    /// parents on a live span or must degrade to an instant.
+    pub(crate) fn phase_span(&self) -> SpanId {
+        self.phase_span.get()
+    }
+
+    /// Opens the round/phase spans now instead of lazily on the first
+    /// handled message, so frames sent *before* any bid arrives (the initial
+    /// bid requests, early retransmissions) already carry the
+    /// `phase.collect_bids` span in their wire context. Idempotent; a no-op
+    /// without an enabled collector.
+    pub(crate) fn begin_round_telemetry(&self) {
+        self.ensure_round_span();
     }
 
     /// Attaches a telemetry collector. The coordinator then emits a `round`
@@ -145,23 +201,27 @@ impl<'m> Coordinator<'m> {
         }
         self.spans_started.set(true);
         let at = self.now.get();
-        let round = self.collector.span_start(
-            at,
-            "round",
-            Subsystem::Coordinator,
-            vec![
-                Field::u64("round", self.round.0),
-                Field::u64("n", self.bids.len() as u64),
-            ],
-        );
+        let mut fields = vec![
+            Field::u64("round", self.round.0),
+            Field::u64("n", self.bids.len() as u64),
+        ];
+        if let Some(ctx) = self.trace.get() {
+            fields.push(Field::u64("trace_hi", (ctx.trace_id >> 64) as u64));
+            fields.push(Field::u64("trace_lo", ctx.trace_id as u64));
+        }
+        let round = self
+            .collector
+            .span_start(at, "round", Subsystem::Coordinator, fields);
         self.round_span.set(round);
-        self.phase_span.set(self.collector.span_start_in(
+        let phase = self.collector.span_start_in(
             at,
             Phase::CollectBids.span_name(),
             Subsystem::Coordinator,
             round,
             Vec::new(),
-        ));
+        );
+        self.phase_span.set(phase);
+        self.wire_span.set(phase);
     }
 
     /// Ends the current phase span and, unless `next` is `None`, opens the
@@ -176,13 +236,20 @@ impl<'m> Coordinator<'m> {
             self.collector.span_end(at, current);
         }
         match next {
-            Some(phase) => self.phase_span.set(self.collector.span_start_in(
-                at,
-                phase.span_name(),
-                Subsystem::Coordinator,
-                self.round_span.get(),
-                fields,
-            )),
+            Some(phase) => {
+                let span = self.collector.span_start_in(
+                    at,
+                    phase.span_name(),
+                    Subsystem::Coordinator,
+                    self.round_span.get(),
+                    fields,
+                );
+                self.phase_span.set(span);
+                self.wire_span.set(span);
+            }
+            // The wire span is deliberately retained: frames sent while no
+            // phase is open (Payment, after settle) still carry the identity
+            // of the last phase of their round.
             None => self.phase_span.set(SpanId::NULL),
         }
     }
@@ -557,6 +624,30 @@ impl<'m> Coordinator<'m> {
         let mut payments = vec![0.0; self.bids.len()];
         for (k, &i) in respondents.iter().enumerate() {
             payments[i] = sub_payments[k];
+        }
+        if self.collector.enabled() {
+            // Per-machine settlement gauges for live dashboards (`lb-top`):
+            // dynamic names, so they bypass the `&'static str` conveniences.
+            let at = self.now.get();
+            let gauge = |name: String, value: f64| {
+                self.collector.record(TelemetryEvent {
+                    at,
+                    name: Cow::Owned(name),
+                    cat: Subsystem::Coordinator,
+                    kind: EventKind::Gauge { value },
+                    fields: Vec::new(),
+                });
+            };
+            for (i, &p) in payments.iter().enumerate() {
+                gauge(format!("alloc.rate.m{i}"), allocation.rate(i));
+                gauge(format!("payment.m{i}"), p);
+            }
+            self.collector.gauge(
+                at,
+                "round.payment.total",
+                Subsystem::Coordinator,
+                payments.iter().sum(),
+            );
         }
         let out = respondents
             .iter()
@@ -1042,6 +1133,150 @@ mod tests {
         c.end_telemetry();
         let spans = replay_spans(&ring.snapshot()).expect("abandoned round still replays");
         assert!(spans.iter().any(|s| s.name == "round"));
+    }
+
+    #[test]
+    fn wire_context_tracks_phase_spans_and_survives_settlement() {
+        use lb_telemetry::{replay_spans, RingCollector};
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0];
+        let ring = Arc::new(RingCollector::new(256));
+        let trace = TraceContext::root(99, 5, true);
+        let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(5), config())
+            .with_collector(ring.clone())
+            .with_trace(trace);
+
+        c.set_now(0.0);
+        let _ = c.open();
+        let collect_ctx = c.wire_context().expect("sampled round with collector");
+        assert_eq!(collect_ctx.trace_id, trace.trace_id);
+        assert!(collect_ctx.sampled);
+
+        for (machine, value) in [(0u32, 1.0), (1, 2.0)] {
+            c.handle(
+                &Message::Bid {
+                    round: RoundId(5),
+                    machine,
+                    value,
+                },
+                &trues,
+            )
+            .unwrap();
+        }
+        let exec_ctx = c.wire_context().expect("still traced");
+        assert_ne!(
+            exec_ctx.span_id, collect_ctx.span_id,
+            "a new phase re-parents the wire context"
+        );
+
+        for machine in [0u32, 1] {
+            c.handle(
+                &Message::ExecutionDone {
+                    round: RoundId(5),
+                    machine,
+                },
+                &trues,
+            )
+            .unwrap();
+        }
+        assert_eq!(c.phase(), CoordinatorPhase::Done);
+        let settle_ctx = c.wire_context().expect("retained after settlement");
+
+        let spans = replay_spans(&ring.snapshot()).expect("clean recording");
+        let name_of = |id: u64| spans.iter().find(|s| s.id.0 == id).map(|s| s.name.as_str());
+        assert_eq!(name_of(collect_ctx.span_id), Some("phase.collect_bids"));
+        assert_eq!(name_of(exec_ctx.span_id), Some("phase.execute"));
+        assert_eq!(
+            name_of(settle_ctx.span_id),
+            Some("phase.settle"),
+            "Payment frames carry the settle span even after spans close"
+        );
+
+        // The round span advertises the trace id for offline stitching.
+        let events = ring.snapshot();
+        let start = events
+            .iter()
+            .find(|e| {
+                e.name == "round" && matches!(e.kind, lb_telemetry::EventKind::SpanStart { .. })
+            })
+            .unwrap();
+        assert_eq!(
+            start.field("trace_lo"),
+            Some(&lb_telemetry::FieldValue::U64(trace.trace_id as u64))
+        );
+    }
+
+    #[test]
+    fn wire_context_is_absent_when_unsampled_or_untraced() {
+        let mech = CompensationBonusMechanism::paper();
+        use lb_telemetry::RingCollector;
+        let ring = Arc::new(RingCollector::new(64));
+
+        // Traced but unsampled: nothing goes on the wire.
+        let c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config())
+            .with_collector(ring.clone())
+            .with_trace(TraceContext::root(1, 0, false));
+        let _ = c.open();
+        assert_eq!(c.wire_context(), None);
+
+        // Sampled but no collector: telemetry off means tracing off.
+        let c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config())
+            .with_trace(TraceContext::root(1, 0, true));
+        let _ = c.open();
+        assert_eq!(c.wire_context(), None);
+
+        // Untraced: plain instrumented rounds carry nothing extra.
+        let c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config()).with_collector(ring);
+        let _ = c.open();
+        assert_eq!(c.wire_context(), None);
+    }
+
+    #[test]
+    fn settlement_emits_per_machine_gauges() {
+        use lb_telemetry::{EventKind, RingCollector};
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0];
+        let ring = Arc::new(RingCollector::new(256));
+        let mut c =
+            Coordinator::new(&mech, 2, 3.0, RoundId(0), config()).with_collector(ring.clone());
+        for (machine, value) in [(0u32, 1.0), (1, 2.0)] {
+            c.handle(
+                &Message::Bid {
+                    round: RoundId(0),
+                    machine,
+                    value,
+                },
+                &trues,
+            )
+            .unwrap();
+        }
+        for machine in [0u32, 1] {
+            c.handle(
+                &Message::ExecutionDone {
+                    round: RoundId(0),
+                    machine,
+                },
+                &trues,
+            )
+            .unwrap();
+        }
+        let events = ring.snapshot();
+        let gauge = |name: &str| {
+            events.iter().find_map(|e| match e.kind {
+                EventKind::Gauge { value } if e.name == name => Some(value),
+                _ => None,
+            })
+        };
+        let alloc = c.allocation().unwrap();
+        let payments = c.payments().unwrap();
+        assert_eq!(gauge("alloc.rate.m0"), Some(alloc.rate(0)));
+        assert_eq!(gauge("alloc.rate.m1"), Some(alloc.rate(1)));
+        assert_eq!(gauge("payment.m0"), Some(payments[0]));
+        assert_eq!(gauge("payment.m1"), Some(payments[1]));
+        assert_eq!(
+            gauge("round.payment.total"),
+            Some(payments.iter().sum::<f64>())
+        );
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! reassembles frames from any sequence of partial reads, enforcing a
 //! maximum frame size against corrupt or malicious peers.
 
-use crate::codec::{decode, encode, CodecError};
+use crate::codec::{decode, decode_with_context, encode_with_context, CodecError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lb_telemetry::TraceContext;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -42,7 +43,22 @@ impl FrameWriter {
     /// payloads above [`MAX_FRAME_LEN`] (a peer must never be able to emit a
     /// frame its counterpart is required to reject).
     pub fn write<T: Serialize>(&mut self, value: &T) -> Result<(), CodecError> {
-        let payload = encode(value)?;
+        self.write_with_context(value, None)
+    }
+
+    /// Appends one value as a frame, embedding `ctx` as a trace-context
+    /// trailer inside the frame payload when present. With `ctx == None`
+    /// this is [`FrameWriter::write`] exactly, byte for byte.
+    ///
+    /// # Errors
+    /// Propagates codec errors; returns [`CodecError::FrameTooLarge`] for
+    /// payloads above [`MAX_FRAME_LEN`].
+    pub fn write_with_context<T: Serialize>(
+        &mut self,
+        value: &T,
+        ctx: Option<&TraceContext>,
+    ) -> Result<(), CodecError> {
+        let payload = encode_with_context(value, ctx)?;
         let Ok(len) = u32::try_from(payload.len()) else {
             return Err(CodecError::FrameTooLarge {
                 len: payload.len() as u64,
@@ -126,6 +142,32 @@ impl FrameReader {
     /// The check runs before any payload is buffered past the header, so a
     /// corrupted header cannot drive an allocation beyond the limit.
     pub fn next_frame<T: DeserializeOwned>(&mut self) -> Result<Option<T>, CodecError> {
+        match self.next_payload()? {
+            None => Ok(None),
+            Some(payload) => decode(&payload).map(Some),
+        }
+    }
+
+    /// Pops the next complete frame, peeling off its trace-context trailer
+    /// if the sender embedded one. Frames written without a trailer (by
+    /// [`FrameWriter::write`] or any pre-trailer peer) yield `None` for the
+    /// context — the wire format is backward compatible.
+    ///
+    /// # Errors
+    /// Exactly the errors of [`FrameReader::next_frame`].
+    pub fn next_frame_with_context<T: DeserializeOwned>(
+        &mut self,
+    ) -> Result<Option<(T, Option<TraceContext>)>, CodecError> {
+        match self.next_payload()? {
+            None => Ok(None),
+            Some(payload) => decode_with_context(&payload).map(Some),
+        }
+    }
+
+    /// Shared header logic: pops the next complete frame payload, if one has
+    /// fully arrived, enforcing the size limit before buffering past the
+    /// header.
+    fn next_payload(&mut self) -> Result<Option<BytesMut>, CodecError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
@@ -140,8 +182,7 @@ impl FrameReader {
             return Ok(None);
         }
         self.buf.advance(4);
-        let payload = self.buf.split_to(len);
-        decode(&payload).map(Some)
+        Ok(Some(self.buf.split_to(len)))
     }
 
     /// Bytes buffered but not yet consumed.
@@ -287,5 +328,77 @@ mod tests {
         assert!(r.next_frame::<Message>().unwrap().is_none());
         r.feed(&stream[stream.len() - 1..]);
         assert!(r.next_frame::<Message>().unwrap().is_some());
+    }
+
+    #[test]
+    fn mixed_traced_and_plain_frames_reassemble_with_contexts() {
+        // Alternate trailered and plain frames on one stream: the
+        // context-aware reader recovers each message with exactly the
+        // context its sender attached.
+        let msgs = sample_messages();
+        let mut w = FrameWriter::new();
+        for (i, m) in msgs.iter().enumerate() {
+            let ctx = TraceContext::root(11, i as u64, true).with_span(i as u64 + 1);
+            let ctx = (i % 2 == 0).then_some(ctx);
+            w.write_with_context(m, ctx.as_ref()).unwrap();
+        }
+        let stream = w.take();
+
+        let mut r = FrameReader::new();
+        r.feed(&stream);
+        let mut out = Vec::new();
+        while let Some(pair) = r.next_frame_with_context::<Message>().unwrap() {
+            out.push(pair);
+        }
+        assert_eq!(out.len(), msgs.len());
+        for (i, (m, ctx)) in out.iter().enumerate() {
+            assert_eq!(m, &msgs[i]);
+            if i % 2 == 0 {
+                let expected = TraceContext::root(11, i as u64, true).with_span(i as u64 + 1);
+                assert_eq!(*ctx, Some(expected), "frame {i}");
+            } else {
+                assert_eq!(*ctx, None, "frame {i}");
+            }
+        }
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn trailer_free_frames_decode_unchanged_by_a_context_aware_reader() {
+        // Backward compatibility: a stream written by the pre-trailer writer
+        // is byte-identical under `write_with_context(.., None)` and decodes
+        // through both readers.
+        let msgs = sample_messages();
+        let mut plain = FrameWriter::new();
+        let mut traced = FrameWriter::new();
+        for m in &msgs {
+            plain.write(m).unwrap();
+            traced.write_with_context(m, None).unwrap();
+        }
+        let plain_stream = plain.take();
+        assert_eq!(plain_stream, traced.take());
+
+        let mut r = FrameReader::new();
+        r.feed(&plain_stream);
+        let mut out = Vec::new();
+        while let Some((m, ctx)) = r.next_frame_with_context::<Message>().unwrap() {
+            assert_eq!(ctx, None);
+            out.push(m);
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn context_unaware_reader_rejects_trailered_frames() {
+        let mut w = FrameWriter::new();
+        let ctx = TraceContext::root(1, 0, true);
+        w.write_with_context(&Message::RequestBid { round: RoundId(2) }, Some(&ctx))
+            .unwrap();
+        let mut r = FrameReader::new();
+        r.feed(&w.take());
+        assert!(matches!(
+            r.next_frame::<Message>(),
+            Err(CodecError::TrailingBytes(n)) if n == lb_telemetry::TRAILER_LEN
+        ));
     }
 }

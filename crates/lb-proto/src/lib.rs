@@ -30,6 +30,19 @@
 //! round's phase spans, frame fates, retransmissions and session health
 //! decisions are recorded on the simulated clock. The default collector is
 //! the noop, which keeps the uninstrumented paths bit-identical and free.
+//!
+//! Instrumented rounds also carry a **wire-propagated trace context**: a
+//! fixed-size [`lb_telemetry::TraceContext`] trailer appended to each
+//! frame's payload ([`codec::encode_with_context`] /
+//! [`codec::decode_with_context`]), so the receiving side continues the
+//! sender's trace and a whole bid → allocate → execute → settle round —
+//! retransmissions included — stitches into one trace across threads and
+//! runtimes. Trailer-free frames decode exactly as before, head-based
+//! sampling ([`lb_telemetry::Sampler`], [`session::run_chaos_session_sampled`],
+//! [`threaded::run_protocol_round_threaded_sampled`]) decides per round
+//! whether anything goes on the wire, and
+//! [`threaded::run_protocol_round_threaded_exposed`] publishes the live
+//! `/metrics` + `/trace` documents an [`lb_telemetry::ExposeServer`] serves.
 
 pub mod audit;
 pub mod chaos;
@@ -53,7 +66,7 @@ pub use chaos::{
     chaos_message_bound, run_chaos_round, ChaosConfig, ChaosNetStats, ChaosRoundReport,
     ChaosRuntime,
 };
-pub use codec::{decode, encode, CodecError};
+pub use codec::{decode, decode_with_context, encode, encode_with_context, CodecError};
 pub use coordinator::{Coordinator, CoordinatorPhase};
 pub use faults::{run_protocol_round_with_faults, FaultPlan};
 pub use framing::{FrameReader, FrameWriter, DEFAULT_MAX_FRAME, MAX_FRAME_LEN};
@@ -65,8 +78,11 @@ pub use runtime::{
     ProtocolOutcome,
 };
 pub use session::{
-    run_chaos_session, run_chaos_session_observed, run_session, ChaosRoundResult,
-    ChaosSessionConfig, ChaosSessionReport, MachineHealth, SessionReport,
+    run_chaos_session, run_chaos_session_observed, run_chaos_session_sampled, run_session,
+    ChaosRoundResult, ChaosSessionConfig, ChaosSessionReport, MachineHealth, SessionReport,
 };
-pub use threaded::{run_protocol_round_threaded, run_protocol_round_threaded_observed};
+pub use threaded::{
+    run_protocol_round_threaded, run_protocol_round_threaded_exposed,
+    run_protocol_round_threaded_observed, run_protocol_round_threaded_sampled,
+};
 pub use trace::{replay_check, Anomaly, AnomalyStats, RoundTrace, TraceEntry, TraceViolation};

@@ -4,12 +4,12 @@
 //! so the statistics measure real bytes; delivery is ordered by a
 //! deterministic discrete-event queue with per-link latency.
 
-use crate::codec::{decode, encode, CodecError};
+use crate::codec::{decode_with_context, encode_with_context, CodecError};
 use crate::message::Message;
 use bytes::Bytes;
 use lb_sim::events::EventQueue;
 use lb_sim::time::SimTime;
-use lb_telemetry::{noop_collector, Collector, Field, Subsystem};
+use lb_telemetry::{noop_collector, Collector, Field, Subsystem, TraceContext};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -62,6 +62,10 @@ pub struct Delivery {
     pub message: Message,
     /// Simulated delivery time.
     pub at: SimTime,
+    /// Trace context carried in the frame's trailer, if the sender attached
+    /// one. Rides the wire inside the payload, so it is subject to the same
+    /// loss, duplication and corruption as the message itself.
+    pub ctx: Option<TraceContext>,
 }
 
 /// The fate a chaos injector assigns to a single frame in transit.
@@ -271,7 +275,23 @@ impl SimNetwork {
         to: Endpoint,
         message: &Message,
     ) -> Result<(), CodecError> {
-        let payload = encode(message)?;
+        self.send_traced(from, to, message, None)
+    }
+
+    /// Sends `message` with an optional trace context embedded in the frame
+    /// payload as a trailer. With `ctx == None` this is [`SimNetwork::send`]
+    /// exactly: the wire bytes, statistics and fault stream are unchanged.
+    ///
+    /// # Errors
+    /// Propagates codec errors (which indicate a bug in the message types).
+    pub fn send_traced(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        message: &Message,
+        ctx: Option<&TraceContext>,
+    ) -> Result<(), CodecError> {
+        let payload = encode_with_context(message, ctx)?;
         let size = payload.len();
         self.stats.messages += 1;
         self.stats.bytes += size as u64;
@@ -354,12 +374,13 @@ impl SimNetwork {
                         frame.from, frame.to
                     )));
                 }
-                let message: Message = decode(&frame.payload)?;
+                let (message, ctx): (Message, _) = decode_with_context(&frame.payload)?;
                 Ok(Some(Delivery {
                     from: frame.from,
                     to: frame.to,
                     message,
                     at,
+                    ctx,
                 }))
             }
         }
@@ -396,7 +417,7 @@ impl SimNetwork {
                         at,
                     }));
                 }
-                let message: Message = decode(&frame.payload)?;
+                let (message, ctx): (Message, _) = decode_with_context(&frame.payload)?;
                 self.collector.instant(
                     at.seconds(),
                     "net.deliver",
@@ -412,6 +433,7 @@ impl SimNetwork {
                     to: frame.to,
                     message,
                     at,
+                    ctx,
                 })))
             }
         }
@@ -679,5 +701,40 @@ mod tests {
         assert_eq!(net.now(), SimTime::new(0.25));
         let d = net.deliver_next().unwrap().unwrap();
         assert_eq!(d.at, SimTime::new(0.5));
+    }
+
+    #[test]
+    fn trace_context_rides_the_frame_end_to_end() {
+        let mut net = SimNetwork::with_constant_latency(0.01);
+        let m = Message::RequestBid { round: RoundId(4) };
+        let ctx = TraceContext::root(9, 4, true).with_span(17);
+        net.send_traced(Endpoint::Coordinator, Endpoint::Node(0), &m, Some(&ctx))
+            .unwrap();
+        net.send(Endpoint::Coordinator, Endpoint::Node(1), &m)
+            .unwrap();
+
+        let traced = net.deliver_next().unwrap().unwrap();
+        assert_eq!(traced.message, m);
+        assert_eq!(traced.ctx, Some(ctx));
+        let plain = net.deliver_next().unwrap().unwrap();
+        assert_eq!(plain.ctx, None, "untraced frames carry no context");
+    }
+
+    #[test]
+    fn traced_duplicate_copies_both_carry_the_context() {
+        let mut net = SimNetwork::with_constant_latency(0.01);
+        net.set_fate_fn(|_, _, _| FrameFate {
+            duplicate: true,
+            duplicate_extra_delay: 0.05,
+            ..FrameFate::deliver()
+        });
+        let m = Message::RequestBid { round: RoundId(4) };
+        let ctx = TraceContext::root(9, 4, true);
+        net.send_traced(Endpoint::Coordinator, Endpoint::Node(0), &m, Some(&ctx))
+            .unwrap();
+        let first = net.deliver_next().unwrap().unwrap();
+        let second = net.deliver_next().unwrap().unwrap();
+        assert_eq!(first.ctx, Some(ctx));
+        assert_eq!(second.ctx, Some(ctx), "retransmitted copy keeps the trace");
     }
 }

@@ -7,13 +7,13 @@
 //! (exactly `4n` control messages per round).
 
 use crate::coordinator::{Coordinator, CoordinatorPhase};
-use crate::message::RoundId;
+use crate::message::{Message, RoundId};
 use crate::network::{Endpoint, MessageStats, SimNetwork};
 use crate::node::{NodeAgent, NodeSpec};
 use lb_mechanism::traits::ValuationModel;
 use lb_mechanism::{MechanismError, VerifiedMechanism};
 use lb_sim::driver::SimulationConfig;
-use lb_telemetry::{noop_collector, Collector};
+use lb_telemetry::{noop_collector, Collector, Field, SpanId, Subsystem, TraceContext};
 use std::sync::Arc;
 
 /// Configuration of a protocol round.
@@ -89,6 +89,11 @@ pub fn run_protocol_round_traced<M: VerifiedMechanism>(
 /// frame-level `net.*` events, all timestamped with simulated time. With the
 /// noop collector this is [`run_protocol_round_traced`] exactly.
 ///
+/// An enabled collector also turns on wire-propagated tracing: every frame
+/// carries a [`TraceContext`] trailer and the node side records `node.bid` /
+/// `node.execute` spans parented on the coordinator's phase spans, so the
+/// whole round stitches into a single trace.
+///
 /// # Errors
 /// Propagates mechanism/simulation/codec errors.
 ///
@@ -119,18 +124,25 @@ pub fn run_protocol_round_observed<M: VerifiedMechanism>(
         Coordinator::new(mechanism, n, config.total_rate, round, config.simulation)
             .with_strict(true)
             .with_collector(Arc::clone(&collector));
+    if collector.enabled() {
+        coordinator =
+            coordinator.with_trace(TraceContext::root(config.simulation.seed, round.0, true));
+    }
     let mut network = SimNetwork::with_constant_latency(config.link_latency);
-    network.set_collector(collector);
+    network.set_collector(Arc::clone(&collector));
 
     let result = (|| {
         // Kick off: bid requests to every node.
         coordinator.set_now(network.now().seconds());
-        for (i, msg) in coordinator.open().into_iter().enumerate() {
+        let open = coordinator.open();
+        let wire = coordinator.wire_context();
+        for (i, msg) in open.into_iter().enumerate() {
             network
-                .send(
+                .send_traced(
                     Endpoint::Coordinator,
                     Endpoint::Node(u32::try_from(i).expect("fits u32")),
                     &msg,
+                    wire.as_ref(),
                 )
                 .map_err(|e| {
                     MechanismError::Core(lb_core::CoreError::Infeasible {
@@ -154,10 +166,44 @@ pub fn run_protocol_round_observed<M: VerifiedMechanism>(
             });
             match delivery.to {
                 Endpoint::Node(i) => {
+                    // Continue the trace the frame carried. On this reliable
+                    // in-order network the parent span is always still open:
+                    // the coordinator never leaves a phase before the frames
+                    // of that phase are delivered and answered.
+                    let ctx = delivery.ctx.filter(|c| c.sampled && collector.enabled());
+                    let span = ctx.map_or(SpanId::NULL, |c| {
+                        let at = delivery.at.seconds();
+                        let fields = vec![Field::u64("machine", u64::from(i))];
+                        let name = match delivery.message {
+                            Message::RequestBid { .. } => "node.bid",
+                            Message::Assign { .. } => "node.execute",
+                            Message::Payment { .. } => {
+                                collector.instant(at, "node.payment", Subsystem::Node, fields);
+                                return SpanId::NULL;
+                            }
+                            _ => return SpanId::NULL,
+                        };
+                        collector.span_start_in(
+                            at,
+                            name,
+                            Subsystem::Node,
+                            SpanId(c.span_id),
+                            fields,
+                        )
+                    });
                     let reply = nodes[i as usize].handle(&delivery.message);
+                    if !span.is_null() {
+                        collector.span_end(delivery.at.seconds(), span);
+                    }
                     if let Some(msg) = reply {
+                        let child = ctx.filter(|_| !span.is_null()).map(|c| c.with_span(span.0));
                         network
-                            .send(Endpoint::Node(i), Endpoint::Coordinator, &msg)
+                            .send_traced(
+                                Endpoint::Node(i),
+                                Endpoint::Coordinator,
+                                &msg,
+                                child.as_ref(),
+                            )
                             .map_err(|e| {
                                 MechanismError::Core(lb_core::CoreError::Infeasible {
                                     reason: e.to_string(),
@@ -168,9 +214,15 @@ pub fn run_protocol_round_observed<M: VerifiedMechanism>(
                 Endpoint::Coordinator => {
                     coordinator.set_now(delivery.at.seconds());
                     let outgoing = coordinator.handle(&delivery.message, &actual_exec)?;
+                    let wire = coordinator.wire_context();
                     for (i, msg) in outgoing {
                         network
-                            .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
+                            .send_traced(
+                                Endpoint::Coordinator,
+                                Endpoint::Node(i),
+                                &msg,
+                                wire.as_ref(),
+                            )
                             .map_err(|e| {
                                 MechanismError::Core(lb_core::CoreError::Infeasible {
                                     reason: e.to_string(),
@@ -316,6 +368,26 @@ mod tests {
                 "missing {phase}"
             );
         }
+
+        // Wire-propagated context: every node's bid and execution work is a
+        // span parented on the coordinator's matching phase span.
+        let n = specs.len();
+        let collect = spans
+            .iter()
+            .find(|s| s.name == "phase.collect_bids")
+            .unwrap()
+            .id;
+        let execute = spans.iter().find(|s| s.name == "phase.execute").unwrap().id;
+        let bids: Vec<_> = spans.iter().filter(|s| s.name == "node.bid").collect();
+        let execs: Vec<_> = spans.iter().filter(|s| s.name == "node.execute").collect();
+        assert_eq!(bids.len(), n);
+        assert_eq!(execs.len(), n);
+        assert!(bids.iter().all(|s| s.parent == Some(collect)));
+        assert!(execs.iter().all(|s| s.parent == Some(execute)));
+        assert_eq!(
+            events.iter().filter(|e| e.name == "node.payment").count(),
+            n
+        );
 
         let mut reg = MetricsRegistry::new();
         reg.ingest(&events);

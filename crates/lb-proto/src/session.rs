@@ -15,7 +15,10 @@
 //! transiently faulty machine rejoins the mechanism instead of being lost
 //! forever, exactly the recovery story a deployed mechanism needs.
 //! [`run_chaos_session_observed`] is the same driver with a telemetry
-//! collector attached, recording the whole session down to frame level.
+//! collector attached, recording the whole session down to frame level, and
+//! [`run_chaos_session_sampled`] adds deterministic head-based sampling: a
+//! [`Sampler`] decides per round — as a pure function of the chaos seed and
+//! round index — whether that round records (and wire-propagates) its trace.
 
 use crate::chaos::{ChaosConfig, ChaosNetStats, ChaosRoundReport, ChaosRuntime};
 use crate::message::RoundId;
@@ -23,7 +26,7 @@ use crate::node::NodeSpec;
 use crate::runtime::{run_protocol_round, ProtocolConfig, ProtocolOutcome};
 use crate::trace::AnomalyStats;
 use lb_mechanism::{MechanismError, VerifiedMechanism};
-use lb_telemetry::{noop_collector, Collector, Field, Subsystem};
+use lb_telemetry::{noop_collector, Collector, Field, Sampler, Subsystem};
 use std::sync::Arc;
 
 /// Summary of a finished session.
@@ -285,8 +288,45 @@ pub fn run_chaos_session_observed<M, P>(
     mechanism: &M,
     config: &ProtocolConfig,
     session: &ChaosSessionConfig,
+    policy: P,
+    collector: Arc<dyn Collector>,
+) -> Result<ChaosSessionReport, MechanismError>
+where
+    M: VerifiedMechanism,
+    P: FnMut(u32, Option<&ChaosRoundReport>) -> Vec<NodeSpec>,
+{
+    run_chaos_session_sampled(
+        mechanism,
+        config,
+        session,
+        policy,
+        collector,
+        &Sampler::Always,
+    )
+}
+
+/// [`run_chaos_session_observed`] with deterministic head-based sampling.
+///
+/// Before each round, `sampler` decides from `(chaos seed, round index)`
+/// whether the round is sampled. Sampled rounds run with `collector` —
+/// recording everything [`run_chaos_session_observed`] records, including
+/// the wire-propagated trace context — while unsampled rounds run with the
+/// noop collector and pay nothing, on the wire or off it. The decision is a
+/// pure function of the inputs, so a replay of the same seeds samples
+/// exactly the same rounds. Outcomes never depend on sampling.
+///
+/// # Errors
+/// Propagates unexpected mechanism errors, exactly as [`run_chaos_session`].
+///
+/// # Panics
+/// Panics under the same conditions as [`run_chaos_session`].
+pub fn run_chaos_session_sampled<M, P>(
+    mechanism: &M,
+    config: &ProtocolConfig,
+    session: &ChaosSessionConfig,
     mut policy: P,
     collector: Arc<dyn Collector>,
+    sampler: &Sampler,
 ) -> Result<ChaosSessionReport, MechanismError>
 where
     M: VerifiedMechanism,
@@ -314,15 +354,23 @@ where
         let n = specs.len();
         let runtime = runtime.get_or_insert_with(|| {
             health = vec![MachineHealth::default(); n];
-            let mut rt = ChaosRuntime::new(n, *config, session.chaos.clone());
-            rt.set_collector(Arc::clone(&collector));
-            rt
+            ChaosRuntime::new(n, *config, session.chaos.clone())
         });
         assert_eq!(
             health.len(),
             n,
             "run_chaos_session: machine count changed mid-session"
         );
+
+        // Head-based sampling: an unsampled round runs with the noop
+        // collector, so it records nothing and its frames carry no trace
+        // trailer. The session's own instants follow the same decision.
+        let round_collector = if sampler.admits(session.chaos.seed, u64::from(round)) {
+            Arc::clone(&collector)
+        } else {
+            noop_collector()
+        };
+        runtime.set_collector(Arc::clone(&round_collector));
 
         let mut active: Vec<bool> = health
             .iter()
@@ -362,8 +410,8 @@ where
                             health[i].last_spell = spell;
                             health[i].quarantined_until = round + 1 + spell;
                             health[i].quarantine_spells += 1;
-                            if collector.enabled() {
-                                collector.instant(
+                            if round_collector.enabled() {
+                                round_collector.instant(
                                     runtime.now().seconds(),
                                     "session.quarantine",
                                     Subsystem::Session,
@@ -377,8 +425,8 @@ where
                     } else {
                         if health[i].consecutive_exclusions > 0 {
                             readmissions += 1;
-                            if collector.enabled() {
-                                collector.instant(
+                            if round_collector.enabled() {
+                                round_collector.instant(
                                     runtime.now().seconds(),
                                     "session.readmit",
                                     Subsystem::Session,
@@ -395,8 +443,8 @@ where
             }
             Err(MechanismError::NeedTwoAgents) => {
                 aborted_rounds += 1;
-                if collector.enabled() {
-                    collector.instant(
+                if round_collector.enabled() {
+                    round_collector.instant(
                         runtime.now().seconds(),
                         "session.abort",
                         Subsystem::Session,
@@ -716,6 +764,50 @@ mod chaos_tests {
             }
             assert_eq!(report.total_messages, settled_messages, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn sampled_session_records_only_admitted_rounds() {
+        use lb_telemetry::{replay_spans, EventKind, RingCollector};
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(3);
+        let session = ChaosSessionConfig::new(4, ChaosConfig::reliable(9));
+        let ring = Arc::new(RingCollector::new(65_536));
+        let sampled = run_chaos_session_sampled(
+            &mech,
+            &config(),
+            &session,
+            |_, _| specs.clone(),
+            ring.clone(),
+            &Sampler::PerRound(2),
+        )
+        .unwrap();
+
+        // PerRound(2) admits rounds 0 and 2: exactly two round spans, and
+        // the partial recording still replays cleanly.
+        let events = ring.snapshot();
+        let round_spans = events
+            .iter()
+            .filter(|e| e.name == "round" && matches!(e.kind, EventKind::SpanStart { .. }))
+            .count();
+        assert_eq!(round_spans, 2);
+        replay_spans(&events).expect("sampled recording replays cleanly");
+
+        // Sampling never changes what the mechanism computes — only the
+        // trailer bytes on sampled rounds' frames.
+        let plain = run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+        for (s, p) in sampled.rounds.iter().zip(plain.rounds.iter()) {
+            assert_eq!(
+                s.settled().unwrap().outcome.payments,
+                p.settled().unwrap().outcome.payments
+            );
+            assert_eq!(
+                s.settled().unwrap().outcome.rates,
+                p.settled().unwrap().outcome.rates
+            );
+        }
+        assert_eq!(sampled.total_messages, plain.total_messages);
+        assert!(sampled.total_bytes > plain.total_bytes);
     }
 
     #[test]

@@ -6,8 +6,22 @@
 //! handling (its state machine is sequential by design), so the outcome is
 //! bit-identical to the deterministic runtime — asserted by tests — while
 //! the transport is genuinely concurrent.
+//!
+//! # Distributed tracing
+//!
+//! When a sampled round runs with a collector attached
+//! ([`run_protocol_round_threaded_sampled`]), every coordinator frame
+//! carries a [`TraceContext`] trailer naming the currently open phase span.
+//! Node threads continue that trace: they open `node.bid` / `node.execute`
+//! spans parented on the span named in the trailer and stamp their replies
+//! with the child context, so one round stitches into a single trace across
+//! all threads. The parent is always still open when a node span starts —
+//! the coordinator records a phase span *before* sending the phase's frames
+//! and closes it only *after* receiving the replies the nodes record their
+//! spans ahead of. Unsampled or untraced rounds put nothing on the wire and
+//! are byte-identical to the pre-tracing protocol.
 
-use crate::codec::{decode, encode, CodecError};
+use crate::codec::{decode_with_context, encode_with_context, CodecError};
 use crate::coordinator::{Coordinator, CoordinatorPhase};
 use crate::message::{Message, RoundId};
 use crate::network::MessageStats;
@@ -16,7 +30,10 @@ use crate::runtime::{ProtocolConfig, ProtocolOutcome};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lb_mechanism::{MechanismError, VerifiedMechanism};
-use lb_telemetry::{noop_collector, Collector, Subsystem};
+use lb_telemetry::{
+    noop_collector, Collector, Exposition, Field, MetricsRegistry, RingCollector, Sampler, SpanId,
+    Subsystem, TraceContext,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -72,6 +89,33 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
     config: &ProtocolConfig,
     collector: Arc<dyn Collector>,
 ) -> Result<ProtocolOutcome, MechanismError> {
+    run_protocol_round_threaded_sampled(mechanism, specs, config, collector, &Sampler::Always)
+}
+
+/// [`run_protocol_round_threaded_observed`] with an explicit head-based
+/// sampling policy for the wire-propagated trace.
+///
+/// When the collector is enabled, the round's [`TraceContext`] is derived
+/// deterministically from `(config.simulation.seed, round)` and `sampler`
+/// decides — once, at the head of the round — whether it goes on the wire.
+/// Sampled rounds append the context trailer to every frame and the node
+/// threads record `node.bid` / `node.execute` spans (plus a `node.payment`
+/// instant) that stitch into the coordinator's phase spans. Unsampled
+/// rounds carry no trailer: the byte stream is identical to an untraced
+/// run, and allocations and payments are identical in every case.
+///
+/// # Errors
+/// Propagates the same errors as [`run_protocol_round_threaded`].
+///
+/// # Panics
+/// Panics if `specs` is empty, or if a worker thread panics.
+pub fn run_protocol_round_threaded_sampled<M: VerifiedMechanism + Sync>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    collector: Arc<dyn Collector>,
+    sampler: &Sampler,
+) -> Result<ProtocolOutcome, MechanismError> {
     assert!(
         !specs.is_empty(),
         "run_protocol_round_threaded: need at least one node"
@@ -80,6 +124,16 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
     let round = RoundId(0);
     let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
     let epoch = Instant::now();
+
+    // One deterministic trace per round; the sampling decision is made here
+    // at the head and propagated to every participant in the wire context.
+    let trace = collector.enabled().then(|| {
+        TraceContext::root(
+            config.simulation.seed,
+            round.0,
+            sampler.admits(config.simulation.seed, round.0),
+        )
+    });
 
     let stats = Mutex::new(MessageStats::default());
     let count = |stats: &Mutex<MessageStats>, payload: &Bytes| {
@@ -119,21 +173,64 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
                 let spec = specs[i];
                 let stats = &stats;
                 let finished = &finished_nodes;
+                let collector = &collector;
                 scope.spawn(move |_| {
                     let machine = u32::try_from(i).expect("fits u32");
                     let mut agent = NodeAgent::new(machine, spec);
                     while let Ok(Some(frame)) = rx.recv() {
-                        let message: Message = match decode(&frame) {
-                            Ok(m) => m,
-                            Err(e) => {
-                                // Report the corrupt frame; the coordinator
-                                // turns it into a round error.
-                                let _ = to_coord.send((machine, Err(e)));
-                                break;
+                        let (message, ctx): (Message, Option<TraceContext>) =
+                            match decode_with_context(&frame) {
+                                Ok(v) => v,
+                                Err(e) => {
+                                    // Report the corrupt frame; the coordinator
+                                    // turns it into a round error.
+                                    let _ = to_coord.send((machine, Err(e)));
+                                    break;
+                                }
+                            };
+                        // Continue the coordinator's trace. The span named in
+                        // the trailer is still open: the coordinator records a
+                        // phase span before sending its frames and closes it
+                        // only after receiving the replies this handler sends,
+                        // so the recording replays cleanly despite the
+                        // threads racing each other into the ring.
+                        let ctx = ctx.filter(|c| c.sampled && collector.enabled());
+                        let span = ctx.map_or(SpanId::NULL, |c| {
+                            let at = epoch.elapsed().as_secs_f64();
+                            let fields = vec![Field::u64("machine", u64::from(machine))];
+                            match message {
+                                Message::RequestBid { .. } => collector.span_start_in(
+                                    at,
+                                    "node.bid",
+                                    Subsystem::Node,
+                                    SpanId(c.span_id),
+                                    fields,
+                                ),
+                                Message::Assign { .. } => collector.span_start_in(
+                                    at,
+                                    "node.execute",
+                                    Subsystem::Node,
+                                    SpanId(c.span_id),
+                                    fields,
+                                ),
+                                Message::Payment { .. } => {
+                                    collector.instant(at, "node.payment", Subsystem::Node, fields);
+                                    SpanId::NULL
+                                }
+                                _ => SpanId::NULL,
                             }
-                        };
-                        if let Some(reply) = agent.handle(&message) {
-                            match encode(&reply) {
+                        });
+                        let reply = agent.handle(&message);
+                        if !span.is_null() {
+                            // Close before replying: the parent phase span
+                            // cannot end until the reply arrives, so child
+                            // spans always nest inside it.
+                            collector.span_end(epoch.elapsed().as_secs_f64(), span);
+                        }
+                        if let Some(reply) = reply {
+                            let child =
+                                ctx.filter(|_| !span.is_null()).map(|c| c.with_span(span.0));
+                            match encode_with_context(&reply, child.as_ref()) {
                                 Ok(payload) => {
                                     count(stats, &payload);
                                     if to_coord.send((machine, Ok(payload))).is_err() {
@@ -161,10 +258,15 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
                 Coordinator::new(mechanism, n, config.total_rate, round, config.simulation)
                     .with_strict(true)
                     .with_collector(Arc::clone(&collector));
+            if let Some(ctx) = trace {
+                coordinator = coordinator.with_trace(ctx);
+            }
             let drive = (|| -> Result<(), MechanismError> {
                 coordinator.set_now(epoch.elapsed().as_secs_f64());
-                for (i, msg) in coordinator.open().into_iter().enumerate() {
-                    let payload = encode(&msg).map_err(codec_err)?;
+                let open = coordinator.open();
+                let wire = coordinator.wire_context();
+                for (i, msg) in open.into_iter().enumerate() {
+                    let payload = encode_with_context(&msg, wire.as_ref()).map_err(codec_err)?;
                     count(&stats, &payload);
                     to_node_txs[i]
                         .send(Some(payload))
@@ -176,11 +278,16 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
                         .recv()
                         .map_err(|_| chan_err("all nodes hung up"))?;
                     let frame = frame.map_err(codec_err)?;
-                    let message: Message = decode(&frame).map_err(codec_err)?;
+                    let (message, _child): (Message, Option<TraceContext>) =
+                        decode_with_context(&frame).map_err(codec_err)?;
                     coordinator.set_now(epoch.elapsed().as_secs_f64());
                     let outgoing = coordinator.handle(&message, &actual_exec)?;
+                    // Stamp after handling: a phase transition re-parents the
+                    // wire context onto the freshly opened phase span.
+                    let wire = coordinator.wire_context();
                     for (i, msg) in outgoing {
-                        let payload = encode(&msg).map_err(codec_err)?;
+                        let payload =
+                            encode_with_context(&msg, wire.as_ref()).map_err(codec_err)?;
                         count(&stats, &payload);
                         to_node_txs[i as usize]
                             .send(Some(payload))
@@ -242,6 +349,44 @@ pub fn run_protocol_round_threaded_observed<M: VerifiedMechanism + Sync>(
         estimated_exec_values: estimated,
         stats,
     })
+}
+
+/// [`run_protocol_round_threaded_sampled`] that additionally publishes the
+/// round's live telemetry to an [`Exposition`] after settlement.
+///
+/// The ring recording is ingested into a [`MetricsRegistry`] and published
+/// as a Prometheus text-format snapshot alongside the raw trace (JSONL), so
+/// an [`lb_telemetry::ExposeServer`] bound to the same [`Exposition`] serves
+/// the round on `/metrics` and `/trace` the moment it settles. Exposition is
+/// opt-in: the plain entry points never touch a socket or publish anything.
+///
+/// # Errors
+/// Propagates the same errors as [`run_protocol_round_threaded`]. Rounds
+/// that fail publish nothing.
+///
+/// # Panics
+/// Panics if `specs` is empty, or if a worker thread panics.
+pub fn run_protocol_round_threaded_exposed<M: VerifiedMechanism + Sync>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    collector: Arc<RingCollector>,
+    sampler: &Sampler,
+    exposition: &Exposition,
+) -> Result<ProtocolOutcome, MechanismError> {
+    let outcome = run_protocol_round_threaded_sampled(
+        mechanism,
+        specs,
+        config,
+        Arc::clone(&collector) as Arc<dyn Collector>,
+        sampler,
+    )?;
+    let events = collector.snapshot();
+    let mut registry = MetricsRegistry::new();
+    registry.ingest(&events);
+    exposition.publish_metrics(&registry.snapshot());
+    exposition.publish_trace(&events);
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -333,6 +478,160 @@ mod tests {
         reg.ingest(&events);
         assert_eq!(reg.counter("net.messages"), outcome.stats.messages);
         assert_eq!(reg.counter("net.bytes"), outcome.stats.bytes);
+    }
+
+    #[test]
+    fn traced_threaded_round_stitches_one_trace_across_all_nodes() {
+        use lb_telemetry::{replay_spans, EventKind, FieldValue, RingCollector};
+        use std::collections::BTreeSet;
+        let mech = CompensationBonusMechanism::paper();
+        let specs: Vec<NodeSpec> = paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect();
+        let n = specs.len();
+        let ring = Arc::new(RingCollector::new(16_384));
+        run_protocol_round_threaded_sampled(
+            &mech,
+            &specs,
+            &config(),
+            ring.clone(),
+            &Sampler::Always,
+        )
+        .unwrap();
+
+        let events = ring.snapshot();
+        let spans = replay_spans(&events).expect("traced recording replays cleanly");
+
+        // The round span advertises the deterministic trace id.
+        let expected = TraceContext::root(config().simulation.seed, 0, true);
+        let round_start = events
+            .iter()
+            .find(|e| e.name == "round" && matches!(e.kind, EventKind::SpanStart { .. }))
+            .expect("round span recorded");
+        #[allow(clippy::cast_possible_truncation)]
+        let lo = expected.trace_id as u64;
+        let hi = (expected.trace_id >> 64) as u64;
+        assert_eq!(round_start.field("trace_lo"), Some(&FieldValue::U64(lo)));
+        assert_eq!(round_start.field("trace_hi"), Some(&FieldValue::U64(hi)));
+
+        // Every node contributed a bid span and an execute span, parented on
+        // the coordinator's matching phase span — one stitched trace.
+        let phase_id = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} span recorded"))
+                .id
+        };
+        let collect = phase_id("phase.collect_bids");
+        let execute = phase_id("phase.execute");
+        let bids: Vec<_> = spans.iter().filter(|s| s.name == "node.bid").collect();
+        let execs: Vec<_> = spans.iter().filter(|s| s.name == "node.execute").collect();
+        assert_eq!(bids.len(), n, "one bid span per node");
+        assert_eq!(execs.len(), n, "one execute span per node");
+        assert!(bids.iter().all(|s| s.parent == Some(collect)));
+        assert!(execs.iter().all(|s| s.parent == Some(execute)));
+
+        // All n distinct machines participated (not one node recorded n times),
+        // and every one acknowledged its payment.
+        let machines: BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.name == "node.bid")
+            .filter_map(|e| match e.field("machine") {
+                Some(&FieldValue::U64(m)) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(machines.len(), n);
+        assert_eq!(
+            events.iter().filter(|e| e.name == "node.payment").count(),
+            n
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_change_allocations_or_payments() {
+        use lb_telemetry::RingCollector;
+        let mech = CompensationBonusMechanism::paper();
+        let mut specs: Vec<NodeSpec> = paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect();
+        specs[0] = NodeSpec::strategic(1.0, 3.0, 3.0);
+
+        let off = run_protocol_round_threaded(&mech, &specs, &config()).unwrap();
+        let on = run_protocol_round_threaded_sampled(
+            &mech,
+            &specs,
+            &config(),
+            Arc::new(RingCollector::new(16_384)),
+            &Sampler::Always,
+        )
+        .unwrap();
+        let unsampled = run_protocol_round_threaded_sampled(
+            &mech,
+            &specs,
+            &config(),
+            Arc::new(RingCollector::new(16_384)),
+            &Sampler::Never,
+        )
+        .unwrap();
+
+        // Bit-identical outcomes with tracing off, on, and head-sampled out.
+        assert_eq!(off.rates, on.rates);
+        assert_eq!(off.payments, on.payments);
+        assert_eq!(off.utilities, on.utilities);
+        assert_eq!(off.rates, unsampled.rates);
+        assert_eq!(off.payments, unsampled.payments);
+        // Tracing adds a trailer to each frame, never extra frames; an
+        // unsampled round doesn't even pay the trailer.
+        assert_eq!(off.stats.messages, on.stats.messages);
+        assert_eq!(off.stats, unsampled.stats);
+        assert!(on.stats.bytes > off.stats.bytes);
+    }
+
+    #[test]
+    fn exposed_round_serves_prometheus_metrics_over_http() {
+        use lb_telemetry::{ExposeServer, RingCollector};
+        use std::io::{Read as _, Write as _};
+        let mech = CompensationBonusMechanism::paper();
+        let specs: Vec<NodeSpec> = paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect();
+
+        let exposition = Exposition::new();
+        let server = ExposeServer::bind("127.0.0.1:0", exposition.clone()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let serving = std::thread::spawn(move || server.serve_one());
+
+        let ring = Arc::new(RingCollector::new(16_384));
+        let outcome = run_protocol_round_threaded_exposed(
+            &mech,
+            &specs,
+            &config(),
+            ring,
+            &Sampler::Always,
+            &exposition,
+        )
+        .unwrap();
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        serving.join().unwrap().unwrap();
+
+        assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+        assert!(
+            response.contains("net_messages_total"),
+            "prometheus exposition carries the message counter: {response}"
+        );
+        assert!(
+            response.contains(&format!("net_messages_total {}", outcome.stats.messages)),
+            "{response}"
+        );
     }
 
     #[test]

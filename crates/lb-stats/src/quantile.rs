@@ -129,6 +129,72 @@ impl P2Quantile {
             + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
+    /// Merges another estimator of the **same quantile** into this one.
+    ///
+    /// This is an *approximate* merge: P² keeps only five markers, so the
+    /// exact merged state is unrecoverable. While either side is still in
+    /// its warmup (≤ 5 observations) the merge is exact — the warmup values
+    /// are replayed through [`P2Quantile::observe`]. Past warmup, marker
+    /// heights are combined by count-weighted averaging (extrema by
+    /// min/max) and marker positions are reset to their ideal values for
+    /// the combined count. Empirically this keeps the merged estimate
+    /// within a few percent of a single-stream estimator over the same
+    /// data when both inputs see samples from the same distribution; it
+    /// degrades (like any height-averaging scheme) when the two inputs
+    /// cover disjoint value ranges. Counts are always exact.
+    ///
+    /// # Panics
+    /// Panics if the two estimators track different quantile levels.
+    pub fn merge_approx(&mut self, other: &Self) {
+        assert!(
+            (self.q - other.q).abs() < 1e-12,
+            "P2Quantile: cannot merge estimators of different quantiles ({} vs {})",
+            self.q,
+            other.q
+        );
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        if other.count <= 5 {
+            // Exact: replay the other side's raw warmup observations.
+            for &x in &other.warmup {
+                self.observe(x);
+            }
+            return;
+        }
+        if self.count <= 5 {
+            // Symmetric case: replay our warmup into a copy of the other.
+            let mut merged = other.clone();
+            for &x in &self.warmup {
+                merged.observe(x);
+            }
+            *self = merged;
+            return;
+        }
+
+        // Both sides are past warmup: combine marker heights by
+        // count-weighted average (the extrema exactly, by min/max) and
+        // reset positions to the ideal positions for the combined count.
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        for i in 1..4 {
+            self.heights[i] = (self.heights[i] * n1 + other.heights[i] * n2) / total;
+        }
+        self.heights[0] = self.heights[0].min(other.heights[0]);
+        self.heights[4] = self.heights[4].max(other.heights[4]);
+        self.count += other.count;
+        let n = self.count as f64;
+        for i in 0..5 {
+            self.positions[i] = 1.0 + (n - 1.0) * self.increments[i];
+            self.desired[i] = self.positions[i];
+        }
+    }
+
     /// Current quantile estimate.
     ///
     /// # Panics
@@ -219,6 +285,102 @@ mod tests {
                 p.estimate()
             );
         }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = P2Quantile::new(0.5);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
+            a.observe(x);
+        }
+        let before = a.estimate();
+        a.merge_approx(&P2Quantile::new(0.5));
+        assert_eq!(a.estimate(), before);
+        assert_eq!(a.count(), 7);
+
+        let mut empty = P2Quantile::new(0.5);
+        empty.merge_approx(&a);
+        assert_eq!(empty.count(), 7);
+        assert_eq!(empty.estimate(), before);
+    }
+
+    #[test]
+    fn merge_of_warmup_sides_is_exact() {
+        // Either side ≤ 5 observations → the merge replays raw values, so
+        // it must equal a single estimator fed the concatenated stream.
+        let left = [9.0, 2.0, 7.0];
+        let right = [5.0, 1.0];
+        let mut merged = P2Quantile::new(0.5);
+        for x in left {
+            merged.observe(x);
+        }
+        let mut other = P2Quantile::new(0.5);
+        for x in right {
+            other.observe(x);
+        }
+        merged.merge_approx(&other);
+
+        let mut single = P2Quantile::new(0.5);
+        for x in left.iter().chain(right.iter()) {
+            single.observe(*x);
+        }
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.estimate(), single.estimate());
+    }
+
+    #[test]
+    fn merge_tracks_combined_stream_within_documented_error() {
+        for q in [0.5, 0.95, 0.99] {
+            let d = Uniform::new(0.0, 10.0);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(77);
+            let all: Vec<f64> = (0..40_000).map(|_| sample(&d, &mut rng)).collect();
+
+            let mut single = P2Quantile::new(q);
+            let mut left = P2Quantile::new(q);
+            let mut right = P2Quantile::new(q);
+            for (i, &x) in all.iter().enumerate() {
+                single.observe(x);
+                if i % 2 == 0 {
+                    left.observe(x);
+                } else {
+                    right.observe(x);
+                }
+            }
+            left.merge_approx(&right);
+            assert_eq!(left.count(), single.count());
+            let exact = exact_quantile(&mut all.clone(), q);
+            let err = (left.estimate() - exact).abs() / exact;
+            assert!(
+                err < 0.05,
+                "q={q}: merged {} vs exact {exact} (err {err:.4})",
+                left.estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn merged_estimator_keeps_converging() {
+        // A merged estimator must remain usable as a live estimator.
+        let d = Uniform::new(0.0, 1.0);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let mut a = P2Quantile::new(0.9);
+        let mut b = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            a.observe(sample(&d, &mut rng));
+            b.observe(sample(&d, &mut rng));
+        }
+        a.merge_approx(&b);
+        for _ in 0..20_000 {
+            a.observe(sample(&d, &mut rng));
+        }
+        assert!((a.estimate() - 0.9).abs() < 0.05, "p90 {}", a.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "different quantiles")]
+    fn merge_of_mismatched_quantiles_panics() {
+        let mut a = P2Quantile::new(0.5);
+        a.merge_approx(&P2Quantile::new(0.9));
     }
 
     #[test]

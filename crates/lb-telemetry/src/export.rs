@@ -57,10 +57,17 @@ impl From<ReplayError> for ExportError {
     }
 }
 
+/// Largest integer magnitude a JSON number round-trips exactly (`2^53`).
+/// Bigger integers — 64-bit trace ids above all — are written as decimal
+/// strings instead, so they survive the round-trip bit-exactly.
+const EXACT_JSON_INT: u64 = 1 << 53;
+
 fn field_value_json(value: &FieldValue) -> Json {
     let (tag, json) = match value {
-        FieldValue::U64(v) => ("u64", Json::Num(*v as f64)),
-        FieldValue::I64(v) => ("i64", Json::Num(*v as f64)),
+        FieldValue::U64(v) if *v <= EXACT_JSON_INT => ("u64", Json::Num(*v as f64)),
+        FieldValue::U64(v) => ("u64", Json::Str(v.to_string())),
+        FieldValue::I64(v) if v.unsigned_abs() <= EXACT_JSON_INT => ("i64", Json::Num(*v as f64)),
+        FieldValue::I64(v) => ("i64", Json::Str(v.to_string())),
         FieldValue::F64(v) => (
             "f64",
             if v.is_finite() {
@@ -160,7 +167,15 @@ fn parse_field(line: usize, entry: &Json) -> Result<Field, ExportError> {
         .ok_or_else(|| schema_err(line, format!("field '{key}' has no type tag")))?;
     let value = match (tag.as_str(), inner) {
         ("u64", Json::Num(v)) => FieldValue::U64(*v as u64),
+        ("u64", Json::Str(s)) => FieldValue::U64(
+            s.parse()
+                .map_err(|_| schema_err(line, format!("field '{key}': bad u64 '{s}'")))?,
+        ),
         ("i64", Json::Num(v)) => FieldValue::I64(*v as i64),
+        ("i64", Json::Str(s)) => FieldValue::I64(
+            s.parse()
+                .map_err(|_| schema_err(line, format!("field '{key}': bad i64 '{s}'")))?,
+        ),
         ("f64", Json::Num(v)) => FieldValue::F64(*v),
         ("f64", Json::Null) => FieldValue::F64(f64::NAN),
         ("bool", Json::Bool(v)) => FieldValue::Bool(*v),
@@ -183,6 +198,11 @@ fn parse_event(line: usize, json: &Json) -> Result<TelemetryEvent, ExportError> 
         .get("at")
         .and_then(Json::as_f64)
         .ok_or_else(|| schema_err(line, "missing numeric 'at'"))?;
+    // `to_jsonl` cannot render a non-finite timestamp, so accepting one here
+    // would take the parser's image outside the serialiser's domain.
+    if !at.is_finite() {
+        return Err(schema_err(line, "non-finite 'at'"));
+    }
     let name = json
         .get("name")
         .and_then(Json::as_str)
@@ -303,6 +323,30 @@ fn args_json(fields: &[Field]) -> Json {
 pub fn to_chrome_trace(events: &[TelemetryEvent]) -> Result<String, ExportError> {
     let spans = replay_spans(events)?;
     let mut trace: Vec<Json> = Vec::new();
+
+    // Metadata records (`"M"` phase) name the process and each subsystem
+    // lane, so viewers render "coordinator" / "node" / … instead of bare
+    // tids. The pid/tid mapping is stable: pid 1 for the whole workspace,
+    // tid = `Subsystem::lane`. Only lanes that actually appear are named.
+    trace.push(Json::obj([
+        ("name", Json::Str("process_name".into())),
+        ("ph", Json::Str("M".into())),
+        ("pid", Json::Num(1.0)),
+        ("args", Json::obj([("name", Json::Str("lbmv".into()))])),
+    ]));
+    let lanes: BTreeMap<u64, &'static str> = events
+        .iter()
+        .map(|e| (e.cat.lane(), e.cat.name()))
+        .collect();
+    for (lane, name) in &lanes {
+        trace.push(Json::obj([
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(*lane as f64)),
+            ("args", Json::obj([("name", Json::Str((*name).into()))])),
+        ]));
+    }
 
     for span in &spans {
         trace.push(Json::obj([
@@ -456,6 +500,37 @@ mod tests {
     }
 
     #[test]
+    fn big_integer_fields_roundtrip_exactly() {
+        // 64-bit trace ids exceed 2^53; a JSON number would round them, so
+        // they travel as decimal strings.
+        let events = vec![TelemetryEvent {
+            at: 0.5,
+            name: "round".into(),
+            cat: Subsystem::Coordinator,
+            kind: EventKind::Instant,
+            fields: vec![
+                Field::u64("trace_lo", u64::MAX - 1),
+                Field::u64("small", 7),
+                Field::i64("offset", i64::MIN + 1),
+            ],
+        }];
+        let text = to_jsonl(&events);
+        assert!(text.contains(&format!("\"{}\"", u64::MAX - 1)), "{text}");
+        assert!(text.contains("\"small\",\"u64\":7") || text.contains("\"u64\":7"));
+        assert_eq!(from_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn jsonl_rejects_overflowed_timestamps() {
+        // "1e999" parses as +inf; accepting it would let a recording through
+        // that `to_jsonl` later panics on. The parser's image must stay
+        // inside the serialiser's domain.
+        let line = "{\"at\":1e999,\"cat\":\"network\",\"kind\":\"instant\",\"name\":\"x\"}";
+        let err = from_jsonl(line).unwrap_err();
+        assert!(matches!(err, ExportError::Schema { line: 1, .. }), "{err}");
+    }
+
+    #[test]
     fn blank_lines_are_skipped() {
         let events = sample_recording();
         let text = to_jsonl(&events).replace('\n', "\n\n");
@@ -467,11 +542,55 @@ mod tests {
         let events = sample_recording();
         let trace = to_chrome_trace(&events).unwrap();
         let json = Json::parse(&trace).unwrap();
-        let items = json.get("traceEvents").and_then(Json::as_array).unwrap();
+        let all = json.get("traceEvents").and_then(Json::as_array).unwrap();
+        // Metadata first: one process_name + one thread_name per used lane
+        // (coordinator, network, chaos, session).
+        let meta: Vec<&Json> = all
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 5);
+        assert_eq!(
+            meta[0].get("name").and_then(Json::as_str),
+            Some("process_name")
+        );
+        assert_eq!(
+            meta[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("lbmv")
+        );
+        let thread_names: Vec<(&str, u64)> = meta[1..]
+            .iter()
+            .map(|e| {
+                (
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .unwrap(),
+                    e.get("tid").and_then(Json::as_u64).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            thread_names,
+            vec![
+                ("coordinator", 1),
+                ("network", 2),
+                ("chaos", 3),
+                ("session", 4)
+            ]
+        );
+        let items: Vec<&Json> = all
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+            .collect();
         // 2 spans + 2 instants (net.send + histogram sample) + 2 counters + 1 gauge.
         assert_eq!(items.len(), 7);
         let complete: Vec<&Json> = items
             .iter()
+            .copied()
             .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
             .collect();
         assert_eq!(complete.len(), 2);
@@ -481,6 +600,7 @@ mod tests {
         // Counters accumulate: second net.messages sample reports 3.
         let counters: Vec<f64> = items
             .iter()
+            .copied()
             .filter(|e| {
                 e.get("ph").and_then(Json::as_str) == Some("C")
                     && e.get("name").and_then(Json::as_str) == Some("net.messages")

@@ -1,0 +1,320 @@
+//! Live exposition: a minimal HTTP 1.0 endpoint for metrics and traces.
+//!
+//! [`Exposition`] is a cheaply clonable publish point: runtimes push
+//! [`MetricsSnapshot`]s and recordings into it as rounds complete, and an
+//! [`ExposeServer`] — a deliberately tiny single-threaded HTTP 1.0 server on
+//! `std::net::TcpListener`, no external dependencies — serves whatever was
+//! last published:
+//!
+//! * `GET /metrics` — Prometheus text format 0.0.4
+//!   ([`MetricsSnapshot::to_prometheus`]), scrapeable by a stock Prometheus
+//!   or by `curl`.
+//! * `GET /trace` — the most recent recording as JSONL
+//!   ([`crate::to_jsonl`]), re-parseable with [`crate::from_jsonl`] and
+//!   consumed by the `lb-top` dashboard.
+//!
+//! The server is pull-based and stateless per request (`Connection: close`),
+//! so it never back-pressures the protocol: publishing is a mutex-guarded
+//! string swap, and a slow scraper only delays its own response. One request
+//! is served per [`ExposeServer::serve_one`] call; callers own the accept
+//! loop (a thread, a bounded `serve_requests`, or a test harness).
+
+use crate::event::TelemetryEvent;
+use crate::export::to_jsonl;
+use crate::registry::MetricsSnapshot;
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on retained trace lines, so a long-running session exposes
+/// its recent history instead of growing without bound.
+const MAX_TRACE_LINES: usize = 10_000;
+
+/// Upper bound on the request head we are willing to buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+#[derive(Default)]
+struct Published {
+    metrics: String,
+    trace: String,
+}
+
+/// The publish point shared between a running protocol and its server.
+///
+/// Clones share state; publishing replaces the previously published
+/// document atomically with respect to concurrent serves.
+#[derive(Clone, Default)]
+pub struct Exposition {
+    inner: Arc<Mutex<Published>>,
+}
+
+impl std::fmt::Debug for Exposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Exposition")
+            .field("metrics_bytes", &inner.metrics.len())
+            .field("trace_bytes", &inner.trace.len())
+            .finish()
+    }
+}
+
+impl Exposition {
+    /// An empty publish point.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a metrics snapshot; `/metrics` serves it until replaced.
+    pub fn publish_metrics(&self, snapshot: &MetricsSnapshot) {
+        let text = snapshot.to_prometheus();
+        self.inner.lock().metrics = text;
+    }
+
+    /// Publishes a recording; `/trace` serves it as JSONL until replaced.
+    /// Only the most recent [`MAX_TRACE_LINES`] events are retained.
+    pub fn publish_trace(&self, events: &[TelemetryEvent]) {
+        let tail = if events.len() > MAX_TRACE_LINES {
+            &events[events.len() - MAX_TRACE_LINES..]
+        } else {
+            events
+        };
+        let text = to_jsonl(tail);
+        self.inner.lock().trace = text;
+    }
+
+    /// The currently published Prometheus text.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        self.inner.lock().metrics.clone()
+    }
+
+    /// The currently published trace JSONL.
+    #[must_use]
+    pub fn trace_text(&self) -> String {
+        self.inner.lock().trace.clone()
+    }
+}
+
+/// A single-threaded HTTP 1.0 server over an [`Exposition`].
+#[derive(Debug)]
+pub struct ExposeServer {
+    listener: TcpListener,
+    share: Exposition,
+}
+
+impl ExposeServer {
+    /// Binds a listener (use port 0 for an OS-assigned port) serving
+    /// `share`.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, share: Exposition) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            share,
+        })
+    }
+
+    /// The bound address — needed when binding port 0.
+    ///
+    /// # Errors
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves exactly one request (blocking).
+    ///
+    /// Malformed requests are answered with `400`/`404` and reported as
+    /// `Ok` — a hostile client is the client's problem, not the server's.
+    ///
+    /// # Errors
+    /// Propagates accept/IO failures on the listener itself.
+    pub fn serve_one(&self) -> io::Result<()> {
+        let (mut stream, _) = self.listener.accept()?;
+        // A stalled client must not wedge the (single-threaded) server.
+        stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+        let _ = Self::handle(&mut stream, &self.share);
+        Ok(())
+    }
+
+    /// Serves exactly `requests` requests, then returns.
+    ///
+    /// # Errors
+    /// Propagates the first accept/IO failure.
+    pub fn serve_requests(&self, requests: usize) -> io::Result<()> {
+        for _ in 0..requests {
+            self.serve_one()?;
+        }
+        Ok(())
+    }
+
+    fn handle(stream: &mut TcpStream, share: &Exposition) -> io::Result<()> {
+        let request = Self::read_request_line(stream)?;
+        let mut parts = request.split_whitespace();
+        let (method, path) = match (parts.next(), parts.next()) {
+            (Some(m), Some(p)) => (m, p),
+            _ => return Self::respond(stream, 400, "text/plain", "bad request\n"),
+        };
+        if method != "GET" {
+            return Self::respond(stream, 405, "text/plain", "method not allowed\n");
+        }
+        match path {
+            "/metrics" => {
+                let body = share.metrics_text();
+                Self::respond(
+                    stream,
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                )
+            }
+            "/trace" => {
+                let body = share.trace_text();
+                Self::respond(stream, 200, "application/x-ndjson; charset=utf-8", &body)
+            }
+            _ => Self::respond(stream, 404, "text/plain", "not found\n"),
+        }
+    }
+
+    /// Reads until the first CRLF (the request line) or a hard cap.
+    fn read_request_line(stream: &mut TcpStream) -> io::Result<String> {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 512];
+        loop {
+            if buf.windows(2).any(|w| w == b"\r\n") || buf.contains(&b'\n') {
+                break;
+            }
+            if buf.len() >= MAX_REQUEST_BYTES {
+                break;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let line = buf.split(|&b| b == b'\n').next().unwrap_or(&[]);
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        Ok(String::from_utf8_lossy(line).into_owned())
+    }
+
+    fn respond(
+        stream: &mut TcpStream,
+        status: u16,
+        content_type: &str,
+        body: &str,
+    ) -> io::Result<()> {
+        let reason = match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        };
+        let head = format!(
+            "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::event::Subsystem;
+    use crate::registry::MetricsRegistry;
+    use crate::ring::RingCollector;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    fn sample_share() -> Exposition {
+        let ring = RingCollector::new(64);
+        let round = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![]);
+        ring.counter(0.1, "net.messages", Subsystem::Network, 5);
+        ring.histogram(0.2, "chaos.backoff", Subsystem::Chaos, 0.04);
+        ring.span_end(0.5, round);
+
+        let mut reg = MetricsRegistry::new();
+        let events = ring.snapshot();
+        reg.ingest(&events);
+        let share = Exposition::new();
+        share.publish_metrics(&reg.snapshot());
+        share.publish_trace(&events);
+        share
+    }
+
+    #[test]
+    fn serves_metrics_and_trace_over_tcp() {
+        let share = sample_share();
+        let server = ExposeServer::bind("127.0.0.1:0", share).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || server.serve_requests(4));
+
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(metrics.contains("net_messages_total 5"));
+        assert!(metrics.contains("span_round_seconds_count 1"));
+
+        let trace = http_get(addr, "/trace");
+        assert!(trace.starts_with("HTTP/1.0 200 OK\r\n"));
+        let body = trace.split("\r\n\r\n").nth(1).expect("body");
+        let events = crate::export::from_jsonl(body).expect("reparse");
+        assert_eq!(events.len(), 4);
+        let spans = crate::replay::replay_spans(&events).expect("replay");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "round");
+
+        let missing = http_get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+        let bad = {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(b"\r\n\r\n").expect("send");
+            let mut response = String::new();
+            stream.read_to_string(&mut response).expect("read");
+            response
+        };
+        assert!(bad.starts_with("HTTP/1.0 400"), "{bad}");
+
+        handle.join().expect("server thread").expect("serve");
+    }
+
+    #[test]
+    fn publishing_replaces_previous_documents() {
+        let share = Exposition::new();
+        assert!(share.metrics_text().is_empty());
+        let mut reg = MetricsRegistry::new();
+        reg.add("rounds", 1);
+        share.publish_metrics(&reg.snapshot());
+        assert!(share.metrics_text().contains("rounds_total 1"));
+        reg.add("rounds", 1);
+        share.publish_metrics(&reg.snapshot());
+        assert!(share.metrics_text().contains("rounds_total 2"));
+    }
+
+    #[test]
+    fn trace_retention_is_bounded() {
+        let ring = RingCollector::new(16);
+        ring.counter(0.0, "n", Subsystem::Network, 1);
+        let one = ring.snapshot();
+        let many: Vec<_> = (0..MAX_TRACE_LINES + 50).map(|_| one[0].clone()).collect();
+        let share = Exposition::new();
+        share.publish_trace(&many);
+        assert_eq!(share.trace_text().lines().count(), MAX_TRACE_LINES);
+    }
+}

@@ -29,6 +29,14 @@
 //!   Chrome `trace_event` files loadable in `chrome://tracing` / Perfetto.
 //! * [`timeline`] — a plain-text round-timeline/summary renderer for
 //!   terminals and examples.
+//! * [`context`] — the wire-propagated [`TraceContext`] (128-bit trace id,
+//!   parent span id, sampled flag) and its fixed-size backward-compatible
+//!   frame trailer, so one trace stitches across coordinator and nodes.
+//! * [`sampler`] — deterministic head-based sampling
+//!   (always/never/ratio/per-round as a pure function of the round seed)
+//!   and the [`MeteredCollector`] overhead accountant.
+//! * [`expose`] — a std-only HTTP 1.0 exposition server: Prometheus
+//!   text-format `/metrics` and recent-recording `/trace` JSONL.
 //!
 //! # Clock discipline
 //!
@@ -47,19 +55,25 @@
 //! is one virtual call returning a constant.
 
 pub mod collector;
+pub mod context;
 pub mod event;
 pub mod export;
+pub mod expose;
 pub mod json;
 pub mod registry;
 pub mod replay;
 pub mod ring;
+pub mod sampler;
 pub mod timeline;
 
 pub use collector::{noop_collector, Collector, NoopCollector};
+pub use context::{TraceContext, TRAILER_LEN, TRAILER_MAGIC, TRAILER_VERSION};
 pub use event::{EventKind, Field, FieldValue, Phase, SpanId, Subsystem, TelemetryEvent};
 pub use export::{from_jsonl, to_chrome_trace, to_jsonl, ExportError};
+pub use expose::{ExposeServer, Exposition};
 pub use json::{Json, JsonError};
 pub use registry::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use replay::{replay_spans, CompletedSpan, ReplayError};
 pub use ring::RingCollector;
+pub use sampler::{MeteredCollector, Sampler};
 pub use timeline::render_timeline;

@@ -43,6 +43,13 @@ impl HistogramMetric {
         self.p99.observe(value);
     }
 
+    fn merge(&mut self, other: &Self) {
+        self.stats.merge(&other.stats);
+        self.p50.merge_approx(&other.p50);
+        self.p95.merge_approx(&other.p95);
+        self.p99.merge_approx(&other.p99);
+    }
+
     fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.stats.count(),
@@ -195,6 +202,31 @@ impl MetricsRegistry {
         }
     }
 
+    /// Merges another registry into this one — the reduction step when each
+    /// collector (per thread, per node, per round) fed its own registry.
+    ///
+    /// Counters add (saturating), gauges take the other side's value when it
+    /// set one (last-writer-wins, matching `set_gauge` semantics), histogram
+    /// moments merge exactly (Welford/Chan) and quantiles merge via
+    /// [`P2Quantile::merge_approx`] — counts and sums stay exact, quantile
+    /// estimates carry the approximation error documented there.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, delta) in &other.counters {
+            self.add(name.clone(), *delta);
+        }
+        for (name, value) in &other.gauges {
+            self.set_gauge(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(hist),
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+    }
+
     /// A frozen, renderable copy of every metric.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -260,6 +292,63 @@ impl MetricsSnapshot {
                     h.count, h.mean, h.std_dev, h.min, h.p50, h.p95, h.p99, h.max
                 );
             }
+        }
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4) — what the `/metrics` endpoint of
+    /// [`crate::expose::ExposeServer`] serves.
+    ///
+    /// Metric names are sanitised to `[a-zA-Z0-9_:]` (anything else becomes
+    /// `_`, a leading digit gains a `_` prefix). Counters gain an `_total`
+    /// suffix per convention; histograms render as Prometheus summaries:
+    /// `<name>{quantile="…"}` sample lines plus `<name>_sum` /
+    /// `<name>_count`. Non-finite values are skipped (Prometheus has no
+    /// NaN/Inf samples worth scraping).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 1);
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                    if i == 0 && c.is_ascii_digit() {
+                        out.push('_');
+                    }
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name}_total counter");
+            let _ = writeln!(out, "{name}_total {value}");
+        }
+        for (name, value) in &self.gauges {
+            if !value.is_finite() {
+                continue;
+            }
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                if v.is_finite() {
+                    let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                }
+            }
+            let sum = h.mean * h.count as f64;
+            if sum.is_finite() {
+                let _ = writeln!(out, "{name}_sum {sum}");
+            }
+            let _ = writeln!(out, "{name}_count {}", h.count);
         }
         out
     }
@@ -423,6 +512,109 @@ mod tests {
             per_machine,
             vec![("net.machine.0", 2), ("net.machine.1", 4)]
         );
+    }
+
+    #[test]
+    fn merge_of_two_collectors_matches_one_combined_stream() {
+        // Two RingCollectors record disjoint halves of the same activity;
+        // each feeds its own registry, the registries are merged, and the
+        // result must agree with a single registry fed the combined stream:
+        // counts and sums exactly, quantile ranks within the documented
+        // merge error.
+        let left = RingCollector::new(4096);
+        let right = RingCollector::new(4096);
+        for i in 0..1000u32 {
+            let ring = if i % 2 == 0 { &left } else { &right };
+            let at = f64::from(i) * 1e-3;
+            ring.counter(at, "net.messages", Subsystem::Network, 2);
+            ring.histogram(
+                at,
+                "latency",
+                Subsystem::Network,
+                f64::from(i % 100) / 100.0,
+            );
+            ring.gauge(at, "healthy", Subsystem::Session, f64::from(i));
+        }
+
+        let mut a = MetricsRegistry::new();
+        a.ingest(&left.snapshot());
+        let mut b = MetricsRegistry::new();
+        b.ingest(&right.snapshot());
+        a.merge(&b);
+
+        let mut combined = MetricsRegistry::new();
+        combined.ingest(&left.snapshot());
+        combined.ingest(&right.snapshot());
+
+        assert_eq!(a.counter("net.messages"), combined.counter("net.messages"));
+        assert_eq!(a.counter("net.messages"), 2000);
+        let m = a.histogram("latency").unwrap();
+        let c = combined.histogram("latency").unwrap();
+        assert_eq!(m.count, c.count);
+        assert!((m.mean - c.mean).abs() < 1e-12, "{} vs {}", m.mean, c.mean);
+        assert!((m.std_dev - c.std_dev).abs() < 1e-9);
+        assert_eq!(m.min, c.min);
+        assert_eq!(m.max, c.max);
+        // Quantiles agree within the documented merge error (both are
+        // estimates; compare ranks, not bits).
+        for (merged_q, combined_q) in [(m.p50, c.p50), (m.p95, c.p95), (m.p99, c.p99)] {
+            assert!(
+                (merged_q - combined_q).abs() < 0.1,
+                "quantile drifted: merged {merged_q} vs combined {combined_q}"
+            );
+        }
+        // Gauges: last writer wins, and `merge` takes the other side's value.
+        assert_eq!(a.gauge("healthy"), Some(999.0));
+    }
+
+    #[test]
+    fn merge_into_empty_clones_histograms() {
+        let mut src = MetricsRegistry::new();
+        for i in 1..=50 {
+            src.observe("lat", f64::from(i));
+        }
+        src.add("n", 7);
+        let mut dst = MetricsRegistry::new();
+        dst.merge(&src);
+        assert_eq!(dst.counter("n"), 7);
+        let h = dst.histogram("lat").unwrap();
+        assert_eq!(h.count, 50);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 50.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("net.messages", 12);
+        reg.add("anomaly.late-bid", 1);
+        reg.set_gauge("session.healthy", 4.0);
+        reg.set_gauge("broken", f64::NAN);
+        for i in 1..=100 {
+            reg.observe("span.round.seconds", f64::from(i) / 100.0);
+        }
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE net_messages_total counter"));
+        assert!(text.contains("net_messages_total 12"));
+        assert!(text.contains("anomaly_late_bid_total 1"), "{text}");
+        assert!(text.contains("# TYPE session_healthy gauge"));
+        assert!(text.contains("session_healthy 4"));
+        assert!(!text.contains("broken"), "non-finite gauges are skipped");
+        assert!(text.contains("# TYPE span_round_seconds summary"));
+        assert!(text.contains("span_round_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("span_round_seconds_count 100"));
+        assert!(text.contains("span_round_seconds_sum "));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap();
+            let value = parts.next().unwrap();
+            assert!(parts.next().is_none(), "extra tokens in '{line}'");
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_:{}=\".".contains(c)));
+            assert!(value.parse::<f64>().is_ok(), "bad value in '{line}'");
+        }
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Head-based trace sampling and per-collector overhead accounting.
+//!
+//! Sampling decisions are made **once, at the head of a round**, and are a
+//! pure function of `(seed, round)` — never of a wall clock or a global RNG —
+//! so a chaos replay of the same seed samples exactly the same rounds and
+//! reproduces identical traces. The decision is then carried to every
+//! participant in the `sampled` flag of the wire
+//! [`TraceContext`](crate::context::TraceContext).
+//!
+//! [`MeteredCollector`] wraps any collector and counts the events and span
+//! ids that actually flow through it, giving each collector an explicit
+//! overhead account (events recorded ≈ allocations + ring traffic paid).
+
+use crate::collector::Collector;
+use crate::event::{SpanId, TelemetryEvent};
+use lb_stats::derive_seed;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Salt so the sampling hash is independent of the trace-id derivation.
+const SAMPLE_SALT: u64 = 0x7361_6D70_6C65_7221; // "sampler!"
+
+/// A deterministic head-based sampling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampler {
+    /// Sample every round.
+    Always,
+    /// Sample nothing.
+    Never,
+    /// Sample each round independently with this probability, decided by a
+    /// hash of `(seed, round)`. Values ≤ 0 behave like [`Sampler::Never`],
+    /// values ≥ 1 like [`Sampler::Always`].
+    Ratio(f64),
+    /// Sample every `n`-th round (rounds `0, n, 2n, …`). `PerRound(0)`
+    /// samples nothing.
+    PerRound(u64),
+}
+
+impl Sampler {
+    /// Whether the round identified by `(seed, round)` is sampled.
+    ///
+    /// Pure and deterministic: the same inputs always give the same answer,
+    /// on every machine, in every replay.
+    #[must_use]
+    pub fn admits(&self, seed: u64, round: u64) -> bool {
+        match *self {
+            Sampler::Always => true,
+            Sampler::Never => false,
+            Sampler::Ratio(r) => {
+                if !(r > 0.0) {
+                    return false;
+                }
+                if r >= 1.0 {
+                    return true;
+                }
+                // 53 uniform bits → [0, 1); compare against the ratio.
+                let h = derive_seed(seed ^ SAMPLE_SALT, round);
+                #[allow(clippy::cast_precision_loss)]
+                let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                u < r
+            }
+            Sampler::PerRound(n) => n != 0 && round % n == 0,
+        }
+    }
+}
+
+/// A collector wrapper that meters what flows through it.
+///
+/// Forwards everything to the inner collector while counting recorded
+/// events and allocated span ids, so the overhead a given instrumentation
+/// configuration pays is observable rather than guessed at. Disabled inner
+/// collectors stay free: the convenience methods short-circuit on
+/// [`Collector::enabled`] before ever reaching [`Collector::record`].
+pub struct MeteredCollector {
+    inner: Arc<dyn Collector>,
+    events: AtomicU64,
+    spans: AtomicU64,
+}
+
+impl std::fmt::Debug for MeteredCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeteredCollector")
+            .field("events", &self.events_recorded())
+            .field("spans", &self.spans_started())
+            .finish()
+    }
+}
+
+impl MeteredCollector {
+    /// Wraps `inner`, metering everything recorded through the wrapper.
+    #[must_use]
+    pub fn new(inner: Arc<dyn Collector>) -> Self {
+        Self {
+            inner,
+            events: AtomicU64::new(0),
+            spans: AtomicU64::new(0),
+        }
+    }
+
+    /// Events forwarded to the inner collector so far.
+    #[must_use]
+    pub fn events_recorded(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Span ids allocated through this wrapper so far.
+    #[must_use]
+    pub fn spans_started(&self) -> u64 {
+        self.spans.load(Ordering::Relaxed)
+    }
+}
+
+impl Collector for MeteredCollector {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn record(&self, event: TelemetryEvent) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        self.inner.record(event);
+    }
+
+    fn next_span_id(&self) -> SpanId {
+        self.spans.fetch_add(1, Ordering::Relaxed);
+        self.inner.next_span_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{noop_collector, NoopCollector};
+    use crate::event::Subsystem;
+    use crate::ring::RingCollector;
+
+    #[test]
+    fn always_and_never_are_constant() {
+        for round in 0..32 {
+            assert!(Sampler::Always.admits(7, round));
+            assert!(!Sampler::Never.admits(7, round));
+        }
+    }
+
+    #[test]
+    fn ratio_is_deterministic_and_roughly_calibrated() {
+        let s = Sampler::Ratio(0.25);
+        let first: Vec<bool> = (0..4000).map(|r| s.admits(99, r)).collect();
+        let second: Vec<bool> = (0..4000).map(|r| s.admits(99, r)).collect();
+        assert_eq!(first, second, "sampling must be a pure function");
+        let hits = first.iter().filter(|b| **b).count();
+        assert!(
+            (800..=1200).contains(&hits),
+            "0.25 ratio admitted {hits}/4000"
+        );
+        // Different seeds make independent decisions.
+        let other_hits = (0..4000).filter(|&r| s.admits(100, r)).count();
+        assert_ne!(hits, 0);
+        assert!(other_hits > 0);
+    }
+
+    #[test]
+    fn ratio_extremes_clamp() {
+        assert!(!Sampler::Ratio(0.0).admits(1, 1));
+        assert!(!Sampler::Ratio(-3.0).admits(1, 1));
+        assert!(!Sampler::Ratio(f64::NAN).admits(1, 1));
+        assert!(Sampler::Ratio(1.0).admits(1, 1));
+        assert!(Sampler::Ratio(7.5).admits(1, 1));
+    }
+
+    #[test]
+    fn per_round_samples_multiples() {
+        let s = Sampler::PerRound(4);
+        let admitted: Vec<u64> = (0..13).filter(|&r| s.admits(3, r)).collect();
+        assert_eq!(admitted, vec![0, 4, 8, 12]);
+        assert!(!Sampler::PerRound(0).admits(3, 0), "PerRound(0) is Never");
+    }
+
+    #[test]
+    fn metered_collector_counts_what_flows_through() {
+        let ring = Arc::new(RingCollector::new(32));
+        let metered = MeteredCollector::new(ring.clone());
+        let span = metered.span_start(0.0, "round", Subsystem::Coordinator, vec![]);
+        metered.instant(0.1, "tick", Subsystem::Network, vec![]);
+        metered.span_end(0.2, span);
+        assert_eq!(metered.events_recorded(), 3);
+        assert_eq!(metered.spans_started(), 1);
+        assert_eq!(ring.len(), 3, "events reach the inner collector");
+    }
+
+    #[test]
+    fn metered_noop_stays_free() {
+        let metered = MeteredCollector::new(noop_collector());
+        assert!(!metered.enabled());
+        let id = metered.span_start(0.0, "round", Subsystem::Coordinator, vec![]);
+        assert!(id.is_null());
+        metered.instant(0.1, "tick", Subsystem::Network, vec![]);
+        assert_eq!(
+            metered.events_recorded(),
+            0,
+            "disabled paths record nothing"
+        );
+        assert_eq!(metered.spans_started(), 0);
+        let _ = NoopCollector; // keep the import honest
+    }
+}
