@@ -1,0 +1,46 @@
+//! `payment_scaling`: the settle-phase payment vector, batch O(n)
+//! leave-one-out kernel vs the legacy per-agent O(n²) rebuild.
+//!
+//! The acceptance bar for the batch kernel: ≥ 50× over legacy at n = 4096.
+//! The legacy path is not timed at n = 16384 (a single settle there takes
+//! seconds; the `batch/16384` point documents that the O(n) path keeps
+//! scaling where the quadratic one has already left the budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::payment_scaling::{legacy_payment_breakdown, workload};
+use lb_mechanism::CompensationBonusMechanism;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_payment_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payment_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    let mech = CompensationBonusMechanism::paper();
+    for n in [64usize, 256, 1024, 4096, 16384] {
+        let (values, alloc, r) = workload(n);
+        group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
+            b.iter(|| {
+                mech.payment_breakdown(black_box(&values), black_box(&alloc), black_box(&values), r)
+                    .unwrap()
+            });
+        });
+        if n <= 4096 {
+            group.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, _| {
+                b.iter(|| {
+                    legacy_payment_breakdown(
+                        black_box(&mech),
+                        black_box(&values),
+                        black_box(&alloc),
+                        black_box(&values),
+                        r,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_payment_scaling);
+criterion_main!(benches);

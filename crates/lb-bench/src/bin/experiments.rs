@@ -5,7 +5,7 @@
 //! cargo run -p lb-bench --bin experiments -- fig1
 //! ```
 
-use lb_bench::figures;
+use lb_bench::{figures, payment_scaling};
 
 fn print_section(title: &str, body: &str) {
     println!("== {title} ==");
@@ -125,6 +125,37 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
                 &figures::ablation_estimator()?.render(),
             );
         }
+        "payment-scaling" => {
+            let rows = payment_scaling::measure(
+                payment_scaling::SCALING_NS,
+                5,
+                payment_scaling::LEGACY_CAP,
+            );
+            print_section(
+                "Payment scaling: O(n) batch leave-one-out kernel vs legacy O(n²) settle",
+                &payment_scaling::render_table(&rows),
+            );
+            std::fs::write("BENCH_payment.json", payment_scaling::to_json(&rows))?;
+            println!("wrote BENCH_payment.json");
+        }
+        "payment-scaling-smoke" => {
+            // CI-sized: small grid, one sample, no artifact rewrite.
+            let rows = payment_scaling::measure(&[64, 256, 1024], 1, 1024);
+            print_section(
+                "Payment scaling (smoke): batch vs legacy settle",
+                &payment_scaling::render_table(&rows),
+            );
+            // At small n constant factors dominate; the asymptotic claim is
+            // checked where it is unambiguous even on a noisy runner.
+            for row in rows.iter().filter(|row| row.n >= 256) {
+                let speedup = row.speedup.expect("legacy measured in smoke grid");
+                assert!(
+                    speedup > 1.0,
+                    "batch settle slower than legacy at n = {}: {speedup:.2}x",
+                    row.n
+                );
+            }
+        }
         "all" => {
             for t in [
                 "table1",
@@ -160,7 +191,7 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
         other => {
             eprintln!("unknown target '{other}'");
             eprintln!(
-                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry all"
+                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry payment-scaling payment-scaling-smoke all"
             );
             std::process::exit(2);
         }

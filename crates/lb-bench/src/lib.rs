@@ -17,6 +17,7 @@
 pub mod chart;
 pub mod figures;
 pub mod paper;
+pub mod payment_scaling;
 pub mod tables;
 
 pub use chart::BarChart;

@@ -16,7 +16,7 @@
 use crate::error::CoreError;
 use crate::latency::LatencyFunction;
 use crate::machine::{validate_values, System};
-use crate::numeric::{compensated_sum, feasibility_tolerance};
+use crate::numeric::{compensated_sum, feasibility_tolerance, inv_sum_dd, TwoF64};
 use serde::{Deserialize, Serialize};
 
 /// Default base tolerance used when checking allocation feasibility.
@@ -212,14 +212,245 @@ pub fn optimal_latency_linear(values: &[f64], r: f64) -> Result<f64, CoreError> 
     }
 }
 
+/// When the double-double residual `S − 1/t_i` retains fewer significant
+/// digits than this fraction of `S`, the batch kernel re-sums the surviving
+/// reciprocals directly instead of trusting the subtraction.
+///
+/// A double-double carries ~106 bits (≈ 1e-32 relative), so a residual down
+/// to `1e-18·S` still keeps ≥ 14 good digits after the subtraction — far
+/// inside the `1e-12` equivalence bar. Only a machine whose reciprocal
+/// dominates `S` by eighteen orders of magnitude trips the fallback, and at
+/// most one machine can dominate at a time, so the kernel stays O(n).
+const LOO_RESIDUAL_GUARD: f64 = 1e-18;
+
+/// `S − 1/values[i]` at double-double precision, with the dominant-machine
+/// fallback re-summing the surviving reciprocals directly.
+fn loo_residual(s: TwoF64, values: &[f64], i: usize) -> TwoF64 {
+    let diff = s.sub(TwoF64::recip(values[i]));
+    if diff.hi > LOO_RESIDUAL_GUARD * s.hi {
+        diff
+    } else {
+        // Machine `i` contributes essentially all of `S`: rebuild the
+        // residual exactly from the other reciprocals (cancellation-free).
+        values
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .fold(TwoF64::ZERO, |acc, (_, &t)| acc.add(TwoF64::recip(t)))
+    }
+}
+
+/// All leave-one-out optima of Theorem 2.1 in **one O(n) pass**.
+///
+/// The payment rule (Def. 3.3) needs `L_{-i}` — the optimal latency with
+/// machine `i` excluded — for *every* machine of a settle phase. Computing
+/// each by rebuilding the surviving bid vector is O(n²) time and O(n²)
+/// allocation; by Theorem 2.1 the whole batch follows from a single
+/// harmonic sum `S = Σ_j 1/t_j`:
+///
+/// ```text
+/// L*      = R² / S
+/// L_{-i}  = R² / (S − 1/t_i)
+/// L_{-i} − L* = R² · (1/t_i) / (S · (S − 1/t_i))
+/// ```
+///
+/// Two numerical hazards are handled explicitly:
+///
+/// * **Residual cancellation.** When machine `i` dominates (`1/t_i ≈ S`),
+///   `S − 1/t_i` cancels catastrophically in `f64`. The kernel accumulates
+///   `S` as a [`TwoF64`] double-double and performs the subtraction at that
+///   precision (with a direct re-sum fallback past the ~1e-18 domination
+///   point), so the residual — and with it `L_{-i}` — stays accurate to
+///   better than `1e-12` relative everywhere in the validated domain.
+/// * **Marginal cancellation.** The truthful bonus `L_{-i} − L*` is a
+///   difference of two near-equal `O(R²/S)` quantities whenever machine `i`
+///   contributes little; at large `n` the subtractive form loses *all*
+///   significant digits. [`Self::marginals`] therefore evaluates the third
+///   closed form above, which never subtracts near-equal quantities.
+///
+/// ```
+/// use lb_core::allocation::{optimal_latency_excluding, LeaveOneOut};
+/// let bids = [1.0, 2.0, 4.0];
+/// let loo = LeaveOneOut::compute(&bids, 10.0)?;
+/// for i in 0..bids.len() {
+///     let one_shot = optimal_latency_excluding(&bids, i, 10.0)?;
+///     assert!((loo.excluding(i) - one_shot).abs() < 1e-12 * one_shot);
+/// }
+/// # Ok::<(), lb_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaveOneOut {
+    optimal: f64,
+    excluding: Vec<f64>,
+    marginals: Vec<f64>,
+}
+
+impl LeaveOneOut {
+    /// Runs the batch kernel over `values` (bids inside the mechanism, true
+    /// values in sensitivity analysis) at total arrival rate `r`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::EmptySystem`] when fewer than two machines exist
+    /// (removing the only machine leaves nothing to serve the load), any
+    /// validation error from `values`/`r`, or
+    /// [`CoreError::NumericalOverflow`] when a latency leaves the finite
+    /// range.
+    pub fn compute(values: &[f64], r: f64) -> Result<Self, CoreError> {
+        if values.len() < 2 {
+            return Err(CoreError::EmptySystem);
+        }
+        validate_values("latency coefficient", values)?;
+        validate_rate(r)?;
+        let s = inv_sum_dd(values);
+        if !s.hi.is_finite() || s.hi <= 0.0 {
+            return Err(CoreError::NumericalOverflow {
+                what: "sum of inverse latency coefficients",
+            });
+        }
+        // `(r/S)·r` delays overflow exactly like the legacy
+        // `optimal_latency_linear` ordering `r · (r / inv_sum)`.
+        let optimal = TwoF64::from_f64(r).div(s).mul_f64(r).value();
+        if !optimal.is_finite() {
+            return Err(CoreError::NumericalOverflow {
+                what: "optimal latency r²/Σ(1/t_j)",
+            });
+        }
+        let mut excluding = Vec::with_capacity(values.len());
+        let mut marginals = Vec::with_capacity(values.len());
+        for (i, &t) in values.iter().enumerate() {
+            let s_minus = loo_residual(s, values, i);
+            let l_minus_dd = TwoF64::from_f64(r).div(s_minus).mul_f64(r);
+            let l_minus = l_minus_dd.value();
+            // Cancellation-free closed form: share_i = (1/t_i)/S ∈ (0, 1],
+            // then marginal = L_{-i} · share_i — no subtraction of
+            // near-equal O(R²/S) quantities anywhere.
+            let marginal = TwoF64::recip(t).div(s).mul(l_minus_dd).value();
+            if !l_minus.is_finite() || !marginal.is_finite() {
+                return Err(CoreError::NumericalOverflow {
+                    what: "leave-one-out latency r²/(S − 1/t_i)",
+                });
+            }
+            excluding.push(l_minus);
+            marginals.push(marginal);
+        }
+        Ok(Self {
+            optimal,
+            excluding,
+            marginals,
+        })
+    }
+
+    /// The full-system optimum `L* = R²/S`.
+    #[must_use]
+    pub fn optimal_latency(&self) -> f64 {
+        self.optimal
+    }
+
+    /// `L_{-i}` for machine `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn excluding(&self, i: usize) -> f64 {
+        self.excluding[i]
+    }
+
+    /// All `L_{-i}`, in machine order.
+    #[must_use]
+    pub fn all_excluding(&self) -> &[f64] {
+        &self.excluding
+    }
+
+    /// The marginal contribution `L_{-i} − L*` of machine `i`, via the
+    /// cancellation-free closed form.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn marginal(&self, i: usize) -> f64 {
+        self.marginals[i]
+    }
+
+    /// All marginal contributions, in machine order.
+    #[must_use]
+    pub fn marginals(&self) -> &[f64] {
+        &self.marginals
+    }
+
+    /// Number of machines covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.excluding.len()
+    }
+
+    /// Whether the batch covers zero machines (never true for a constructed
+    /// value — `compute` requires two machines — but keeps clippy's
+    /// `len_without_is_empty` contract honest).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.excluding.is_empty()
+    }
+}
+
 /// Optimal total latency when machine `exclude` is removed from the system —
 /// the `L_{-i}` term of the paper's bonus (Def. 3.3).
+///
+/// A thin delegating shim over the [`LeaveOneOut`] batch kernel's single-
+/// index path: `L_{-i} = R²/(S − 1/t_i)` with the subtraction done in
+/// double-double, and **no per-call allocation** (the old implementation
+/// cloned the surviving values into a fresh `Vec` on every call). Callers
+/// that need `L_{-i}` for *all* machines should use [`LeaveOneOut::compute`]
+/// — one batch call is O(n), n shim calls are O(n²).
 ///
 /// # Errors
 /// Returns [`CoreError::EmptySystem`] when fewer than two machines exist
 /// (removing the only machine leaves nothing to serve the load), or any
-/// validation error from the remaining values.
+/// validation error from the values or the rate.
 pub fn optimal_latency_excluding(values: &[f64], exclude: usize, r: f64) -> Result<f64, CoreError> {
+    if exclude >= values.len() {
+        return Err(CoreError::LengthMismatch {
+            expected: values.len(),
+            actual: exclude,
+        });
+    }
+    if values.len() < 2 {
+        return Err(CoreError::EmptySystem);
+    }
+    validate_values("latency coefficient", values)?;
+    validate_rate(r)?;
+    let s = inv_sum_dd(values);
+    if !s.hi.is_finite() || s.hi <= 0.0 {
+        return Err(CoreError::NumericalOverflow {
+            what: "sum of inverse latency coefficients",
+        });
+    }
+    let s_minus = loo_residual(s, values, exclude);
+    let latency = TwoF64::from_f64(r).div(s_minus).mul_f64(r).value();
+    if latency.is_finite() {
+        Ok(latency)
+    } else {
+        Err(CoreError::NumericalOverflow {
+            what: "leave-one-out latency r²/(S − 1/t_i)",
+        })
+    }
+}
+
+/// The pre-batch `L_{-i}` implementation: clone the surviving values into a
+/// fresh `Vec` and re-run [`optimal_latency_linear`] — O(n) time *and* O(n)
+/// allocation per call, O(n²) for a full settle phase.
+///
+/// Kept (not `#[doc(hidden)]`) as the differential reference the fuzz
+/// payment oracle, the equivalence proptests and the `payment_scaling`
+/// bench judge the batch kernel against. Production code must never call
+/// it in a loop.
+///
+/// # Errors
+/// Same contract as [`optimal_latency_excluding`].
+pub fn optimal_latency_excluding_legacy(
+    values: &[f64],
+    exclude: usize,
+    r: f64,
+) -> Result<f64, CoreError> {
     if exclude >= values.len() {
         return Err(CoreError::LengthMismatch {
             expected: values.len(),
@@ -347,11 +578,83 @@ mod tests {
             optimal_latency_excluding(&[1.0], 0, 2.0),
             Err(CoreError::EmptySystem)
         ));
+        assert!(matches!(
+            LeaveOneOut::compute(&[1.0], 2.0),
+            Err(CoreError::EmptySystem)
+        ));
+        assert!(matches!(
+            optimal_latency_excluding_legacy(&[1.0], 0, 2.0),
+            Err(CoreError::EmptySystem)
+        ));
     }
 
     #[test]
     fn excluding_out_of_range_errors() {
         assert!(optimal_latency_excluding(&[1.0, 2.0], 5, 2.0).is_err());
+        assert!(optimal_latency_excluding_legacy(&[1.0, 2.0], 5, 2.0).is_err());
+    }
+
+    #[test]
+    fn batch_matches_shim_legacy_and_hand_computation() {
+        let values = [1.0, 2.0, 4.0];
+        let r = 10.0;
+        let loo = LeaveOneOut::compute(&values, r).unwrap();
+        assert_eq!(loo.len(), 3);
+        assert!(!loo.is_empty());
+        // S = 1.75 ⇒ L* = 100/1.75; S_{-0} = 0.75 ⇒ L_{-0} = 100/0.75.
+        assert!((loo.optimal_latency() - 100.0 / 1.75).abs() < 1e-9);
+        assert!((loo.excluding(0) - 100.0 / 0.75).abs() < 1e-9);
+        for i in 0..values.len() {
+            let shim = optimal_latency_excluding(&values, i, r).unwrap();
+            let legacy = optimal_latency_excluding_legacy(&values, i, r).unwrap();
+            assert!((loo.excluding(i) - shim).abs() < 1e-12 * shim);
+            assert!((loo.excluding(i) - legacy).abs() < 1e-12 * legacy);
+            let subtractive = legacy - optimal_latency_linear(&values, r).unwrap();
+            assert!(
+                (loo.marginal(i) - subtractive).abs() < 1e-9 * subtractive.abs().max(1.0),
+                "marginal {i}: {} vs {subtractive}",
+                loo.marginal(i)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_survives_a_dominant_machine() {
+        // Machine 0's reciprocal carries ~1e24 times the rest of S: the f64
+        // subtraction S − 1/t_0 would cancel every significant digit, and
+        // even the double-double residual trips the fallback guard. The
+        // batch answer must still match the legacy rebuilt sum tightly.
+        let values = [1e-12, 1e12, 2e12, 4e12];
+        let r = 1.0;
+        let loo = LeaveOneOut::compute(&values, r).unwrap();
+        for i in 0..values.len() {
+            let legacy = optimal_latency_excluding_legacy(&values, i, r).unwrap();
+            let rel = (loo.excluding(i) - legacy).abs() / legacy;
+            assert!(rel < 1e-12, "machine {i}: rel err {rel:e}");
+        }
+        // The dominant machine's marginal is enormous; the slow machines'
+        // marginals are minuscule — and still positive and accurate.
+        assert!(loo.marginal(0) > 0.0);
+        for i in 1..values.len() {
+            assert!(loo.marginal(i) > 0.0, "marginal {i} not positive");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_degenerate_inputs_with_typed_errors() {
+        assert!(matches!(
+            LeaveOneOut::compute(&[f64::MIN_POSITIVE / 2.0, 1.0], 1.0),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            LeaveOneOut::compute(&[1.0, 2.0], f64::NAN),
+            Err(CoreError::InvalidRate(_))
+        ));
+        // Overflow: r²/(S − 1/t_i) past f64::MAX answers with a typed error.
+        assert!(matches!(
+            LeaveOneOut::compute(&[1e250, 1e250], 1e200),
+            Err(CoreError::NumericalOverflow { .. })
+        ));
     }
 
     #[test]
@@ -427,8 +730,12 @@ mod tests {
 
     #[test]
     fn feasibility_window_is_scale_invariant() {
-        // Tiny and huge total rates get proportionally scaled windows: the
-        // same relative perturbation is accepted (or rejected) at any scale.
+        // Tiny and huge total rates get proportionally scaled windows. The
+        // window scale is clamped at `|r| ≥ 1` (`feasibility_tolerance`
+        // keeps sub-unit rates from collapsing it to a denormal-sized
+        // band), so the probing perturbation is 0.1% of the *clamped*
+        // scale — outside the window at every r, including r = 1e-6 where
+        // a perturbation of `r·1e-3` would land inside the clamped band.
         for &r in &[1e-6, 1.0, 1e9] {
             let exact = pr_allocate(&[1.0, 3.0, 7.0], r).unwrap();
             assert!(
@@ -436,7 +743,7 @@ mod tests {
                 "exact at r={r}"
             );
             let mut off = exact.rates().to_vec();
-            off[0] += r * 1e-3; // 0.1% conservation violation at every scale
+            off[0] += r.abs().max(1.0) * 1e-3;
             assert!(Allocation::new(off, r).is_err(), "violation at r={r}");
         }
     }

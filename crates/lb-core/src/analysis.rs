@@ -12,9 +12,10 @@
 //!   the truthful bonus the mechanism pays (Def. 3.3): the payment rule
 //!   prices participation at its sensitivity value.
 
-use crate::allocation::{optimal_latency_excluding, optimal_latency_linear, validate_rate};
+use crate::allocation::{validate_rate, LeaveOneOut};
 use crate::error::CoreError;
 use crate::machine::validate_values;
+use crate::numeric::compensated_sum;
 
 /// `∂L*/∂t_i` for every machine: the system-latency reduction per unit
 /// *decrease* of `t_i` is the negation of the returned entry.
@@ -27,20 +28,23 @@ use crate::machine::validate_values;
 pub fn latency_sensitivity(values: &[f64], r: f64) -> Result<Vec<f64>, CoreError> {
     validate_values("latency coefficient", values)?;
     validate_rate(r)?;
-    let s: f64 = values.iter().map(|t| 1.0 / t).sum();
+    let s = compensated_sum(values.iter().map(|t| 1.0 / t));
     Ok(values.iter().map(|t| r * r / (t * t * s * s)).collect())
 }
 
 /// Marginal contribution of every machine: `L_{-i} − L*` — the reduction in
 /// optimal total latency its participation buys (and its truthful bonus).
 ///
+/// One O(n) [`LeaveOneOut`] batch call, using the cancellation-free closed
+/// form `R²·(1/t_i)/(S·(S − 1/t_i))`. The former per-agent subtraction
+/// `L_{-i} − L*` rebuilt the value vector n times (quadratic) and, at large
+/// `n`, cancelled catastrophically: both operands are `O(R²/S)` while a slow
+/// machine's true marginal can sit tens of orders of magnitude below them.
+///
 /// # Errors
 /// Propagates validation errors; needs at least two machines.
 pub fn marginal_contributions(values: &[f64], r: f64) -> Result<Vec<f64>, CoreError> {
-    let full = optimal_latency_linear(values, r)?;
-    (0..values.len())
-        .map(|i| Ok(optimal_latency_excluding(values, i, r)? - full))
-        .collect()
+    Ok(LeaveOneOut::compute(values, r)?.marginals().to_vec())
 }
 
 /// Which machine to speed up: index of the largest `∂L*/∂t_i`.
@@ -62,6 +66,7 @@ pub fn best_upgrade_target(values: &[f64], r: f64) -> Result<usize, CoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::allocation::optimal_latency_linear;
     use crate::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
     use proptest::prelude::*;
 

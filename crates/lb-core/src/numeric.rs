@@ -1,4 +1,5 @@
-//! Compensated floating-point summation and scale-aware tolerances.
+//! Compensated floating-point summation, double-double arithmetic and
+//! scale-aware tolerances.
 //!
 //! The allocation and latency kernels accumulate sums whose terms can span
 //! twelve orders of magnitude (`Σ_j 1/t_j` with `t` spreads up to `1e12`).
@@ -8,6 +9,12 @@
 //! provides a Neumaier-compensated accumulator (error bound `2ε` independent
 //! of `n` for the compensated result) and the `n`-scaled tolerance used by
 //! the feasibility checks.
+//!
+//! It also hosts the [`TwoF64`] double-double type (originally grown inside
+//! the `lb-fuzz` differential oracles, promoted here so production kernels
+//! can share it). The batch leave-one-out payment kernel uses it for the
+//! `S − 1/b_i` subtraction, where a dominant machine would otherwise cancel
+//! the whole residual in plain `f64`.
 
 /// A Neumaier (improved Kahan) compensated accumulator.
 ///
@@ -78,6 +85,145 @@ pub fn feasibility_tolerance(n: usize, r: f64) -> f64 {
     FEASIBILITY_TOL * scale * r.abs().max(1.0)
 }
 
+/// An unevaluated sum `hi + lo` carrying ≈ 106 bits of significand.
+///
+/// A double-double represents a value as two `f64`s with `|lo| ≤ ulp(hi)/2`,
+/// giving roughly 32 decimal digits — enough that subtracting one reciprocal
+/// from a harmonic sum (`S − 1/t_i`, the leave-one-out kernel's core step)
+/// keeps the residual accurate to well below the `1e-9` oracle budget even
+/// when one machine contributes almost all of `S`.
+///
+/// The primitives are the classical error-free transformations (Dekker,
+/// Knuth; see Hida–Li–Bailey's QD library for the compound algorithms):
+/// [`two_sum`] captures the exact rounding error of an addition,
+/// [`two_prod`] of a multiplication (via FMA).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoF64 {
+    /// Leading component: the represented value rounded to nearest `f64`.
+    pub hi: f64,
+    /// Trailing error term, non-overlapping with `hi`.
+    pub lo: f64,
+}
+
+/// Exact sum of two `f64`s: returns `(fl(a+b), err)` with `a+b = fl(a+b)+err`.
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let err = (a - (s - bb)) + (b - bb);
+    (s, err)
+}
+
+/// Like [`two_sum`] but requires `|a| ≥ |b|` (one branch cheaper).
+fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let err = b - (s - a);
+    (s, err)
+}
+
+/// Exact product of two `f64`s via fused multiply-add.
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let err = a.mul_add(b, -p);
+    (p, err)
+}
+
+impl TwoF64 {
+    /// The additive identity.
+    pub const ZERO: Self = Self { hi: 0.0, lo: 0.0 };
+
+    /// Lifts an `f64` exactly.
+    #[must_use]
+    pub fn from_f64(x: f64) -> Self {
+        Self { hi: x, lo: 0.0 }
+    }
+
+    /// Rounds back to the nearest `f64`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Negation (exact).
+    #[must_use]
+    pub fn neg(self) -> Self {
+        Self {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+
+    /// Double-double + `f64`.
+    #[must_use]
+    pub fn add_f64(self, b: f64) -> Self {
+        let (s, e) = two_sum(self.hi, b);
+        let (hi, lo) = quick_two_sum(s, e + self.lo);
+        Self { hi, lo }
+    }
+
+    /// Double-double + double-double.
+    #[must_use]
+    pub fn add(self, other: Self) -> Self {
+        let (s, e) = two_sum(self.hi, other.hi);
+        let (hi, lo) = quick_two_sum(s, e + self.lo + other.lo);
+        Self { hi, lo }
+    }
+
+    /// Double-double − double-double.
+    #[must_use]
+    pub fn sub(self, other: Self) -> Self {
+        self.add(other.neg())
+    }
+
+    /// Double-double × `f64`.
+    #[must_use]
+    pub fn mul_f64(self, b: f64) -> Self {
+        let (p, e) = two_prod(self.hi, b);
+        let (hi, lo) = quick_two_sum(p, e + self.lo * b);
+        Self { hi, lo }
+    }
+
+    /// Double-double × double-double.
+    #[must_use]
+    pub fn mul(self, other: Self) -> Self {
+        let (p, e) = two_prod(self.hi, other.hi);
+        let (hi, lo) = quick_two_sum(p, e + self.hi * other.lo + self.lo * other.hi);
+        Self { hi, lo }
+    }
+
+    /// Double-double ÷ double-double (one Newton correction step — accurate
+    /// to the full double-double precision for the kernels' purposes).
+    #[must_use]
+    pub fn div(self, other: Self) -> Self {
+        let q0 = self.hi / other.hi;
+        let r = self.sub(other.mul_f64(q0));
+        let q1 = (r.hi + r.lo) / other.hi;
+        let (hi, lo) = quick_two_sum(q0, q1);
+        Self { hi, lo }
+    }
+
+    /// Double-double ÷ `f64`.
+    #[must_use]
+    pub fn div_f64(self, b: f64) -> Self {
+        self.div(Self::from_f64(b))
+    }
+
+    /// The reciprocal `1/b` at double-double precision.
+    #[must_use]
+    pub fn recip(b: f64) -> Self {
+        Self::from_f64(1.0).div_f64(b)
+    }
+}
+
+/// The harmonic sum `S = Σ_j 1/t_j` at double-double precision — the shared
+/// one-pass prefix of the PR closed forms (`L* = R²/S`) and of every
+/// leave-one-out latency (`L_{-i} = R²/(S − 1/t_i)`, Theorem 2.1).
+#[must_use]
+pub fn inv_sum_dd(values: &[f64]) -> TwoF64 {
+    values
+        .iter()
+        .fold(TwoF64::ZERO, |acc, &t| acc.add(TwoF64::recip(t)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +265,44 @@ mod tests {
         acc.add(-1e12);
         let expected = f64::from(n) * small;
         let rel = ((acc.value() - expected) / expected).abs();
+        assert!(rel < 1e-12, "relative error {rel:e}");
+    }
+
+    #[test]
+    fn dd_addition_recovers_what_f64_rounds_away() {
+        // In plain f64, (1 + 1e-20) − 1 == 0. The double-double keeps it.
+        let a = TwoF64::from_f64(1.0).add_f64(1e-20);
+        let diff = a.add_f64(-1.0);
+        assert_eq!(diff.value(), 1e-20);
+    }
+
+    #[test]
+    fn dd_mul_keeps_cross_terms() {
+        // (1 + ulp-ish lo)² must keep the 2·hi·lo cross term that a plain
+        // hi×hi product would drop.
+        let x = TwoF64::from_f64(1.0).add_f64(1e-20);
+        let sq = x.mul(x);
+        assert_eq!(sq.hi, 1.0);
+        assert!((sq.lo - 2e-20).abs() < 1e-30, "lo = {:e}", sq.lo);
+    }
+
+    #[test]
+    fn dd_inv_sum_matches_exact_dyadic_case() {
+        // 1/1 + 1/2 + 1/4 = 1.75 exactly in binary.
+        let s = inv_sum_dd(&[1.0, 2.0, 4.0]);
+        assert_eq!(s.hi, 1.75);
+        assert_eq!(s.lo, 0.0);
+    }
+
+    #[test]
+    fn dd_subtraction_of_dominant_term_keeps_residual() {
+        // S = 1e12 + 1e-4 (16 orders apart): plain f64 drops the 1e-4 term
+        // from S entirely (ulp(1e12) ≈ 1.2e-4), so S − 1e12 would return
+        // garbage; dd keeps the residual to ~1e-16 relative.
+        let big = 1e-12; // t small => 1/t = 1e12 dominates
+        let s = inv_sum_dd(&[big, 1e4]);
+        let residual = s.sub(TwoF64::recip(big));
+        let rel = (residual.value() - 1e-4).abs() / 1e-4;
         assert!(rel < 1e-12, "relative error {rel:e}");
     }
 

@@ -8,129 +8,14 @@
 //! 1e-9 relative-error budget the oracles enforce, so reference error is
 //! never the reason a comparison fails.
 //!
-//! The primitives are the classical error-free transformations (Dekker,
-//! Knuth; see Hida–Li–Bailey's QD library for the compound algorithms):
-//! `two_sum` captures the exact rounding error of an addition, `two_prod`
-//! of a multiplication (via FMA). This module is deliberately std-only so
-//! it can be unit-tested in isolation.
+//! The [`TwoF64`] primitives started life in this module and have been
+//! promoted into [`lb_core::numeric`] so the production leave-one-out
+//! payment kernel (`lb_core::allocation::LeaveOneOut`) can share them; this
+//! module re-exports the type and keeps the oracle-side reference
+//! *algorithms* (brute-force rebuilds, end-to-end dd pipelines) that the
+//! production crate has no business shipping.
 
-/// An unevaluated sum `hi + lo` carrying ≈ 106 bits of significand.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TwoF64 {
-    /// Leading component: the represented value rounded to nearest `f64`.
-    pub hi: f64,
-    /// Trailing error term, non-overlapping with `hi`.
-    pub lo: f64,
-}
-
-/// Exact sum of two `f64`s: returns `(fl(a+b), err)` with `a+b = fl(a+b)+err`.
-fn two_sum(a: f64, b: f64) -> (f64, f64) {
-    let s = a + b;
-    let bb = s - a;
-    let err = (a - (s - bb)) + (b - bb);
-    (s, err)
-}
-
-/// Like [`two_sum`] but requires `|a| ≥ |b|` (one branch cheaper).
-fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
-    let s = a + b;
-    let err = b - (s - a);
-    (s, err)
-}
-
-/// Exact product of two `f64`s via fused multiply-add.
-fn two_prod(a: f64, b: f64) -> (f64, f64) {
-    let p = a * b;
-    let err = a.mul_add(b, -p);
-    (p, err)
-}
-
-impl TwoF64 {
-    /// The additive identity.
-    pub const ZERO: Self = Self { hi: 0.0, lo: 0.0 };
-
-    /// Lifts an `f64` exactly.
-    #[must_use]
-    pub fn from_f64(x: f64) -> Self {
-        Self { hi: x, lo: 0.0 }
-    }
-
-    /// Rounds back to the nearest `f64`.
-    #[must_use]
-    pub fn value(self) -> f64 {
-        self.hi + self.lo
-    }
-
-    /// Negation (exact).
-    #[must_use]
-    pub fn neg(self) -> Self {
-        Self {
-            hi: -self.hi,
-            lo: -self.lo,
-        }
-    }
-
-    /// Double-double + `f64`.
-    #[must_use]
-    pub fn add_f64(self, b: f64) -> Self {
-        let (s, e) = two_sum(self.hi, b);
-        let (hi, lo) = quick_two_sum(s, e + self.lo);
-        Self { hi, lo }
-    }
-
-    /// Double-double + double-double.
-    #[must_use]
-    pub fn add(self, other: Self) -> Self {
-        let (s, e) = two_sum(self.hi, other.hi);
-        let (hi, lo) = quick_two_sum(s, e + self.lo + other.lo);
-        Self { hi, lo }
-    }
-
-    /// Double-double − double-double.
-    #[must_use]
-    pub fn sub(self, other: Self) -> Self {
-        self.add(other.neg())
-    }
-
-    /// Double-double × `f64`.
-    #[must_use]
-    pub fn mul_f64(self, b: f64) -> Self {
-        let (p, e) = two_prod(self.hi, b);
-        let (hi, lo) = quick_two_sum(p, e + self.lo * b);
-        Self { hi, lo }
-    }
-
-    /// Double-double ÷ double-double (one Newton correction step — accurate
-    /// to the full double-double precision for the oracles' purposes).
-    #[must_use]
-    pub fn div(self, other: Self) -> Self {
-        let q0 = self.hi / other.hi;
-        let r = self.sub(other.mul_f64(q0));
-        let q1 = (r.hi + r.lo) / other.hi;
-        let (hi, lo) = quick_two_sum(q0, q1);
-        Self { hi, lo }
-    }
-
-    /// Double-double ÷ `f64`.
-    #[must_use]
-    pub fn div_f64(self, b: f64) -> Self {
-        self.div(Self::from_f64(b))
-    }
-
-    /// The reciprocal `1/b` at double-double precision.
-    #[must_use]
-    pub fn recip(b: f64) -> Self {
-        Self::from_f64(1.0).div_f64(b)
-    }
-}
-
-/// `Σ_j 1/t_j` at double-double precision.
-#[must_use]
-pub fn inv_sum_dd(values: &[f64]) -> TwoF64 {
-    values
-        .iter()
-        .fold(TwoF64::ZERO, |acc, &t| acc.add(TwoF64::recip(t)))
-}
+pub use lb_core::numeric::{inv_sum_dd, TwoF64};
 
 /// The PR rates `x_i = r · (1/t_i) / Σ_j 1/t_j` (Theorem 2.1) computed end
 /// to end at double-double precision, rounded to `f64` at the very last step.
@@ -156,6 +41,11 @@ pub fn optimal_latency_dd(values: &[f64], r: f64) -> f64 {
 /// `L_{-i}`: the optimal latency of the system with machine `exclude`
 /// removed, at double-double precision.
 ///
+/// Deliberately *brute-force*: the reciprocals of the surviving machines are
+/// re-summed from scratch, never derived by subtracting `1/t_i` from the
+/// full sum — so this stays an independent reference for the production
+/// batch kernel, which does take the subtractive path.
+///
 /// # Panics
 /// Panics if `exclude` is out of bounds or fewer than two values remain.
 #[must_use]
@@ -170,6 +60,33 @@ pub fn optimal_latency_excluding_dd(values: &[f64], exclude: usize, r: f64) -> f
         .filter(|&(i, _)| i != exclude)
         .fold(TwoF64::ZERO, |acc, (_, &t)| acc.add(TwoF64::recip(t)));
     TwoF64::from_f64(r).mul_f64(r).div(inv_sum).value()
+}
+
+/// The marginal contribution `L_{-i} − L*` at double-double precision, via
+/// the *subtractive* form over brute-force rebuilt sums.
+///
+/// At double-double precision the subtraction is harmless up to relative
+/// marginals of ~1e-16 of `L_{-i}` (the dd significand has ~32 digits to
+/// spend), which is far beyond anything the validated `1e12`-spread domain
+/// can produce — so this is a sound independent reference for the
+/// production kernel's cancellation-free closed form.
+///
+/// # Panics
+/// Panics if `exclude` is out of bounds or fewer than two values remain.
+#[must_use]
+pub fn marginal_contribution_dd(values: &[f64], exclude: usize, r: f64) -> f64 {
+    assert!(
+        exclude < values.len() && values.len() >= 2,
+        "marginal_contribution_dd: bad input"
+    );
+    let without = values
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != exclude)
+        .fold(TwoF64::ZERO, |acc, (_, &t)| acc.add(TwoF64::recip(t)));
+    let full = inv_sum_dd(values);
+    let r2 = TwoF64::from_f64(r).mul_f64(r);
+    r2.div(without).sub(r2.div(full)).value()
 }
 
 /// The realised total latency `L = Σ_i t̃_i · x_i²` at double-double
@@ -254,6 +171,15 @@ mod tests {
         let got = optimal_latency_excluding_dd(&values, 0, 10.0);
         // Remaining Σ 1/t = 0.75, L = 100 / 0.75.
         assert!((got - 100.0 / 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_contribution_matches_hand_computation() {
+        let values = [1.0, 2.0, 4.0];
+        // S = 1.75, S_{-0} = 0.75: L_{-0} − L* = 100/0.75 − 100/1.75.
+        let got = marginal_contribution_dd(&values, 0, 10.0);
+        let want = 100.0 / 0.75 - 100.0 / 1.75;
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
     }
 
     #[test]

@@ -9,10 +9,22 @@
 //! same bids/rates/execution values — the comparison isolates arithmetic
 //! error in the production kernel, which must stay ~seven orders of
 //! magnitude below the budget thanks to compensated summation.
+//!
+//! Since the batch leave-one-out kernel landed, each iteration additionally
+//! cross-checks **three independent `L_{-i}` pipelines** — the production
+//! batch (`LeaveOneOut`, one dd harmonic sum, subtractive residual), the
+//! legacy per-agent rebuild (`optimal_latency_excluding_legacy`, fresh `Vec`
+//! + compensated f64 re-sum) and the brute-force double-double reference —
+//! plus the production cancellation-free marginal closed form against the
+//! dd subtractive marginal.
 
-use crate::extended::{optimal_latency_excluding_dd, total_latency_dd, TwoF64};
+use crate::extended::{
+    marginal_contribution_dd, optimal_latency_excluding_dd, total_latency_dd, TwoF64,
+};
 use crate::generate::{arrival_rate, latency_values, rng_for, spread_half_width};
 use crate::oracles::REL_TOL;
+use lb_core::allocation::optimal_latency_excluding_legacy;
+use lb_core::LeaveOneOut;
 use lb_mechanism::traits::ValuationModel;
 use lb_mechanism::CompensationBonusMechanism;
 use lb_stats::Rng;
@@ -84,6 +96,37 @@ pub fn check(seed: u64) -> Result<(), String> {
                 "C[{i}] = {:e} vs dd reference {:e}",
                 b.compensation,
                 comp_dd.value()
+            ));
+        }
+    }
+
+    // Three-way leave-one-out cross-check: batch vs legacy vs dd, plus the
+    // cancellation-free marginal closed form vs the dd subtractive marginal.
+    let loo = LeaveOneOut::compute(&bids, r)
+        .map_err(|e| format!("LeaveOneOut failed on valid profile: {e}"))?;
+    for i in 0..bids.len() {
+        let batch = loo.excluding(i);
+        let legacy = optimal_latency_excluding_legacy(&bids, i, r)
+            .map_err(|e| format!("legacy L_-[{i}] failed on valid profile: {e}"))?;
+        let dd = optimal_latency_excluding_dd(&bids, i, r);
+        if (batch - dd).abs() > REL_TOL * dd.abs().max(1e-300) {
+            return Err(format!(
+                "L_-[{i}] batch {batch:e} vs dd reference {dd:e} (r = {r:e})"
+            ));
+        }
+        if (batch - legacy).abs() > REL_TOL * dd.abs().max(1e-300) {
+            return Err(format!(
+                "L_-[{i}] batch {batch:e} vs legacy per-agent {legacy:e} (r = {r:e})"
+            ));
+        }
+        // The marginal is judged relative to itself: the closed form is
+        // cancellation-free, so it must track the dd reference tightly even
+        // when the marginal sits far below L_{-i}.
+        let marginal_dd = marginal_contribution_dd(&bids, i, r);
+        if (loo.marginal(i) - marginal_dd).abs() > REL_TOL * marginal_dd.abs().max(1e-300) {
+            return Err(format!(
+                "marginal[{i}] closed form {:e} vs dd reference {marginal_dd:e} (r = {r:e})",
+                loo.marginal(i)
             ));
         }
     }

@@ -26,7 +26,7 @@
 
 use crate::error::MechanismError;
 use crate::traits::{ValuationModel, VerifiedMechanism};
-use lb_core::allocation::{optimal_latency_excluding, validate_rate};
+use lb_core::allocation::{validate_rate, LeaveOneOut};
 use lb_core::machine::validate_values;
 use lb_core::{pr_allocate, total_latency_linear, Allocation};
 use serde::{Deserialize, Serialize};
@@ -79,6 +79,10 @@ impl CompensationBonusMechanism {
     /// typed error here instead of NaN-poisoning `1/b_i` and every `L_{-i}`
     /// bonus term downstream.
     ///
+    /// All `n` bonus terms share one [`LeaveOneOut`] batch call, so a full
+    /// settle phase is O(n) — the pre-batch path rebuilt the bid vector for
+    /// every agent, O(n²) time and allocations.
+    ///
     /// # Errors
     /// Returns [`MechanismError::NeedTwoAgents`] for singleton systems
     /// (the `L_{-i}` term is undefined), or arity/validation errors.
@@ -103,6 +107,7 @@ impl CompensationBonusMechanism {
             .into());
         }
         let actual_latency = total_latency_linear(allocation, exec_values)?;
+        let loo = LeaveOneOut::compute(bids, total_rate)?;
         (0..bids.len())
             .map(|i| {
                 let x = allocation.rate(i);
@@ -113,10 +118,9 @@ impl CompensationBonusMechanism {
                     }
                     .into());
                 }
-                let without_i = optimal_latency_excluding(bids, i, total_rate)?;
                 Ok(PaymentBreakdown {
                     compensation,
-                    bonus: without_i - actual_latency,
+                    bonus: loo.excluding(i) - actual_latency,
                 })
             })
             .collect()

@@ -14,7 +14,7 @@
 
 use crate::error::MechanismError;
 use crate::traits::{ValuationModel, VerifiedMechanism};
-use lb_core::allocation::optimal_latency_excluding;
+use lb_core::allocation::{optimal_latency_excluding, LeaveOneOut};
 use lb_core::Allocation;
 
 /// A wrapped mechanism whose payments are reduced by a fee
@@ -62,9 +62,38 @@ impl<M> FeeAdjusted<M> {
         Ok(self.fraction * l_minus_i / bids.len() as f64)
     }
 
+    /// The fees of *all* agents from one [`LeaveOneOut`] batch call.
+    ///
+    /// [`Self::fee`] in a per-agent loop re-derives the harmonic sum for
+    /// every agent — O(n²) for a payment vector. This is the O(n) path
+    /// [`Self::payments`] takes; the single-index method stays for callers
+    /// that genuinely need one fee.
+    ///
+    /// # Errors
+    /// Propagates benchmark computation errors.
+    pub fn fees(&self, bids: &[f64], total_rate: f64) -> Result<Vec<f64>, MechanismError> {
+        let loo = LeaveOneOut::compute(bids, total_rate)?;
+        #[allow(clippy::cast_precision_loss)]
+        let n = bids.len() as f64;
+        Ok(loo
+            .all_excluding()
+            .iter()
+            .map(|&l_minus_i| self.fraction * l_minus_i / n)
+            .collect())
+    }
+
     /// The largest uniform `fraction` that keeps every *truthful* agent's
     /// utility non-negative on the given system: the minimum over agents of
     /// `bonus_i / fee_base_i`.
+    ///
+    /// One batch call covers every agent (this used to be the *second*
+    /// quadratic sweep in this module, re-deriving `L_{-i}` over the true
+    /// values after [`Self::payments`] had already done so over the bids),
+    /// and the truthful bonus comes from the batch kernel's
+    /// cancellation-free closed form rather than the subtractive
+    /// `L_{-i} − L*` — at large `n` the subtraction loses every significant
+    /// digit of a slow machine's bonus and with it the minimum this
+    /// function exists to find.
     ///
     /// # Errors
     /// Propagates benchmark computation errors.
@@ -72,13 +101,13 @@ impl<M> FeeAdjusted<M> {
         true_values: &[f64],
         total_rate: f64,
     ) -> Result<f64, MechanismError> {
-        let n = true_values.len();
-        let l_opt = lb_core::optimal_latency_linear(true_values, total_rate)?;
+        let loo = LeaveOneOut::compute(true_values, total_rate)?;
+        #[allow(clippy::cast_precision_loss)]
+        let n = true_values.len() as f64;
         let mut best = f64::INFINITY;
-        for i in 0..n {
-            let l_minus_i = optimal_latency_excluding(true_values, i, total_rate)?;
-            let bonus = l_minus_i - l_opt;
-            let base = l_minus_i / n as f64;
+        for i in 0..true_values.len() {
+            let bonus = loo.marginal(i);
+            let base = loo.excluding(i) / n;
             best = best.min(bonus / base);
         }
         Ok(best)
@@ -120,10 +149,8 @@ impl<M: VerifiedMechanism> VerifiedMechanism for FeeAdjusted<M> {
         let base = self
             .inner
             .payments(bids, allocation, exec_values, total_rate)?;
-        base.into_iter()
-            .enumerate()
-            .map(|(i, p)| Ok(p - self.fee(bids, i, total_rate)?))
-            .collect()
+        let fees = self.fees(bids, total_rate)?;
+        Ok(base.into_iter().zip(fees).map(|(p, f)| p - f).collect())
     }
 }
 
@@ -156,6 +183,21 @@ mod tests {
         let base_deficit = base.total_payment() - base.total_valuation_abs();
         let wrapped_deficit = wrapped.total_payment() - wrapped.total_valuation_abs();
         assert!(wrapped_deficit < base_deficit - 1e-9);
+    }
+
+    #[test]
+    fn batch_fees_match_the_single_index_path() {
+        let m = mech(0.3);
+        let bids: Vec<f64> = paper_system().true_values();
+        let batch = m.fees(&bids, PAPER_ARRIVAL_RATE).unwrap();
+        assert_eq!(batch.len(), bids.len());
+        for (i, &f) in batch.iter().enumerate() {
+            let single = m.fee(&bids, i, PAPER_ARRIVAL_RATE).unwrap();
+            assert!(
+                (f - single).abs() <= 1e-12 * single.abs().max(1.0),
+                "agent {i}: {f} vs {single}"
+            );
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@
 
 use crate::error::MechanismError;
 use crate::traits::{ValuationModel, VerifiedMechanism};
-use lb_core::allocation::optimal_latency_excluding;
+use lb_core::allocation::LeaveOneOut;
 use lb_core::{pr_allocate, total_latency_linear, Allocation};
 use serde::{Deserialize, Serialize};
 
@@ -81,14 +81,15 @@ impl VerifiedMechanism for UnverifiedCompensationBonus {
             }
             .into());
         }
-        // The declared latency: what the mechanism *believes* happened.
+        // The declared latency: what the mechanism *believes* happened. All
+        // n leave-one-out terms come from one O(n) batch call.
         let declared_latency = total_latency_linear(allocation, bids)?;
+        let loo = LeaveOneOut::compute(bids, total_rate)?;
         (0..bids.len())
             .map(|i| {
                 let x = allocation.rate(i);
                 let compensation = self.valuation.compensation(x, bids[i]);
-                let without_i = optimal_latency_excluding(bids, i, total_rate)?;
-                Ok(compensation + without_i - declared_latency)
+                Ok(compensation + loo.excluding(i) - declared_latency)
             })
             .collect()
     }

@@ -599,6 +599,14 @@ impl<'m> Coordinator<'m> {
         Ok(assigns)
     }
 
+    /// Settles the round: computes every respondent's payment and emits the
+    /// Payment frames.
+    ///
+    /// The whole phase is O(n): the mechanism's payment rule obtains all
+    /// leave-one-out latencies `L_{-i}` from one `lb_core` batch kernel
+    /// call, so threaded, chaos and session rounds all settle in linear
+    /// time — the former per-agent rebuild made this the quadratic hot spot
+    /// that capped rounds near ~10³ machines.
     fn settle(&mut self) -> Result<Vec<(u32, Message)>, MechanismError> {
         let respondents = self.respondents();
         self.switch_phase_span(
