@@ -26,7 +26,7 @@ pub struct Oracle {
     pub run: fn(u64) -> Result<(), String>,
 }
 
-/// The five differential oracles, in dependency order (pure kernels first).
+/// The six differential oracles, in dependency order (pure kernels first).
 #[must_use]
 pub fn registry() -> &'static [Oracle] {
     const ORACLES: &[Oracle] = &[
@@ -54,6 +54,11 @@ pub fn registry() -> &'static [Oracle] {
             name: "telemetry",
             description: "telemetry JSONL round-trip, replay and mutation robustness",
             run: oracles::telemetry::check,
+        },
+        Oracle {
+            name: "recovery",
+            description: "crash/recover at every journal boundary vs. uninterrupted round",
+            run: oracles::recovery::check,
         },
     ];
     ORACLES
@@ -213,6 +218,16 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_stable() {
         let names: Vec<&str> = registry().iter().map(|o| o.name).collect();
-        assert_eq!(names, ["alloc", "payment", "codec", "session", "telemetry"]);
+        assert_eq!(
+            names,
+            [
+                "alloc",
+                "payment",
+                "codec",
+                "session",
+                "telemetry",
+                "recovery"
+            ]
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! oracle compares a production kernel against an independent reference
 //! that cannot share its bugs.
 //!
-//! The five oracles (see [`harness::registry`]):
+//! The six oracles (see [`harness::registry`]):
 //!
 //! * `alloc` — the PR closed form ([Theorem 2.1]) vs. the KKT bisection
 //!   solver vs. a double-double reference, on spreads up to 10¹².
@@ -23,6 +23,9 @@
 //! * `telemetry` — JSONL recording round-trips, span-forest replay and
 //!   byte-mutation robustness of the telemetry parser (typed errors, never
 //!   panics).
+//! * `recovery` — crash the journalled coordinator at every record
+//!   boundary (plus random torn-write byte offsets), recover, finish the
+//!   round, and demand a bit-identical outcome to the uninterrupted run.
 //!
 //! Run from the workspace root:
 //!

@@ -9,6 +9,7 @@
 pub mod alloc;
 pub mod codec;
 pub mod payment;
+pub mod recovery;
 pub mod session;
 pub mod telemetry;
 

@@ -20,11 +20,13 @@
 //! soak tests at the bottom of this file assert exactly that over a hundred
 //! seeds.
 
-use crate::coordinator::{Coordinator, CoordinatorPhase};
+use crate::coordinator::{Coordinator, CoordinatorPhase, ProtocolError};
 use crate::faults::FaultPlan;
+use crate::journal::{CrashingJournal, Journal};
 use crate::message::{Message, RoundId};
 use crate::network::{Endpoint, FrameFate, MessageStats, NetPoll, SimNetwork};
 use crate::node::{NodeAgent, NodeSpec};
+use crate::recovery::{recover_round, RoundContext};
 use crate::runtime::{ProtocolConfig, ProtocolOutcome};
 use crate::trace::{Anomaly, AnomalyStats, RoundTrace, TraceEntry};
 use lb_mechanism::{MechanismError, VerifiedMechanism};
@@ -221,6 +223,18 @@ pub struct ChaosRoundReport {
     pub faults: ChaosNetStats,
 }
 
+/// What it took to push one round through its crash schedule
+/// ([`ChaosRuntime::run_round_durable`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRecoveryStats {
+    /// Injected crashes consumed while completing the round.
+    pub crashes: u64,
+    /// Journal records replayed across all recoveries of the round.
+    pub records_replayed: u64,
+    /// Torn-tail bytes truncated across all recoveries of the round.
+    pub truncated_bytes: u64,
+}
+
 /// Timers the chaos runtime interleaves with frame arrivals.
 #[derive(Debug, Clone, Copy)]
 enum ChaosTimer {
@@ -337,24 +351,131 @@ impl ChaosRuntime {
                 coordinator.with_trace(TraceContext::root(self.chaos.seed, round.0, true));
         }
         coordinator.set_now(self.network.now().max(self.timers.now()).seconds());
-        for (i, &is_active) in active.iter().enumerate() {
-            if !is_active {
-                coordinator.exclude(i);
+        let result = (|| {
+            for (i, &is_active) in active.iter().enumerate() {
+                if !is_active {
+                    coordinator.exclude(i)?;
+                }
             }
-        }
-
-        let result = self.drive_round(mechanism, specs, round, &mut coordinator, active);
+            self.drive_round(
+                mechanism,
+                specs,
+                round,
+                &mut coordinator,
+                active,
+                None,
+                false,
+            )
+        })();
         if result.is_err() {
             // A failed round (e.g. NeedTwoAgents) abandons the coordinator
             // mid-phase; close its spans so the recording replays cleanly.
             coordinator.end_telemetry();
         }
-        result
+        result.map_err(ProtocolError::into_mechanism)
+    }
+
+    /// Runs one round against a crash-injecting journal, recovering and
+    /// resuming after every injected crash until the round completes.
+    ///
+    /// Each continuation replays the journal's valid prefix into a fresh
+    /// coordinator ([`recover_round`]), re-derives the in-flight fan-out
+    /// from the reconstructed state ([`Coordinator::resume`]) and rejoins
+    /// the normal event loop. The network and timer queues live in the
+    /// runtime and deliberately survive the crash: frames sent before the
+    /// crash still arrive afterwards, and the recovered coordinator must
+    /// absorb the resulting duplicates as anomalies. The returned report's
+    /// message/fault counters cover the final continuation only (earlier
+    /// continuations died with the crashed process); allocations, payments
+    /// and exclusions are reconstructed state and therefore bit-identical
+    /// to an uninterrupted run.
+    ///
+    /// # Errors
+    /// Propagates non-crash protocol errors (crashes themselves are
+    /// consumed by the retry loop).
+    ///
+    /// # Panics
+    /// Panics if `specs` or `active` have the wrong length.
+    pub fn run_round_durable<M: VerifiedMechanism>(
+        &mut self,
+        mechanism: &M,
+        specs: &[NodeSpec],
+        round: RoundId,
+        active: &[bool],
+        journal: &Rc<RefCell<CrashingJournal>>,
+    ) -> Result<(ChaosRoundReport, RoundRecoveryStats), ProtocolError> {
+        let n = self.n;
+        assert_eq!(specs.len(), n, "run_round_durable: specs length mismatch");
+        assert_eq!(active.len(), n, "run_round_durable: active length mismatch");
+
+        let mut sim = self.protocol.simulation;
+        sim.seed = sim.seed.wrapping_add(round.0);
+        let ctx = RoundContext {
+            n,
+            total_rate: self.protocol.total_rate,
+            round,
+            sim,
+        };
+        let actual_exec: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
+        let mut stats = RoundRecoveryStats::default();
+
+        loop {
+            let now = self.network.now().max(self.timers.now()).seconds();
+            let (mut coordinator, recovery) = recover_round(
+                mechanism,
+                Rc::clone(journal) as Rc<RefCell<dyn Journal>>,
+                &ctx,
+                Arc::clone(&self.collector),
+                now,
+            )?;
+            stats.records_replayed += recovery.records_replayed;
+            if self.collector.enabled() {
+                coordinator =
+                    coordinator.with_trace(TraceContext::root(self.chaos.seed, round.0, true));
+            }
+            coordinator.set_now(now);
+            let attempt = (|coordinator: &mut Coordinator<'_>| {
+                let opening = if recovery.records_replayed > 0 {
+                    Some(coordinator.resume(&actual_exec)?)
+                } else {
+                    None
+                };
+                if coordinator.phase() == CoordinatorPhase::CollectingBids {
+                    // First attempt, or a crash before allocation: the
+                    // quarantine decisions are (re-)applied idempotently.
+                    for (i, &is_active) in active.iter().enumerate() {
+                        if !is_active {
+                            coordinator.exclude(i)?;
+                        }
+                    }
+                }
+                self.drive_round(mechanism, specs, round, coordinator, active, opening, true)
+            })(&mut coordinator);
+            if attempt.is_err() {
+                coordinator.end_telemetry();
+            }
+            match attempt {
+                Ok(report) => return Ok((report, stats)),
+                Err(e) if e.is_crash() => {
+                    stats.crashes += 1;
+                    let replay = journal.borrow_mut().revive()?;
+                    stats.truncated_bytes += replay.truncated_tail as u64;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The event loop of one round, split out of [`ChaosRuntime::run_round`]
     /// so every `?` exit funnels through one place that can close the
     /// coordinator's telemetry spans.
+    ///
+    /// `opening` overrides the initial fan-out: `None` opens a fresh round
+    /// (bid requests to the active machines), `Some(msgs)` re-sends the
+    /// fan-out a recovered coordinator derived from its replayed state
+    /// ([`Coordinator::resume`]). With `seal` the round is sealed in the
+    /// journal once settled and drained.
+    #[allow(clippy::too_many_arguments)]
     fn drive_round<M: VerifiedMechanism>(
         &mut self,
         mechanism: &M,
@@ -362,7 +483,9 @@ impl ChaosRuntime {
         round: RoundId,
         coordinator: &mut Coordinator<'_>,
         active: &[bool],
-    ) -> Result<ChaosRoundReport, MechanismError> {
+        opening: Option<Vec<(u32, Message)>>,
+        seal: bool,
+    ) -> Result<ChaosRoundReport, ProtocolError> {
         let n = self.n;
         let mut nodes: Vec<NodeAgent> = specs
             .iter()
@@ -389,36 +512,47 @@ impl ChaosRuntime {
         let mut exec_timer_armed = false;
         let mut now: SimTime = self.network.now().max(self.timers.now());
 
-        // Open: bid requests to the active machines only. Open the round's
-        // telemetry spans first so these frames already carry the
-        // `phase.collect_bids` span in their trace context.
+        // Open: bid requests to the active machines only (fresh round), or
+        // the fan-out a recovered coordinator re-derived from its journal.
+        // Open the round's telemetry spans first so these frames already
+        // carry the current phase span in their trace context.
         coordinator.begin_round_telemetry();
-        let wire = coordinator.wire_context();
-        for (i, &is_active) in active.iter().enumerate() {
-            if !is_active {
-                continue;
+        match opening {
+            None => {
+                let wire = coordinator.wire_context();
+                for (i, &is_active) in active.iter().enumerate() {
+                    if !is_active {
+                        continue;
+                    }
+                    let msg = Message::RequestBid { round };
+                    let to = u32::try_from(i).expect("fits u32");
+                    trace.entries.push(TraceEntry {
+                        at: now.seconds(),
+                        from: Endpoint::Coordinator,
+                        to: Endpoint::Node(to),
+                        message: msg.clone(),
+                    });
+                    self.network
+                        .send_traced(
+                            Endpoint::Coordinator,
+                            Endpoint::Node(to),
+                            &msg,
+                            wire.as_ref(),
+                        )
+                        .map_err(codec_err)?;
+                }
             }
-            let msg = Message::RequestBid { round };
-            let to = u32::try_from(i).expect("fits u32");
-            trace.entries.push(TraceEntry {
-                at: now.seconds(),
-                from: Endpoint::Coordinator,
-                to: Endpoint::Node(to),
-                message: msg.clone(),
-            });
-            self.network
-                .send_traced(
-                    Endpoint::Coordinator,
-                    Endpoint::Node(to),
-                    &msg,
-                    wire.as_ref(),
-                )
-                .map_err(codec_err)?;
+            Some(outgoing) => {
+                let wire = coordinator.wire_context();
+                self.send_from_coordinator(outgoing, now, &mut trace, wire.as_ref())?;
+            }
         }
-        self.timers.schedule(
-            now + self.chaos.retry_timeout,
-            ChaosTimer::BidTimeout { round, attempt: 0 },
-        );
+        if coordinator.phase() == CoordinatorPhase::CollectingBids {
+            self.timers.schedule(
+                now + self.chaos.retry_timeout,
+                ChaosTimer::BidTimeout { round, attempt: 0 },
+            );
+        }
 
         loop {
             if coordinator.phase() == CoordinatorPhase::Done && self.network.pending() == 0 {
@@ -675,6 +809,11 @@ impl ChaosRuntime {
                     ChaosTimer::ExecTimeout { round },
                 );
             }
+        }
+
+        if seal {
+            coordinator.set_now(now.seconds());
+            coordinator.seal()?;
         }
 
         let payments = coordinator.payments().expect("settled").to_vec();

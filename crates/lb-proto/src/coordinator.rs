@@ -19,9 +19,10 @@
 //! [`Coordinator::close_execution`] settles from the coordinator's own
 //! measurements, which is all the payment needs.
 
+use crate::journal::{ExclusionReason, Journal, JournalError, JournalRecord};
 use crate::message::{Message, RoundId};
 use crate::trace::{Anomaly, AnomalyStats};
-use lb_core::Allocation;
+use lb_core::{Allocation, CoreError};
 use lb_mechanism::{MechanismError, VerifiedMechanism};
 use lb_sim::driver::{simulate_round, SimulationConfig};
 use lb_telemetry::{
@@ -29,7 +30,9 @@ use lb_telemetry::{
     TraceContext,
 };
 use std::borrow::Cow;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Phase of the coordinator's round state machine.
@@ -43,6 +46,103 @@ pub enum CoordinatorPhase {
     Settling,
     /// Round complete.
     Done,
+}
+
+/// Typed errors from coordinator operations.
+///
+/// Out-of-order or replayed *calls* (as opposed to messages, which graceful
+/// mode absorbs as anomalies) used to abort the process via `assert!` /
+/// `expect`; after crash recovery such calls are reachable from ordinary
+/// driver races, so they degrade to [`ProtocolError::PhaseViolation`]
+/// instead.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// An operation was invoked in a phase it is not valid in.
+    PhaseViolation {
+        /// The operation attempted.
+        op: &'static str,
+        /// The phase it requires.
+        expected: CoordinatorPhase,
+        /// The phase the coordinator is actually in.
+        actual: CoordinatorPhase,
+    },
+    /// Round state the operation depends on is missing (e.g. settling with
+    /// no committed allocation).
+    MissingState {
+        /// What was missing.
+        what: &'static str,
+    },
+    /// A journal record contradicts the round it is being replayed into.
+    ReplayMismatch {
+        /// What disagreed.
+        what: &'static str,
+    },
+    /// The durable journal failed (including injected crashes).
+    Journal(JournalError),
+    /// A mechanism or simulation error.
+    Mechanism(MechanismError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PhaseViolation {
+                op,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{op} requires phase {expected:?}, but phase is {actual:?}"
+            ),
+            Self::MissingState { what } => write!(f, "missing round state: {what}"),
+            Self::ReplayMismatch { what } => write!(f, "journal replay mismatch: {what}"),
+            Self::Journal(e) => write!(f, "journal: {e}"),
+            Self::Mechanism(e) => write!(f, "mechanism: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<MechanismError> for ProtocolError {
+    fn from(e: MechanismError) -> Self {
+        Self::Mechanism(e)
+    }
+}
+
+impl From<CoreError> for ProtocolError {
+    fn from(e: CoreError) -> Self {
+        Self::Mechanism(MechanismError::Core(e))
+    }
+}
+
+impl From<JournalError> for ProtocolError {
+    fn from(e: JournalError) -> Self {
+        Self::Journal(e)
+    }
+}
+
+impl ProtocolError {
+    /// Collapses into a [`MechanismError`] for drivers whose public result
+    /// type predates the protocol-level error: mechanism errors pass
+    /// through untouched (so `NeedTwoAgents` stays matchable), everything
+    /// else is folded into an `Infeasible` core error carrying the message.
+    #[must_use]
+    pub fn into_mechanism(self) -> MechanismError {
+        match self {
+            Self::Mechanism(e) => e,
+            other => MechanismError::Core(CoreError::Infeasible {
+                reason: other.to_string(),
+            }),
+        }
+    }
+
+    /// Whether this is an injected journal crash — the signal the durable
+    /// drivers recover from.
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Self::Journal(JournalError::Crashed { .. }))
+    }
 }
 
 /// The mechanism centre for one round over `n` nodes.
@@ -60,6 +160,15 @@ pub struct Coordinator<'m> {
     payments: Option<Vec<f64>>,
     strict: bool,
     anomalies: AnomalyStats,
+    /// Durable journal, when attached. Shared with the driver (which keeps
+    /// its own handle for crash injection and recovery), hence `Rc`.
+    journal: Option<Rc<RefCell<dyn Journal>>>,
+    /// Whether this round's `RoundOpened` record is already in the journal
+    /// (written lazily on the first append, or inherited via replay).
+    journal_opened: bool,
+    /// Whether `RoundSealed` has been journalled: the round will never emit
+    /// again, so a replayed settle fan-out is a no-op.
+    sealed: bool,
     collector: Arc<dyn Collector>,
     /// Logical clock for telemetry, in seconds. The coordinator has no clock
     /// of its own; drivers call [`Coordinator::set_now`] before each handle
@@ -117,6 +226,9 @@ impl<'m> Coordinator<'m> {
             payments: None,
             strict: false,
             anomalies: AnomalyStats::default(),
+            journal: None,
+            journal_opened: false,
+            sealed: false,
             collector: noop_collector(),
             now: Cell::new(0.0),
             round_span: Cell::new(SpanId::NULL),
@@ -178,6 +290,51 @@ impl<'m> Coordinator<'m> {
     pub fn with_collector(mut self, collector: Arc<dyn Collector>) -> Self {
         self.collector = collector;
         self
+    }
+
+    /// Attaches a write-ahead journal. Every durable state transition is
+    /// appended before the corresponding frames are handed back to the
+    /// driver, and the allocation/payment/seal commit points `fsync` — see
+    /// the `journal` module docs for the record grammar.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Rc<RefCell<dyn Journal>>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Re-attaches a journal whose records were already replayed into this
+    /// coordinator: appends continue where the journal left off, without
+    /// re-writing `RoundOpened`.
+    pub(crate) fn attach_replayed_journal(&mut self, journal: Rc<RefCell<dyn Journal>>) {
+        self.journal = Some(journal);
+        self.journal_opened = true;
+    }
+
+    /// Appends one record, lazily preceding it with this round's
+    /// `RoundOpened`.
+    fn journal_append(&mut self, record: JournalRecord) -> Result<(), ProtocolError> {
+        let Some(journal) = self.journal.clone() else {
+            return Ok(());
+        };
+        let mut journal = journal.borrow_mut();
+        if !self.journal_opened {
+            journal.append(&JournalRecord::RoundOpened {
+                round: self.round,
+                n: u32::try_from(self.bids.len()).expect("node count fits u32"),
+                total_rate: self.total_rate,
+            })?;
+            self.journal_opened = true;
+        }
+        journal.append(&record)?;
+        Ok(())
+    }
+
+    /// Flushes the journal at a commit point (fsync for file backends).
+    fn journal_commit(&mut self) -> Result<(), ProtocolError> {
+        if let Some(journal) = self.journal.clone() {
+            journal.borrow_mut().commit()?;
+        }
+        Ok(())
     }
 
     /// Advances the coordinator's logical telemetry clock (seconds). Call
@@ -320,18 +477,33 @@ impl<'m> Coordinator<'m> {
     /// quarantine a machine for the round. Its bids will be absorbed as
     /// stale.
     ///
+    /// # Errors
+    /// Returns [`ProtocolError::PhaseViolation`] outside the collection
+    /// phase, or a journal error from the attached journal.
+    ///
     /// # Panics
-    /// Panics if called outside the collection phase or out of range.
-    pub fn exclude(&mut self, machine: usize) {
-        assert!(
-            self.phase == CoordinatorPhase::CollectingBids,
-            "exclude outside collection phase"
-        );
+    /// Panics if `machine` is out of range (a driver bug, not round state).
+    pub fn exclude(&mut self, machine: usize) -> Result<(), ProtocolError> {
+        if self.phase != CoordinatorPhase::CollectingBids {
+            return Err(ProtocolError::PhaseViolation {
+                op: "exclude",
+                expected: CoordinatorPhase::CollectingBids,
+                actual: self.phase,
+            });
+        }
         assert!(
             machine < self.excluded.len(),
             "coordinator: machine out of range"
         );
         self.ensure_round_span();
+        if self.excluded[machine] {
+            // Already excluded (e.g. re-applied after recovery): idempotent.
+            return Ok(());
+        }
+        self.journal_append(JournalRecord::ExclusionDecided {
+            machine: u32::try_from(machine).expect("node index fits u32"),
+            reason: ExclusionReason::Quarantine,
+        })?;
         self.excluded[machine] = true;
         self.collector.instant(
             self.now.get(),
@@ -342,6 +514,7 @@ impl<'m> Coordinator<'m> {
                 Field::str("reason", "quarantine"),
             ],
         );
+        Ok(())
     }
 
     /// Records an anomaly in the stats and as an `anomaly` telemetry
@@ -394,7 +567,8 @@ impl<'m> Coordinator<'m> {
     /// runs against; the coordinator only ever uses its measurements of it.
     ///
     /// # Errors
-    /// Propagates mechanism/simulation errors.
+    /// Propagates mechanism/simulation errors (as
+    /// [`ProtocolError::Mechanism`]) and journal failures.
     ///
     /// # Panics
     /// In strict mode only ([`Coordinator::with_strict`]), panics on protocol
@@ -405,7 +579,7 @@ impl<'m> Coordinator<'m> {
         &mut self,
         message: &Message,
         actual_exec_values: &[f64],
-    ) -> Result<Vec<(u32, Message)>, MechanismError> {
+    ) -> Result<Vec<(u32, Message)>, ProtocolError> {
         self.ensure_round_span();
         if message.round() != self.round {
             return Ok(self.reject(Anomaly::StaleRound, "coordinator: wrong round"));
@@ -433,6 +607,7 @@ impl<'m> Coordinator<'m> {
                     let context = format!("coordinator: duplicate bid from {machine}");
                     return Ok(self.reject(Anomaly::DuplicateBid, &context));
                 }
+                self.journal_append(JournalRecord::BidAccepted { machine, value })?;
                 self.bids[idx] = Some(value);
                 if self.all_bids_in() {
                     self.begin_execution(actual_exec_values)
@@ -464,6 +639,7 @@ impl<'m> Coordinator<'m> {
                     self.note_anomaly(Anomaly::DuplicateAck);
                     return Ok(Vec::new());
                 }
+                self.journal_append(JournalRecord::ExecutionObserved { machine })?;
                 self.done[idx] = true;
                 if self.all_done() {
                     self.settle()
@@ -484,22 +660,28 @@ impl<'m> Coordinator<'m> {
     /// proceeds with the respondents. Returns the `Assign` messages.
     ///
     /// # Errors
-    /// Returns [`MechanismError::NeedTwoAgents`] when fewer than two bids
-    /// arrived (the mechanism cannot run), or downstream errors.
-    ///
-    /// # Panics
-    /// Panics if called outside the bid-collection phase.
+    /// Returns [`MechanismError::NeedTwoAgents`] (wrapped in
+    /// [`ProtocolError::Mechanism`]) when fewer than two bids arrived (the
+    /// mechanism cannot run), [`ProtocolError::PhaseViolation`] outside the
+    /// bid-collection phase, or downstream errors.
     pub fn close_bidding(
         &mut self,
         actual_exec_values: &[f64],
-    ) -> Result<Vec<(u32, Message)>, MechanismError> {
-        assert!(
-            self.phase == CoordinatorPhase::CollectingBids,
-            "close_bidding outside collection phase"
-        );
+    ) -> Result<Vec<(u32, Message)>, ProtocolError> {
+        if self.phase != CoordinatorPhase::CollectingBids {
+            return Err(ProtocolError::PhaseViolation {
+                op: "close_bidding",
+                expected: CoordinatorPhase::CollectingBids,
+                actual: self.phase,
+            });
+        }
         self.ensure_round_span();
         for i in 0..self.bids.len() {
             if self.bids[i].is_none() && !self.excluded[i] {
+                self.journal_append(JournalRecord::ExclusionDecided {
+                    machine: u32::try_from(i).expect("node index fits u32"),
+                    reason: ExclusionReason::Timeout,
+                })?;
                 self.excluded[i] = true;
                 self.collector.instant(
                     self.now.get(),
@@ -513,7 +695,7 @@ impl<'m> Coordinator<'m> {
             }
         }
         if self.respondents().len() < 2 {
-            return Err(MechanismError::NeedTwoAgents);
+            return Err(MechanismError::NeedTwoAgents.into());
         }
         self.begin_execution(actual_exec_values)
     }
@@ -522,28 +704,29 @@ impl<'m> Coordinator<'m> {
     /// even though some completion acknowledgements are missing.
     ///
     /// # Errors
-    /// Propagates mechanism errors.
-    ///
-    /// # Panics
-    /// Panics if called outside the execution phase.
-    pub fn close_execution(&mut self) -> Result<Vec<(u32, Message)>, MechanismError> {
-        assert!(
-            self.phase == CoordinatorPhase::Executing,
-            "close_execution outside execution phase"
-        );
+    /// Propagates mechanism errors; returns
+    /// [`ProtocolError::PhaseViolation`] outside the execution phase.
+    pub fn close_execution(&mut self) -> Result<Vec<(u32, Message)>, ProtocolError> {
+        if self.phase != CoordinatorPhase::Executing {
+            return Err(ProtocolError::PhaseViolation {
+                op: "close_execution",
+                expected: CoordinatorPhase::Executing,
+                actual: self.phase,
+            });
+        }
         self.settle()
     }
 
     fn begin_execution(
         &mut self,
         actual_exec_values: &[f64],
-    ) -> Result<Vec<(u32, Message)>, MechanismError> {
+    ) -> Result<Vec<(u32, Message)>, ProtocolError> {
         let respondents = self.respondents();
         if respondents.len() < 2 {
             // Reachable when machines were excluded up front (quarantine)
             // and every remaining machine bid: the mechanism needs at least
             // two participants to run.
-            return Err(MechanismError::NeedTwoAgents);
+            return Err(MechanismError::NeedTwoAgents.into());
         }
         self.switch_phase_span(
             Some(Phase::Allocate),
@@ -551,8 +734,12 @@ impl<'m> Coordinator<'m> {
         );
         let sub_bids: Vec<f64> = respondents
             .iter()
-            .map(|&i| self.bids[i].expect("respondent has bid"))
-            .collect();
+            .map(|&i| {
+                self.bids[i].ok_or(ProtocolError::MissingState {
+                    what: "respondent bid",
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let sub_exec: Vec<f64> = respondents.iter().map(|&i| actual_exec_values[i]).collect();
         let sub_alloc = self.mechanism.allocate(&sub_bids, self.total_rate)?;
 
@@ -593,6 +780,13 @@ impl<'m> Coordinator<'m> {
                 )
             })
             .collect();
+        // Commit point: the allocation must be durable before any Assign
+        // frame can reach a node.
+        self.journal_append(JournalRecord::AllocationCommitted {
+            rates: rates.clone(),
+            estimated_exec: self.estimated_exec.clone().expect("just set"),
+        })?;
+        self.journal_commit()?;
         self.allocation = Some(Allocation::new(rates, self.total_rate)?);
         self.phase = CoordinatorPhase::Executing;
         self.switch_phase_span(Some(Phase::Execute), Vec::new());
@@ -607,7 +801,7 @@ impl<'m> Coordinator<'m> {
     /// call, so threaded, chaos and session rounds all settle in linear
     /// time — the former per-agent rebuild made this the quadratic hot spot
     /// that capped rounds near ~10³ machines.
-    fn settle(&mut self) -> Result<Vec<(u32, Message)>, MechanismError> {
+    fn settle(&mut self) -> Result<Vec<(u32, Message)>, ProtocolError> {
         let respondents = self.respondents();
         self.switch_phase_span(
             Some(Phase::Settle),
@@ -618,11 +812,24 @@ impl<'m> Coordinator<'m> {
         );
         let sub_bids: Vec<f64> = respondents
             .iter()
-            .map(|&i| self.bids[i].expect("respondent has bid"))
-            .collect();
-        let allocation = self.allocation.as_ref().expect("allocation computed");
-        let estimates = self.estimated_exec.as_ref().expect("estimates computed");
-        let sub_rates: Vec<f64> = respondents.iter().map(|&i| allocation.rate(i)).collect();
+            .map(|&i| {
+                self.bids[i].ok_or(ProtocolError::MissingState {
+                    what: "respondent bid",
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let allocation = self
+            .allocation
+            .as_ref()
+            .ok_or(ProtocolError::MissingState { what: "allocation" })?;
+        let estimates = self
+            .estimated_exec
+            .as_ref()
+            .ok_or(ProtocolError::MissingState {
+                what: "execution estimates",
+            })?;
+        let full_rates: Vec<f64> = (0..self.bids.len()).map(|i| allocation.rate(i)).collect();
+        let sub_rates: Vec<f64> = respondents.iter().map(|&i| full_rates[i]).collect();
         let sub_alloc = Allocation::new(sub_rates, self.total_rate)?;
         let sub_estimates: Vec<f64> = respondents.iter().map(|&i| estimates[i]).collect();
 
@@ -633,6 +840,13 @@ impl<'m> Coordinator<'m> {
         for (k, &i) in respondents.iter().enumerate() {
             payments[i] = sub_payments[k];
         }
+        // Commit point: the payment ledger must be durable before the settle
+        // fan-out leaves — on replay payments come from this record, never a
+        // recomputation, which is what makes settlement exactly-once.
+        self.journal_append(JournalRecord::PaymentsCommitted {
+            payments: payments.clone(),
+        })?;
+        self.journal_commit()?;
         if self.collector.enabled() {
             // Per-machine settlement gauges for live dashboards (`lb-top`):
             // dynamic names, so they bypass the `&'static str` conveniences.
@@ -647,7 +861,7 @@ impl<'m> Coordinator<'m> {
                 });
             };
             for (i, &p) in payments.iter().enumerate() {
-                gauge(format!("alloc.rate.m{i}"), allocation.rate(i));
+                gauge(format!("alloc.rate.m{i}"), full_rates[i]);
                 gauge(format!("payment.m{i}"), p);
             }
             self.collector.gauge(
@@ -674,6 +888,201 @@ impl<'m> Coordinator<'m> {
         self.switch_phase_span(None, Vec::new());
         self.end_telemetry();
         Ok(out)
+    }
+
+    /// Seals the round: journals `RoundSealed` and commits, marking that
+    /// the settle fan-out has been handed to the network. After sealing, a
+    /// recovered coordinator will not re-emit Payment frames. Idempotent;
+    /// meaningful only with a journal attached (a plain coordinator just
+    /// sets the flag).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::PhaseViolation`] before settlement, or a
+    /// journal error.
+    pub fn seal(&mut self) -> Result<(), ProtocolError> {
+        if self.sealed {
+            return Ok(());
+        }
+        if self.phase != CoordinatorPhase::Done {
+            return Err(ProtocolError::PhaseViolation {
+                op: "seal",
+                expected: CoordinatorPhase::Done,
+                actual: self.phase,
+            });
+        }
+        self.journal_append(JournalRecord::RoundSealed)?;
+        self.journal_commit()?;
+        self.sealed = true;
+        Ok(())
+    }
+
+    /// Whether `RoundSealed` has been journalled.
+    #[must_use]
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// This coordinator's round id.
+    #[must_use]
+    pub fn round(&self) -> RoundId {
+        self.round
+    }
+
+    /// Applies one replayed journal record to the in-memory round state.
+    /// Used by recovery; never re-journals (the record is already durable).
+    pub(crate) fn apply_record(&mut self, record: &JournalRecord) -> Result<(), ProtocolError> {
+        let check_machine = |machine: u32, n: usize| -> Result<usize, ProtocolError> {
+            let idx = machine as usize;
+            if idx >= n {
+                return Err(ProtocolError::ReplayMismatch {
+                    what: "machine index out of range",
+                });
+            }
+            Ok(idx)
+        };
+        let n = self.bids.len();
+        match record {
+            JournalRecord::RoundOpened {
+                round,
+                n: opened_n,
+                total_rate,
+            } => {
+                if *round != self.round
+                    || *opened_n as usize != n
+                    || total_rate.to_bits() != self.total_rate.to_bits()
+                {
+                    return Err(ProtocolError::ReplayMismatch {
+                        what: "RoundOpened does not match the coordinator's round",
+                    });
+                }
+            }
+            JournalRecord::BidAccepted { machine, value } => {
+                let idx = check_machine(*machine, n)?;
+                self.bids[idx] = Some(*value);
+            }
+            JournalRecord::ExclusionDecided { machine, .. } => {
+                let idx = check_machine(*machine, n)?;
+                self.excluded[idx] = true;
+            }
+            JournalRecord::AllocationCommitted {
+                rates,
+                estimated_exec,
+            } => {
+                if rates.len() != n || estimated_exec.len() != n {
+                    return Err(ProtocolError::ReplayMismatch {
+                        what: "AllocationCommitted width",
+                    });
+                }
+                self.allocation = Some(Allocation::new(rates.clone(), self.total_rate)?);
+                self.estimated_exec = Some(estimated_exec.clone());
+                self.phase = CoordinatorPhase::Executing;
+            }
+            JournalRecord::ExecutionObserved { machine } => {
+                let idx = check_machine(*machine, n)?;
+                self.done[idx] = true;
+            }
+            JournalRecord::PaymentsCommitted { payments } => {
+                if payments.len() != n {
+                    return Err(ProtocolError::ReplayMismatch {
+                        what: "PaymentsCommitted width",
+                    });
+                }
+                // Exactly-once settle: the durable ledger *is* the payment —
+                // it is restored, never recomputed.
+                self.payments = Some(payments.clone());
+                self.phase = CoordinatorPhase::Done;
+            }
+            JournalRecord::RoundSealed => {
+                if self.phase != CoordinatorPhase::Done {
+                    return Err(ProtocolError::ReplayMismatch {
+                        what: "RoundSealed before PaymentsCommitted",
+                    });
+                }
+                self.sealed = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Messages a recovered coordinator must (re-)send to move the round
+    /// forward, derived from the replayed phase:
+    ///
+    /// * collecting, some bids missing — re-request exactly the missing bids
+    ///   (nodes that already bid will be absorbed as duplicates);
+    /// * collecting, all bids in — the crash hit between the last bid and
+    ///   the allocation commit: run the allocation now (deterministic, so
+    ///   bit-identical to what the dead process would have computed);
+    /// * executing — re-send `Assign` to respondents that have not acked
+    ///   (acked ones are done; re-acks would be absorbed as duplicates), or
+    ///   settle immediately if every ack was already journalled;
+    /// * settled but unsealed — re-send the Payment fan-out from the
+    ///   durable ledger (idempotent at the nodes);
+    /// * sealed — nothing: the round is over.
+    ///
+    /// # Errors
+    /// Propagates mechanism/journal errors from the allocation or settle
+    /// steps.
+    pub fn resume(
+        &mut self,
+        actual_exec_values: &[f64],
+    ) -> Result<Vec<(u32, Message)>, ProtocolError> {
+        match self.phase {
+            CoordinatorPhase::CollectingBids => {
+                if self.all_bids_in() {
+                    self.begin_execution(actual_exec_values)
+                } else {
+                    Ok(self
+                        .missing_bids()
+                        .into_iter()
+                        .map(|m| (m, Message::RequestBid { round: self.round }))
+                        .collect())
+                }
+            }
+            CoordinatorPhase::Executing => {
+                if self.all_done() {
+                    return self.settle();
+                }
+                let allocation = self
+                    .allocation
+                    .as_ref()
+                    .ok_or(ProtocolError::MissingState { what: "allocation" })?;
+                Ok(self
+                    .respondents()
+                    .into_iter()
+                    .filter(|&i| !self.done[i])
+                    .map(|i| {
+                        (
+                            u32::try_from(i).expect("node index fits u32"),
+                            Message::Assign {
+                                round: self.round,
+                                rate: allocation.rate(i),
+                            },
+                        )
+                    })
+                    .collect())
+            }
+            CoordinatorPhase::Settling | CoordinatorPhase::Done => {
+                if self.sealed {
+                    return Ok(Vec::new());
+                }
+                let payments = self.payments.as_ref().ok_or(ProtocolError::MissingState {
+                    what: "payment ledger",
+                })?;
+                Ok(self
+                    .respondents()
+                    .into_iter()
+                    .map(|i| {
+                        (
+                            u32::try_from(i).expect("node index fits u32"),
+                            Message::Payment {
+                                round: self.round,
+                                amount: payments[i],
+                            },
+                        )
+                    })
+                    .collect())
+            }
+        }
     }
 
     /// The allocation, once computed (full width; excluded machines at 0).
@@ -835,7 +1244,7 @@ mod tests {
         .unwrap();
         assert!(matches!(
             c.close_bidding(&trues),
-            Err(MechanismError::NeedTwoAgents)
+            Err(ProtocolError::Mechanism(MechanismError::NeedTwoAgents))
         ));
     }
 
@@ -1303,7 +1712,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(c.missing_bids(), vec![0, 2]);
-        c.exclude(0);
+        c.exclude(0).unwrap();
         assert_eq!(c.missing_bids(), vec![2]);
     }
 
@@ -1312,7 +1721,7 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let trues = [1.0, 2.0, 4.0];
         let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
-        c.exclude(1);
+        c.exclude(1).unwrap();
         c.handle(
             &Message::Bid {
                 round: RoundId(0),
@@ -1353,8 +1762,8 @@ mod tests {
         let mech = CompensationBonusMechanism::paper();
         let trues = [1.0, 2.0, 4.0];
         let mut c = Coordinator::new(&mech, 3, 3.0, RoundId(0), config());
-        c.exclude(1);
-        c.exclude(2);
+        c.exclude(1).unwrap();
+        c.exclude(2).unwrap();
         let out = c.handle(
             &Message::Bid {
                 round: RoundId(0),
@@ -1363,6 +1772,9 @@ mod tests {
             },
             &trues,
         );
-        assert!(matches!(out, Err(MechanismError::NeedTwoAgents)));
+        assert!(matches!(
+            out,
+            Err(ProtocolError::Mechanism(MechanismError::NeedTwoAgents))
+        ));
     }
 }

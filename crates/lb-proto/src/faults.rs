@@ -14,7 +14,7 @@
 //!   acknowledgements: payments derive from the coordinator's *own*
 //!   measurements, the acks are liveness signals only.
 
-use crate::coordinator::{Coordinator, CoordinatorPhase};
+use crate::coordinator::{Coordinator, CoordinatorPhase, ProtocolError};
 use crate::message::{Message, RoundId};
 use crate::network::{Endpoint, SimNetwork};
 use crate::node::{NodeAgent, NodeSpec};
@@ -161,7 +161,9 @@ pub fn run_protocol_round_with_faults<M: VerifiedMechanism>(
                     }
                 }
                 Endpoint::Coordinator => {
-                    let outgoing = coordinator.handle(&delivery.message, &actual_exec)?;
+                    let outgoing = coordinator
+                        .handle(&delivery.message, &actual_exec)
+                        .map_err(ProtocolError::into_mechanism)?;
                     for (i, msg) in outgoing {
                         network
                             .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
@@ -173,7 +175,9 @@ pub fn run_protocol_round_with_faults<M: VerifiedMechanism>(
                 CoordinatorPhase::Done => break,
                 CoordinatorPhase::CollectingBids => {
                     // Bid timeout fired.
-                    let outgoing = coordinator.close_bidding(&actual_exec)?;
+                    let outgoing = coordinator
+                        .close_bidding(&actual_exec)
+                        .map_err(ProtocolError::into_mechanism)?;
                     for (i, msg) in outgoing {
                         network
                             .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)
@@ -182,7 +186,9 @@ pub fn run_protocol_round_with_faults<M: VerifiedMechanism>(
                 }
                 CoordinatorPhase::Executing => {
                     // Completion timeout fired.
-                    let outgoing = coordinator.close_execution()?;
+                    let outgoing = coordinator
+                        .close_execution()
+                        .map_err(ProtocolError::into_mechanism)?;
                     for (i, msg) in outgoing {
                         network
                             .send(Endpoint::Coordinator, Endpoint::Node(i), &msg)

@@ -22,6 +22,15 @@
 //!   missing bids are re-requested with exponential backoff before the
 //!   exclusion fallback, and multi-round sessions quarantine and re-admit
 //!   flaky machines ([`session::run_chaos_session`]).
+//! * [`journal`] — a write-ahead round journal (length-prefixed, CRC-checked
+//!   records over the wire codec) with in-memory, file-backed, and
+//!   crash-injecting backends; torn tails are detected and truncated, never
+//!   misparsed.
+//! * [`recovery`] — deterministic replay of the journal into a fresh
+//!   coordinator mid-round, with exactly-once settle (payments restore from
+//!   the `PaymentsCommitted` record, never recompute) and an idempotent
+//!   resume fan-out; [`session::run_chaos_session_durable`] crash-tests
+//!   whole sessions against a seeded [`session::CrashPlan`].
 //!
 //! Every driver is instrumented for `lb-telemetry`: attach a collector
 //! (e.g. [`lb_telemetry::RingCollector`]) via
@@ -50,9 +59,11 @@ pub mod codec;
 pub mod coordinator;
 pub mod faults;
 pub mod framing;
+pub mod journal;
 pub mod message;
 pub mod network;
 pub mod node;
+pub mod recovery;
 pub mod runtime;
 pub mod session;
 pub mod threaded;
@@ -64,22 +75,28 @@ pub use audit::{
 };
 pub use chaos::{
     chaos_message_bound, run_chaos_round, ChaosConfig, ChaosNetStats, ChaosRoundReport,
-    ChaosRuntime,
+    ChaosRuntime, RoundRecoveryStats,
 };
 pub use codec::{decode, decode_with_context, encode, encode_with_context, CodecError};
-pub use coordinator::{Coordinator, CoordinatorPhase};
+pub use coordinator::{Coordinator, CoordinatorPhase, ProtocolError};
 pub use faults::{run_protocol_round_with_faults, FaultPlan};
 pub use framing::{FrameReader, FrameWriter, DEFAULT_MAX_FRAME, MAX_FRAME_LEN};
+pub use journal::{
+    read_journal, CrashingJournal, ExclusionReason, FileJournal, Journal, JournalError,
+    JournalRecord, JournalReplay, MemJournal,
+};
 pub use message::{Message, RoundId};
 pub use network::{FrameFate, MessageStats, NetPoll, SimNetwork};
 pub use node::NodeSpec;
+pub use recovery::{recover_round, split_rounds, RecoveryReport, RoundBlock, RoundContext};
 pub use runtime::{
     run_protocol_round, run_protocol_round_observed, run_protocol_round_traced, ProtocolConfig,
     ProtocolOutcome,
 };
 pub use session::{
-    run_chaos_session, run_chaos_session_observed, run_chaos_session_sampled, run_session,
-    ChaosRoundResult, ChaosSessionConfig, ChaosSessionReport, MachineHealth, SessionReport,
+    run_chaos_session, run_chaos_session_durable, run_chaos_session_observed,
+    run_chaos_session_sampled, run_session, ChaosRoundResult, ChaosSessionConfig,
+    ChaosSessionReport, CrashPlan, DurableSessionReport, MachineHealth, SessionReport,
 };
 pub use threaded::{
     run_protocol_round_threaded, run_protocol_round_threaded_exposed,

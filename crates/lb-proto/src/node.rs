@@ -114,7 +114,14 @@ impl NodeAgent {
                 })
             }
             Message::Payment { amount, .. } => {
-                self.payment = Some(amount);
+                // First write wins: a settle fan-out can reach the node more
+                // than once (chaos duplication, or a recovered coordinator
+                // re-sending from its durable ledger), and the duplicate
+                // must not re-apply — the ledger already holds exactly one
+                // payment per round.
+                if self.payment.is_none() {
+                    self.payment = Some(amount);
+                }
                 None
             }
             Message::Bid { .. } | Message::ExecutionDone { .. } => {

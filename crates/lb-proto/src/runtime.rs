@@ -6,7 +6,7 @@
 //! message statistics that validate the paper's `O(n)` message claim
 //! (exactly `4n` control messages per round).
 
-use crate::coordinator::{Coordinator, CoordinatorPhase};
+use crate::coordinator::{Coordinator, CoordinatorPhase, ProtocolError};
 use crate::message::{Message, RoundId};
 use crate::network::{Endpoint, MessageStats, SimNetwork};
 use crate::node::{NodeAgent, NodeSpec};
@@ -213,7 +213,9 @@ pub fn run_protocol_round_observed<M: VerifiedMechanism>(
                 }
                 Endpoint::Coordinator => {
                     coordinator.set_now(delivery.at.seconds());
-                    let outgoing = coordinator.handle(&delivery.message, &actual_exec)?;
+                    let outgoing = coordinator
+                        .handle(&delivery.message, &actual_exec)
+                        .map_err(ProtocolError::into_mechanism)?;
                     let wire = coordinator.wire_context();
                     for (i, msg) in outgoing {
                         network

@@ -21,12 +21,18 @@
 //! round index — whether that round records (and wire-propagates) its trace.
 
 use crate::chaos::{ChaosConfig, ChaosNetStats, ChaosRoundReport, ChaosRuntime};
+use crate::coordinator::ProtocolError;
+use crate::journal::{CrashingJournal, Journal, JournalError};
 use crate::message::RoundId;
 use crate::node::NodeSpec;
+use crate::recovery::split_rounds;
 use crate::runtime::{run_protocol_round, ProtocolConfig, ProtocolOutcome};
 use crate::trace::AnomalyStats;
 use lb_mechanism::{MechanismError, VerifiedMechanism};
+use lb_stats::{Rng, Xoshiro256StarStar};
 use lb_telemetry::{noop_collector, Collector, Field, Sampler, Subsystem};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Summary of a finished session.
@@ -231,6 +237,76 @@ pub struct ChaosSessionReport {
     pub readmissions: u32,
 }
 
+impl ChaosSessionReport {
+    /// Cumulative payment received by machine `i` over the settled rounds.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn cumulative_payment(&self, i: usize) -> f64 {
+        self.rounds
+            .iter()
+            .filter_map(ChaosRoundResult::settled)
+            .map(|r| r.outcome.payments[i])
+            .sum()
+    }
+}
+
+/// Applies the post-settlement health policy for one round: blame active
+/// excluded machines (quarantining repeat offenders), clear the record of
+/// active machines that completed. Shared by the live drivers and by
+/// journal-based session recovery, so a machine's quarantine schedule is
+/// bit-identical whether the round ran in this process or was replayed from
+/// a dead one's journal.
+fn apply_settled_health(
+    health: &mut [MachineHealth],
+    session: &ChaosSessionConfig,
+    round: u32,
+    active: &[bool],
+    excluded: &[bool],
+    readmissions: &mut u32,
+    mut on_quarantine: impl FnMut(usize, u32),
+    mut on_readmit: impl FnMut(usize),
+) {
+    for i in 0..health.len() {
+        if !active[i] {
+            continue; // quarantined: no chance given, no blame.
+        }
+        if excluded[i] {
+            health[i].consecutive_exclusions += 1;
+            health[i].total_exclusions += 1;
+            if health[i].consecutive_exclusions >= session.quarantine_after {
+                let spell = if health[i].last_spell == 0 {
+                    session.quarantine_rounds
+                } else {
+                    (health[i].last_spell * 2).min(session.max_quarantine_rounds)
+                };
+                health[i].last_spell = spell;
+                health[i].quarantined_until = round + 1 + spell;
+                health[i].quarantine_spells += 1;
+                on_quarantine(i, spell);
+            }
+        } else {
+            if health[i].consecutive_exclusions > 0 {
+                *readmissions += 1;
+                on_readmit(i);
+            }
+            health[i].consecutive_exclusions = 0;
+            health[i].last_spell = 0;
+        }
+    }
+}
+
+/// Applies the aborted-round health policy: wipe the slate so the next
+/// round can recruit every machine.
+fn apply_aborted_health(health: &mut [MachineHealth], round: u32) {
+    for h in health {
+        h.quarantined_until = round + 1;
+        h.consecutive_exclusions = 0;
+        h.last_spell = 0;
+    }
+}
+
 /// Runs a fault-tolerant multi-round session over one persistent chaotic
 /// network.
 ///
@@ -394,50 +470,38 @@ where
                 faults.dropped += report.faults.dropped;
                 faults.duplicated += report.faults.duplicated;
                 faults.corrupted += report.faults.corrupted;
-                for i in 0..n {
-                    if !active[i] {
-                        continue; // quarantined: no chance given, no blame.
-                    }
-                    if report.excluded[i] {
-                        health[i].consecutive_exclusions += 1;
-                        health[i].total_exclusions += 1;
-                        if health[i].consecutive_exclusions >= session.quarantine_after {
-                            let spell = if health[i].last_spell == 0 {
-                                session.quarantine_rounds
-                            } else {
-                                (health[i].last_spell * 2).min(session.max_quarantine_rounds)
-                            };
-                            health[i].last_spell = spell;
-                            health[i].quarantined_until = round + 1 + spell;
-                            health[i].quarantine_spells += 1;
-                            if round_collector.enabled() {
-                                round_collector.instant(
-                                    runtime.now().seconds(),
-                                    "session.quarantine",
-                                    Subsystem::Session,
-                                    vec![
-                                        Field::u64("machine", i as u64),
-                                        Field::u64("spell", u64::from(spell)),
-                                    ],
-                                );
-                            }
+                let at = runtime.now().seconds();
+                apply_settled_health(
+                    &mut health,
+                    session,
+                    round,
+                    &active,
+                    &report.excluded,
+                    &mut readmissions,
+                    |i, spell| {
+                        if round_collector.enabled() {
+                            round_collector.instant(
+                                at,
+                                "session.quarantine",
+                                Subsystem::Session,
+                                vec![
+                                    Field::u64("machine", i as u64),
+                                    Field::u64("spell", u64::from(spell)),
+                                ],
+                            );
                         }
-                    } else {
-                        if health[i].consecutive_exclusions > 0 {
-                            readmissions += 1;
-                            if round_collector.enabled() {
-                                round_collector.instant(
-                                    runtime.now().seconds(),
-                                    "session.readmit",
-                                    Subsystem::Session,
-                                    vec![Field::u64("machine", i as u64)],
-                                );
-                            }
+                    },
+                    |i| {
+                        if round_collector.enabled() {
+                            round_collector.instant(
+                                at,
+                                "session.readmit",
+                                Subsystem::Session,
+                                vec![Field::u64("machine", i as u64)],
+                            );
                         }
-                        health[i].consecutive_exclusions = 0;
-                        health[i].last_spell = 0;
-                    }
-                }
+                    },
+                );
                 last_settled = Some(report.clone());
                 rounds.push(ChaosRoundResult::Settled(report));
             }
@@ -453,11 +517,7 @@ where
                 }
                 // Chaos silenced (or quarantine sidelined) too many machines
                 // at once: wipe the slate so the next round can recruit all.
-                for h in &mut health {
-                    h.quarantined_until = round + 1;
-                    h.consecutive_exclusions = 0;
-                    h.last_spell = 0;
-                }
+                apply_aborted_health(&mut health, round);
                 rounds.push(ChaosRoundResult::Aborted(MechanismError::NeedTwoAgents));
             }
             Err(e) => return Err(e),
@@ -475,6 +535,322 @@ where
         aborted_rounds,
         readmissions,
     })
+}
+
+/// When to kill the coordinator process in a durable session: absolute byte
+/// offsets into the journal at which the write (and the process) dies
+/// mid-record, exactly like a crash between `write(2)` and `fsync(2)`.
+#[derive(Debug, Clone, Default)]
+pub struct CrashPlan {
+    /// Absolute journal byte offsets to crash at, each consumed once.
+    pub offsets: Vec<u64>,
+}
+
+impl CrashPlan {
+    /// A plan with no crashes: the durable session runs straight through.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Crash at exactly these journal byte offsets.
+    #[must_use]
+    pub fn at(offsets: Vec<u64>) -> Self {
+        Self { offsets }
+    }
+
+    /// `crashes` pseudo-random crash offsets in `[0, max_byte)`, derived
+    /// from `seed` — the same seed always kills the coordinator at the same
+    /// bytes, so any durable-session failure reproduces from its seed.
+    #[must_use]
+    pub fn seeded(seed: u64, crashes: usize, max_byte: u64) -> Self {
+        assert!(max_byte > 0, "CrashPlan::seeded: max_byte must be > 0");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let offsets = (0..crashes).map(|_| rng.next_below(max_byte)).collect();
+        Self { offsets }
+    }
+}
+
+/// Summary of a finished durable (crash-surviving) session.
+#[derive(Debug)]
+pub struct DurableSessionReport {
+    /// The live part of the session, exactly as [`run_chaos_session`] would
+    /// report it. Rounds reconstructed from a pre-existing journal are *not*
+    /// re-listed here (their full reports died with the process that ran
+    /// them); they are accounted in `recovered_rounds`, in the health state,
+    /// and in `cumulative_payments`.
+    pub session: ChaosSessionReport,
+    /// Rounds whose outcome was reconstructed from the initial journal
+    /// rather than run in this process.
+    pub recovered_rounds: u32,
+    /// Injected crashes consumed across the session.
+    pub crashes: u64,
+    /// Journal records replayed across all in-round recoveries.
+    pub records_replayed: u64,
+    /// Torn-tail bytes truncated across all recoveries.
+    pub truncated_tail_bytes: u64,
+    /// Per-machine payments summed over every `PaymentsCommitted` record —
+    /// recovered rounds included. One record per settled round regardless of
+    /// how many crashes interrupted it, so this total is exactly-once by
+    /// construction.
+    pub cumulative_payments: Vec<f64>,
+    /// The journal's final byte content: feed it back as `initial_journal`
+    /// to continue the session in a later process.
+    pub journal_bytes: Vec<u8>,
+}
+
+/// [`run_chaos_session`] over a crash-injected write-ahead journal: the
+/// coordinator process is killed at every offset in `plan` (tearing the
+/// in-flight journal record mid-write), recovered by replaying the journal
+/// ([`crate::recovery::recover_round`]), and resumed — and the session's
+/// allocations, payments and quarantine schedule must come out identical to
+/// an uninterrupted run, which is what the `recovery` fuzz oracle and the
+/// durability tests assert.
+///
+/// `initial_journal` carries state across simulated process generations:
+/// pass `Vec::new()` for a fresh session, or a previous run's
+/// [`DurableSessionReport::journal_bytes`] to restart after its rounds. Any
+/// torn tail in it is truncated on open; sealed rounds are folded into the
+/// health state and payment totals (the policy is *not* re-consulted for
+/// them); an unsealed final round is resumed mid-flight.
+///
+/// # Errors
+/// Propagates unexpected mechanism errors; [`MechanismError::NeedTwoAgents`]
+/// aborts the round, journal corruption surfaces as an infeasible-core
+/// error, exactly as [`crate::coordinator::ProtocolError::into_mechanism`]
+/// maps it.
+///
+/// # Panics
+/// Panics if the configuration is invalid, the policy returns an empty spec
+/// list, or the machine count changes between rounds (or differs from the
+/// initial journal's).
+pub fn run_chaos_session_durable<M, P>(
+    mechanism: &M,
+    config: &ProtocolConfig,
+    session: &ChaosSessionConfig,
+    mut policy: P,
+    plan: &CrashPlan,
+    initial_journal: Vec<u8>,
+    collector: Arc<dyn Collector>,
+) -> Result<DurableSessionReport, MechanismError>
+where
+    M: VerifiedMechanism,
+    P: FnMut(u32, Option<&ChaosRoundReport>) -> Vec<NodeSpec>,
+{
+    session.validate();
+    let journal = Rc::new(RefCell::new(CrashingJournal::with_crashes(
+        initial_journal,
+        plan.offsets.clone(),
+    )));
+
+    let mut crashes = 0u64;
+    let mut records_replayed = 0u64;
+    let mut truncated_tail_bytes = 0u64;
+    let mut recovered_rounds = 0u32;
+    let mut aborted_rounds = 0u32;
+    let mut readmissions = 0u32;
+    let mut health: Vec<MachineHealth> = Vec::new();
+    let mut cumulative_payments: Vec<f64> = Vec::new();
+    let mut start_round = 0u32;
+
+    // Fold the pre-existing journal into session state: sealed blocks are
+    // finished rounds, a non-final unsealed block is an aborted round (the
+    // session moved on without sealing it), and an unsealed *final* block is
+    // the round the dead process was in — resume it.
+    let replay = {
+        let mut j = journal.borrow_mut();
+        j.revive().map_err(journal_to_mechanism)?
+    };
+    truncated_tail_bytes += replay.truncated_tail as u64;
+    let blocks = split_rounds(&replay.records).map_err(ProtocolError::into_mechanism)?;
+    for (bi, block) in blocks.iter().enumerate() {
+        if health.is_empty() {
+            health = vec![MachineHealth::default(); block.n];
+            cumulative_payments = vec![0.0; block.n];
+        }
+        assert_eq!(
+            health.len(),
+            block.n,
+            "run_chaos_session_durable: machine count changed in the journal"
+        );
+        let round = u32::try_from(block.round.0)
+            .expect("run_chaos_session_durable: round index exceeds u32");
+        let is_last = bi + 1 == blocks.len();
+        if block.sealed {
+            let quarantined = block.quarantined();
+            let active: Vec<bool> = (0..block.n).map(|i| !quarantined.contains(&i)).collect();
+            let mut excluded = vec![false; block.n];
+            for i in block.excluded() {
+                excluded[i] = true;
+            }
+            apply_settled_health(
+                &mut health,
+                session,
+                round,
+                &active,
+                &excluded,
+                &mut readmissions,
+                |_, _| (),
+                |_| (),
+            );
+            if let Some(p) = block.payments() {
+                for (total, &x) in cumulative_payments.iter_mut().zip(p) {
+                    *total += x;
+                }
+            }
+            recovered_rounds += 1;
+            start_round = round + 1;
+        } else if !is_last {
+            apply_aborted_health(&mut health, round);
+            aborted_rounds += 1;
+            recovered_rounds += 1;
+            start_round = round + 1;
+        } else {
+            // The dead process's in-flight round: run it (the in-round
+            // recovery inside `run_round_durable` replays this block).
+            start_round = round;
+        }
+    }
+
+    let mut runtime: Option<ChaosRuntime> = None;
+    let mut rounds: Vec<ChaosRoundResult> = Vec::new();
+    let mut last_settled: Option<ChaosRoundReport> = None;
+    let mut total_messages = 0;
+    let mut total_bytes = 0;
+    let mut total_retries = 0;
+    let mut anomalies = AnomalyStats::default();
+    let mut faults = ChaosNetStats::default();
+
+    for round in start_round..session.rounds {
+        let specs = policy(round, last_settled.as_ref());
+        assert!(
+            !specs.is_empty(),
+            "run_chaos_session_durable: policy returned no nodes"
+        );
+        let n = specs.len();
+        let runtime = runtime.get_or_insert_with(|| {
+            if health.is_empty() {
+                health = vec![MachineHealth::default(); n];
+                cumulative_payments = vec![0.0; n];
+            }
+            let mut rt = ChaosRuntime::new(n, *config, session.chaos.clone());
+            rt.set_collector(Arc::clone(&collector));
+            rt
+        });
+        assert_eq!(
+            health.len(),
+            n,
+            "run_chaos_session_durable: machine count changed mid-session"
+        );
+
+        let mut active: Vec<bool> = health
+            .iter()
+            .map(|h| round >= h.quarantined_until)
+            .collect();
+        if active.iter().filter(|&&a| a).count() < 2 {
+            for h in &mut health {
+                h.quarantined_until = round;
+            }
+            active = vec![true; n];
+        }
+
+        match runtime.run_round_durable(
+            mechanism,
+            &specs,
+            RoundId(u64::from(round)),
+            &active,
+            &journal,
+        ) {
+            Ok((report, stats)) => {
+                crashes += stats.crashes;
+                records_replayed += stats.records_replayed;
+                truncated_tail_bytes += stats.truncated_bytes;
+                total_messages += report.outcome.stats.messages;
+                total_bytes += report.outcome.stats.bytes;
+                total_retries += report.retries;
+                anomalies.merge(&report.anomalies);
+                faults.dropped += report.faults.dropped;
+                faults.duplicated += report.faults.duplicated;
+                faults.corrupted += report.faults.corrupted;
+                let at = runtime.now().seconds();
+                apply_settled_health(
+                    &mut health,
+                    session,
+                    round,
+                    &active,
+                    &report.excluded,
+                    &mut readmissions,
+                    |i, spell| {
+                        if collector.enabled() {
+                            collector.instant(
+                                at,
+                                "session.quarantine",
+                                Subsystem::Session,
+                                vec![
+                                    Field::u64("machine", i as u64),
+                                    Field::u64("spell", u64::from(spell)),
+                                ],
+                            );
+                        }
+                    },
+                    |i| {
+                        if collector.enabled() {
+                            collector.instant(
+                                at,
+                                "session.readmit",
+                                Subsystem::Session,
+                                vec![Field::u64("machine", i as u64)],
+                            );
+                        }
+                    },
+                );
+                for (total, &x) in cumulative_payments.iter_mut().zip(&report.outcome.payments) {
+                    *total += x;
+                }
+                last_settled = Some(report.clone());
+                rounds.push(ChaosRoundResult::Settled(report));
+            }
+            Err(e) if matches!(e, ProtocolError::Mechanism(MechanismError::NeedTwoAgents)) => {
+                aborted_rounds += 1;
+                if collector.enabled() {
+                    collector.instant(
+                        runtime.now().seconds(),
+                        "session.abort",
+                        Subsystem::Session,
+                        vec![Field::u64("round", u64::from(round))],
+                    );
+                }
+                apply_aborted_health(&mut health, round);
+                rounds.push(ChaosRoundResult::Aborted(MechanismError::NeedTwoAgents));
+            }
+            Err(e) => return Err(e.into_mechanism()),
+        }
+    }
+
+    let journal_bytes = journal.borrow().bytes().map_err(journal_to_mechanism)?;
+    Ok(DurableSessionReport {
+        session: ChaosSessionReport {
+            rounds,
+            health,
+            total_messages,
+            total_bytes,
+            total_retries,
+            anomalies,
+            faults,
+            aborted_rounds,
+            readmissions,
+        },
+        recovered_rounds,
+        crashes,
+        records_replayed,
+        truncated_tail_bytes,
+        cumulative_payments,
+        journal_bytes,
+    })
+}
+
+fn journal_to_mechanism(e: JournalError) -> MechanismError {
+    ProtocolError::Journal(e).into_mechanism()
 }
 
 #[cfg(test)]
@@ -818,5 +1194,362 @@ mod chaos_tests {
         let _ = run_chaos_session(&mech, &config(), &session, |round, _| {
             specs(if round == 0 { 3 } else { 4 })
         });
+    }
+
+    #[test]
+    fn duplicated_settle_is_idempotent() {
+        // Pinned regression: with duplicate_prob = 1.0 every frame — the
+        // settle fan-out included — is delivered twice. The duplicate
+        // Payment must hit the node's first-write-wins guard, so payments,
+        // utilities and the session's cumulative payment are bit-identical
+        // to a reliable run, and the duplicates never inflate the ledger.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(4);
+        let clean_session = ChaosSessionConfig::new(3, ChaosConfig::reliable(11));
+        let clean =
+            run_chaos_session(&mech, &config(), &clean_session, |_, _| specs.clone()).unwrap();
+
+        let dup = ChaosConfig {
+            duplicate_prob: 1.0,
+            ..ChaosConfig::reliable(11)
+        };
+        let dup_session = ChaosSessionConfig::new(3, dup);
+        let report =
+            run_chaos_session(&mech, &config(), &dup_session, |_, _| specs.clone()).unwrap();
+
+        assert!(
+            report.faults.duplicated > 0,
+            "the duplicate fate must actually fire"
+        );
+        for (r, (d, c)) in report.rounds.iter().zip(clean.rounds.iter()).enumerate() {
+            let d = d.settled().expect("duplicated round settles");
+            let c = c.settled().expect("clean round settles");
+            assert_eq!(d.outcome.payments, c.outcome.payments, "round {r}");
+            assert_eq!(d.outcome.rates, c.outcome.rates, "round {r}");
+            // Utilities are computed from the node's own received payment:
+            // a double-counted duplicate would show up right here.
+            assert_eq!(d.outcome.utilities, c.outcome.utilities, "round {r}");
+        }
+        for i in 0..4 {
+            assert_eq!(
+                report.cumulative_payment(i).to_bits(),
+                clean.cumulative_payment(i).to_bits(),
+                "machine {i}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod durable_tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::journal::JournalRecord;
+    use crate::journal::JournalReplay;
+    use lb_mechanism::CompensationBonusMechanism;
+    use lb_sim::driver::SimulationConfig;
+    use lb_sim::server::ServiceModel;
+
+    const RATE: f64 = 12.0;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            total_rate: RATE,
+            link_latency: 0.001,
+            simulation: SimulationConfig {
+                horizon: 50.0,
+                seed: 5,
+                model: ServiceModel::StationaryDeterministic,
+                workload: Default::default(),
+                warmup: 0.0,
+                estimator: lb_sim::estimator::EstimatorConfig::default(),
+            },
+        }
+    }
+
+    fn specs(n: usize) -> Vec<NodeSpec> {
+        (0..n)
+            .map(|i| NodeSpec::truthful(1.0 + i as f64 * 0.5))
+            .collect()
+    }
+
+    fn assert_same_rounds(durable: &DurableSessionReport, plain: &ChaosSessionReport) {
+        assert_eq!(durable.session.rounds.len(), plain.rounds.len());
+        for (r, (d, p)) in durable
+            .session
+            .rounds
+            .iter()
+            .zip(plain.rounds.iter())
+            .enumerate()
+        {
+            let d = d.settled().expect("durable round settles");
+            let p = p.settled().expect("plain round settles");
+            assert_eq!(d.outcome.payments, p.outcome.payments, "round {r}");
+            assert_eq!(d.outcome.rates, p.outcome.rates, "round {r}");
+            assert_eq!(d.excluded, p.excluded, "round {r}");
+        }
+    }
+
+    #[test]
+    fn crash_free_durable_session_matches_plain_chaos_session() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(3);
+        let session = ChaosSessionConfig::new(3, ChaosConfig::reliable(7));
+        let plain = run_chaos_session(&mech, &config(), &session, |_, _| specs.clone()).unwrap();
+        let durable = run_chaos_session_durable(
+            &mech,
+            &config(),
+            &session,
+            |_, _| specs.clone(),
+            &CrashPlan::none(),
+            Vec::new(),
+            noop_collector(),
+        )
+        .unwrap();
+
+        assert_eq!(durable.crashes, 0);
+        assert_eq!(durable.recovered_rounds, 0);
+        assert_eq!(durable.records_replayed, 0);
+        assert_same_rounds(&durable, &plain);
+        for i in 0..3 {
+            assert_eq!(
+                durable.cumulative_payments[i].to_bits(),
+                plain.cumulative_payment(i).to_bits(),
+                "machine {i}"
+            );
+        }
+        assert!(!durable.journal_bytes.is_empty());
+    }
+
+    #[test]
+    fn crashing_at_every_record_boundary_is_invisible_in_the_outcome() {
+        // Reference: a crash-free durable run, which also yields the exact
+        // journal this session writes. Then re-run with the coordinator
+        // killed at every record boundary of that journal — each write dies
+        // mid-`append`, gets truncated on revival and replayed — and demand
+        // the same session, bit for bit.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(3);
+        let session = ChaosSessionConfig::new(2, ChaosConfig::reliable(13));
+        let reference = run_chaos_session_durable(
+            &mech,
+            &config(),
+            &session,
+            |_, _| specs.clone(),
+            &CrashPlan::none(),
+            Vec::new(),
+            noop_collector(),
+        )
+        .unwrap();
+
+        let cuts: Vec<u64> = JournalReplay::boundaries(&reference.journal_bytes)
+            .into_iter()
+            .map(|b| b as u64)
+            .collect();
+        let expected_crashes = cuts.len() as u64;
+        let crashed = run_chaos_session_durable(
+            &mech,
+            &config(),
+            &session,
+            |_, _| specs.clone(),
+            &CrashPlan::at(cuts),
+            Vec::new(),
+            noop_collector(),
+        )
+        .unwrap();
+
+        assert!(
+            crashed.crashes >= expected_crashes - 1,
+            "all boundary crashes fire"
+        );
+        assert!(crashed.records_replayed > 0);
+        assert_same_rounds(&crashed, &reference.session);
+        for i in 0..3 {
+            assert_eq!(
+                crashed.cumulative_payments[i].to_bits(),
+                reference.cumulative_payments[i].to_bits(),
+                "machine {i}"
+            );
+        }
+        assert_sealed_blocks_match(&crashed.journal_bytes, &reference.journal_bytes);
+    }
+
+    /// The healed journal need not be byte-identical to the reference one —
+    /// in-flight frames re-delivered after a crash can reorder records
+    /// within a block — but it must replay to the same sealed rounds with
+    /// the same committed payments.
+    fn assert_sealed_blocks_match(got: &[u8], want: &[u8]) {
+        let got = split_rounds(&crate::journal::read_journal(got).unwrap().records).unwrap();
+        let want = split_rounds(&crate::journal::read_journal(want).unwrap().records).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!(g.round, w.round);
+            assert_eq!(g.sealed, w.sealed);
+            assert_eq!(g.payments(), w.payments(), "round {:?}", g.round);
+        }
+    }
+
+    #[test]
+    fn mid_record_crashes_truncate_the_torn_tail_and_still_converge() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(3);
+        let session = ChaosSessionConfig::new(2, ChaosConfig::reliable(13));
+        let reference = run_chaos_session_durable(
+            &mech,
+            &config(),
+            &session,
+            |_, _| specs.clone(),
+            &CrashPlan::none(),
+            Vec::new(),
+            noop_collector(),
+        )
+        .unwrap();
+
+        let max_byte = reference.journal_bytes.len() as u64;
+        for seed in 0..5u64 {
+            let plan = CrashPlan::seeded(seed, 4, max_byte);
+            let crashed = run_chaos_session_durable(
+                &mech,
+                &config(),
+                &session,
+                |_, _| specs.clone(),
+                &plan,
+                Vec::new(),
+                noop_collector(),
+            )
+            .unwrap();
+            assert!(crashed.crashes > 0, "seed {seed}");
+            assert_same_rounds(&crashed, &reference.session);
+            assert_sealed_blocks_match(&crashed.journal_bytes, &reference.journal_bytes);
+        }
+    }
+
+    #[test]
+    fn quarantine_state_survives_a_crash_between_rounds() {
+        // Generation 1: machine 0 never gets a bid through round 0, is
+        // excluded, and (quarantine_after = 1) earns a 1-round quarantine.
+        // The process then "dies" — all that survives is the journal.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(3);
+        let faulty = ChaosConfig {
+            plan: FaultPlan {
+                lose_bids_from: vec![0],
+                ..FaultPlan::none()
+            },
+            ..ChaosConfig::reliable(1)
+        };
+        let gen1_session = ChaosSessionConfig {
+            quarantine_after: 1,
+            ..ChaosSessionConfig::new(1, faulty)
+        };
+        let gen1 = run_chaos_session_durable(
+            &mech,
+            &config(),
+            &gen1_session,
+            |_, _| specs.clone(),
+            &CrashPlan::none(),
+            Vec::new(),
+            noop_collector(),
+        )
+        .unwrap();
+        assert_eq!(gen1.session.health[0].total_exclusions, 1);
+
+        // Generation 2: a fresh process (machine 0 healthy again) restarts
+        // from the journal and plays rounds 1 and 2. The journal alone must
+        // carry the quarantine: round 1 excludes machine 0 up front, round 2
+        // re-admits it on schedule.
+        let gen2_session = ChaosSessionConfig {
+            quarantine_after: 1,
+            ..ChaosSessionConfig::new(3, ChaosConfig::reliable(1))
+        };
+        let gen2 = run_chaos_session_durable(
+            &mech,
+            &config(),
+            &gen2_session,
+            |_, _| specs.clone(),
+            &CrashPlan::none(),
+            gen1.journal_bytes.clone(),
+            noop_collector(),
+        )
+        .unwrap();
+
+        assert_eq!(gen2.recovered_rounds, 1, "round 0 folded from the journal");
+        assert_eq!(gen2.session.rounds.len(), 2, "rounds 1 and 2 ran live");
+        let r1 = gen2.session.rounds[0].settled().expect("round 1 settles");
+        assert!(r1.excluded[0], "round 1: quarantine restored from journal");
+        assert_eq!(r1.retries, 0, "no budget wasted on a quarantined machine");
+        let r2 = gen2.session.rounds[1].settled().expect("round 2 settles");
+        assert!(!r2.excluded[0], "round 2: re-admitted on schedule");
+        assert!(r2.outcome.rates[0] > 0.0);
+        assert_eq!(gen2.session.readmissions, 1);
+
+        // Exactly-once across generations: machine 0's total is round 1's
+        // nothing plus round 2's payment; the sealed round-0 block is folded
+        // once, not re-run.
+        assert_eq!(
+            gen2.cumulative_payments[0].to_bits(),
+            (r2.outcome.payments[0]).to_bits()
+        );
+    }
+
+    #[test]
+    fn unsealed_final_round_is_resumed_mid_flight() {
+        // Truncate a finished 2-round journal shortly after round 1's
+        // `RoundOpened`: the restarted session must fold round 0 as settled
+        // and resume round 1 from its replayed partial state, landing on the
+        // same outcome as the uninterrupted run.
+        let mech = CompensationBonusMechanism::paper();
+        let specs = specs(3);
+        let session = ChaosSessionConfig::new(2, ChaosConfig::reliable(21));
+        let reference = run_chaos_session_durable(
+            &mech,
+            &config(),
+            &session,
+            |_, _| specs.clone(),
+            &CrashPlan::none(),
+            Vec::new(),
+            noop_collector(),
+        )
+        .unwrap();
+
+        let replay = crate::journal::read_journal(&reference.journal_bytes).unwrap();
+        let opened_round_1 = replay
+            .records
+            .iter()
+            .position(|r| matches!(r, JournalRecord::RoundOpened { round, .. } if round.0 == 1))
+            .expect("round 1 opened");
+        let boundaries = JournalReplay::boundaries(&reference.journal_bytes);
+        // Keep RoundOpened plus the first bid of round 1.
+        let cut = boundaries[opened_round_1 + 2];
+        let resumed = run_chaos_session_durable(
+            &mech,
+            &config(),
+            &session,
+            |_, _| specs.clone(),
+            &CrashPlan::none(),
+            reference.journal_bytes[..cut].to_vec(),
+            noop_collector(),
+        )
+        .unwrap();
+
+        assert_eq!(resumed.recovered_rounds, 1, "round 0 folded as sealed");
+        assert_eq!(resumed.session.rounds.len(), 1, "round 1 resumed live");
+        assert!(resumed.records_replayed >= 2, "partial round 1 replayed");
+        let r1 = resumed.session.rounds[0]
+            .settled()
+            .expect("round 1 settles");
+        let want = reference.session.rounds[1]
+            .settled()
+            .expect("reference round 1 settled");
+        assert_eq!(r1.outcome.payments, want.outcome.payments);
+        assert_eq!(r1.outcome.rates, want.outcome.rates);
+        for i in 0..3 {
+            assert_eq!(
+                resumed.cumulative_payments[i].to_bits(),
+                reference.cumulative_payments[i].to_bits(),
+                "machine {i}"
+            );
+        }
+        assert_sealed_blocks_match(&resumed.journal_bytes, &reference.journal_bytes);
     }
 }

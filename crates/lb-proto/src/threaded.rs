@@ -22,7 +22,7 @@
 //! are byte-identical to the pre-tracing protocol.
 
 use crate::codec::{decode_with_context, encode_with_context, CodecError};
-use crate::coordinator::{Coordinator, CoordinatorPhase};
+use crate::coordinator::{Coordinator, CoordinatorPhase, ProtocolError};
 use crate::message::{Message, RoundId};
 use crate::network::MessageStats;
 use crate::node::{NodeAgent, NodeSpec};
@@ -281,7 +281,9 @@ pub fn run_protocol_round_threaded_sampled<M: VerifiedMechanism + Sync>(
                     let (message, _child): (Message, Option<TraceContext>) =
                         decode_with_context(&frame).map_err(codec_err)?;
                     coordinator.set_now(epoch.elapsed().as_secs_f64());
-                    let outgoing = coordinator.handle(&message, &actual_exec)?;
+                    let outgoing = coordinator
+                        .handle(&message, &actual_exec)
+                        .map_err(ProtocolError::into_mechanism)?;
                     // Stamp after handling: a phase transition re-parents the
                     // wire context onto the freshly opened phase span.
                     let wire = coordinator.wire_context();

@@ -1,0 +1,262 @@
+//! Crash-recovery integration: the durable round journal end to end.
+//!
+//! * a file-backed journal recovered from **every byte prefix** (the CI
+//!   journal-truncation smoke test) finishes the round bit-identically;
+//! * a durable chaos session killed at pseudo-random byte offsets settles
+//!   the same rounds and pays the same totals as an uninterrupted run;
+//! * quarantine state crosses simulated process generations through the
+//!   journal alone.
+
+use lbmv::mechanism::CompensationBonusMechanism;
+use lbmv::proto::{
+    read_journal, recover_round, run_chaos_session_durable, ChaosConfig, ChaosSessionConfig,
+    Coordinator, CoordinatorPhase, CrashPlan, FileJournal, Journal, Message, NodeSpec,
+    ProtocolConfig, RoundContext, RoundId,
+};
+use lbmv::sim::driver::SimulationConfig;
+use lbmv::sim::server::ServiceModel;
+use lbmv::telemetry::noop_collector;
+use std::cell::RefCell;
+use std::fs;
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const RATE: f64 = 9.0;
+const TRUES: [f64; 3] = [1.0, 1.5, 2.0];
+
+fn sim() -> SimulationConfig {
+    SimulationConfig {
+        horizon: 50.0,
+        seed: 42,
+        model: ServiceModel::StationaryDeterministic,
+        workload: Default::default(),
+        warmup: 0.0,
+        estimator: Default::default(),
+    }
+}
+
+fn ctx() -> RoundContext {
+    RoundContext {
+        n: TRUES.len(),
+        total_rate: RATE,
+        round: RoundId(0),
+        sim: sim(),
+    }
+}
+
+/// A collision-free temp path (no tempfile dependency).
+fn temp_wal(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "lbmv-recovery-{}-{}-{}.wal",
+        std::process::id(),
+        tag,
+        unique
+    ))
+}
+
+/// Feeds every missing bid and pending ack until the round settles, then
+/// seals. Mirrors what a reliable driver does after `resume`.
+fn finish(c: &mut Coordinator<'_>) {
+    let round = RoundId(0);
+    c.resume(&TRUES).unwrap();
+    if c.phase() == CoordinatorPhase::CollectingBids {
+        for (m, &value) in TRUES.iter().enumerate() {
+            c.handle(
+                &Message::Bid {
+                    round,
+                    machine: m as u32,
+                    value,
+                },
+                &TRUES,
+            )
+            .unwrap();
+        }
+    }
+    if c.phase() == CoordinatorPhase::Executing {
+        for m in 0..TRUES.len() as u32 {
+            c.handle(&Message::ExecutionDone { round, machine: m }, &TRUES)
+                .unwrap();
+        }
+    }
+    c.seal().unwrap();
+}
+
+/// Drives one journalled round to completion on a fresh file journal and
+/// returns its bytes plus the settled payments.
+fn record_round(path: &PathBuf) -> (Vec<u8>, Vec<f64>, Vec<f64>) {
+    let mech = CompensationBonusMechanism::paper();
+    let journal: Rc<RefCell<dyn Journal>> =
+        Rc::new(RefCell::new(FileJournal::create(path).unwrap()));
+    let mut c = Coordinator::new(&mech, TRUES.len(), RATE, RoundId(0), sim())
+        .with_journal(Rc::clone(&journal));
+    finish(&mut c);
+    let rates: Vec<f64> = (0..TRUES.len())
+        .map(|i| c.allocation().unwrap().rate(i))
+        .collect();
+    let payments = c.payments().unwrap().to_vec();
+    let bytes = journal.borrow().bytes().unwrap();
+    (bytes, rates, payments)
+}
+
+#[test]
+fn file_journal_recovers_from_every_byte_prefix() {
+    let recorded = temp_wal("record");
+    let (bytes, rates, payments) = record_round(&recorded);
+    let mech = CompensationBonusMechanism::paper();
+
+    for cut in 0..=bytes.len() {
+        // Simulate a crash that left only the first `cut` bytes durable.
+        let torn = temp_wal("torn");
+        fs::write(&torn, &bytes[..cut]).unwrap();
+        let (journal, _replay) = FileJournal::open(&torn).unwrap();
+        let journal: Rc<RefCell<dyn Journal>> = Rc::new(RefCell::new(journal));
+        let (mut c, _report) =
+            recover_round(&mech, Rc::clone(&journal), &ctx(), noop_collector(), 0.0)
+                .unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        finish(&mut c);
+        for i in 0..TRUES.len() {
+            assert_eq!(
+                c.allocation().unwrap().rate(i).to_bits(),
+                rates[i].to_bits(),
+                "cut {cut} machine {i}"
+            );
+            assert_eq!(
+                c.payments().unwrap()[i].to_bits(),
+                payments[i].to_bits(),
+                "cut {cut} machine {i}"
+            );
+        }
+        fs::remove_file(&torn).ok();
+    }
+    fs::remove_file(&recorded).ok();
+}
+
+fn protocol_config() -> ProtocolConfig {
+    ProtocolConfig {
+        total_rate: RATE,
+        link_latency: 0.001,
+        simulation: sim(),
+    }
+}
+
+fn specs() -> Vec<NodeSpec> {
+    TRUES.iter().map(|&t| NodeSpec::truthful(t)).collect()
+}
+
+#[test]
+fn durable_session_survives_seeded_crash_storms() {
+    let mech = CompensationBonusMechanism::paper();
+    let session = ChaosSessionConfig::new(3, ChaosConfig::reliable(2));
+    let reference = run_chaos_session_durable(
+        &mech,
+        &protocol_config(),
+        &session,
+        |_, _| specs(),
+        &CrashPlan::none(),
+        Vec::new(),
+        noop_collector(),
+    )
+    .unwrap();
+
+    let max_byte = reference.journal_bytes.len() as u64;
+    for seed in 0..8u64 {
+        let crashed = run_chaos_session_durable(
+            &mech,
+            &protocol_config(),
+            &session,
+            |_, _| specs(),
+            &CrashPlan::seeded(seed, 5, max_byte),
+            Vec::new(),
+            noop_collector(),
+        )
+        .unwrap();
+        assert!(crashed.crashes > 0, "seed {seed}");
+        assert_eq!(
+            crashed.session.rounds.len(),
+            reference.session.rounds.len(),
+            "seed {seed}"
+        );
+        for (r, (c, want)) in crashed
+            .session
+            .rounds
+            .iter()
+            .zip(reference.session.rounds.iter())
+            .enumerate()
+        {
+            assert_eq!(
+                c.settled().unwrap().outcome.payments,
+                want.settled().unwrap().outcome.payments,
+                "seed {seed} round {r}"
+            );
+            assert_eq!(
+                c.settled().unwrap().outcome.rates,
+                want.settled().unwrap().outcome.rates,
+                "seed {seed} round {r}"
+            );
+        }
+        for i in 0..TRUES.len() {
+            assert_eq!(
+                crashed.cumulative_payments[i].to_bits(),
+                reference.cumulative_payments[i].to_bits(),
+                "seed {seed} machine {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn journal_hands_a_session_across_process_generations() {
+    // Generation 1 plays round 0 and "dies"; generation 2 restarts from the
+    // journal bytes, folds round 0 without re-running it, and plays the
+    // remaining rounds — totals match a single uninterrupted session.
+    let mech = CompensationBonusMechanism::paper();
+    let full = ChaosSessionConfig::new(3, ChaosConfig::reliable(2));
+    let uninterrupted = run_chaos_session_durable(
+        &mech,
+        &protocol_config(),
+        &full,
+        |_, _| specs(),
+        &CrashPlan::none(),
+        Vec::new(),
+        noop_collector(),
+    )
+    .unwrap();
+
+    let gen1_cfg = ChaosSessionConfig::new(1, ChaosConfig::reliable(2));
+    let gen1 = run_chaos_session_durable(
+        &mech,
+        &protocol_config(),
+        &gen1_cfg,
+        |_, _| specs(),
+        &CrashPlan::none(),
+        Vec::new(),
+        noop_collector(),
+    )
+    .unwrap();
+    // The handoff journal replays cleanly: one sealed round.
+    let replay = read_journal(&gen1.journal_bytes).unwrap();
+    assert_eq!(replay.truncated_tail, 0);
+
+    let gen2 = run_chaos_session_durable(
+        &mech,
+        &protocol_config(),
+        &full,
+        |_, _| specs(),
+        &CrashPlan::none(),
+        gen1.journal_bytes.clone(),
+        noop_collector(),
+    )
+    .unwrap();
+    assert_eq!(gen2.recovered_rounds, 1);
+    assert_eq!(gen2.session.rounds.len(), 2);
+    for i in 0..TRUES.len() {
+        assert_eq!(
+            gen2.cumulative_payments[i].to_bits(),
+            uninterrupted.cumulative_payments[i].to_bits(),
+            "machine {i}"
+        );
+    }
+}
