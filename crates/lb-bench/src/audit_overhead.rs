@@ -1,0 +1,273 @@
+//! Monitor-overhead study: what the streaming invariant monitor costs on
+//! top of an instrumented settle phase.
+//!
+//! Three arms share one workload (the [`crate::payment_scaling`] truthful
+//! profile) and one event stream shape (the coordinator's settlement
+//! gauges):
+//!
+//! * **off** — allocation and payments computed and the settlement gauges
+//!   emitted into a plain [`RingCollector`]: the per-round coordinator
+//!   compute without a monitor;
+//! * **full** — the same stream routed through an [`InvariantMonitor`]
+//!   with every check on every round ([`Sampler::Always`]);
+//! * **sampled** — drift reference and truthfulness probe admitted once
+//!   every [`SAMPLE_PERIOD`] rounds, the recommended production posture.
+//!
+//! The reported number is median ns **per settled round** (payments +
+//! emission + any monitoring), so `overhead = arm/off − 1` is the fraction
+//! a deployment actually pays. The cheap structural checks (conservation,
+//! feasibility, exclusion, total, floor) run every round in both monitored
+//! arms; only the double-double reference and the counterfactual probes —
+//! the O(n) heavyweights — are sampled.
+//!
+//! ```text
+//! cargo run -p lb-bench --release --bin experiments -- audit-overhead
+//! ```
+
+use lb_audit::{InvariantMonitor, MonitorConfig};
+use lb_mechanism::CompensationBonusMechanism;
+use lb_telemetry::{Collector, EventKind, Json, RingCollector, Sampler, Subsystem, TelemetryEvent};
+use std::borrow::Cow;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::payment_scaling::workload;
+
+/// The `n` grid of the overhead study.
+pub const OVERHEAD_NS: &[usize] = &[64, 1024, 16384];
+
+/// Sampling period of the `sampled` arm: drift + probe once every this
+/// many rounds.
+pub const SAMPLE_PERIOD: u64 = 16;
+
+/// Rounds driven per timing sample — enough for the periodic sampler to
+/// amortise to its steady state.
+pub const ROUNDS_PER_SAMPLE: u64 = 2 * SAMPLE_PERIOD;
+
+/// One measured grid point (all times median ns per settled round).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadRow {
+    /// Number of machines.
+    pub n: usize,
+    /// Baseline: settle + gauge emission, no monitor.
+    pub off_ns: f64,
+    /// Monitor with every check on every round.
+    pub full_ns: f64,
+    /// Monitor with drift/probe sampled at 1/[`SAMPLE_PERIOD`].
+    pub sampled_ns: f64,
+}
+
+impl OverheadRow {
+    /// Fractional overhead of the always-on monitor over the baseline.
+    #[must_use]
+    pub fn full_overhead(&self) -> f64 {
+        self.full_ns / self.off_ns - 1.0
+    }
+
+    /// Fractional overhead of the sampled monitor over the baseline.
+    #[must_use]
+    pub fn sampled_overhead(&self) -> f64 {
+        self.sampled_ns / self.off_ns - 1.0
+    }
+}
+
+fn gauge(collector: &dyn Collector, name: String, value: f64) {
+    collector.record(TelemetryEvent {
+        at: 0.0,
+        name: Cow::Owned(name),
+        cat: Subsystem::Coordinator,
+        kind: EventKind::Gauge { value },
+        fields: Vec::new(),
+    });
+}
+
+/// One settled round of coordinator compute — allocation, payment vector,
+/// and the settlement gauge stream emitted into `collector`. Returns the
+/// payment count as an optimisation sink.
+fn settle_round(
+    collector: &dyn Collector,
+    mech: &CompensationBonusMechanism,
+    values: &[f64],
+    total_rate: f64,
+    round: u64,
+) -> usize {
+    let alloc = lb_core::pr_allocate(values, total_rate).expect("bench workload allocates");
+    let breakdown = mech
+        .payment_breakdown(values, &alloc, values, total_rate)
+        .expect("bench workload settles");
+    let mut total = 0.0;
+    for (i, payment) in breakdown.iter().enumerate() {
+        let paid = payment.total();
+        total += paid;
+        gauge(collector, format!("bid.m{i}"), values[i]);
+        gauge(collector, format!("alloc.rate.m{i}"), alloc.rate(i));
+        gauge(collector, format!("exec.est.m{i}"), values[i]);
+        gauge(collector, format!("excluded.m{i}"), 0.0);
+        gauge(collector, format!("payment.m{i}"), paid);
+    }
+    #[allow(clippy::cast_precision_loss)]
+    gauge(collector, "round.index".to_string(), round as f64);
+    gauge(collector, "round.total_rate".to_string(), total_rate);
+    gauge(collector, "round.payment.total".to_string(), total);
+    breakdown.len()
+}
+
+/// The sampled-arm monitor configuration.
+#[must_use]
+pub fn sampled_config() -> MonitorConfig {
+    MonitorConfig {
+        drift_sampler: Sampler::PerRound(SAMPLE_PERIOD),
+        probe_sampler: Sampler::PerRound(SAMPLE_PERIOD),
+        ..MonitorConfig::default()
+    }
+}
+
+/// Times one batch of [`ROUNDS_PER_SAMPLE`] settled rounds through
+/// `collector`, returning ns per round.
+fn time_batch(
+    collector: &Arc<dyn Collector>,
+    mech: &CompensationBonusMechanism,
+    values: &[f64],
+    r: f64,
+) -> f64 {
+    let start = Instant::now();
+    let mut sink = 0;
+    for round in 0..ROUNDS_PER_SAMPLE {
+        sink += settle_round(collector.as_ref(), mech, values, r, round);
+    }
+    let elapsed = start.elapsed().as_nanos();
+    assert!(sink > 0, "work was optimised away");
+    #[allow(clippy::cast_precision_loss)]
+    {
+        elapsed as f64 / ROUNDS_PER_SAMPLE as f64
+    }
+}
+
+fn ring() -> Arc<RingCollector> {
+    // Large enough to hold one big round; older rounds rotate out, which is
+    // exactly what a live deployment's ring does.
+    Arc::new(RingCollector::new(1 << 18))
+}
+
+/// Measures the grid. `samples` is the per-arm repetition count.
+///
+/// The three arms are interleaved inside every repetition and each arm
+/// reports its *minimum* per-round time, so machine-wide load that drifts
+/// over the run hits all arms alike instead of biasing whichever arm it
+/// overlapped — on a shared box the min is the only stable estimator of
+/// the code's own cost.
+#[must_use]
+pub fn measure(ns: &[usize], samples: usize) -> Vec<OverheadRow> {
+    let mech = CompensationBonusMechanism::paper();
+    ns.iter()
+        .map(|&n| {
+            let (values, _, r) = workload(n);
+            let (mut off, mut full, mut sampled) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            for _ in 0..samples {
+                let plain = ring() as Arc<dyn Collector>;
+                off = off.min(time_batch(&plain, &mech, &values, r));
+                let monitored = Arc::new(InvariantMonitor::new(
+                    ring() as Arc<dyn Collector>,
+                    MonitorConfig::default(),
+                )) as Arc<dyn Collector>;
+                full = full.min(time_batch(&monitored, &mech, &values, r));
+                let amortised = Arc::new(InvariantMonitor::new(
+                    ring() as Arc<dyn Collector>,
+                    sampled_config(),
+                )) as Arc<dyn Collector>;
+                sampled = sampled.min(time_batch(&amortised, &mech, &values, r));
+            }
+            OverheadRow {
+                n,
+                off_ns: off,
+                full_ns: full,
+                sampled_ns: sampled,
+            }
+        })
+        .collect()
+}
+
+/// Renders the human-readable table the `experiments` target prints.
+#[must_use]
+pub fn render_table(rows: &[OverheadRow]) -> String {
+    let mut out = String::from(
+        "     n |     off (µs) |    full (µs) | sampled (µs) |  full ovh | sampled ovh\n",
+    );
+    out.push_str("-------+--------------+--------------+--------------+-----------+------------\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:6} |{:13.1} |{:13.1} |{:13.1} |{:9.1}% |{:10.1}%\n",
+            row.n,
+            row.off_ns / 1e3,
+            row.full_ns / 1e3,
+            row.sampled_ns / 1e3,
+            100.0 * row.full_overhead(),
+            100.0 * row.sampled_overhead(),
+        ));
+    }
+    out
+}
+
+/// The rows as JSON objects for the [`crate::bench_log`] artifact.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn rows_json(rows: &[OverheadRow]) -> Vec<Json> {
+    rows.iter()
+        .map(|row| {
+            Json::obj([
+                ("n", Json::Num(row.n as f64)),
+                ("off_ns", Json::Num(row.off_ns.round())),
+                ("full_ns", Json::Num(row.full_ns.round())),
+                ("sampled_ns", Json::Num(row.sampled_ns.round())),
+                (
+                    "full_overhead",
+                    Json::Num((row.full_overhead() * 1e4).round() / 1e4),
+                ),
+                (
+                    "sampled_overhead",
+                    Json::Num((row.sampled_overhead() * 1e4).round() / 1e4),
+                ),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitored_rounds_are_clean_on_the_bench_workload() {
+        let sink = ring();
+        let monitor = InvariantMonitor::new(sink as Arc<dyn Collector>, MonitorConfig::default());
+        let mech = CompensationBonusMechanism::paper();
+        let (values, _, r) = workload(64);
+        for round in 0..3 {
+            settle_round(&monitor, &mech, &values, r, round);
+        }
+        let stats = monitor.stats();
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.total_violations(), 0, "{stats:?}");
+        assert!(monitor.latest_report().is_some_and(|r| r.ok()));
+    }
+
+    #[test]
+    fn sampled_config_admits_one_round_in_the_period() {
+        let config = sampled_config();
+        let admitted = (0..SAMPLE_PERIOD)
+            .filter(|&r| config.drift_sampler.admits(config.seed, r))
+            .count();
+        assert_eq!(admitted, 1);
+    }
+
+    #[test]
+    fn measure_smoke_reports_finite_positive_times() {
+        let rows = measure(&[16], 1);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert!(row.off_ns > 0.0 && row.full_ns > 0.0 && row.sampled_ns > 0.0);
+        assert!(row.full_overhead().is_finite());
+        let json = rows_json(&rows);
+        assert_eq!(json[0].get("n").and_then(Json::as_u64), Some(16));
+    }
+}

@@ -5,7 +5,13 @@
 //! cargo run -p lb-bench --bin experiments -- fig1
 //! ```
 
-use lb_bench::{figures, payment_scaling};
+use lb_bench::{audit_overhead, bench_log, figures, payment_scaling};
+
+/// Label new `BENCH_*.json` entries are appended under: `BENCH_LABEL` from
+/// the environment, or the stable default for local runs.
+fn bench_label() -> String {
+    std::env::var("BENCH_LABEL").unwrap_or_else(|_| "local".to_string())
+}
 
 fn print_section(title: &str, body: &str) {
     println!("== {title} ==");
@@ -135,8 +141,15 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
                 "Payment scaling: O(n) batch leave-one-out kernel vs legacy O(n²) settle",
                 &payment_scaling::render_table(&rows),
             );
-            std::fs::write("BENCH_payment.json", payment_scaling::to_json(&rows))?;
-            println!("wrote BENCH_payment.json");
+            let label = bench_label();
+            bench_log::append_to_file(
+                "BENCH_payment.json",
+                "payment_scaling",
+                "ns/settle-phase",
+                &label,
+                payment_scaling::rows_json(&rows),
+            )?;
+            println!("appended entry {label:?} to BENCH_payment.json");
         }
         "payment-scaling-smoke" => {
             // CI-sized: small grid, one sample, no artifact rewrite.
@@ -153,6 +166,39 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
                     speedup > 1.0,
                     "batch settle slower than legacy at n = {}: {speedup:.2}x",
                     row.n
+                );
+            }
+        }
+        "audit-overhead" => {
+            let rows = audit_overhead::measure(audit_overhead::OVERHEAD_NS, 5);
+            print_section(
+                "Monitor overhead: settle + gauges, off vs full vs sampled invariant monitor",
+                &audit_overhead::render_table(&rows),
+            );
+            let label = bench_label();
+            bench_log::append_to_file(
+                "BENCH_audit_overhead.json",
+                "audit_overhead",
+                "ns/round",
+                &label,
+                audit_overhead::rows_json(&rows),
+            )?;
+            println!("appended entry {label:?} to BENCH_audit_overhead.json");
+        }
+        "audit-overhead-smoke" => {
+            // CI-sized: small grid, no artifact write. Overhead asserted
+            // only where amortisation makes it stable on a noisy runner.
+            let rows = audit_overhead::measure(&[64, 1024], 3);
+            print_section(
+                "Monitor overhead (smoke): off vs full vs sampled",
+                &audit_overhead::render_table(&rows),
+            );
+            for row in rows.iter().filter(|row| row.n >= 1024) {
+                assert!(
+                    row.sampled_overhead() < 0.5,
+                    "sampled monitor overhead at n = {} is {:.1}%",
+                    row.n,
+                    100.0 * row.sampled_overhead()
                 );
             }
         }
@@ -191,7 +237,7 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
         other => {
             eprintln!("unknown target '{other}'");
             eprintln!(
-                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry payment-scaling payment-scaling-smoke all"
+                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry payment-scaling payment-scaling-smoke audit-overhead audit-overhead-smoke all"
             );
             std::process::exit(2);
         }

@@ -188,8 +188,69 @@ fn render(events: &[TelemetryEvent], source_label: &str) -> String {
     }
 
     render_machines(&mut out, &snapshot);
+    render_verification(&mut out, &snapshot);
+    render_durability(&mut out, &snapshot);
     render_metrics(&mut out, &snapshot);
     out
+}
+
+/// The verification panel: per-invariant pass/fail from the
+/// `audit.check.*` gauges the `lb-audit` monitor re-emits, plus the
+/// headline margin/drift gauges and per-check violation counters.
+fn render_verification(out: &mut String, snapshot: &MetricsSnapshot) {
+    let mut checks: Vec<(&str, f64)> = snapshot
+        .gauges
+        .iter()
+        .filter_map(|(name, value)| name.strip_prefix("audit.check.").map(|c| (c, *value)))
+        .collect();
+    if checks.is_empty() {
+        return;
+    }
+    checks.sort_by_key(|(name, _)| *name);
+    let rounds = snapshot
+        .counters
+        .iter()
+        .find(|(name, _)| name == "audit.rounds")
+        .map_or(0, |(_, v)| *v);
+    out.push_str(&format!("\nVERIFICATION ({rounds} rounds audited)\n"));
+    for (name, value) in checks {
+        let verdict = if value == 1.0 { "ok" } else { "VIOLATED" };
+        let marker = if value == 1.0 { "#" } else { "!" };
+        out.push_str(&format!("  {marker} audit.check.{name:<14} {verdict}\n"));
+    }
+    for gauge in ["audit.margin.last", "audit.margin.min", "audit.drift.max"] {
+        if let Some(value) = snapshot
+            .gauges
+            .iter()
+            .find(|(name, _)| name == gauge)
+            .map(|(_, v)| *v)
+        {
+            out.push_str(&format!("    {gauge:<22} {value:>14.6e}\n"));
+        }
+    }
+    for (name, count) in &snapshot.counters {
+        if let Some(check) = name.strip_prefix("audit.violation.") {
+            out.push_str(&format!("    violations[{check}]: {count}\n"));
+        }
+    }
+}
+
+/// The durability panel: the crash-recovery gauges a durable session
+/// exports (`durable.crashes`, `durable.recovered_rounds`, …).
+fn render_durability(out: &mut String, snapshot: &MetricsSnapshot) {
+    let mut rows: Vec<(&str, f64)> = snapshot
+        .gauges
+        .iter()
+        .filter_map(|(name, value)| name.strip_prefix("durable.").map(|c| (c, *value)))
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_by_key(|(name, _)| *name);
+    out.push_str("\nDURABILITY\n");
+    for (name, value) in rows {
+        out.push_str(&format!("  durable.{name:<24} {value:>12.0}\n"));
+    }
 }
 
 fn render_machines(out: &mut String, snapshot: &MetricsSnapshot) {
@@ -323,6 +384,13 @@ mod tests {
             "phase.settle",
             "MACHINES",
             "total payment:",
+            "VERIFICATION (1 rounds audited)",
+            "audit.check.conservation",
+            "audit.margin.min",
+            "violations[drift]: 1",
+            "DURABILITY",
+            "durable.crashes",
+            "durable.truncated_tail_bytes",
             "COUNTERS",
             "net.messages",
             "HISTOGRAMS",
@@ -330,6 +398,24 @@ mod tests {
         ] {
             assert!(frame.contains(needle), "missing {needle:?} in:\n{frame}");
         }
+    }
+
+    #[test]
+    fn verification_panel_marks_failed_checks() {
+        let events = from_jsonl(FIXTURE).expect("fixture parses");
+        let frame = render(&events, "fixture");
+        // The fixture's drift check is violated, every other check passes.
+        assert!(frame.contains("! audit.check.drift"), "{frame}");
+        assert!(frame.contains("VIOLATED"), "{frame}");
+        assert!(frame.contains("# audit.check.conservation"), "{frame}");
+        // Panels are absent entirely when a recording has no audit events.
+        let plain: Vec<TelemetryEvent> = events
+            .into_iter()
+            .filter(|e| !e.name.starts_with("audit.") && !e.name.starts_with("durable."))
+            .collect();
+        let frame = render(&plain, "fixture");
+        assert!(!frame.contains("VERIFICATION"), "{frame}");
+        assert!(!frame.contains("DURABILITY"), "{frame}");
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //!   (message counts, ablations).
 //! * [`tables`] — fixed-width ASCII table rendering for the `experiments`
 //!   binary.
+//! * [`bench_log`] — the append-only schema for the checked-in
+//!   `BENCH_*.json` artifacts.
+//! * [`audit_overhead`] — cost of the streaming invariant monitor
+//!   (off / full / sampled) on the settle phase.
 //!
 //! The `experiments` binary prints the same rows/series the paper reports:
 //!
@@ -14,6 +18,8 @@
 //! cargo run -p lb-bench --bin experiments -- all
 //! ```
 
+pub mod audit_overhead;
+pub mod bench_log;
 pub mod chart;
 pub mod figures;
 pub mod paper;

@@ -154,6 +154,31 @@ pub fn to_json(rows: &[ScalingRow]) -> String {
     out
 }
 
+/// The rows as JSON objects for the [`crate::bench_log`] artifact (the
+/// append-aware successor of [`to_json`]'s whole-file form).
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn rows_json(rows: &[ScalingRow]) -> Vec<lb_telemetry::Json> {
+    use lb_telemetry::Json;
+    rows.iter()
+        .map(|row| {
+            Json::obj([
+                ("n", Json::Num(row.n as f64)),
+                ("batch_ns", Json::Num(row.batch_ns.round())),
+                (
+                    "legacy_ns",
+                    row.legacy_ns.map_or(Json::Null, |v| Json::Num(v.round())),
+                ),
+                (
+                    "speedup",
+                    row.speedup
+                        .map_or(Json::Null, |v| Json::Num((v * 10.0).round() / 10.0)),
+                ),
+            ])
+        })
+        .collect()
+}
+
 /// Renders the human-readable table the `experiments` target prints.
 #[must_use]
 pub fn render_table(rows: &[ScalingRow]) -> String {

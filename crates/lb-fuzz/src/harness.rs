@@ -26,7 +26,8 @@ pub struct Oracle {
     pub run: fn(u64) -> Result<(), String>,
 }
 
-/// The six differential oracles, in dependency order (pure kernels first).
+/// The seven differential oracles, in dependency order (pure kernels
+/// first).
 #[must_use]
 pub fn registry() -> &'static [Oracle] {
     const ORACLES: &[Oracle] = &[
@@ -59,6 +60,12 @@ pub fn registry() -> &'static [Oracle] {
             name: "recovery",
             description: "crash/recover at every journal boundary vs. uninterrupted round",
             run: oracles::recovery::check,
+        },
+        Oracle {
+            name: "audit",
+            description:
+                "invariant monitor + ledger chain catch injected corruption, no false alarms",
+            run: oracles::audit::check,
         },
     ];
     ORACLES
@@ -226,7 +233,8 @@ mod tests {
                 "codec",
                 "session",
                 "telemetry",
-                "recovery"
+                "recovery",
+                "audit"
             ]
         );
     }

@@ -9,7 +9,7 @@
 //! oracle compares a production kernel against an independent reference
 //! that cannot share its bugs.
 //!
-//! The six oracles (see [`harness::registry`]):
+//! The seven oracles (see [`harness::registry`]):
 //!
 //! * `alloc` — the PR closed form ([Theorem 2.1]) vs. the KKT bisection
 //!   solver vs. a double-double reference, on spreads up to 10¹².
@@ -26,6 +26,10 @@
 //! * `recovery` — crash the journalled coordinator at every record
 //!   boundary (plus random torn-write byte offsets), recover, finish the
 //!   round, and demand a bit-identical outcome to the uninterrupted run.
+//! * `audit` — the verification-observability stack both ways: a clean
+//!   round raises no monitor violations and verifies an intact ledger,
+//!   while an injected skimmed payment, a CRC-fixed journal byte flip and
+//!   a violated Theorem 3.2 floor must each be flagged.
 //!
 //! Run from the workspace root:
 //!

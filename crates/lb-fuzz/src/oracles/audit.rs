@@ -1,0 +1,319 @@
+//! Audit oracle: the verification-observability stack against injected
+//! corruption.
+//!
+//! One iteration drives a random journalled round with an
+//! [`InvariantMonitor`] attached as the coordinator's collector and checks
+//! both directions of the detection contract:
+//!
+//! * **No false positives.** The clean round must produce zero monitor
+//!   violations and an intact ledger verdict — a monitor that cries wolf
+//!   on honest rounds is as useless as one that misses theft.
+//! * **No false negatives.** Three corruptions are then injected, and each
+//!   must be flagged:
+//!   1. a *skimmed payment* — one respondent's settlement gauge perturbed
+//!      (with `round.payment.total` adjusted so the aggregate still
+//!      balances) — caught by the double-double drift reference;
+//!   2. a *tampered journal* — a random byte flipped in a pre-seal record
+//!      with the frame CRC recomputed, the edit the per-record checksum
+//!      cannot see — caught by the ledger hash chain;
+//!   3. a *violated utility floor* — a consistent synthetic round with one
+//!      respondent underpaid past its Theorem 3.2 floor — caught by the
+//!      floor check.
+
+use crate::generate::{latency_values, node_specs, rng_for, spread_half_width};
+use lb_audit::{verify_ledger, InvariantMonitor, MonitorConfig};
+use lb_mechanism::{run_mechanism, CompensationBonusMechanism, Profile};
+use lb_proto::journal::{crc32, JournalRecord};
+use lb_proto::{
+    decode, Coordinator, CoordinatorPhase, Journal, JournalReplay, MemJournal, Message, NodeSpec,
+    RoundId,
+};
+use lb_sim::driver::SimulationConfig;
+use lb_sim::server::ServiceModel;
+use lb_stats::Rng;
+use lb_telemetry::{noop_collector, Collector, EventKind, Subsystem, TelemetryEvent};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+fn sim_config(seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        horizon: 50.0,
+        seed,
+        model: ServiceModel::StationaryDeterministic,
+        workload: Default::default(),
+        warmup: 0.0,
+        estimator: lb_sim::estimator::EstimatorConfig::default(),
+    }
+}
+
+/// Drives one journalled round to seal, like the session driver would.
+fn drive(
+    c: &mut Coordinator<'_>,
+    specs: &[NodeSpec],
+    actual: &[f64],
+    round: RoundId,
+) -> Result<(), String> {
+    let n = specs.len();
+    let mut pending: Vec<(u32, Message)> = (0..n)
+        .map(|i| {
+            #[allow(clippy::cast_possible_truncation)]
+            let machine = i as u32;
+            (machine, Message::RequestBid { round })
+        })
+        .collect();
+    loop {
+        let mut next = Vec::new();
+        for (machine, message) in pending {
+            let i = machine as usize;
+            let reply = match message {
+                Message::RequestBid { .. } => Some(Message::Bid {
+                    round,
+                    machine,
+                    value: specs[i].bid,
+                }),
+                Message::Assign { .. } => Some(Message::ExecutionDone { round, machine }),
+                _ => None,
+            };
+            if let Some(reply) = reply {
+                next.extend(
+                    c.handle(&reply, actual)
+                        .map_err(|e| format!("handle: {e}"))?,
+                );
+            }
+        }
+        if next.is_empty() {
+            match c.phase() {
+                CoordinatorPhase::CollectingBids => {
+                    next = c
+                        .close_bidding(actual)
+                        .map_err(|e| format!("close_bidding: {e}"))?;
+                }
+                CoordinatorPhase::Executing => {
+                    next = c
+                        .close_execution()
+                        .map_err(|e| format!("close_execution: {e}"))?;
+                }
+                _ => break,
+            }
+        }
+        pending = next;
+    }
+    c.seal().map_err(|e| format!("seal: {e}"))
+}
+
+/// The settlement gauge stream of one recorded round, in emission order.
+fn settlement_gauges(events: &[TelemetryEvent]) -> Vec<(String, f64)> {
+    events
+        .iter()
+        .filter(|e| e.cat == Subsystem::Coordinator)
+        .filter_map(|e| match e.kind {
+            EventKind::Gauge { value } => Some((e.name.to_string(), value)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Replays a (possibly tampered) gauge stream into a fresh monitor and
+/// returns its verdict on the single round it sees.
+fn replay_into_monitor(gauges: &[(String, f64)]) -> Result<lb_audit::MonitorReport, String> {
+    let monitor = InvariantMonitor::new(noop_collector(), MonitorConfig::default());
+    for (name, value) in gauges {
+        monitor.record(TelemetryEvent {
+            at: 0.0,
+            name: std::borrow::Cow::Owned(name.clone()),
+            cat: Subsystem::Coordinator,
+            kind: EventKind::Gauge { value: *value },
+            fields: Vec::new(),
+        });
+    }
+    monitor
+        .latest_report()
+        .ok_or_else(|| "replayed stream completed no round".to_string())
+}
+
+/// Runs one audit-oracle iteration.
+///
+/// # Errors
+/// Returns a description of the first missed corruption or false alarm.
+pub fn check(seed: u64) -> Result<(), String> {
+    let mut rng = rng_for(seed);
+    #[allow(clippy::cast_possible_truncation)]
+    let n = 3 + rng.next_below(5) as usize;
+    let specs = node_specs(&mut rng, n);
+    let total_rate = rng.next_range(1.0, 50.0);
+    let sim = sim_config(rng.next_u64());
+    let round = RoundId(0);
+    let actual: Vec<f64> = specs.iter().map(|s| s.exec_value).collect();
+    let mech = CompensationBonusMechanism::paper();
+
+    // Clean journalled round, observed live by the monitor.
+    let journal = Rc::new(RefCell::new(MemJournal::new()));
+    let ring = Arc::new(lb_telemetry::RingCollector::new(8192));
+    let monitor = Arc::new(InvariantMonitor::new(
+        ring.clone() as Arc<dyn Collector>,
+        MonitorConfig::default(),
+    ));
+    {
+        let mut c = Coordinator::new(&mech, n, total_rate, round, sim)
+            .with_journal(Rc::clone(&journal) as Rc<RefCell<dyn Journal>>)
+            .with_collector(monitor.clone() as Arc<dyn Collector>);
+        drive(&mut c, &specs, &actual, round)?;
+    }
+
+    // 1. No false positives: the honest round is clean end to end.
+    let report = monitor.latest_report().ok_or("monitor observed no round")?;
+    if !report.ok() {
+        return Err(format!(
+            "false positive on a clean round: {:?}",
+            report.violations
+        ));
+    }
+    let stats = monitor.stats();
+    if stats.rounds != 1 || stats.total_violations() != 0 {
+        return Err(format!("clean-run stats polluted: {stats:?}"));
+    }
+    let bytes = journal
+        .borrow()
+        .bytes()
+        .map_err(|e| format!("journal bytes: {e}"))?;
+    let verdict = verify_ledger(&bytes);
+    if !verdict.is_intact() || verdict.seals == 0 {
+        return Err(format!("clean journal fails verification: {verdict:?}"));
+    }
+
+    // 2a. Skimmed payment: perturb one respondent's payment gauge, patch
+    // the emitted total so the aggregate check stays green — the drift
+    // reference must still catch it.
+    let gauges = settlement_gauges(&ring.snapshot());
+    let respondent = gauges
+        .iter()
+        .find_map(|(name, value)| {
+            let i: usize = name.strip_prefix("excluded.m")?.parse().ok()?;
+            (*value == 0.0).then_some(i)
+        })
+        .ok_or("round settled with no respondents")?;
+    let payment_name = format!("payment.m{respondent}");
+    let paid = gauges
+        .iter()
+        .find(|(name, _)| *name == payment_name)
+        .map(|(_, v)| *v)
+        .ok_or("respondent has no payment gauge")?;
+    let skim = (0.01 + rng.next_range(0.0, 0.5)) * (1.0 + paid.abs());
+    let skimmed = replay_into_monitor(
+        &gauges
+            .iter()
+            .map(|(name, value)| {
+                let tampered = if *name == payment_name {
+                    value - skim
+                } else if name == "round.payment.total" {
+                    value - skim
+                } else {
+                    *value
+                };
+                (name.clone(), tampered)
+            })
+            .collect::<Vec<_>>(),
+    )?;
+    if skimmed.ok() {
+        return Err(format!(
+            "skimmed payment (machine {respondent}, −{skim:e}) went undetected"
+        ));
+    }
+    if skimmed.check("drift").is_none_or(|c| c.ok) {
+        return Err(format!(
+            "skimmed payment not caught by the drift reference: {skimmed:?}"
+        ));
+    }
+
+    // 2b. Tampered journal: flip a byte in a random pre-seal record and
+    // recompute the frame CRC. The per-record checksum now passes; only
+    // the hash chain can notice.
+    let boundaries = JournalReplay::boundaries(&bytes);
+    let seal_index = (0..boundaries.len() - 1)
+        .find(|&i| {
+            matches!(
+                decode::<JournalRecord>(&bytes[boundaries[i] + 8..boundaries[i + 1]]),
+                Ok(JournalRecord::LedgerSealed { .. })
+            )
+        })
+        .ok_or("journal has no seal record")?;
+    #[allow(clippy::cast_possible_truncation)]
+    let victim = rng.next_below(seal_index as u64) as usize;
+    let (start, end) = (boundaries[victim], boundaries[victim + 1]);
+    let mut tampered = bytes.clone();
+    #[allow(clippy::cast_possible_truncation)]
+    let pos = start + 8 + rng.next_below((end - start - 8) as u64) as usize;
+    tampered[pos] ^= 1 << rng.next_below(8);
+    let crc = crc32(&tampered[start + 8..end]).to_le_bytes();
+    tampered[start + 4..start + 8].copy_from_slice(&crc);
+    let tampered_verdict = verify_ledger(&tampered);
+    if tampered_verdict.is_intact() {
+        return Err(format!(
+            "CRC-fixed byte flip in record {victim} (offset {pos}) went undetected: \
+             {tampered_verdict:?}"
+        ));
+    }
+    if verify_ledger(&bytes).head != verdict.head {
+        return Err("ledger verification is not deterministic".to_string());
+    }
+
+    // 2c. Violated floor: a consistent synthetic round (execution values
+    // equal to bids, so Theorem 3.2 applies observably) with one machine
+    // underpaid below its floor.
+    #[allow(clippy::cast_possible_truncation)]
+    let m = 2 + rng.next_below(6) as usize;
+    let values = latency_values(&mut rng, m, spread_half_width(&mut rng));
+    let synth_rate = rng.next_range(1.0, 50.0);
+    let profile = Profile::new(values.clone(), values.clone(), values.clone(), synth_rate)
+        .map_err(|e| format!("synthetic profile: {e}"))?;
+    let out = run_mechanism(&mech, &profile).map_err(|e| format!("synthetic round: {e}"))?;
+    #[allow(clippy::cast_possible_truncation)]
+    let victim = rng.next_below(m as u64) as usize;
+    let mut floor_gauges = Vec::new();
+    // Steal more than the whole payment scale: the floor tolerance is
+    // relative to Σ|P_i|, so the theft must dominate it even on 10¹²
+    // magnitude spreads.
+    let theft = 10.0 * (1.0 + out.payments.iter().map(|p| p.abs()).sum::<f64>());
+    for i in 0..m {
+        let paid = if i == victim {
+            out.payments[i] - theft
+        } else {
+            out.payments[i]
+        };
+        floor_gauges.push((format!("bid.m{i}"), values[i]));
+        floor_gauges.push((format!("alloc.rate.m{i}"), out.allocation.rate(i)));
+        floor_gauges.push((format!("exec.est.m{i}"), values[i]));
+        floor_gauges.push((format!("excluded.m{i}"), 0.0));
+        floor_gauges.push((format!("payment.m{i}"), paid));
+    }
+    floor_gauges.push(("round.index".to_string(), 0.0));
+    floor_gauges.push(("round.total_rate".to_string(), synth_rate));
+    floor_gauges.push((
+        "round.payment.total".to_string(),
+        out.payments.iter().sum::<f64>() - theft,
+    ));
+    let floored = replay_into_monitor(&floor_gauges)?;
+    if !floored.consistent {
+        return Err("synthetic round should read as consistent".to_string());
+    }
+    if floored.check("floor").is_none_or(|c| c.ok) {
+        return Err(format!(
+            "underpaid machine {victim} (−{theft:e}) not caught by the floor check: {floored:?}"
+        ));
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_for_a_small_seed_sample() {
+        for seed in 0..25 {
+            check(seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! `Err` and contained panics as findings.
 
 pub mod alloc;
+pub mod audit;
 pub mod codec;
 pub mod payment;
 pub mod recovery;

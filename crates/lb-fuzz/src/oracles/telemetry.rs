@@ -33,13 +33,14 @@ use std::borrow::Cow;
 const EXACT_INT_BOUND: u64 = 1 << 53;
 
 fn subsystem(rng: &mut Xoshiro256StarStar) -> Subsystem {
-    match rng.next_below(7) {
+    match rng.next_below(8) {
         0 => Subsystem::Coordinator,
         1 => Subsystem::Network,
         2 => Subsystem::Chaos,
         3 => Subsystem::Session,
         4 => Subsystem::Node,
         5 => Subsystem::Sim,
+        6 => Subsystem::Audit,
         _ => Subsystem::Bench,
     }
 }

@@ -36,6 +36,9 @@
 //!   families (M/M/1 included) through the KKT solver.
 //! * [`fee`] — budget reduction via own-bid-independent participation fees
 //!   (exactly strategyproofness-preserving).
+//! * [`probe`] — counterfactual bid probes (utility under a perturbed bid,
+//!   everything else as observed) backing the streaming truthfulness-margin
+//!   monitor in `lb-audit`.
 //! * [`properties`] — empirical truthfulness / voluntary-participation /
 //!   dominant-strategy checkers used by tests and the experiment harness.
 //! * [`metrics`] — frugality and degradation metrics (Figure 6), plus
@@ -47,6 +50,7 @@ pub mod error;
 pub mod fee;
 pub mod general;
 pub mod metrics;
+pub mod probe;
 pub mod profile;
 pub mod properties;
 pub mod quad;
@@ -59,6 +63,7 @@ pub use error::MechanismError;
 pub use fee::FeeAdjusted;
 pub use general::{GeneralizedCompensationBonus, LatencyFamily, LinearFamily, Mm1Family};
 pub use metrics::{degradation, frugality_ratio};
+pub use probe::{truthfulness_probe, utility_with_bid, CounterfactualProbe};
 pub use profile::Profile;
 pub use properties::{
     dominant_strategy_check, truthfulness_scan, voluntary_participation_scan, DeviationGrid,

@@ -815,6 +815,11 @@ impl ChaosRuntime {
             coordinator.set_now(now.seconds());
             coordinator.seal()?;
         }
+        // A round recovered *after* its settle re-opened telemetry spans for
+        // this generation (so its re-emitted settlement gauges parent
+        // cleanly) but has no settle() call left to close them; close here.
+        // No-op when settle already ended the round's telemetry.
+        coordinator.end_telemetry();
 
         let payments = coordinator.payments().expect("settled").to_vec();
         let estimated = coordinator

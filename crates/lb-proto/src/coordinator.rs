@@ -19,7 +19,9 @@
 //! [`Coordinator::close_execution`] settles from the coordinator's own
 //! measurements, which is all the payment needs.
 
-use crate::journal::{ExclusionReason, Journal, JournalError, JournalRecord};
+use crate::journal::{
+    encode_record, ExclusionReason, Journal, JournalError, JournalRecord, LedgerChain,
+};
 use crate::message::{Message, RoundId};
 use crate::trace::{Anomaly, AnomalyStats};
 use lb_core::{Allocation, CoreError};
@@ -166,6 +168,11 @@ pub struct Coordinator<'m> {
     /// Whether this round's `RoundOpened` record is already in the journal
     /// (written lazily on the first append, or inherited via replay).
     journal_opened: bool,
+    /// Tamper-evidence hash chain over the journal's framed bytes. Rebuilt
+    /// lazily from the journal's current content on the first append (so it
+    /// covers records inherited from earlier rounds and generations), then
+    /// maintained incrementally; `None` until then.
+    ledger: RefCell<Option<LedgerChain>>,
     /// Whether `RoundSealed` has been journalled: the round will never emit
     /// again, so a replayed settle fan-out is a no-op.
     sealed: bool,
@@ -228,6 +235,7 @@ impl<'m> Coordinator<'m> {
             anomalies: AnomalyStats::default(),
             journal: None,
             journal_opened: false,
+            ledger: RefCell::new(None),
             sealed: false,
             collector: noop_collector(),
             now: Cell::new(0.0),
@@ -316,17 +324,57 @@ impl<'m> Coordinator<'m> {
         let Some(journal) = self.journal.clone() else {
             return Ok(());
         };
+        self.ensure_ledger(&journal)?;
         let mut journal = journal.borrow_mut();
         if !self.journal_opened {
-            journal.append(&JournalRecord::RoundOpened {
+            let opened = JournalRecord::RoundOpened {
                 round: self.round,
                 n: u32::try_from(self.bids.len()).expect("node count fits u32"),
                 total_rate: self.total_rate,
-            })?;
+            };
+            journal.append(&opened)?;
             self.journal_opened = true;
+            self.ledger_absorb(&opened);
         }
         journal.append(&record)?;
+        self.ledger_absorb(&record);
         Ok(())
+    }
+
+    /// Positions the ledger chain over the journal's current bytes, once.
+    /// Lazy so that a journal inherited from earlier rounds or a previous
+    /// process generation is folded in before this round's first append.
+    fn ensure_ledger(&self, journal: &Rc<RefCell<dyn Journal>>) -> Result<(), ProtocolError> {
+        if self.ledger.borrow().is_some() {
+            return Ok(());
+        }
+        let bytes = journal.borrow().bytes()?;
+        *self.ledger.borrow_mut() = Some(LedgerChain::replay(&bytes));
+        Ok(())
+    }
+
+    /// Folds a just-appended record's frame into the ledger chain. Called
+    /// only after the backend accepted the append — a torn (crashed) write
+    /// never advances the chain; the next generation rebuilds it from the
+    /// surviving bytes.
+    fn ledger_absorb(&self, record: &JournalRecord) {
+        if let Ok(frame) = encode_record(record) {
+            if let Some(chain) = self.ledger.borrow_mut().as_mut() {
+                chain.absorb_frame(&frame);
+            }
+        }
+    }
+
+    /// The current head of the tamper-evidence ledger chain, covering every
+    /// framed byte in the attached journal. `None` without a journal (or if
+    /// the journal's bytes cannot be read). This is the digest `seal` writes
+    /// into [`JournalRecord::LedgerSealed`] and the value the `/health`
+    /// endpoint publishes as the external trust anchor.
+    #[must_use]
+    pub fn ledger_head(&self) -> Option<u64> {
+        let journal = self.journal.clone()?;
+        self.ensure_ledger(&journal).ok()?;
+        self.ledger.borrow().as_ref().map(LedgerChain::head)
     }
 
     /// Flushes the journal at a commit point (fsync for file backends).
@@ -847,30 +895,6 @@ impl<'m> Coordinator<'m> {
             payments: payments.clone(),
         })?;
         self.journal_commit()?;
-        if self.collector.enabled() {
-            // Per-machine settlement gauges for live dashboards (`lb-top`):
-            // dynamic names, so they bypass the `&'static str` conveniences.
-            let at = self.now.get();
-            let gauge = |name: String, value: f64| {
-                self.collector.record(TelemetryEvent {
-                    at,
-                    name: Cow::Owned(name),
-                    cat: Subsystem::Coordinator,
-                    kind: EventKind::Gauge { value },
-                    fields: Vec::new(),
-                });
-            };
-            for (i, &p) in payments.iter().enumerate() {
-                gauge(format!("alloc.rate.m{i}"), full_rates[i]);
-                gauge(format!("payment.m{i}"), p);
-            }
-            self.collector.gauge(
-                at,
-                "round.payment.total",
-                Subsystem::Coordinator,
-                payments.iter().sum(),
-            );
-        }
         let out = respondents
             .iter()
             .map(|&i| {
@@ -884,10 +908,74 @@ impl<'m> Coordinator<'m> {
             })
             .collect();
         self.payments = Some(payments);
+        self.emit_settlement_gauges();
         self.phase = CoordinatorPhase::Done;
         self.switch_phase_span(None, Vec::new());
         self.end_telemetry();
         Ok(out)
+    }
+
+    /// Emits the end-of-round settlement gauges: per-machine bid, allocated
+    /// rate, execution estimate, exclusion flag and payment, then the
+    /// round-scope `round.index` / `round.total_rate` gauges, with
+    /// `round.payment.total` strictly last — streaming monitors (lb-audit's
+    /// `InvariantMonitor`) treat it as the end-of-round trigger and check the
+    /// whole observation when it arrives. Per-machine names are dynamic, so
+    /// they bypass the `&'static str` conveniences. A no-op without an
+    /// enabled collector (observation inertness) or before settlement state
+    /// exists. Called from `settle`, and again from [`Coordinator::resume`]
+    /// when a recovered round is already settled, so monitors attached to
+    /// the new process generation still observe the round.
+    fn emit_settlement_gauges(&self) {
+        if !self.collector.enabled() {
+            return;
+        }
+        let (Some(allocation), Some(estimates), Some(payments)) = (
+            self.allocation.as_ref(),
+            self.estimated_exec.as_ref(),
+            self.payments.as_ref(),
+        ) else {
+            return;
+        };
+        let at = self.now.get();
+        let gauge = |name: String, value: f64| {
+            self.collector.record(TelemetryEvent {
+                at,
+                name: Cow::Owned(name),
+                cat: Subsystem::Coordinator,
+                kind: EventKind::Gauge { value },
+                fields: Vec::new(),
+            });
+        };
+        for (i, &p) in payments.iter().enumerate() {
+            gauge(format!("bid.m{i}"), self.bids[i].unwrap_or(0.0));
+            gauge(format!("alloc.rate.m{i}"), allocation.rate(i));
+            gauge(format!("exec.est.m{i}"), estimates[i]);
+            gauge(
+                format!("excluded.m{i}"),
+                if self.excluded[i] { 1.0 } else { 0.0 },
+            );
+            gauge(format!("payment.m{i}"), p);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        self.collector.gauge(
+            at,
+            "round.index",
+            Subsystem::Coordinator,
+            self.round.0 as f64,
+        );
+        self.collector.gauge(
+            at,
+            "round.total_rate",
+            Subsystem::Coordinator,
+            self.total_rate,
+        );
+        self.collector.gauge(
+            at,
+            "round.payment.total",
+            Subsystem::Coordinator,
+            payments.iter().sum(),
+        );
     }
 
     /// Seals the round: journals `RoundSealed` and commits, marking that
@@ -909,6 +997,15 @@ impl<'m> Coordinator<'m> {
                 expected: CoordinatorPhase::Done,
                 actual: self.phase,
             });
+        }
+        if self.journal.is_some() {
+            // Tamper-evidence seal first: its digest covers every framed
+            // byte written so far (this round's records included), then the
+            // seal record itself joins the chain for the next round.
+            let digest = self.ledger_head().ok_or(ProtocolError::MissingState {
+                what: "ledger chain head",
+            })?;
+            self.journal_append(JournalRecord::LedgerSealed { digest })?;
         }
         self.journal_append(JournalRecord::RoundSealed)?;
         self.journal_commit()?;
@@ -1000,6 +1097,12 @@ impl<'m> Coordinator<'m> {
                 }
                 self.sealed = true;
             }
+            JournalRecord::LedgerSealed { .. } => {
+                // Tamper-evidence seal: carries no round state. Its digest is
+                // checked offline by `lb_audit::verify_ledger`, not during
+                // recovery (recovery trusts the CRC framing; an auditor does
+                // not have to).
+            }
         }
         Ok(())
     }
@@ -1065,6 +1168,11 @@ impl<'m> Coordinator<'m> {
                 if self.sealed {
                     return Ok(Vec::new());
                 }
+                // The dead generation emitted its settlement gauges into a
+                // collector that died with it; re-emit here so a monitor
+                // attached to this generation observes the recovered round.
+                self.ensure_round_span();
+                self.emit_settlement_gauges();
                 let payments = self.payments.as_ref().ok_or(ProtocolError::MissingState {
                     what: "payment ledger",
                 })?;

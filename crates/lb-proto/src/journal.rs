@@ -102,6 +102,16 @@ pub enum JournalRecord {
     /// The payment fan-out was handed to the network; the round is finished
     /// and will never emit again.
     RoundSealed,
+    /// Tamper-evidence seal: the [`LedgerChain`] head computed over every
+    /// framed journal byte written before this record. Appended by
+    /// `Coordinator::seal` immediately before [`JournalRecord::RoundSealed`];
+    /// an auditor replaying the journal recomputes the chain and compares —
+    /// see `lb_audit::verify_ledger`. Kept at the end of the enum so journals
+    /// written before this variant existed still decode.
+    LedgerSealed {
+        /// Chain head digest at the moment of sealing.
+        digest: u64,
+    },
 }
 
 /// Errors from journal backends and replay.
@@ -170,6 +180,103 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// Upper bound on a single record's payload; a length prefix beyond this is
 /// treated as garbage (torn tail), bounding allocation during replay.
 pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// FNV-1a over `bytes`, 64-bit.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finaliser: a full-avalanche 64-bit mix.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Tamper-evident hash chain over the journal's framed record bytes.
+///
+/// Each framed record (header + checksum + payload, exactly as it sits on
+/// disk) is folded into a running 64-bit head:
+///
+/// ```text
+/// head' = mix64(head ^ fnv1a64(frame) ^ frame.len())
+/// ```
+///
+/// so the head after record `k` commits to every byte of records `0..=k`
+/// *and their order*. `Coordinator::seal` writes the current head into a
+/// [`JournalRecord::LedgerSealed`] record (which is itself then absorbed, so
+/// the chain stays continuous across rounds and process generations), and
+/// `lb_audit::verify_ledger` replays the chain to localise the first
+/// divergent record.
+///
+/// This is an FNV/SplitMix construction, **not** a cryptographic hash: it
+/// makes accidental corruption and casual tampering evident (any byte flip,
+/// record drop, reorder or splice changes the head with full avalanche), but
+/// an adversary who can rewrite the whole journal can recompute the seals.
+/// External trust therefore comes from exporting the head digest out-of-band
+/// — the `/health` endpoint publishes it live precisely so a scrape archive
+/// pins the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerChain {
+    head: u64,
+}
+
+impl LedgerChain {
+    /// Chain seed ("lbmv ldg 1" as a number): the head of the empty journal.
+    pub const SEED: u64 = 0x6c62_6d76_6c64_6731;
+
+    /// A chain positioned at the start of an empty journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { head: Self::SEED }
+    }
+
+    /// A chain resumed from a previously exported `head` — lets a long-lived
+    /// session carry the chain across rounds without re-reading the whole
+    /// journal.
+    #[must_use]
+    pub fn with_head(head: u64) -> Self {
+        Self { head }
+    }
+
+    /// Folds one framed record (as produced by [`encode_record`]) into the
+    /// chain.
+    pub fn absorb_frame(&mut self, frame: &[u8]) {
+        self.head = mix64(self.head ^ fnv1a64(frame) ^ frame.len() as u64);
+    }
+
+    /// The current chain head.
+    #[must_use]
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Rebuilds the chain over every intact framed record in `bytes`
+    /// (torn tail excluded), e.g. after reopening a journal.
+    #[must_use]
+    pub fn replay(bytes: &[u8]) -> Self {
+        let mut chain = Self::new();
+        let mut at = 0usize;
+        while let Some((range, next)) = next_record(bytes, at) {
+            chain.absorb_frame(&bytes[range.start - 8..range.end]);
+            at = next;
+        }
+        chain
+    }
+}
+
+impl Default for LedgerChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Encodes one record into its framed byte representation.
 ///
@@ -550,6 +657,9 @@ mod tests {
             JournalRecord::PaymentsCommitted {
                 payments: vec![-3.0, -2.0, 0.0],
             },
+            JournalRecord::LedgerSealed {
+                digest: 0x0123_4567_89ab_cdef,
+            },
             JournalRecord::RoundSealed,
         ]
     }
@@ -718,6 +828,61 @@ mod tests {
         }
         j.commit().unwrap();
         assert_eq!(read_journal(&j.bytes().unwrap()).unwrap().records, records);
+    }
+
+    #[test]
+    fn ledger_chain_replay_matches_incremental_absorption() {
+        let records = sample_records();
+        let mut incremental = LedgerChain::new();
+        let mut bytes = Vec::new();
+        for r in &records {
+            let frame = encode_record(r).unwrap();
+            incremental.absorb_frame(&frame);
+            bytes.extend_from_slice(&frame);
+        }
+        assert_eq!(LedgerChain::replay(&bytes).head(), incremental.head());
+        assert_ne!(incremental.head(), LedgerChain::SEED);
+        // Resume from an exported head: same terminal state.
+        let mid = LedgerChain::replay(&journal_bytes(&records[..4]));
+        let mut resumed = LedgerChain::with_head(mid.head());
+        let tail = journal_bytes(&records);
+        let boundaries = JournalReplay::boundaries(&tail);
+        let mut at = boundaries[4];
+        for &next in &boundaries[5..] {
+            resumed.absorb_frame(&tail[at..next]);
+            at = next;
+        }
+        assert_eq!(resumed.head(), incremental.head());
+    }
+
+    #[test]
+    fn ledger_chain_sees_any_tamper() {
+        let records = sample_records();
+        let bytes = journal_bytes(&records);
+        let clean = LedgerChain::replay(&bytes).head();
+        let boundaries = JournalReplay::boundaries(&bytes);
+
+        // A payload byte flip with a recomputed checksum — invisible to the
+        // CRC framing — still diverges the chain.
+        let mut forged = bytes.clone();
+        let (start, end) = (boundaries[7], boundaries[8]);
+        forged[start + 8] ^= 0x01;
+        let crc = crc32(&forged[start + 8..end]).to_le_bytes();
+        forged[start + 4..start + 8].copy_from_slice(&crc);
+        assert_eq!(read_journal(&forged).unwrap().records.len(), records.len());
+        assert_ne!(LedgerChain::replay(&forged).head(), clean);
+
+        // Dropping a whole record diverges too.
+        let mut dropped = bytes[..boundaries[2]].to_vec();
+        dropped.extend_from_slice(&bytes[boundaries[3]..]);
+        assert_ne!(LedgerChain::replay(&dropped).head(), clean);
+
+        // Reordering two adjacent records diverges (order is committed).
+        let mut swapped = bytes[..boundaries[2]].to_vec();
+        swapped.extend_from_slice(&bytes[boundaries[3]..boundaries[4]]);
+        swapped.extend_from_slice(&bytes[boundaries[2]..boundaries[3]]);
+        swapped.extend_from_slice(&bytes[boundaries[4]..]);
+        assert_ne!(LedgerChain::replay(&swapped).head(), clean);
     }
 
     #[test]

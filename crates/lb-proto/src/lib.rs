@@ -83,7 +83,7 @@ pub use faults::{run_protocol_round_with_faults, FaultPlan};
 pub use framing::{FrameReader, FrameWriter, DEFAULT_MAX_FRAME, MAX_FRAME_LEN};
 pub use journal::{
     read_journal, CrashingJournal, ExclusionReason, FileJournal, Journal, JournalError,
-    JournalRecord, JournalReplay, MemJournal,
+    JournalRecord, JournalReplay, LedgerChain, MemJournal,
 };
 pub use message::{Message, RoundId};
 pub use network::{FrameFate, MessageStats, NetPoll, SimNetwork};

@@ -827,6 +827,21 @@ where
         }
     }
 
+    if collector.enabled() {
+        // Durability counters, exported as gauges so `/metrics` and lb_top
+        // show the session's crash history without access to the report.
+        let at = runtime.now().seconds();
+        #[allow(clippy::cast_precision_loss)]
+        let durable = [
+            ("durable.crashes", crashes as f64),
+            ("durable.recovered_rounds", recovered_rounds as f64),
+            ("durable.records_replayed", records_replayed as f64),
+            ("durable.truncated_tail_bytes", truncated_tail_bytes as f64),
+        ];
+        for (name, value) in durable {
+            collector.gauge(at, name, Subsystem::Session, value);
+        }
+    }
     let journal_bytes = journal.borrow().bytes().map_err(journal_to_mechanism)?;
     Ok(DurableSessionReport {
         session: ChaosSessionReport {

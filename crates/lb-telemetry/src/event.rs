@@ -79,9 +79,24 @@ pub enum Subsystem {
     Sim,
     /// The experiment harness.
     Bench,
+    /// The verification-observability monitors (economic invariants,
+    /// truthfulness margins, ledger health).
+    Audit,
 }
 
 impl Subsystem {
+    /// Every subsystem, in lane order.
+    pub const ALL: [Subsystem; 8] = [
+        Subsystem::Coordinator,
+        Subsystem::Network,
+        Subsystem::Chaos,
+        Subsystem::Session,
+        Subsystem::Node,
+        Subsystem::Sim,
+        Subsystem::Bench,
+        Subsystem::Audit,
+    ];
+
     /// Short lowercase name (`coordinator`, `network`, …).
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -93,23 +108,14 @@ impl Subsystem {
             Subsystem::Node => "node",
             Subsystem::Sim => "sim",
             Subsystem::Bench => "bench",
+            Subsystem::Audit => "audit",
         }
     }
 
     /// Inverse of [`Subsystem::name`].
     #[must_use]
     pub fn from_name(name: &str) -> Option<Subsystem> {
-        [
-            Subsystem::Coordinator,
-            Subsystem::Network,
-            Subsystem::Chaos,
-            Subsystem::Session,
-            Subsystem::Node,
-            Subsystem::Sim,
-            Subsystem::Bench,
-        ]
-        .into_iter()
-        .find(|s| s.name() == name)
+        Subsystem::ALL.into_iter().find(|s| s.name() == name)
     }
 
     /// Stable lane number used as the Chrome-trace `tid`, so each subsystem
@@ -124,6 +130,7 @@ impl Subsystem {
             Subsystem::Node => 5,
             Subsystem::Sim => 6,
             Subsystem::Bench => 7,
+            Subsystem::Audit => 8,
         }
     }
 }
@@ -325,15 +332,7 @@ mod tests {
 
     #[test]
     fn subsystem_names_roundtrip() {
-        for s in [
-            Subsystem::Coordinator,
-            Subsystem::Network,
-            Subsystem::Chaos,
-            Subsystem::Session,
-            Subsystem::Node,
-            Subsystem::Sim,
-            Subsystem::Bench,
-        ] {
+        for s in Subsystem::ALL {
             assert_eq!(Subsystem::from_name(s.name()), Some(s));
         }
         assert_eq!(Subsystem::from_name("bogus"), None);
@@ -341,19 +340,9 @@ mod tests {
 
     #[test]
     fn lanes_are_distinct() {
-        let lanes: std::collections::BTreeSet<u64> = [
-            Subsystem::Coordinator,
-            Subsystem::Network,
-            Subsystem::Chaos,
-            Subsystem::Session,
-            Subsystem::Node,
-            Subsystem::Sim,
-            Subsystem::Bench,
-        ]
-        .into_iter()
-        .map(Subsystem::lane)
-        .collect();
-        assert_eq!(lanes.len(), 7);
+        let lanes: std::collections::BTreeSet<u64> =
+            Subsystem::ALL.into_iter().map(Subsystem::lane).collect();
+        assert_eq!(lanes.len(), Subsystem::ALL.len());
     }
 
     #[test]

@@ -39,6 +39,8 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 struct Published {
     metrics: String,
     trace: String,
+    invariants: String,
+    health: String,
 }
 
 /// The publish point shared between a running protocol and its server.
@@ -85,6 +87,19 @@ impl Exposition {
         self.inner.lock().trace = text;
     }
 
+    /// Publishes the invariant-monitor document (JSON, rendered by the
+    /// caller — typically `lb-audit`); `/invariants` serves it until
+    /// replaced.
+    pub fn publish_invariants(&self, json: impl Into<String>) {
+        self.inner.lock().invariants = json.into();
+    }
+
+    /// Publishes the verification-health document (JSON); `/health` serves
+    /// it until replaced.
+    pub fn publish_health(&self, json: impl Into<String>) {
+        self.inner.lock().health = json.into();
+    }
+
     /// The currently published Prometheus text.
     #[must_use]
     pub fn metrics_text(&self) -> String {
@@ -95,6 +110,30 @@ impl Exposition {
     #[must_use]
     pub fn trace_text(&self) -> String {
         self.inner.lock().trace.clone()
+    }
+
+    /// The currently published invariant document (`{}` until one is
+    /// published, so `/invariants` is always valid JSON).
+    #[must_use]
+    pub fn invariants_text(&self) -> String {
+        let inner = self.inner.lock();
+        if inner.invariants.is_empty() {
+            "{}\n".to_owned()
+        } else {
+            inner.invariants.clone()
+        }
+    }
+
+    /// The currently published health document (`{}` until one is
+    /// published, so `/health` is always valid JSON).
+    #[must_use]
+    pub fn health_text(&self) -> String {
+        let inner = self.inner.lock();
+        if inner.health.is_empty() {
+            "{}\n".to_owned()
+        } else {
+            inner.health.clone()
+        }
     }
 }
 
@@ -177,7 +216,22 @@ impl ExposeServer {
                 let body = share.trace_text();
                 Self::respond(stream, 200, "application/x-ndjson; charset=utf-8", &body)
             }
-            _ => Self::respond(stream, 404, "text/plain", "not found\n"),
+            "/invariants" => {
+                let body = share.invariants_text();
+                Self::respond(stream, 200, "application/json; charset=utf-8", &body)
+            }
+            "/health" => {
+                let body = share.health_text();
+                Self::respond(stream, 200, "application/json; charset=utf-8", &body)
+            }
+            _ => {
+                // Echo the path so a misconfigured scraper's logs say what it
+                // actually asked for. Capped: the request line is bounded, but
+                // the 404 body stays short regardless.
+                let shown: String = path.chars().take(256).collect();
+                let body = format!("not found: {shown}\n");
+                Self::respond(stream, 404, "text/plain", &body)
+            }
         }
     }
 
@@ -263,7 +317,7 @@ mod tests {
         let share = sample_share();
         let server = ExposeServer::bind("127.0.0.1:0", share).expect("bind");
         let addr = server.local_addr().expect("addr");
-        let handle = std::thread::spawn(move || server.serve_requests(4));
+        let handle = std::thread::spawn(move || server.serve_requests(6));
 
         let metrics = http_get(addr, "/metrics");
         assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"), "{metrics}");
@@ -280,8 +334,21 @@ mod tests {
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].name, "round");
 
+        // Verification documents default to `{}` before anything publishes.
+        let invariants = http_get(addr, "/invariants");
+        assert!(
+            invariants.starts_with("HTTP/1.0 200 OK\r\n"),
+            "{invariants}"
+        );
+        assert!(invariants.contains("Content-Type: application/json"));
+        assert!(invariants.ends_with("{}\n"), "{invariants}");
+        let health = http_get(addr, "/health");
+        assert!(health.starts_with("HTTP/1.0 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("{}\n"), "{health}");
+
         let missing = http_get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.0 404"));
+        assert!(missing.contains("not found: /nope"), "{missing}");
         let bad = {
             let mut stream = TcpStream::connect(addr).expect("connect");
             stream.write_all(b"\r\n\r\n").expect("send");
@@ -290,6 +357,20 @@ mod tests {
             response
         };
         assert!(bad.starts_with("HTTP/1.0 400"), "{bad}");
+
+        // Every response path frames the body: correct Content-Length and an
+        // explicit Connection: close.
+        for response in [&metrics, &trace, &invariants, &health, &missing, &bad] {
+            assert!(response.contains("Connection: close\r\n"), "{response}");
+            let (head, body) = response.split_once("\r\n\r\n").expect("head/body");
+            let declared: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("content-length")
+                .parse()
+                .expect("numeric");
+            assert_eq!(declared, body.len(), "{response}");
+        }
 
         handle.join().expect("server thread").expect("serve");
     }
@@ -305,6 +386,13 @@ mod tests {
         reg.add("rounds", 1);
         share.publish_metrics(&reg.snapshot());
         assert!(share.metrics_text().contains("rounds_total 2"));
+
+        assert_eq!(share.invariants_text(), "{}\n");
+        share.publish_invariants("{\"ok\":true}\n");
+        assert_eq!(share.invariants_text(), "{\"ok\":true}\n");
+        assert_eq!(share.health_text(), "{}\n");
+        share.publish_health("{\"ledger_head\":\"00ff\"}\n");
+        assert_eq!(share.health_text(), "{\"ledger_head\":\"00ff\"}\n");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`stats`] — RNG streams, distributions and output analysis.
 //! * [`telemetry`] — structured tracing and metrics: span/event collectors,
 //!   a ring-buffer recorder, and JSONL / Chrome-trace / timeline exporters.
+//! * [`audit`] — verification observability: a streaming economic-invariant
+//!   monitor, a tamper-evident round ledger, and live `/invariants` +
+//!   `/health` documents.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 //!
@@ -36,6 +39,7 @@
 //! ```
 
 pub use lb_agents as agents;
+pub use lb_audit as audit;
 pub use lb_core as core;
 pub use lb_mechanism as mechanism;
 pub use lb_proto as proto;
@@ -45,6 +49,7 @@ pub use lb_telemetry as telemetry;
 
 /// Commonly used items, importable with `use lbmv::prelude::*`.
 pub mod prelude {
+    pub use lb_audit::{verify_ledger, InvariantMonitor, MonitorConfig};
     pub use lb_core::{
         pr_allocate, pr_allocate_capped, solve_convex, total_latency_linear, Allocation,
         LatencyFunction, Linear, Machine, MachineId, Mm1, System,

@@ -7,20 +7,23 @@
 //! * quarantine state crosses simulated process generations through the
 //!   journal alone.
 
+use lbmv::audit::{InvariantMonitor, MonitorConfig};
 use lbmv::mechanism::CompensationBonusMechanism;
 use lbmv::proto::{
     read_journal, recover_round, run_chaos_session_durable, ChaosConfig, ChaosSessionConfig,
-    Coordinator, CoordinatorPhase, CrashPlan, FileJournal, Journal, Message, NodeSpec,
+    Coordinator, CoordinatorPhase, CrashPlan, FileJournal, Journal, MemJournal, Message, NodeSpec,
     ProtocolConfig, RoundContext, RoundId,
 };
 use lbmv::sim::driver::SimulationConfig;
 use lbmv::sim::server::ServiceModel;
-use lbmv::telemetry::noop_collector;
+use lbmv::telemetry::{noop_collector, replay_spans, Collector, RingCollector};
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const RATE: f64 = 9.0;
 const TRUES: [f64; 3] = [1.0, 1.5, 2.0];
@@ -132,6 +135,74 @@ fn file_journal_recovers_from_every_byte_prefix() {
         fs::remove_file(&torn).ok();
     }
     fs::remove_file(&recorded).ok();
+}
+
+#[test]
+fn recovered_rounds_re_emit_spans_and_bit_identical_monitor_reports() {
+    // Reference: an uninterrupted round observed by a monitor, recording
+    // the report it settles on and the span forest it emits.
+    let mech = CompensationBonusMechanism::paper();
+    let observe = || {
+        let ring = Arc::new(RingCollector::new(1 << 14));
+        let monitor = Arc::new(InvariantMonitor::new(
+            ring.clone() as Arc<dyn Collector>,
+            MonitorConfig::default(),
+        ));
+        (ring, monitor)
+    };
+    let (ring, monitor) = observe();
+    let journal: Rc<RefCell<dyn Journal>> = Rc::new(RefCell::new(MemJournal::new()));
+    let mut c = Coordinator::new(&mech, TRUES.len(), RATE, RoundId(0), sim())
+        .with_journal(Rc::clone(&journal))
+        .with_collector(monitor.clone() as Arc<dyn Collector>);
+    finish(&mut c);
+    c.end_telemetry();
+    let bytes = journal.borrow().bytes().unwrap();
+    let reference_report = monitor.latest_report().expect("reference round observed");
+    let reference_line = reference_report.to_jsonl_line();
+    let reference_spans: BTreeSet<String> = replay_spans(&ring.snapshot())
+        .unwrap()
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
+    assert!(reference_spans.contains("round"));
+    assert!(reference_spans.iter().any(|s| s.starts_with("phase.")));
+
+    // Crash at every byte prefix short of the seal (a fully sealed round
+    // is finished history — resume correctly re-emits nothing for it); the
+    // recovered generation's monitor must settle on a bit-identical report,
+    // and the re-emitted span forest must still replay with the round span
+    // present.
+    for cut in 0..bytes.len() {
+        let torn: Rc<RefCell<dyn Journal>> =
+            Rc::new(RefCell::new(MemJournal::from_bytes(bytes[..cut].to_vec())));
+        let (ring, monitor) = observe();
+        let (mut c, _report) = recover_round(
+            &mech,
+            Rc::clone(&torn),
+            &ctx(),
+            monitor.clone() as Arc<dyn Collector>,
+            0.0,
+        )
+        .unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        finish(&mut c);
+        c.end_telemetry();
+        let report = monitor
+            .latest_report()
+            .unwrap_or_else(|| panic!("cut {cut}: recovered round unobserved"));
+        assert_eq!(report.to_jsonl_line(), reference_line, "cut {cut}");
+        assert_eq!(report, reference_report, "cut {cut}");
+        let spans: BTreeSet<String> = replay_spans(&ring.snapshot())
+            .unwrap_or_else(|e| panic!("cut {cut}: spans do not replay: {e}"))
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        assert!(spans.contains("round"), "cut {cut}: {spans:?}");
+        if cut == 0 {
+            // An empty journal is a fresh round: the whole forest matches.
+            assert_eq!(spans, reference_spans);
+        }
+    }
 }
 
 fn protocol_config() -> ProtocolConfig {
