@@ -931,6 +931,56 @@ mod tests {
     }
 
     #[test]
+    fn sharded_round_streams_through_the_monitor() {
+        // The monitor attaches to the *root* of the hierarchical shard
+        // tier exactly as it does to a single coordinator: the shard
+        // workers report partial sums upward, the root settles, and its
+        // settlement gauge stream must pass every streaming check.
+        use lb_proto::{run_round_sharded_observed, NodeSpec, ProtocolConfig};
+        use lb_sim::driver::SimulationConfig;
+        use lb_sim::server::ServiceModel;
+
+        let monitor = Arc::new(InvariantMonitor::new(
+            noop_collector(),
+            MonitorConfig::default(),
+        ));
+        let mech = CompensationBonusMechanism::paper();
+        #[allow(clippy::cast_precision_loss)]
+        let specs: Vec<NodeSpec> = (0..24)
+            .map(|i| NodeSpec::truthful(1.0 + (i % 7) as f64))
+            .collect();
+        let config = ProtocolConfig {
+            total_rate: 20.0,
+            simulation: SimulationConfig {
+                horizon: 50.0,
+                seed: 7,
+                model: ServiceModel::StationaryDeterministic,
+                warmup: 0.0,
+                ..SimulationConfig::default()
+            },
+            ..ProtocolConfig::default()
+        };
+        let report = run_round_sharded_observed(
+            &mech,
+            &specs,
+            &config,
+            5,
+            Arc::clone(&monitor) as Arc<dyn Collector>,
+        )
+        .expect("sharded round settles");
+        assert_eq!(report.rates.len(), specs.len());
+
+        let audit = monitor
+            .latest_report()
+            .expect("root settle streamed its gauges through the shard tier");
+        assert!(audit.ok(), "{:?}", audit.violations);
+        assert_eq!(audit.respondents, specs.len());
+        let stats = monitor.stats();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.total_violations(), 0);
+    }
+
+    #[test]
     fn forwards_events_and_emits_audit_telemetry() {
         let ring = Arc::new(RingCollector::new(4096));
         let monitor = InvariantMonitor::new(ring.clone(), MonitorConfig::default());

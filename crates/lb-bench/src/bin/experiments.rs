@@ -5,7 +5,7 @@
 //! cargo run -p lb-bench --bin experiments -- fig1
 //! ```
 
-use lb_bench::{audit_overhead, bench_log, figures, payment_scaling};
+use lb_bench::{audit_overhead, bench_log, figures, payment_scaling, round_scaling};
 
 /// Label new `BENCH_*.json` entries are appended under: `BENCH_LABEL` from
 /// the environment, or the stable default for local runs.
@@ -169,6 +169,53 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
         }
+        "round-scaling" => {
+            let rows =
+                round_scaling::measure(round_scaling::SCALING_NS, round_scaling::ROUNDS_PER_POINT);
+            print_section(
+                "Round scaling: sharded hierarchical rounds at 10^4..10^6 machines",
+                &round_scaling::render_table(&rows),
+            );
+            let label = bench_label();
+            bench_log::append_to_file(
+                "BENCH_round_scaling.json",
+                "round_scaling",
+                "rounds/sec",
+                &label,
+                round_scaling::rows_json(&rows),
+            )?;
+            println!("appended entry {label:?} to BENCH_round_scaling.json");
+        }
+        "round-scaling-smoke" => {
+            // CI-sized: small populations, few rounds, artifact written to a
+            // scratch path and schema-checked instead of touching the
+            // checked-in history.
+            let rows = round_scaling::measure(&[1_000, 10_000], 3);
+            print_section(
+                "Round scaling (smoke): sharded rounds at small populations",
+                &round_scaling::render_table(&rows),
+            );
+            for row in &rows {
+                assert!(
+                    row.rounds_per_sec > 0.0 && row.rounds_per_sec.is_finite(),
+                    "degenerate throughput at n = {}",
+                    row.n
+                );
+            }
+            let scratch = std::env::temp_dir().join("BENCH_round_scaling.smoke.json");
+            let scratch = scratch.to_str().expect("temp path is utf-8");
+            let _ = std::fs::remove_file(scratch);
+            bench_log::append_to_file(
+                scratch,
+                "round_scaling",
+                "rounds/sec",
+                "smoke",
+                round_scaling::rows_json(&rows),
+            )?;
+            let written = std::fs::read_to_string(scratch)?;
+            bench_log::BenchLog::parse(&written).map_err(std::io::Error::other)?;
+            println!("schema-valid smoke artifact at {scratch}");
+        }
         "audit-overhead" => {
             let rows = audit_overhead::measure(audit_overhead::OVERHEAD_NS, 5);
             print_section(
@@ -237,7 +284,7 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
         other => {
             eprintln!("unknown target '{other}'");
             eprintln!(
-                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry payment-scaling payment-scaling-smoke audit-overhead audit-overhead-smoke all"
+                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry payment-scaling payment-scaling-smoke audit-overhead audit-overhead-smoke round-scaling round-scaling-smoke all"
             );
             std::process::exit(2);
         }

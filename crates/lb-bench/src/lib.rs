@@ -11,6 +11,9 @@
 //!   `BENCH_*.json` artifacts.
 //! * [`audit_overhead`] — cost of the streaming invariant monitor
 //!   (off / full / sampled) on the settle phase.
+//! * [`round_scaling`] — full sharded rounds at 10⁴–10⁶ machines:
+//!   rounds/sec and p99 phase latency through the hierarchical
+//!   coordinator.
 //!
 //! The `experiments` binary prints the same rows/series the paper reports:
 //!
@@ -24,6 +27,7 @@ pub mod chart;
 pub mod figures;
 pub mod paper;
 pub mod payment_scaling;
+pub mod round_scaling;
 pub mod tables;
 
 pub use chart::BarChart;

@@ -146,7 +146,30 @@ pub fn validate_rate(r: f64) -> Result<(), CoreError> {
 pub fn pr_allocate(values: &[f64], r: f64) -> Result<Allocation, CoreError> {
     validate_values("latency coefficient", values)?;
     validate_rate(r)?;
-    let inv_sum = compensated_sum(values.iter().map(|t| 1.0 / t));
+    pr_allocate_with_sum(values, r, inv_sum_dd(values))
+}
+
+/// [`pr_allocate`] against a precomputed harmonic sum `s = Σ 1/values[j]`.
+///
+/// The shard tier computes `s` by merging per-shard [`TwoF64`] partials
+/// ([`crate::numeric::merge_inv_sums`]); the root allocates every
+/// respondent's rate against that one merged sum. Passing
+/// `inv_sum_dd(values)` reproduces [`pr_allocate`] bit for bit — the rates
+/// divide by the `f64`-rounded sum either way, so any two `s` arguments
+/// that round to the same `f64` yield identical allocations.
+///
+/// `values` must already be validated (positive, finite, non-subnormal):
+/// this entry point re-checks only the sum and the rate, since its callers
+/// (the root coordinator, [`pr_allocate`]) have validated per-machine bids
+/// on ingestion.
+///
+/// # Errors
+/// Returns an error for an invalid rate, and
+/// [`CoreError::NumericalOverflow`] if `s` or a rate leaves the finite
+/// positive range.
+pub fn pr_allocate_with_sum(values: &[f64], r: f64, s: TwoF64) -> Result<Allocation, CoreError> {
+    validate_rate(r)?;
+    let inv_sum = s.value();
     if !inv_sum.is_finite() || inv_sum <= 0.0 {
         return Err(CoreError::NumericalOverflow {
             what: "sum of inverse latency coefficients",
@@ -296,12 +319,27 @@ impl LeaveOneOut {
     /// [`CoreError::NumericalOverflow`] when a latency leaves the finite
     /// range.
     pub fn compute(values: &[f64], r: f64) -> Result<Self, CoreError> {
+        validate_values("latency coefficient", values)?;
+        Self::compute_with_sum(values, r, inv_sum_dd(values))
+    }
+
+    /// The batch kernel against a precomputed harmonic sum `s = Σ 1/values[j]`
+    /// — the settle-phase twin of [`pr_allocate_with_sum`].
+    ///
+    /// The root coordinator of a sharded round passes the tree-merged
+    /// [`TwoF64`] partial sums here so the allocation and the payments are
+    /// computed against the *same* `S`. Passing `inv_sum_dd(values)`
+    /// reproduces [`LeaveOneOut::compute`] bit for bit. `values` must
+    /// already be validated; the dominant-machine fallback inside still
+    /// re-sums `values` directly when the residual `s − 1/t_i` cancels.
+    ///
+    /// # Errors
+    /// Same contract as [`LeaveOneOut::compute`].
+    pub fn compute_with_sum(values: &[f64], r: f64, s: TwoF64) -> Result<Self, CoreError> {
         if values.len() < 2 {
             return Err(CoreError::EmptySystem);
         }
-        validate_values("latency coefficient", values)?;
         validate_rate(r)?;
-        let s = inv_sum_dd(values);
         if !s.hi.is_finite() || s.hi <= 0.0 {
             return Err(CoreError::NumericalOverflow {
                 what: "sum of inverse latency coefficients",
@@ -655,6 +693,64 @@ mod tests {
             LeaveOneOut::compute(&[1e250, 1e250], 1e200),
             Err(CoreError::NumericalOverflow { .. })
         ));
+    }
+
+    #[test]
+    fn with_sum_entry_points_reproduce_the_plain_kernels_bitwise() {
+        let values = [1.0, 2.0, 4.0, 9.5, 0.3];
+        let r = 20.0;
+        let s = crate::numeric::inv_sum_dd(&values);
+        let plain = pr_allocate(&values, r).unwrap();
+        let with_sum = pr_allocate_with_sum(&values, r, s).unwrap();
+        for i in 0..values.len() {
+            assert_eq!(plain.rate(i).to_bits(), with_sum.rate(i).to_bits());
+        }
+        let loo = LeaveOneOut::compute(&values, r).unwrap();
+        let loo_sum = LeaveOneOut::compute_with_sum(&values, r, s).unwrap();
+        for i in 0..values.len() {
+            assert_eq!(loo.excluding(i).to_bits(), loo_sum.excluding(i).to_bits());
+            assert_eq!(loo.marginal(i).to_bits(), loo_sum.marginal(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn shard_count_is_a_no_op_for_allocations_and_payments() {
+        // Pinned shard-count-invariance regression: merging per-shard TwoF64
+        // harmonic partials must yield bit-identical allocations and
+        // leave-one-out latencies (hence payments) for every shard count.
+        // Merging post-rounded f64 partials breaks this — see the
+        // `merge_inv_sums` docs for the error analysis.
+        use crate::numeric::{inv_sum_dd, merge_inv_sums};
+        let n: usize = 4096;
+        #[allow(clippy::cast_precision_loss)]
+        let values: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let r = 20.0;
+        let reference_alloc = pr_allocate(&values, r).unwrap();
+        let reference_loo = LeaveOneOut::compute(&values, r).unwrap();
+        for k in [1usize, 2, 7, 64] {
+            let chunk = n.div_ceil(k);
+            let partials: Vec<_> = values.chunks(chunk).map(inv_sum_dd).collect();
+            let merged = merge_inv_sums(&partials);
+            let alloc = pr_allocate_with_sum(&values, r, merged).unwrap();
+            let loo = LeaveOneOut::compute_with_sum(&values, r, merged).unwrap();
+            for i in 0..n {
+                assert_eq!(
+                    alloc.rate(i).to_bits(),
+                    reference_alloc.rate(i).to_bits(),
+                    "k = {k}, machine {i}: rate diverged"
+                );
+                assert_eq!(
+                    loo.excluding(i).to_bits(),
+                    reference_loo.excluding(i).to_bits(),
+                    "k = {k}, machine {i}: L_-i diverged"
+                );
+                assert_eq!(
+                    loo.marginal(i).to_bits(),
+                    reference_loo.marginal(i).to_bits(),
+                    "k = {k}, machine {i}: marginal diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod scenario;
 
 pub use allocation::{
     optimal_latency_excluding, optimal_latency_excluding_legacy, optimal_latency_linear,
-    pr_allocate, total_latency_linear, Allocation, LeaveOneOut,
+    pr_allocate, pr_allocate_with_sum, total_latency_linear, Allocation, LeaveOneOut,
 };
 pub use analysis::{latency_sensitivity, marginal_contributions};
 pub use baselines::{equal_split, weighted_round_robin};
@@ -46,5 +46,7 @@ pub use convex::{solve_convex, ConvexSolverOptions};
 pub use error::CoreError;
 pub use latency::{Affine, LatencyFunction, Linear, Mm1, Polynomial, PowerLaw};
 pub use machine::{Machine, MachineId, System, MAX_LATENCY_PARAM, MIN_LATENCY_PARAM};
-pub use numeric::{compensated_sum, feasibility_tolerance, inv_sum_dd, CompensatedSum, TwoF64};
+pub use numeric::{
+    compensated_sum, feasibility_tolerance, inv_sum_dd, merge_inv_sums, CompensatedSum, TwoF64,
+};
 pub use scenario::paper_system;

@@ -224,6 +224,32 @@ pub fn inv_sum_dd(values: &[f64]) -> TwoF64 {
         .fold(TwoF64::ZERO, |acc, &t| acc.add(TwoF64::recip(t)))
 }
 
+/// Merges per-shard partial harmonic sums into one [`TwoF64`] total by a
+/// deterministic balanced pairwise (tree) reduction over the shard order.
+///
+/// This is the root-coordinator half of the sharded round: shard `s` folds
+/// `Σ 1/t_j` over its own agents ([`inv_sum_dd`] on its slice) and the root
+/// merges the `k` partials here. The merge stays in double-double — each
+/// [`TwoF64::add`] loses at most `O(2⁻¹⁰⁶)` relative — so the merged sum
+/// agrees with the sequential fold to `~n·2⁻¹⁰⁶` relative, far below the
+/// `2⁻⁵³` granularity at which any downstream `f64` result could change.
+/// Merging post-rounded `f64` partials instead would inject `~2⁻⁵³`-relative
+/// error per shard and make allocations depend on the shard count.
+///
+/// A single partial is returned unchanged (so `k = 1` is *exactly* the
+/// sequential fold, bit for bit); an empty slice yields [`TwoF64::ZERO`].
+#[must_use]
+pub fn merge_inv_sums(partials: &[TwoF64]) -> TwoF64 {
+    match partials {
+        [] => TwoF64::ZERO,
+        [only] => *only,
+        _ => {
+            let mid = partials.len() / 2;
+            merge_inv_sums(&partials[..mid]).add(merge_inv_sums(&partials[mid..]))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +330,42 @@ mod tests {
         let residual = s.sub(TwoF64::recip(big));
         let rel = (residual.value() - 1e-4).abs() / 1e-4;
         assert!(rel < 1e-12, "relative error {rel:e}");
+    }
+
+    #[test]
+    fn merging_one_partial_is_the_identity() {
+        let s = inv_sum_dd(&[1.0, 3.0, 7.0]);
+        let merged = merge_inv_sums(&[s]);
+        assert_eq!(merged.hi.to_bits(), s.hi.to_bits());
+        assert_eq!(merged.lo.to_bits(), s.lo.to_bits());
+        assert_eq!(merge_inv_sums(&[]).value(), 0.0);
+    }
+
+    #[test]
+    fn merged_shard_partials_round_to_the_sequential_sum() {
+        // Any contiguous sharding of the value vector must merge to a sum
+        // whose f64 rounding equals the sequential fold's — the property the
+        // shard-count-invariance of allocations and payments rests on.
+        let n: usize = 4096;
+        #[allow(clippy::cast_precision_loss)]
+        let values: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.37).collect();
+        let seq = inv_sum_dd(&values);
+        for k in [1usize, 2, 7, 64, 333] {
+            let chunk = n.div_ceil(k);
+            let partials: Vec<TwoF64> = values.chunks(chunk).map(inv_sum_dd).collect();
+            let merged = merge_inv_sums(&partials);
+            assert_eq!(
+                merged.value().to_bits(),
+                seq.value().to_bits(),
+                "k = {k}: merged {:e} vs sequential {:e}",
+                merged.value(),
+                seq.value()
+            );
+            // The double-double components themselves agree to ~n·2⁻¹⁰⁶
+            // relative — far tighter than the f64 ulp the rates divide by.
+            let diff = merged.sub(seq).value().abs();
+            assert!(diff <= 1e-25 * seq.value(), "k = {k}: dd gap {diff:e}");
+        }
     }
 
     #[test]

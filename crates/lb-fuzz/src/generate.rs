@@ -51,7 +51,7 @@ pub fn message(rng: &mut Xoshiro256StarStar) -> Message {
     #[allow(clippy::cast_possible_truncation)]
     let machine = rng.next_u64() as u32;
     let value = 10f64.powf(rng.next_range(-6.0, 6.0));
-    match rng.next_below(5) {
+    match rng.next_below(7) {
         0 => Message::RequestBid { round },
         1 => Message::Bid {
             round,
@@ -60,6 +60,19 @@ pub fn message(rng: &mut Xoshiro256StarStar) -> Message {
         },
         2 => Message::Assign { round, rate: value },
         3 => Message::ExecutionDone { round, machine },
+        4 => Message::ShardSum {
+            round,
+            shard: machine,
+            sum_hi: value,
+            sum_lo: value * 1e-17,
+        },
+        5 => Message::ShardEstimates {
+            round,
+            shard: machine,
+            estimates: (0..rng.next_below(8))
+                .map(|_| 10f64.powf(rng.next_range(-6.0, 6.0)))
+                .collect(),
+        },
         _ => Message::Payment {
             round,
             amount: if rng.next_bool(0.5) { value } else { -value },

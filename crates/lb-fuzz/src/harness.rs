@@ -26,7 +26,7 @@ pub struct Oracle {
     pub run: fn(u64) -> Result<(), String>,
 }
 
-/// The seven differential oracles, in dependency order (pure kernels
+/// The eight differential oracles, in dependency order (pure kernels
 /// first).
 #[must_use]
 pub fn registry() -> &'static [Oracle] {
@@ -60,6 +60,11 @@ pub fn registry() -> &'static [Oracle] {
             name: "recovery",
             description: "crash/recover at every journal boundary vs. uninterrupted round",
             run: oracles::recovery::check,
+        },
+        Oracle {
+            name: "shard",
+            description: "sharded hierarchical round vs. single coordinator, plus crash replay",
+            run: oracles::shard::check,
         },
         Oracle {
             name: "audit",
@@ -234,6 +239,7 @@ mod tests {
                 "session",
                 "telemetry",
                 "recovery",
+                "shard",
                 "audit"
             ]
         );

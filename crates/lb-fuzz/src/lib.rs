@@ -9,7 +9,7 @@
 //! oracle compares a production kernel against an independent reference
 //! that cannot share its bugs.
 //!
-//! The seven oracles (see [`harness::registry`]):
+//! The eight oracles (see [`harness::registry`]):
 //!
 //! * `alloc` — the PR closed form ([Theorem 2.1]) vs. the KKT bisection
 //!   solver vs. a double-double reference, on spreads up to 10¹².
@@ -26,6 +26,11 @@
 //! * `recovery` — crash the journalled coordinator at every record
 //!   boundary (plus random torn-write byte offsets), recover, finish the
 //!   round, and demand a bit-identical outcome to the uninterrupted run.
+//! * `shard` — the hierarchical sharded coordinator against the
+//!   single-coordinator lossy runtime on random populations, shard counts
+//!   and fault plans (bit-identical allocations, payments, estimates and
+//!   exclusions), plus crash-recovery of journalled sharded rounds at
+//!   sampled record boundaries.
 //! * `audit` — the verification-observability stack both ways: a clean
 //!   round raises no monitor violations and verifies an intact ledger,
 //!   while an injected skimmed payment, a CRC-fixed journal byte flip and

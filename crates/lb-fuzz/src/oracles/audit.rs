@@ -263,7 +263,8 @@ pub fn check(seed: u64) -> Result<(), String> {
     // underpaid below its floor.
     #[allow(clippy::cast_possible_truncation)]
     let m = 2 + rng.next_below(6) as usize;
-    let values = latency_values(&mut rng, m, spread_half_width(&mut rng));
+    let synth_half_width = spread_half_width(&mut rng);
+    let values = latency_values(&mut rng, m, synth_half_width);
     let synth_rate = rng.next_range(1.0, 50.0);
     let profile = Profile::new(values.clone(), values.clone(), values.clone(), synth_rate)
         .map_err(|e| format!("synthetic profile: {e}"))?;

@@ -12,6 +12,7 @@ pub mod codec;
 pub mod payment;
 pub mod recovery;
 pub mod session;
+pub mod shard;
 pub mod telemetry;
 
 /// Relative-error budget the numerical oracles enforce against the

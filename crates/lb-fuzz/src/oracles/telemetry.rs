@@ -33,7 +33,7 @@ use std::borrow::Cow;
 const EXACT_INT_BOUND: u64 = 1 << 53;
 
 fn subsystem(rng: &mut Xoshiro256StarStar) -> Subsystem {
-    match rng.next_below(8) {
+    match rng.next_below(9) {
         0 => Subsystem::Coordinator,
         1 => Subsystem::Network,
         2 => Subsystem::Chaos,
@@ -41,6 +41,7 @@ fn subsystem(rng: &mut Xoshiro256StarStar) -> Subsystem {
         4 => Subsystem::Node,
         5 => Subsystem::Sim,
         6 => Subsystem::Audit,
+        7 => Subsystem::Shard,
         _ => Subsystem::Bench,
     }
 }

@@ -28,7 +28,9 @@ use crate::error::MechanismError;
 use crate::traits::{ValuationModel, VerifiedMechanism};
 use lb_core::allocation::{validate_rate, LeaveOneOut};
 use lb_core::machine::validate_values;
-use lb_core::{pr_allocate, total_latency_linear, Allocation};
+use lb_core::{
+    inv_sum_dd, pr_allocate, pr_allocate_with_sum, total_latency_linear, Allocation, TwoF64,
+};
 use serde::{Deserialize, Serialize};
 
 /// The load balancing mechanism with verification of Grosu & Chronopoulos.
@@ -97,6 +99,30 @@ impl CompensationBonusMechanism {
             return Err(MechanismError::NeedTwoAgents);
         }
         validate_values("bid", bids)?;
+        self.payment_breakdown_with_sum(bids, allocation, exec_values, total_rate, inv_sum_dd(bids))
+    }
+
+    /// [`CompensationBonusMechanism::payment_breakdown`] against a
+    /// pre-aggregated double-double harmonic sum `s = Σ 1/b_j` (merged from
+    /// per-shard partials by the hierarchical coordinator). The bonus terms
+    /// consume `s` through [`LeaveOneOut::compute_with_sum`], so sharded and
+    /// single-coordinator settles run bit-identical arithmetic.
+    ///
+    /// # Errors
+    /// Returns [`MechanismError::NeedTwoAgents`] for singleton systems
+    /// (the `L_{-i}` term is undefined), or arity/validation errors.
+    pub fn payment_breakdown_with_sum(
+        &self,
+        bids: &[f64],
+        allocation: &Allocation,
+        exec_values: &[f64],
+        total_rate: f64,
+        s: TwoF64,
+    ) -> Result<Vec<PaymentBreakdown>, MechanismError> {
+        if bids.len() < 2 {
+            return Err(MechanismError::NeedTwoAgents);
+        }
+        validate_values("bid", bids)?;
         validate_values("execution value", exec_values)?;
         validate_rate(total_rate)?;
         if allocation.len() != bids.len() || exec_values.len() != bids.len() {
@@ -107,7 +133,7 @@ impl CompensationBonusMechanism {
             .into());
         }
         let actual_latency = total_latency_linear(allocation, exec_values)?;
-        let loo = LeaveOneOut::compute(bids, total_rate)?;
+        let loo = LeaveOneOut::compute_with_sum(bids, total_rate, s)?;
         (0..bids.len())
             .map(|i| {
                 let x = allocation.rate(i);
@@ -149,6 +175,31 @@ impl VerifiedMechanism for CompensationBonusMechanism {
     ) -> Result<Vec<f64>, MechanismError> {
         Ok(self
             .payment_breakdown(bids, allocation, exec_values, total_rate)?
+            .iter()
+            .map(PaymentBreakdown::total)
+            .collect())
+    }
+
+    fn allocate_with_sum(
+        &self,
+        bids: &[f64],
+        total_rate: f64,
+        s: TwoF64,
+    ) -> Result<Allocation, MechanismError> {
+        validate_values("bid", bids)?;
+        Ok(pr_allocate_with_sum(bids, total_rate, s)?)
+    }
+
+    fn payments_with_sum(
+        &self,
+        bids: &[f64],
+        allocation: &Allocation,
+        exec_values: &[f64],
+        total_rate: f64,
+        s: TwoF64,
+    ) -> Result<Vec<f64>, MechanismError> {
+        Ok(self
+            .payment_breakdown_with_sum(bids, allocation, exec_values, total_rate, s)?
             .iter()
             .map(PaymentBreakdown::total)
             .collect())
@@ -263,6 +314,65 @@ mod tests {
         let p1 = run_mechanism(&mech(), &true1).unwrap().payments[0];
         let p2 = run_mechanism(&mech(), &true2).unwrap().payments[0];
         assert!(p2 < p1, "True2 payment {p2} not below True1 payment {p1}");
+    }
+
+    #[test]
+    fn with_sum_entry_points_match_the_plain_mechanism_bitwise() {
+        // Shard-count invariance at the mechanism layer: feeding the merged
+        // per-shard TwoF64 harmonic partials into the *_with_sum entry points
+        // must reproduce the single-coordinator allocation and payments bit
+        // for bit, for every shard count.
+        use lb_core::merge_inv_sums;
+        let n: usize = 4096;
+        #[allow(clippy::cast_precision_loss)]
+        let bids: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.37).collect();
+        #[allow(clippy::cast_precision_loss)]
+        let exec: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64 * 0.61).collect();
+        let r = 20.0;
+        let m = mech();
+        let ref_alloc = m.allocate(&bids, r).unwrap();
+        let ref_pay = m.payments(&bids, &ref_alloc, &exec, r).unwrap();
+        for k in [1usize, 2, 7, 64] {
+            let chunk = n.div_ceil(k);
+            let partials: Vec<_> = bids.chunks(chunk).map(|c| inv_sum_dd(c)).collect();
+            let s = merge_inv_sums(&partials);
+            let alloc = m.allocate_with_sum(&bids, r, s).unwrap();
+            let pay = m.payments_with_sum(&bids, &alloc, &exec, r, s).unwrap();
+            for i in 0..n {
+                assert_eq!(
+                    alloc.rate(i).to_bits(),
+                    ref_alloc.rate(i).to_bits(),
+                    "k = {k}, agent {i}: allocation diverged"
+                );
+                assert_eq!(
+                    pay[i].to_bits(),
+                    ref_pay[i].to_bits(),
+                    "k = {k}, agent {i}: payment diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_with_sum_methods_fall_back_to_the_plain_path() {
+        // A mechanism that does not override the *_with_sum hooks ignores the
+        // merged sum and recomputes from the bid vector — still well-defined
+        // and shard-count invariant (same full vector either way).
+        let m = crate::unverified::UnverifiedCompensationBonus::default();
+        let bids = [1.0, 2.0, 4.0];
+        let exec = [1.0, 2.5, 4.0];
+        let r = 10.0;
+        let s = inv_sum_dd(&bids);
+        let plain = m.allocate(&bids, r).unwrap();
+        let with_sum = m.allocate_with_sum(&bids, r, s).unwrap();
+        for i in 0..bids.len() {
+            assert_eq!(plain.rate(i).to_bits(), with_sum.rate(i).to_bits());
+        }
+        let p_plain = m.payments(&bids, &plain, &exec, r).unwrap();
+        let p_sum = m.payments_with_sum(&bids, &plain, &exec, r, s).unwrap();
+        for i in 0..bids.len() {
+            assert_eq!(p_plain[i].to_bits(), p_sum[i].to_bits());
+        }
     }
 
     #[test]

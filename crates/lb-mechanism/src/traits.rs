@@ -2,7 +2,7 @@
 
 use crate::error::MechanismError;
 use crate::profile::Profile;
-use lb_core::Allocation;
+use lb_core::{Allocation, TwoF64};
 use serde::{Deserialize, Serialize};
 
 /// How an agent's valuation (its "benefit or loss", Def. 3.1) is modelled.
@@ -112,6 +112,54 @@ pub trait VerifiedMechanism {
         exec_values: &[f64],
         total_rate: f64,
     ) -> Result<Vec<f64>, MechanismError>;
+
+    /// [`VerifiedMechanism::allocate`] against a pre-aggregated harmonic sum
+    /// `s = Σ 1/b_j` in double-double precision.
+    ///
+    /// The sharded coordinator merges per-shard `TwoF64` partials into one
+    /// `s` and hands it down here so that allocation never re-reduces the
+    /// full bid vector. The default ignores `s` and recomputes from `bids` —
+    /// still shard-count invariant (the same full vector is re-reduced the
+    /// same way regardless of `k`), just without the O(n)-scan saving.
+    /// Mechanisms whose allocation is a function of the harmonic sum
+    /// ([`crate::cb::CompensationBonusMechanism`]) override this to consume
+    /// `s` directly, which keeps the sharded and single-coordinator paths on
+    /// bit-identical arithmetic.
+    ///
+    /// # Errors
+    /// Returns a [`MechanismError`] for invalid bids or rate.
+    fn allocate_with_sum(
+        &self,
+        bids: &[f64],
+        total_rate: f64,
+        s: TwoF64,
+    ) -> Result<Allocation, MechanismError> {
+        let _ = s;
+        self.allocate(bids, total_rate)
+    }
+
+    /// [`VerifiedMechanism::payments`] against a pre-aggregated harmonic sum
+    /// `s = Σ 1/b_j` in double-double precision.
+    ///
+    /// Same contract as [`VerifiedMechanism::allocate_with_sum`]: the default
+    /// ignores `s` and defers to [`VerifiedMechanism::payments`]; mechanisms
+    /// built on the leave-one-out kernel override it so the settle phase
+    /// reuses the merged shard sum instead of re-reducing all `n` bids.
+    ///
+    /// # Errors
+    /// Returns a [`MechanismError`] for arity mismatches or degenerate
+    /// systems (fewer than two agents).
+    fn payments_with_sum(
+        &self,
+        bids: &[f64],
+        allocation: &Allocation,
+        exec_values: &[f64],
+        total_rate: f64,
+        s: TwoF64,
+    ) -> Result<Vec<f64>, MechanismError> {
+        let _ = s;
+        self.payments(bids, allocation, exec_values, total_rate)
+    }
 }
 
 /// Complete accounting of one mechanism round.

@@ -1323,9 +1323,11 @@ mod tests {
         let execute = phase_id("phase.execute");
         let bids: Vec<_> = spans.iter().filter(|s| s.name == "node.bid").collect();
         let execs: Vec<_> = spans.iter().filter(|s| s.name == "node.execute").collect();
-        // All n machines bid — machine 0 via the retransmitted request — and
-        // every node span is parented on the matching coordinator phase.
-        assert_eq!(bids.len(), n);
+        // Every bid request opens a node span: machine 0 answers both the
+        // original request (that bid is lost in transit) and the
+        // retransmission, so there are n + 1 bid spans — and every one is
+        // parented on the matching coordinator phase.
+        assert_eq!(bids.len(), n + 1);
         assert_eq!(execs.len(), n);
         assert!(bids.iter().all(|s| s.parent == Some(collect)));
         assert!(execs.iter().all(|s| s.parent == Some(execute)));

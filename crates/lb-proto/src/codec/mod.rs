@@ -330,7 +330,26 @@ mod tests {
                 .prop_map(|(round, rate)| Message::Assign { round, rate }),
             (round.clone(), any::<u32>())
                 .prop_map(|(round, machine)| Message::ExecutionDone { round, machine }),
-            (round, -1e12f64..1e12).prop_map(|(round, amount)| Message::Payment { round, amount }),
+            (round.clone(), -1e12f64..1e12)
+                .prop_map(|(round, amount)| Message::Payment { round, amount }),
+            (round.clone(), any::<u32>(), -1e12f64..1e12, -1e-6f64..1e-6).prop_map(
+                |(round, shard, sum_hi, sum_lo)| Message::ShardSum {
+                    round,
+                    shard,
+                    sum_hi,
+                    sum_lo,
+                },
+            ),
+            (
+                round,
+                any::<u32>(),
+                proptest::collection::vec(1e-12f64..1e12, 0..32)
+            )
+                .prop_map(|(round, shard, estimates)| Message::ShardEstimates {
+                    round,
+                    shard,
+                    estimates,
+                }),
         ]
     }
 

@@ -24,7 +24,7 @@ use crate::journal::{
 };
 use crate::message::{Message, RoundId};
 use crate::trace::{Anomaly, AnomalyStats};
-use lb_core::{Allocation, CoreError};
+use lb_core::{Allocation, CoreError, TwoF64};
 use lb_mechanism::{MechanismError, VerifiedMechanism};
 use lb_sim::driver::{simulate_round, SimulationConfig};
 use lb_telemetry::{
@@ -79,6 +79,15 @@ pub enum ProtocolError {
         /// What disagreed.
         what: &'static str,
     },
+    /// The round is too large for the wire format: machine indices and node
+    /// counts travel as `u32`, so a round is capped at `u32::MAX` nodes.
+    /// Validated up front by [`Coordinator::try_new`] — an oversized round
+    /// surfaces here instead of panicking mid-phase (or worse, attempting a
+    /// multi-gigabyte state allocation first).
+    TooManyNodes {
+        /// The offending node count.
+        n: usize,
+    },
     /// The durable journal failed (including injected crashes).
     Journal(JournalError),
     /// A mechanism or simulation error.
@@ -98,6 +107,9 @@ impl fmt::Display for ProtocolError {
             ),
             Self::MissingState { what } => write!(f, "missing round state: {what}"),
             Self::ReplayMismatch { what } => write!(f, "journal replay mismatch: {what}"),
+            Self::TooManyNodes { n } => {
+                write!(f, "round of {n} nodes exceeds the u32 wire-format limit")
+            }
             Self::Journal(e) => write!(f, "journal: {e}"),
             Self::Mechanism(e) => write!(f, "mechanism: {e}"),
         }
@@ -176,6 +188,11 @@ pub struct Coordinator<'m> {
     /// Whether `RoundSealed` has been journalled: the round will never emit
     /// again, so a replayed settle fan-out is a no-op.
     sealed: bool,
+    /// Whether this round's `LedgerSealed` record is already durable (written
+    /// by [`Coordinator::seal`], or inherited via replay). Tracked separately
+    /// from `sealed` so a crash *between* the two seal records does not make
+    /// the recovered process journal `LedgerSealed` twice.
+    ledger_sealed: bool,
     collector: Arc<dyn Collector>,
     /// Logical clock for telemetry, in seconds. The coordinator has no clock
     /// of its own; drivers call [`Coordinator::set_now`] before each handle
@@ -209,7 +226,8 @@ impl<'m> Coordinator<'m> {
     /// Creates a coordinator for a round over `n` nodes.
     ///
     /// # Panics
-    /// Panics if `n == 0`.
+    /// Panics if `n == 0` or `n` exceeds the `u32` wire-format limit; use
+    /// [`Coordinator::try_new`] to get a typed error instead.
     #[must_use]
     pub fn new(
         mechanism: &'m dyn VerifiedMechanism,
@@ -218,8 +236,38 @@ impl<'m> Coordinator<'m> {
         round: RoundId,
         sim_config: SimulationConfig,
     ) -> Self {
-        assert!(n > 0, "Coordinator: need at least one node");
-        Self {
+        match Self::try_new(mechanism, n, total_rate, round, sim_config) {
+            Ok(c) => c,
+            Err(e) => panic!("Coordinator: {e}"),
+        }
+    }
+
+    /// [`Coordinator::new`] with the size preconditions surfaced as typed
+    /// errors. Machine indices and node counts travel as `u32` on the wire
+    /// and in the journal, so the count is validated *before* any per-node
+    /// state is allocated — an oversized `n` answers with
+    /// [`ProtocolError::TooManyNodes`] instead of attempting a huge
+    /// allocation and then aborting mid-round at the first journal append.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::MissingState`] when `n == 0` and
+    /// [`ProtocolError::TooManyNodes`] when `n > u32::MAX`.
+    pub fn try_new(
+        mechanism: &'m dyn VerifiedMechanism,
+        n: usize,
+        total_rate: f64,
+        round: RoundId,
+        sim_config: SimulationConfig,
+    ) -> Result<Self, ProtocolError> {
+        if n == 0 {
+            return Err(ProtocolError::MissingState {
+                what: "at least one node",
+            });
+        }
+        if u32::try_from(n).is_err() {
+            return Err(ProtocolError::TooManyNodes { n });
+        }
+        Ok(Self {
             mechanism,
             total_rate,
             round,
@@ -237,6 +285,7 @@ impl<'m> Coordinator<'m> {
             journal_opened: false,
             ledger: RefCell::new(None),
             sealed: false,
+            ledger_sealed: false,
             collector: noop_collector(),
             now: Cell::new(0.0),
             round_span: Cell::new(SpanId::NULL),
@@ -244,7 +293,15 @@ impl<'m> Coordinator<'m> {
             spans_started: Cell::new(false),
             trace: Cell::new(None),
             wire_span: Cell::new(SpanId::NULL),
-        }
+        })
+    }
+
+    /// Narrows a machine index to the `u32` wire width. Infallible in
+    /// practice — [`Coordinator::try_new`] rejects rounds wider than
+    /// `u32::MAX` — but kept as a typed error so no hot path carries a
+    /// reachable panic.
+    fn machine_u32(i: usize) -> Result<u32, ProtocolError> {
+        u32::try_from(i).map_err(|_| ProtocolError::TooManyNodes { n: i })
     }
 
     /// Attaches a wire-propagated trace context. Outbound frames then carry
@@ -329,7 +386,8 @@ impl<'m> Coordinator<'m> {
         if !self.journal_opened {
             let opened = JournalRecord::RoundOpened {
                 round: self.round,
-                n: u32::try_from(self.bids.len()).expect("node count fits u32"),
+                n: u32::try_from(self.bids.len())
+                    .map_err(|_| ProtocolError::TooManyNodes { n: self.bids.len() })?,
                 total_rate: self.total_rate,
             };
             journal.append(&opened)?;
@@ -400,7 +458,9 @@ impl<'m> Coordinator<'m> {
 
     /// Opens the `round` span (and the collect-bids phase span) on first
     /// use. Lazy so that un-instrumented coordinators never allocate ids.
-    fn ensure_round_span(&self) {
+    /// `pub(crate)` so the shard runtime can open the spans before its
+    /// workers capture the phase span as their parent.
+    pub(crate) fn ensure_round_span(&self) {
         if self.spans_started.get() || !self.collector.enabled() {
             return;
         }
@@ -515,9 +575,12 @@ impl<'m> Coordinator<'m> {
     /// runtime re-requests exactly this set.
     #[must_use]
     pub fn missing_bids(&self) -> Vec<u32> {
-        (0..self.bids.len())
-            .filter(|&i| self.bids[i].is_none() && !self.excluded[i])
-            .map(|i| u32::try_from(i).expect("node index fits u32"))
+        // Pairing with a u32 counter keeps this hot path panic-free: try_new
+        // guarantees every index fits, so the zip never truncates.
+        (0u32..)
+            .zip(&self.bids)
+            .filter(|&(i, bid)| bid.is_none() && !self.excluded[i as usize])
+            .map(|(i, _)| i)
             .collect()
     }
 
@@ -549,7 +612,7 @@ impl<'m> Coordinator<'m> {
             return Ok(());
         }
         self.journal_append(JournalRecord::ExclusionDecided {
-            machine: u32::try_from(machine).expect("node index fits u32"),
+            machine: Self::machine_u32(machine)?,
             reason: ExclusionReason::Quarantine,
         })?;
         self.excluded[machine] = true;
@@ -695,12 +758,14 @@ impl<'m> Coordinator<'m> {
                     Ok(Vec::new())
                 }
             }
-            Message::RequestBid { .. } | Message::Assign { .. } | Message::Payment { .. } => {
-                Ok(self.reject(
-                    Anomaly::Misrouted,
-                    "coordinator received coordinator-originated message",
-                ))
-            }
+            Message::RequestBid { .. }
+            | Message::Assign { .. }
+            | Message::Payment { .. }
+            | Message::ShardSum { .. }
+            | Message::ShardEstimates { .. } => Ok(self.reject(
+                Anomaly::Misrouted,
+                "coordinator received coordinator-originated message",
+            )),
         }
     }
 
@@ -724,10 +789,21 @@ impl<'m> Coordinator<'m> {
             });
         }
         self.ensure_round_span();
+        self.exclude_missing()?;
+        if self.respondents().len() < 2 {
+            return Err(MechanismError::NeedTwoAgents.into());
+        }
+        self.begin_execution(actual_exec_values)
+    }
+
+    /// Journals and applies a timeout exclusion for every machine whose bid
+    /// has not arrived. Shared by [`Coordinator::close_bidding`] and the
+    /// sharded close.
+    fn exclude_missing(&mut self) -> Result<(), ProtocolError> {
         for i in 0..self.bids.len() {
             if self.bids[i].is_none() && !self.excluded[i] {
                 self.journal_append(JournalRecord::ExclusionDecided {
-                    machine: u32::try_from(i).expect("node index fits u32"),
+                    machine: Self::machine_u32(i)?,
                     reason: ExclusionReason::Timeout,
                 })?;
                 self.excluded[i] = true;
@@ -742,10 +818,7 @@ impl<'m> Coordinator<'m> {
                 );
             }
         }
-        if self.respondents().len() < 2 {
-            return Err(MechanismError::NeedTwoAgents.into());
-        }
-        self.begin_execution(actual_exec_values)
+        Ok(())
     }
 
     /// Execution timeout: settles from the coordinator's own measurements
@@ -763,6 +836,251 @@ impl<'m> Coordinator<'m> {
             });
         }
         self.settle()
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded (hierarchical) round API.
+    //
+    // [`Coordinator::handle`] scans all n bid slots after every accepted
+    // bid to decide whether to allocate — O(n) per message, O(n²) per
+    // round, which is what capped single-coordinator rounds near ~10⁴
+    // machines. The shard runtime (`crate::shard`) instead ingests whole
+    // batches of decoded frames through [`Coordinator::ingest`] and drives
+    // the phase transitions explicitly: close bidding once, allocate once
+    // against the merged per-shard harmonic sum, settle once. Journal
+    // grammar, anomaly accounting, exclusion semantics and telemetry are
+    // identical to the message-driven path — only the *trigger* moves from
+    // per-message scans to explicit bulk calls.
+    // ------------------------------------------------------------------
+
+    /// Absorbs one node message *without* triggering a phase transition:
+    /// exactly [`Coordinator::handle`]'s acceptance and anomaly semantics
+    /// (stale round, unsolicited, stale-after-exclusion, wrong phase,
+    /// duplicate), minus the all-bids-in / all-done scans and the resulting
+    /// allocation or settle. The sharded runtime calls this once per
+    /// upward-forwarded frame and decides the transitions itself.
+    ///
+    /// # Errors
+    /// Propagates journal failures (including injected crashes).
+    ///
+    /// # Panics
+    /// In strict mode only, panics on protocol violations, exactly as
+    /// [`Coordinator::handle`].
+    pub fn ingest(&mut self, message: &Message) -> Result<(), ProtocolError> {
+        self.ensure_round_span();
+        if message.round() != self.round {
+            self.reject(Anomaly::StaleRound, "coordinator: wrong round");
+            return Ok(());
+        }
+        match *message {
+            Message::Bid { machine, value, .. } => {
+                let idx = machine as usize;
+                if idx >= self.bids.len() {
+                    self.reject(Anomaly::Unsolicited, "coordinator: machine out of range");
+                    return Ok(());
+                }
+                if self.excluded[idx] {
+                    self.note_anomaly(Anomaly::StaleAfterExclusion);
+                    return Ok(());
+                }
+                if self.phase != CoordinatorPhase::CollectingBids {
+                    self.reject(Anomaly::WrongPhase, "bid outside collection phase");
+                    return Ok(());
+                }
+                if self.bids[idx].is_some() {
+                    let context = format!("coordinator: duplicate bid from {machine}");
+                    self.reject(Anomaly::DuplicateBid, &context);
+                    return Ok(());
+                }
+                self.journal_append(JournalRecord::BidAccepted { machine, value })?;
+                self.bids[idx] = Some(value);
+            }
+            Message::ExecutionDone { machine, .. } => {
+                if self.phase != CoordinatorPhase::Executing {
+                    self.reject(Anomaly::WrongPhase, "completion outside execution phase");
+                    return Ok(());
+                }
+                let idx = machine as usize;
+                if idx >= self.done.len() {
+                    self.reject(Anomaly::Unsolicited, "coordinator: machine out of range");
+                    return Ok(());
+                }
+                if self.excluded[idx] {
+                    self.note_anomaly(Anomaly::Unsolicited);
+                    return Ok(());
+                }
+                if self.done[idx] {
+                    self.note_anomaly(Anomaly::DuplicateAck);
+                    return Ok(());
+                }
+                self.journal_append(JournalRecord::ExecutionObserved { machine })?;
+                self.done[idx] = true;
+            }
+            Message::RequestBid { .. }
+            | Message::Assign { .. }
+            | Message::Payment { .. }
+            | Message::ShardSum { .. }
+            | Message::ShardEstimates { .. } => {
+                // Shard control frames are consumed by the shard runtime
+                // itself; reaching the round state machine means a routing
+                // bug, same as any coordinator-originated message.
+                self.reject(
+                    Anomaly::Misrouted,
+                    "coordinator received coordinator-originated message",
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Sharded bid-timeout: journals a timeout exclusion for every machine
+    /// whose bid has not arrived, exactly as [`Coordinator::close_bidding`],
+    /// but stays in the collection phase and returns the respondent set
+    /// instead of allocating — the shard runtime allocates separately via
+    /// [`Coordinator::begin_allocation_sharded`] once the per-shard harmonic
+    /// partials are merged.
+    ///
+    /// # Errors
+    /// Returns [`MechanismError::NeedTwoAgents`] (as
+    /// [`ProtocolError::Mechanism`]) with fewer than two respondents,
+    /// [`ProtocolError::PhaseViolation`] outside bid collection, or journal
+    /// errors.
+    pub fn close_bidding_sharded(&mut self) -> Result<Vec<usize>, ProtocolError> {
+        if self.phase != CoordinatorPhase::CollectingBids {
+            return Err(ProtocolError::PhaseViolation {
+                op: "close_bidding_sharded",
+                expected: CoordinatorPhase::CollectingBids,
+                actual: self.phase,
+            });
+        }
+        self.ensure_round_span();
+        self.exclude_missing()?;
+        let respondents = self.respondents();
+        if respondents.len() < 2 {
+            return Err(MechanismError::NeedTwoAgents.into());
+        }
+        Ok(respondents)
+    }
+
+    /// Computes the allocation from the respondent bids against the merged
+    /// per-shard harmonic sum `s` and returns the *full-width* rate vector
+    /// (excluded machines at 0). Opens the allocate phase span. The round
+    /// stays in the collection phase until
+    /// [`Coordinator::commit_allocation_sharded`] journals the commit — the
+    /// shard runtime runs the distributed verification simulation between
+    /// the two calls.
+    ///
+    /// # Errors
+    /// Returns [`MechanismError::NeedTwoAgents`] with fewer than two
+    /// respondents, [`ProtocolError::PhaseViolation`] outside bid
+    /// collection, or mechanism errors.
+    pub fn begin_allocation_sharded(&mut self, s: TwoF64) -> Result<Vec<f64>, ProtocolError> {
+        if self.phase != CoordinatorPhase::CollectingBids {
+            return Err(ProtocolError::PhaseViolation {
+                op: "begin_allocation_sharded",
+                expected: CoordinatorPhase::CollectingBids,
+                actual: self.phase,
+            });
+        }
+        self.ensure_round_span();
+        let respondents = self.respondents();
+        if respondents.len() < 2 {
+            return Err(MechanismError::NeedTwoAgents.into());
+        }
+        self.switch_phase_span(
+            Some(Phase::Allocate),
+            vec![Field::u64("respondents", respondents.len() as u64)],
+        );
+        let sub_bids: Vec<f64> = respondents
+            .iter()
+            .map(|&i| {
+                self.bids[i].ok_or(ProtocolError::MissingState {
+                    what: "respondent bid",
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let sub_alloc = self
+            .mechanism
+            .allocate_with_sum(&sub_bids, self.total_rate, s)?;
+        let mut rates = vec![0.0; self.bids.len()];
+        for (k, &i) in respondents.iter().enumerate() {
+            rates[i] = sub_alloc.rate(k);
+        }
+        Ok(rates)
+    }
+
+    /// Commits a sharded allocation: emits the `verify` instant (the
+    /// distributed verification simulation the shards ran between
+    /// [`Coordinator::begin_allocation_sharded`] and this call), journals
+    /// `AllocationCommitted`, advances to the execution phase and returns
+    /// the `Assign` fan-out — bit-identical journal and telemetry grammar to
+    /// the single-coordinator path. `rates` and `estimates` are full-width.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::PhaseViolation`] outside bid collection,
+    /// arity errors for mis-sized vectors, and journal/mechanism errors.
+    pub fn commit_allocation_sharded(
+        &mut self,
+        rates: Vec<f64>,
+        estimates: Vec<f64>,
+    ) -> Result<Vec<(u32, Message)>, ProtocolError> {
+        if self.phase != CoordinatorPhase::CollectingBids {
+            return Err(ProtocolError::PhaseViolation {
+                op: "commit_allocation_sharded",
+                expected: CoordinatorPhase::CollectingBids,
+                actual: self.phase,
+            });
+        }
+        let n = self.bids.len();
+        if rates.len() != n || estimates.len() != n {
+            return Err(CoreError::LengthMismatch {
+                expected: n,
+                actual: rates.len().min(estimates.len()),
+            }
+            .into());
+        }
+        self.collector.instant(
+            self.now.get(),
+            "verify",
+            Subsystem::Coordinator,
+            vec![
+                Field::u64("machines", self.respondents().len() as u64),
+                Field::f64("horizon", self.sim_config.horizon),
+            ],
+        );
+        self.commit_allocation(rates, estimates)
+    }
+
+    /// Sharded settle: computes payments against the merged per-shard
+    /// harmonic sum `s` (via the mechanism's
+    /// [`VerifiedMechanism::payments_with_sum`]) and returns the Payment
+    /// fan-out. Journal grammar, settlement gauges and phase transitions are
+    /// identical to the message-driven settle.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::PhaseViolation`] outside the execution
+    /// phase, or mechanism/journal errors.
+    pub fn settle_sharded(&mut self, s: TwoF64) -> Result<Vec<(u32, Message)>, ProtocolError> {
+        if self.phase != CoordinatorPhase::Executing {
+            return Err(ProtocolError::PhaseViolation {
+                op: "settle_sharded",
+                expected: CoordinatorPhase::Executing,
+                actual: self.phase,
+            });
+        }
+        self.settle_impl(Some(s))
+    }
+
+    /// The bid slots (`None` until a machine's bid is accepted). The shard
+    /// runtime reads these to recompute per-shard harmonic partials
+    /// deterministically after a crash recovery.
+    pub(crate) fn bid_slots(&self) -> &[Option<f64>] {
+        &self.bids
+    }
+
+    /// Per-machine completion flags.
+    pub(crate) fn done_flags(&self) -> &[bool] {
+        &self.done
     }
 
     fn begin_execution(
@@ -814,28 +1132,40 @@ impl<'m> Coordinator<'m> {
             rates[i] = sub_alloc.rate(k);
             estimates[i] = report.estimated_exec_values[k];
         }
-        self.estimated_exec = Some(estimates);
+        self.commit_allocation(rates, estimates)
+    }
 
-        let assigns = respondents
-            .iter()
-            .map(|&i| {
-                (
-                    u32::try_from(i).expect("node index fits u32"),
+    /// The shared allocation commit tail: journal `AllocationCommitted`,
+    /// commit, install the full-width allocation/estimates, advance to the
+    /// execution phase and build the `Assign` fan-out. `rates` and
+    /// `estimates` are full-width (excluded machines at 0).
+    fn commit_allocation(
+        &mut self,
+        rates: Vec<f64>,
+        estimates: Vec<f64>,
+    ) -> Result<Vec<(u32, Message)>, ProtocolError> {
+        let assigns = self
+            .respondents()
+            .into_iter()
+            .map(|i| {
+                Ok((
+                    Self::machine_u32(i)?,
                     Message::Assign {
                         round: self.round,
                         rate: rates[i],
                     },
-                )
+                ))
             })
-            .collect();
+            .collect::<Result<Vec<_>, ProtocolError>>()?;
         // Commit point: the allocation must be durable before any Assign
         // frame can reach a node.
         self.journal_append(JournalRecord::AllocationCommitted {
             rates: rates.clone(),
-            estimated_exec: self.estimated_exec.clone().expect("just set"),
+            estimated_exec: estimates.clone(),
         })?;
         self.journal_commit()?;
         self.allocation = Some(Allocation::new(rates, self.total_rate)?);
+        self.estimated_exec = Some(estimates);
         self.phase = CoordinatorPhase::Executing;
         self.switch_phase_span(Some(Phase::Execute), Vec::new());
         Ok(assigns)
@@ -850,6 +1180,13 @@ impl<'m> Coordinator<'m> {
     /// time — the former per-agent rebuild made this the quadratic hot spot
     /// that capped rounds near ~10³ machines.
     fn settle(&mut self) -> Result<Vec<(u32, Message)>, ProtocolError> {
+        self.settle_impl(None)
+    }
+
+    /// Settle body, parameterised by an optional pre-aggregated harmonic sum
+    /// (`Some` on the sharded path, `None` on the classic path, which lets
+    /// the mechanism re-reduce the respondent bids itself).
+    fn settle_impl(&mut self, s: Option<TwoF64>) -> Result<Vec<(u32, Message)>, ProtocolError> {
         let respondents = self.respondents();
         self.switch_phase_span(
             Some(Phase::Settle),
@@ -881,9 +1218,19 @@ impl<'m> Coordinator<'m> {
         let sub_alloc = Allocation::new(sub_rates, self.total_rate)?;
         let sub_estimates: Vec<f64> = respondents.iter().map(|&i| estimates[i]).collect();
 
-        let sub_payments =
-            self.mechanism
-                .payments(&sub_bids, &sub_alloc, &sub_estimates, self.total_rate)?;
+        let sub_payments = match s {
+            Some(s) => self.mechanism.payments_with_sum(
+                &sub_bids,
+                &sub_alloc,
+                &sub_estimates,
+                self.total_rate,
+                s,
+            )?,
+            None => {
+                self.mechanism
+                    .payments(&sub_bids, &sub_alloc, &sub_estimates, self.total_rate)?
+            }
+        };
         let mut payments = vec![0.0; self.bids.len()];
         for (k, &i) in respondents.iter().enumerate() {
             payments[i] = sub_payments[k];
@@ -898,15 +1245,15 @@ impl<'m> Coordinator<'m> {
         let out = respondents
             .iter()
             .map(|&i| {
-                (
-                    u32::try_from(i).expect("node index fits u32"),
+                Ok((
+                    Self::machine_u32(i)?,
                     Message::Payment {
                         round: self.round,
                         amount: payments[i],
                     },
-                )
+                ))
             })
-            .collect();
+            .collect::<Result<Vec<_>, ProtocolError>>()?;
         self.payments = Some(payments);
         self.emit_settlement_gauges();
         self.phase = CoordinatorPhase::Done;
@@ -998,14 +1345,17 @@ impl<'m> Coordinator<'m> {
                 actual: self.phase,
             });
         }
-        if self.journal.is_some() {
+        if self.journal.is_some() && !self.ledger_sealed {
             // Tamper-evidence seal first: its digest covers every framed
             // byte written so far (this round's records included), then the
-            // seal record itself joins the chain for the next round.
+            // seal record itself joins the chain for the next round. Skipped
+            // when a replayed journal already carries this round's
+            // `LedgerSealed` (the crash hit between the two seal records).
             let digest = self.ledger_head().ok_or(ProtocolError::MissingState {
                 what: "ledger chain head",
             })?;
             self.journal_append(JournalRecord::LedgerSealed { digest })?;
+            self.ledger_sealed = true;
         }
         self.journal_append(JournalRecord::RoundSealed)?;
         self.journal_commit()?;
@@ -1098,10 +1448,12 @@ impl<'m> Coordinator<'m> {
                 self.sealed = true;
             }
             JournalRecord::LedgerSealed { .. } => {
-                // Tamper-evidence seal: carries no round state. Its digest is
-                // checked offline by `lb_audit::verify_ledger`, not during
-                // recovery (recovery trusts the CRC framing; an auditor does
-                // not have to).
+                // Tamper-evidence seal: carries no round state beyond the
+                // fact that it was written (so `seal` won't write it again).
+                // Its digest is checked offline by `lb_audit::verify_ledger`,
+                // not during recovery (recovery trusts the CRC framing; an
+                // auditor does not have to).
+                self.ledger_sealed = true;
             }
         }
         Ok(())
@@ -1149,20 +1501,19 @@ impl<'m> Coordinator<'m> {
                     .allocation
                     .as_ref()
                     .ok_or(ProtocolError::MissingState { what: "allocation" })?;
-                Ok(self
-                    .respondents()
+                self.respondents()
                     .into_iter()
                     .filter(|&i| !self.done[i])
                     .map(|i| {
-                        (
-                            u32::try_from(i).expect("node index fits u32"),
+                        Ok((
+                            Self::machine_u32(i)?,
                             Message::Assign {
                                 round: self.round,
                                 rate: allocation.rate(i),
                             },
-                        )
+                        ))
                     })
-                    .collect())
+                    .collect()
             }
             CoordinatorPhase::Settling | CoordinatorPhase::Done => {
                 if self.sealed {
@@ -1176,19 +1527,18 @@ impl<'m> Coordinator<'m> {
                 let payments = self.payments.as_ref().ok_or(ProtocolError::MissingState {
                     what: "payment ledger",
                 })?;
-                Ok(self
-                    .respondents()
+                self.respondents()
                     .into_iter()
                     .map(|i| {
-                        (
-                            u32::try_from(i).expect("node index fits u32"),
+                        Ok((
+                            Self::machine_u32(i)?,
                             Message::Payment {
                                 round: self.round,
                                 amount: payments[i],
                             },
-                        )
+                        ))
                     })
-                    .collect())
+                    .collect()
             }
         }
     }
@@ -1883,6 +2233,134 @@ mod tests {
         assert!(matches!(
             out,
             Err(ProtocolError::Mechanism(MechanismError::NeedTwoAgents))
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_empty_rounds_with_a_typed_error() {
+        let mech = CompensationBonusMechanism::paper();
+        assert!(matches!(
+            Coordinator::try_new(&mech, 0, 3.0, RoundId(0), config()),
+            Err(ProtocolError::MissingState { .. })
+        ));
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn try_new_rejects_oversized_rounds_before_allocating() {
+        // Regression: `u32::try_from(n).expect(...)` used to panic deep in
+        // journal_append / fan-out paths. The count is now validated up
+        // front — and *before* the per-node vectors are allocated, so this
+        // test is cheap despite asking for 2^32 nodes.
+        let mech = CompensationBonusMechanism::paper();
+        let n = usize::try_from(u64::from(u32::MAX) + 1).unwrap();
+        match Coordinator::try_new(&mech, n, 3.0, RoundId(0), config()) {
+            Err(ProtocolError::TooManyNodes { n: got }) => assert_eq!(got, n),
+            other => panic!("expected TooManyNodes, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn sharded_transitions_reproduce_the_message_driven_round_bitwise() {
+        use lb_core::inv_sum_dd;
+        let mech = CompensationBonusMechanism::paper();
+        let trues = [1.0, 2.0, 4.0, 8.0];
+        let bids = [1.0, 2.0, 4.0, 8.0];
+
+        // Reference: the classic per-message round.
+        let mut classic = Coordinator::new(&mech, 4, 3.0, RoundId(0), config());
+        let mut last = Vec::new();
+        for (machine, value) in bids.iter().copied().enumerate() {
+            last = classic
+                .handle(
+                    &Message::Bid {
+                        round: RoundId(0),
+                        machine: u32::try_from(machine).unwrap(),
+                        value,
+                    },
+                    &trues,
+                )
+                .unwrap();
+        }
+        assert_eq!(classic.phase(), CoordinatorPhase::Executing);
+        let classic_assigns = last.clone();
+        for machine in 0..4u32 {
+            last = classic
+                .handle(
+                    &Message::ExecutionDone {
+                        round: RoundId(0),
+                        machine,
+                    },
+                    &trues,
+                )
+                .unwrap();
+        }
+        let classic_payments = last;
+
+        // Sharded: ingest the same bids, then drive the transitions
+        // explicitly with the externally merged harmonic sum.
+        let mut sharded = Coordinator::new(&mech, 4, 3.0, RoundId(0), config());
+        for (machine, value) in bids.iter().copied().enumerate() {
+            sharded
+                .ingest(&Message::Bid {
+                    round: RoundId(0),
+                    machine: u32::try_from(machine).unwrap(),
+                    value,
+                })
+                .unwrap();
+        }
+        let respondents = sharded.close_bidding_sharded().unwrap();
+        assert_eq!(respondents, vec![0, 1, 2, 3]);
+        assert_eq!(sharded.phase(), CoordinatorPhase::CollectingBids);
+        let s = inv_sum_dd(&bids);
+        let rates = sharded.begin_allocation_sharded(s).unwrap();
+        // The shards would simulate here; this test reuses the classic
+        // round's verification plane for a like-for-like comparison.
+        let report = lb_sim::driver::simulate_round(&bids, &trues, 3.0, &config()).unwrap();
+        let assigns = sharded
+            .commit_allocation_sharded(rates, report.estimated_exec_values)
+            .unwrap();
+        assert_eq!(assigns, classic_assigns);
+        for machine in 0..4u32 {
+            sharded
+                .ingest(&Message::ExecutionDone {
+                    round: RoundId(0),
+                    machine,
+                })
+                .unwrap();
+        }
+        let payments = sharded.settle_sharded(s).unwrap();
+        assert_eq!(payments, classic_payments);
+
+        let (ca, sa) = (classic.allocation().unwrap(), sharded.allocation().unwrap());
+        for i in 0..4 {
+            assert_eq!(ca.rate(i).to_bits(), sa.rate(i).to_bits());
+        }
+        assert_eq!(
+            classic.estimated_exec_values().unwrap(),
+            sharded.estimated_exec_values().unwrap()
+        );
+        assert_eq!(classic.payments().unwrap(), sharded.payments().unwrap());
+    }
+
+    #[test]
+    fn sharded_transitions_enforce_their_phase_preconditions() {
+        use lb_core::inv_sum_dd;
+        let mech = CompensationBonusMechanism::paper();
+        let mut c = Coordinator::new(&mech, 2, 3.0, RoundId(0), config());
+        let s = inv_sum_dd(&[1.0, 2.0]);
+        assert!(matches!(
+            c.settle_sharded(s),
+            Err(ProtocolError::PhaseViolation { .. })
+        ));
+        // No bids at all: closing must fail, and not change phase.
+        assert!(matches!(
+            c.close_bidding_sharded(),
+            Err(ProtocolError::Mechanism(MechanismError::NeedTwoAgents))
+        ));
+        assert!(matches!(
+            c.commit_allocation_sharded(vec![1.0], vec![1.0]),
+            Err(ProtocolError::Mechanism(_))
         ));
     }
 }

@@ -31,6 +31,12 @@
 //!   the `PaymentsCommitted` record, never recompute) and an idempotent
 //!   resume fan-out; [`session::run_chaos_session_durable`] crash-tests
 //!   whole sessions against a seeded [`session::CrashPlan`].
+//! * [`shard`] — a hierarchical two-level topology for million-machine
+//!   rounds: `k` shard coordinators run collect/execute locally on worker
+//!   threads, ship partial double-double harmonic sums upward as
+//!   [`Message::ShardSum`] frames, and the root merges them with
+//!   [`lb_core::merge_inv_sums`] — allocations and payments stay
+//!   bit-identical to the single-coordinator round for every shard count.
 //!
 //! Every driver is instrumented for `lb-telemetry`: attach a collector
 //! (e.g. [`lb_telemetry::RingCollector`]) via
@@ -66,6 +72,7 @@ pub mod node;
 pub mod recovery;
 pub mod runtime;
 pub mod session;
+pub mod shard;
 pub mod threaded;
 pub mod trace;
 
@@ -97,6 +104,10 @@ pub use session::{
     run_chaos_session, run_chaos_session_durable, run_chaos_session_observed,
     run_chaos_session_sampled, run_session, ChaosRoundResult, ChaosSessionConfig,
     ChaosSessionReport, CrashPlan, DurableSessionReport, MachineHealth, SessionReport,
+};
+pub use shard::{
+    drive_sharded_round, expected_sharded_message_count, report_from_root, run_round_sharded,
+    run_round_sharded_observed, shard_ranges, ShardPhaseTimings, ShardRoundReport,
 };
 pub use threaded::{
     run_protocol_round_threaded, run_protocol_round_threaded_exposed,

@@ -51,6 +51,29 @@ pub enum Message {
         /// Payment amount (may be negative — a fine).
         amount: f64,
     },
+    /// Shard → root: the shard's partial harmonic sum `Σ 1/b_i` over its
+    /// respondent bids, carried as the two limbs of a double-double so the
+    /// merged total is bit-identical to a single-coordinator round.
+    ShardSum {
+        /// Round being aggregated.
+        round: RoundId,
+        /// Shard index (not a machine index).
+        shard: u32,
+        /// High limb of the partial double-double sum.
+        sum_hi: f64,
+        /// Low (compensation) limb of the partial double-double sum.
+        sum_lo: f64,
+    },
+    /// Shard → root: verified execution-rate estimates for the shard's
+    /// respondents, in ascending machine order within the shard.
+    ShardEstimates {
+        /// Round being aggregated.
+        round: RoundId,
+        /// Shard index (not a machine index).
+        shard: u32,
+        /// Estimated `t̃_i` per respondent, shard-local respondent order.
+        estimates: Vec<f64>,
+    },
 }
 
 impl Message {
@@ -62,7 +85,9 @@ impl Message {
             | Self::Bid { round, .. }
             | Self::Assign { round, .. }
             | Self::ExecutionDone { round, .. }
-            | Self::Payment { round, .. } => *round,
+            | Self::Payment { round, .. }
+            | Self::ShardSum { round, .. }
+            | Self::ShardEstimates { round, .. } => *round,
         }
     }
 
@@ -76,6 +101,8 @@ impl Message {
             Self::Assign { .. } => "assign",
             Self::ExecutionDone { .. } => "execution_done",
             Self::Payment { .. } => "payment",
+            Self::ShardSum { .. } => "shard_sum",
+            Self::ShardEstimates { .. } => "shard_estimates",
         }
     }
 
@@ -84,7 +111,11 @@ impl Message {
     pub fn machine(&self) -> Option<u32> {
         match self {
             Self::Bid { machine, .. } | Self::ExecutionDone { machine, .. } => Some(*machine),
-            Self::RequestBid { .. } | Self::Assign { .. } | Self::Payment { .. } => None,
+            Self::RequestBid { .. }
+            | Self::Assign { .. }
+            | Self::Payment { .. }
+            | Self::ShardSum { .. }
+            | Self::ShardEstimates { .. } => None,
         }
     }
 
@@ -97,6 +128,8 @@ impl Message {
             Self::Assign { .. } => "assign",
             Self::ExecutionDone { .. } => "execution-done",
             Self::Payment { .. } => "payment",
+            Self::ShardSum { .. } => "shard-sum",
+            Self::ShardEstimates { .. } => "shard-estimates",
         }
     }
 }
@@ -126,6 +159,17 @@ mod tests {
             Message::Payment {
                 round: RoundId(1),
                 amount: -19.4,
+            },
+            Message::ShardSum {
+                round: RoundId(1),
+                shard: 2,
+                sum_hi: 1.5,
+                sum_lo: -1e-18,
+            },
+            Message::ShardEstimates {
+                round: RoundId(1),
+                shard: 2,
+                estimates: vec![1.0, 2.5, 4.125],
             },
         ];
         for m in &msgs {

@@ -124,8 +124,14 @@ impl NodeAgent {
                 }
                 None
             }
-            Message::Bid { .. } | Message::ExecutionDone { .. } => {
-                panic!("node {} received node-originated message", self.machine)
+            Message::Bid { .. }
+            | Message::ExecutionDone { .. }
+            | Message::ShardSum { .. }
+            | Message::ShardEstimates { .. } => {
+                panic!(
+                    "node {} received node-originated or shard-control message",
+                    self.machine
+                )
             }
         }
     }

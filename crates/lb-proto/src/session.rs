@@ -830,7 +830,9 @@ where
     if collector.enabled() {
         // Durability counters, exported as gauges so `/metrics` and lb_top
         // show the session's crash history without access to the report.
-        let at = runtime.now().seconds();
+        // The runtime is lazily constructed per round; a zero-round session
+        // never builds one and reports its gauges at t = 0.
+        let at = runtime.as_ref().map_or(0.0, |rt| rt.now().seconds());
         #[allow(clippy::cast_precision_loss)]
         let durable = [
             ("durable.crashes", crashes as f64),

@@ -1,0 +1,1145 @@
+//! Sharded hierarchical coordinator: million-machine rounds over a
+//! two-level tree.
+//!
+//! The single [`crate::coordinator::Coordinator`] tops out well below 10⁶
+//! machines: every phase funnels through one state machine that touches
+//! every frame. This module splits a round across `k` *shard coordinators*,
+//! each owning a contiguous slice of `n/k` machines:
+//!
+//! * **Collect** — each shard requests and gathers its own slice's bids in
+//!   parallel (one worker thread per shard), forwarding the accepted `Bid`
+//!   frames upward over the existing wire codec.
+//! * **Aggregate** — each shard reduces its respondent bids to a partial
+//!   double-double harmonic sum `Σ 1/b_i`, shipped upward as a
+//!   [`Message::ShardSum`] carrying both limbs; the root merges the partials
+//!   with [`lb_core::merge_inv_sums`] (a balanced pairwise tree) and runs
+//!   the PR allocation against the merged sum.
+//! * **Execute / verify** — each shard runs the verification simulation for
+//!   its own respondents ([`lb_sim::driver::simulate_partition`], whose
+//!   per-machine RNG streams are keyed by global respondent ordinal, so the
+//!   sharded observation is bit-identical to the unsharded one) and ships
+//!   the estimates upward as [`Message::ShardEstimates`].
+//! * **Settle** — the root computes payments against the merged sum and the
+//!   shards fan the `Payment` frames back down in parallel.
+//!
+//! The root stays on the calling thread (it owns the non-`Send` journal
+//! handle); shard workers run under [`std::thread::scope`] and only touch
+//! their own agents plus the shared, thread-safe
+//! [`lb_telemetry::Collector`]. Frames are decoded and ingested at the root
+//! in shard order, so the journal grammar — `RoundOpened`, ascending
+//! `BidAccepted`/`ExclusionDecided`, `AllocationCommitted`,
+//! `ExecutionObserved`, `PaymentsCommitted`, the seals — is byte-identical
+//! to an uninterrupted run regardless of worker scheduling, and
+//! [`crate::recovery::recover_round`] + [`drive_sharded_round`] resume a
+//! crashed sharded round from any record boundary.
+//!
+//! # Numerical contract
+//!
+//! The merged harmonic sum differs from the sequential single-coordinator
+//! fold only by the double-double representation error, about `n · 2⁻¹⁰⁶`
+//! relative — far below the `2⁻⁵³` step of the final `f64` rounding, so
+//! allocations and payments are bit-identical to the single-coordinator
+//! round for every shard count (`k = 1` *is* the sequential fold). The
+//! `lb-fuzz` `shard` oracle re-checks this differentially every CI run.
+
+use crate::codec::{decode_with_context, encode_with_context, CodecError};
+use crate::coordinator::{Coordinator, CoordinatorPhase, ProtocolError};
+use crate::faults::FaultPlan;
+use crate::message::{Message, RoundId};
+use crate::network::MessageStats;
+use crate::node::{NodeAgent, NodeSpec};
+use crate::runtime::ProtocolConfig;
+use bytes::Bytes;
+use lb_core::{inv_sum_dd, merge_inv_sums, CoreError, TwoF64};
+use lb_mechanism::{MechanismError, VerifiedMechanism};
+use lb_sim::driver::{simulate_partition_observed, SimulationConfig};
+use lb_telemetry::{noop_collector, Collector, Field, SpanId, Subsystem, TraceContext};
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Contiguous shard ranges: `k` slices covering `0..n`, the first `n % k`
+/// one element longer. `k` is clamped to `1..=n` (a shard never owns zero
+/// machines, and at least one shard exists).
+#[must_use]
+pub fn shard_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
+    let k = k.clamp(1, n.max(1));
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for s in 0..k {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// The shard owning global machine index `i` under `ranges`.
+fn shard_of(ranges: &[Range<usize>], i: usize) -> usize {
+    ranges.partition_point(|r| r.end <= i)
+}
+
+/// Wall-clock seconds spent in each phase of a sharded round, measured at
+/// the root (collect includes the upward bid forwarding; allocate includes
+/// the partial-sum merge and the distributed verification simulation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardPhaseTimings {
+    /// Bid request fan-out, shard-local collection, upward ingest, timeout.
+    pub collect: f64,
+    /// Partial-sum aggregation, allocation, verification, commit.
+    pub allocate: f64,
+    /// Assign fan-out and completion acknowledgements.
+    pub execute: f64,
+    /// Payment computation, downward delivery, seal.
+    pub settle: f64,
+}
+
+/// Outcome of one sharded round, read from the root coordinator's ledger
+/// (full-width; excluded machines have rate 0 and payment 0).
+#[derive(Debug, Clone)]
+pub struct ShardRoundReport {
+    /// Per-machine assigned rates.
+    pub rates: Vec<f64>,
+    /// Per-machine payments from the durable ledger.
+    pub payments: Vec<f64>,
+    /// Verification estimates (0 for excluded machines).
+    pub estimated_exec_values: Vec<f64>,
+    /// Which machines were excluded from the round.
+    pub excluded: Vec<bool>,
+    /// Protocol anomalies the root absorbed.
+    pub anomalies: crate::trace::AnomalyStats,
+    /// Control-plane traffic, both tiers combined.
+    pub stats: MessageStats,
+    /// Number of shard coordinators the round ran over.
+    pub shards: usize,
+    /// Per-phase wall-clock timings.
+    pub timings: ShardPhaseTimings,
+}
+
+/// Control messages a fault-free sharded round exchanges: the
+/// single-coordinator `5n` (request, bid, assign, ack, payment per node)
+/// plus one `ShardSum` and one `ShardEstimates` per shard.
+#[must_use]
+pub fn expected_sharded_message_count(n: usize, shards: usize) -> u64 {
+    5 * n as u64 + 2 * shard_ranges(n, shards).len() as u64
+}
+
+fn codec_err(e: CodecError) -> ProtocolError {
+    MechanismError::Core(CoreError::Infeasible {
+        reason: e.to_string(),
+    })
+    .into()
+}
+
+/// Counts one encoded frame into shard-local stats and, when telemetry is
+/// on, the shared `net.*` counters (same accounting as the threaded
+/// runtime).
+fn count_frame(stats: &mut MessageStats, collector: &dyn Collector, epoch: Instant, frame: &Bytes) {
+    stats.messages += 1;
+    stats.bytes += frame.len() as u64;
+    if collector.enabled() {
+        let at = epoch.elapsed().as_secs_f64();
+        collector.counter(at, "net.messages", Subsystem::Network, 1);
+        collector.counter(at, "net.bytes", Subsystem::Network, frame.len() as u64);
+    }
+}
+
+fn shard_span(
+    collector: &dyn Collector,
+    epoch: Instant,
+    name: &'static str,
+    parent: SpanId,
+    shard: usize,
+    machines: usize,
+) -> SpanId {
+    if !collector.enabled() {
+        return SpanId::NULL;
+    }
+    collector.span_start_in(
+        epoch.elapsed().as_secs_f64(),
+        name,
+        Subsystem::Shard,
+        parent,
+        vec![
+            Field::u64("shard", shard as u64),
+            Field::u64("machines", machines as u64),
+        ],
+    )
+}
+
+/// The context upward frames carry: the shard's own span when one is open,
+/// otherwise the root's wire context unchanged.
+fn upward_ctx(wire: Option<TraceContext>, span: SpanId) -> Option<TraceContext> {
+    if span.is_null() {
+        wire
+    } else {
+        wire.map(|c| c.with_span(span.0))
+    }
+}
+
+/// Whether a machine's bid is lost on the way up. `lose_bid_attempts` with
+/// any `k >= 1` is fatal here because the sharded driver, like
+/// [`crate::faults::run_protocol_round_with_faults`], never retries.
+fn bid_lost(faults: &FaultPlan, machine: u32) -> bool {
+    faults.lose_bids_from.contains(&machine)
+        || faults.partitioned.contains(&machine)
+        || faults
+            .lose_bid_attempts
+            .iter()
+            .any(|&(m, k)| m == machine && k >= 1)
+}
+
+fn ack_lost(faults: &FaultPlan, machine: u32) -> bool {
+    faults.lose_acks_from.contains(&machine) || faults.partitioned.contains(&machine)
+}
+
+/// Splits `agents` into per-shard mutable slices following `ranges`.
+fn shard_slices<'a>(
+    agents: &'a mut [NodeAgent],
+    ranges: &[Range<usize>],
+) -> Vec<&'a mut [NodeAgent]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut rest = agents;
+    for r in ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// The root's view of who can still participate: the accepted bid for
+/// non-excluded machines, `None` elsewhere.
+fn respondent_bids(root: &Coordinator<'_>) -> Vec<Option<f64>> {
+    root.bid_slots()
+        .iter()
+        .zip(root.excluded())
+        .map(|(bid, &excluded)| if excluded { None } else { *bid })
+        .collect()
+}
+
+/// Recomputes the merged harmonic sum from the root's current bid state —
+/// per-shard partials over the same ranges, merged the same way — so a
+/// recovered round settles against bit-identically the sum the crashed
+/// process allocated with.
+fn merged_sum(root: &Coordinator<'_>, ranges: &[Range<usize>]) -> TwoF64 {
+    let bids = respondent_bids(root);
+    let partials: Vec<TwoF64> = ranges
+        .iter()
+        .map(|r| {
+            let values: Vec<f64> = bids[r.clone()].iter().filter_map(|b| *b).collect();
+            inv_sum_dd(&values)
+        })
+        .collect();
+    merge_inv_sums(&partials)
+}
+
+/// What one shard worker hands back up: the encoded node-originated frames
+/// in ascending machine order, plus the frames it counted (both directions).
+#[derive(Default)]
+struct ShardBatch {
+    up: Vec<Bytes>,
+    sent: MessageStats,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_shard(
+    shard: usize,
+    range: Range<usize>,
+    agents: &mut [NodeAgent],
+    already: &[bool],
+    excluded: &[bool],
+    faults: &FaultPlan,
+    round: RoundId,
+    wire: Option<TraceContext>,
+    parent: SpanId,
+    collector: &dyn Collector,
+    epoch: Instant,
+) -> Result<ShardBatch, ProtocolError> {
+    let mut batch = ShardBatch::default();
+    let span = shard_span(
+        collector,
+        epoch,
+        "shard.collect",
+        parent,
+        shard,
+        range.len(),
+    );
+    for (agent, i) in agents.iter_mut().zip(range) {
+        let machine = agent.machine;
+        // Machines that already bid (a recovered round's durable prefix),
+        // quarantined machines, and partitioned machines get no request.
+        if already[i] || excluded[i] || faults.partitioned.contains(&machine) {
+            continue;
+        }
+        let request = Message::RequestBid { round };
+        let frame = encode_with_context(&request, wire.as_ref()).map_err(codec_err)?;
+        count_frame(&mut batch.sent, collector, epoch, &frame);
+        let (request, _ctx): (Message, Option<TraceContext>) =
+            decode_with_context(&frame).map_err(codec_err)?;
+        let Some(bid) = agent.handle(&request) else {
+            continue;
+        };
+        if bid_lost(faults, machine) {
+            continue;
+        }
+        let ctx = upward_ctx(wire, span);
+        let frame = encode_with_context(&bid, ctx.as_ref()).map_err(codec_err)?;
+        count_frame(&mut batch.sent, collector, epoch, &frame);
+        batch.up.push(frame);
+    }
+    collector.span_end(epoch.elapsed().as_secs_f64(), span);
+    Ok(batch)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify_shard(
+    shard: usize,
+    sub_bids: &[f64],
+    sub_exec: &[f64],
+    sub_rates: &[f64],
+    stream_offset: u64,
+    sim: &SimulationConfig,
+    round: RoundId,
+    wire: Option<TraceContext>,
+    parent: SpanId,
+    collector: &dyn Collector,
+    epoch: Instant,
+) -> Result<ShardBatch, ProtocolError> {
+    let mut batch = ShardBatch::default();
+    let span = shard_span(
+        collector,
+        epoch,
+        "shard.verify",
+        parent,
+        shard,
+        sub_bids.len(),
+    );
+    let report = simulate_partition_observed(
+        sub_bids,
+        sub_exec,
+        sub_rates,
+        sim,
+        stream_offset,
+        collector,
+        span,
+    )
+    .map_err(|e| ProtocolError::from(MechanismError::Core(e)))?;
+    let msg = Message::ShardEstimates {
+        round,
+        shard: u32::try_from(shard).expect("shard count fits u32"),
+        estimates: report.estimated_exec_values,
+    };
+    let ctx = upward_ctx(wire, span);
+    let frame = encode_with_context(&msg, ctx.as_ref()).map_err(codec_err)?;
+    count_frame(&mut batch.sent, collector, epoch, &frame);
+    batch.up.push(frame);
+    collector.span_end(epoch.elapsed().as_secs_f64(), span);
+    Ok(batch)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_shard(
+    shard: usize,
+    range: Range<usize>,
+    agents: &mut [NodeAgent],
+    assigns: &[(usize, Message)],
+    faults: &FaultPlan,
+    wire: Option<TraceContext>,
+    parent: SpanId,
+    collector: &dyn Collector,
+    epoch: Instant,
+) -> Result<ShardBatch, ProtocolError> {
+    let mut batch = ShardBatch::default();
+    let span = shard_span(
+        collector,
+        epoch,
+        "shard.execute",
+        parent,
+        shard,
+        assigns.len(),
+    );
+    for (i, msg) in assigns {
+        let local = i - range.start;
+        let machine = agents[local].machine;
+        if faults.partitioned.contains(&machine) {
+            continue;
+        }
+        let frame = encode_with_context(msg, wire.as_ref()).map_err(codec_err)?;
+        count_frame(&mut batch.sent, collector, epoch, &frame);
+        let (assign, _ctx): (Message, Option<TraceContext>) =
+            decode_with_context(&frame).map_err(codec_err)?;
+        let Some(ack) = agents[local].handle(&assign) else {
+            continue;
+        };
+        if ack_lost(faults, machine) {
+            continue;
+        }
+        let ctx = upward_ctx(wire, span);
+        let frame = encode_with_context(&ack, ctx.as_ref()).map_err(codec_err)?;
+        count_frame(&mut batch.sent, collector, epoch, &frame);
+        batch.up.push(frame);
+    }
+    collector.span_end(epoch.elapsed().as_secs_f64(), span);
+    Ok(batch)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn settle_shard(
+    shard: usize,
+    range: Range<usize>,
+    agents: &mut [NodeAgent],
+    payments: &[(usize, Message)],
+    faults: &FaultPlan,
+    wire: Option<TraceContext>,
+    collector: &dyn Collector,
+    epoch: Instant,
+) -> Result<ShardBatch, ProtocolError> {
+    let mut batch = ShardBatch::default();
+    for (i, msg) in payments {
+        let local = i - range.start;
+        let machine = agents[local].machine;
+        if faults.partitioned.contains(&machine) {
+            continue;
+        }
+        let frame = encode_with_context(msg, wire.as_ref()).map_err(codec_err)?;
+        count_frame(&mut batch.sent, collector, epoch, &frame);
+        let (payment, _ctx): (Message, Option<TraceContext>) =
+            decode_with_context(&frame).map_err(codec_err)?;
+        let _ = agents[local].handle(&payment);
+    }
+    // The phase spans closed when the root settled, so the downward
+    // delivery is an instant, not a span.
+    collector.instant(
+        epoch.elapsed().as_secs_f64(),
+        "shard.settle",
+        Subsystem::Shard,
+        vec![
+            Field::u64("shard", shard as u64),
+            Field::u64("machines", payments.len() as u64),
+        ],
+    );
+    Ok(batch)
+}
+
+/// Joins one stage's workers in shard order, folding their traffic into
+/// `stats` and returning the upward frame batches, still shard-ordered.
+fn join_stage(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, Result<ShardBatch, ProtocolError>>>,
+    stats: &mut MessageStats,
+) -> Result<Vec<Vec<Bytes>>, ProtocolError> {
+    let mut batches = Vec::with_capacity(handles.len());
+    for handle in handles {
+        let batch = handle.join().expect("shard worker panicked")?;
+        stats.messages += batch.sent.messages;
+        stats.bytes += batch.sent.bytes;
+        batches.push(batch.up);
+    }
+    Ok(batches)
+}
+
+/// Drives one sharded round to completion on `root`, which may be freshly
+/// constructed *or* recovered mid-round by [`crate::recovery::recover_round`]
+/// — the driver picks up from whatever phase the replay reconstructed, and
+/// the records it appends continue the journal exactly where an
+/// uninterrupted run would have, so crash-recovered and uninterrupted rounds
+/// produce byte-identical journals.
+///
+/// `faults` drops frames exactly as
+/// [`crate::faults::run_protocol_round_with_faults`]: lost bids exclude the
+/// machine at the bid timeout, lost acks don't delay settlement, partitioned
+/// machines see nothing.
+///
+/// # Errors
+/// Propagates mechanism errors (notably
+/// [`lb_mechanism::MechanismError::NeedTwoAgents`] when fewer than two bids
+/// survive), journal failures (including injected crashes) and codec
+/// errors.
+///
+/// # Panics
+/// Panics if a shard worker thread panics, or — with a strict root — on
+/// protocol violations.
+pub fn drive_sharded_round(
+    root: &mut Coordinator<'_>,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    shards: usize,
+    faults: &FaultPlan,
+) -> Result<(MessageStats, ShardPhaseTimings), ProtocolError> {
+    let n = specs.len();
+    if n != root.bid_slots().len() {
+        return Err(CoreError::LengthMismatch {
+            expected: root.bid_slots().len(),
+            actual: n,
+        }
+        .into());
+    }
+    let round = root.round();
+    let collector = Arc::clone(root.collector());
+    let epoch = Instant::now();
+    let ranges = shard_ranges(n, shards);
+    let mut stats = MessageStats::default();
+    let mut timings = ShardPhaseTimings::default();
+
+    let mut agents: Vec<NodeAgent> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &spec)| NodeAgent::new(u32::try_from(i).expect("fits u32"), spec))
+        .collect();
+
+    // The merged harmonic sum, carried from allocation to settlement.
+    // Recomputed from journal state when the round resumes past allocation.
+    let mut merged: Option<TwoF64> = None;
+
+    // ---- Collect: shard-local bid gathering, upward ingest, timeout. ----
+    if root.phase() == CoordinatorPhase::CollectingBids {
+        let t = Instant::now();
+        root.set_now(epoch.elapsed().as_secs_f64());
+        root.ensure_round_span();
+        let wire = root.wire_context();
+        let parent = root.phase_span();
+        let already: Vec<bool> = root.bid_slots().iter().map(Option::is_some).collect();
+        let excluded = root.excluded().to_vec();
+
+        let batches = std::thread::scope(|scope| {
+            let handles = ranges
+                .iter()
+                .enumerate()
+                .zip(shard_slices(&mut agents, &ranges))
+                .map(|((s, range), slice)| {
+                    let (already, excluded, collector) = (&already, &excluded, &collector);
+                    let range = range.clone();
+                    scope.spawn(move || {
+                        collect_shard(
+                            s,
+                            range,
+                            slice,
+                            already,
+                            excluded,
+                            faults,
+                            round,
+                            wire,
+                            parent,
+                            &**collector,
+                            epoch,
+                        )
+                    })
+                })
+                .collect();
+            join_stage(handles, &mut stats)
+        })?;
+        for frame in batches.into_iter().flatten() {
+            let (msg, _ctx): (Message, Option<TraceContext>) =
+                decode_with_context(&frame).map_err(codec_err)?;
+            root.set_now(epoch.elapsed().as_secs_f64());
+            root.ingest(&msg)?;
+        }
+        root.set_now(epoch.elapsed().as_secs_f64());
+        root.close_bidding_sharded()?;
+        timings.collect = t.elapsed().as_secs_f64();
+    }
+
+    // ---- Aggregate + allocate + distributed verification. ----
+    if root.phase() == CoordinatorPhase::CollectingBids {
+        let t = Instant::now();
+        let bids = respondent_bids(root);
+        let wire = root.wire_context();
+
+        // Partial harmonic sums travel as ShardSum frames: both double-double
+        // limbs on the wire, so the merge at the root is exact.
+        let mut partials = Vec::with_capacity(ranges.len());
+        for (s, range) in ranges.iter().enumerate() {
+            let values: Vec<f64> = bids[range.clone()].iter().filter_map(|b| *b).collect();
+            let partial = inv_sum_dd(&values);
+            let msg = Message::ShardSum {
+                round,
+                shard: u32::try_from(s).expect("shard count fits u32"),
+                sum_hi: partial.hi,
+                sum_lo: partial.lo,
+            };
+            let frame = encode_with_context(&msg, wire.as_ref()).map_err(codec_err)?;
+            count_frame(&mut stats, &*collector, epoch, &frame);
+            let (decoded, _ctx): (Message, Option<TraceContext>) =
+                decode_with_context(&frame).map_err(codec_err)?;
+            let Message::ShardSum { sum_hi, sum_lo, .. } = decoded else {
+                return Err(ProtocolError::ReplayMismatch {
+                    what: "shard sum frame decoded to a different message",
+                });
+            };
+            partials.push(TwoF64 {
+                hi: sum_hi,
+                lo: sum_lo,
+            });
+        }
+        let s_dd = merge_inv_sums(&partials);
+        merged = Some(s_dd);
+
+        root.set_now(epoch.elapsed().as_secs_f64());
+        let rates = root.begin_allocation_sharded(s_dd)?;
+        let parent = root.phase_span();
+
+        // Per-shard verification simulation: each shard simulates its own
+        // respondents at their global respondent stream offsets.
+        let mut shard_inputs = Vec::with_capacity(ranges.len());
+        let mut offset = 0u64;
+        for range in &ranges {
+            let idx: Vec<usize> = range.clone().filter(|&i| bids[i].is_some()).collect();
+            let sub_bids: Vec<f64> = idx.iter().map(|&i| bids[i].expect("respondent")).collect();
+            let sub_exec: Vec<f64> = idx.iter().map(|&i| specs[i].exec_value).collect();
+            let sub_rates: Vec<f64> = idx.iter().map(|&i| rates[i]).collect();
+            let m = idx.len() as u64;
+            shard_inputs.push((idx, sub_bids, sub_exec, sub_rates, offset));
+            offset += m;
+        }
+        let sim = config.simulation;
+        let batches = std::thread::scope(|scope| {
+            let handles = shard_inputs
+                .iter()
+                .enumerate()
+                .map(|(s, (_, sub_bids, sub_exec, sub_rates, off))| {
+                    let (collector, sim) = (&collector, &sim);
+                    let off = *off;
+                    scope.spawn(move || {
+                        verify_shard(
+                            s,
+                            sub_bids,
+                            sub_exec,
+                            sub_rates,
+                            off,
+                            sim,
+                            round,
+                            wire,
+                            parent,
+                            &**collector,
+                            epoch,
+                        )
+                    })
+                })
+                .collect();
+            join_stage(handles, &mut stats)
+        })?;
+
+        // Scatter the shard estimates into the full-width vector the commit
+        // journals (excluded machines: no verification evidence, 0).
+        let mut estimates = vec![0.0; n];
+        for (batch, (idx, ..)) in batches.iter().zip(&shard_inputs) {
+            let frame = batch.first().ok_or(ProtocolError::ReplayMismatch {
+                what: "missing shard estimate frame",
+            })?;
+            let (msg, _ctx): (Message, Option<TraceContext>) =
+                decode_with_context(frame).map_err(codec_err)?;
+            let Message::ShardEstimates { estimates: est, .. } = msg else {
+                return Err(ProtocolError::ReplayMismatch {
+                    what: "shard estimate frame decoded to a different message",
+                });
+            };
+            if est.len() != idx.len() {
+                return Err(CoreError::LengthMismatch {
+                    expected: idx.len(),
+                    actual: est.len(),
+                }
+                .into());
+            }
+            for (&i, v) in idx.iter().zip(est) {
+                estimates[i] = v;
+            }
+        }
+        root.set_now(epoch.elapsed().as_secs_f64());
+        root.commit_allocation_sharded(rates, estimates)?;
+        timings.allocate = t.elapsed().as_secs_f64();
+    }
+
+    // ---- Execute: Assign fan-out, shard-local acks, upward ingest. ----
+    if root.phase() == CoordinatorPhase::Executing {
+        let t = Instant::now();
+        // Rebuild the pending fan-out from round state rather than trusting
+        // the commit's return value: on a recovered round, machines whose
+        // acks are already journalled must not be re-assigned.
+        let assigns: Vec<Vec<(usize, Message)>> = {
+            let bids = respondent_bids(root);
+            let done = root.done_flags();
+            let alloc = root
+                .allocation()
+                .ok_or(ProtocolError::MissingState { what: "allocation" })?;
+            ranges
+                .iter()
+                .map(|r| {
+                    r.clone()
+                        .filter(|&i| bids[i].is_some() && !done[i])
+                        .map(|i| {
+                            (
+                                i,
+                                Message::Assign {
+                                    round,
+                                    rate: alloc.rate(i),
+                                },
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let wire = root.wire_context();
+        let parent = root.phase_span();
+        let batches = std::thread::scope(|scope| {
+            let handles = ranges
+                .iter()
+                .enumerate()
+                .zip(shard_slices(&mut agents, &ranges))
+                .zip(&assigns)
+                .map(|(((s, range), slice), shard_assigns)| {
+                    let collector = &collector;
+                    let range = range.clone();
+                    scope.spawn(move || {
+                        execute_shard(
+                            s,
+                            range,
+                            slice,
+                            shard_assigns,
+                            faults,
+                            wire,
+                            parent,
+                            &**collector,
+                            epoch,
+                        )
+                    })
+                })
+                .collect();
+            join_stage(handles, &mut stats)
+        })?;
+        for frame in batches.into_iter().flatten() {
+            let (msg, _ctx): (Message, Option<TraceContext>) =
+                decode_with_context(&frame).map_err(codec_err)?;
+            root.set_now(epoch.elapsed().as_secs_f64());
+            root.ingest(&msg)?;
+        }
+        timings.execute = t.elapsed().as_secs_f64();
+
+        // ---- Settle against the merged sum; fan payments back down. ----
+        let t = Instant::now();
+        let s_dd = merged.unwrap_or_else(|| merged_sum(root, &ranges));
+        root.set_now(epoch.elapsed().as_secs_f64());
+        let payments = root.settle_sharded(s_dd)?;
+        let sent = deliver_payments(
+            root,
+            &mut agents,
+            &ranges,
+            payments,
+            faults,
+            &collector,
+            epoch,
+        )?;
+        stats.messages += sent.messages;
+        stats.bytes += sent.bytes;
+        timings.settle = t.elapsed().as_secs_f64();
+    } else if root.phase() == CoordinatorPhase::Done && !root.is_sealed() {
+        // Recovered past settlement but before the seal: re-send the Payment
+        // fan-out from the durable ledger (idempotent at the nodes), then
+        // seal.
+        let t = Instant::now();
+        root.set_now(epoch.elapsed().as_secs_f64());
+        let payments = root.resume(&[])?;
+        let sent = deliver_payments(
+            root,
+            &mut agents,
+            &ranges,
+            payments,
+            faults,
+            &collector,
+            epoch,
+        )?;
+        stats.messages += sent.messages;
+        stats.bytes += sent.bytes;
+        timings.settle = t.elapsed().as_secs_f64();
+    }
+
+    Ok((stats, timings))
+}
+
+/// Payment delivery tail shared by the fresh and recovered paths: partition
+/// the fan-out by shard, deliver in parallel, seal the round.
+fn deliver_payments(
+    root: &mut Coordinator<'_>,
+    agents: &mut [NodeAgent],
+    ranges: &[Range<usize>],
+    payments: Vec<(u32, Message)>,
+    faults: &FaultPlan,
+    collector: &Arc<dyn Collector>,
+    epoch: Instant,
+) -> Result<MessageStats, ProtocolError> {
+    let wire = root.wire_context();
+    let mut per_shard: Vec<Vec<(usize, Message)>> = vec![Vec::new(); ranges.len()];
+    for (machine, msg) in payments {
+        let i = machine as usize;
+        per_shard[shard_of(ranges, i)].push((i, msg));
+    }
+    let mut stats = MessageStats::default();
+    std::thread::scope(|scope| {
+        let handles = ranges
+            .iter()
+            .enumerate()
+            .zip(shard_slices(agents, ranges))
+            .zip(&per_shard)
+            .map(|(((s, range), slice), shard_payments)| {
+                let collector = &*collector;
+                let range = range.clone();
+                scope.spawn(move || {
+                    settle_shard(
+                        s,
+                        range,
+                        slice,
+                        shard_payments,
+                        faults,
+                        wire,
+                        &**collector,
+                        epoch,
+                    )
+                })
+            })
+            .collect();
+        join_stage(handles, &mut stats)
+    })?;
+    root.set_now(epoch.elapsed().as_secs_f64());
+    root.seal()?;
+    Ok(stats)
+}
+
+/// Runs one fault-free sharded round from scratch and reads the outcome off
+/// the root's ledger.
+///
+/// # Errors
+/// Propagates mechanism, journal and codec errors — see
+/// [`drive_sharded_round`].
+///
+/// # Panics
+/// Panics if a shard worker thread panics or on protocol violations (the
+/// root is strict: on a loss-free transport any violation is a bug).
+pub fn run_round_sharded<M: VerifiedMechanism>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    shards: usize,
+) -> Result<ShardRoundReport, ProtocolError> {
+    run_round_sharded_observed(mechanism, specs, config, shards, noop_collector())
+}
+
+/// [`run_round_sharded`] with a telemetry collector attached: the root's
+/// `round`/`phase.*` spans plus per-shard `shard.collect` / `shard.verify` /
+/// `shard.execute` spans (each parenting its machines' `sim.machine` spans)
+/// and `shard.settle` instants, timestamped with wall-clock seconds since
+/// the round started.
+///
+/// # Errors
+/// Propagates mechanism, journal and codec errors — see
+/// [`drive_sharded_round`].
+///
+/// # Panics
+/// Panics if a shard worker thread panics or on protocol violations.
+pub fn run_round_sharded_observed<M: VerifiedMechanism>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    shards: usize,
+    collector: Arc<dyn Collector>,
+) -> Result<ShardRoundReport, ProtocolError> {
+    let n = specs.len();
+    let round = RoundId(0);
+    let mut root = Coordinator::try_new(mechanism, n, config.total_rate, round, config.simulation)?
+        .with_strict(true)
+        .with_collector(Arc::clone(&collector));
+    if collector.enabled() {
+        root = root.with_trace(TraceContext::root(config.simulation.seed, round.0, true));
+    }
+    let (stats, timings) =
+        drive_sharded_round(&mut root, specs, config, shards, &FaultPlan::none())?;
+    report_from_root(&root, stats, shards, timings)
+}
+
+/// Reads the full-width outcome off a settled root coordinator.
+///
+/// # Errors
+/// Returns [`ProtocolError::MissingState`] if the round has not settled.
+pub fn report_from_root(
+    root: &Coordinator<'_>,
+    stats: MessageStats,
+    shards: usize,
+    timings: ShardPhaseTimings,
+) -> Result<ShardRoundReport, ProtocolError> {
+    let n = root.bid_slots().len();
+    let alloc = root
+        .allocation()
+        .ok_or(ProtocolError::MissingState { what: "allocation" })?;
+    let payments = root
+        .payments()
+        .ok_or(ProtocolError::MissingState { what: "payments" })?
+        .to_vec();
+    let estimated = root
+        .estimated_exec_values()
+        .ok_or(ProtocolError::MissingState {
+            what: "execution estimates",
+        })?
+        .to_vec();
+    Ok(ShardRoundReport {
+        rates: (0..n).map(|i| alloc.rate(i)).collect(),
+        payments,
+        estimated_exec_values: estimated,
+        excluded: root.excluded().to_vec(),
+        anomalies: *root.anomalies(),
+        stats,
+        shards: shard_ranges(n, shards).len(),
+        timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Journal, JournalReplay, MemJournal};
+    use crate::recovery::{recover_round, RoundContext};
+    use crate::runtime::run_protocol_round;
+    use lb_core::scenario::{paper_true_values, PAPER_ARRIVAL_RATE};
+    use lb_mechanism::CompensationBonusMechanism;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            total_rate: PAPER_ARRIVAL_RATE,
+            simulation: SimulationConfig {
+                horizon: 300.0,
+                seed: 3,
+                ..SimulationConfig::default()
+            },
+            ..ProtocolConfig::default()
+        }
+    }
+
+    fn truthful_specs() -> Vec<NodeSpec> {
+        paper_true_values()
+            .iter()
+            .map(|&t| NodeSpec::truthful(t))
+            .collect()
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_index_space() {
+        for (n, k) in [(10, 3), (16, 4), (5, 5), (7, 64), (1, 1), (4096, 7)] {
+            let ranges = shard_ranges(n, k);
+            assert_eq!(ranges.len(), k.min(n));
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+                assert!(w[0].len() >= w[1].len(), "longer shards first");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+            for i in 0..n {
+                assert!(ranges[shard_of(&ranges, i)].contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_sharded_round_matches_the_single_coordinator_runtime() {
+        let mech = CompensationBonusMechanism::paper();
+        let mut specs = truthful_specs();
+        specs[0] = NodeSpec::strategic(1.0, 1.0, 2.0); // a lazy machine
+        let single = run_protocol_round(&mech, &specs, &config()).unwrap();
+        let sharded = run_round_sharded(&mech, &specs, &config(), 4).unwrap();
+
+        assert_eq!(single.rates, sharded.rates, "allocations bit-identical");
+        assert_eq!(single.payments, sharded.payments, "payments bit-identical");
+        assert_eq!(
+            single.estimated_exec_values, sharded.estimated_exec_values,
+            "verification estimates bit-identical"
+        );
+        assert!(sharded.excluded.iter().all(|&x| !x));
+        assert_eq!(sharded.anomalies.total(), 0);
+        assert_eq!(
+            sharded.stats.messages,
+            expected_sharded_message_count(specs.len(), 4)
+        );
+    }
+
+    #[test]
+    fn shard_count_is_a_no_op_for_the_round_outcome() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let reference = run_round_sharded(&mech, &specs, &config(), 1).unwrap();
+        for k in [2usize, 3, 5, 7, 16, 64] {
+            let report = run_round_sharded(&mech, &specs, &config(), k).unwrap();
+            assert_eq!(reference.rates, report.rates, "k = {k}");
+            assert_eq!(reference.payments, report.payments, "k = {k}");
+            assert_eq!(
+                reference.estimated_exec_values, report.estimated_exec_values,
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_sharded_round_matches_the_lossy_runtime() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let faults = FaultPlan {
+            lose_bids_from: vec![0],
+            lose_acks_from: vec![3],
+            partitioned: vec![5],
+            lose_bid_attempts: vec![(9, 2)],
+        };
+        let single =
+            crate::faults::run_protocol_round_with_faults(&mech, &specs, &config(), &faults)
+                .unwrap();
+
+        let mut root = Coordinator::try_new(
+            &mech,
+            specs.len(),
+            config().total_rate,
+            RoundId(0),
+            config().simulation,
+        )
+        .unwrap()
+        .with_strict(true);
+        let (stats, _timings) =
+            drive_sharded_round(&mut root, &specs, &config(), 3, &faults).unwrap();
+        let report = report_from_root(&root, stats, 3, ShardPhaseTimings::default()).unwrap();
+
+        assert_eq!(single.rates, report.rates);
+        assert_eq!(single.payments, report.payments);
+        assert_eq!(single.estimated_exec_values, report.estimated_exec_values);
+        for &m in &[0usize, 5, 9] {
+            assert!(report.excluded[m], "machine {m} excluded");
+            assert_eq!(report.payments[m], 0.0);
+        }
+        assert!(!report.excluded[3], "a lost ack is not an exclusion");
+        assert_eq!(report.anomalies.total(), 0, "drops cause no anomalies");
+    }
+
+    #[test]
+    fn sharded_round_recovers_bit_identically_from_any_crash_point() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let cfg = ProtocolConfig {
+            simulation: SimulationConfig {
+                horizon: 40.0,
+                ..config().simulation
+            },
+            ..config()
+        };
+        let ctx = RoundContext {
+            n: specs.len(),
+            total_rate: cfg.total_rate,
+            round: RoundId(0),
+            sim: cfg.simulation,
+        };
+
+        // Reference: one uninterrupted durable sharded round.
+        let journal: Rc<RefCell<MemJournal>> = Rc::new(RefCell::new(MemJournal::new()));
+        let mut root = Coordinator::try_new(&mech, ctx.n, ctx.total_rate, ctx.round, ctx.sim)
+            .unwrap()
+            .with_journal(journal.clone());
+        drive_sharded_round(&mut root, &specs, &cfg, 4, &FaultPlan::none()).unwrap();
+        let reference_bytes = journal.borrow().bytes().unwrap();
+        let reference_payments = root.payments().unwrap().to_vec();
+        assert!(root.is_sealed());
+
+        // Crash at every record boundary, recover, finish, compare.
+        let boundaries = JournalReplay::boundaries(&reference_bytes);
+        assert!(boundaries.len() > 10, "round journals several records");
+        for &cut in &boundaries {
+            let truncated = reference_bytes[..cut].to_vec();
+            let recovered: Rc<RefCell<dyn Journal>> =
+                Rc::new(RefCell::new(MemJournal::from_bytes(truncated)));
+            let (mut root, _report) =
+                recover_round(&mech, recovered.clone(), &ctx, noop_collector(), 0.0).unwrap();
+            drive_sharded_round(&mut root, &specs, &cfg, 4, &FaultPlan::none()).unwrap();
+            assert_eq!(
+                root.payments().unwrap(),
+                &reference_payments[..],
+                "payments after crash at byte {cut}"
+            );
+            let replayed_bytes = recovered.borrow().bytes().unwrap();
+            assert_eq!(
+                replayed_bytes, reference_bytes,
+                "journal after crash at byte {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_sharded_round_records_replayable_shard_spans() {
+        use lb_telemetry::{replay_spans, RingCollector};
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let ring = Arc::new(RingCollector::new(16_384));
+        let k = 4;
+        let report = run_round_sharded_observed(&mech, &specs, &config(), k, ring.clone()).unwrap();
+
+        let events = ring.snapshot();
+        let spans = replay_spans(&events).expect("recording replays cleanly");
+        let phase_id = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} span recorded"))
+                .id
+        };
+        let collect = phase_id("phase.collect_bids");
+        let allocate = phase_id("phase.allocate");
+        let execute = phase_id("phase.execute");
+        for (name, parent) in [
+            ("shard.collect", collect),
+            ("shard.verify", allocate),
+            ("shard.execute", execute),
+        ] {
+            let shard_spans: Vec<_> = spans.iter().filter(|s| s.name == name).collect();
+            assert_eq!(shard_spans.len(), k, "{name}: one span per shard");
+            assert!(
+                shard_spans.iter().all(|s| s.parent == Some(parent)),
+                "{name} parents on its phase span"
+            );
+        }
+        // The per-machine verification spans nest inside their shard's span.
+        let verify_ids: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "shard.verify")
+            .map(|s| s.id)
+            .collect();
+        let machines: Vec<_> = spans.iter().filter(|s| s.name == "sim.machine").collect();
+        assert_eq!(machines.len(), specs.len());
+        assert!(machines
+            .iter()
+            .all(|s| s.parent.is_some_and(|p| verify_ids.contains(&p))));
+        assert_eq!(
+            events.iter().filter(|e| e.name == "shard.settle").count(),
+            k
+        );
+        // The net counters agree with the report's frame accounting.
+        let mut reg = lb_telemetry::MetricsRegistry::new();
+        reg.ingest(&events);
+        assert_eq!(reg.counter("net.messages"), report.stats.messages);
+        assert_eq!(reg.counter("net.bytes"), report.stats.bytes);
+    }
+
+    #[test]
+    fn sharded_transitions_enforce_width_agreement() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let mut root = Coordinator::try_new(
+            &mech,
+            4,
+            config().total_rate,
+            RoundId(0),
+            config().simulation,
+        )
+        .unwrap();
+        assert!(matches!(
+            drive_sharded_round(&mut root, &specs, &config(), 2, &FaultPlan::none()),
+            Err(ProtocolError::Mechanism(MechanismError::Core(
+                CoreError::LengthMismatch { .. }
+            )))
+        ));
+    }
+}

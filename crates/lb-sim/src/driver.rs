@@ -8,7 +8,7 @@ use crate::server::ServiceModel;
 use lb_core::{pr_allocate, Allocation, CoreError};
 use lb_mechanism::{run_mechanism, MechanismError, MechanismOutcome, Profile, VerifiedMechanism};
 use lb_stats::rng::Xoshiro256StarStar;
-use lb_telemetry::{Collector, Field, NoopCollector, Subsystem};
+use lb_telemetry::{Collector, Field, NoopCollector, SpanId, Subsystem};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one simulated round.
@@ -102,12 +102,6 @@ pub fn simulate_round_observed(
         return Err(CoreError::InvalidRate(config.horizon));
     }
     let allocation = pr_allocate(bids, total_rate)?;
-    let traces = crate::workload::per_machine_traces_with(
-        allocation.rates(),
-        config.horizon,
-        config.seed,
-        config.workload,
-    );
 
     let round_span = collector.span_start(
         0.0,
@@ -118,22 +112,153 @@ pub fn simulate_round_observed(
             Field::f64("horizon", config.horizon),
         ],
     );
+    let part = simulate_machines(
+        bids,
+        actual_exec_values,
+        allocation.rates(),
+        config,
+        0,
+        collector,
+        round_span,
+    );
+    collector.span_end(config.horizon, round_span);
+    Ok(RoundReport {
+        allocation,
+        observations: part.observations,
+        estimated_exec_values: part.estimated_exec_values,
+        estimated_total_latency: part.estimated_total_latency,
+    })
+}
+
+/// What one contiguous partition of machines observed during execution — a
+/// [`RoundReport`] without the allocation (the sharded coordinator computes
+/// the allocation once at the root and hands each shard its rate slice).
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    /// Per-machine observations; `machine` indices are *global*
+    /// (`stream_offset + local index`).
+    pub observations: Vec<MachineObservation>,
+    /// Estimated execution values for this partition's machines, in local
+    /// order (bid fallback for idle machines, exactly as [`RoundReport`]).
+    pub estimated_exec_values: Vec<f64>,
+    /// This partition's contribution to the estimated total latency.
+    pub estimated_total_latency: f64,
+}
+
+/// Simulates the execution phase for a *contiguous partition* of a larger
+/// round: `bids[i]`, `actual_exec_values[i]` and `rates[i]` all describe
+/// global machine `stream_offset + i`.
+///
+/// Every machine draws from the same per-machine RNG streams it would use in
+/// the single-coordinator [`simulate_round`] (trace stream and response
+/// stream both keyed by the global index), so concatenating the partition
+/// reports of a sharded round reproduces the unsharded round observation for
+/// observation, bit for bit. The caller supplies the rates — this function
+/// never re-runs the allocation.
+///
+/// # Errors
+/// Returns [`CoreError::LengthMismatch`] on arity mismatches and
+/// [`CoreError::InvalidRate`] for a non-positive horizon.
+pub fn simulate_partition(
+    bids: &[f64],
+    actual_exec_values: &[f64],
+    rates: &[f64],
+    config: &SimulationConfig,
+    stream_offset: u64,
+) -> Result<PartitionReport, CoreError> {
+    simulate_partition_observed(
+        bids,
+        actual_exec_values,
+        rates,
+        config,
+        stream_offset,
+        &NoopCollector,
+        SpanId::NULL,
+    )
+}
+
+/// [`simulate_partition`] with a telemetry collector attached: one
+/// `sim.machine` span per machine, parented on `parent_span` when it is not
+/// null (the shard runtime passes its `shard.execute` span).
+///
+/// # Errors
+/// Propagates validation errors, exactly as [`simulate_partition`].
+pub fn simulate_partition_observed(
+    bids: &[f64],
+    actual_exec_values: &[f64],
+    rates: &[f64],
+    config: &SimulationConfig,
+    stream_offset: u64,
+    collector: &dyn Collector,
+    parent_span: SpanId,
+) -> Result<PartitionReport, CoreError> {
+    if actual_exec_values.len() != bids.len() {
+        return Err(CoreError::LengthMismatch {
+            expected: bids.len(),
+            actual: actual_exec_values.len(),
+        });
+    }
+    if rates.len() != bids.len() {
+        return Err(CoreError::LengthMismatch {
+            expected: bids.len(),
+            actual: rates.len(),
+        });
+    }
+    if !(config.horizon.is_finite() && config.horizon > 0.0) {
+        return Err(CoreError::InvalidRate(config.horizon));
+    }
+    Ok(simulate_machines(
+        bids,
+        actual_exec_values,
+        rates,
+        config,
+        stream_offset,
+        collector,
+        parent_span,
+    ))
+}
+
+/// The shared per-machine execution kernel: generate arrivals, drive the
+/// service model, estimate execution values. Lengths and horizon are
+/// validated by the callers.
+fn simulate_machines(
+    bids: &[f64],
+    actual_exec_values: &[f64],
+    rates: &[f64],
+    config: &SimulationConfig,
+    stream_offset: u64,
+    collector: &dyn Collector,
+    parent_span: SpanId,
+) -> PartitionReport {
+    let traces = crate::workload::per_machine_traces_offset(
+        rates,
+        config.horizon,
+        config.seed,
+        config.workload,
+        stream_offset,
+    );
 
     let base = Xoshiro256StarStar::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+    // One jump per machine (bit-identical to `base.stream(stream)`): indexed
+    // derivation costs O(machine index) jumps and turns the verification
+    // phase quadratic at datacenter scale.
+    let mut streams = base.streams(stream_offset);
     let mut observations = Vec::with_capacity(bids.len());
     let mut estimated = Vec::with_capacity(bids.len());
     let mut total_latency = 0.0;
 
     for (i, trace) in traces.iter().enumerate() {
-        let rate = allocation.rate(i);
+        let stream = stream_offset + i as u64;
+        let machine = usize::try_from(stream).unwrap_or(usize::MAX);
+        let rate = rates[i];
         let machine_span = collector.span_start_in(
             0.0,
             "sim.machine",
             Subsystem::Sim,
-            round_span,
-            vec![Field::u64("machine", i as u64), Field::f64("rate", rate)],
+            parent_span,
+            vec![Field::u64("machine", stream), Field::f64("rate", rate)],
         );
-        let mut rng = base.stream(i as u64);
+        let mut rng = streams.next().expect("streams is infinite");
         let arrivals: Vec<f64> = trace.iter().map(|j| j.arrival).collect();
         let responses = config
             .model
@@ -150,7 +275,7 @@ pub fn simulate_round_observed(
         }
         let estimate = estimator.estimate(rate);
         let obs = MachineObservation {
-            machine: i,
+            machine,
             assigned_rate: rate,
             jobs_arrived: arrivals.len() as u64,
             response: stats,
@@ -171,13 +296,11 @@ pub fn simulate_round_observed(
         observations.push(obs);
     }
 
-    collector.span_end(config.horizon, round_span);
-    Ok(RoundReport {
-        allocation,
+    PartitionReport {
         observations,
         estimated_exec_values: estimated,
         estimated_total_latency: total_latency,
-    })
+    }
 }
 
 /// Outcome of a *verified* round: simulation-backed estimates feeding the
@@ -361,6 +484,75 @@ mod tests {
         let plain =
             simulate_round(&trues, &trues, PAPER_ARRIVAL_RATE, &deterministic_config()).unwrap();
         assert_eq!(plain.estimated_exec_values, report.estimated_exec_values);
+    }
+
+    #[test]
+    fn partitioned_simulation_is_bit_identical_to_the_full_round() {
+        // The sharded coordinator splits the execution phase across shard
+        // workers via simulate_partition. Stitching the partition reports
+        // back together must reproduce the single-coordinator round bit for
+        // bit — the stochastic model makes this a real test of the global
+        // RNG stream alignment.
+        let trues = paper_true_values();
+        let config = SimulationConfig {
+            horizon: 500.0,
+            seed: 9,
+            model: ServiceModel::StationaryExponential,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: EstimatorConfig::default(),
+        };
+        let full = simulate_round(&trues, &trues, PAPER_ARRIVAL_RATE, &config).unwrap();
+        for k in [1usize, 3, 5, 16] {
+            let chunk = trues.len().div_ceil(k);
+            let mut estimates = Vec::new();
+            let mut observations = Vec::new();
+            let mut latency_parts = Vec::new();
+            for (s, part) in trues.chunks(chunk).enumerate() {
+                let off = s * chunk;
+                let rates = &full.allocation.rates()[off..off + part.len()];
+                let p = simulate_partition(part, part, rates, &config, off as u64).unwrap();
+                estimates.extend(p.estimated_exec_values);
+                observations.extend(p.observations);
+                latency_parts.push(p.estimated_total_latency);
+            }
+            assert_eq!(estimates.len(), trues.len(), "k = {k}");
+            for i in 0..trues.len() {
+                assert_eq!(
+                    estimates[i].to_bits(),
+                    full.estimated_exec_values[i].to_bits(),
+                    "k = {k}, machine {i}: estimate diverged"
+                );
+                assert_eq!(observations[i].machine, full.observations[i].machine);
+                assert_eq!(
+                    observations[i].jobs_arrived,
+                    full.observations[i].jobs_arrived
+                );
+                assert_eq!(
+                    observations[i].assigned_rate.to_bits(),
+                    full.observations[i].assigned_rate.to_bits()
+                );
+            }
+            // The latency total is a diagnostic, not a protocol output; the
+            // partition grouping may regroup the fold, so compare relatively.
+            let stitched: f64 = latency_parts.iter().sum();
+            assert!(
+                (stitched - full.estimated_total_latency).abs()
+                    <= 1e-12 * full.estimated_total_latency.abs(),
+                "k = {k}: latency {stitched} vs {}",
+                full.estimated_total_latency
+            );
+        }
+    }
+
+    #[test]
+    fn partition_arity_mismatches_are_rejected() {
+        let cfg = deterministic_config();
+        assert!(simulate_partition(&[1.0, 2.0], &[1.0], &[0.5, 0.5], &cfg, 0).is_err());
+        assert!(simulate_partition(&[1.0, 2.0], &[1.0, 2.0], &[0.5], &cfg, 0).is_err());
+        let mut bad = cfg;
+        bad.horizon = -1.0;
+        assert!(simulate_partition(&[1.0], &[1.0], &[0.5], &bad, 0).is_err());
     }
 
     #[test]

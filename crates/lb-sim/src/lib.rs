@@ -37,8 +37,8 @@ pub mod time;
 pub mod workload;
 
 pub use driver::{
-    simulate_round, simulate_round_observed, verified_round, RoundReport, SimulationConfig,
-    VerifiedRound,
+    simulate_partition, simulate_partition_observed, simulate_round, simulate_round_observed,
+    verified_round, PartitionReport, RoundReport, SimulationConfig, VerifiedRound,
 };
 pub use estimator::{EstimatorConfig, ExecValueEstimator};
 pub use events::EventQueue;

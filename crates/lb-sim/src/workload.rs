@@ -213,11 +213,37 @@ pub fn per_machine_traces_with(
     seed: u64,
     model: WorkloadModel,
 ) -> Vec<Vec<Job>> {
+    per_machine_traces_offset(rates, horizon, seed, model, 0)
+}
+
+/// [`per_machine_traces_with`] for a *contiguous slice* of a larger system:
+/// `rates[i]` describes global machine `offset + i`.
+///
+/// Machine `offset + i` draws from RNG stream `offset + i` of the same base
+/// seed, so partitioning a round across shard coordinators and concatenating
+/// the traces reproduces the single-coordinator traces arrival-for-arrival
+/// (job *ids* are numbered per call, but nothing downstream consumes them —
+/// observations and estimates depend only on arrival times).
+///
+/// # Panics
+/// Panics if `horizon` is not positive or any rate is negative/non-finite.
+#[must_use]
+pub fn per_machine_traces_offset(
+    rates: &[f64],
+    horizon: f64,
+    seed: u64,
+    model: WorkloadModel,
+    offset: u64,
+) -> Vec<Vec<Job>> {
     assert!(
         horizon.is_finite() && horizon > 0.0,
         "per_machine_traces: invalid horizon"
     );
     let base = Xoshiro256StarStar::seed_from_u64(seed);
+    // Incremental stream derivation: one jump per machine instead of
+    // O(machine index) jumps, which is what keeps trace generation O(n)
+    // at n = 10⁶ machines. Bit-identical to `base.stream(offset + i)`.
+    let mut streams = base.streams(offset);
     let mut next_id = 0u64;
     rates
         .iter()
@@ -227,18 +253,23 @@ pub fn per_machine_traces_with(
                 rate.is_finite() && rate >= 0.0,
                 "per_machine_traces: invalid rate {rate}"
             );
+            // Streams are positional: idle machines still consume theirs.
+            let stream_rng = streams.next().expect("streams is infinite");
             if rate <= 1e-12 {
                 return Vec::new();
             }
+            let machine = usize::try_from(offset)
+                .unwrap_or(usize::MAX)
+                .saturating_add(i);
             model
-                .arrivals(rate, horizon, base.stream(i as u64))
+                .arrivals(rate, horizon, stream_rng)
                 .into_iter()
                 .map(|arrival| {
                     let id = next_id;
                     next_id += 1;
                     Job {
                         id,
-                        machine: i,
+                        machine,
                         arrival,
                     }
                 })
@@ -424,6 +455,38 @@ mod tests {
             let t = p.next_arrival();
             assert!(t > prev);
             prev = t;
+        }
+    }
+
+    #[test]
+    fn offset_traces_stitch_into_the_full_round() {
+        // Sharding a round: generating each contiguous chunk of machines with
+        // its global stream offset reproduces the single-call traces
+        // arrival-for-arrival (ids are per-call; nothing downstream reads them).
+        let rates = [1.0, 2.0, 0.5, 3.0, 0.0, 1.5, 2.5];
+        let horizon = 200.0;
+        let seed = 42;
+        let full = per_machine_traces(&rates, horizon, seed);
+        for k in [1usize, 2, 3, 7] {
+            let chunk = rates.len().div_ceil(k);
+            let mut stitched: Vec<Vec<Job>> = Vec::new();
+            for (s, part) in rates.chunks(chunk).enumerate() {
+                stitched.extend(per_machine_traces_offset(
+                    part,
+                    horizon,
+                    seed,
+                    WorkloadModel::Poisson,
+                    (s * chunk) as u64,
+                ));
+            }
+            assert_eq!(stitched.len(), full.len(), "k = {k}");
+            for (m, (a, b)) in stitched.iter().zip(&full).enumerate() {
+                assert_eq!(a.len(), b.len(), "k = {k}, machine {m}");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.machine, y.machine);
+                    assert_eq!(x.arrival.to_bits(), y.arrival.to_bits());
+                }
+            }
         }
     }
 

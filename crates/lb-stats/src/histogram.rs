@@ -90,10 +90,12 @@ impl Histogram {
     /// endpoints.
     ///
     /// # Panics
-    /// Panics if the histogram is empty or `q` is outside `[0, 1]`.
+    /// Panics if the histogram is empty or `q` is non-finite or outside
+    /// `[0, 1]`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(self.count > 0, "Histogram: quantile of empty histogram");
+        assert!(q.is_finite(), "Histogram: q must be finite, got {q}");
         assert!((0.0..=1.0).contains(&q), "Histogram: q must be in [0,1]");
         let target = q * self.count as f64;
         let mut cum = self.underflow as f64;
@@ -180,18 +182,18 @@ impl Reservoir {
         &self.sample
     }
 
-    /// Exact `q`-quantile of the *retained sample* (nearest-rank).
+    /// Exact `q`-quantile of the *retained sample* (nearest-rank, validated
+    /// by [`crate::quantile::nearest_rank`]).
     ///
     /// # Panics
-    /// Panics if the reservoir is empty or `q` outside `[0, 1]`.
+    /// Panics if the reservoir is empty or `q` is non-finite or outside
+    /// `[0, 1]`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(!self.sample.is_empty(), "Reservoir: empty");
-        assert!((0.0..=1.0).contains(&q), "Reservoir: q must be in [0,1]");
         let mut sorted = self.sample.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in reservoir"));
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        sorted[crate::quantile::nearest_rank(q, sorted.len()) - 1]
     }
 }
 
@@ -312,5 +314,33 @@ mod tests {
         assert_eq!(r.quantile(0.5), 3.0);
         assert_eq!(r.quantile(1.0), 5.0);
         assert_eq!(r.quantile(0.0), 1.0);
+        // Documented saturation: -0.0 is in range and means the minimum.
+        assert_eq!(r.quantile(-0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be finite")]
+    fn reservoir_rejects_nan_quantile() {
+        let mut r = Reservoir::new(2);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        r.offer(1.0, &mut rng);
+        r.quantile(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in [0, 1]")]
+    fn reservoir_rejects_out_of_range_quantile() {
+        let mut r = Reservoir::new(2);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        r.offer(1.0, &mut rng);
+        r.quantile(1.0 + f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be finite")]
+    fn histogram_rejects_nan_quantile() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(0.5);
+        h.quantile(f64::NAN);
     }
 }

@@ -39,5 +39,5 @@ pub use histogram::{Histogram, Reservoir};
 pub use ks::{ks_test, KsTest};
 pub use online::{Ewma, OnlineStats};
 pub use parallel::par_map;
-pub use quantile::P2Quantile;
-pub use rng::{derive_seed, Rng, SplitMix64, Xoshiro256StarStar};
+pub use quantile::{nearest_rank, P2Quantile};
+pub use rng::{derive_seed, Rng, SplitMix64, Streams, Xoshiro256StarStar};

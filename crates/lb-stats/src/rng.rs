@@ -189,6 +189,11 @@ impl Xoshiro256StarStar {
     ///
     /// `stream(0)` is one jump ahead of `self` (never identical to it), so the
     /// parent generator may keep being used without overlapping any stream.
+    ///
+    /// Cost is `index + 1` jumps, so deriving stream `i` for every `i` in
+    /// `0..n` this way is O(n²) — at n = 10⁶ machines that is hours, not
+    /// seconds. Loops over consecutive streams must use [`Self::streams`],
+    /// which yields the identical generators at one jump per step.
     #[must_use]
     pub fn stream(&self, index: u64) -> Self {
         let mut g = self.clone();
@@ -196,6 +201,36 @@ impl Xoshiro256StarStar {
             g.jump();
         }
         g
+    }
+
+    /// Iterator over consecutive independent streams: yields exactly
+    /// `self.stream(start)`, `self.stream(start + 1)`, … — bit-identical to
+    /// indexed derivation — but advances incrementally, one jump per step,
+    /// after an O(`start`) setup. The difference between O(n²) and O(n)
+    /// stream derivation when walking machines `0..n`.
+    #[must_use]
+    pub fn streams(&self, start: u64) -> Streams {
+        let mut cur = self.clone();
+        for _ in 0..start {
+            cur.jump();
+        }
+        Streams { cur }
+    }
+}
+
+/// Infinite iterator of consecutive [`Xoshiro256StarStar::stream`]
+/// generators; see [`Xoshiro256StarStar::streams`].
+#[derive(Debug, Clone)]
+pub struct Streams {
+    cur: Xoshiro256StarStar,
+}
+
+impl Iterator for Streams {
+    type Item = Xoshiro256StarStar;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.cur.jump();
+        Some(self.cur.clone())
     }
 }
 
@@ -295,6 +330,19 @@ mod tests {
         let a: Vec<u64> = (0..64).map(|_| s0.next_u64()).collect();
         let b: Vec<u64> = (0..64).map(|_| s1.next_u64()).collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn streams_iterator_matches_indexed_stream_derivation() {
+        let base = Xoshiro256StarStar::seed_from_u64(42);
+        let mut it = base.streams(3);
+        for k in 3..9u64 {
+            let mut inc = it.next().expect("streams is infinite");
+            let mut idx = base.stream(k);
+            let a: Vec<u64> = (0..8).map(|_| inc.next_u64()).collect();
+            let b: Vec<u64> = (0..8).map(|_| idx.next_u64()).collect();
+            assert_eq!(a, b, "streams({k}) diverged from stream({k})");
+        }
     }
 
     #[test]

@@ -82,11 +82,13 @@ pub enum Subsystem {
     /// The verification-observability monitors (economic invariants,
     /// truthfulness margins, ledger health).
     Audit,
+    /// Shard-tier coordinators of the hierarchical (sharded) round runtime.
+    Shard,
 }
 
 impl Subsystem {
     /// Every subsystem, in lane order.
-    pub const ALL: [Subsystem; 8] = [
+    pub const ALL: [Subsystem; 9] = [
         Subsystem::Coordinator,
         Subsystem::Network,
         Subsystem::Chaos,
@@ -95,6 +97,7 @@ impl Subsystem {
         Subsystem::Sim,
         Subsystem::Bench,
         Subsystem::Audit,
+        Subsystem::Shard,
     ];
 
     /// Short lowercase name (`coordinator`, `network`, …).
@@ -109,6 +112,7 @@ impl Subsystem {
             Subsystem::Sim => "sim",
             Subsystem::Bench => "bench",
             Subsystem::Audit => "audit",
+            Subsystem::Shard => "shard",
         }
     }
 
@@ -131,6 +135,7 @@ impl Subsystem {
             Subsystem::Sim => 6,
             Subsystem::Bench => 7,
             Subsystem::Audit => 8,
+            Subsystem::Shard => 9,
         }
     }
 }
