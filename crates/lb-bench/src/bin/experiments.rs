@@ -5,7 +5,9 @@
 //! cargo run -p lb-bench --bin experiments -- fig1
 //! ```
 
-use lb_bench::{audit_overhead, bench_log, figures, payment_scaling, round_scaling};
+use lb_bench::{
+    audit_overhead, bench_log, figures, payment_scaling, profile_overhead, round_scaling,
+};
 
 /// Label new `BENCH_*.json` entries are appended under: `BENCH_LABEL` from
 /// the environment, or the stable default for local runs.
@@ -249,6 +251,53 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
         }
+        "profile-overhead" => {
+            let rows = profile_overhead::measure(profile_overhead::OVERHEAD_NS, 5);
+            print_section(
+                "Profiler overhead: full sharded round, off vs attached vs sampled rollup",
+                &profile_overhead::render_table(&rows),
+            );
+            let label = bench_label();
+            bench_log::append_to_file(
+                "BENCH_profile_overhead.json",
+                "profile_overhead",
+                "ns/round",
+                &label,
+                profile_overhead::rows_json(&rows),
+            )?;
+            println!("appended entry {label:?} to BENCH_profile_overhead.json");
+        }
+        "profile-overhead-smoke" => {
+            // CI-sized: the acceptance point only, few samples, artifact
+            // written to a scratch path and schema-checked instead of
+            // touching the checked-in history.
+            let rows = profile_overhead::measure(&[1024], 2);
+            print_section(
+                "Profiler overhead (smoke): off vs attached vs sampled at n = 1024",
+                &profile_overhead::render_table(&rows),
+            );
+            for row in rows.iter().filter(|row| row.n >= 1024) {
+                assert!(
+                    row.attached_overhead() < 0.10,
+                    "rollup overhead at n = {} is {:.1}% of round time",
+                    row.n,
+                    100.0 * row.attached_overhead()
+                );
+            }
+            let scratch = std::env::temp_dir().join("BENCH_profile_overhead.smoke.json");
+            let scratch = scratch.to_str().expect("temp path is utf-8");
+            let _ = std::fs::remove_file(scratch);
+            bench_log::append_to_file(
+                scratch,
+                "profile_overhead",
+                "ns/round",
+                "smoke",
+                profile_overhead::rows_json(&rows),
+            )?;
+            let written = std::fs::read_to_string(scratch)?;
+            bench_log::BenchLog::parse(&written).map_err(std::io::Error::other)?;
+            println!("schema-valid smoke artifact at {scratch}");
+        }
         "all" => {
             for t in [
                 "table1",
@@ -284,7 +333,7 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
         other => {
             eprintln!("unknown target '{other}'");
             eprintln!(
-                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry payment-scaling payment-scaling-smoke audit-overhead audit-overhead-smoke round-scaling round-scaling-smoke all"
+                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry payment-scaling payment-scaling-smoke audit-overhead audit-overhead-smoke round-scaling round-scaling-smoke profile-overhead profile-overhead-smoke all"
             );
             std::process::exit(2);
         }

@@ -4,8 +4,11 @@
 //! instrumented driver can produce) from a file or from a live
 //! [`lb_telemetry::ExposeServer`] `/trace` endpoint, rebuilds the span forest
 //! and metric registry, and renders per-round phase timings, per-machine
-//! allocation and payment gauges, network counters and retransmission
-//! histograms as plain ANSI text.
+//! allocation and payment gauges, per-shard phase gauges for sharded rounds,
+//! the critical-path round profile, network counters and retransmission
+//! histograms as plain ANSI text. In `--url` mode the live `/profile` and
+//! `/regressions` documents (published by `lb-prof`) are fetched alongside
+//! the trace and rendered as extra panels.
 //!
 //! ```text
 //! lb_top --file round_trace.jsonl --once        # one frame (CI mode)
@@ -16,8 +19,9 @@
 //! `--once` renders exactly one frame with no cursor control, so output is
 //! pipe- and CI-friendly; live mode redraws in place until interrupted.
 
+use lb_prof::PHASES;
 use lb_telemetry::{
-    from_jsonl, replay_spans, CompletedSpan, FieldValue, MetricsRegistry, MetricsSnapshot,
+    from_jsonl, replay_spans, CompletedSpan, FieldValue, Json, MetricsRegistry, MetricsSnapshot,
     TelemetryEvent,
 };
 use std::io::{Read as _, Write as _};
@@ -119,6 +123,33 @@ fn load_events(source: &Source) -> Result<Vec<TelemetryEvent>, String> {
     from_jsonl(&text).map_err(|e| format!("parse recording: {e}"))
 }
 
+/// Live documents only an exposition server can provide: the `lb-prof`
+/// rollup at `/profile` and the regression-sentinel verdicts at
+/// `/regressions`. Both endpoints serve `{}` until a profiler publishes,
+/// so "nothing yet" and "fetch failed" alike render as an absent panel.
+#[derive(Debug, Default)]
+struct LiveDocs {
+    profile: Option<Json>,
+    regressions: Option<Json>,
+}
+
+impl LiveDocs {
+    /// Fetches both documents, tolerating any failure: a dashboard must
+    /// keep rendering the trace even against an older server without the
+    /// profile endpoints.
+    fn fetch(addr: &str) -> Self {
+        let doc = |path: &str| {
+            http_get(addr, path)
+                .ok()
+                .and_then(|body| Json::parse(&body).ok())
+        };
+        Self {
+            profile: doc("/profile"),
+            regressions: doc("/regressions"),
+        }
+    }
+}
+
 fn field_u64(span: &CompletedSpan, key: &str) -> Option<u64> {
     span.fields.iter().find(|f| f.key == key).and_then(|f| {
         if let FieldValue::U64(v) = f.value {
@@ -152,8 +183,10 @@ fn phase_line(out: &mut String, spans: &[CompletedSpan], round: &CompletedSpan) 
     }
 }
 
-/// Renders one dashboard frame from a parsed recording.
-fn render(events: &[TelemetryEvent], source_label: &str) -> String {
+/// Renders one dashboard frame from a parsed recording. `live` carries the
+/// `/profile` and `/regressions` documents in `--url` mode; file mode
+/// passes `None` and those panels are simply absent.
+fn render(events: &[TelemetryEvent], source_label: &str, live: Option<&LiveDocs>) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "lb-top — {source_label} — {} events\n\n",
@@ -188,10 +221,152 @@ fn render(events: &[TelemetryEvent], source_label: &str) -> String {
     }
 
     render_machines(&mut out, &snapshot);
+    render_shards(&mut out, &snapshot);
+    render_profile(&mut out, events);
     render_verification(&mut out, &snapshot);
     render_durability(&mut out, &snapshot);
     render_metrics(&mut out, &snapshot);
+    if let Some(live) = live {
+        render_live(&mut out, live);
+    }
     out
+}
+
+/// The per-shard panel of a sharded round: the `shard.<s>.<phase>.seconds`
+/// gauges the registry derives from shard workers' `shard.phase.seconds`
+/// events, one row per shard with phases in protocol order and a bar over
+/// the shard's total.
+fn render_shards(out: &mut String, snapshot: &MetricsSnapshot) {
+    let mut rows: Vec<(u64, [f64; 4])> = Vec::new();
+    for (name, value) in &snapshot.gauges {
+        let Some(rest) = name.strip_prefix("shard.") else {
+            continue;
+        };
+        let Some((shard, phase)) = rest.split_once('.') else {
+            continue;
+        };
+        let (Ok(shard), Some(phase)) = (shard.parse::<u64>(), phase.strip_suffix(".seconds"))
+        else {
+            continue;
+        };
+        let Some(slot) = PHASES.iter().position(|p| *p == phase) else {
+            continue;
+        };
+        match rows.iter_mut().find(|r| r.0 == shard) {
+            Some(row) => row.1[slot] = *value,
+            None => {
+                let mut walls = [f64::NAN; 4];
+                walls[slot] = *value;
+                rows.push((shard, walls));
+            }
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_by_key(|r| r.0);
+    let total = |walls: &[f64; 4]| walls.iter().filter(|w| w.is_finite()).sum::<f64>();
+    let max_total = rows
+        .iter()
+        .map(|r| total(&r.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    out.push_str(&format!("\nSHARDS ({})\n", rows.len()));
+    out.push_str(&format!(
+        "  shard  {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        PHASES[0], PHASES[1], PHASES[2], PHASES[3], "total"
+    ));
+    for (shard, walls) in &rows {
+        let total = total(walls);
+        out.push_str(&format!(
+            "  s{shard:<5} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {total:>10.6}  {}\n",
+            walls[0],
+            walls[1],
+            walls[2],
+            walls[3],
+            bar(total / max_total, 16)
+        ));
+    }
+}
+
+/// The critical-path panel: the recording's round span forest analysed by
+/// `lb-prof`. A recording without a round span (or one that does not
+/// replay) simply has no panel.
+fn render_profile(out: &mut String, events: &[TelemetryEvent]) {
+    let Ok(profile) = lb_prof::profile_events(events) else {
+        return;
+    };
+    out.push_str("\nPROFILE (critical path)\n");
+    for line in profile.render_text().lines() {
+        out.push_str(&format!("  {line}\n"));
+    }
+}
+
+/// The live panels: `/profile` (cross-shard rollup) and `/regressions`
+/// (sentinel verdicts), rendered only once a profiler has published — the
+/// endpoints serve `{}` before that.
+fn render_live(out: &mut String, live: &LiveDocs) {
+    if let Some(doc) = live
+        .profile
+        .as_ref()
+        .filter(|d| d.get("rounds_profiled").is_some())
+    {
+        out.push_str("\nLIVE PROFILE\n");
+        for key in [
+            "rounds_profiled",
+            "sampling_period",
+            "profile_frames",
+            "profile_bytes",
+        ] {
+            if let Some(v) = doc.get(key).and_then(Json::as_f64) {
+                out.push_str(&format!("  {key:<18} {v:>12.0}\n"));
+            }
+        }
+        if let Some(fleet) = doc.get("fleet") {
+            out.push_str(&format!(
+                "  {:<12} {:>8} {:>12} {:>12} {:>12}\n",
+                "fleet phase", "count", "mean ms", "p99 ms", "max ms"
+            ));
+            for phase in PHASES.iter().chain(["machine_wall"].iter()) {
+                let Some(s) = fleet.get(phase) else { continue };
+                let ms = |key: &str| s.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN) * 1e3;
+                out.push_str(&format!(
+                    "  {phase:<12} {:>8.0} {:>12.3} {:>12.3} {:>12.3}\n",
+                    s.get("count").and_then(Json::as_f64).unwrap_or(0.0),
+                    ms("mean_s"),
+                    ms("p99_s"),
+                    ms("max_s"),
+                ));
+            }
+        }
+    }
+    if let Some(doc) = live
+        .regressions
+        .as_ref()
+        .filter(|d| d.get("verdicts").is_some())
+    {
+        let regressed = doc.get("regressed").and_then(Json::as_bool) == Some(true);
+        out.push_str(&format!(
+            "\nREGRESSIONS vs {:?} ({})\n",
+            doc.get("label").and_then(Json::as_str).unwrap_or("?"),
+            if regressed { "REGRESSED" } else { "ok" }
+        ));
+        for v in doc.get("verdicts").and_then(Json::as_array).unwrap_or(&[]) {
+            let num = |key: &str| v.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            out.push_str(&format!(
+                "  {:<10} mean {:>10.3} ms  ci-lo {:>10.3} ms  threshold {:>10.3} ms  {}\n",
+                v.get("phase").and_then(Json::as_str).unwrap_or("?"),
+                num("observed_mean_ms"),
+                num("ci_lo_ms"),
+                num("threshold_ms"),
+                if v.get("regressed").and_then(Json::as_bool) == Some(true) {
+                    "REGRESSED"
+                } else {
+                    "ok"
+                }
+            ));
+        }
+    }
 }
 
 /// The verification panel: per-invariant pass/fail from the
@@ -323,7 +498,11 @@ fn run(args: &Args) -> Result<(), String> {
     };
     loop {
         let events = load_events(&args.source)?;
-        let frame = render(&events, &label);
+        let live = match &args.source {
+            Source::File(_) => None,
+            Source::Url(addr) => Some(LiveDocs::fetch(addr)),
+        };
+        let frame = render(&events, &label, live.as_ref());
         if args.once {
             print!("{frame}");
             return Ok(());
@@ -377,13 +556,16 @@ mod tests {
     #[test]
     fn fixture_renders_every_section() {
         let events = from_jsonl(FIXTURE).expect("fixture parses");
-        let frame = render(&events, "fixture");
+        let frame = render(&events, "fixture", None);
         for needle in [
             "ROUNDS",
             "phase.collect_bids",
             "phase.settle",
             "MACHINES",
             "total payment:",
+            "SHARDS (2)",
+            "PROFILE (critical path)",
+            "critical-path coverage",
             "VERIFICATION (1 rounds audited)",
             "audit.check.conservation",
             "audit.margin.min",
@@ -403,7 +585,7 @@ mod tests {
     #[test]
     fn verification_panel_marks_failed_checks() {
         let events = from_jsonl(FIXTURE).expect("fixture parses");
-        let frame = render(&events, "fixture");
+        let frame = render(&events, "fixture", None);
         // The fixture's drift check is violated, every other check passes.
         assert!(frame.contains("! audit.check.drift"), "{frame}");
         assert!(frame.contains("VIOLATED"), "{frame}");
@@ -413,9 +595,74 @@ mod tests {
             .into_iter()
             .filter(|e| !e.name.starts_with("audit.") && !e.name.starts_with("durable."))
             .collect();
-        let frame = render(&plain, "fixture");
+        let frame = render(&plain, "fixture", None);
         assert!(!frame.contains("VERIFICATION"), "{frame}");
         assert!(!frame.contains("DURABILITY"), "{frame}");
+    }
+
+    #[test]
+    fn shard_panel_orders_shards_and_scales_bars() {
+        let events = from_jsonl(FIXTURE).expect("fixture parses");
+        let frame = render(&events, "fixture", None);
+        // Both fixture shards render, in index order, with phase columns.
+        let s0 = frame.find("  s0").expect("shard 0 row");
+        let s1 = frame.find("  s1").expect("shard 1 row");
+        assert!(s0 < s1, "shard rows out of order:\n{frame}");
+        assert!(frame.contains("collect"), "{frame}");
+        assert!(frame.contains("settle"), "{frame}");
+        // A recording with no shard gauges has no panel at all.
+        let unsharded: Vec<TelemetryEvent> = from_jsonl(FIXTURE)
+            .unwrap()
+            .into_iter()
+            .filter(|e| !e.name.starts_with("shard."))
+            .collect();
+        let frame = render(&unsharded, "fixture", None);
+        assert!(!frame.contains("SHARDS"), "{frame}");
+    }
+
+    #[test]
+    fn live_docs_render_profile_and_regressions_panels() {
+        let events = from_jsonl(FIXTURE).expect("fixture parses");
+        // Unpublished endpoints serve `{}`: no live panels.
+        let empty = LiveDocs {
+            profile: Some(Json::parse("{}").unwrap()),
+            regressions: Some(Json::parse("{}").unwrap()),
+        };
+        let frame = render(&events, "fixture", Some(&empty));
+        assert!(!frame.contains("LIVE PROFILE"), "{frame}");
+        assert!(!frame.contains("REGRESSIONS"), "{frame}");
+        // Published documents render both panels with their headline rows.
+        let live = LiveDocs {
+            profile: Some(
+                Json::parse(
+                    r#"{"rounds_profiled": 3, "sampling_period": 1, "profile_frames": 24,
+                        "profile_bytes": 960,
+                        "fleet": {"settle": {"count": 3, "mean_s": 0.004, "p50_s": 0.004,
+                                             "p99_s": 0.005, "max_s": 0.005}}}"#,
+                )
+                .unwrap(),
+            ),
+            regressions: Some(
+                Json::parse(
+                    r#"{"bench": "round_scaling", "label": "seed", "n": 1024,
+                        "confidence": 0.99, "slack": 0.25, "regressed": true,
+                        "verdicts": [{"phase": "settle", "rounds": 8,
+                                      "observed_mean_ms": 9.1, "ci_lo_ms": 8.7,
+                                      "ci_hi_ms": 9.5, "baseline_p99_ms": 4.0,
+                                      "threshold_ms": 5.0, "regressed": true}]}"#,
+                )
+                .unwrap(),
+            ),
+        };
+        let frame = render(&events, "fixture", Some(&live));
+        assert!(frame.contains("LIVE PROFILE"), "{frame}");
+        assert!(frame.contains("rounds_profiled"), "{frame}");
+        assert!(frame.contains("fleet phase"), "{frame}");
+        assert!(
+            frame.contains("REGRESSIONS vs \"seed\" (REGRESSED)"),
+            "{frame}"
+        );
+        assert!(frame.contains("settle"), "{frame}");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`round_scaling`] — full sharded rounds at 10⁴–10⁶ machines:
 //!   rounds/sec and p99 phase latency through the hierarchical
 //!   coordinator.
+//! * [`profile_overhead`] — cost of the cross-shard telemetry rollup
+//!   (off / attached / sampled `lb-prof` profiler) on a full sharded
+//!   round.
 //!
 //! The `experiments` binary prints the same rows/series the paper reports:
 //!
@@ -27,6 +30,7 @@ pub mod chart;
 pub mod figures;
 pub mod paper;
 pub mod payment_scaling;
+pub mod profile_overhead;
 pub mod round_scaling;
 pub mod tables;
 

@@ -26,7 +26,7 @@ pub struct Oracle {
     pub run: fn(u64) -> Result<(), String>,
 }
 
-/// The eight differential oracles, in dependency order (pure kernels
+/// The nine differential oracles, in dependency order (pure kernels
 /// first).
 #[must_use]
 pub fn registry() -> &'static [Oracle] {
@@ -71,6 +71,12 @@ pub fn registry() -> &'static [Oracle] {
             description:
                 "invariant monitor + ledger chain catch injected corruption, no false alarms",
             run: oracles::audit::check,
+        },
+        Oracle {
+            name: "prof",
+            description:
+                "cross-shard sketch merge vs. whole-population recompute, frame validation, profile JSONL robustness",
+            run: oracles::prof::check,
         },
     ];
     ORACLES
@@ -240,7 +246,8 @@ mod tests {
                 "telemetry",
                 "recovery",
                 "shard",
-                "audit"
+                "audit",
+                "prof"
             ]
         );
     }

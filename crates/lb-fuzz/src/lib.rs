@@ -9,7 +9,7 @@
 //! oracle compares a production kernel against an independent reference
 //! that cannot share its bugs.
 //!
-//! The eight oracles (see [`harness::registry`]):
+//! The nine oracles (see [`harness::registry`]):
 //!
 //! * `alloc` — the PR closed form ([Theorem 2.1]) vs. the KKT bisection
 //!   solver vs. a double-double reference, on spreads up to 10¹².
@@ -35,6 +35,11 @@
 //!   round raises no monitor violations and verifies an intact ledger,
 //!   while an injected skimmed payment, a CRC-fixed journal byte flip and
 //!   a violated Theorem 3.2 floor must each be flagged.
+//! * `prof` — the cross-shard telemetry rollup: sketches split across a
+//!   random shard partition must merge to bitwise the same quantile reads
+//!   as a whole-population recompute, corrupt profile frames must be
+//!   rejected without perturbing the rollup, and profile JSONL documents
+//!   must round-trip exactly and survive byte mutation without panicking.
 //!
 //! Run from the workspace root:
 //!

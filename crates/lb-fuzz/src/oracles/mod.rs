@@ -10,6 +10,7 @@ pub mod alloc;
 pub mod audit;
 pub mod codec;
 pub mod payment;
+pub mod prof;
 pub mod recovery;
 pub mod session;
 pub mod shard;

@@ -83,23 +83,36 @@ fn fields(rng: &mut Xoshiro256StarStar) -> Vec<Field> {
 /// interleaved with instants, counters, gauges and histogram samples.
 fn recording(rng: &mut Xoshiro256StarStar) -> Vec<TelemetryEvent> {
     let mut events = Vec::new();
-    let mut stack: Vec<SpanId> = Vec::new();
+    let mut stack: Vec<(SpanId, Subsystem)> = Vec::new();
     let mut next_id = 1u64;
     let mut at = 0.0f64;
     let count = 8 + rng.next_below(48);
     for _ in 0..count {
         at += rng.next_range(0.0, 0.01);
-        let cat = subsystem(rng);
+        let mut cat = subsystem(rng);
         let kind = match rng.next_below(8) {
             0 | 1 => {
                 let id = SpanId(next_id);
                 next_id += 1;
                 let parent = stack.last().copied();
-                stack.push(id);
-                EventKind::SpanStart { id, parent }
+                // Well-formed recordings respect the shard-lineage rule:
+                // a Shard span only opens under a Coordinator or Shard
+                // parent (replay_spans rejects orphans). Downgrade the
+                // category elsewhere, exactly as real instrumentation
+                // never emits a stray shard span.
+                if cat == Subsystem::Shard
+                    && !matches!(parent, Some((_, Subsystem::Coordinator | Subsystem::Shard)))
+                {
+                    cat = Subsystem::Coordinator;
+                }
+                stack.push((id, cat));
+                EventKind::SpanStart {
+                    id,
+                    parent: parent.map(|(p, _)| p),
+                }
             }
             2 if !stack.is_empty() => {
-                let id = stack.pop().expect("non-empty stack");
+                let (id, _) = stack.pop().expect("non-empty stack");
                 EventKind::SpanEnd { id }
             }
             2 | 3 => EventKind::Instant,
@@ -123,7 +136,7 @@ fn recording(rng: &mut Xoshiro256StarStar) -> Vec<TelemetryEvent> {
     }
     // Close whatever is still open, innermost first, so the forest is
     // complete and `replay_spans` accepts it.
-    while let Some(id) = stack.pop() {
+    while let Some((id, _)) = stack.pop() {
         at += rng.next_range(0.0, 0.01);
         events.push(TelemetryEvent {
             at,

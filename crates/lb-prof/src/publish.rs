@@ -1,0 +1,106 @@
+//! Publication glue: profiler and sentinel documents onto the live
+//! [`Exposition`] endpoint.
+//!
+//! The exposition server (`lb-telemetry`) serves whatever JSON was last
+//! published under `/profile` and `/regressions`; these helpers render
+//! the profiler's rollup document and the sentinel's verdicts into those
+//! slots. Publishing is a mutex-guarded string swap on the caller's
+//! thread — it never blocks the protocol on a scraper.
+
+use crate::rollup::RoundProfiler;
+use crate::sentinel::{verdicts_json, Baseline, SentinelConfig, Verdict};
+use lb_telemetry::Exposition;
+
+/// Renders the profiler's current state and publishes it as `/profile`.
+pub fn publish_profile(share: &Exposition, profiler: &RoundProfiler) {
+    let mut text = profiler.to_json().render();
+    text.push('\n');
+    share.publish_profile(text);
+}
+
+/// Renders a verdict set and publishes it as `/regressions`.
+pub fn publish_regressions(
+    share: &Exposition,
+    verdicts: &[Verdict],
+    n: u64,
+    baseline: &Baseline,
+    cfg: &SentinelConfig,
+) {
+    let mut text = verdicts_json(verdicts, n, baseline, cfg).render();
+    text.push('\n');
+    share.publish_regressions(text);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollup::PHASES;
+    use crate::sentinel::check;
+    use lb_stats::OnlineStats;
+    use lb_telemetry::{ExposeServer, Json};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    fn body_json(response: &str) -> Json {
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        Json::parse(body).expect("json body")
+    }
+
+    #[test]
+    fn profile_and_regressions_are_served_end_to_end() {
+        let share = Exposition::new();
+        let server = ExposeServer::bind("127.0.0.1:0", share.clone()).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || server.serve_requests(2));
+
+        let mut profiler = RoundProfiler::new();
+        profiler.finish_round(0, [0.01, 0.02, 0.015, 0.005]);
+        profiler.finish_round(1, [0.01, 0.02, 0.015, 0.005]);
+        publish_profile(&share, &profiler);
+
+        let log = r#"{"bench":"round-scaling","unit":"ms","entries":[
+            {"label":"seed","rows":[{"n":64,
+             "p99_collect_ms":10.0,"p99_allocate_ms":20.0,
+             "p99_execute_ms":15.0,"p99_settle_ms":1.0}]}]}"#;
+        let baseline = Baseline::parse(log, "seed").unwrap();
+        let cfg = SentinelConfig::default();
+        let mut series = [OnlineStats::new(); 4];
+        for round in 0..4 {
+            #[allow(clippy::cast_precision_loss)]
+            let wobble = 1e-5 * f64::from(round % 2);
+            for (i, s) in series.iter_mut().enumerate() {
+                let base = [0.01, 0.02, 0.015, 0.005][i];
+                s.push(base + wobble);
+            }
+        }
+        let verdicts = check(&series, 64, &baseline, &cfg);
+        publish_regressions(&share, &verdicts, 64, &baseline, &cfg);
+
+        let profile = body_json(&http_get(addr, "/profile"));
+        assert_eq!(
+            profile.get("rounds_profiled").and_then(Json::as_u64),
+            Some(2)
+        );
+        let regressions = body_json(&http_get(addr, "/regressions"));
+        // Settle runs at 5 ms against a 1 ms baseline: flagged.
+        assert_eq!(
+            regressions.get("regressed").and_then(Json::as_bool),
+            Some(true)
+        );
+        let listed = regressions
+            .get("verdicts")
+            .and_then(Json::as_array)
+            .expect("verdicts");
+        assert_eq!(listed.len(), PHASES.len());
+
+        handle.join().expect("server thread").expect("serve");
+    }
+}

@@ -1,0 +1,376 @@
+//! Mergeable latency sketches: the unit of the cross-shard rollup.
+//!
+//! A [`LatencySketch`] summarizes a population of wall-clock durations with
+//! two mergeable structures from `lb-stats`:
+//!
+//! * [`OnlineStats`] — exact count / mean / variance / extrema, merged with
+//!   the Chan et al. parallel update, so the fleet-wide mean and max are
+//!   exact regardless of how the population was partitioned;
+//! * a log₁₀-domain [`Histogram`] with *fixed geometry* — every sketch in
+//!   the workspace covers `[10^-7.5, 10^4.5)` seconds with 40 bins per
+//!   decade, so any two sketches merge by bin addition and the merged
+//!   quantiles are **identical** to the quantiles of a sketch built from
+//!   the concatenated population (merge is exact; only the quantile *read*
+//!   is approximate).
+//!
+//! The log domain buys a scale-free accuracy contract: a quantile read is
+//! off by at most [`SKETCH_RTOL`] *relative* (two bin widths,
+//! `10^0.05 - 1 ≈ 12%`) whether the population is microseconds or hours.
+//! Reads are additionally clamped to the exact `[min, max]` tracked by the
+//! stats side, so out-of-range mass (and the q→0/q→1 edges) degrade to the
+//! exact extrema instead of the domain bounds.
+//!
+//! [`WireSketch`] is the serde-serializable frame payload: the raw Welford
+//! state plus the raw bin counts. Decoding *validates* — NaN moments,
+//! negative `m2`, mismatched geometry or count mismatches between the two
+//! structures are rejected as corrupt rather than merged into the fleet
+//! rollup.
+
+use lb_stats::{Histogram, OnlineStats};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lower edge of the sketch domain, in log₁₀ seconds (`10^-7.5 ≈ 32 ns`).
+pub const SKETCH_LOG_LO: f64 = -7.5;
+/// Exclusive upper edge of the sketch domain, in log₁₀ seconds
+/// (`10^4.5 ≈ 8.8 hours`).
+pub const SKETCH_LOG_HI: f64 = 4.5;
+/// Bin count: 12 decades × 40 bins per decade.
+pub const SKETCH_BINS: usize = 480;
+/// Documented relative quantile tolerance of a sketch read: two log-domain
+/// bin widths, `10^(2/40) - 1 ≈ 0.122`, rounded up. Populations whose
+/// adjacent order statistics straddle a bin boundary can shift a read by
+/// one extra bin, hence two widths rather than one.
+pub const SKETCH_RTOL: f64 = 0.13;
+
+/// Why a [`WireSketch`] was rejected on decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The Welford state was not a valid accumulator (NaN, negative `m2`,
+    /// inverted extrema, or a phantom non-empty empty state).
+    Stats,
+    /// The histogram geometry differs from the workspace constant, or the
+    /// bin counts overflow.
+    Geometry,
+    /// The two structures disagree about how many observations they hold.
+    CountMismatch,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Stats => write!(f, "invalid Welford state in sketch frame"),
+            WireError::Geometry => write!(f, "sketch frame histogram geometry mismatch"),
+            WireError::CountMismatch => {
+                write!(f, "sketch frame stats/histogram count mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A mergeable summary of a wall-clock duration population (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySketch {
+    stats: OnlineStats,
+    hist: Histogram,
+}
+
+impl Default for LatencySketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencySketch {
+    /// An empty sketch over the workspace-standard log domain.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            stats: OnlineStats::new(),
+            hist: Histogram::new(SKETCH_LOG_LO, SKETCH_LOG_HI, SKETCH_BINS),
+        }
+    }
+
+    /// Builds a sketch from a slice in one pass.
+    #[must_use]
+    pub fn from_slice(seconds: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in seconds {
+            s.record(v);
+        }
+        s
+    }
+
+    /// Records one duration in seconds. Zero durations (below the clock's
+    /// resolution) land in the histogram's underflow bin and read back as
+    /// the exact minimum.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) on NaN or negative durations.
+    pub fn record(&mut self, seconds: f64) {
+        debug_assert!(
+            seconds >= 0.0 && !seconds.is_nan(),
+            "LatencySketch: duration must be a non-negative number, got {seconds}"
+        );
+        self.stats.push(seconds);
+        // log10(0) = -inf falls below the domain and is counted as underflow.
+        self.hist.record(seconds.log10());
+    }
+
+    /// Merges another sketch into this one. Exact: the result is identical
+    /// to a sketch built from the concatenated populations.
+    pub fn merge(&mut self, other: &Self) {
+        self.stats.merge(&other.stats);
+        self.hist.merge(&other.hist);
+    }
+
+    /// Number of recorded durations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Whether the sketch holds no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Exact mean duration (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Exact sum of durations (0 when empty).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.stats.sum()
+    }
+
+    /// Exact minimum (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.stats.min()
+    }
+
+    /// Exact maximum (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.stats.max()
+    }
+
+    /// Approximate `q`-quantile in seconds, within [`SKETCH_RTOL`] relative
+    /// of the population quantile, clamped to the exact `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if the sketch is empty or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.is_empty(), "LatencySketch: quantile of empty sketch");
+        let log_q = self.hist.quantile(q);
+        // The histogram answers underflow ranks with its lower domain edge;
+        // those are sub-resolution durations, so read them as the exact min.
+        if log_q <= self.hist.lo() {
+            return self.stats.min();
+        }
+        10f64.powf(log_q).clamp(self.stats.min(), self.stats.max())
+    }
+
+    /// Median (approximate, see [`Self::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile (approximate, see [`Self::quantile`]).
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Serializes the sketch for the wire. Inverse of [`Self::from_wire`].
+    #[must_use]
+    pub fn to_wire(&self) -> WireSketch {
+        let (count, mean, m2, min, max, sum) = self.stats.parts();
+        WireSketch {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+            sum,
+            log_lo: self.hist.lo(),
+            log_hi: self.hist.hi(),
+            bins: self.hist.bins().to_vec(),
+            underflow: self.hist.underflow(),
+            overflow: self.hist.overflow(),
+        }
+    }
+
+    /// Validates and rebuilds a sketch from a wire frame.
+    ///
+    /// # Errors
+    /// Returns a [`WireError`] when the frame could not have been produced
+    /// by [`Self::to_wire`] — corrupt moments, foreign geometry, or
+    /// disagreeing counts.
+    pub fn from_wire(wire: &WireSketch) -> Result<Self, WireError> {
+        let stats =
+            OnlineStats::from_parts(wire.count, wire.mean, wire.m2, wire.min, wire.max, wire.sum)
+                .ok_or(WireError::Stats)?;
+        if wire.log_lo != SKETCH_LOG_LO
+            || wire.log_hi != SKETCH_LOG_HI
+            || wire.bins.len() != SKETCH_BINS
+        {
+            return Err(WireError::Geometry);
+        }
+        let hist = Histogram::from_parts(
+            wire.log_lo,
+            wire.log_hi,
+            wire.bins.clone(),
+            wire.underflow,
+            wire.overflow,
+        )
+        .ok_or(WireError::Geometry)?;
+        if hist.count() != stats.count() {
+            return Err(WireError::CountMismatch);
+        }
+        Ok(Self { stats, hist })
+    }
+}
+
+/// The serde-serializable form of a [`LatencySketch`]: raw Welford state
+/// plus raw bin counts, validated on decode by [`LatencySketch::from_wire`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSketch {
+    /// Observation count (must match the histogram mass).
+    pub count: u64,
+    /// Welford mean.
+    pub mean: f64,
+    /// Welford second central moment.
+    pub m2: f64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+    /// Exact sum.
+    pub sum: f64,
+    /// Histogram domain lower edge, log₁₀ seconds ([`SKETCH_LOG_LO`]).
+    pub log_lo: f64,
+    /// Histogram domain upper edge, log₁₀ seconds ([`SKETCH_LOG_HI`]).
+    pub log_hi: f64,
+    /// Raw per-bin counts ([`SKETCH_BINS`] of them).
+    pub bins: Vec<u64>,
+    /// Mass below the domain (sub-nanosecond durations).
+    pub underflow: u64,
+    /// Mass at or above the domain.
+    pub overflow: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_stats::{nearest_rank, Rng, Xoshiro256StarStar};
+
+    fn log_uniform(rng: &mut Xoshiro256StarStar, lo: f64, hi: f64) -> f64 {
+        let u = rng.next_f64();
+        10f64.powf(lo + u * (hi - lo))
+    }
+
+    #[test]
+    fn merge_is_exact_against_whole_population() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+        let values: Vec<f64> = (0..1000)
+            .map(|_| log_uniform(&mut rng, -6.0, 1.0))
+            .collect();
+        let whole = LatencySketch::from_slice(&values);
+        let mut merged = LatencySketch::from_slice(&values[..313]);
+        merged.merge(&LatencySketch::from_slice(&values[313..700]));
+        merged.merge(&LatencySketch::from_slice(&values[700..]));
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.max(), whole.max());
+        assert_eq!(merged.min(), whole.min());
+        // The histogram side is bit-identical, so every quantile read agrees.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_nearest_rank_within_tolerance() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let values: Vec<f64> = (0..5000)
+            .map(|_| log_uniform(&mut rng, -5.0, 2.0))
+            .collect();
+        let sketch = LatencySketch::from_slice(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let exact = sorted[nearest_rank(q, sorted.len()) - 1];
+            let approx = sketch.quantile(q);
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel <= SKETCH_RTOL,
+                "q = {q}: exact {exact}, sketch {approx}, rel {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_read_back_exactly() {
+        let sketch = LatencySketch::from_slice(&[3e-4, 1e-2, 0.5]);
+        assert_eq!(sketch.quantile(0.0), 3e-4);
+        assert_eq!(sketch.quantile(1.0), 0.5);
+        assert_eq!(sketch.max(), 0.5);
+        assert_eq!(sketch.mean(), (3e-4 + 1e-2 + 0.5) / 3.0);
+    }
+
+    #[test]
+    fn zero_durations_underflow_and_clamp_to_min() {
+        let sketch = LatencySketch::from_slice(&[0.0, 0.0, 1e-3]);
+        assert_eq!(sketch.count(), 3);
+        assert_eq!(sketch.min(), 0.0);
+        assert_eq!(sketch.quantile(0.1), 0.0, "underflow mass reads as min");
+    }
+
+    #[test]
+    fn wire_round_trip_is_identity() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let values: Vec<f64> = (0..200).map(|_| log_uniform(&mut rng, -4.0, 0.0)).collect();
+        let sketch = LatencySketch::from_slice(&values);
+        let back = LatencySketch::from_wire(&sketch.to_wire()).unwrap();
+        assert_eq!(back, sketch);
+
+        let empty = LatencySketch::new();
+        let back = LatencySketch::from_wire(&empty.to_wire()).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn corrupt_wire_frames_are_rejected() {
+        let sketch = LatencySketch::from_slice(&[1.0, 2.0]);
+        let good = sketch.to_wire();
+
+        let mut bad = good.clone();
+        bad.mean = f64::NAN;
+        assert_eq!(LatencySketch::from_wire(&bad), Err(WireError::Stats));
+
+        let mut bad = good.clone();
+        bad.log_hi = 9.0;
+        assert_eq!(LatencySketch::from_wire(&bad), Err(WireError::Geometry));
+
+        let mut bad = good.clone();
+        bad.bins.truncate(10);
+        assert_eq!(LatencySketch::from_wire(&bad), Err(WireError::Geometry));
+
+        let mut bad = good;
+        bad.count += 1;
+        bad.m2 = 0.1;
+        assert_eq!(
+            LatencySketch::from_wire(&bad),
+            Err(WireError::CountMismatch)
+        );
+    }
+}

@@ -762,7 +762,8 @@ impl<'m> Coordinator<'m> {
             | Message::Assign { .. }
             | Message::Payment { .. }
             | Message::ShardSum { .. }
-            | Message::ShardEstimates { .. } => Ok(self.reject(
+            | Message::ShardEstimates { .. }
+            | Message::ShardProfile { .. } => Ok(self.reject(
                 Anomaly::Misrouted,
                 "coordinator received coordinator-originated message",
             )),
@@ -920,7 +921,8 @@ impl<'m> Coordinator<'m> {
             | Message::Assign { .. }
             | Message::Payment { .. }
             | Message::ShardSum { .. }
-            | Message::ShardEstimates { .. } => {
+            | Message::ShardEstimates { .. }
+            | Message::ShardProfile { .. } => {
                 // Shard control frames are consumed by the shard runtime
                 // itself; reaching the round state machine means a routing
                 // bug, same as any coordinator-originated message.

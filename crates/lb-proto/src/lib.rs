@@ -106,8 +106,9 @@ pub use session::{
     ChaosSessionReport, CrashPlan, DurableSessionReport, MachineHealth, SessionReport,
 };
 pub use shard::{
-    drive_sharded_round, expected_sharded_message_count, report_from_root, run_round_sharded,
-    run_round_sharded_observed, shard_ranges, ShardPhaseTimings, ShardRoundReport,
+    drive_sharded_round, drive_sharded_round_profiled, expected_sharded_message_count,
+    report_from_root, run_round_sharded, run_round_sharded_observed, run_round_sharded_profiled,
+    shard_ranges, ShardPhaseTimings, ShardRoundReport,
 };
 pub use threaded::{
     run_protocol_round_threaded, run_protocol_round_threaded_exposed,

@@ -74,6 +74,21 @@ pub enum Message {
         /// Estimated `t̃_i` per respondent, shard-local respondent order.
         estimates: Vec<f64>,
     },
+    /// Shard → root: profiling rollup — the shard's per-machine
+    /// verification wall-time sketch plus its slowest machine. Emitted
+    /// only when a profiler is attached and the round is sampled; counted
+    /// exclusively by the profiler's own frame accounting (never
+    /// [`crate::network::MessageStats`] or the `net.*` counters), so the
+    /// protocol's message statistics are bit-identical with and without
+    /// profiling.
+    ShardProfile {
+        /// Round being profiled.
+        round: RoundId,
+        /// Shard index (not a machine index).
+        shard: u32,
+        /// The sketch frame payload.
+        profile: lb_prof::WireShardProfile,
+    },
 }
 
 impl Message {
@@ -87,7 +102,8 @@ impl Message {
             | Self::ExecutionDone { round, .. }
             | Self::Payment { round, .. }
             | Self::ShardSum { round, .. }
-            | Self::ShardEstimates { round, .. } => *round,
+            | Self::ShardEstimates { round, .. }
+            | Self::ShardProfile { round, .. } => *round,
         }
     }
 
@@ -103,6 +119,7 @@ impl Message {
             Self::Payment { .. } => "payment",
             Self::ShardSum { .. } => "shard_sum",
             Self::ShardEstimates { .. } => "shard_estimates",
+            Self::ShardProfile { .. } => "shard_profile",
         }
     }
 
@@ -115,7 +132,8 @@ impl Message {
             | Self::Assign { .. }
             | Self::Payment { .. }
             | Self::ShardSum { .. }
-            | Self::ShardEstimates { .. } => None,
+            | Self::ShardEstimates { .. }
+            | Self::ShardProfile { .. } => None,
         }
     }
 
@@ -130,6 +148,7 @@ impl Message {
             Self::Payment { .. } => "payment",
             Self::ShardSum { .. } => "shard-sum",
             Self::ShardEstimates { .. } => "shard-estimates",
+            Self::ShardProfile { .. } => "shard-profile",
         }
     }
 }
@@ -170,6 +189,16 @@ mod tests {
                 round: RoundId(1),
                 shard: 2,
                 estimates: vec![1.0, 2.5, 4.125],
+            },
+            Message::ShardProfile {
+                round: RoundId(1),
+                shard: 2,
+                profile: lb_prof::WireShardProfile {
+                    shard: 2,
+                    machines: 3,
+                    machine_wall: lb_prof::LatencySketch::from_slice(&[1e-4, 2e-4, 3e-4]).to_wire(),
+                    slowest: Some((2, 3e-4)),
+                },
             },
         ];
         for m in &msgs {

@@ -127,7 +127,8 @@ impl NodeAgent {
             Message::Bid { .. }
             | Message::ExecutionDone { .. }
             | Message::ShardSum { .. }
-            | Message::ShardEstimates { .. } => {
+            | Message::ShardEstimates { .. }
+            | Message::ShardProfile { .. } => {
                 panic!(
                     "node {} received node-originated or shard-control message",
                     self.machine

@@ -52,8 +52,12 @@ use crate::runtime::ProtocolConfig;
 use bytes::Bytes;
 use lb_core::{inv_sum_dd, merge_inv_sums, CoreError, TwoF64};
 use lb_mechanism::{MechanismError, VerifiedMechanism};
-use lb_sim::driver::{simulate_partition_observed, SimulationConfig};
-use lb_telemetry::{noop_collector, Collector, Field, SpanId, Subsystem, TraceContext};
+use lb_prof::{LatencySketch, RoundProfiler, WireShardProfile, PHASES};
+use lb_sim::driver::{simulate_partition_observed, simulate_partition_timed, SimulationConfig};
+use lb_telemetry::{
+    noop_collector, Collector, EventKind, Field, SpanId, Subsystem, TelemetryEvent, TraceContext,
+};
+use std::borrow::Cow;
 use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
@@ -238,10 +242,17 @@ fn merged_sum(root: &Coordinator<'_>, ranges: &[Range<usize>]) -> TwoF64 {
 
 /// What one shard worker hands back up: the encoded node-originated frames
 /// in ascending machine order, plus the frames it counted (both directions).
+///
+/// `elapsed` and `prof` are profiler-only side channels: the worker's own
+/// wall time, and — on profiled verify stages — the encoded
+/// [`Message::ShardProfile`] frame, carried *outside* `up` so it never
+/// enters the protocol's frame accounting or the root's ingest loop.
 #[derive(Default)]
 struct ShardBatch {
     up: Vec<Bytes>,
     sent: MessageStats,
+    elapsed: f64,
+    prof: Option<Bytes>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -258,6 +269,7 @@ fn collect_shard(
     collector: &dyn Collector,
     epoch: Instant,
 ) -> Result<ShardBatch, ProtocolError> {
+    let started = Instant::now();
     let mut batch = ShardBatch::default();
     let span = shard_span(
         collector,
@@ -291,6 +303,7 @@ fn collect_shard(
         batch.up.push(frame);
     }
     collector.span_end(epoch.elapsed().as_secs_f64(), span);
+    batch.elapsed = started.elapsed().as_secs_f64();
     Ok(batch)
 }
 
@@ -307,7 +320,9 @@ fn verify_shard(
     parent: SpanId,
     collector: &dyn Collector,
     epoch: Instant,
+    profile: bool,
 ) -> Result<ShardBatch, ProtocolError> {
+    let started = Instant::now();
     let mut batch = ShardBatch::default();
     let span = shard_span(
         collector,
@@ -317,19 +332,62 @@ fn verify_shard(
         shard,
         sub_bids.len(),
     );
-    let report = simulate_partition_observed(
-        sub_bids,
-        sub_exec,
-        sub_rates,
-        sim,
-        stream_offset,
-        collector,
-        span,
-    )
-    .map_err(|e| ProtocolError::from(MechanismError::Core(e)))?;
+    let shard_u32 = u32::try_from(shard).expect("shard count fits u32");
+    let report = if profile {
+        // Profiled verify: identical kernel, plus a per-machine wall-time
+        // probe feeding the shard's sketch. The probe observes the loop
+        // without participating, so estimates are bit-identical to the
+        // unprofiled path.
+        let mut machine_wall = LatencySketch::new();
+        let mut slowest: Option<(u64, f64)> = None;
+        let report = simulate_partition_timed(
+            sub_bids,
+            sub_exec,
+            sub_rates,
+            sim,
+            stream_offset,
+            collector,
+            span,
+            &mut |machine, wall| {
+                machine_wall.record(wall);
+                if slowest.is_none_or(|(_, w)| wall > w) {
+                    // Keep the *local* respondent ordinal: the worker does
+                    // not know the global index space; the root maps it.
+                    slowest = Some((machine - stream_offset, wall));
+                }
+            },
+        )
+        .map_err(|e| ProtocolError::from(MechanismError::Core(e)))?;
+        let msg = Message::ShardProfile {
+            round,
+            shard: shard_u32,
+            profile: WireShardProfile {
+                shard: shard_u32,
+                machines: sub_bids.len() as u64,
+                machine_wall: machine_wall.to_wire(),
+                slowest,
+            },
+        };
+        let ctx = upward_ctx(wire, span);
+        // Deliberately NOT count_frame'd: profiling frames are accounted by
+        // the profiler alone, never MessageStats or the net.* counters.
+        batch.prof = Some(encode_with_context(&msg, ctx.as_ref()).map_err(codec_err)?);
+        report
+    } else {
+        simulate_partition_observed(
+            sub_bids,
+            sub_exec,
+            sub_rates,
+            sim,
+            stream_offset,
+            collector,
+            span,
+        )
+        .map_err(|e| ProtocolError::from(MechanismError::Core(e)))?
+    };
     let msg = Message::ShardEstimates {
         round,
-        shard: u32::try_from(shard).expect("shard count fits u32"),
+        shard: shard_u32,
         estimates: report.estimated_exec_values,
     };
     let ctx = upward_ctx(wire, span);
@@ -337,6 +395,7 @@ fn verify_shard(
     count_frame(&mut batch.sent, collector, epoch, &frame);
     batch.up.push(frame);
     collector.span_end(epoch.elapsed().as_secs_f64(), span);
+    batch.elapsed = started.elapsed().as_secs_f64();
     Ok(batch)
 }
 
@@ -352,6 +411,7 @@ fn execute_shard(
     collector: &dyn Collector,
     epoch: Instant,
 ) -> Result<ShardBatch, ProtocolError> {
+    let started = Instant::now();
     let mut batch = ShardBatch::default();
     let span = shard_span(
         collector,
@@ -383,6 +443,7 @@ fn execute_shard(
         batch.up.push(frame);
     }
     collector.span_end(epoch.elapsed().as_secs_f64(), span);
+    batch.elapsed = started.elapsed().as_secs_f64();
     Ok(batch)
 }
 
@@ -397,6 +458,7 @@ fn settle_shard(
     collector: &dyn Collector,
     epoch: Instant,
 ) -> Result<ShardBatch, ProtocolError> {
+    let started = Instant::now();
     let mut batch = ShardBatch::default();
     for (i, msg) in payments {
         let local = i - range.start;
@@ -421,21 +483,23 @@ fn settle_shard(
             Field::u64("machines", payments.len() as u64),
         ],
     );
+    batch.elapsed = started.elapsed().as_secs_f64();
     Ok(batch)
 }
 
 /// Joins one stage's workers in shard order, folding their traffic into
-/// `stats` and returning the upward frame batches, still shard-ordered.
+/// `stats` and returning the whole batches (upward frames plus the
+/// profiler-only side channels), still shard-ordered.
 fn join_stage(
     handles: Vec<std::thread::ScopedJoinHandle<'_, Result<ShardBatch, ProtocolError>>>,
     stats: &mut MessageStats,
-) -> Result<Vec<Vec<Bytes>>, ProtocolError> {
+) -> Result<Vec<ShardBatch>, ProtocolError> {
     let mut batches = Vec::with_capacity(handles.len());
     for handle in handles {
         let batch = handle.join().expect("shard worker panicked")?;
         stats.messages += batch.sent.messages;
         stats.bytes += batch.sent.bytes;
-        batches.push(batch.up);
+        batches.push(batch);
     }
     Ok(batches)
 }
@@ -468,6 +532,38 @@ pub fn drive_sharded_round(
     shards: usize,
     faults: &FaultPlan,
 ) -> Result<(MessageStats, ShardPhaseTimings), ProtocolError> {
+    drive_sharded_round_profiled(root, specs, config, shards, faults, None)
+}
+
+/// [`drive_sharded_round`] with an optional [`RoundProfiler`] attached.
+///
+/// When the profiler samples this round, each shard's verify worker ships a
+/// [`Message::ShardProfile`] frame (its per-machine wall-time sketch plus
+/// its slowest machine) alongside the estimates, and the root ingests them
+/// into the profiler's cross-shard rollup together with each worker's
+/// per-phase wall time. Profiling frames are counted exclusively by the
+/// profiler's own accounting — never [`MessageStats`] or the `net.*`
+/// counters — and the probe observes the verification kernel without
+/// participating, so rates, payments, estimates, exclusions, the journal
+/// and the message statistics are bit-identical with the profiler attached,
+/// detached, or sampling.
+///
+/// # Errors
+/// As [`drive_sharded_round`], plus
+/// [`ProtocolError::ReplayMismatch`] if a profiled verify worker returns a
+/// missing or corrupt profile frame.
+///
+/// # Panics
+/// Panics if a shard worker thread panics, or — with a strict root — on
+/// protocol violations.
+pub fn drive_sharded_round_profiled(
+    root: &mut Coordinator<'_>,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    shards: usize,
+    faults: &FaultPlan,
+    mut profiler: Option<&mut RoundProfiler>,
+) -> Result<(MessageStats, ShardPhaseTimings), ProtocolError> {
     let n = specs.len();
     if n != root.bid_slots().len() {
         return Err(CoreError::LengthMismatch {
@@ -482,6 +578,10 @@ pub fn drive_sharded_round(
     let ranges = shard_ranges(n, shards);
     let mut stats = MessageStats::default();
     let mut timings = ShardPhaseTimings::default();
+    let profiling = profiler.as_ref().is_some_and(|p| p.should_profile(round.0));
+    // This round's per-shard phase seconds, kept for the gauge emission
+    // after settlement (telemetry-only; outcomes never read it).
+    let mut shard_phase: Vec<[f64; 4]> = vec![[0.0; 4]; ranges.len()];
 
     let mut agents: Vec<NodeAgent> = specs
         .iter()
@@ -530,7 +630,15 @@ pub fn drive_sharded_round(
                 .collect();
             join_stage(handles, &mut stats)
         })?;
-        for frame in batches.into_iter().flatten() {
+        if profiling {
+            if let Some(p) = profiler.as_deref_mut() {
+                for (s, batch) in batches.iter().enumerate() {
+                    p.record_phase(s as u32, 0, batch.elapsed);
+                    shard_phase[s][0] = batch.elapsed;
+                }
+            }
+        }
+        for frame in batches.into_iter().flat_map(|b| b.up) {
             let (msg, _ctx): (Message, Option<TraceContext>) =
                 decode_with_context(&frame).map_err(codec_err)?;
             root.set_now(epoch.elapsed().as_secs_f64());
@@ -614,6 +722,7 @@ pub fn drive_sharded_round(
                             parent,
                             &**collector,
                             epoch,
+                            profiling,
                         )
                     })
                 })
@@ -621,11 +730,42 @@ pub fn drive_sharded_round(
             join_stage(handles, &mut stats)
         })?;
 
+        // Ingest the profiling side channel: per-shard wall time and the
+        // ShardProfile frames, with the slowest machine's shard-local
+        // ordinal mapped back to its global index via the respondent map.
+        if profiling {
+            if let Some(p) = profiler.as_deref_mut() {
+                for (s, batch) in batches.iter().enumerate() {
+                    p.record_phase(s as u32, 1, batch.elapsed);
+                    shard_phase[s][1] = batch.elapsed;
+                    let frame = batch.prof.as_ref().ok_or(ProtocolError::ReplayMismatch {
+                        what: "missing shard profile frame",
+                    })?;
+                    p.note_frame(frame.len());
+                    let (msg, _ctx): (Message, Option<TraceContext>) =
+                        decode_with_context(frame).map_err(codec_err)?;
+                    let Message::ShardProfile { profile, .. } = msg else {
+                        return Err(ProtocolError::ReplayMismatch {
+                            what: "shard profile frame decoded to a different message",
+                        });
+                    };
+                    let slowest_global = profile
+                        .slowest
+                        .map(|(local, w)| (shard_inputs[s].0[local as usize] as u64, w));
+                    p.ingest_shard(&profile, slowest_global).map_err(|_| {
+                        ProtocolError::ReplayMismatch {
+                            what: "corrupt shard profile frame",
+                        }
+                    })?;
+                }
+            }
+        }
+
         // Scatter the shard estimates into the full-width vector the commit
         // journals (excluded machines: no verification evidence, 0).
         let mut estimates = vec![0.0; n];
         for (batch, (idx, ..)) in batches.iter().zip(&shard_inputs) {
-            let frame = batch.first().ok_or(ProtocolError::ReplayMismatch {
+            let frame = batch.up.first().ok_or(ProtocolError::ReplayMismatch {
                 what: "missing shard estimate frame",
             })?;
             let (msg, _ctx): (Message, Option<TraceContext>) =
@@ -709,7 +849,15 @@ pub fn drive_sharded_round(
                 .collect();
             join_stage(handles, &mut stats)
         })?;
-        for frame in batches.into_iter().flatten() {
+        if profiling {
+            if let Some(p) = profiler.as_deref_mut() {
+                for (s, batch) in batches.iter().enumerate() {
+                    p.record_phase(s as u32, 2, batch.elapsed);
+                    shard_phase[s][2] = batch.elapsed;
+                }
+            }
+        }
+        for frame in batches.into_iter().flat_map(|b| b.up) {
             let (msg, _ctx): (Message, Option<TraceContext>) =
                 decode_with_context(&frame).map_err(codec_err)?;
             root.set_now(epoch.elapsed().as_secs_f64());
@@ -722,7 +870,7 @@ pub fn drive_sharded_round(
         let s_dd = merged.unwrap_or_else(|| merged_sum(root, &ranges));
         root.set_now(epoch.elapsed().as_secs_f64());
         let payments = root.settle_sharded(s_dd)?;
-        let sent = deliver_payments(
+        let (sent, shard_settle) = deliver_payments(
             root,
             &mut agents,
             &ranges,
@@ -733,6 +881,14 @@ pub fn drive_sharded_round(
         )?;
         stats.messages += sent.messages;
         stats.bytes += sent.bytes;
+        if profiling {
+            if let Some(p) = profiler.as_deref_mut() {
+                for (s, &e) in shard_settle.iter().enumerate() {
+                    p.record_phase(s as u32, 3, e);
+                    shard_phase[s][3] = e;
+                }
+            }
+        }
         timings.settle = t.elapsed().as_secs_f64();
     } else if root.phase() == CoordinatorPhase::Done && !root.is_sealed() {
         // Recovered past settlement but before the seal: re-send the Payment
@@ -741,7 +897,7 @@ pub fn drive_sharded_round(
         let t = Instant::now();
         root.set_now(epoch.elapsed().as_secs_f64());
         let payments = root.resume(&[])?;
-        let sent = deliver_payments(
+        let (sent, shard_settle) = deliver_payments(
             root,
             &mut agents,
             &ranges,
@@ -752,14 +908,58 @@ pub fn drive_sharded_round(
         )?;
         stats.messages += sent.messages;
         stats.bytes += sent.bytes;
+        if profiling {
+            if let Some(p) = profiler.as_deref_mut() {
+                for (s, &e) in shard_settle.iter().enumerate() {
+                    p.record_phase(s as u32, 3, e);
+                    shard_phase[s][3] = e;
+                }
+            }
+        }
         timings.settle = t.elapsed().as_secs_f64();
+    }
+
+    // Close the profiled round: fold the root's phase wall times into the
+    // trend series, then surface this round's per-shard phase seconds as
+    // `shard.phase.seconds` gauges (telemetry only — the round's outcome
+    // was sealed above and never depends on the profiler).
+    if profiling && root.is_sealed() {
+        if let Some(p) = profiler.as_deref_mut() {
+            p.finish_round(
+                round.0,
+                [
+                    timings.collect,
+                    timings.allocate,
+                    timings.execute,
+                    timings.settle,
+                ],
+            );
+            if collector.enabled() {
+                let at = epoch.elapsed().as_secs_f64();
+                for (s, phases) in shard_phase.iter().enumerate() {
+                    for (pidx, &seconds) in phases.iter().enumerate() {
+                        collector.record(TelemetryEvent {
+                            at,
+                            name: Cow::Borrowed("shard.phase.seconds"),
+                            cat: Subsystem::Shard,
+                            kind: EventKind::Gauge { value: seconds },
+                            fields: vec![
+                                Field::u64("shard", s as u64),
+                                Field::str("phase", PHASES[pidx]),
+                            ],
+                        });
+                    }
+                }
+            }
+        }
     }
 
     Ok((stats, timings))
 }
 
 /// Payment delivery tail shared by the fresh and recovered paths: partition
-/// the fan-out by shard, deliver in parallel, seal the round.
+/// the fan-out by shard, deliver in parallel, seal the round. Returns the
+/// delivery traffic plus each shard worker's wall time (profiler-only).
 fn deliver_payments(
     root: &mut Coordinator<'_>,
     agents: &mut [NodeAgent],
@@ -768,7 +968,7 @@ fn deliver_payments(
     faults: &FaultPlan,
     collector: &Arc<dyn Collector>,
     epoch: Instant,
-) -> Result<MessageStats, ProtocolError> {
+) -> Result<(MessageStats, Vec<f64>), ProtocolError> {
     let wire = root.wire_context();
     let mut per_shard: Vec<Vec<(usize, Message)>> = vec![Vec::new(); ranges.len()];
     for (machine, msg) in payments {
@@ -776,7 +976,7 @@ fn deliver_payments(
         per_shard[shard_of(ranges, i)].push((i, msg));
     }
     let mut stats = MessageStats::default();
-    std::thread::scope(|scope| {
+    let batches = std::thread::scope(|scope| {
         let handles = ranges
             .iter()
             .enumerate()
@@ -801,9 +1001,10 @@ fn deliver_payments(
             .collect();
         join_stage(handles, &mut stats)
     })?;
+    let elapsed = batches.iter().map(|b| b.elapsed).collect();
     root.set_now(epoch.elapsed().as_secs_f64());
     root.seal()?;
-    Ok(stats)
+    Ok((stats, elapsed))
 }
 
 /// Runs one fault-free sharded round from scratch and reads the outcome off
@@ -854,6 +1055,46 @@ pub fn run_round_sharded_observed<M: VerifiedMechanism>(
     }
     let (stats, timings) =
         drive_sharded_round(&mut root, specs, config, shards, &FaultPlan::none())?;
+    report_from_root(&root, stats, shards, timings)
+}
+
+/// [`run_round_sharded_observed`] with a [`RoundProfiler`] attached: when
+/// the profiler samples round 0 it collects the cross-shard rollup, the
+/// per-phase trend series, and the per-shard `shard.phase.seconds` gauges,
+/// all without perturbing the round's outcome (rates, payments, estimates,
+/// exclusions, journal and message statistics are bit-identical to the
+/// unprofiled run).
+///
+/// # Errors
+/// Propagates mechanism, journal and codec errors — see
+/// [`drive_sharded_round_profiled`].
+///
+/// # Panics
+/// Panics if a shard worker thread panics or on protocol violations.
+pub fn run_round_sharded_profiled<M: VerifiedMechanism>(
+    mechanism: &M,
+    specs: &[NodeSpec],
+    config: &ProtocolConfig,
+    shards: usize,
+    collector: Arc<dyn Collector>,
+    profiler: &mut RoundProfiler,
+) -> Result<ShardRoundReport, ProtocolError> {
+    let n = specs.len();
+    let round = RoundId(0);
+    let mut root = Coordinator::try_new(mechanism, n, config.total_rate, round, config.simulation)?
+        .with_strict(true)
+        .with_collector(Arc::clone(&collector));
+    if collector.enabled() {
+        root = root.with_trace(TraceContext::root(config.simulation.seed, round.0, true));
+    }
+    let (stats, timings) = drive_sharded_round_profiled(
+        &mut root,
+        specs,
+        config,
+        shards,
+        &FaultPlan::none(),
+        Some(profiler),
+    )?;
     report_from_root(&root, stats, shards, timings)
 }
 
@@ -1121,6 +1362,143 @@ mod tests {
         reg.ingest(&events);
         assert_eq!(reg.counter("net.messages"), report.stats.messages);
         assert_eq!(reg.counter("net.bytes"), report.stats.bytes);
+    }
+
+    #[test]
+    fn profiled_round_is_bit_identical_and_fills_the_rollup() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let k = 4;
+        let plain = run_round_sharded(&mech, &specs, &config(), k).unwrap();
+
+        let mut profiler = RoundProfiler::new();
+        let profiled = run_round_sharded_profiled(
+            &mech,
+            &specs,
+            &config(),
+            k,
+            noop_collector(),
+            &mut profiler,
+        )
+        .unwrap();
+
+        assert_eq!(plain.rates, profiled.rates, "allocations bit-identical");
+        assert_eq!(plain.payments, profiled.payments, "payments bit-identical");
+        assert_eq!(
+            plain.estimated_exec_values, profiled.estimated_exec_values,
+            "estimates bit-identical"
+        );
+        assert_eq!(plain.excluded, profiled.excluded);
+        assert_eq!(
+            plain.stats.messages, profiled.stats.messages,
+            "profile frames never enter the protocol's message count"
+        );
+        assert_eq!(plain.stats.bytes, profiled.stats.bytes);
+
+        assert_eq!(profiler.rounds_profiled(), 1);
+        let (frames, bytes) = profiler.frames();
+        assert_eq!(frames, k as u64, "one profile frame per shard");
+        assert!(bytes > 0);
+        let rollup = profiler.rollup();
+        assert_eq!(rollup.shards().count(), k);
+        assert_eq!(
+            rollup.fleet_machine().count(),
+            specs.len() as u64,
+            "every respondent's verification wall time lands in the fleet sketch"
+        );
+        for phase in 0..PHASES.len() {
+            assert_eq!(rollup.fleet_phase(phase).count(), k as u64);
+            assert_eq!(profiler.series()[phase].count(), 1);
+        }
+        for shard in rollup.shards() {
+            let (machine, wall) = shard.slowest_machine.expect("slowest recorded");
+            assert!(
+                shard_ranges(specs.len(), k)[shard.shard as usize].contains(&(machine as usize)),
+                "slowest machine id is global and inside its own shard"
+            );
+            assert!(wall.is_finite() && wall >= 0.0);
+        }
+        let (round, phase_wall) = profiler.last_round().expect("round recorded");
+        assert_eq!(round, 0);
+        assert!(phase_wall.iter().all(|w| w.is_finite() && *w >= 0.0));
+    }
+
+    #[test]
+    fn sampled_profiler_skips_unsampled_rounds_without_perturbing_them() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let round = RoundId(1);
+        let mut root = Coordinator::try_new(
+            &mech,
+            specs.len(),
+            config().total_rate,
+            round,
+            config().simulation,
+        )
+        .unwrap()
+        .with_strict(true);
+        // Every-2nd-round sampling: round 1 is off-sample, so the profiled
+        // driver must behave exactly like the plain one.
+        let mut profiler = RoundProfiler::sampled(2);
+        let (stats, _timings) = drive_sharded_round_profiled(
+            &mut root,
+            &specs,
+            &config(),
+            3,
+            &FaultPlan::none(),
+            Some(&mut profiler),
+        )
+        .unwrap();
+        assert_eq!(
+            stats.messages,
+            expected_sharded_message_count(specs.len(), 3)
+        );
+        assert_eq!(profiler.rounds_profiled(), 0);
+        assert_eq!(profiler.frames(), (0, 0));
+        assert!(profiler.rollup().is_empty());
+        let report = report_from_root(&root, stats, 3, ShardPhaseTimings::default()).unwrap();
+        let plain = run_round_sharded(&mech, &specs, &config(), 3).unwrap();
+        assert_eq!(plain.rates, report.rates);
+        assert_eq!(plain.payments, report.payments);
+    }
+
+    #[test]
+    fn profiled_round_emits_per_shard_phase_gauges_and_stays_replayable() {
+        use lb_telemetry::{replay_spans, FieldValue, RingCollector};
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        let ring = Arc::new(RingCollector::new(16_384));
+        let k = 4;
+        let mut profiler = RoundProfiler::new();
+        let report =
+            run_round_sharded_profiled(&mech, &specs, &config(), k, ring.clone(), &mut profiler)
+                .unwrap();
+
+        let events = ring.snapshot();
+        replay_spans(&events).expect("profiled recording still replays cleanly");
+        // The net counters still agree with the report: gauges and profile
+        // frames are invisible to the protocol's accounting.
+        let mut reg = lb_telemetry::MetricsRegistry::new();
+        reg.ingest(&events);
+        assert_eq!(reg.counter("net.messages"), report.stats.messages);
+        assert_eq!(reg.counter("net.bytes"), report.stats.bytes);
+
+        let gauges: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "shard.phase.seconds")
+            .collect();
+        assert_eq!(gauges.len(), k * PHASES.len(), "one gauge per shard-phase");
+        for phase in PHASES {
+            for shard in 0..k as u64 {
+                assert!(
+                    gauges.iter().any(|e| {
+                        e.field("shard") == Some(&FieldValue::U64(shard))
+                            && e.field("phase") == Some(&FieldValue::Str(phase.to_string()))
+                    }),
+                    "gauge for shard {shard} phase {phase}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -120,6 +120,7 @@ pub fn simulate_round_observed(
         0,
         collector,
         round_span,
+        None,
     );
     collector.span_end(config.horizon, round_span);
     Ok(RoundReport {
@@ -215,12 +216,63 @@ pub fn simulate_partition_observed(
         stream_offset,
         collector,
         parent_span,
+        None,
+    ))
+}
+
+/// [`simulate_partition_observed`] with a per-machine wall-clock probe:
+/// `on_machine(global_index, wall_seconds)` fires after each machine's
+/// kernel with the *host* time it took (`std::time::Instant`), which the
+/// simulation clock cannot express — `sim.machine` spans run on simulated
+/// time `0 → horizon` regardless of how long the host spent computing
+/// them. The probe is how profilers attribute verification wall-time to
+/// machines; it observes the loop without participating in it, so results
+/// are bit-identical with and without it.
+///
+/// # Errors
+/// Propagates validation errors, exactly as [`simulate_partition`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_partition_timed(
+    bids: &[f64],
+    actual_exec_values: &[f64],
+    rates: &[f64],
+    config: &SimulationConfig,
+    stream_offset: u64,
+    collector: &dyn Collector,
+    parent_span: SpanId,
+    on_machine: &mut dyn FnMut(u64, f64),
+) -> Result<PartitionReport, CoreError> {
+    if actual_exec_values.len() != bids.len() {
+        return Err(CoreError::LengthMismatch {
+            expected: bids.len(),
+            actual: actual_exec_values.len(),
+        });
+    }
+    if rates.len() != bids.len() {
+        return Err(CoreError::LengthMismatch {
+            expected: bids.len(),
+            actual: rates.len(),
+        });
+    }
+    if !(config.horizon.is_finite() && config.horizon > 0.0) {
+        return Err(CoreError::InvalidRate(config.horizon));
+    }
+    Ok(simulate_machines(
+        bids,
+        actual_exec_values,
+        rates,
+        config,
+        stream_offset,
+        collector,
+        parent_span,
+        Some(on_machine),
     ))
 }
 
 /// The shared per-machine execution kernel: generate arrivals, drive the
 /// service model, estimate execution values. Lengths and horizon are
 /// validated by the callers.
+#[allow(clippy::too_many_arguments)]
 fn simulate_machines(
     bids: &[f64],
     actual_exec_values: &[f64],
@@ -229,6 +281,7 @@ fn simulate_machines(
     stream_offset: u64,
     collector: &dyn Collector,
     parent_span: SpanId,
+    mut on_machine: Option<&mut dyn FnMut(u64, f64)>,
 ) -> PartitionReport {
     let traces = crate::workload::per_machine_traces_offset(
         rates,
@@ -248,6 +301,7 @@ fn simulate_machines(
     let mut total_latency = 0.0;
 
     for (i, trace) in traces.iter().enumerate() {
+        let started = on_machine.as_ref().map(|_| std::time::Instant::now());
         let stream = stream_offset + i as u64;
         let machine = usize::try_from(stream).unwrap_or(usize::MAX);
         let rate = rates[i];
@@ -294,6 +348,9 @@ fn simulate_machines(
         );
         estimated.push(settled);
         observations.push(obs);
+        if let (Some(probe), Some(t0)) = (on_machine.as_deref_mut(), started) {
+            probe(stream, t0.elapsed().as_secs_f64());
+        }
     }
 
     PartitionReport {
@@ -553,6 +610,51 @@ mod tests {
         let mut bad = cfg;
         bad.horizon = -1.0;
         assert!(simulate_partition(&[1.0], &[1.0], &[0.5], &bad, 0).is_err());
+    }
+
+    #[test]
+    fn timed_partition_probes_every_machine_without_changing_results() {
+        let trues = paper_true_values();
+        let config = SimulationConfig {
+            horizon: 500.0,
+            seed: 9,
+            model: ServiceModel::StationaryExponential,
+            workload: Default::default(),
+            warmup: 0.0,
+            estimator: EstimatorConfig::default(),
+        };
+        let full = simulate_round(&trues, &trues, PAPER_ARRIVAL_RATE, &config).unwrap();
+        let rates = full.allocation.rates();
+        let off = 3u64;
+        let part = &trues[off as usize..];
+        let sub_rates = &rates[off as usize..];
+        let plain = simulate_partition(part, part, sub_rates, &config, off).unwrap();
+        let mut probed = Vec::new();
+        let timed = simulate_partition_timed(
+            part,
+            part,
+            sub_rates,
+            &config,
+            off,
+            &NoopCollector,
+            SpanId::NULL,
+            &mut |machine, wall| probed.push((machine, wall)),
+        )
+        .unwrap();
+        // The probe observes; it must not perturb.
+        for (a, b) in timed
+            .estimated_exec_values
+            .iter()
+            .zip(&plain.estimated_exec_values)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // One probe per machine, global indices, non-negative wall times.
+        assert_eq!(probed.len(), part.len());
+        for (i, &(machine, wall)) in probed.iter().enumerate() {
+            assert_eq!(machine, off + i as u64);
+            assert!(wall >= 0.0 && wall.is_finite());
+        }
     }
 
     #[test]

@@ -56,6 +56,50 @@ impl Histogram {
         self.count
     }
 
+    /// Lower bound of the in-range interval `[lo, hi)`.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Exclusive upper bound of the in-range interval `[lo, hi)`.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Rebuilds a histogram from a serialized `(lo, hi, bins, underflow,
+    /// overflow)` state, for carrying partial histograms across a wire or
+    /// process boundary. The total count is rederived from the bin counts,
+    /// so a frame cannot claim mass it does not carry.
+    ///
+    /// Returns `None` when the geometry is invalid (the [`Self::new`]
+    /// preconditions) or the counts overflow `u64`.
+    #[must_use]
+    pub fn from_parts(
+        lo: f64,
+        hi: f64,
+        bins: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+    ) -> Option<Self> {
+        if bins.is_empty() || !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return None;
+        }
+        let mut count = underflow.checked_add(overflow)?;
+        for &b in &bins {
+            count = count.checked_add(b)?;
+        }
+        Some(Self {
+            lo,
+            hi,
+            bins,
+            underflow,
+            overflow,
+            count,
+        })
+    }
+
     /// Counts that fell below `lo`.
     #[must_use]
     pub fn underflow(&self) -> u64 {
@@ -271,6 +315,32 @@ mod tests {
         let mut a = Histogram::new(0.0, 1.0, 2);
         let b = Histogram::new(0.0, 2.0, 2);
         a.merge(&b);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rederives_count() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [-1.0, 0.5, 5.0, 20.0] {
+            h.record(v);
+        }
+        let back = Histogram::from_parts(
+            h.lo(),
+            h.hi(),
+            h.bins().to_vec(),
+            h.underflow(),
+            h.overflow(),
+        )
+        .unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.count(), 4);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_geometry_and_overflow() {
+        assert!(Histogram::from_parts(0.0, 1.0, vec![], 0, 0).is_none());
+        assert!(Histogram::from_parts(1.0, 1.0, vec![0], 0, 0).is_none());
+        assert!(Histogram::from_parts(0.0, f64::NAN, vec![0], 0, 0).is_none());
+        assert!(Histogram::from_parts(0.0, 1.0, vec![u64::MAX, 1], 0, 0).is_none());
     }
 
     #[test]

@@ -41,6 +41,8 @@ struct Published {
     trace: String,
     invariants: String,
     health: String,
+    profile: String,
+    regressions: String,
 }
 
 /// The publish point shared between a running protocol and its server.
@@ -100,6 +102,18 @@ impl Exposition {
         self.inner.lock().health = json.into();
     }
 
+    /// Publishes the round-profile document (JSON, rendered by the caller
+    /// — typically `lb-prof`); `/profile` serves it until replaced.
+    pub fn publish_profile(&self, json: impl Into<String>) {
+        self.inner.lock().profile = json.into();
+    }
+
+    /// Publishes the regression-sentinel document (JSON); `/regressions`
+    /// serves it until replaced.
+    pub fn publish_regressions(&self, json: impl Into<String>) {
+        self.inner.lock().regressions = json.into();
+    }
+
     /// The currently published Prometheus text.
     #[must_use]
     pub fn metrics_text(&self) -> String {
@@ -133,6 +147,30 @@ impl Exposition {
             "{}\n".to_owned()
         } else {
             inner.health.clone()
+        }
+    }
+
+    /// The currently published round-profile document (`{}` until one is
+    /// published, so `/profile` is always valid JSON).
+    #[must_use]
+    pub fn profile_text(&self) -> String {
+        let inner = self.inner.lock();
+        if inner.profile.is_empty() {
+            "{}\n".to_owned()
+        } else {
+            inner.profile.clone()
+        }
+    }
+
+    /// The currently published regression document (`{}` until one is
+    /// published, so `/regressions` is always valid JSON).
+    #[must_use]
+    pub fn regressions_text(&self) -> String {
+        let inner = self.inner.lock();
+        if inner.regressions.is_empty() {
+            "{}\n".to_owned()
+        } else {
+            inner.regressions.clone()
         }
     }
 }
@@ -222,6 +260,14 @@ impl ExposeServer {
             }
             "/health" => {
                 let body = share.health_text();
+                Self::respond(stream, 200, "application/json; charset=utf-8", &body)
+            }
+            "/profile" => {
+                let body = share.profile_text();
+                Self::respond(stream, 200, "application/json; charset=utf-8", &body)
+            }
+            "/regressions" => {
+                let body = share.regressions_text();
                 Self::respond(stream, 200, "application/json; charset=utf-8", &body)
             }
             _ => {
@@ -317,7 +363,7 @@ mod tests {
         let share = sample_share();
         let server = ExposeServer::bind("127.0.0.1:0", share).expect("bind");
         let addr = server.local_addr().expect("addr");
-        let handle = std::thread::spawn(move || server.serve_requests(6));
+        let handle = std::thread::spawn(move || server.serve_requests(8));
 
         let metrics = http_get(addr, "/metrics");
         assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"), "{metrics}");
@@ -345,6 +391,15 @@ mod tests {
         let health = http_get(addr, "/health");
         assert!(health.starts_with("HTTP/1.0 200 OK\r\n"), "{health}");
         assert!(health.ends_with("{}\n"), "{health}");
+        let profile = http_get(addr, "/profile");
+        assert!(profile.starts_with("HTTP/1.0 200 OK\r\n"), "{profile}");
+        assert!(profile.ends_with("{}\n"), "{profile}");
+        let regressions = http_get(addr, "/regressions");
+        assert!(
+            regressions.starts_with("HTTP/1.0 200 OK\r\n"),
+            "{regressions}"
+        );
+        assert!(regressions.ends_with("{}\n"), "{regressions}");
 
         let missing = http_get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.0 404"));
@@ -360,7 +415,16 @@ mod tests {
 
         // Every response path frames the body: correct Content-Length and an
         // explicit Connection: close.
-        for response in [&metrics, &trace, &invariants, &health, &missing, &bad] {
+        for response in [
+            &metrics,
+            &trace,
+            &invariants,
+            &health,
+            &profile,
+            &regressions,
+            &missing,
+            &bad,
+        ] {
             assert!(response.contains("Connection: close\r\n"), "{response}");
             let (head, body) = response.split_once("\r\n\r\n").expect("head/body");
             let declared: usize = head
@@ -393,6 +457,12 @@ mod tests {
         assert_eq!(share.health_text(), "{}\n");
         share.publish_health("{\"ledger_head\":\"00ff\"}\n");
         assert_eq!(share.health_text(), "{\"ledger_head\":\"00ff\"}\n");
+        assert_eq!(share.profile_text(), "{}\n");
+        share.publish_profile("{\"rounds_profiled\":4}\n");
+        assert_eq!(share.profile_text(), "{\"rounds_profiled\":4}\n");
+        assert_eq!(share.regressions_text(), "{}\n");
+        share.publish_regressions("{\"regressed\":false}\n");
+        assert_eq!(share.regressions_text(), "{\"regressed\":false}\n");
     }
 
     #[test]

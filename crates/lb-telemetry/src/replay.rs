@@ -90,6 +90,16 @@ pub enum ReplayError {
         /// Ids still open at the end of the recording, in open order.
         open: Vec<SpanId>,
     },
+    /// A shard-tier span opened outside the coordinator tree. Shard spans
+    /// must parent on the root's phase spans (or another shard span) —
+    /// stitching an orphan to the round root would silently misattribute
+    /// its time in every downstream critical-path analysis.
+    OrphanedShardSpan {
+        /// The offending shard span.
+        id: SpanId,
+        /// Its declared parent, if any.
+        parent: Option<SpanId>,
+    },
 }
 
 impl fmt::Display for ReplayError {
@@ -126,6 +136,14 @@ impl fmt::Display for ReplayError {
                     open[0].0
                 )
             }
+            ReplayError::OrphanedShardSpan { id, parent } => match parent {
+                Some(p) => write!(
+                    f,
+                    "shard span {} parented on non-coordinator span {}",
+                    id.0, p.0
+                ),
+                None => write!(f, "shard span {} opened with no parent", id.0),
+            },
         }
     }
 }
@@ -172,6 +190,18 @@ pub fn replay_spans(events: &[TelemetryEvent]) -> Result<Vec<CompletedSpan>, Rep
                         }
                     },
                 };
+                // Shard-tier lineage: a shard span must hang off the
+                // coordinator tree (a root phase span or another shard
+                // span). Anything else is an orphan, not a stitch target.
+                if event.cat == Subsystem::Shard {
+                    let parent_cat = parent.and_then(|p| open.get(&p)).map(|s| s.cat);
+                    if !matches!(parent_cat, Some(Subsystem::Coordinator | Subsystem::Shard)) {
+                        return Err(ReplayError::OrphanedShardSpan {
+                            id: *id,
+                            parent: *parent,
+                        });
+                    }
+                }
                 open.insert(
                     *id,
                     OpenSpan {
@@ -337,6 +367,53 @@ mod tests {
             replay_spans(&ring.snapshot()),
             Err(ReplayError::UnknownParent { .. })
         ));
+    }
+
+    #[test]
+    fn orphaned_shard_span_is_rejected() {
+        // A shard span with no parent must not be silently stitched to the
+        // round root.
+        let ring = RingCollector::new(16);
+        let _round = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![]);
+        let orphan = ring.span_start(0.1, "shard.collect", Subsystem::Shard, vec![]);
+        let err = replay_spans(&ring.snapshot()).unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::OrphanedShardSpan {
+                id: orphan,
+                parent: None
+            }
+        );
+    }
+
+    #[test]
+    fn shard_span_under_a_foreign_subsystem_is_rejected() {
+        let ring = RingCollector::new(16);
+        let sim = ring.span_start(0.0, "sim.round", Subsystem::Sim, vec![]);
+        let shard = ring.span_start_in(0.1, "shard.verify", Subsystem::Shard, sim, vec![]);
+        let err = replay_spans(&ring.snapshot()).unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::OrphanedShardSpan {
+                id: shard,
+                parent: Some(sim)
+            }
+        );
+    }
+
+    #[test]
+    fn shard_spans_on_the_coordinator_tree_replay_cleanly() {
+        let ring = RingCollector::new(32);
+        let round = ring.span_start(0.0, "round", Subsystem::Coordinator, vec![]);
+        let phase =
+            ring.span_start_in(0.0, "phase.allocate", Subsystem::Coordinator, round, vec![]);
+        let shard = ring.span_start_in(0.1, "shard.verify", Subsystem::Shard, phase, vec![]);
+        let nested = ring.span_start_in(0.2, "shard.verify", Subsystem::Shard, shard, vec![]);
+        ring.span_end(0.3, nested);
+        ring.span_end(0.4, shard);
+        ring.span_end(0.5, phase);
+        ring.span_end(0.6, round);
+        assert_eq!(replay_spans(&ring.snapshot()).unwrap().len(), 4);
     }
 
     #[test]

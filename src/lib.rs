@@ -17,6 +17,9 @@
 //! * [`audit`] — verification observability: a streaming economic-invariant
 //!   monitor, a tamper-evident round ledger, and live `/invariants` +
 //!   `/health` documents.
+//! * [`prof`] — performance observability: mergeable cross-shard latency
+//!   sketches, a critical-path round profiler, and a perf-regression
+//!   sentinel against the checked-in `BENCH_*.json` baselines.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 //!
@@ -42,6 +45,7 @@ pub use lb_agents as agents;
 pub use lb_audit as audit;
 pub use lb_core as core;
 pub use lb_mechanism as mechanism;
+pub use lb_prof as prof;
 pub use lb_proto as proto;
 pub use lb_sim as sim;
 pub use lb_stats as stats;
