@@ -6,7 +6,8 @@
 //! ```
 
 use lb_bench::{
-    audit_overhead, bench_log, figures, payment_scaling, profile_overhead, round_scaling,
+    audit_overhead, bench_log, figures, online_scaling, payment_scaling, profile_overhead,
+    round_scaling,
 };
 
 /// Label new `BENCH_*.json` entries are appended under: `BENCH_LABEL` from
@@ -218,6 +219,77 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
             bench_log::BenchLog::parse(&written).map_err(std::io::Error::other)?;
             println!("schema-valid smoke artifact at {scratch}");
         }
+        "online-scaling" => {
+            let rows = online_scaling::measure(
+                online_scaling::SCALING_SLOTS,
+                online_scaling::EVENTS_PER_POINT,
+                online_scaling::SCRATCH_SAMPLE,
+            );
+            print_section(
+                "Online scaling: incremental event path vs from-scratch recompute",
+                &online_scaling::render_table(&rows),
+            );
+            for row in &rows {
+                assert!(
+                    row.s_rel_error <= 1e-12,
+                    "incremental sum drifted {:e} at slots = {}",
+                    row.s_rel_error,
+                    row.slots
+                );
+            }
+            let label = bench_label();
+            bench_log::append_to_file(
+                "BENCH_online.json",
+                "online_scaling",
+                "events/sec",
+                &label,
+                online_scaling::rows_json(&rows),
+            )?;
+            println!("appended entry {label:?} to BENCH_online.json");
+        }
+        "online-scaling-smoke" => {
+            // CI-sized: one small grid point, artifact written to a scratch
+            // path and schema-checked instead of touching the checked-in
+            // history. The 100x acceptance speedup is only asserted in the
+            // full study, where the O(n) scratch path is unambiguous.
+            let rows = online_scaling::measure(&[256], 5_000, 100);
+            print_section(
+                "Online scaling (smoke): incremental vs scratch at 256 slots",
+                &online_scaling::render_table(&rows),
+            );
+            for row in &rows {
+                assert!(
+                    row.inc_events_per_sec > 0.0 && row.inc_events_per_sec.is_finite(),
+                    "degenerate event throughput at slots = {}",
+                    row.slots
+                );
+                assert!(
+                    row.s_rel_error <= 1e-12,
+                    "incremental sum drifted {:e} at slots = {}",
+                    row.s_rel_error,
+                    row.slots
+                );
+                assert!(
+                    row.speedup > 1.0,
+                    "incremental path slower than scratch at slots = {}: {:.2}x",
+                    row.slots,
+                    row.speedup
+                );
+            }
+            let scratch = std::env::temp_dir().join("BENCH_online.smoke.json");
+            let scratch = scratch.to_str().expect("temp path is utf-8");
+            let _ = std::fs::remove_file(scratch);
+            bench_log::append_to_file(
+                scratch,
+                "online_scaling",
+                "events/sec",
+                "smoke",
+                online_scaling::rows_json(&rows),
+            )?;
+            let written = std::fs::read_to_string(scratch)?;
+            bench_log::BenchLog::parse(&written).map_err(std::io::Error::other)?;
+            println!("schema-valid smoke artifact at {scratch}");
+        }
         "audit-overhead" => {
             let rows = audit_overhead::measure(audit_overhead::OVERHEAD_NS, 5);
             print_section(
@@ -333,7 +405,7 @@ fn run(target: &str) -> Result<(), Box<dyn std::error::Error>> {
         other => {
             eprintln!("unknown target '{other}'");
             eprintln!(
-                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry payment-scaling payment-scaling-smoke audit-overhead audit-overhead-smoke round-scaling round-scaling-smoke profile-overhead profile-overhead-smoke all"
+                "targets: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig1-sim messages ablation faults audit learning mm1 bursty dynamic telemetry payment-scaling payment-scaling-smoke online-scaling online-scaling-smoke audit-overhead audit-overhead-smoke round-scaling round-scaling-smoke profile-overhead profile-overhead-smoke all"
             );
             std::process::exit(2);
         }

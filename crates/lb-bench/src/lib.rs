@@ -17,6 +17,9 @@
 //! * [`profile_overhead`] — cost of the cross-shard telemetry rollup
 //!   (off / attached / sampled `lb-prof` profiler) on a full sharded
 //!   round.
+//! * [`online_scaling`] — the online mechanism's event path: incremental
+//!   O(1) harmonic-sum updates vs from-scratch per-event recomputation,
+//!   in events/sec over 10⁵-event churn streams.
 //!
 //! The `experiments` binary prints the same rows/series the paper reports:
 //!
@@ -28,6 +31,7 @@ pub mod audit_overhead;
 pub mod bench_log;
 pub mod chart;
 pub mod figures;
+pub mod online_scaling;
 pub mod paper;
 pub mod payment_scaling;
 pub mod profile_overhead;

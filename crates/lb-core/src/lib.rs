@@ -47,6 +47,7 @@ pub use error::CoreError;
 pub use latency::{Affine, LatencyFunction, Linear, Mm1, Polynomial, PowerLaw};
 pub use machine::{Machine, MachineId, System, MAX_LATENCY_PARAM, MIN_LATENCY_PARAM};
 pub use numeric::{
-    compensated_sum, feasibility_tolerance, inv_sum_dd, merge_inv_sums, CompensatedSum, TwoF64,
+    compensated_sum, feasibility_tolerance, inv_sum_dd, merge_inv_sums, CompensatedSum,
+    IncrementalInvSum, TwoF64,
 };
 pub use scenario::paper_system;

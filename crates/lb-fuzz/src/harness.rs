@@ -26,7 +26,7 @@ pub struct Oracle {
     pub run: fn(u64) -> Result<(), String>,
 }
 
-/// The nine differential oracles, in dependency order (pure kernels
+/// The ten differential oracles, in dependency order (pure kernels
 /// first).
 #[must_use]
 pub fn registry() -> &'static [Oracle] {
@@ -77,6 +77,12 @@ pub fn registry() -> &'static [Oracle] {
             description:
                 "cross-shard sketch merge vs. whole-population recompute, frame validation, profile JSONL robustness",
             run: oracles::prof::check,
+        },
+        Oracle {
+            name: "online",
+            description:
+                "incremental harmonic sum / online session vs. from-scratch recompute after every churn event",
+            run: oracles::online::check,
         },
     ];
     ORACLES
@@ -247,7 +253,8 @@ mod tests {
                 "recovery",
                 "shard",
                 "audit",
-                "prof"
+                "prof",
+                "online"
             ]
         );
     }

@@ -9,7 +9,7 @@
 //! oracle compares a production kernel against an independent reference
 //! that cannot share its bugs.
 //!
-//! The nine oracles (see [`harness::registry`]):
+//! The ten oracles (see [`harness::registry`]):
 //!
 //! * `alloc` — the PR closed form ([Theorem 2.1]) vs. the KKT bisection
 //!   solver vs. a double-double reference, on spreads up to 10¹².
@@ -40,6 +40,12 @@
 //!   as a whole-population recompute, corrupt profile frames must be
 //!   rejected without perturbing the rollup, and profile JSONL documents
 //!   must round-trip exactly and survive byte mutation without panicking.
+//! * `online` — the streaming mechanism layer: after every churn event the
+//!   incrementally maintained harmonic sum and factored allocation must
+//!   agree with from-scratch recomputation to 10⁻¹² relative (bit-exact
+//!   after a compensated re-sum), the first settle tick must pay out
+//!   bit-identically to a batch protocol round on the same population, and
+//!   the session's ledger, journal blocks and replay must all be exact.
 //!
 //! Run from the workspace root:
 //!

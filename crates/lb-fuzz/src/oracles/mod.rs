@@ -9,6 +9,7 @@
 pub mod alloc;
 pub mod audit;
 pub mod codec;
+pub mod online;
 pub mod payment;
 pub mod prof;
 pub mod recovery;

@@ -50,6 +50,7 @@ pub mod error;
 pub mod fee;
 pub mod general;
 pub mod metrics;
+pub mod online;
 pub mod probe;
 pub mod profile;
 pub mod properties;
@@ -63,6 +64,7 @@ pub use error::MechanismError;
 pub use fee::FeeAdjusted;
 pub use general::{GeneralizedCompensationBonus, LatencyFamily, LinearFamily, Mm1Family};
 pub use metrics::{degradation, frugality_ratio};
+pub use online::{OnlineError, OnlinePool, DRIFT_REL_TOL};
 pub use probe::{truthfulness_probe, utility_with_bid, CounterfactualProbe};
 pub use profile::Profile;
 pub use properties::{

@@ -88,6 +88,23 @@ pub enum ProtocolError {
         /// The offending node count.
         n: usize,
     },
+    /// The sharded round asked for more shards than the `u32` wire format
+    /// can index: shard ids travel as `u32` in `ShardSum` / `ShardEstimates`
+    /// / `ShardProfile` frames. Reachable only through an absurd shard
+    /// count, but it surfaces as a typed error instead of a mid-round panic
+    /// — the same contract as [`ProtocolError::TooManyNodes`].
+    TooManyShards {
+        /// The offending shard index (zero-based).
+        shard: usize,
+    },
+    /// A shard worker thread panicked. The root aborts the round with this
+    /// typed error instead of propagating the panic: the journal is left
+    /// truncated at a record boundary (every append is atomic), so the
+    /// round replays exactly like any other crash-interrupted round.
+    ShardPanicked {
+        /// The shard whose worker died.
+        shard: usize,
+    },
     /// The durable journal failed (including injected crashes).
     Journal(JournalError),
     /// A mechanism or simulation error.
@@ -109,6 +126,12 @@ impl fmt::Display for ProtocolError {
             Self::ReplayMismatch { what } => write!(f, "journal replay mismatch: {what}"),
             Self::TooManyNodes { n } => {
                 write!(f, "round of {n} nodes exceeds the u32 wire-format limit")
+            }
+            Self::TooManyShards { shard } => {
+                write!(f, "shard index {shard} exceeds the u32 wire-format limit")
+            }
+            Self::ShardPanicked { shard } => {
+                write!(f, "shard {shard} worker panicked; round aborted")
             }
             Self::Journal(e) => write!(f, "journal: {e}"),
             Self::Mechanism(e) => write!(f, "mechanism: {e}"),
@@ -300,7 +323,7 @@ impl<'m> Coordinator<'m> {
     /// practice — [`Coordinator::try_new`] rejects rounds wider than
     /// `u32::MAX` — but kept as a typed error so no hot path carries a
     /// reachable panic.
-    fn machine_u32(i: usize) -> Result<u32, ProtocolError> {
+    pub(crate) fn machine_u32(i: usize) -> Result<u32, ProtocolError> {
         u32::try_from(i).map_err(|_| ProtocolError::TooManyNodes { n: i })
     }
 

@@ -31,6 +31,12 @@
 //!   the `PaymentsCommitted` record, never recompute) and an idempotent
 //!   resume fan-out; [`session::run_chaos_session_durable`] crash-tests
 //!   whole sessions against a seeded [`session::CrashPlan`].
+//! * [`online`] — the streaming mechanism session: joins / leaves /
+//!   re-bids maintain the harmonic sum `S = Σ 1/b_i` incrementally in
+//!   double-double (O(1) amortized per event, drift re-summed below
+//!   `1e-12` relative), and periodic `RoundTick`s settle full payment
+//!   rounds against the incremental `S` through the sharded coordinator
+//!   entry points.
 //! * [`shard`] — a hierarchical two-level topology for million-machine
 //!   rounds: `k` shard coordinators run collect/execute locally on worker
 //!   threads, ship partial double-double harmonic sums upward as
@@ -69,6 +75,7 @@ pub mod journal;
 pub mod message;
 pub mod network;
 pub mod node;
+pub mod online;
 pub mod recovery;
 pub mod runtime;
 pub mod session;
@@ -95,6 +102,7 @@ pub use journal::{
 pub use message::{Message, RoundId};
 pub use network::{FrameFate, MessageStats, NetPoll, SimNetwork};
 pub use node::NodeSpec;
+pub use online::{OnlineApplied, OnlineEvent, OnlineReport, OnlineSession, OnlineTick};
 pub use recovery::{recover_round, split_rounds, RecoveryReport, RoundBlock, RoundContext};
 pub use runtime::{
     run_protocol_round, run_protocol_round_observed, run_protocol_round_traced, ProtocolConfig,
@@ -102,8 +110,9 @@ pub use runtime::{
 };
 pub use session::{
     run_chaos_session, run_chaos_session_durable, run_chaos_session_observed,
-    run_chaos_session_sampled, run_session, ChaosRoundResult, ChaosSessionConfig,
-    ChaosSessionReport, CrashPlan, DurableSessionReport, MachineHealth, SessionReport,
+    run_chaos_session_sampled, run_online_session, run_session, ChaosRoundResult,
+    ChaosSessionConfig, ChaosSessionReport, CrashPlan, DurableSessionReport, MachineHealth,
+    SessionReport,
 };
 pub use shard::{
     drive_sharded_round, drive_sharded_round_profiled, expected_sharded_message_count,

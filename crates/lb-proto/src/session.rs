@@ -25,6 +25,7 @@ use crate::coordinator::ProtocolError;
 use crate::journal::{CrashingJournal, Journal, JournalError};
 use crate::message::RoundId;
 use crate::node::NodeSpec;
+use crate::online::{OnlineEvent, OnlineReport, OnlineSession};
 use crate::recovery::split_rounds;
 use crate::runtime::{run_protocol_round, ProtocolConfig, ProtocolOutcome};
 use crate::trace::AnomalyStats;
@@ -864,6 +865,29 @@ where
         cumulative_payments,
         journal_bytes,
     })
+}
+
+/// Runs a whole online session over a deterministic churn stream: the
+/// seed-reproducible membership events from [`lb_sim::churn::ChurnGen`]
+/// (truthful behaviour) drive an [`OnlineSession`] — joins / leaves /
+/// re-bids update the harmonic sum incrementally in O(1) amortized, and
+/// every [`lb_sim::churn::ChurnEvent::Tick`] settles a payment round.
+///
+/// This is the streaming counterpart of [`run_session`]: instead of a fixed
+/// population re-running the full protocol each round, the population
+/// churns between settles and only the settle itself is O(live).
+///
+/// # Errors
+/// Propagates the first event or settle failure, as
+/// [`OnlineSession::apply`].
+pub fn run_online_session<M: VerifiedMechanism>(
+    mechanism: &M,
+    config: &ProtocolConfig,
+    churn: lb_sim::churn::ChurnConfig,
+    seed: u64,
+) -> Result<OnlineReport, ProtocolError> {
+    let mut session = OnlineSession::new(mechanism, *config)?;
+    session.run(lb_sim::churn::ChurnGen::new(churn, seed).map(OnlineEvent::from_churn))
 }
 
 fn journal_to_mechanism(e: JournalError) -> MechanismError {

@@ -85,6 +85,14 @@ fn shard_of(ranges: &[Range<usize>], i: usize) -> usize {
     ranges.partition_point(|r| r.end <= i)
 }
 
+/// Narrows a shard index to the `u32` wire width used by `ShardSum` /
+/// `ShardEstimates` / `ShardProfile` frames. Reachable only with an absurd
+/// shard count, but it answers with a typed error instead of panicking
+/// mid-round.
+fn shard_wire_id(shard: usize) -> Result<u32, ProtocolError> {
+    u32::try_from(shard).map_err(|_| ProtocolError::TooManyShards { shard })
+}
+
 /// Wall-clock seconds spent in each phase of a sharded round, measured at
 /// the root (collect includes the upward bid forwarding; allocate includes
 /// the partial-sum merge and the distributed verification simulation).
@@ -332,7 +340,7 @@ fn verify_shard(
         shard,
         sub_bids.len(),
     );
-    let shard_u32 = u32::try_from(shard).expect("shard count fits u32");
+    let shard_u32 = shard_wire_id(shard)?;
     let report = if profile {
         // Profiled verify: identical kernel, plus a per-machine wall-time
         // probe feeding the shard's sketch. The probe observes the loop
@@ -495,13 +503,26 @@ fn join_stage(
     stats: &mut MessageStats,
 ) -> Result<Vec<ShardBatch>, ProtocolError> {
     let mut batches = Vec::with_capacity(handles.len());
-    for handle in handles {
-        let batch = handle.join().expect("shard worker panicked")?;
-        stats.messages += batch.sent.messages;
-        stats.bytes += batch.sent.bytes;
-        batches.push(batch);
+    // Join *every* handle even after a failure: an unjoined panicked scoped
+    // thread would re-raise its panic when the scope closes, turning a
+    // contained shard failure back into a root abort. The first error wins;
+    // traffic from shards that did complete still counts.
+    let mut first_err: Option<ProtocolError> = None;
+    for (shard, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(batch)) => {
+                stats.messages += batch.sent.messages;
+                stats.bytes += batch.sent.bytes;
+                batches.push(batch);
+            }
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => first_err = first_err.or(Some(ProtocolError::ShardPanicked { shard })),
+        }
     }
-    Ok(batches)
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(batches),
+    }
 }
 
 /// Drives one sharded round to completion on `root`, which may be freshly
@@ -520,11 +541,13 @@ fn join_stage(
 /// Propagates mechanism errors (notably
 /// [`lb_mechanism::MechanismError::NeedTwoAgents`] when fewer than two bids
 /// survive), journal failures (including injected crashes) and codec
-/// errors.
+/// errors. A panicking shard worker no longer takes the root down: it
+/// surfaces as [`ProtocolError::ShardPanicked`] after every other worker
+/// has been joined, with the journal truncated at a record boundary so the
+/// round replays exactly like any other crash-interrupted round.
 ///
 /// # Panics
-/// Panics if a shard worker thread panics, or — with a strict root — on
-/// protocol violations.
+/// Panics only with a strict root, on protocol violations.
 pub fn drive_sharded_round(
     root: &mut Coordinator<'_>,
     specs: &[NodeSpec],
@@ -554,8 +577,7 @@ pub fn drive_sharded_round(
 /// missing or corrupt profile frame.
 ///
 /// # Panics
-/// Panics if a shard worker thread panics, or — with a strict root — on
-/// protocol violations.
+/// Panics only with a strict root, on protocol violations.
 pub fn drive_sharded_round_profiled(
     root: &mut Coordinator<'_>,
     specs: &[NodeSpec],
@@ -583,10 +605,17 @@ pub fn drive_sharded_round_profiled(
     // after settlement (telemetry-only; outcomes never read it).
     let mut shard_phase: Vec<[f64; 4]> = vec![[0.0; 4]; ranges.len()];
 
+    // Machine ids travel as u32; the width was validated when the root was
+    // constructed, but the driver re-checks instead of carrying a reachable
+    // panic on the hot path.
+    if u32::try_from(n).is_err() {
+        return Err(ProtocolError::TooManyNodes { n });
+    }
+    #[allow(clippy::cast_possible_truncation)]
     let mut agents: Vec<NodeAgent> = specs
         .iter()
         .enumerate()
-        .map(|(i, &spec)| NodeAgent::new(u32::try_from(i).expect("fits u32"), spec))
+        .map(|(i, &spec)| NodeAgent::new(i as u32, spec))
         .collect();
 
     // The merged harmonic sum, carried from allocation to settlement.
@@ -663,7 +692,7 @@ pub fn drive_sharded_round_profiled(
             let partial = inv_sum_dd(&values);
             let msg = Message::ShardSum {
                 round,
-                shard: u32::try_from(s).expect("shard count fits u32"),
+                shard: shard_wire_id(s)?,
                 sum_hi: partial.hi,
                 sum_lo: partial.lo,
             };
@@ -693,8 +722,16 @@ pub fn drive_sharded_round_profiled(
         let mut shard_inputs = Vec::with_capacity(ranges.len());
         let mut offset = 0u64;
         for range in &ranges {
-            let idx: Vec<usize> = range.clone().filter(|&i| bids[i].is_some()).collect();
-            let sub_bids: Vec<f64> = idx.iter().map(|&i| bids[i].expect("respondent")).collect();
+            // An empty bid slot inside the range is a silent machine (lost
+            // frame, timeout exclusion): it is filtered into the same
+            // excluded-respondent path the root applied at the bid timeout,
+            // never assumed to have answered.
+            let present: Vec<(usize, f64)> = range
+                .clone()
+                .filter_map(|i| bids[i].map(|b| (i, b)))
+                .collect();
+            let idx: Vec<usize> = present.iter().map(|&(i, _)| i).collect();
+            let sub_bids: Vec<f64> = present.iter().map(|&(_, b)| b).collect();
             let sub_exec: Vec<f64> = idx.iter().map(|&i| specs[i].exec_value).collect();
             let sub_rates: Vec<f64> = idx.iter().map(|&i| rates[i]).collect();
             let m = idx.len() as u64;
@@ -1519,5 +1556,91 @@ mod tests {
                 CoreError::LengthMismatch { .. }
             )))
         ));
+    }
+
+    // Pinned regression (ISSUE 10): shard ids that exceed the u32 wire
+    // width answer with a typed error, not the former
+    // `expect("shard count fits u32")` panic.
+    #[test]
+    fn oversized_shard_index_is_a_typed_error() {
+        assert_eq!(shard_wire_id(0).unwrap(), 0);
+        assert_eq!(shard_wire_id(u32::MAX as usize).unwrap(), u32::MAX);
+        assert!(matches!(
+            shard_wire_id(u32::MAX as usize + 1),
+            Err(ProtocolError::TooManyShards { shard }) if shard == u32::MAX as usize + 1
+        ));
+        let err = shard_wire_id(usize::MAX).unwrap_err();
+        assert!(err.to_string().contains("u32 wire-format limit"));
+        assert!(!err.is_crash(), "an oversized shard id is not a crash");
+    }
+
+    // Pinned regression (ISSUE 10): a panicking shard worker surfaces as
+    // `ProtocolError::ShardPanicked` after every other worker has been
+    // joined — the former `handle.join().expect(...)` took the whole root
+    // down, and an unjoined sibling would have re-raised at scope exit.
+    #[test]
+    fn panicking_shard_worker_degrades_to_a_typed_error() {
+        let mut stats = MessageStats::default();
+        let err = std::thread::scope(|scope| {
+            let handles = vec![
+                scope.spawn(|| {
+                    let mut batch = ShardBatch::default();
+                    batch.sent.messages = 3;
+                    batch.sent.bytes = 96;
+                    Ok(batch)
+                }),
+                scope.spawn(|| -> Result<ShardBatch, ProtocolError> {
+                    panic!("worker dies mid-phase")
+                }),
+                scope.spawn(|| Ok(ShardBatch::default())),
+            ];
+            match join_stage(handles, &mut stats) {
+                Err(e) => e,
+                Ok(_) => panic!("a panicking worker must fail the stage"),
+            }
+        });
+        assert!(matches!(err, ProtocolError::ShardPanicked { shard: 1 }));
+        assert!(err.to_string().contains("shard 1"));
+        // Traffic from the shards that completed is still accounted.
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.bytes, 96);
+    }
+
+    // Pinned regression (ISSUE 10): a machine that stays silent inside a
+    // shard (its bid frame lost before the allocate stage) is routed
+    // through the exclusion path — the verify fan-out used to index the
+    // bid slot with `expect("respondent")`.
+    #[test]
+    fn silent_machine_inside_a_shard_is_excluded_not_a_panic() {
+        let mech = CompensationBonusMechanism::paper();
+        let specs = truthful_specs();
+        // Machine 5 sits strictly inside the middle of three shards over
+        // the paper's ten machines (ranges 0..4, 4..7, 7..10).
+        let faults = FaultPlan {
+            lose_bids_from: vec![5],
+            ..FaultPlan::default()
+        };
+        let journal: Rc<RefCell<dyn Journal>> = Rc::new(RefCell::new(MemJournal::new()));
+        let mut root = Coordinator::try_new(
+            &mech,
+            specs.len(),
+            config().total_rate,
+            RoundId(0),
+            config().simulation,
+        )
+        .unwrap()
+        .with_journal(Rc::clone(&journal))
+        .with_strict(true);
+        let (stats, _timings) =
+            drive_sharded_round(&mut root, &specs, &config(), 3, &faults).unwrap();
+        let report = report_from_root(&root, stats, 3, ShardPhaseTimings::default()).unwrap();
+        assert!(report.excluded[5], "silent machine is excluded");
+        assert_eq!(report.rates[5], 0.0);
+        assert_eq!(report.payments[5], 0.0);
+        assert!(root.is_sealed(), "round completes and seals");
+        // The journal of the degraded round still replays cleanly.
+        let replay = crate::journal::read_journal(&journal.borrow().bytes().unwrap()).unwrap();
+        assert!(!replay.records.is_empty());
+        assert_eq!(replay.truncated_tail, 0);
     }
 }

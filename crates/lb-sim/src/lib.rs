@@ -25,6 +25,7 @@
 //! * [`metrics`] — per-machine observation records and sanity checks.
 //! * [`replication`] — deterministic parallel replication runner.
 
+pub mod churn;
 pub mod driver;
 pub mod estimator;
 pub mod events;
@@ -36,6 +37,7 @@ pub mod system;
 pub mod time;
 pub mod workload;
 
+pub use churn::{ChurnConfig, ChurnEvent, ChurnGen};
 pub use driver::{
     simulate_partition, simulate_partition_observed, simulate_partition_timed, simulate_round,
     simulate_round_observed, verified_round, PartitionReport, RoundReport, SimulationConfig,
