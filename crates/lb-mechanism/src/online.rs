@@ -163,11 +163,13 @@ impl OnlinePool {
     /// Rejects vacant slots and invalid bids.
     pub fn rate_change(&mut self, slot: usize, bid: f64) -> Result<f64, OnlineError> {
         Self::validate_bid(bid)?;
-        let old = self
-            .bids
-            .get_mut(slot)
-            .and_then(|b| b.replace(bid))
-            .ok_or(OnlineError::SlotVacant { slot })?;
+        // Confirm occupancy before writing: an erroring rate_change must
+        // leave the pool untouched, so the vacant-slot check cannot ride on
+        // `Option::replace` (which would deposit the bid first).
+        let Some(Some(live_bid)) = self.bids.get_mut(slot) else {
+            return Err(OnlineError::SlotVacant { slot });
+        };
+        let old = std::mem::replace(live_bid, bid);
         self.s.replace(old, bid);
         self.maybe_resum();
         Ok(old)
@@ -343,6 +345,33 @@ mod tests {
             pool.allocation().unwrap_err(),
             OnlineError::Mechanism(MechanismError::NeedTwoAgents)
         ));
+    }
+
+    #[test]
+    fn rate_change_on_vacant_slot_leaves_pool_untouched() {
+        let mut pool = OnlinePool::new(5.0).unwrap();
+        pool.join(0, 1.0).unwrap();
+        pool.join(2, 4.0).unwrap();
+        // Slot 1 is allocated (inside the slot vector) but vacant — the
+        // regression wrote the bid into it before reporting SlotVacant.
+        let sum_before = pool.harmonic_sum();
+        assert_eq!(
+            pool.rate_change(1, 2.0).unwrap_err(),
+            OnlineError::SlotVacant { slot: 1 }
+        );
+        assert_eq!(pool.bid_of(1), None, "no phantom bid after error");
+        assert_eq!(pool.live(), 2);
+        assert_eq!(pool.live_slots(), vec![0, 2]);
+        assert_eq!(
+            pool.harmonic_sum().value().to_bits(),
+            sum_before.value().to_bits(),
+            "S untouched by the failed event"
+        );
+        // The slot is still joinable and the pool still settles.
+        pool.join(1, 2.0).unwrap();
+        let scratch = inv_sum_dd(&[1.0, 2.0, 4.0]);
+        assert!(rel(pool.harmonic_sum().value(), scratch.value()) <= 1e-14);
+        assert!(pool.allocation().is_ok());
     }
 
     #[test]

@@ -52,8 +52,11 @@ pub struct ChurnConfig {
     /// Log₁₀ half-width of the latency-value spread: values are drawn
     /// log-uniformly from `10^[-half_width, half_width]`.
     pub half_width: f64,
-    /// Emit a [`ChurnEvent::Tick`] every this many events (`0` disables
-    /// ticks — the pure event-path benchmarks use that).
+    /// Emit a [`ChurnEvent::Tick`] every this many events, counted from
+    /// the start of the stream (`0` disables ticks — the pure event-path
+    /// benchmarks use that). Cadence points inside the warmup prefix are
+    /// suppressed in favor of the warmup joins, so choose
+    /// `tick_every > initial` for a full cadence.
     pub tick_every: usize,
     /// Live-machine floor: leaves are suppressed at or below this count
     /// (the mechanism needs two machines to settle).
@@ -154,7 +157,10 @@ impl Iterator for ChurnGen {
             return Some(ChurnEvent::Join { slot, value });
         }
 
-        // Deterministic tick cadence, counted over all events.
+        // Deterministic tick cadence: every tick_every-th event position,
+        // counted from the start of the stream. Warmup takes priority, so a
+        // cadence point landing inside the first `initial` events emits the
+        // warmup join, not a tick (only possible when tick_every <= initial).
         if self.cfg.tick_every > 0 && self.emitted % self.cfg.tick_every == 0 {
             return Some(ChurnEvent::Tick);
         }
@@ -264,5 +270,28 @@ mod tests {
             .collect::<Vec<_>>();
         // Every multiple of 10 past warmup is a tick.
         assert_eq!(ticks, (1..=20).map(|k| k * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ticks_inside_warmup_yield_to_warmup_joins() {
+        // tick_every <= initial: cadence points 3 and 6 land in the warmup
+        // prefix and are suppressed; the cadence resumes at position 9.
+        let cfg = ChurnConfig {
+            events: 30,
+            tick_every: 3,
+            initial: 8,
+            ..ChurnConfig::default()
+        };
+        let events = replay(cfg, 1);
+        assert!(events[..8]
+            .iter()
+            .all(|e| matches!(e, ChurnEvent::Join { .. })));
+        let ticks = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, ChurnEvent::Tick))
+            .map(|(i, _)| i + 1)
+            .collect::<Vec<_>>();
+        assert_eq!(ticks, vec![9, 12, 15, 18, 21, 24, 27, 30]);
     }
 }
